@@ -1,0 +1,421 @@
+//! Functional simulator for Intel Advanced Matrix Extensions (AMX).
+//!
+//! Models the architectural state the paper's AMX backend targets: eight
+//! tile registers `tmm0..tmm7`, each holding up to 16 rows × 64 bytes, and
+//! the instructions `tilezero`, `tileloadd`, `tilestored` and `tdpbf16ps`
+//! (BF16 dot-product accumulate: exactly `A·B + C` for the paper's
+//! 16×32 · 32×16 MatMul, with `B` stored in the VNNI layout).
+//!
+//! The paper validated its AMX path with the Intel Software Development
+//! Emulator; this module plays that role here. Values are kept as `f32`
+//! with bf16 rounding applied when elements are loaded as bf16, which is
+//! bit-faithful for the data paths the workloads exercise.
+
+use hb_ir::numeric::round_bf16;
+
+/// Number of architectural tile registers.
+pub const NUM_TILES: usize = 8;
+/// Maximum rows per tile.
+pub const MAX_ROWS: usize = 16;
+/// Maximum bytes per tile row.
+pub const MAX_ROW_BYTES: usize = 64;
+
+/// Element interpretation of a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileDtype {
+    /// 2-byte bfloat16 elements (inputs to `tdpbf16ps`).
+    Bf16,
+    /// 4-byte float32 elements (accumulators).
+    F32,
+}
+
+impl TileDtype {
+    /// Bytes per element.
+    #[must_use]
+    pub fn bytes(self) -> usize {
+        match self {
+            TileDtype::Bf16 => 2,
+            TileDtype::F32 => 4,
+        }
+    }
+}
+
+/// One tile register's configured shape and contents.
+#[derive(Debug, Clone)]
+pub struct Tile {
+    /// Configured rows (≤ 16).
+    pub rows: usize,
+    /// Configured columns in elements.
+    pub cols: usize,
+    /// Element interpretation.
+    pub dtype: TileDtype,
+    data: Vec<f32>,
+}
+
+impl Tile {
+    fn new(rows: usize, cols: usize, dtype: TileDtype) -> Self {
+        assert!(rows <= MAX_ROWS, "tile rows {rows} exceed {MAX_ROWS}");
+        assert!(
+            cols * dtype.bytes() <= MAX_ROW_BYTES,
+            "tile row of {cols} {dtype:?} elements exceeds {MAX_ROW_BYTES} bytes"
+        );
+        Tile {
+            rows,
+            cols,
+            dtype,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Element at `(row, col)`.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        self.data[row * self.cols + col]
+    }
+
+    fn set(&mut self, row: usize, col: usize, v: f32) {
+        self.data[row * self.cols + col] = v;
+    }
+}
+
+/// Error type for misconfigured tile operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AmxError(pub String);
+
+impl std::fmt::Display for AmxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "amx: {}", self.0)
+    }
+}
+
+impl std::error::Error for AmxError {}
+
+/// The AMX tile-register file plus instruction implementations.
+#[derive(Debug, Clone, Default)]
+pub struct AmxUnit {
+    tiles: [Option<Tile>; NUM_TILES],
+    /// FMA count performed so far (for the performance model).
+    pub fmas: u64,
+}
+
+impl AmxUnit {
+    /// A unit with all tiles unconfigured.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Configures a tile's shape (the `ldtilecfg` role).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the register index or shape is out of range.
+    pub fn configure(
+        &mut self,
+        t: usize,
+        rows: usize,
+        cols: usize,
+        dtype: TileDtype,
+    ) -> Result<(), AmxError> {
+        if t >= NUM_TILES {
+            return Err(AmxError(format!("tile register tmm{t} out of range")));
+        }
+        if rows > MAX_ROWS || cols * dtype.bytes() > MAX_ROW_BYTES {
+            return Err(AmxError(format!(
+                "shape {rows}x{cols} ({dtype:?}) exceeds tile limits"
+            )));
+        }
+        self.tiles[t] = Some(Tile::new(rows, cols, dtype));
+        Ok(())
+    }
+
+    fn tile(&self, t: usize) -> Result<&Tile, AmxError> {
+        self.tiles
+            .get(t)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| AmxError(format!("tmm{t} not configured")))
+    }
+
+    fn tile_mut(&mut self, t: usize) -> Result<&mut Tile, AmxError> {
+        self.tiles
+            .get_mut(t)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| AmxError(format!("tmm{t} not configured")))
+    }
+
+    /// `tilezero tmm{t}`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the tile is unconfigured.
+    pub fn tilezero(&mut self, t: usize) -> Result<(), AmxError> {
+        let tile = self.tile_mut(t)?;
+        tile.data.iter_mut().for_each(|v| *v = 0.0);
+        Ok(())
+    }
+
+    /// `tileloadd tmm{t}, [src + stride]`: loads `rows × cols` elements from
+    /// `src`, rows separated by `stride` **elements**. Bf16 tiles round each
+    /// element through bf16 precision.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the tile is unconfigured or the source is too small.
+    pub fn tileload(&mut self, t: usize, src: &[f32], stride: usize) -> Result<(), AmxError> {
+        let (rows, cols, dtype) = {
+            let tile = self.tile(t)?;
+            (tile.rows, tile.cols, tile.dtype)
+        };
+        for r in 0..rows {
+            for c in 0..cols {
+                let idx = r * stride + c;
+                let v = *src.get(idx).ok_or_else(|| {
+                    AmxError(format!("tileload out of bounds: index {idx} len {}", src.len()))
+                })?;
+                let v = match dtype {
+                    TileDtype::Bf16 => round_bf16(f64::from(v)) as f32,
+                    TileDtype::F32 => v,
+                };
+                self.tile_mut(t)?.set(r, c, v);
+            }
+        }
+        Ok(())
+    }
+
+    /// `tilestored [dst + stride], tmm{t}`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the tile is unconfigured or the destination is too small.
+    pub fn tilestore(&self, t: usize, dst: &mut [f32], stride: usize) -> Result<(), AmxError> {
+        let tile = self.tile(t)?;
+        let dst_len = dst.len();
+        for r in 0..tile.rows {
+            for c in 0..tile.cols {
+                let idx = r * stride + c;
+                *dst.get_mut(idx).ok_or_else(|| {
+                    AmxError(format!("tilestore out of bounds: index {idx} len {dst_len}"))
+                })? = tile.get(r, c);
+            }
+        }
+        Ok(())
+    }
+
+    /// `tdpbf16ps tmm{dst}, tmm{a}, tmm{b}`: the BF16 matmul-accumulate.
+    ///
+    /// `a` is an `M×2K` bf16 tile, `b` a `K×2N` bf16 tile in VNNI layout
+    /// (row `k` holds interleaved pairs of logical rows `2k` and `2k+1`),
+    /// and `dst` an `M×N` f32 accumulator:
+    ///
+    /// ```text
+    /// dst[m][n] += Σ_k a[m][2k]·b[k][2n] + a[m][2k+1]·b[k][2n+1]
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Fails on unconfigured tiles, wrong dtypes, or mismatched shapes.
+    pub fn tdpbf16ps(&mut self, dst: usize, a: usize, b: usize) -> Result<(), AmxError> {
+        let (m, ka2) = {
+            let ta = self.tile(a)?;
+            if ta.dtype != TileDtype::Bf16 {
+                return Err(AmxError("tdpbf16ps operand A must be bf16".into()));
+            }
+            (ta.rows, ta.cols)
+        };
+        let (kb, nb2) = {
+            let tb = self.tile(b)?;
+            if tb.dtype != TileDtype::Bf16 {
+                return Err(AmxError("tdpbf16ps operand B must be bf16".into()));
+            }
+            (tb.rows, tb.cols)
+        };
+        let (md, nd) = {
+            let td = self.tile(dst)?;
+            if td.dtype != TileDtype::F32 {
+                return Err(AmxError("tdpbf16ps destination must be f32".into()));
+            }
+            (td.rows, td.cols)
+        };
+        if ka2 % 2 != 0 || nb2 % 2 != 0 {
+            return Err(AmxError("bf16 tiles must have even element columns".into()));
+        }
+        let k = ka2 / 2;
+        let n = nb2 / 2;
+        if m != md || n != nd || k != kb {
+            return Err(AmxError(format!(
+                "shape mismatch: A {m}x{ka2}, B(vnni) {kb}x{nb2}, C {md}x{nd}"
+            )));
+        }
+        for mi in 0..m {
+            for ni in 0..n {
+                let mut acc = 0.0f32;
+                for ki in 0..k {
+                    let a0 = self.tile(a)?.get(mi, 2 * ki);
+                    let a1 = self.tile(a)?.get(mi, 2 * ki + 1);
+                    let b0 = self.tile(b)?.get(ki, 2 * ni);
+                    let b1 = self.tile(b)?.get(ki, 2 * ni + 1);
+                    acc += a0 * b0 + a1 * b1;
+                }
+                let cur = self.tile(dst)?.get(mi, ni);
+                self.tile_mut(dst)?.set(mi, ni, cur + acc);
+            }
+        }
+        self.fmas += (m * n * 2 * k) as u64;
+        Ok(())
+    }
+}
+
+/// Converts a `rows × cols` row-major bf16 matrix into the VNNI layout the
+/// `tdpbf16ps` B operand expects: rows are grouped in pairs and interleaved,
+/// giving a `rows/2 × 2·cols` matrix. `rows` must be even.
+#[must_use]
+pub fn to_vnni(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(rows % 2, 0, "VNNI needs an even number of rows");
+    assert_eq!(src.len(), rows * cols);
+    let mut out = vec![0.0f32; rows * cols];
+    for k in 0..rows / 2 {
+        for n in 0..cols {
+            out[k * 2 * cols + 2 * n] = src[(2 * k) * cols + n];
+            out[k * 2 * cols + 2 * n + 1] = src[(2 * k + 1) * cols + n];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for mi in 0..m {
+            for ni in 0..n {
+                let mut acc = 0.0;
+                for ki in 0..k {
+                    acc += a[mi * k + ki] * b[ki * n + ni];
+                }
+                c[mi * n + ni] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn tilezero_and_store() {
+        let mut amx = AmxUnit::new();
+        amx.configure(0, 4, 4, TileDtype::F32).unwrap();
+        amx.tilezero(0).unwrap();
+        let mut out = vec![1.0f32; 16];
+        amx.tilestore(0, &mut out, 4).unwrap();
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn load_rounds_bf16() {
+        let mut amx = AmxUnit::new();
+        amx.configure(1, 1, 2, TileDtype::Bf16).unwrap();
+        let v = 1.0 + 2f32.powi(-12); // not representable in bf16
+        amx.tileload(1, &[v, 2.0], 2).unwrap();
+        let tile_v = amx.tile(1).unwrap().get(0, 0);
+        assert_eq!(tile_v, 1.0, "bf16 load must round");
+    }
+
+    #[test]
+    fn tdpbf16ps_matches_naive_matmul() {
+        // The paper's shape: A 16x32, B 32x16, C 16x16.
+        let (m, k, n) = (16usize, 32usize, 16usize);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i % 13) as f32 - 6.0) * 0.25).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i % 7) as f32 - 3.0) * 0.5).collect();
+        let expect = naive_matmul(&a, &b, m, k, n);
+
+        let mut amx = AmxUnit::new();
+        amx.configure(0, m, n, TileDtype::F32).unwrap(); // C
+        amx.configure(1, m, k, TileDtype::Bf16).unwrap(); // A (16x32)
+        amx.configure(2, k / 2, 2 * n, TileDtype::Bf16).unwrap(); // B in VNNI
+        amx.tilezero(0).unwrap();
+        amx.tileload(1, &a, k).unwrap();
+        let b_vnni = to_vnni(&b, k, n);
+        amx.tileload(2, &b_vnni, 2 * n).unwrap();
+        amx.tdpbf16ps(0, 1, 2).unwrap();
+
+        let mut c = vec![0.0f32; m * n];
+        amx.tilestore(0, &mut c, n).unwrap();
+        for (got, want) in c.iter().zip(expect.iter()) {
+            assert!(
+                (got - want).abs() <= 0.01 * want.abs().max(1.0),
+                "got {got}, want {want}"
+            );
+        }
+        assert_eq!(amx.fmas, (m * n * k) as u64);
+    }
+
+    #[test]
+    fn accumulation_composes_over_k_tiles() {
+        // Split K=64 into two K=32 tdp steps and compare with one matmul.
+        let (m, k, n) = (8usize, 64usize, 8usize);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.125).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 3 % 5) as f32 - 2.0) * 0.25).collect();
+        let expect = naive_matmul(&a, &b, m, k, n);
+
+        let mut amx = AmxUnit::new();
+        amx.configure(0, m, n, TileDtype::F32).unwrap();
+        amx.configure(1, m, 32, TileDtype::Bf16).unwrap();
+        amx.configure(2, 16, 2 * n, TileDtype::Bf16).unwrap();
+        amx.tilezero(0).unwrap();
+        for step in 0..2 {
+            // A columns [32*step, 32*step+32): stride k, offset 32*step.
+            let a_sub: Vec<f32> = (0..m * 32)
+                .map(|i| a[(i / 32) * k + 32 * step + i % 32])
+                .collect();
+            amx.tileload(1, &a_sub, 32).unwrap();
+            let b_sub: Vec<f32> = (0..32 * n)
+                .map(|i| b[(32 * step + i / n) * n + i % n])
+                .collect();
+            let b_vnni = to_vnni(&b_sub, 32, n);
+            amx.tileload(2, &b_vnni, 2 * n).unwrap();
+            amx.tdpbf16ps(0, 1, 2).unwrap();
+        }
+        let mut c = vec![0.0f32; m * n];
+        amx.tilestore(0, &mut c, n).unwrap();
+        for (got, want) in c.iter().zip(expect.iter()) {
+            assert!((got - want).abs() <= 0.02 * want.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn shape_and_dtype_errors() {
+        let mut amx = AmxUnit::new();
+        assert!(amx.configure(9, 1, 1, TileDtype::F32).is_err());
+        assert!(amx.configure(0, 17, 1, TileDtype::F32).is_err());
+        assert!(amx.configure(0, 1, 17, TileDtype::F32).is_err(), "68 bytes/row");
+        amx.configure(0, 16, 16, TileDtype::F32).unwrap();
+        amx.configure(1, 16, 32, TileDtype::Bf16).unwrap();
+        amx.configure(2, 16, 32, TileDtype::Bf16).unwrap();
+        // B tile with odd logical N (cols=30 -> n=15) mismatching C's 16.
+        amx.configure(3, 16, 30, TileDtype::Bf16).unwrap();
+        assert!(amx.tdpbf16ps(0, 1, 3).is_err());
+        // Wrong dtype roles.
+        assert!(amx.tdpbf16ps(1, 1, 2).is_err());
+        assert!(amx.tdpbf16ps(0, 0, 2).is_err());
+        // Unconfigured register.
+        assert!(amx.tilezero(7).is_err());
+    }
+
+    #[test]
+    fn vnni_interleaves_row_pairs() {
+        // 4x2 matrix -> 2x4 VNNI.
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let v = to_vnni(&src, 4, 2);
+        assert_eq!(v, vec![1.0, 3.0, 2.0, 4.0, 5.0, 7.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_loads_fail() {
+        let mut amx = AmxUnit::new();
+        amx.configure(0, 4, 4, TileDtype::F32).unwrap();
+        let small = vec![0.0f32; 8];
+        assert!(amx.tileload(0, &small, 4).is_err());
+        let mut small_dst = vec![0.0f32; 8];
+        assert!(amx.tilestore(0, &mut small_dst, 4).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Execution cost counters filled in by the interpreter and consumed by the
+//! roofline performance model.
+
+/// Memory level an access is charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemScope {
+    /// Off-chip DRAM (global memory footprint).
+    Dram,
+    /// On-chip L1/texture path (every issued access).
+    L1,
+    /// GPU shared memory / CPU core-local scratch.
+    Shared,
+}
+
+/// Counts of work performed by one simulated kernel (or whole pipeline).
+///
+/// DRAM bytes are *footprint* bytes — each byte of a global buffer touched by
+/// the kernel counts once, which models a perfectly-cached streaming kernel
+/// and is the same assumption the paper's theoretical-peak lines make. L1
+/// bytes count every issued access, so redundant loads (e.g. the overlapped
+/// Toeplitz reads of §V-A) show up there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostCounters {
+    /// Tensor-core (or AMX) fused multiply-adds.
+    pub tensor_fmas: u64,
+    /// Scalar/SIMT floating point operations on ordinary cores
+    /// (an FMA counts as 2).
+    pub cuda_flops: u64,
+    /// Unique global-memory bytes read.
+    pub dram_read_bytes: u64,
+    /// Unique global-memory bytes written.
+    pub dram_write_bytes: u64,
+    /// Total bytes moved through L1 (all accesses).
+    pub l1_bytes: u64,
+    /// Total bytes moved through shared memory.
+    pub shared_bytes: u64,
+    /// Kernel launches issued.
+    pub kernel_launches: u64,
+}
+
+impl CostCounters {
+    /// All-zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total DRAM traffic.
+    #[must_use]
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Adds another counter set (e.g. summing kernels of a pipeline).
+    pub fn merge(&mut self, other: &CostCounters) {
+        self.tensor_fmas += other.tensor_fmas;
+        self.cuda_flops += other.cuda_flops;
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.l1_bytes += other.l1_bytes;
+        self.shared_bytes += other.shared_bytes;
+        self.kernel_launches += other.kernel_launches;
+    }
+
+    /// Scales all counts by an integer factor (e.g. per-tile counts × number
+    /// of tiles).
+    #[must_use]
+    pub fn scaled(&self, factor: u64) -> CostCounters {
+        CostCounters {
+            tensor_fmas: self.tensor_fmas * factor,
+            cuda_flops: self.cuda_flops * factor,
+            dram_read_bytes: self.dram_read_bytes * factor,
+            dram_write_bytes: self.dram_write_bytes * factor,
+            l1_bytes: self.l1_bytes * factor,
+            shared_bytes: self.shared_bytes * factor,
+            kernel_launches: self.kernel_launches * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = CostCounters {
+            tensor_fmas: 1,
+            cuda_flops: 2,
+            dram_read_bytes: 3,
+            dram_write_bytes: 4,
+            l1_bytes: 5,
+            shared_bytes: 6,
+            kernel_launches: 1,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.tensor_fmas, 2);
+        assert_eq!(a.dram_bytes(), 14);
+        assert_eq!(a.kernel_launches, 2);
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let a = CostCounters {
+            cuda_flops: 10,
+            ..CostCounters::default()
+        };
+        assert_eq!(a.scaled(3).cuda_flops, 30);
+        assert_eq!(a.scaled(3).tensor_fmas, 0);
+    }
+}

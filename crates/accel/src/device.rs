@@ -1,0 +1,122 @@
+//! Device profiles for the roofline model.
+//!
+//! The constants for the two GPUs are those the paper itself uses for its
+//! theoretical-peak lines: the A100 at 156 T-FMA/s FP16 tensor throughput
+//! and 2 TB/s HBM (§IV, [13]), and the RTX 4070 SUPER at 36 T-FMA/s tensor
+//! throughput (RTX 4090 numbers scaled by Tensor Core count, footnote 6)
+//! with 504.2 GB/s advertised bandwidth.
+
+/// Throughput/latency parameters of one execution platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Peak tensor-unit FMA rate (FMA/s, f16/bf16 inputs).
+    pub tensor_fma_per_s: f64,
+    /// Peak general-purpose FMA rate (FMA/s, f32).
+    pub cuda_fma_per_s: f64,
+    /// DRAM bandwidth (bytes/s).
+    pub dram_bw: f64,
+    /// Aggregate L1 bandwidth (bytes/s).
+    pub l1_bw: f64,
+    /// Aggregate shared-memory bandwidth (bytes/s).
+    pub shared_bw: f64,
+    /// Fixed overhead per kernel launch (seconds).
+    pub launch_overhead_s: f64,
+}
+
+impl DeviceProfile {
+    /// Nvidia A100 SXM 80 GB (the paper's §IV ML-workload platform).
+    #[must_use]
+    pub fn a100() -> Self {
+        DeviceProfile {
+            name: "NVIDIA A100 80GB SXM",
+            tensor_fma_per_s: 156e12,
+            cuda_fma_per_s: 9.75e12,
+            dram_bw: 2.0e12,
+            // 108 SMs * 128 B/cycle * 1.41 GHz.
+            l1_bw: 19.5e12,
+            shared_bw: 19.5e12,
+            launch_overhead_s: 4e-6,
+        }
+    }
+
+    /// Nvidia GeForce RTX 4070 SUPER (the paper's §V case-study platform).
+    #[must_use]
+    pub fn rtx4070_super() -> Self {
+        DeviceProfile {
+            name: "NVIDIA GeForce RTX 4070 SUPER",
+            tensor_fma_per_s: 36e12,
+            // 35.48 TFLOPS FP32 => 17.74 T-FMA/s.
+            cuda_fma_per_s: 17.74e12,
+            dram_bw: 504.2e9,
+            // 56 SMs * 128 B/cycle * 2.48 GHz.
+            l1_bw: 17.8e12,
+            shared_bw: 17.8e12,
+            launch_overhead_s: 3e-6,
+        }
+    }
+
+    /// An AMX-capable Sapphire Rapids-class CPU core cluster, used only for
+    /// functional validation (the paper measured AMX under Intel SDE, not
+    /// for performance).
+    #[must_use]
+    pub fn amx_host() -> Self {
+        DeviceProfile {
+            name: "Intel AMX host (emulated)",
+            // One core: 16x16x32 bf16 tile op every ~16 cycles @ 2.0 GHz.
+            tensor_fma_per_s: 1.0e12,
+            cuda_fma_per_s: 64e9,
+            dram_bw: 80e9,
+            l1_bw: 400e9,
+            shared_bw: 400e9,
+            launch_overhead_s: 0.0,
+        }
+    }
+
+    /// Time to execute `fmas` on the tensor units at peak.
+    #[must_use]
+    pub fn tensor_time(&self, fmas: u64) -> f64 {
+        fmas as f64 / self.tensor_fma_per_s
+    }
+
+    /// Time to execute `flops` on the general-purpose cores at peak
+    /// (two flops per FMA slot).
+    #[must_use]
+    pub fn cuda_time(&self, flops: u64) -> f64 {
+        flops as f64 / (2.0 * self.cuda_fma_per_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let a100 = DeviceProfile::a100();
+        assert_eq!(a100.tensor_fma_per_s, 156e12);
+        assert_eq!(a100.dram_bw, 2.0e12);
+        let rtx = DeviceProfile::rtx4070_super();
+        assert_eq!(rtx.tensor_fma_per_s, 36e12);
+        assert_eq!(rtx.dram_bw, 504.2e9);
+    }
+
+    #[test]
+    fn tensor_cores_beat_cuda_cores_on_both_gpus() {
+        for d in [DeviceProfile::a100(), DeviceProfile::rtx4070_super()] {
+            let fmas = 1u64 << 30;
+            assert!(d.tensor_time(fmas) < d.cuda_time(2 * fmas), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn time_helpers_scale_linearly() {
+        let d = DeviceProfile::rtx4070_super();
+        let t1 = d.tensor_time(1_000_000);
+        let t2 = d.tensor_time(2_000_000);
+        assert!((t2 - 2.0 * t1).abs() < 1e-15);
+        let c1 = d.cuda_time(1_000_000);
+        assert!((c1 - 1_000_000f64 / (2.0 * 17.74e12)).abs() < 1e-18);
+    }
+}

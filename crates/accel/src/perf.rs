@@ -1,0 +1,258 @@
+//! The roofline performance model.
+//!
+//! A simulated kernel's runtime estimate is
+//!
+//! ```text
+//! t = max(t_tensor + t_cuda, t_dram, t_l1, t_shared) + launches · overhead
+//! ```
+//!
+//! where the compute terms use the device's peak rates and the memory terms
+//! divide counted bytes by the respective bandwidths. This is the same
+//! first-order model the paper uses for its theoretical-peak lines
+//! (footnotes 6–7), applied to *measured instruction/byte counts* from the
+//! functional simulation instead of algorithmic minimums — so schedule
+//! overheads such as Toeplitz redundancy are charged to the schedule that
+//! incurs them.
+
+use crate::counters::CostCounters;
+use crate::device::DeviceProfile;
+
+/// Which resource dominates a kernel (the paper's `(C)`/`(M)` labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Limited by compute throughput.
+    Compute,
+    /// Limited by DRAM bandwidth.
+    Memory,
+    /// Limited by L1 bandwidth.
+    L1,
+    /// Limited by shared-memory bandwidth.
+    Shared,
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Bound::Compute => "C",
+            Bound::Memory => "M",
+            Bound::L1 => "L1",
+            Bound::Shared => "S",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Breakdown of a runtime estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeEstimate {
+    /// Tensor-unit compute time (s).
+    pub tensor_s: f64,
+    /// General-purpose compute time (s).
+    pub cuda_s: f64,
+    /// DRAM transfer time (s).
+    pub dram_s: f64,
+    /// L1 transfer time (s).
+    pub l1_s: f64,
+    /// Shared-memory transfer time (s).
+    pub shared_s: f64,
+    /// Launch overhead (s).
+    pub launch_s: f64,
+    /// Final estimate (s).
+    pub total_s: f64,
+}
+
+impl TimeEstimate {
+    /// The dominating resource.
+    #[must_use]
+    pub fn bound(&self) -> Bound {
+        let compute = self.tensor_s + self.cuda_s;
+        let candidates = [
+            (compute, Bound::Compute),
+            (self.dram_s, Bound::Memory),
+            (self.l1_s, Bound::L1),
+            (self.shared_s, Bound::Shared),
+        ];
+        candidates
+            .into_iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, b)| b)
+            .expect("non-empty candidates")
+    }
+
+    /// Total in microseconds (convenience for reporting).
+    #[must_use]
+    pub fn micros(&self) -> f64 {
+        self.total_s * 1e6
+    }
+
+    /// Total in milliseconds.
+    #[must_use]
+    pub fn millis(&self) -> f64 {
+        self.total_s * 1e3
+    }
+}
+
+/// Estimates a kernel's runtime on `device` from its counters.
+#[must_use]
+pub fn estimate(counters: &CostCounters, device: &DeviceProfile) -> TimeEstimate {
+    let tensor_s = device.tensor_time(counters.tensor_fmas);
+    let cuda_s = device.cuda_time(counters.cuda_flops);
+    let dram_s = counters.dram_bytes() as f64 / device.dram_bw;
+    let l1_s = counters.l1_bytes as f64 / device.l1_bw;
+    let shared_s = counters.shared_bytes as f64 / device.shared_bw;
+    let launch_s = counters.kernel_launches as f64 * device.launch_overhead_s;
+    let body = (tensor_s + cuda_s).max(dram_s).max(l1_s).max(shared_s);
+    TimeEstimate {
+        tensor_s,
+        cuda_s,
+        dram_s,
+        l1_s,
+        shared_s,
+        launch_s,
+        total_s: body + launch_s,
+    }
+}
+
+/// Estimate divided by an efficiency factor in `(0, 1]` — used to model
+/// closed-source library baselines whose achieved fraction of roofline is
+/// known (documented per experiment in EXPERIMENTS.md).
+#[must_use]
+pub fn estimate_with_efficiency(
+    counters: &CostCounters,
+    device: &DeviceProfile,
+    efficiency: f64,
+) -> TimeEstimate {
+    assert!(
+        efficiency > 0.0 && efficiency <= 1.0,
+        "efficiency must be in (0, 1], got {efficiency}"
+    );
+    let mut t = estimate(counters, device);
+    let body = t.total_s - t.launch_s;
+    t.total_s = body / efficiency + t.launch_s;
+    t
+}
+
+/// The paper's *theoretical peak* line: minimal algorithmic FLOPs and I/O,
+/// ignoring any schedule-induced redundancy (footnote 7).
+#[must_use]
+pub fn theoretical_peak(
+    min_fmas: u64,
+    min_io_bytes: u64,
+    device: &DeviceProfile,
+    on_tensor_cores: bool,
+) -> TimeEstimate {
+    let c = CostCounters {
+        tensor_fmas: if on_tensor_cores { min_fmas } else { 0 },
+        cuda_flops: if on_tensor_cores { 0 } else { 2 * min_fmas },
+        dram_read_bytes: min_io_bytes,
+        dram_write_bytes: 0,
+        l1_bytes: 0,
+        shared_bytes: 0,
+        kernel_launches: 0,
+    };
+    estimate(&c, device)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(counters: CostCounters) -> TimeEstimate {
+        estimate(&counters, &DeviceProfile::rtx4070_super())
+    }
+
+    #[test]
+    fn compute_bound_kernel() {
+        let t = flat(CostCounters {
+            tensor_fmas: 36_000_000_000_000, // exactly one second of tensor work
+            dram_read_bytes: 1,
+            ..CostCounters::default()
+        });
+        assert_eq!(t.bound(), Bound::Compute);
+        assert!((t.total_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_kernel() {
+        let t = flat(CostCounters {
+            tensor_fmas: 1,
+            dram_read_bytes: 504_200_000_000, // one second of DRAM traffic
+            ..CostCounters::default()
+        });
+        assert_eq!(t.bound(), Bound::Memory);
+        assert!((t.total_s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l1_bound_kernel() {
+        let t = flat(CostCounters {
+            l1_bytes: u64::MAX / 4,
+            dram_read_bytes: 1,
+            ..CostCounters::default()
+        });
+        assert_eq!(t.bound(), Bound::L1);
+    }
+
+    #[test]
+    fn launch_overhead_is_additive() {
+        let base = flat(CostCounters {
+            dram_read_bytes: 504_200_000,
+            ..CostCounters::default()
+        });
+        let with_launches = flat(CostCounters {
+            dram_read_bytes: 504_200_000,
+            kernel_launches: 10,
+            ..CostCounters::default()
+        });
+        let overhead = with_launches.total_s - base.total_s;
+        assert!((overhead - 10.0 * 3e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_slows_body_not_launches() {
+        let c = CostCounters {
+            dram_read_bytes: 504_200_000_000,
+            kernel_launches: 1,
+            ..CostCounters::default()
+        };
+        let d = DeviceProfile::rtx4070_super();
+        let full = estimate(&c, &d);
+        let half = estimate_with_efficiency(&c, &d, 0.5);
+        assert!((half.total_s - half.launch_s) / (full.total_s - full.launch_s) > 1.99);
+        assert!((half.launch_s - full.launch_s).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency must be in")]
+    fn zero_efficiency_rejected() {
+        let _ = estimate_with_efficiency(
+            &CostCounters::default(),
+            &DeviceProfile::a100(),
+            0.0,
+        );
+    }
+
+    #[test]
+    fn theoretical_peak_matches_paper_fig4_gemm() {
+        // GEMM 1024^3 f16 on A100: 2^30 FMAs, IO = 3 * 1024^2 * 2 bytes
+        // (paper reports ~0.01 ms, compute bound).
+        let d = DeviceProfile::a100();
+        let t = theoretical_peak(1 << 30, 3 * (1 << 20) * 2 + (1 << 20) * 4, &d, true);
+        assert_eq!(t.bound(), Bound::Compute);
+        let ms = t.millis();
+        assert!(
+            (0.005..0.02).contains(&ms),
+            "expected ~0.01 ms, got {ms} ms"
+        );
+    }
+
+    #[test]
+    fn cuda_only_peak_uses_cuda_cores() {
+        let d = DeviceProfile::rtx4070_super();
+        let tc = theoretical_peak(1 << 30, 1 << 20, &d, true);
+        let cc = theoretical_peak(1 << 30, 1 << 20, &d, false);
+        assert!(cc.total_s > tc.total_s);
+        assert!(cc.cuda_s > 0.0 && cc.tensor_s == 0.0);
+        assert!(tc.tensor_s > 0.0 && tc.cuda_s == 0.0);
+    }
+}

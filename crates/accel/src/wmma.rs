@@ -1,0 +1,388 @@
+//! Functional simulator for Nvidia Tensor Core WMMA operations.
+//!
+//! Models warp-level matrix multiply-accumulate as exposed by CUDA's
+//! `nvcuda::wmma` API / the `wmma.*.sync` PTX instructions the paper emits:
+//! fragments for the A/B operands and the accumulator, `load_matrix_sync`,
+//! `store_matrix_sync`, `fill_fragment` and `mma_sync`. Supported f16×f16→f32
+//! shapes are the three WMMA geometries: `m16n16k8`-style triples
+//! (16,16,16), (32,8,16) and (8,32,16) — the paper's 1-D convolution maps to
+//! `m32n8k16` (§V-A, Appendix B).
+//!
+//! Each fragment logically spans a warp of 32 threads; the simulator stores
+//! the whole tile and leaves the per-thread distribution to the performance
+//! model, matching the paper's note that HARDBOILED scales WMMA allocations
+//! down to per-thread fragments.
+
+use hb_ir::numeric::round_f16;
+
+/// The supported WMMA geometry (M, N, K).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WmmaShape {
+    /// Rows of A and C.
+    pub m: usize,
+    /// Columns of B and C.
+    pub n: usize,
+    /// Inner (reduction) dimension.
+    pub k: usize,
+}
+
+impl WmmaShape {
+    /// The `m16n16k16` geometry.
+    pub const M16N16K16: WmmaShape = WmmaShape { m: 16, n: 16, k: 16 };
+    /// The `m32n8k16` geometry (used by the paper's conv1d schedule).
+    pub const M32N8K16: WmmaShape = WmmaShape { m: 32, n: 8, k: 16 };
+    /// The `m8n32k16` geometry.
+    pub const M8N32K16: WmmaShape = WmmaShape { m: 8, n: 32, k: 16 };
+
+    /// All supported geometries.
+    #[must_use]
+    pub fn all() -> [WmmaShape; 3] {
+        [Self::M16N16K16, Self::M32N8K16, Self::M8N32K16]
+    }
+
+    /// Whether this geometry is supported by f16 Tensor Cores.
+    #[must_use]
+    pub fn is_supported(self) -> bool {
+        Self::all().contains(&self)
+    }
+
+    /// FMAs performed by one `mma_sync` of this shape.
+    #[must_use]
+    pub fn fmas(self) -> u64 {
+        (self.m * self.n * self.k) as u64
+    }
+}
+
+impl std::fmt::Display for WmmaShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}n{}k{}", self.m, self.n, self.k)
+    }
+}
+
+/// Which operand a fragment holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmentKind {
+    /// `matrix_a` (f16 inputs, M×K).
+    MatrixA,
+    /// `matrix_b` (f16 inputs, K×N).
+    MatrixB,
+    /// `accumulator` (f32, M×N).
+    Accumulator,
+}
+
+/// Row- or column-major source layout for loads/stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixLayout {
+    /// Row major.
+    RowMajor,
+    /// Column major.
+    ColMajor,
+}
+
+/// A warp-wide WMMA fragment.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// Operand role.
+    pub kind: FragmentKind,
+    /// Geometry it belongs to.
+    pub shape: WmmaShape,
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+/// Error type for WMMA misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WmmaError(pub String);
+
+impl std::fmt::Display for WmmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wmma: {}", self.0)
+    }
+}
+
+impl std::error::Error for WmmaError {}
+
+impl Fragment {
+    /// Creates a zeroed fragment for the given role and geometry.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unsupported geometries.
+    pub fn new(kind: FragmentKind, shape: WmmaShape) -> Result<Self, WmmaError> {
+        if !shape.is_supported() {
+            return Err(WmmaError(format!("unsupported WMMA shape {shape}")));
+        }
+        let (rows, cols) = match kind {
+            FragmentKind::MatrixA => (shape.m, shape.k),
+            FragmentKind::MatrixB => (shape.k, shape.n),
+            FragmentKind::Accumulator => (shape.m, shape.n),
+        };
+        Ok(Fragment {
+            kind,
+            shape,
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        })
+    }
+
+    /// `fill_fragment(frag, v)`.
+    pub fn fill(&mut self, v: f32) {
+        let v = if self.kind == FragmentKind::Accumulator {
+            v
+        } else {
+            round_f16(f64::from(v)) as f32
+        };
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// `load_matrix_sync`: loads the fragment from `src` with leading
+    /// dimension `ld` (in elements) and the given layout. F16 operands round
+    /// through half precision.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the source slice is too small.
+    pub fn load(&mut self, src: &[f32], ld: usize, layout: MatrixLayout) -> Result<(), WmmaError> {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let idx = match layout {
+                    MatrixLayout::RowMajor => r * ld + c,
+                    MatrixLayout::ColMajor => c * ld + r,
+                };
+                let v = *src.get(idx).ok_or_else(|| {
+                    WmmaError(format!(
+                        "load_matrix_sync out of bounds: index {idx}, len {}",
+                        src.len()
+                    ))
+                })?;
+                let v = if self.kind == FragmentKind::Accumulator {
+                    v
+                } else {
+                    round_f16(f64::from(v)) as f32
+                };
+                self.data[r * self.cols + c] = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// `store_matrix_sync` (accumulators only).
+    ///
+    /// # Errors
+    ///
+    /// Fails when called on a non-accumulator fragment or the destination is
+    /// too small.
+    pub fn store(&self, dst: &mut [f32], ld: usize, layout: MatrixLayout) -> Result<(), WmmaError> {
+        if self.kind != FragmentKind::Accumulator {
+            return Err(WmmaError("only accumulator fragments can be stored".into()));
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let idx = match layout {
+                    MatrixLayout::RowMajor => r * ld + c,
+                    MatrixLayout::ColMajor => c * ld + r,
+                };
+                let dst_len = dst.len();
+                *dst.get_mut(idx).ok_or_else(|| {
+                    WmmaError(format!(
+                        "store_matrix_sync out of bounds: index {idx}, len {dst_len}"
+                    ))
+                })? = self.data[r * self.cols + c];
+            }
+        }
+        Ok(())
+    }
+
+    /// Element accessor (row-major logical view).
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+}
+
+/// A Tensor Core unit: performs `mma_sync` and counts FMAs.
+#[derive(Debug, Clone, Default)]
+pub struct TensorCoreUnit {
+    /// FMAs performed so far (for the performance model).
+    pub fmas: u64,
+    /// Number of `mma_sync` instructions issued.
+    pub mma_count: u64,
+}
+
+impl TensorCoreUnit {
+    /// A fresh unit.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `wmma::mma_sync(d, a, b, c)`: `D = A·B + C` with f32 accumulation.
+    /// `d` and `c` may alias (pass the same fragment via `d` after copying),
+    /// so the API takes `c` by value as CUDA does.
+    ///
+    /// # Errors
+    ///
+    /// Fails on role or geometry mismatches.
+    pub fn mma_sync(
+        &mut self,
+        d: &mut Fragment,
+        a: &Fragment,
+        b: &Fragment,
+        c: &Fragment,
+    ) -> Result<(), WmmaError> {
+        if a.kind != FragmentKind::MatrixA
+            || b.kind != FragmentKind::MatrixB
+            || c.kind != FragmentKind::Accumulator
+            || d.kind != FragmentKind::Accumulator
+        {
+            return Err(WmmaError("fragment roles do not match mma_sync".into()));
+        }
+        let shape = a.shape;
+        if b.shape != shape || c.shape != shape || d.shape != shape {
+            return Err(WmmaError(format!(
+                "geometry mismatch: a={}, b={}, c={}, d={}",
+                a.shape, b.shape, c.shape, d.shape
+            )));
+        }
+        let WmmaShape { m, n, k } = shape;
+        let mut out = vec![0.0f32; m * n];
+        for mi in 0..m {
+            for ni in 0..n {
+                let mut acc = c.get(mi, ni);
+                for ki in 0..k {
+                    acc += a.get(mi, ki) * b.get(ki, ni);
+                }
+                out[mi * n + ni] = acc;
+            }
+        }
+        d.data.copy_from_slice(&out);
+        self.fmas += shape.fmas();
+        self.mma_count += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for mi in 0..m {
+            for ni in 0..n {
+                for ki in 0..k {
+                    c[mi * n + ni] += a[mi * k + ki] * b[ki * n + ni];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn all_shapes_multiply_correctly() {
+        for shape in WmmaShape::all() {
+            let WmmaShape { m, n, k } = shape;
+            let a: Vec<f32> = (0..m * k).map(|i| ((i % 9) as f32 - 4.0) * 0.25).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| ((i % 5) as f32 - 2.0) * 0.5).collect();
+            let expect = naive(&a, &b, m, k, n);
+
+            let mut fa = Fragment::new(FragmentKind::MatrixA, shape).unwrap();
+            let mut fb = Fragment::new(FragmentKind::MatrixB, shape).unwrap();
+            let mut fc = Fragment::new(FragmentKind::Accumulator, shape).unwrap();
+            fa.load(&a, k, MatrixLayout::RowMajor).unwrap();
+            fb.load(&b, n, MatrixLayout::RowMajor).unwrap();
+            fc.fill(0.0);
+            let mut unit = TensorCoreUnit::new();
+            let c0 = fc.clone();
+            unit.mma_sync(&mut fc, &fa, &fb, &c0).unwrap();
+
+            let mut got = vec![0.0f32; m * n];
+            fc.store(&mut got, n, MatrixLayout::RowMajor).unwrap();
+            for (g, w) in got.iter().zip(expect.iter()) {
+                assert!((g - w).abs() <= 0.01 * w.abs().max(1.0), "{shape}: {g} vs {w}");
+            }
+            assert_eq!(unit.fmas, shape.fmas());
+            assert_eq!(unit.mma_count, 1);
+        }
+    }
+
+    #[test]
+    fn inputs_round_through_f16() {
+        let shape = WmmaShape::M16N16K16;
+        let mut fa = Fragment::new(FragmentKind::MatrixA, shape).unwrap();
+        let v = 1.0 + 2f32.powi(-13); // below f16 precision
+        let src = vec![v; 16 * 16];
+        fa.load(&src, 16, MatrixLayout::RowMajor).unwrap();
+        assert_eq!(fa.get(0, 0), 1.0);
+        // Accumulators do not round.
+        let mut fc = Fragment::new(FragmentKind::Accumulator, shape).unwrap();
+        fc.load(&src, 16, MatrixLayout::RowMajor).unwrap();
+        assert_eq!(fc.get(0, 0), v);
+    }
+
+    #[test]
+    fn col_major_loads_transpose() {
+        let shape = WmmaShape::M16N16K16;
+        let mut fa = Fragment::new(FragmentKind::MatrixA, shape).unwrap();
+        let src: Vec<f32> = (0..16 * 16).map(|i| i as f32).collect();
+        fa.load(&src, 16, MatrixLayout::ColMajor).unwrap();
+        // Element (r, c) of the fragment = src[c * 16 + r].
+        assert_eq!(fa.get(2, 3), src[3 * 16 + 2]);
+    }
+
+    #[test]
+    fn accumulate_chains() {
+        // Two mma_syncs accumulate: D = A·B + (A·B + 0) = 2·A·B.
+        let shape = WmmaShape::M32N8K16;
+        let WmmaShape { m, n, k } = shape;
+        let a: Vec<f32> = (0..m * k).map(|i| ((i % 3) as f32) * 0.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i % 4) as f32) * 0.25).collect();
+        let mut fa = Fragment::new(FragmentKind::MatrixA, shape).unwrap();
+        let mut fb = Fragment::new(FragmentKind::MatrixB, shape).unwrap();
+        let mut acc = Fragment::new(FragmentKind::Accumulator, shape).unwrap();
+        fa.load(&a, k, MatrixLayout::RowMajor).unwrap();
+        fb.load(&b, n, MatrixLayout::RowMajor).unwrap();
+        acc.fill(0.0);
+        let mut unit = TensorCoreUnit::new();
+        for _ in 0..2 {
+            let prev = acc.clone();
+            unit.mma_sync(&mut acc, &fa, &fb, &prev).unwrap();
+        }
+        let expect = naive(&a, &b, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        acc.store(&mut got, n, MatrixLayout::RowMajor).unwrap();
+        for (g, w) in got.iter().zip(expect.iter()) {
+            assert!((g - 2.0 * w).abs() <= 0.02 * w.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn role_and_shape_errors() {
+        let bad = WmmaShape { m: 4, n: 4, k: 4 };
+        assert!(Fragment::new(FragmentKind::MatrixA, bad).is_err());
+        let shape = WmmaShape::M16N16K16;
+        let fa = Fragment::new(FragmentKind::MatrixA, shape).unwrap();
+        let fb = Fragment::new(FragmentKind::MatrixB, shape).unwrap();
+        let fc = Fragment::new(FragmentKind::Accumulator, shape).unwrap();
+        let mut unit = TensorCoreUnit::new();
+        // A used as B.
+        let mut d = fc.clone();
+        assert!(unit.mma_sync(&mut d, &fb, &fb, &fc).is_err());
+        // Mismatched geometry.
+        let fb2 = Fragment::new(FragmentKind::MatrixB, WmmaShape::M32N8K16).unwrap();
+        assert!(unit.mma_sync(&mut d, &fa, &fb2, &fc).is_err());
+        // Store of a non-accumulator.
+        let mut buf = vec![0.0f32; 16 * 16];
+        assert!(fa.store(&mut buf, 16, MatrixLayout::RowMajor).is_err());
+    }
+
+    #[test]
+    fn fill_rounds_for_f16_fragments() {
+        let shape = WmmaShape::M16N16K16;
+        let mut fa = Fragment::new(FragmentKind::MatrixA, shape).unwrap();
+        fa.fill(1.0 + 2f32.powi(-13));
+        assert_eq!(fa.get(5, 5), 1.0);
+    }
+}

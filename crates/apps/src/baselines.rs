@@ -1,0 +1,119 @@
+//! Vendor-library baseline models (paper §IV, Fig. 4).
+//!
+//! cuBLASLt, cuDNN, PyTorch and the composed attention baseline are closed
+//! binaries we cannot run; each is modeled as the workload's roofline bound
+//! divided by a per-library efficiency factor. The factors are fit once
+//! against the paper's own reported A100 numbers (see EXPERIMENTS.md) and
+//! held fixed across workloads — so *shapes* (who wins, crossovers) come
+//! from the workload counters, not per-experiment tuning.
+
+use hb_accel::counters::CostCounters;
+use hb_accel::device::DeviceProfile;
+use hb_accel::perf::{estimate_with_efficiency, TimeEstimate};
+
+/// Efficiency factors (fraction of roofline achieved).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Efficiency(pub f64);
+
+/// cuBLASLt GEMM: ~70% of tensor-core roofline (paper: 0.04 ms on a
+/// 1024³ f16 GEMM whose compute bound is ~0.007 ms plus memory effects).
+pub const CUBLASLT: Efficiency = Efficiency(0.70);
+/// cuDNN fused convolution: highly tuned.
+pub const CUDNN: Efficiency = Efficiency(0.60);
+/// PyTorch eager ops: framework overheads and extra passes.
+pub const PYTORCH: Efficiency = Efficiency(0.18);
+/// Composed cuBLAS+cuDNN+custom attention baseline.
+pub const COMPOSED: Efficiency = Efficiency(0.55);
+/// CUDA-only variants of vendor kernels.
+pub const VENDOR_CUDA_ONLY: Efficiency = Efficiency(0.70);
+
+/// Time for a baseline library running `counters`' algorithmic work.
+#[must_use]
+pub fn baseline_time(
+    counters: &CostCounters,
+    device: &DeviceProfile,
+    eff: Efficiency,
+) -> TimeEstimate {
+    estimate_with_efficiency(counters, device, eff.0)
+}
+
+/// Minimal-work counters for a GEMM (used as the baseline's workload: the
+/// library does the algorithmic minimum at its characteristic efficiency).
+#[must_use]
+pub fn gemm_minimal(m: u64, k: u64, n: u64, tensor: bool, elem_bytes: u64) -> CostCounters {
+    CostCounters {
+        tensor_fmas: if tensor { m * k * n } else { 0 },
+        cuda_flops: if tensor { 0 } else { 2 * m * k * n },
+        dram_read_bytes: (m * k + k * n) * elem_bytes,
+        dram_write_bytes: m * n * 4,
+        l1_bytes: (m * k + k * n) * elem_bytes * 2,
+        shared_bytes: 0,
+        kernel_launches: 1,
+    }
+}
+
+/// Minimal-work counters for a dense convolutional layer
+/// (N×H×W×Cin, 3×3, Cout = Cin).
+#[must_use]
+pub fn conv_layer_minimal(n: u64, h: u64, w: u64, c: u64, tensor: bool) -> CostCounters {
+    let fmas = n * h * w * c * c * 9;
+    CostCounters {
+        tensor_fmas: if tensor { fmas } else { 0 },
+        cuda_flops: if tensor { 0 } else { 2 * fmas },
+        dram_read_bytes: n * h * w * c * 2 + c * c * 9 * 2,
+        dram_write_bytes: n * h * w * c * 2,
+        l1_bytes: n * h * w * c * 2 * 9,
+        shared_bytes: 0,
+        kernel_launches: 1,
+    }
+}
+
+/// Minimal-work counters for naive scaled-dot-product attention
+/// (batch `n`, length `l`, head dim `d`): QKᵀ, softmax, PV.
+#[must_use]
+pub fn attention_minimal(n: u64, l: u64, d: u64, tensor: bool, fused: bool) -> CostCounters {
+    let gemm_fmas = 2 * n * l * l * d; // QK^T and PV
+    let softmax_flops = 5 * n * l * l;
+    // The L×L score matrix spills to DRAM in the unfused implementation.
+    let scores_bytes = n * l * l * 4;
+    CostCounters {
+        tensor_fmas: if tensor { gemm_fmas } else { 0 },
+        cuda_flops: softmax_flops + if tensor { 0 } else { 2 * gemm_fmas },
+        dram_read_bytes: 3 * n * l * d * 2 + if fused { 0 } else { 2 * scores_bytes },
+        dram_write_bytes: n * l * d * 4 + if fused { 0 } else { scores_bytes },
+        l1_bytes: 3 * n * l * d * 2 + 3 * scores_bytes,
+        shared_bytes: 0,
+        kernel_launches: if fused { 1 } else { 4 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cublas_beats_pytorch_on_gemm() {
+        let d = DeviceProfile::a100();
+        let c = gemm_minimal(1024, 1024, 1024, true, 2);
+        let cublas = baseline_time(&c, &d, CUBLASLT);
+        let torch = baseline_time(&c, &d, PYTORCH);
+        assert!(cublas.total_s < torch.total_s);
+    }
+
+    #[test]
+    fn fig4_gemm_cublas_close_to_paper() {
+        // Paper: cuBLASLt 1024^3 f16 GEMM on A100 = 0.04 ms.
+        let d = DeviceProfile::a100();
+        let c = gemm_minimal(1024, 1024, 1024, true, 2);
+        let t = baseline_time(&c, &d, CUBLASLT).millis();
+        assert!((0.01..0.1).contains(&t), "{t} ms");
+    }
+
+    #[test]
+    fn unfused_attention_pays_for_score_spills() {
+        let fused = attention_minimal(64, 4096, 64, true, true);
+        let unfused = attention_minimal(64, 4096, 64, true, false);
+        assert!(unfused.dram_bytes() > 2 * fused.dram_bytes());
+        assert_eq!(unfused.kernel_launches, 4);
+    }
+}

@@ -1,0 +1,156 @@
+//! GEMM on Tensor Cores (paper §IV): f16 MatMul through the full pipeline,
+//! tiled into `m16n16k16` WMMA operations.
+
+use hb_accel::counters::CostCounters;
+use hb_ir::types::{MemoryType, ScalarType};
+use hb_lang::ast::{cast_f32, hf, hv, Func, ImageParam, Pipeline, RDom};
+
+use crate::harness::{compile_and_run, test_data, RunResult};
+use crate::reference;
+
+/// GEMM sizes (multiples of 16).
+#[derive(Debug, Clone, Copy)]
+pub struct GemmWmma {
+    /// Rows of A / C.
+    pub m: i64,
+    /// Reduction extent.
+    pub k: i64,
+    /// Columns of B / C.
+    pub n: i64,
+}
+
+impl GemmWmma {
+    /// Builds the pipeline (tensor-core schedule; `tensor_cores = false`
+    /// keeps the same tiling on CUDA cores).
+    #[must_use]
+    pub fn pipeline(&self, tensor_cores: bool) -> Pipeline {
+        assert!(self.m % 16 == 0 && self.k % 16 == 0 && self.n % 16 == 0);
+        let a_img = ImageParam::new("A", ScalarType::F16, &[self.k, self.m]);
+        let b_img = ImageParam::new("B", ScalarType::F16, &[self.n, self.k]);
+
+        let mm = Func::new("mm", &["y", "x"], ScalarType::F32);
+        mm.define(hf(0.0));
+        mm.update_add(
+            cast_f32(a_img.at(&[hv("r"), hv("x")])) * cast_f32(b_img.at(&[hv("y"), hv("r")])),
+            &RDom::new("r", 0, self.k),
+        );
+        let out = Func::new("out", &["y", "x"], ScalarType::F32);
+        out.define(mm.at(&[hv("y"), hv("x")]));
+        out.bound("y", 0, self.n).bound("x", 0, self.m);
+        out.stage_init(|s| {
+            s.split("y", "yo", "yi", 16)
+                .split("x", "xo", "xi", 16)
+                .reorder(&["yi", "xi", "yo", "xo"])
+                .vectorize("yi")
+                .vectorize("xi")
+                .gpu_blocks("xo");
+        });
+        mm.compute_at(&out, "xo");
+        if tensor_cores {
+            mm.store_in(MemoryType::WmmaAccumulator);
+        } else {
+            mm.store_in(MemoryType::Stack);
+        }
+        mm.stage_init(|s| {
+            s.split("y", "iyo", "iyi", 16)
+                .reorder(&["iyi", "x", "iyo"])
+                .vectorize("iyi")
+                .vectorize("x");
+        });
+        mm.stage_update(|s| {
+            s.split("r", "ro", "ri", 16)
+                .split("y", "uyo", "uyi", 16)
+                .reorder(&["ri", "uyi", "x", "ro", "uyo"])
+                .atomic()
+                .vectorize("ri")
+                .vectorize("uyi")
+                .vectorize("x");
+        });
+        Pipeline::new(&out, &[&mm], &[&a_img, &b_img])
+    }
+
+    /// Deterministic inputs (logical row-major A, B — buffer layouts
+    /// coincide).
+    #[must_use]
+    pub fn inputs(&self) -> (Vec<f64>, Vec<f64>) {
+        (
+            test_data((self.m * self.k) as usize, 51),
+            test_data((self.k * self.n) as usize, 53),
+        )
+    }
+
+    /// Runs one schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics on failure.
+    #[must_use]
+    pub fn run(&self, tensor_cores: bool) -> RunResult {
+        let p = self.pipeline(tensor_cores);
+        let (a, b) = self.inputs();
+        compile_and_run(&p, true, &[("A", &a), ("B", &b)]).expect("gemm run")
+    }
+
+    /// Reference output (row-major M×N).
+    #[must_use]
+    pub fn reference(&self) -> Vec<f64> {
+        let (a, b) = self.inputs();
+        reference::matmul(&a, &b, self.m as usize, self.k as usize, self.n as usize)
+    }
+
+    /// Analytic counters for this tiling (validated against simulation in
+    /// the tests): one DRAM pass over A, B, C; every A tile re-read per
+    /// N-tile and B tile per M-tile through L1.
+    #[must_use]
+    pub fn analytic_counters(&self, tensor_cores: bool) -> CostCounters {
+        let (m, k, n) = (self.m as u64, self.k as u64, self.n as u64);
+        let fmas = m * k * n;
+        let l1 = (m * k * (n / 16) + k * n * (m / 16)) * 2 + m * n * 4 * 2;
+        CostCounters {
+            tensor_fmas: if tensor_cores { fmas } else { 0 },
+            cuda_flops: if tensor_cores { 0 } else { 2 * fmas },
+            dram_read_bytes: (m * k + k * n) * 2,
+            dram_write_bytes: m * n * 4,
+            l1_bytes: l1,
+            shared_bytes: 0,
+            kernel_launches: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::max_rel_error;
+
+    #[test]
+    fn wmma_gemm_lowers_and_matches() {
+        let app = GemmWmma { m: 32, k: 32, n: 32 };
+        let r = app.run(true);
+        assert!(r.selection.as_ref().unwrap().all_lowered());
+        assert_eq!(r.counters.tensor_fmas, (32 * 32 * 32) as u64);
+        let err = max_rel_error(&r.output, &app.reference());
+        assert!(err < 0.05, "rel err {err}");
+    }
+
+    #[test]
+    fn analytic_counters_match_simulation() {
+        let app = GemmWmma { m: 64, k: 32, n: 48 };
+        let sim = app.run(true).counters;
+        let model = app.analytic_counters(true);
+        assert_eq!(sim.tensor_fmas, model.tensor_fmas);
+        assert_eq!(sim.dram_read_bytes, model.dram_read_bytes);
+        assert_eq!(sim.dram_write_bytes, model.dram_write_bytes);
+        // L1 model is first-order: allow 50% slack for accumulator traffic.
+        let (a, b) = (sim.l1_bytes as f64, model.l1_bytes as f64);
+        assert!((a - b).abs() / b < 0.5, "sim {a} vs model {b}");
+    }
+
+    #[test]
+    fn cuda_gemm_matches_too() {
+        let app = GemmWmma { m: 32, k: 32, n: 32 };
+        let r = app.run(false);
+        assert_eq!(r.counters.tensor_fmas, 0);
+        assert!(max_rel_error(&r.output, &app.reference()) < 0.05);
+    }
+}

@@ -1,0 +1,157 @@
+//! Compile-and-run harness: lowers a pipeline, optionally runs HARDBOILED
+//! instruction selection, executes it on the simulator, and reports outputs,
+//! cost counters and runtime estimates.
+
+use hb_accel::counters::CostCounters;
+use hb_accel::device::DeviceProfile;
+use hb_accel::perf::{estimate, TimeEstimate};
+use hb_exec::buffer::{ExecError, ExecResult};
+use hb_exec::Interp;
+use hb_ir::types::MemoryType;
+use hb_lang::lower::{lower, Lowered};
+use hb_lang::Pipeline;
+use hardboiled::selector::{select, SelectionReport, SelectorConfig};
+
+use std::time::{Duration, Instant};
+
+/// Result of one compile+run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Output buffer contents.
+    pub output: Vec<f64>,
+    /// Cost counters of the simulated execution.
+    pub counters: CostCounters,
+    /// Instruction-selection report (empty if the selector was skipped).
+    pub selection: Option<SelectionReport>,
+    /// Wall-clock compile time (lowering + selection).
+    pub compile_time: Duration,
+}
+
+impl RunResult {
+    /// Roofline runtime estimate on a device.
+    #[must_use]
+    pub fn time_on(&self, device: &DeviceProfile) -> TimeEstimate {
+        estimate(&self.counters, device)
+    }
+}
+
+/// Compiles a pipeline (optionally through HARDBOILED) and executes it with
+/// the given inputs.
+///
+/// # Errors
+///
+/// Fails on lowering or execution errors.
+pub fn compile_and_run(
+    pipeline: &Pipeline,
+    use_selector: bool,
+    inputs: &[(&str, &[f64])],
+) -> ExecResult<RunResult> {
+    let started = Instant::now();
+    let lowered = lower(pipeline).map_err(|e| ExecError(e.to_string()))?;
+    let (stmt, selection) = if use_selector {
+        let (s, r) = select(
+            &lowered.stmt,
+            &lowered.placements,
+            &SelectorConfig::default(),
+        );
+        (s, Some(r))
+    } else {
+        (lowered.stmt.clone(), None)
+    };
+    let compile_time = started.elapsed();
+
+    let mut it = Interp::new();
+    alloc_io(&mut it, &lowered, inputs)?;
+    it.run_kernel(&stmt)?;
+    let output = it.mem.snapshot(&lowered.output_name)?;
+    Ok(RunResult {
+        output,
+        counters: it.counters(),
+        selection,
+        compile_time,
+    })
+}
+
+/// Lowers and selects without executing (for compile-time measurements,
+/// Fig. 6).
+///
+/// # Errors
+///
+/// Fails on lowering errors.
+pub fn compile_only(pipeline: &Pipeline) -> Result<(Lowered, SelectionReport), ExecError> {
+    let lowered = lower(pipeline).map_err(|e| ExecError(e.to_string()))?;
+    let (_, report) = select(
+        &lowered.stmt,
+        &lowered.placements,
+        &SelectorConfig::default(),
+    );
+    Ok((lowered, report))
+}
+
+fn alloc_io(it: &mut Interp, lowered: &Lowered, inputs: &[(&str, &[f64])]) -> ExecResult<()> {
+    for (name, elem, len) in &lowered.inputs {
+        let data: Vec<f64> = inputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.to_vec())
+            .unwrap_or_else(|| vec![0.0; *len as usize]);
+        if data.len() != *len as usize {
+            return Err(ExecError(format!(
+                "input {name}: expected {len} elements, got {}",
+                data.len()
+            )));
+        }
+        it.mem.alloc_init(name, *elem, MemoryType::Heap, &data)?;
+    }
+    it.mem.alloc(
+        &lowered.output_name,
+        lowered.output_elem,
+        lowered.output_len as usize,
+        MemoryType::Heap,
+    )?;
+    Ok(())
+}
+
+/// Maximum relative error between two buffers (denominator floored at 1).
+#[must_use]
+pub fn max_rel_error(got: &[f64], want: &[f64]) -> f64 {
+    got.iter()
+        .zip(want.iter())
+        .map(|(g, w)| (g - w).abs() / w.abs().max(1.0))
+        .fold(0.0, f64::max)
+}
+
+/// Deterministic pseudo-random test data in roughly `[-1, 1]`.
+#[must_use]
+pub fn test_data(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64).mul_add(2.0, -1.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_data_is_deterministic_and_bounded() {
+        let a = test_data(128, 42);
+        let b = test_data(128, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-1.0..=1.0).contains(v)));
+        let c = test_data(128, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn max_rel_error_basics() {
+        assert_eq!(max_rel_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!(max_rel_error(&[1.1], &[1.0]) > 0.09);
+    }
+}

@@ -1,0 +1,148 @@
+//! Analytic 2-D counters for the paper's Fig. 7/8 microbenchmarks.
+//!
+//! The 1-D pipelines in [`crate::conv2d`] and [`crate::resample_int`] are
+//! executed in full through HARDBOILED and validated against references;
+//! the paper's *microbenchmark tables*, however, use 2-D k×k kernels on
+//! 4096²-scale images, which is too large to simulate lane-by-lane. This
+//! module scales the validated per-element costs analytically.
+//!
+//! Calibration constants (each fit once, then reused for every row —
+//! see EXPERIMENTS.md):
+//! * `CUDA_CONV_DERATE` — achieved CUDA-core FMA issue on scalar gather
+//!   convolution inner loops (~29%),
+//! * `TOEPLITZ_REDUNDANCY` — extra tensor FLOPs from the Toeplitz
+//!   transformation (2× for dense conv, 4× for the half-empty strided
+//!   tiles of downsampling, matching the simulated 1-D counters),
+//! * `INTERLEAVE_TRAFFIC` — extra memory traffic of the phase-interleaved
+//!   upsample stores (uncoalesced writes).
+
+use hb_accel::counters::CostCounters;
+
+/// Achieved-issue derate for scalar convolution loops on CUDA cores.
+pub const CUDA_CONV_DERATE: u64 = 3;
+/// Achieved-issue derate for strided (resampling) gather loops.
+pub const CUDA_RESAMPLE_DERATE: u64 = 5;
+/// Toeplitz FLOP redundancy for dense convolution (from the validated 1-D
+/// simulation: k taps become a 2k-deep reduction).
+pub const TOEPLITZ_REDUNDANCY: u64 = 2;
+/// Toeplitz FLOP redundancy for stride-2 tiles (half the tile columns carry
+/// incomplete sums; from the validated 1-D simulation).
+pub const STRIDED_REDUNDANCY: u64 = 4;
+/// Extra DRAM traffic factor for phase-interleaved upsample stores.
+pub const INTERLEAVE_TRAFFIC: u64 = 3;
+
+fn base(out_px: u64, taps: u64, in_bytes: u64, out_bytes: u64) -> (u64, u64, u64) {
+    let fmas = out_px * taps;
+    (fmas, in_bytes, out_bytes)
+}
+
+/// 2-D convolution on a 4096² f16 image with a k×k kernel.
+#[must_use]
+pub fn conv2d_counters(k: u64, tensor_cores: bool) -> CostCounters {
+    let n = 4096u64 * 4096;
+    let (fmas, input, output) = base(n, k * k, n * 2, n * 4);
+    CostCounters {
+        tensor_fmas: if tensor_cores { fmas * TOEPLITZ_REDUNDANCY } else { 0 },
+        cuda_flops: if tensor_cores { 0 } else { 2 * fmas * CUDA_CONV_DERATE },
+        dram_read_bytes: input + k * k * 2,
+        dram_write_bytes: output,
+        l1_bytes: input * 2 * if tensor_cores { 2 } else { k } + output,
+        shared_bytes: 0,
+        kernel_launches: 1,
+    }
+}
+
+/// 2-D downsampling by 2 of a 4096² f16 image with a k×k kernel.
+#[must_use]
+pub fn downsample_counters(k: u64, tensor_cores: bool) -> CostCounters {
+    let n_in = 4096u64 * 4096;
+    let n_out = n_in / 4;
+    let (fmas, input, output) = base(n_out, k * k, n_in * 2, n_out * 4);
+    CostCounters {
+        tensor_fmas: if tensor_cores { fmas * STRIDED_REDUNDANCY } else { 0 },
+        cuda_flops: if tensor_cores {
+            0
+        } else {
+            2 * fmas * CUDA_RESAMPLE_DERATE
+        },
+        dram_read_bytes: input + k * k * 2,
+        dram_write_bytes: output,
+        l1_bytes: input * 2 + output,
+        shared_bytes: 0,
+        kernel_launches: 1,
+    }
+}
+
+/// 2-D upsampling by 2 of a 2048² f16 image with a k×k kernel
+/// (k/2 taps per phase in each axis).
+#[must_use]
+pub fn upsample_counters(k: u64, tensor_cores: bool) -> CostCounters {
+    let n_in = 2048u64 * 2048;
+    let n_out = n_in * 4;
+    let taps = (k / 2) * (k / 2);
+    let (fmas, input, output) = base(n_out, taps, n_in * 2, n_out * 4);
+    CostCounters {
+        tensor_fmas: if tensor_cores { fmas } else { 0 },
+        cuda_flops: if tensor_cores {
+            0
+        } else {
+            2 * fmas * CUDA_RESAMPLE_DERATE
+        },
+        dram_read_bytes: input * INTERLEAVE_TRAFFIC + k * k * 2,
+        dram_write_bytes: output * INTERLEAVE_TRAFFIC / 2,
+        l1_bytes: (input + output) * 2,
+        shared_bytes: 0,
+        kernel_launches: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_accel::device::DeviceProfile;
+    use hb_accel::perf::estimate;
+
+    #[test]
+    fn redundancy_constants_match_simulated_1d_pipelines() {
+        // The 2x dense-Toeplitz and 4x strided-Toeplitz factors are not
+        // free parameters: they equal what the full pipelines measure.
+        let conv = crate::conv1d::Conv1d { n: 512, k: 16 };
+        let r = conv.run(true);
+        assert_eq!(
+            r.counters.tensor_fmas,
+            (conv.n * conv.k) as u64 * TOEPLITZ_REDUNDANCY
+        );
+        let down = crate::resample_int::Downsample { n: 256, k: 8 };
+        let r = down.run(true);
+        assert_eq!(
+            r.counters.tensor_fmas,
+            (down.n * down.k) as u64 * STRIDED_REDUNDANCY
+        );
+    }
+
+    #[test]
+    fn fig7_fig8_shapes_hold() {
+        // Who wins and roughly by how much, per the paper's Figs. 7/8.
+        let d = DeviceProfile::rtx4070_super();
+        for (k, conv_lo, conv_hi) in [(16u64, 2.0, 5.0), (32, 2.0, 4.5)] {
+            let s = |tc: CostCounters, cu: CostCounters| {
+                estimate(&cu, &d).total_s / estimate(&tc, &d).total_s
+            };
+            let conv = s(conv2d_counters(k, true), conv2d_counters(k, false));
+            assert!(
+                (conv_lo..conv_hi).contains(&conv),
+                "conv2d k={k} speedup {conv}"
+            );
+            let down = s(downsample_counters(k, true), downsample_counters(k, false));
+            assert!(down > 1.5, "downsample k={k} speedup {down}");
+            let up = s(upsample_counters(k, true), upsample_counters(k, false));
+            assert!(up > 1.2, "upsample k={k} speedup {up}");
+            // Downsampling benefits more than upsampling at k=16 (paper
+            // ordering; at k=32 our model's upsample gains more because its
+            // CUDA path goes compute-bound first — noted in EXPERIMENTS.md).
+            if k == 16 {
+                assert!(down > up, "k={k}: down {down} vs up {up}");
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Pure-Rust reference implementations used to validate every pipeline.
+
+/// `C[m×n] = A[m×k] · B[k×n]`, row-major.
+#[must_use]
+pub fn matmul(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut c = vec![0.0; m * n];
+    for mi in 0..m {
+        for ni in 0..n {
+            let mut acc = 0.0;
+            for ki in 0..k {
+                acc += a[mi * k + ki] * b[ki * n + ni];
+            }
+            c[mi * n + ni] = acc;
+        }
+    }
+    c
+}
+
+/// 1-D convolution `O(x) = Σ_r I(x+r)·K(r)` for `x ∈ [0, n)`.
+#[must_use]
+pub fn conv1d(input: &[f64], kernel: &[f64], n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|x| kernel.iter().enumerate().map(|(r, k)| input[x + r] * k).sum())
+        .collect()
+}
+
+/// 2-D convolution `O(x,y) = Σ I(x+rx, y+ry)·K(rx, ry)` over an
+/// `(width+kw)×(height+kh)` input, row length `width + kw`.
+#[must_use]
+pub fn conv2d(
+    input: &[f64],
+    kernel: &[f64],
+    width: usize,
+    height: usize,
+    kw: usize,
+    kh: usize,
+) -> Vec<f64> {
+    let in_w = width + kw;
+    let mut out = vec![0.0; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let mut acc = 0.0;
+            for ry in 0..kh {
+                for rx in 0..kw {
+                    acc += input[(y + ry) * in_w + x + rx] * kernel[ry * kw + rx];
+                }
+            }
+            out[y * width + x] = acc;
+        }
+    }
+    out
+}
+
+/// 1-D downsampling by 2 (strided convolution): `O(x) = Σ_r I(2x+r)·K(r)`.
+#[must_use]
+pub fn downsample2(input: &[f64], kernel: &[f64], n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|x| {
+            kernel
+                .iter()
+                .enumerate()
+                .map(|(r, k)| input[2 * x + r] * k)
+                .sum()
+        })
+        .collect()
+}
+
+/// 1-D upsampling by 2 as a multiphase filter over a phase-major kernel
+/// `Kp[d + 2r] = K(2r + d)`:
+/// `O(x) = Σ_r I(x/2 + r) · Kp[(x%2) + 2r]`.
+#[must_use]
+pub fn upsample2(input: &[f64], kphase: &[f64], n: usize) -> Vec<f64> {
+    let taps = kphase.len() / 2;
+    (0..n)
+        .map(|x| {
+            (0..taps)
+                .map(|r| input[x / 2 + r] * kphase[(x % 2) + 2 * r])
+                .sum()
+        })
+        .collect()
+}
+
+/// Second-order recursive filter `y_t = x_t + a·y_{t-1} + b·y_{t-2}`.
+#[must_use]
+pub fn recursive_filter(x: &[f64], a: f64, b: f64) -> Vec<f64> {
+    let mut y = vec![0.0; x.len()];
+    for t in 0..x.len() {
+        let y1 = if t >= 1 { y[t - 1] } else { 0.0 };
+        let y2 = if t >= 2 { y[t - 2] } else { 0.0 };
+        y[t] = x[t] + a * y1 + b * y2;
+    }
+    y
+}
+
+/// The `N`-point DCT-II matrix (orthonormal), row-major `N×N`.
+#[must_use]
+pub fn dct_matrix(n: usize) -> Vec<f64> {
+    let mut m = vec![0.0; n * n];
+    for k in 0..n {
+        let scale = if k == 0 {
+            (1.0 / n as f64).sqrt()
+        } else {
+            (2.0 / n as f64).sqrt()
+        };
+        for j in 0..n {
+            m[k * n + j] =
+                scale * (std::f64::consts::PI / n as f64 * (j as f64 + 0.5) * k as f64).cos();
+        }
+    }
+    m
+}
+
+/// Three-lobed Lanczos kernel `sinc(x)·sinc(x/3)` on `[-3, 3]`.
+#[must_use]
+pub fn lanczos3(x: f64) -> f64 {
+    if x.abs() >= 3.0 {
+        return 0.0;
+    }
+    if x.abs() < 1e-9 {
+        return 1.0;
+    }
+    let sinc = |v: f64| (std::f64::consts::PI * v).sin() / (std::f64::consts::PI * v);
+    sinc(x) * sinc(x / 3.0)
+}
+
+/// Dense resampling of a length-`n_in` signal to `n_out` samples using a
+/// normalized Lanczos-3 pre-filter scaled for the downsampling ratio.
+#[must_use]
+pub fn lanczos_resample(input: &[f64], n_out: usize) -> Vec<f64> {
+    let n_in = input.len();
+    let ratio = n_in as f64 / n_out as f64;
+    (0..n_out)
+        .map(|o| {
+            let center = (o as f64 + 0.5) * ratio - 0.5;
+            let radius = 3.0 * ratio;
+            let lo = (center - radius).floor().max(0.0) as usize;
+            let hi = ((center + radius).ceil() as usize).min(n_in - 1);
+            let mut acc = 0.0;
+            let mut wsum = 0.0;
+            for i in lo..=hi {
+                let w = lanczos3((i as f64 - center) / ratio);
+                acc += w * input[i];
+                wsum += w;
+            }
+            if wsum.abs() > 1e-12 {
+                acc / wsum
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let n = 4;
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let a: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+        assert_eq!(matmul(&a, &eye, n, n, n), a);
+        assert_eq!(matmul(&eye, &a, n, n, n), a);
+    }
+
+    #[test]
+    fn conv1d_box_filter() {
+        let input: Vec<f64> = (0..10).map(f64::from).collect();
+        let out = conv1d(&input, &[1.0, 1.0], 8);
+        for (x, v) in out.iter().enumerate() {
+            assert_eq!(*v, (2 * x + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn conv2d_matches_separable_product() {
+        // Separable kernel k(x)·k(y) must equal row conv then column conv.
+        let (w, h, kw, kh) = (6, 5, 3, 3);
+        let input: Vec<f64> = (0..(w + kw) * (h + kh)).map(|i| ((i * 7) % 11) as f64).collect();
+        let kx = [1.0, 2.0, 1.0];
+        let kernel: Vec<f64> = (0..kh)
+            .flat_map(|ry| (0..kw).map(move |rx| kx[ry] * kx[rx]))
+            .collect();
+        let direct = conv2d(&input, &kernel, w, h, kw, kh);
+        // Manual separable computation.
+        let in_w = w + kw;
+        let mut rows = vec![0.0; in_w * h];
+        #[allow(clippy::needless_range_loop)]
+        for y in 0..h {
+            for x in 0..in_w {
+                let mut acc = 0.0;
+                for ry in 0..kh {
+                    acc += input[(y + ry) * in_w + x] * kx[ry];
+                }
+                rows[y * in_w + x] = acc;
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let want: f64 = (0..kw).map(|rx| rows[y * in_w + x + rx] * kx[rx]).sum();
+                let got = direct[y * w + x];
+                assert!((got - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn downsample_skips_odd_samples() {
+        let input: Vec<f64> = (0..20).map(f64::from).collect();
+        let out = downsample2(&input, &[1.0], 8);
+        assert_eq!(out, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn upsample_interleaves_phases() {
+        // Kp = [1, 0.5] (phase 0 tap = 1, phase 1 tap = 0.5), one tap.
+        let input: Vec<f64> = (0..8).map(f64::from).collect();
+        let out = upsample2(&input, &[1.0, 0.5], 8);
+        assert_eq!(out, vec![0.0, 0.0, 1.0, 0.5, 2.0, 1.0, 3.0, 1.5]);
+    }
+
+    #[test]
+    fn recursive_filter_impulse_response() {
+        let mut x = vec![0.0; 6];
+        x[0] = 1.0;
+        let y = recursive_filter(&x, 0.5, 0.25);
+        assert_eq!(y[0], 1.0);
+        assert_eq!(y[1], 0.5);
+        assert_eq!(y[2], 0.5 * 0.5 + 0.25);
+        assert!((y[3] - (0.5 * y[2] + 0.25 * y[1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dct_matrix_is_orthonormal() {
+        let n = 16;
+        let d = dct_matrix(n);
+        let mut dt = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                dt[j * n + i] = d[i * n + j];
+            }
+        }
+        let prod = matmul(&d, &dt, n, n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let want = f64::from(u8::from(i == j));
+                assert!((prod[i * n + j] - want).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn lanczos_kernel_properties() {
+        assert!((lanczos3(0.0) - 1.0).abs() < 1e-12);
+        assert_eq!(lanczos3(3.0), 0.0);
+        assert_eq!(lanczos3(-3.5), 0.0);
+        assert!((lanczos3(1.0)).abs() < 1e-9, "zeros at integers");
+    }
+
+    #[test]
+    fn resample_preserves_constants() {
+        let input = vec![5.0; 200];
+        let out = lanczos_resample(&input, 45);
+        for v in out {
+            assert!((v - 5.0).abs() < 1e-9);
+        }
+    }
+}

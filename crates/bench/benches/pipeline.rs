@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the full compile pipeline: lowering, the
+//! HARDBOILED selector (equality saturation + extraction), and simulated
+//! execution — one per paper table/figure family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_apps::conv1d::Conv1d;
+use hb_apps::harness::{compile_and_run, compile_only};
+use hb_apps::matmul_amx::{AmxMatmul, Layout, Variant};
+
+fn bench_conv1d_compile(c: &mut Criterion) {
+    // Fig. 6's subject: HARDBOILED compile time for conv1d.
+    let app = Conv1d { n: 1024, k: 16 };
+    let p = app.pipeline(true);
+    c.bench_function("conv1d_compile_tc", |bench| {
+        bench.iter(|| compile_only(&p).unwrap());
+    });
+}
+
+fn bench_conv1d_end_to_end(c: &mut Criterion) {
+    // Fig. 5's subject: full compile + simulate.
+    let app = Conv1d { n: 512, k: 8 };
+    let p = app.pipeline(true);
+    let (i, k) = app.inputs();
+    c.bench_function("conv1d_compile_and_simulate", |bench| {
+        bench.iter(|| compile_and_run(&p, true, &[("I", &i), ("K", &k)]).unwrap());
+    });
+}
+
+fn bench_amx_matmul_selection(c: &mut Criterion) {
+    // Table I's subject: AMX MatMul selection (standard layout w/ swizzle).
+    let app = AmxMatmul::default();
+    c.bench_function("amx_matmul_select_standard", |bench| {
+        bench.iter(|| app.run(Layout::Standard, Variant::Reference).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_conv1d_compile, bench_conv1d_end_to_end, bench_amx_matmul_selection
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks of the substrates: the AMX/WMMA functional
+//! units, the e-graph engine, and the interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_accel::amx::{to_vnni, AmxUnit, TileDtype};
+use hb_accel::wmma::{Fragment, FragmentKind, MatrixLayout, TensorCoreUnit, WmmaShape};
+
+fn bench_amx_tdp(c: &mut Criterion) {
+    let a: Vec<f32> = (0..16 * 32).map(|i| (i % 7) as f32).collect();
+    let b: Vec<f32> = (0..32 * 16).map(|i| (i % 5) as f32).collect();
+    let bv = to_vnni(&b, 32, 16);
+    c.bench_function("amx_tdpbf16ps_16x32x16", |bench| {
+        let mut amx = AmxUnit::new();
+        amx.configure(0, 16, 16, TileDtype::F32).unwrap();
+        amx.configure(1, 16, 32, TileDtype::Bf16).unwrap();
+        amx.configure(2, 16, 32, TileDtype::Bf16).unwrap();
+        amx.tileload(1, &a, 32).unwrap();
+        amx.tileload(2, &bv, 32).unwrap();
+        bench.iter(|| {
+            amx.tilezero(0).unwrap();
+            amx.tdpbf16ps(0, 1, 2).unwrap();
+        });
+    });
+}
+
+fn bench_wmma_mma(c: &mut Criterion) {
+    let shape = WmmaShape::M16N16K16;
+    let a: Vec<f32> = (0..256).map(|i| (i % 9) as f32 * 0.25).collect();
+    let mut fa = Fragment::new(FragmentKind::MatrixA, shape).unwrap();
+    let mut fb = Fragment::new(FragmentKind::MatrixB, shape).unwrap();
+    let mut acc = Fragment::new(FragmentKind::Accumulator, shape).unwrap();
+    fa.load(&a, 16, MatrixLayout::RowMajor).unwrap();
+    fb.load(&a, 16, MatrixLayout::RowMajor).unwrap();
+    acc.fill(0.0);
+    c.bench_function("wmma_mma_sync_m16n16k16", |bench| {
+        let mut unit = TensorCoreUnit::new();
+        bench.iter(|| {
+            let prev = acc.clone();
+            unit.mma_sync(&mut acc, &fa, &fb, &prev).unwrap();
+        });
+    });
+}
+
+fn bench_egraph_saturation(c: &mut Criterion) {
+    use hb_egraph::egraph::EGraph;
+    use hb_egraph::math_lang::{n, pdiv, pmul, pvar, Math};
+    use hb_egraph::rewrite::Rewrite;
+    use hb_egraph::schedule::Runner;
+    c.bench_function("egraph_fig1_saturation", |bench| {
+        bench.iter(|| {
+            let mut eg = EGraph::<Math>::new();
+            let a = eg.add(Math::Sym("a".into()));
+            let two = eg.add(Math::Num(2));
+            let m = eg.add(Math::Mul([a, two]));
+            let _d = eg.add(Math::Div([m, two]));
+            let rules = vec![
+                Rewrite::rewrite(
+                    "assoc",
+                    pdiv(pmul(pvar("a"), pvar("b")), pvar("c")),
+                    pmul(pvar("a"), pdiv(pvar("b"), pvar("c"))),
+                ),
+                Rewrite::rewrite("div-self", pdiv(n(2), n(2)), n(1)),
+                Rewrite::rewrite("mul-one", pmul(pvar("a"), n(1)), pvar("a")),
+            ];
+            Runner::default().run_to_fixpoint(&mut eg, &rules)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_amx_tdp, bench_wmma_mma, bench_egraph_saturation
+}
+criterion_main!(benches);

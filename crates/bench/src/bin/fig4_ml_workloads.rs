@@ -1,0 +1,68 @@
+//! Fig. 4: ML-workload performance on the A100 — HARDBOILED's Tensor Core
+//! schedules vs CUDA-only Halide vs modeled vendor baselines.
+
+use hb_accel::device::DeviceProfile;
+use hb_accel::perf::{estimate, theoretical_peak};
+use hb_apps::baselines::{
+    attention_minimal, baseline_time, conv_layer_minimal, gemm_minimal, COMPOSED, CUBLASLT,
+    CUDNN, PYTORCH, VENDOR_CUDA_ONLY,
+};
+use hb_apps::gemm_wmma::GemmWmma;
+use hb_bench::fmt_ms;
+
+fn main() {
+    let d = DeviceProfile::a100();
+    println!("FIG 4 — ML workloads, {}\n", d.name);
+
+    // --- GEMM 1024^3 (validated analytic counters from the real pipeline).
+    let g = GemmWmma { m: 1024, k: 1024, n: 1024 };
+    let tc = estimate(&g.analytic_counters(true), &d);
+    let cuda = estimate(&g.analytic_counters(false), &d);
+    let peak = theoretical_peak(1 << 30, 3 * (1 << 21), &d, true);
+    println!("MatMul 1024^3 (f16):");
+    println!("  theoretical peak       {}", fmt_ms(&peak));
+    println!("  Halide (Tensor Cores)  {}", fmt_ms(&tc));
+    println!("  Halide (CUDA-only)     {}", fmt_ms(&cuda));
+    println!(
+        "  cuBLASLt               {}",
+        fmt_ms(&baseline_time(&gemm_minimal(1024, 1024, 1024, true, 2), &d, CUBLASLT))
+    );
+    println!(
+        "  cuBLASLt (CUDA-only)   {}",
+        fmt_ms(&baseline_time(&gemm_minimal(1024, 1024, 1024, false, 2), &d, VENDOR_CUDA_ONLY))
+    );
+    println!("  paper: 0.01 peak / 0.07 TC / 0.2 CUDA / 0.04 cuBLASLt / 0.2 (ms)\n");
+
+    // --- Conv layer 4096x64x64 at 16 and 32 channels.
+    for c in [16u64, 32] {
+        let work = conv_layer_minimal(4096, 64, 64, c, true);
+        let work_cuda = conv_layer_minimal(4096, 64, 64, c, false);
+        // Halide TC achieves ~55% of roofline on this shape (same counter
+        // structure as the validated GEMM tiling, extra im2col traffic).
+        let tc = hb_accel::perf::estimate_with_efficiency(&work, &d, 0.55);
+        let cuda = estimate(&work_cuda, &d);
+        println!("Conv layer ({c} channels):");
+        println!("  theoretical peak       {}", fmt_ms(&estimate(&work, &d)));
+        println!("  Halide (Tensor Cores)  {}", fmt_ms(&tc));
+        println!("  Halide (CUDA-only)     {}", fmt_ms(&cuda));
+        println!("  PyTorch                {}", fmt_ms(&baseline_time(&work, &d, PYTORCH)));
+        println!("  cuDNN                  {}", fmt_ms(&baseline_time(&work, &d, CUDNN)));
+        if c == 16 {
+            println!("  paper: 0.8 peak / 1.1 TC / 3.9 CUDA / 3.9 PyTorch / 1.6 cuDNN (ms)\n");
+        } else {
+            println!("  paper: 1.7 peak / 5.3 TC / 17.6 CUDA / 6.6 PyTorch / 3.0 cuDNN (ms)\n");
+        }
+    }
+
+    // --- Attention N=64, L=4096, D=64.
+    let att = attention_minimal(64, 4096, 64, true, false);
+    let att_cuda = attention_minimal(64, 4096, 64, false, false);
+    let tc = hb_accel::perf::estimate_with_efficiency(&att, &d, 0.45);
+    println!("Attention (N=64, L=4096, D=64), naive unfused:");
+    println!("  theoretical peak       {}", fmt_ms(&estimate(&attention_minimal(64, 4096, 64, true, true), &d)));
+    println!("  Halide (Tensor Cores)  {}", fmt_ms(&tc));
+    println!("  Halide (CUDA-only)     {}", fmt_ms(&estimate(&att_cuda, &d)));
+    println!("  PyTorch                {}", fmt_ms(&baseline_time(&att, &d, PYTORCH)));
+    println!("  Composed (cuBLAS+cuDNN){}", fmt_ms(&baseline_time(&att, &d, COMPOSED)));
+    println!("  paper: 0.9 peak / 27.8 TC / 33.6 CUDA / 33.6 PyTorch / 20.8 composed (ms)");
+}

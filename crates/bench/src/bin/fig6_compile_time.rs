@@ -1,0 +1,25 @@
+//! Fig. 6: kernel compilation time for 1-D convolution — total pipeline
+//! time and the share spent inside equality saturation (the paper's
+//! egglog series). Larger kernels unroll into more statements.
+
+use hb_apps::conv1d::Conv1d;
+use hb_apps::harness::compile_only;
+
+fn main() {
+    println!("FIG 6 — Conv1D compile time (this machine, wall clock)\n");
+    println!("{:>5} {:>14} {:>14} {:>7}", "k", "eqsat (ms)", "total (ms)", "stmts");
+    for k in [8i64, 32, 56, 96, 160, 256] {
+        let app = Conv1d { n: 4096, k };
+        let p = app.pipeline_tc_unrolled();
+        let (_, report) = compile_only(&p).expect("compile");
+        println!(
+            "{:>5} {:>14.2} {:>14.2} {:>7}",
+            k,
+            report.eqsat_time.as_secs_f64() * 1e3,
+            report.total_time.as_secs_f64() * 1e3,
+            report.num_statements(),
+        );
+    }
+    println!("\npaper shape: EqSat dominates compile time and grows with k,");
+    println!("but stays manageable (seconds at k=256).");
+}

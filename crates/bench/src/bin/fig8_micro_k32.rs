@@ -1,0 +1,6 @@
+//! Fig. 8: microbenchmarks (conv2d / downsample / upsample) at kernel
+//! size 32 on the RTX 4070 SUPER.
+
+fn main() {
+    hb_bench::micro::run(32);
+}

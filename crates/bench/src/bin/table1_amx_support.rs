@@ -1,0 +1,18 @@
+//! Table I: support for MatMul schedules from Intel's Optimization Reference
+//! Manual, per B-matrix layout, determined by actually running HARDBOILED.
+
+use hb_apps::matmul_amx::table1;
+
+fn main() {
+    println!("TABLE I — Support for MatMul schedules (VNNI / Standard layouts)");
+    println!("{:<24} {:>6} {:>10}", "Implementation", "VNNI", "Standard");
+    for row in table1() {
+        println!(
+            "{:<24} {:>6} {:>10}",
+            row.variant.name(),
+            if row.vnni { "OK" } else { "x" },
+            if row.standard { "OK" } else { "x" },
+        );
+    }
+    println!("\npaper: all OK except Preload-B/Standard and Software pipelining (both x)");
+}

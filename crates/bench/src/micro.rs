@@ -1,0 +1,36 @@
+//! Shared driver for the Fig. 7/8 microbenchmark tables.
+
+use hb_accel::device::DeviceProfile;
+use hb_accel::perf::estimate;
+use hb_apps::micro2d::{conv2d_counters, downsample_counters, upsample_counters};
+
+use crate::fmt_ms;
+
+/// Prints one microbenchmark table for kernel size `k`.
+pub fn run(k: i64) {
+    let d = DeviceProfile::rtx4070_super();
+    println!(
+        "FIG {} — Microbenchmarks, kernel size {k}, {}\n",
+        if k == 16 { 7 } else { 8 },
+        d.name
+    );
+    println!("{:>12} {:>16} {:>16} {:>9}", "benchmark", "TensorCores", "CUDA-only", "speedup");
+    let k = k as u64;
+    let rows = vec![
+        ("Conv2d", conv2d_counters(k, true), conv2d_counters(k, false)),
+        ("Downsample", downsample_counters(k, true), downsample_counters(k, false)),
+        ("Upsample", upsample_counters(k, true), upsample_counters(k, false)),
+    ];
+    for (name, tc, cuda) in rows {
+        let t_tc = estimate(&tc, &d);
+        let t_cuda = estimate(&cuda, &d);
+        println!(
+            "{:>12} {:>16} {:>16} {:>8.2}x",
+            name,
+            fmt_ms(&t_tc),
+            fmt_ms(&t_cuda),
+            t_cuda.total_s / t_tc.total_s
+        );
+    }
+    println!("\npaper: conv2d 3.1x/2.4x, downsample 4.6x/6.1x, upsample 1.4x/2.9x (k=16/k=32)");
+}

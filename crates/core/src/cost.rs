@@ -1,0 +1,74 @@
+//! The extraction cost model (paper §III-D3).
+//!
+//! AST size, with one twist: residual `loc_to_loc` data-movement nodes are
+//! heavily penalized. A movement that was not absorbed into an accelerator
+//! intrinsic means the schedule's placement request was not honored, so the
+//! extractor prefers any lowered form; if none exists the movement survives
+//! and the selector reports the statement as not lowered (the "miss" of the
+//! paper's hit-or-miss framing).
+
+use hb_egraph::extract::CostFunction;
+use hb_egraph::language::Language;
+use hb_egraph::unionfind::Id;
+
+use crate::lang::HbLang;
+
+/// Cost of an unabsorbed data-movement node.
+pub const MOVEMENT_PENALTY: u64 = 10_000;
+
+/// The HARDBOILED cost function.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HbCost;
+
+impl CostFunction<HbLang> for HbCost {
+    fn cost(&self, node: &HbLang, child_cost: &mut dyn FnMut(Id) -> u64) -> u64 {
+        let own = match node {
+            HbLang::Loc(..) => MOVEMENT_PENALTY,
+            // Intrinsic calls are single instructions; keep them competitive
+            // with the vector soup they replace.
+            HbLang::Call(..) => 2,
+            _ => 1,
+        };
+        let mut total = own;
+        for &c in node.children() {
+            total = total.saturating_add(child_cost(c));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_expr;
+    use crate::lang::HbGraph;
+    use hb_egraph::extract::Extractor;
+    use hb_ir::builder as b;
+    use hb_ir::types::Type;
+
+    #[test]
+    fn movements_dominate_cost() {
+        let mut eg = HbGraph::default();
+        let id = encode_expr(&mut eg, &b::mem_to_amx(b::bcast(b::flt(0.0), 4)));
+        let ex = Extractor::new(&eg, HbCost);
+        assert!(ex.cost_of(id).unwrap() >= MOVEMENT_PENALTY);
+    }
+
+    #[test]
+    fn lowered_forms_win_extraction() {
+        let mut eg = HbGraph::default();
+        let moved = encode_expr(&mut eg, &b::mem_to_amx(b::bcast(b::flt(0.0), 512)));
+        let call = encode_expr(
+            &mut eg,
+            &b::call(Type::f32().with_lanes(512), "tile_zero", vec![]),
+        );
+        eg.union(moved, call);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, HbCost);
+        let term = ex.extract(moved);
+        assert_eq!(
+            crate::decode::decode_expr(&term).unwrap(),
+            b::call(Type::f32().with_lanes(512), "tile_zero", vec![]),
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! The HARDBOILED e-graph language (paper Fig. 9) and its e-class analysis.
+//!
+//! Literal integers ([`HbLang::Num`]) and buffer names ([`HbLang::Str`]) are
+//! e-nodes rather than payloads, exactly as in egglog, so pattern variables
+//! can bind lane counts and rule actions can compute new ones (the
+//! `MultiplyLanes` idiom of the paper's supporting rules).
+
+use hb_egraph::egraph::{Analysis, EGraph};
+use hb_egraph::language::Language;
+use hb_egraph::unionfind::Id;
+use hb_ir::expr::BinOp;
+use hb_ir::types::{Location, ScalarType};
+
+/// E-nodes of the HARDBOILED internal representation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HbLang {
+    /// Integer literal.
+    Num(i64),
+    /// Float literal (bits) with element type.
+    Flt(u64, ScalarType),
+    /// String literal: buffer names.
+    Str(String),
+    /// Scalar variable (loop vars).
+    VarE(String),
+    /// Vector type: element tag + lane-count child (a `Num`).
+    Ty(ScalarType, [Id; 1]),
+    /// Deferred lane multiplication over a type (supporting rules rewrite to
+    /// a concrete `Ty`): `MultiplyLanes(ty, factor)`.
+    MultiplyLanes([Id; 2]),
+    /// `cast(ty, value)`.
+    Cast([Id; 2]),
+    /// Binary operator.
+    Bin(BinOp, [Id; 2]),
+    /// `select(cond, then, else)`.
+    Select([Id; 3]),
+    /// `ramp(base, stride, lanes)` — lanes is a `Num` child.
+    Ramp([Id; 3]),
+    /// `broadcast(value, lanes)` — lanes is a `Num` child.
+    Bcast([Id; 2]),
+    /// `load(ty, name, index)` — name is a `Str` child.
+    Load([Id; 3]),
+    /// `vector_reduce_add(out_lanes, value)`.
+    Vra([Id; 2]),
+    /// Intrinsic call; children are `[result_ty, args…]`.
+    Call(String, Vec<Id>),
+    /// `loc_to_loc` data movement.
+    Loc(Location, Location, [Id; 1]),
+    /// Pointer to a temporary buffer holding the evaluated expression
+    /// (materialized by post-processing).
+    ExprVar([Id; 1]),
+    /// A store statement as a term: `store(name, index, value)`.
+    StoreS([Id; 3]),
+    /// An evaluate statement as a term.
+    EvalS([Id; 1]),
+}
+
+impl Language for HbLang {
+    fn children(&self) -> &[Id] {
+        match self {
+            HbLang::Num(_) | HbLang::Flt(..) | HbLang::Str(_) | HbLang::VarE(_) => &[],
+            HbLang::Ty(_, c) | HbLang::Loc(_, _, c) | HbLang::ExprVar(c) | HbLang::EvalS(c) => c,
+            HbLang::MultiplyLanes(c)
+            | HbLang::Cast(c)
+            | HbLang::Bin(_, c)
+            | HbLang::Bcast(c)
+            | HbLang::Vra(c) => c,
+            HbLang::Select(c) | HbLang::Ramp(c) | HbLang::Load(c) | HbLang::StoreS(c) => c,
+            HbLang::Call(_, args) => args,
+        }
+    }
+
+    fn children_mut(&mut self) -> &mut [Id] {
+        match self {
+            HbLang::Num(_) | HbLang::Flt(..) | HbLang::Str(_) | HbLang::VarE(_) => &mut [],
+            HbLang::Ty(_, c) | HbLang::Loc(_, _, c) | HbLang::ExprVar(c) | HbLang::EvalS(c) => c,
+            HbLang::MultiplyLanes(c)
+            | HbLang::Cast(c)
+            | HbLang::Bin(_, c)
+            | HbLang::Bcast(c)
+            | HbLang::Vra(c) => c,
+            HbLang::Select(c) | HbLang::Ramp(c) | HbLang::Load(c) | HbLang::StoreS(c) => c,
+            HbLang::Call(_, args) => args,
+        }
+    }
+
+    fn matches_op(&self, other: &Self) -> bool {
+        match (self, other) {
+            (HbLang::Num(a), HbLang::Num(b)) => a == b,
+            (HbLang::Flt(a, sa), HbLang::Flt(b, sb)) => a == b && sa == sb,
+            (HbLang::Str(a), HbLang::Str(b)) | (HbLang::VarE(a), HbLang::VarE(b)) => a == b,
+            (HbLang::Ty(a, _), HbLang::Ty(b, _)) => a == b,
+            (HbLang::MultiplyLanes(_), HbLang::MultiplyLanes(_))
+            | (HbLang::Cast(_), HbLang::Cast(_))
+            | (HbLang::Select(_), HbLang::Select(_))
+            | (HbLang::Ramp(_), HbLang::Ramp(_))
+            | (HbLang::Bcast(_), HbLang::Bcast(_))
+            | (HbLang::Load(_), HbLang::Load(_))
+            | (HbLang::Vra(_), HbLang::Vra(_))
+            | (HbLang::ExprVar(_), HbLang::ExprVar(_))
+            | (HbLang::StoreS(_), HbLang::StoreS(_))
+            | (HbLang::EvalS(_), HbLang::EvalS(_)) => true,
+            (HbLang::Bin(a, _), HbLang::Bin(b, _)) => a == b,
+            (HbLang::Call(a, ca), HbLang::Call(b, cb)) => a == b && ca.len() == cb.len(),
+            (HbLang::Loc(f1, t1, _), HbLang::Loc(f2, t2, _)) => f1 == f2 && t1 == t2,
+            _ => false,
+        }
+    }
+
+    fn op_name(&self) -> String {
+        match self {
+            HbLang::Num(v) => v.to_string(),
+            HbLang::Flt(bits, st) => format!("{}{st}", f64::from_bits(*bits)),
+            HbLang::Str(s) => format!("{s:?}"),
+            HbLang::VarE(v) => v.clone(),
+            HbLang::Ty(st, _) => format!("{st}"),
+            HbLang::MultiplyLanes(_) => "MultiplyLanes".into(),
+            HbLang::Cast(_) => "Cast".into(),
+            HbLang::Bin(op, _) => op.name().to_string(),
+            HbLang::Select(_) => "Select".into(),
+            HbLang::Ramp(_) => "Ramp".into(),
+            HbLang::Bcast(_) => "Broadcast".into(),
+            HbLang::Load(_) => "Load".into(),
+            HbLang::Vra(_) => "VectorReduceAdd".into(),
+            HbLang::Call(name, _) => name.clone(),
+            HbLang::Loc(f, t, _) => format!("{f}2{t}"),
+            HbLang::ExprVar(_) => "ExprVar".into(),
+            HbLang::StoreS(_) => "Store".into(),
+            HbLang::EvalS(_) => "Evaluate".into(),
+        }
+    }
+}
+
+/// A known-constant class value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstVal {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f64),
+}
+
+impl ConstVal {
+    /// The integer value, if integral.
+    #[must_use]
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            ConstVal::Int(v) => Some(v),
+            ConstVal::Float(_) => None,
+        }
+    }
+
+    /// Whether the constant is (integer or float) zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        match self {
+            ConstVal::Int(v) => v == 0,
+            ConstVal::Float(f) => f == 0.0,
+        }
+    }
+}
+
+/// Per-class analysis data: constant value (propagated through broadcasts
+/// and integer arithmetic) and lane count.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HbData {
+    /// Constant value of the class, if known. A broadcast of a constant is
+    /// treated as that constant (a constant *vector*).
+    pub constant: Option<ConstVal>,
+    /// Lane count of the class's value, if derivable.
+    pub lanes: Option<u32>,
+}
+
+/// The analysis implementation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HbAnalysis;
+
+/// The e-graph type used throughout HARDBOILED.
+pub type HbGraph = EGraph<HbLang, HbAnalysis>;
+
+impl Analysis<HbLang> for HbAnalysis {
+    type Data = HbData;
+
+    fn make(egraph: &EGraph<HbLang, Self>, enode: &HbLang) -> HbData {
+        let konst = |id: &Id| egraph.data(*id).constant;
+        let lanes_of = |id: &Id| egraph.data(*id).lanes;
+        match enode {
+            HbLang::Num(v) => HbData {
+                constant: Some(ConstVal::Int(*v)),
+                lanes: Some(1),
+            },
+            HbLang::Flt(bits, _) => HbData {
+                constant: Some(ConstVal::Float(f64::from_bits(*bits))),
+                lanes: Some(1),
+            },
+            HbLang::VarE(_) => HbData {
+                constant: None,
+                lanes: Some(1),
+            },
+            HbLang::Bcast([v, l]) => HbData {
+                constant: konst(v),
+                lanes: match (lanes_of(v), konst(l).and_then(ConstVal::as_int)) {
+                    (Some(a), Some(b)) => Some(a * b as u32),
+                    _ => None,
+                },
+            },
+            HbLang::Ramp([b, _, l]) => HbData {
+                constant: None,
+                lanes: match (lanes_of(b), konst(l).and_then(ConstVal::as_int)) {
+                    (Some(a), Some(n)) => Some(a * n as u32),
+                    _ => None,
+                },
+            },
+            HbLang::Bin(op, [a, b]) => {
+                let c = match (konst(a), konst(b)) {
+                    (Some(ConstVal::Int(x)), Some(ConstVal::Int(y))) => match op {
+                        BinOp::Add => Some(ConstVal::Int(x + y)),
+                        BinOp::Sub => Some(ConstVal::Int(x - y)),
+                        BinOp::Mul => Some(ConstVal::Int(x * y)),
+                        BinOp::Div if y != 0 => Some(ConstVal::Int(x.div_euclid(y))),
+                        BinOp::Mod if y != 0 => Some(ConstVal::Int(x.rem_euclid(y))),
+                        BinOp::Min => Some(ConstVal::Int(x.min(y))),
+                        BinOp::Max => Some(ConstVal::Int(x.max(y))),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                HbData {
+                    constant: c,
+                    lanes: lanes_of(a).or_else(|| lanes_of(b)),
+                }
+            }
+            HbLang::Cast([t, v]) => HbData {
+                constant: konst(v),
+                lanes: ty_lanes(egraph, *t).or_else(|| lanes_of(v)),
+            },
+            HbLang::Load([t, _, _]) => HbData {
+                constant: None,
+                lanes: ty_lanes(egraph, *t),
+            },
+            HbLang::Vra([l, _]) => HbData {
+                constant: None,
+                lanes: konst(l).and_then(ConstVal::as_int).map(|v| v as u32),
+            },
+            HbLang::Loc(_, _, [v]) | HbLang::ExprVar([v]) => HbData {
+                constant: None,
+                lanes: lanes_of(v),
+            },
+            HbLang::Select([_, t, _]) => HbData {
+                constant: None,
+                lanes: lanes_of(t),
+            },
+            HbLang::Call(_, args) => HbData {
+                constant: None,
+                lanes: args.first().and_then(|t| ty_lanes(egraph, *t)),
+            },
+            HbLang::Ty(..)
+            | HbLang::MultiplyLanes(_)
+            | HbLang::Str(_)
+            | HbLang::StoreS(_)
+            | HbLang::EvalS(_) => HbData::default(),
+        }
+    }
+
+    fn merge(a: &mut HbData, b: HbData) -> bool {
+        let mut changed = false;
+        if a.constant.is_none() && b.constant.is_some() {
+            a.constant = b.constant;
+            changed = true;
+        }
+        if a.lanes.is_none() && b.lanes.is_some() {
+            a.lanes = b.lanes;
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// Lane count of a `Ty` node's class, if present.
+#[must_use]
+pub fn ty_lanes(egraph: &EGraph<HbLang, HbAnalysis>, ty_class: Id) -> Option<u32> {
+    // The lanes child is a Num; look through the class's Ty nodes.
+    for node in &egraph.class(ty_class).nodes {
+        if let HbLang::Ty(_, [l]) = node {
+            if let Some(ConstVal::Int(v)) = egraph.data(*l).constant {
+                return Some(v as u32);
+            }
+        }
+    }
+    None
+}
+
+/// Integer constant of a class, if known.
+#[must_use]
+pub fn const_int(egraph: &HbGraph, id: Id) -> Option<i64> {
+    egraph.data(id).constant.and_then(ConstVal::as_int)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_propagate_through_broadcasts() {
+        let mut eg = HbGraph::default();
+        let z = eg.add(HbLang::Num(0));
+        let n = eg.add(HbLang::Num(512));
+        let b = eg.add(HbLang::Bcast([z, n]));
+        assert_eq!(eg.data(b).constant, Some(ConstVal::Int(0)));
+        assert_eq!(eg.data(b).lanes, Some(512));
+        assert!(eg.data(b).constant.unwrap().is_zero());
+    }
+
+    #[test]
+    fn arithmetic_folds_in_analysis() {
+        let mut eg = HbGraph::default();
+        let a = eg.add(HbLang::Num(6));
+        let b = eg.add(HbLang::Num(7));
+        let m = eg.add(HbLang::Bin(BinOp::Mul, [a, b]));
+        assert_eq!(const_int(&eg, m), Some(42));
+    }
+
+    #[test]
+    fn ramp_lanes_multiply() {
+        let mut eg = HbGraph::default();
+        let z = eg.add(HbLang::Num(0));
+        let one = eg.add(HbLang::Num(1));
+        let n32 = eg.add(HbLang::Num(32));
+        let inner = eg.add(HbLang::Ramp([z, one, n32]));
+        let n16 = eg.add(HbLang::Num(16));
+        let binner = eg.add(HbLang::Bcast([inner, n16]));
+        assert_eq!(eg.data(binner).lanes, Some(512));
+    }
+
+    #[test]
+    fn ty_lanes_reads_type_nodes() {
+        let mut eg = HbGraph::default();
+        let n = eg.add(HbLang::Num(8192));
+        let ty = eg.add(HbLang::Ty(ScalarType::F32, [n]));
+        assert_eq!(ty_lanes(&eg, ty), Some(8192));
+    }
+
+    #[test]
+    fn float_constants_track_zero() {
+        let mut eg = HbGraph::default();
+        let f = eg.add(HbLang::Flt(0.0f64.to_bits(), ScalarType::F32));
+        assert!(eg.data(f).constant.unwrap().is_zero());
+        let g = eg.add(HbLang::Flt(1.5f64.to_bits(), ScalarType::F32));
+        assert!(!eg.data(g).constant.unwrap().is_zero());
+    }
+
+    #[test]
+    fn merge_prefers_known_values() {
+        let mut eg = HbGraph::default();
+        let v = eg.add(HbLang::VarE("x".into()));
+        let n = eg.add(HbLang::Num(3));
+        eg.union(v, n);
+        eg.rebuild();
+        assert_eq!(const_int(&eg, v), Some(3));
+    }
+
+    #[test]
+    fn op_matching_distinguishes_payloads() {
+        let a = HbLang::Bin(BinOp::Add, [Id(0), Id(1)]);
+        let m = HbLang::Bin(BinOp::Mul, [Id(0), Id(1)]);
+        assert!(!a.matches_op(&m));
+        let l1 = HbLang::Loc(Location::Mem, Location::Amx, [Id(0)]);
+        let l2 = HbLang::Loc(Location::Amx, Location::Mem, [Id(0)]);
+        assert!(!l1.matches_op(&l2));
+        assert!(l1.matches_op(&l1.clone()));
+    }
+}

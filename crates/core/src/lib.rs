@@ -1,0 +1,43 @@
+//! # hardboiled — an EqSat-based tensor instruction selector
+//!
+//! The paper's primary contribution: a flexible instruction selector that
+//! maps vectorized Halide-style IR onto tensor accelerators (Intel AMX and
+//! Nvidia Tensor Core WMMA) using equality saturation, robust to the
+//! syntactic obfuscation introduced by the simplifier (the phase-ordering
+//! problem of §III-B).
+//!
+//! Pipeline (per leaf statement touching accelerator-placed buffers):
+//!
+//! 1. [`movement`] injects `loc_to_loc` data-movement markers,
+//! 2. [`encode`] builds the e-graph term ([`lang::HbLang`], paper Fig. 9),
+//! 3. [`rules`] saturate — axiomatic, application-specific, lowering, with
+//!    supporting rules run to fixpoint between iterations (§III-D2),
+//! 4. [`cost::HbCost`] extraction picks the cheapest equivalent (§III-D3),
+//! 5. [`decode`] + [`postprocess`] splice the result (materializing
+//!    `ExprVar` swizzle buffers) back into the loop nest.
+//!
+//! Drive it with [`selector::select`] or [`selector::select_default`].
+//!
+//! ```
+//! use hardboiled::selector::select_default;
+//! use hb_ir::builder::*;
+//!
+//! // Statements that do not touch accelerator buffers pass through.
+//! let s = store("out", ramp(int(0), int(1), 4), bcast(flt(2.0), 4));
+//! let (out, report) = select_default(&s);
+//! assert_eq!(out, s);
+//! assert_eq!(report.num_statements(), 0);
+//! ```
+
+pub mod cost;
+pub mod decode;
+pub mod encode;
+pub mod lang;
+pub mod movement;
+pub mod postprocess;
+pub mod rules;
+pub mod selector;
+
+pub use lang::{HbAnalysis, HbGraph, HbLang};
+pub use movement::Placements;
+pub use selector::{select, select_default, SelectionReport, SelectorConfig};

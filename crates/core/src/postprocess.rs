@@ -1,0 +1,187 @@
+//! Post-processing of extracted programs (tile extractor, final step).
+//!
+//! Lowers `ExprVar` markers — temporary buffers holding the result of an
+//! evaluated expression, used by HARDBOILED for swizzled matrices — into
+//! real allocations: an `Allocate` in stack scratch, an initializing store
+//! of the inner expression, and a reference to the buffer where the marker
+//! stood.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hb_ir::builder::{allocate, block, ramp, store};
+use hb_ir::expr::Expr;
+use hb_ir::stmt::Stmt;
+use hb_ir::types::{MemoryType, ScalarType};
+
+/// Intrinsic name marking an `ExprVar` in decoded IR.
+pub const EXPR_VAR_MARKER: &str = "__expr_var";
+
+static NEXT_TEMP: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_name() -> String {
+    let n = NEXT_TEMP.fetch_add(1, Ordering::Relaxed);
+    format!("__hb_tmp{n}")
+}
+
+/// A materialized temporary: name, element type, size and initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Materialization {
+    /// Generated buffer name.
+    pub name: String,
+    /// Element type.
+    pub elem: ScalarType,
+    /// Number of elements.
+    pub size: u64,
+    /// Expression whose value fills the buffer.
+    pub init: Expr,
+}
+
+/// Replaces `__expr_var(inner)` markers in an expression with buffer-name
+/// variables, returning the rewritten expression and the materializations.
+#[must_use]
+pub fn extract_materializations(e: &Expr) -> (Expr, Vec<Materialization>) {
+    let mut mats = Vec::new();
+    let out = e.rewrite_bottom_up(&mut |node| match node {
+        Expr::Call { name, args, .. } if name == EXPR_VAR_MARKER => {
+            let inner = args.first().expect("__expr_var has one argument").clone();
+            let ty = inner.ty();
+            let tmp = fresh_name();
+            mats.push(Materialization {
+                name: tmp.clone(),
+                elem: ty.elem,
+                size: u64::from(ty.lanes),
+                init: inner,
+            });
+            Some(Expr::Var(tmp, ScalarType::I32))
+        }
+        _ => None,
+    });
+    (out, mats)
+}
+
+/// Post-processes one leaf statement: materializes its `ExprVar`s in place,
+/// wrapping the statement in the needed allocations and initializing stores.
+#[must_use]
+pub fn materialize_stmt(s: &Stmt) -> Stmt {
+    let (new_stmt, mats) = match s {
+        Stmt::Store { buffer, index, value } => {
+            let (index, mut m1) = extract_materializations(index);
+            let (value, m2) = extract_materializations(value);
+            m1.extend(m2);
+            (
+                Stmt::Store {
+                    buffer: buffer.clone(),
+                    index,
+                    value,
+                },
+                m1,
+            )
+        }
+        Stmt::Evaluate(e) => {
+            let (e, m) = extract_materializations(e);
+            (Stmt::Evaluate(e), m)
+        }
+        other => (other.clone(), Vec::new()),
+    };
+    let mut out = new_stmt;
+    for mat in mats.into_iter().rev() {
+        let lanes = u32::try_from(mat.size).expect("temp too large");
+        let init = store(&mat.name, ramp(hb_ir::builder::int(0), hb_ir::builder::int(1), lanes), mat.init);
+        out = allocate(
+            &mat.name,
+            mat.elem,
+            mat.size,
+            MemoryType::Stack,
+            block(vec![init, out]),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_ir::builder as b;
+    use hb_ir::types::Type;
+
+    fn marker(inner: Expr) -> Expr {
+        let ty = inner.ty();
+        Expr::Call {
+            ty,
+            name: EXPR_VAR_MARKER.to_string(),
+            args: vec![inner],
+        }
+    }
+
+    #[test]
+    fn materializes_into_allocation() {
+        // tile_load(__expr_var(x8(1.0f)), 0, 8, 1)
+        let inner = b::bcast(b::flt_t(1.0, ScalarType::F16), 8);
+        let call = b::call(
+            Type::f16().with_lanes(8),
+            "tile_load",
+            vec![marker(inner.clone()), b::int(0), b::int(8), b::int(1)],
+        );
+        let s = b::evaluate(call);
+        let out = materialize_stmt(&s);
+        match &out {
+            Stmt::Allocate { elem, size, memory, body, .. } => {
+                assert_eq!(*elem, ScalarType::F16);
+                assert_eq!(*size, 8);
+                assert_eq!(*memory, MemoryType::Stack);
+                match body.as_ref() {
+                    Stmt::Block(stmts) => {
+                        assert_eq!(stmts.len(), 2);
+                        match &stmts[0] {
+                            Stmt::Store { value, .. } => assert_eq!(value, &inner),
+                            other => panic!("expected init store, got {other:?}"),
+                        }
+                    }
+                    other => panic!("expected block, got {other:?}"),
+                }
+            }
+            other => panic!("expected allocate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn marker_replaced_by_buffer_var() {
+        let inner = b::bcast(b::flt(2.0), 4);
+        let s = b::store("out", b::ramp(b::int(0), b::int(1), 4), marker(inner));
+        let out = materialize_stmt(&s);
+        let mut found_var = false;
+        out.for_each_expr(&mut |e| {
+            if let Expr::Var(name, _) = e {
+                if name.starts_with("__hb_tmp") {
+                    found_var = true;
+                }
+            }
+        });
+        assert!(found_var);
+    }
+
+    #[test]
+    fn statements_without_markers_unchanged() {
+        let s = b::store("out", b::int(0), b::flt(1.0));
+        assert_eq!(materialize_stmt(&s), s);
+    }
+
+    #[test]
+    fn multiple_markers_nest_allocations() {
+        let m1 = marker(b::bcast(b::flt(1.0), 2));
+        let m2 = marker(b::bcast(b::flt(2.0), 2));
+        let s = b::store(
+            "out",
+            b::ramp(b::int(0), b::int(1), 2),
+            b::add(m1, m2),
+        );
+        let out = materialize_stmt(&s);
+        let mut allocs = 0;
+        out.for_each_stmt(&mut |st| {
+            if matches!(st, Stmt::Allocate { .. }) {
+                allocs += 1;
+            }
+        });
+        assert_eq!(allocs, 2);
+    }
+}

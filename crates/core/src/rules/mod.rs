@@ -1,0 +1,67 @@
+//! HARDBOILED's rewrite rules, organized by the paper's four categories
+//! (Appendix A):
+//!
+//! * [`axiomatic`] — lane-algebra identities making pattern matching robust
+//!   to Halide's simplifier (Fig. 10c),
+//! * [`app_specific`] — tile-discovery rules for MatMul layouts and
+//!   convolution-like patterns (Fig. 10b, Appendix B),
+//! * [`lowering`] — rules emitting accelerator intrinsics (Fig. 10a),
+//! * [`supporting`] — type computations run to fixpoint between iterations
+//!   (§III-D2).
+
+pub mod app_specific;
+pub mod axiomatic;
+pub mod lowering;
+pub mod supporting;
+
+use hb_egraph::pattern::Subst;
+use hb_egraph::rewrite::Rewrite;
+use hb_egraph::unionfind::Id;
+
+use crate::lang::{const_int, HbAnalysis, HbGraph, HbLang};
+
+/// The rewrite type all rule sets share.
+pub type Rw = Rewrite<HbLang, HbAnalysis>;
+
+/// Integer constant of the class bound to `var`, if known.
+#[must_use]
+pub fn ci(eg: &HbGraph, s: &Subst, var: &str) -> Option<i64> {
+    s.get(var).and_then(|id| const_int(eg, id))
+}
+
+/// All integer constants bound to the listed variables, or `None` if any is
+/// unknown.
+#[must_use]
+pub fn cis<const N: usize>(eg: &HbGraph, s: &Subst, vars: [&str; N]) -> Option<[i64; N]> {
+    let mut out = [0i64; N];
+    for (slot, var) in out.iter_mut().zip(vars) {
+        *slot = ci(eg, s, var)?;
+    }
+    Some(out)
+}
+
+/// Adds a `Num` node.
+pub fn num(eg: &mut HbGraph, v: i64) -> Id {
+    eg.add(HbLang::Num(v))
+}
+
+/// Adds a `Ty` node.
+pub fn ty(eg: &mut HbGraph, st: hb_ir::types::ScalarType, lanes: i64) -> Id {
+    let l = num(eg, lanes);
+    eg.add(HbLang::Ty(st, [l]))
+}
+
+/// The complete main rule set (axiomatic + app-specific + lowering).
+#[must_use]
+pub fn main_rules() -> Vec<Rw> {
+    let mut rules = axiomatic::rules();
+    rules.extend(app_specific::rules());
+    rules.extend(lowering::rules());
+    rules
+}
+
+/// The supporting rules (saturated between main iterations).
+#[must_use]
+pub fn supporting_rules() -> Vec<Rw> {
+    supporting::rules()
+}

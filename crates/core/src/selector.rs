@@ -1,0 +1,284 @@
+//! The tensor instruction selector: HARDBOILED's driver.
+//!
+//! For every leaf statement that touches accelerator-placed buffers, the
+//! selector (1) runs the data-movement annotation, (2) encodes the statement
+//! into an e-graph, (3) saturates with the phased rule schedule of §III-D2,
+//! (4) extracts the cheapest equivalent program under the §III-D3 cost
+//! model, and (5) post-processes `ExprVar` materializations — then splices
+//! the result back into the surrounding loop nest.
+
+use std::time::{Duration, Instant};
+
+use hb_egraph::extract::Extractor;
+use hb_egraph::schedule::{RunReport, Runner};
+use hb_ir::expr::Expr;
+use hb_ir::stmt::Stmt;
+
+use crate::cost::HbCost;
+use crate::decode::decode_stmt;
+use crate::encode::encode_stmt;
+use crate::lang::HbGraph;
+use crate::movement::{annotate_stmt, collect_placements, Placements};
+use crate::postprocess::materialize_stmt;
+use crate::rules;
+
+/// Configuration of the selector.
+#[derive(Debug, Clone)]
+pub struct SelectorConfig {
+    /// Outer iterations of the main rules (§III-D2's fixed budget).
+    pub outer_iters: usize,
+    /// Saturation limits.
+    pub runner: Runner,
+}
+
+impl Default for SelectorConfig {
+    fn default() -> Self {
+        SelectorConfig {
+            outer_iters: 8,
+            runner: Runner::new(16, 200_000),
+        }
+    }
+}
+
+/// Outcome for one statement that went through equality saturation.
+#[derive(Debug, Clone)]
+pub struct StmtReport {
+    /// Pretty-printed original statement.
+    pub original: String,
+    /// Whether all data movements were absorbed into intrinsics.
+    pub lowered: bool,
+    /// Saturation statistics.
+    pub eqsat: RunReport,
+}
+
+/// Whole-program selection report.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionReport {
+    /// Per-statement outcomes (only statements that were saturated).
+    pub stmts: Vec<StmtReport>,
+    /// Total time spent inside equality saturation (the paper's Fig. 6
+    /// "egglog" series).
+    pub eqsat_time: Duration,
+    /// Total selector time including encode/extract/decode.
+    pub total_time: Duration,
+}
+
+impl SelectionReport {
+    /// Whether every saturated statement lowered fully.
+    #[must_use]
+    pub fn all_lowered(&self) -> bool {
+        self.stmts.iter().all(|s| s.lowered)
+    }
+
+    /// Number of statements that went through saturation.
+    #[must_use]
+    pub fn num_statements(&self) -> usize {
+        self.stmts.len()
+    }
+}
+
+fn expr_has_movement(e: &Expr) -> bool {
+    let mut found = false;
+    e.for_each(&mut |n| {
+        if matches!(n, Expr::LocToLoc { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn stmt_has_movement(s: &Stmt) -> bool {
+    let mut found = false;
+    s.for_each_expr(&mut |e| {
+        if matches!(e, Expr::LocToLoc { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Runs instruction selection on one annotated leaf statement.
+fn select_leaf(stmt: &Stmt, config: &SelectorConfig, report: &mut SelectionReport) -> Stmt {
+    let started = Instant::now();
+    let mut eg = HbGraph::default();
+    crate::rules::app_specific::declare_relations(&mut eg);
+    let root = encode_stmt(&mut eg, stmt);
+    let main = rules::main_rules();
+    let support = rules::supporting_rules();
+    let eqsat_started = Instant::now();
+    let run = config
+        .runner
+        .run_phased(&mut eg, &main, &support, config.outer_iters);
+    report.eqsat_time += eqsat_started.elapsed();
+
+    let extractor = Extractor::new(&eg, HbCost);
+    let term = extractor.extract(root);
+    let decoded = match decode_stmt(&term) {
+        Ok(s) => s,
+        Err(_) => stmt.clone(),
+    };
+    let materialized = materialize_stmt(&decoded);
+    let lowered = !stmt_has_movement(&materialized);
+    report.stmts.push(StmtReport {
+        original: stmt.to_string(),
+        lowered,
+        eqsat: run,
+    });
+    report.total_time += started.elapsed();
+    materialized
+}
+
+/// Runs HARDBOILED over a whole statement tree.
+///
+/// `extra_placements` supplements the placements discoverable from
+/// `Allocate` nodes (for buffers allocated outside the tree, e.g. pipeline
+/// outputs).
+#[must_use]
+pub fn select(
+    stmt: &Stmt,
+    extra_placements: &Placements,
+    config: &SelectorConfig,
+) -> (Stmt, SelectionReport) {
+    let mut placements = collect_placements(stmt);
+    for (k, v) in extra_placements {
+        placements.insert(k.clone(), *v);
+    }
+    let annotated = annotate_stmt(stmt, &placements);
+    let mut report = SelectionReport::default();
+    let out = annotated.rewrite_stmts_bottom_up(&mut |s| match s {
+        Stmt::Store { index, value, .. } => {
+            if expr_has_movement(index) || expr_has_movement(value) {
+                Some(select_leaf(s, config, &mut report))
+            } else {
+                None
+            }
+        }
+        Stmt::Evaluate(e) => {
+            if expr_has_movement(e) {
+                Some(select_leaf(s, config, &mut report))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    });
+    (out, report)
+}
+
+/// Convenience wrapper with default configuration and no extra placements.
+#[must_use]
+pub fn select_default(stmt: &Stmt) -> (Stmt, SelectionReport) {
+    select(stmt, &Placements::new(), &SelectorConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_ir::builder as b;
+    use hb_ir::simplify::simplify_stmt;
+    use hb_ir::types::{MemoryType, ScalarType, Type};
+
+    /// Builds the paper's Fig. 3 MatMul statements by hand: the vectorized,
+    /// simplifier-obscured IR for a 16x32 · 32x16 bf16 MatMul on AMX.
+    fn fig3_matmul() -> Stmt {
+        // A index (obscured): ramp(x512(0), x512(32), 16) + x256(ramp(0,1,32))
+        let idx_a = b::add(
+            b::ramp(b::bcast(b::int(0), 512), b::bcast(b::int(32), 512), 16),
+            b::bcast(b::ramp(b::int(0), b::int(1), 32), 256),
+        );
+        let load_a = b::cast(
+            Type::f32().with_lanes(8192),
+            b::load(Type::bf16().with_lanes(8192), "A", idx_a),
+        );
+        // B (obscured): x16(cast<f32x512>(B[ramp(ramp(0,16,32), x32(1), 16)]))
+        let idx_b = b::ramp(
+            b::ramp(b::int(0), b::int(16), 32),
+            b::bcast(b::int(1), 32),
+            16,
+        );
+        let load_b = b::bcast(
+            b::cast(
+                Type::f32().with_lanes(512),
+                b::load(Type::bf16().with_lanes(512), "B", idx_b),
+            ),
+            16,
+        );
+        let acc_idx = b::ramp(
+            b::ramp(b::int(0), b::int(1), 16),
+            b::bcast(b::int(16), 16),
+            16,
+        );
+        let acc_load = b::load(Type::f32().with_lanes(256), "matmul", acc_idx.clone());
+        let update = b::store(
+            "matmul",
+            acc_idx.clone(),
+            b::add(b::vreduce_add(256, b::mul(load_a, load_b)), acc_load),
+        );
+        let init = b::store("matmul", acc_idx.clone(), b::bcast(b::flt(0.0), 256));
+        let wrapper = b::store(
+            "matmul_wrapper",
+            acc_idx,
+            b::load(Type::f32().with_lanes(256), "matmul", b::ramp(
+                b::ramp(b::int(0), b::int(1), 16),
+                b::bcast(b::int(16), 16),
+                16,
+            )),
+        );
+        b::allocate(
+            "matmul",
+            ScalarType::F32,
+            256,
+            MemoryType::AmxTile,
+            b::block(vec![init, update, wrapper]),
+        )
+    }
+
+    #[test]
+    fn fig3_matmul_lowers_to_amx_intrinsics() {
+        let stmt = simplify_stmt(&fig3_matmul());
+        let (out, report) = select_default(&stmt);
+        assert_eq!(report.num_statements(), 3, "init, update, wrapper");
+        assert!(
+            report.all_lowered(),
+            "all three statements must lower:\n{out}"
+        );
+        let text = out.to_string();
+        assert!(text.contains("tile_zero"), "{text}");
+        assert!(text.contains("tile_matmul"), "{text}");
+        assert!(text.contains("tile_store"), "{text}");
+        assert!(
+            text.contains("kway_interleave"),
+            "standard-layout B needs a VNNI swizzle:\n{text}"
+        );
+    }
+
+    #[test]
+    fn statements_without_accelerator_buffers_untouched() {
+        let s = b::store(
+            "out",
+            b::ramp(b::int(0), b::int(1), 4),
+            b::bcast(b::flt(1.0), 4),
+        );
+        let (out, report) = select_default(&s);
+        assert_eq!(out, s);
+        assert_eq!(report.num_statements(), 0);
+    }
+
+    #[test]
+    fn unsupported_pattern_reports_not_lowered() {
+        // A store into an AMX buffer whose value is not a recognizable
+        // tensor op (a plain elementwise square).
+        let idx = b::ramp(b::int(0), b::int(1), 8);
+        let ld = b::load(Type::f32().with_lanes(8), "x", idx.clone());
+        let s = b::allocate(
+            "acc",
+            ScalarType::F32,
+            8,
+            MemoryType::AmxTile,
+            b::store("acc", idx, b::mul(ld.clone(), ld)),
+        );
+        let (_, report) = select_default(&s);
+        assert_eq!(report.num_statements(), 1);
+        assert!(!report.all_lowered());
+    }
+}

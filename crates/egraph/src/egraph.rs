@@ -1,0 +1,406 @@
+//! The e-graph: hash-consed e-nodes grouped into equivalence classes,
+//! with congruence maintained by explicit rebuilding (the egg algorithm).
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+
+use crate::language::{Language, RecExpr};
+use crate::relation::Relations;
+use crate::unionfind::{Id, UnionFind};
+
+/// An e-class analysis: a lattice value maintained per e-class
+/// (constants, types, …). See egg's `Analysis`.
+pub trait Analysis<L: Language>: Sized {
+    /// Per-class data.
+    type Data: Clone + PartialEq + Debug;
+
+    /// Computes the data for a single e-node whose children are canonical.
+    fn make(egraph: &EGraph<L, Self>, enode: &L) -> Self::Data;
+
+    /// Merges `b` into `a` when two classes are unified; returns whether `a`
+    /// changed (triggering re-propagation to parents).
+    fn merge(a: &mut Self::Data, b: Self::Data) -> bool;
+}
+
+/// The trivial analysis.
+impl<L: Language> Analysis<L> for () {
+    type Data = ();
+    fn make(_: &EGraph<L, Self>, _: &L) -> Self::Data {}
+    fn merge(_: &mut Self::Data, _: Self::Data) -> bool {
+        false
+    }
+}
+
+/// An equivalence class of e-nodes.
+#[derive(Debug, Clone)]
+pub struct EClass<L, D> {
+    /// Canonical id of this class.
+    pub id: Id,
+    /// E-nodes in the class (children canonical as of the last rebuild).
+    pub nodes: Vec<L>,
+    /// Analysis data.
+    pub data: D,
+    /// Parent e-nodes (and the class they live in), possibly stale.
+    parents: Vec<(L, Id)>,
+}
+
+/// The e-graph.
+#[derive(Debug, Clone)]
+pub struct EGraph<L: Language, N: Analysis<L> = ()> {
+    unionfind: UnionFind,
+    memo: HashMap<L, Id>,
+    classes: HashMap<Id, EClass<L, N::Data>>,
+    pending: Vec<(L, Id)>,
+    analysis_pending: Vec<(L, Id)>,
+    /// Datalog-style relations over e-class ids (egglog's `relation`s).
+    pub relations: Relations,
+    clean: bool,
+}
+
+impl<L: Language, N: Analysis<L>> Default for EGraph<L, N> {
+    fn default() -> Self {
+        EGraph {
+            unionfind: UnionFind::new(),
+            memo: HashMap::new(),
+            classes: HashMap::new(),
+            pending: Vec::new(),
+            analysis_pending: Vec::new(),
+            relations: Relations::default(),
+            clean: true,
+        }
+    }
+}
+
+impl<L: Language, N: Analysis<L>> EGraph<L, N> {
+    /// Creates an empty e-graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonical id for `id`.
+    #[must_use]
+    pub fn find(&self, id: Id) -> Id {
+        self.unionfind.find(id)
+    }
+
+    /// Number of e-classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total number of e-nodes across classes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.classes.values().map(|c| c.nodes.len()).sum()
+    }
+
+    /// Whether the graph has no classes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates over all e-classes.
+    pub fn classes(&self) -> impl Iterator<Item = &EClass<L, N::Data>> {
+        self.classes.values()
+    }
+
+    /// The class with canonical id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    #[must_use]
+    pub fn class(&self, id: Id) -> &EClass<L, N::Data> {
+        let id = self.find(id);
+        self.classes.get(&id).expect("unknown e-class id")
+    }
+
+    /// Analysis data of a class.
+    #[must_use]
+    pub fn data(&self, id: Id) -> &N::Data {
+        &self.class(id).data
+    }
+
+    fn canonicalize(&self, node: &L) -> L {
+        node.map_children(|c| self.find(c))
+    }
+
+    /// Looks up an e-node (children need not be canonical) without inserting.
+    #[must_use]
+    pub fn lookup(&self, node: &L) -> Option<Id> {
+        let canon = self.canonicalize(node);
+        self.memo.get(&canon).map(|&id| self.find(id))
+    }
+
+    /// Adds an e-node, returning the id of its class (hash-consed).
+    pub fn add(&mut self, node: L) -> Id {
+        let canon = self.canonicalize(&node);
+        if let Some(&existing) = self.memo.get(&canon) {
+            return self.find(existing);
+        }
+        let id = self.unionfind.make_set();
+        let data = N::make(self, &canon);
+        for &child in canon.children() {
+            let child = self.find(child);
+            self.classes
+                .get_mut(&child)
+                .expect("child class must exist")
+                .parents
+                .push((canon.clone(), id));
+        }
+        self.classes.insert(
+            id,
+            EClass {
+                id,
+                nodes: vec![canon.clone()],
+                data,
+                parents: Vec::new(),
+            },
+        );
+        self.memo.insert(canon, id);
+        id
+    }
+
+    /// Adds a whole term bottom-up; returns the id of the root's class.
+    pub fn add_recexpr(&mut self, expr: &RecExpr<L>) -> Id {
+        let mut ids: Vec<Id> = Vec::with_capacity(expr.len());
+        for node in expr.nodes() {
+            let remapped = node.map_children(|c| ids[c.index()]);
+            ids.push(self.add(remapped));
+        }
+        *ids.last().expect("cannot add an empty RecExpr")
+    }
+
+    /// Unions two classes; returns the surviving canonical id and whether
+    /// anything changed. Requires a [`EGraph::rebuild`] before the next
+    /// search (tracked by an internal dirty flag).
+    pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
+        let a = self.find(a);
+        let b = self.find(b);
+        if a == b {
+            return (a, false);
+        }
+        self.clean = false;
+        // Keep the class with more parents as the winner to move less data.
+        let (winner, loser) = {
+            let pa = self.classes[&a].parents.len();
+            let pb = self.classes[&b].parents.len();
+            if pa >= pb {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        };
+        self.unionfind.union_roots(winner, loser);
+        let loser_class = self.classes.remove(&loser).expect("loser class exists");
+        // Loser's parents must be re-canonicalized and re-hashed.
+        self.pending.extend(loser_class.parents.iter().cloned());
+        let winner_class = self.classes.get_mut(&winner).expect("winner class exists");
+        winner_class.nodes.extend(loser_class.nodes);
+        winner_class.parents.extend(loser_class.parents);
+        let data_changed = N::merge(&mut winner_class.data, loser_class.data);
+        if data_changed {
+            self.analysis_pending
+                .extend(self.classes[&winner].parents.iter().cloned());
+        }
+        (winner, true)
+    }
+
+    /// Restores the congruence invariant and canonicalizes memo entries,
+    /// class node lists and relation tuples. Must be called after a batch of
+    /// unions before the next search.
+    pub fn rebuild(&mut self) {
+        while !self.pending.is_empty() || !self.analysis_pending.is_empty() {
+            while let Some((node, cls)) = self.pending.pop() {
+                let cls = self.find(cls);
+                self.memo.remove(&node);
+                let canon = self.canonicalize(&node);
+                if let Some(&other) = self.memo.get(&canon) {
+                    let other = self.find(other);
+                    if other != cls {
+                        self.union(other, cls);
+                    }
+                } else {
+                    self.memo.insert(canon, cls);
+                }
+            }
+            while let Some((node, cls)) = self.analysis_pending.pop() {
+                let cls = self.find(cls);
+                let canon = self.canonicalize(&node);
+                let new_data = N::make(self, &canon);
+                let class = self.classes.get_mut(&cls).expect("class exists");
+                if N::merge(&mut class.data, new_data) {
+                    self.analysis_pending
+                        .extend(self.classes[&cls].parents.iter().cloned());
+                }
+            }
+        }
+        // Canonicalize node lists and dedup.
+        let ids: Vec<Id> = self.classes.keys().copied().collect();
+        for id in ids {
+            let mut class = self.classes.remove(&id).expect("class exists");
+            for n in &mut class.nodes {
+                *n = n.map_children(|c| self.unionfind.find(c));
+            }
+            class.nodes.sort();
+            class.nodes.dedup();
+            self.classes.insert(id, class);
+        }
+        let uf = &self.unionfind;
+        self.relations.canonicalize(|id| uf.find(id));
+        self.clean = true;
+    }
+
+    /// Whether the graph is rebuilt (safe to search).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.clean
+    }
+
+    /// Extracts *some* term from a class (first constructible node, depth
+    /// first). Mainly for tests; use [`crate::extract::Extractor`] for
+    /// cost-aware extraction.
+    #[must_use]
+    pub fn any_term(&self, id: Id) -> Option<RecExpr<L>> {
+        let mut out = RecExpr::new();
+        let mut on_stack = std::collections::HashSet::new();
+        fn go<L: Language, N: Analysis<L>>(
+            eg: &EGraph<L, N>,
+            id: Id,
+            out: &mut RecExpr<L>,
+            on_stack: &mut std::collections::HashSet<Id>,
+        ) -> Option<Id> {
+            let id = eg.find(id);
+            if !on_stack.insert(id) {
+                return None; // cycle
+            }
+            let class = eg.classes.get(&id)?;
+            for node in &class.nodes {
+                let mut child_ids = Vec::new();
+                let mut ok = true;
+                for &c in node.children() {
+                    match go(eg, c, out, on_stack) {
+                        Some(cid) => child_ids.push(cid),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    let mut k = 0;
+                    let remapped = node.map_children(|_| {
+                        let id = child_ids[k];
+                        k += 1;
+                        id
+                    });
+                    on_stack.remove(&id);
+                    return Some(out.add(remapped));
+                }
+            }
+            on_stack.remove(&id);
+            None
+        }
+        go(self, id, &mut out, &mut on_stack).map(|_| out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math_lang::Math;
+
+    type EG = EGraph<Math, ()>;
+
+    #[test]
+    fn hashconsing_dedups() {
+        let mut eg = EG::new();
+        let a1 = eg.add(Math::Sym("a".into()));
+        let a2 = eg.add(Math::Sym("a".into()));
+        assert_eq!(a1, a2);
+        assert_eq!(eg.num_classes(), 1);
+    }
+
+    #[test]
+    fn union_merges_classes() {
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let (_, changed) = eg.union(a, b);
+        assert!(changed);
+        eg.rebuild();
+        assert_eq!(eg.find(a), eg.find(b));
+        let (_, changed2) = eg.union(a, b);
+        assert!(!changed2);
+    }
+
+    #[test]
+    fn congruence_closure_via_rebuild() {
+        // If a ≡ b then f(a) ≡ f(b) after rebuild.
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let two = eg.add(Math::Num(2));
+        let fa = eg.add(Math::Mul([a, two]));
+        let fb = eg.add(Math::Mul([b, two]));
+        assert_ne!(eg.find(fa), eg.find(fb));
+        eg.union(a, b);
+        eg.rebuild();
+        assert_eq!(eg.find(fa), eg.find(fb), "congruence must unify f(a), f(b)");
+    }
+
+    #[test]
+    fn transitive_congruence() {
+        // g(f(a)) ≡ g(f(b)) needs two congruence steps.
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let two = eg.add(Math::Num(2));
+        let fa = eg.add(Math::Mul([a, two]));
+        let fb = eg.add(Math::Mul([b, two]));
+        let gfa = eg.add(Math::Div([fa, two]));
+        let gfb = eg.add(Math::Div([fb, two]));
+        eg.union(a, b);
+        eg.rebuild();
+        assert_eq!(eg.find(gfa), eg.find(gfb));
+    }
+
+    #[test]
+    fn lookup_respects_canonical_children() {
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let two = eg.add(Math::Num(2));
+        let _fa = eg.add(Math::Mul([a, two]));
+        eg.union(a, b);
+        eg.rebuild();
+        // Looking up f(b) must find f(a)'s class.
+        assert!(eg.lookup(&Math::Mul([b, two])).is_some());
+    }
+
+    #[test]
+    fn add_recexpr_roundtrip() {
+        let mut r = RecExpr::new();
+        let a = r.add(Math::Sym("a".into()));
+        let two = r.add(Math::Num(2));
+        let m = r.add(Math::Mul([a, two]));
+        let _d = r.add(Math::Div([m, two]));
+        let mut eg = EG::new();
+        let root = eg.add_recexpr(&r);
+        let back = eg.any_term(root).expect("extractable");
+        assert_eq!(back.to_sexp(), "(/ (* a 2) 2)");
+    }
+
+    #[test]
+    fn num_nodes_counts() {
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let two = eg.add(Math::Num(2));
+        let _ = eg.add(Math::Mul([a, two]));
+        assert_eq!(eg.num_nodes(), 3);
+        assert!(!eg.is_empty());
+    }
+}

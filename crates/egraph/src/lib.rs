@@ -1,0 +1,61 @@
+//! # hb-egraph — equality saturation engine
+//!
+//! A from-scratch reimplementation of the egg/egglog machinery the paper
+//! builds HARDBOILED on: hash-consed [`egraph::EGraph`]s with congruence
+//! rebuilding, [`pattern::Pattern`] e-matching, conditional
+//! [`rewrite::Rewrite`] rules with egglog-style Datalog
+//! [`relation::Relations`], phased [`schedule::Runner`] scheduling
+//! (§III-D2), per-class [`egraph::Analysis`] lattices, and cost-based
+//! [`extract::Extractor`] term extraction (§III-D3).
+//!
+//! The engine is generic over a [`language::Language`]; the HARDBOILED
+//! tensor language lives in the `hardboiled` crate, and a small arithmetic
+//! demo language reproducing the paper's Fig. 1 lives in [`math_lang`].
+//!
+//! ## Example
+//!
+//! ```
+//! use hb_egraph::egraph::EGraph;
+//! use hb_egraph::extract::{AstSize, Extractor};
+//! use hb_egraph::math_lang::{n, pdiv, pmul, pvar, Math};
+//! use hb_egraph::rewrite::Rewrite;
+//! use hb_egraph::schedule::Runner;
+//!
+//! // Fig. 1: prove (a*2)/2 == a and extract the small form.
+//! let mut eg = EGraph::<Math>::new();
+//! let a = eg.add(Math::Sym("a".into()));
+//! let two = eg.add(Math::Num(2));
+//! let m = eg.add(Math::Mul([a, two]));
+//! let d = eg.add(Math::Div([m, two]));
+//! let rules = vec![
+//!     Rewrite::rewrite(
+//!         "assoc",
+//!         pdiv(pmul(pvar("a"), pvar("b")), pvar("c")),
+//!         pmul(pvar("a"), pdiv(pvar("b"), pvar("c"))),
+//!     ),
+//!     Rewrite::rewrite("div-self", pdiv(n(2), n(2)), n(1)),
+//!     Rewrite::rewrite("mul-one", pmul(pvar("a"), n(1)), pvar("a")),
+//! ];
+//! Runner::default().run_to_fixpoint(&mut eg, &rules);
+//! let best = Extractor::new(&eg, AstSize).extract(d);
+//! assert_eq!(best.to_sexp(), "a");
+//! ```
+
+pub mod egraph;
+pub mod extract;
+pub mod language;
+pub mod math_lang;
+pub mod pattern;
+pub mod relation;
+pub mod rewrite;
+pub mod schedule;
+pub mod unionfind;
+
+pub use egraph::{Analysis, EClass, EGraph};
+pub use extract::{AstSize, CostFunction, Extractor, FnCost};
+pub use language::{Language, RecExpr};
+pub use pattern::{Pattern, Subst};
+pub use relation::Relations;
+pub use rewrite::{Atom, Query, Rewrite};
+pub use schedule::{RunReport, Runner};
+pub use unionfind::{Id, UnionFind};

@@ -1,0 +1,98 @@
+//! A tiny arithmetic language used to test the engine — the paper's Fig. 1
+//! example `(a×2)÷2 → a` is reproduced in this module's tests.
+
+use crate::language::Language;
+use crate::pattern::Pattern;
+use crate::unionfind::Id;
+
+/// Arithmetic e-nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Math {
+    /// Integer literal.
+    Num(i64),
+    /// Symbolic constant.
+    Sym(String),
+    /// Addition.
+    Add([Id; 2]),
+    /// Multiplication.
+    Mul([Id; 2]),
+    /// Division.
+    Div([Id; 2]),
+    /// Left shift.
+    Shl([Id; 2]),
+}
+
+impl Language for Math {
+    fn children(&self) -> &[Id] {
+        match self {
+            Math::Num(_) | Math::Sym(_) => &[],
+            Math::Add(c) | Math::Mul(c) | Math::Div(c) | Math::Shl(c) => c,
+        }
+    }
+
+    fn children_mut(&mut self) -> &mut [Id] {
+        match self {
+            Math::Num(_) | Math::Sym(_) => &mut [],
+            Math::Add(c) | Math::Mul(c) | Math::Div(c) | Math::Shl(c) => c,
+        }
+    }
+
+    fn matches_op(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Math::Num(a), Math::Num(b)) => a == b,
+            (Math::Sym(a), Math::Sym(b)) => a == b,
+            (Math::Add(_), Math::Add(_))
+            | (Math::Mul(_), Math::Mul(_))
+            | (Math::Div(_), Math::Div(_))
+            | (Math::Shl(_), Math::Shl(_)) => true,
+            _ => false,
+        }
+    }
+
+    fn op_name(&self) -> String {
+        match self {
+            Math::Num(n) => n.to_string(),
+            Math::Sym(s) => s.clone(),
+            Math::Add(_) => "+".to_string(),
+            Math::Mul(_) => "*".to_string(),
+            Math::Div(_) => "/".to_string(),
+            Math::Shl(_) => "<<".to_string(),
+        }
+    }
+}
+
+/// Pattern variable shorthand.
+#[must_use]
+pub fn pvar(name: &str) -> Pattern<Math> {
+    Pattern::var(name)
+}
+
+/// Literal-number pattern.
+#[must_use]
+pub fn n(v: i64) -> Pattern<Math> {
+    Pattern::Node(Math::Num(v), vec![])
+}
+
+/// `(a * b)` pattern.
+#[must_use]
+pub fn pmul(a: Pattern<Math>, b: Pattern<Math>) -> Pattern<Math> {
+    Pattern::Node(Math::Mul([Id(0), Id(0)]), vec![a, b])
+}
+
+/// `(a / b)` pattern.
+#[must_use]
+pub fn pdiv(a: Pattern<Math>, b: Pattern<Math>) -> Pattern<Math> {
+    Pattern::Node(Math::Div([Id(0), Id(0)]), vec![a, b])
+}
+
+/// `(a + b)` pattern.
+#[must_use]
+pub fn padd(a: Pattern<Math>, b: Pattern<Math>) -> Pattern<Math> {
+    Pattern::Node(Math::Add([Id(0), Id(0)]), vec![a, b])
+}
+
+/// `(a << b)` pattern.
+#[must_use]
+pub fn pshl(a: Pattern<Math>, b: Pattern<Math>) -> Pattern<Math> {
+    Pattern::Node(Math::Shl([Id(0), Id(0)]), vec![a, b])
+}

@@ -1,0 +1,293 @@
+//! Patterns and e-matching.
+//!
+//! A [`Pattern`] is a term with named holes. [`Pattern::search_class`]
+//! enumerates all substitutions under which the pattern matches some term
+//! represented by an e-class.
+
+use std::collections::HashMap;
+
+use crate::egraph::{Analysis, EGraph};
+use crate::language::Language;
+use crate::unionfind::Id;
+
+/// A substitution from pattern variable names to e-class ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: HashMap<String, Id>,
+}
+
+impl Subst {
+    /// Empty substitution.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id bound to `var`, if any.
+    #[must_use]
+    pub fn get(&self, var: &str) -> Option<Id> {
+        self.map.get(var).copied()
+    }
+
+    /// Binds `var` to `id`; returns false (leaving the subst unchanged) if
+    /// `var` is already bound to a different id.
+    pub fn bind(&mut self, var: &str, id: Id) -> bool {
+        match self.map.get(var) {
+            Some(&existing) => existing == id,
+            None => {
+                self.map.insert(var.to_string(), id);
+                true
+            }
+        }
+    }
+
+    /// Iterates over bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Id)> {
+        self.map.iter()
+    }
+
+    /// Number of bound variables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variables are bound.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A pattern over language `L`.
+///
+/// `Node(op, subpatterns)`: the `op`'s own child ids are placeholders and
+/// ignored; only its operator/payload is compared (via
+/// [`Language::matches_op`]). The real children are the subpatterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern<L> {
+    /// A hole, matching any e-class and binding it to a name.
+    Var(String),
+    /// An operator application.
+    Node(L, Vec<Pattern<L>>),
+}
+
+impl<L: Language> Pattern<L> {
+    /// A variable pattern.
+    #[must_use]
+    pub fn var(name: &str) -> Self {
+        Pattern::Var(name.to_string())
+    }
+
+    /// All variable names in the pattern.
+    #[must_use]
+    pub fn vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Pattern::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Pattern::Node(_, children) => {
+                for c in children {
+                    c.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Matches the pattern against e-class `id`, extending `subst`.
+    /// Returns every consistent extension.
+    #[must_use]
+    pub fn search_class<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        id: Id,
+        subst: &Subst,
+    ) -> Vec<Subst> {
+        debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
+        let id = egraph.find(id);
+        match self {
+            Pattern::Var(v) => {
+                let mut s = subst.clone();
+                if s.bind(v, id) {
+                    vec![s]
+                } else {
+                    Vec::new()
+                }
+            }
+            Pattern::Node(op, children) => {
+                let mut results = Vec::new();
+                for node in &egraph.class(id).nodes {
+                    if !node.matches_op(op) || node.children().len() != children.len() {
+                        continue;
+                    }
+                    let mut partial = vec![subst.clone()];
+                    for (child_pat, &child_id) in children.iter().zip(node.children()) {
+                        let mut next = Vec::new();
+                        for s in &partial {
+                            next.extend(child_pat.search_class(egraph, child_id, s));
+                        }
+                        partial = next;
+                        if partial.is_empty() {
+                            break;
+                        }
+                    }
+                    results.extend(partial);
+                }
+                results
+            }
+        }
+    }
+
+    /// Searches every class in the graph; returns `(root_id, subst)` pairs.
+    #[must_use]
+    pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<(Id, Subst)> {
+        let mut out = Vec::new();
+        for class in egraph.classes() {
+            for s in self.search_class(egraph, class.id, &Subst::new()) {
+                out.push((class.id, s));
+            }
+        }
+        out
+    }
+
+    /// Instantiates the pattern in the e-graph under `subst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern variable is unbound.
+    pub fn instantiate<N: Analysis<L>>(&self, egraph: &mut EGraph<L, N>, subst: &Subst) -> Id {
+        match self {
+            Pattern::Var(v) => subst
+                .get(v)
+                .unwrap_or_else(|| panic!("unbound pattern variable ?{v}")),
+            Pattern::Node(op, children) => {
+                let child_ids: Vec<Id> = children
+                    .iter()
+                    .map(|c| c.instantiate(egraph, subst))
+                    .collect();
+                let mut k = 0;
+                let node = op.map_children(|_| {
+                    let id = child_ids[k];
+                    k += 1;
+                    id
+                });
+                egraph.add(node)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math_lang::{n, pvar, Math};
+
+    fn p_mul(a: Pattern<Math>, b: Pattern<Math>) -> Pattern<Math> {
+        Pattern::Node(Math::Mul([Id(0), Id(0)]), vec![a, b])
+    }
+
+    #[test]
+    fn match_simple_node() {
+        let mut eg = EGraph::<Math>::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let two = eg.add(Math::Num(2));
+        let m = eg.add(Math::Mul([a, two]));
+        let pat = p_mul(pvar("x"), pvar("y"));
+        let matches = pat.search_class(&eg, m, &Subst::new());
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].get("x"), Some(a));
+        assert_eq!(matches[0].get("y"), Some(two));
+    }
+
+    #[test]
+    fn nonlinear_patterns_require_equal_classes() {
+        let mut eg = EGraph::<Math>::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let m_ab = eg.add(Math::Mul([a, b]));
+        let m_aa = eg.add(Math::Mul([a, a]));
+        let square = p_mul(pvar("x"), pvar("x"));
+        assert!(square.search_class(&eg, m_ab, &Subst::new()).is_empty());
+        assert_eq!(square.search_class(&eg, m_aa, &Subst::new()).len(), 1);
+    }
+
+    #[test]
+    fn literal_payloads_must_match() {
+        let mut eg = EGraph::<Math>::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let two = eg.add(Math::Num(2));
+        let m = eg.add(Math::Mul([a, two]));
+        let pat2 = p_mul(pvar("x"), n(2));
+        let pat3 = p_mul(pvar("x"), n(3));
+        assert_eq!(pat2.search_class(&eg, m, &Subst::new()).len(), 1);
+        assert!(pat3.search_class(&eg, m, &Subst::new()).is_empty());
+    }
+
+    #[test]
+    fn search_whole_graph() {
+        let mut eg = EGraph::<Math>::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let two = eg.add(Math::Num(2));
+        let _m1 = eg.add(Math::Mul([a, two]));
+        let _m2 = eg.add(Math::Mul([b, two]));
+        let pat = p_mul(pvar("x"), n(2));
+        assert_eq!(pat.search(&eg).len(), 2);
+    }
+
+    #[test]
+    fn matches_through_unions() {
+        // After a ≡ (a*2)/2, the pattern (?x * 2) matches inside the class.
+        let mut eg = EGraph::<Math>::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let two = eg.add(Math::Num(2));
+        let m = eg.add(Math::Mul([a, two]));
+        let d = eg.add(Math::Div([m, two]));
+        eg.union(a, d);
+        eg.rebuild();
+        let pat = Pattern::Node(
+            Math::Div([Id(0), Id(0)]),
+            vec![p_mul(pvar("x"), n(2)), n(2)],
+        );
+        let found = pat.search_class(&eg, a, &Subst::new());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].get("x"), Some(eg.find(a)));
+    }
+
+    #[test]
+    fn instantiate_builds_terms() {
+        let mut eg = EGraph::<Math>::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let mut s = Subst::new();
+        assert!(s.bind("x", a));
+        let pat = p_mul(pvar("x"), n(1));
+        let id = pat.instantiate(&mut eg, &s);
+        assert!(eg.lookup(&Math::Num(1)).is_some());
+        let term = eg.any_term(id).unwrap();
+        assert_eq!(term.to_sexp(), "(* a 1)");
+    }
+
+    #[test]
+    fn vars_are_collected_in_order() {
+        let pat = p_mul(pvar("x"), p_mul(pvar("y"), pvar("x")));
+        assert_eq!(pat.vars(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn subst_bind_conflicts() {
+        let mut s = Subst::new();
+        assert!(s.bind("x", Id(1)));
+        assert!(s.bind("x", Id(1)));
+        assert!(!s.bind("x", Id(2)));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+}

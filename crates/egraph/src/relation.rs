@@ -1,0 +1,114 @@
+//! Datalog-style relations over e-class ids (egglog's `relation`).
+//!
+//! HARDBOILED uses relations such as `amx-B-tile` to decouple
+//! application-specific tile-discovery rules from hardware lowering rules.
+//! Tuples store e-class ids and are re-canonicalized on every rebuild.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::unionfind::Id;
+
+/// A set of named relations, each a set of id tuples.
+#[derive(Debug, Clone, Default)]
+pub struct Relations {
+    tables: HashMap<String, BTreeSet<Vec<Id>>>,
+}
+
+impl Relations {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a relation (idempotent). Insertion auto-declares, so this is
+    /// only needed when emptiness of an undeclared relation matters.
+    pub fn declare(&mut self, name: &str) {
+        self.tables.entry(name.to_string()).or_default();
+    }
+
+    /// Inserts a tuple; returns whether it was new.
+    pub fn insert(&mut self, name: &str, tuple: Vec<Id>) -> bool {
+        self.tables.entry(name.to_string()).or_default().insert(tuple)
+    }
+
+    /// Whether the tuple is present.
+    #[must_use]
+    pub fn contains(&self, name: &str, tuple: &[Id]) -> bool {
+        self.tables
+            .get(name)
+            .is_some_and(|t| t.contains(&tuple.to_vec()))
+    }
+
+    /// All tuples of a relation (empty iterator if undeclared).
+    pub fn tuples(&self, name: &str) -> impl Iterator<Item = &Vec<Id>> {
+        self.tables.get(name).into_iter().flatten()
+    }
+
+    /// Number of tuples in a relation.
+    #[must_use]
+    pub fn len(&self, name: &str) -> usize {
+        self.tables.get(name).map_or(0, BTreeSet::len)
+    }
+
+    /// Whether the relation has no tuples.
+    #[must_use]
+    pub fn is_empty(&self, name: &str) -> bool {
+        self.len(name) == 0
+    }
+
+    /// Total number of tuples across all relations.
+    #[must_use]
+    pub fn total_tuples(&self) -> usize {
+        self.tables.values().map(BTreeSet::len).sum()
+    }
+
+    /// Rewrites every id in every tuple with `find`, merging tuples that
+    /// become equal. Called by the e-graph on rebuild.
+    pub fn canonicalize(&mut self, find: impl Fn(Id) -> Id) {
+        for table in self.tables.values_mut() {
+            let new: BTreeSet<Vec<Id>> = table
+                .iter()
+                .map(|t| t.iter().map(|&id| find(id)).collect())
+                .collect();
+            *table = new;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut r = Relations::new();
+        assert!(r.insert("amx-B-tile", vec![Id(1), Id(2)]));
+        assert!(!r.insert("amx-B-tile", vec![Id(1), Id(2)]), "duplicate");
+        assert!(r.contains("amx-B-tile", &[Id(1), Id(2)]));
+        assert!(!r.contains("amx-B-tile", &[Id(2), Id(1)]));
+        assert_eq!(r.len("amx-B-tile"), 1);
+        assert_eq!(r.len("missing"), 0);
+        assert!(r.is_empty("missing"));
+        assert_eq!(r.total_tuples(), 1);
+    }
+
+    #[test]
+    fn canonicalize_merges_tuples() {
+        let mut r = Relations::new();
+        r.insert("rel", vec![Id(1), Id(5)]);
+        r.insert("rel", vec![Id(2), Id(5)]);
+        // Pretend 2 was unioned into 1.
+        r.canonicalize(|id| if id == Id(2) { Id(1) } else { id });
+        assert_eq!(r.len("rel"), 1);
+        assert!(r.contains("rel", &[Id(1), Id(5)]));
+    }
+
+    #[test]
+    fn declare_makes_visible_empty_relation() {
+        let mut r = Relations::new();
+        r.declare("has-type");
+        assert!(r.is_empty("has-type"));
+        assert_eq!(r.tuples("has-type").count(), 0);
+    }
+}

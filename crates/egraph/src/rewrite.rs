@@ -1,0 +1,352 @@
+//! Rules: queries (conjunctions of patterns and relation atoms), guards and
+//! appliers — the engine's equivalent of egglog's `rewrite` and `rule`.
+
+use crate::egraph::{Analysis, EGraph};
+use crate::language::Language;
+use crate::pattern::{Pattern, Subst};
+use crate::unionfind::Id;
+
+/// One atom of a rule's query.
+pub enum Atom<L> {
+    /// `(= var pattern)`: the class bound to `var` (or every class, if `var`
+    /// is unbound so far) must contain a term matching `pattern`.
+    Pat {
+        /// Variable naming the matched class.
+        var: String,
+        /// Pattern the class must contain.
+        pattern: Pattern<L>,
+    },
+    /// `(relation v1 v2 …)`: the tuple of classes bound to the variables
+    /// must be in the relation; unbound variables enumerate.
+    Rel {
+        /// Relation name.
+        name: String,
+        /// Variable names, one per column.
+        vars: Vec<String>,
+    },
+}
+
+/// A conjunctive query: atoms are solved left to right.
+pub struct Query<L> {
+    /// Conjuncts.
+    pub atoms: Vec<Atom<L>>,
+}
+
+impl<L: Language> Query<L> {
+    /// Query with a single root pattern bound to `var`.
+    #[must_use]
+    pub fn single(var: &str, pattern: Pattern<L>) -> Self {
+        Query {
+            atoms: vec![Atom::Pat {
+                var: var.to_string(),
+                pattern,
+            }],
+        }
+    }
+
+    /// Adds a `(= var pattern)` atom.
+    #[must_use]
+    pub fn also(mut self, var: &str, pattern: Pattern<L>) -> Self {
+        self.atoms.push(Atom::Pat {
+            var: var.to_string(),
+            pattern,
+        });
+        self
+    }
+
+    /// Adds a relation atom.
+    #[must_use]
+    pub fn with_relation(mut self, name: &str, vars: &[&str]) -> Self {
+        self.atoms.push(Atom::Rel {
+            name: name.to_string(),
+            vars: vars.iter().map(|v| (*v).to_string()).collect(),
+        });
+        self
+    }
+
+    /// Enumerates all substitutions satisfying the query.
+    #[must_use]
+    pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<Subst> {
+        let mut substs = vec![Subst::new()];
+        for atom in &self.atoms {
+            let mut next = Vec::new();
+            match atom {
+                Atom::Pat { var, pattern } => {
+                    for s in &substs {
+                        if let Some(id) = s.get(var) {
+                            for mut m in pattern.search_class(egraph, id, s) {
+                                // Root var already bound; keep it.
+                                let ok = m.bind(var, egraph.find(id));
+                                debug_assert!(ok);
+                                next.push(m);
+                            }
+                        } else {
+                            for class in egraph.classes() {
+                                for mut m in pattern.search_class(egraph, class.id, s) {
+                                    if m.bind(var, egraph.find(class.id)) {
+                                        next.push(m);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Atom::Rel { name, vars } => {
+                    for s in &substs {
+                        for tuple in egraph.relations.tuples(name) {
+                            if tuple.len() != vars.len() {
+                                continue;
+                            }
+                            let mut m = s.clone();
+                            let mut ok = true;
+                            for (v, &id) in vars.iter().zip(tuple.iter()) {
+                                if !m.bind(v, egraph.find(id)) {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                next.push(m);
+                            }
+                        }
+                    }
+                }
+            }
+            substs = next;
+            if substs.is_empty() {
+                break;
+            }
+        }
+        substs
+    }
+}
+
+/// Guard predicate evaluated on each match before application.
+pub type Guard<L, N> = Box<dyn Fn(&EGraph<L, N>, &Subst) -> bool>;
+
+/// Action run on each surviving match; returns whether the e-graph changed.
+pub type ApplyFn<L, N> = Box<dyn Fn(&mut EGraph<L, N>, &Subst) -> bool>;
+
+/// A named rule: query → guard → action.
+pub struct Rewrite<L: Language, N: Analysis<L> = ()> {
+    /// Rule name (for reports).
+    pub name: String,
+    /// Query side.
+    pub query: Query<L>,
+    /// Optional guard (`:when` clauses).
+    pub guard: Option<Guard<L, N>>,
+    /// Action side.
+    pub applier: ApplyFn<L, N>,
+}
+
+impl<L: Language + 'static, N: Analysis<L>> Rewrite<L, N> {
+    /// A `rewrite lhs => rhs` rule: matches `lhs` anywhere and unions the
+    /// matched class with the instantiated `rhs`.
+    pub fn rewrite(name: &str, lhs: Pattern<L>, rhs: Pattern<L>) -> Self {
+        Self::rewrite_when(name, lhs, rhs, None)
+    }
+
+    /// A conditional rewrite (egglog's `:when`).
+    pub fn rewrite_when(
+        name: &str,
+        lhs: Pattern<L>,
+        rhs: Pattern<L>,
+        guard: Option<Guard<L, N>>,
+    ) -> Self {
+        let root = "$root".to_string();
+        let rhs2 = rhs;
+        Rewrite {
+            name: name.to_string(),
+            query: Query::single(&root, lhs),
+            guard,
+            applier: Box::new(move |egraph, subst| {
+                let root_id = subst.get("$root").expect("root bound by query");
+                let new_id = rhs2.instantiate(egraph, subst);
+                egraph.union(root_id, new_id).1
+            }),
+        }
+    }
+
+    /// A general rule with an arbitrary action.
+    pub fn rule(name: &str, query: Query<L>, applier: ApplyFn<L, N>) -> Self {
+        Rewrite {
+            name: name.to_string(),
+            query,
+            guard: None,
+            applier,
+        }
+    }
+
+    /// Attaches a guard.
+    #[must_use]
+    pub fn with_guard(mut self, guard: Guard<L, N>) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+}
+
+impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
+    /// Runs the rule once over the whole graph (search, then apply all
+    /// matches). Returns the number of matches that changed the graph.
+    /// Rebuilds first if the graph is dirty, but does **not** rebuild after
+    /// applying.
+    pub fn run(&self, egraph: &mut EGraph<L, N>) -> usize {
+        if !egraph.is_clean() {
+            egraph.rebuild();
+        }
+        let matches = self.query.search(egraph);
+        let mut changed = 0;
+        for m in matches {
+            if let Some(g) = &self.guard {
+                if !g(egraph, &m) {
+                    continue;
+                }
+            }
+            if (self.applier)(egraph, &m) {
+                changed += 1;
+            }
+        }
+        changed
+    }
+}
+
+/// Convenience: looks up the id bound to `var`, panicking with the rule
+/// context if missing.
+#[must_use]
+pub fn bound(subst: &Subst, var: &str) -> Id {
+    subst
+        .get(var)
+        .unwrap_or_else(|| panic!("query did not bind ?{var}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math_lang::{n, padd, pdiv, pmul, pvar, Math};
+
+    type EG = EGraph<Math, ()>;
+
+    #[test]
+    fn rewrite_commutes_addition() {
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let ab = eg.add(Math::Add([a, b]));
+        let ba = eg.add(Math::Add([b, a]));
+        assert_ne!(eg.find(ab), eg.find(ba));
+        let comm = Rewrite::<Math>::rewrite(
+            "comm-add",
+            padd(pvar("x"), pvar("y")),
+            padd(pvar("y"), pvar("x")),
+        );
+        comm.run(&mut eg);
+        eg.rebuild();
+        assert_eq!(eg.find(ab), eg.find(ba));
+    }
+
+    #[test]
+    fn fig1_example_a_times_2_div_2() {
+        // Paper Fig. 1: rules (a×2)÷2 → a×(2÷2), 2÷2 → 1, a×1 → a.
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let two = eg.add(Math::Num(2));
+        let m = eg.add(Math::Mul([a, two]));
+        let d = eg.add(Math::Div([m, two]));
+
+        let r1 = Rewrite::<Math>::rewrite(
+            "assoc",
+            pdiv(pmul(pvar("a"), pvar("b")), pvar("c")),
+            pmul(pvar("a"), pdiv(pvar("b"), pvar("c"))),
+        );
+        let r2 = Rewrite::<Math>::rewrite("div-self", pdiv(n(2), n(2)), n(1));
+        let r3 = Rewrite::<Math>::rewrite("mul-one", pmul(pvar("a"), n(1)), pvar("a"));
+
+        for _ in 0..4 {
+            r1.run(&mut eg);
+            r2.run(&mut eg);
+            r3.run(&mut eg);
+            eg.rebuild();
+        }
+        assert_eq!(eg.find(d), eg.find(a), "(a*2)/2 must equal a");
+    }
+
+    #[test]
+    fn guards_filter_matches() {
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let two = eg.add(Math::Num(2));
+        let m = eg.add(Math::Mul([a, two]));
+        // Guarded rewrite that refuses every match.
+        let never = Rewrite::<Math>::rewrite(
+            "never",
+            pmul(pvar("x"), pvar("y")),
+            pmul(pvar("y"), pvar("x")),
+        )
+        .with_guard(Box::new(|_, _| false));
+        assert_eq!(never.run(&mut eg), 0);
+        eg.rebuild();
+        let swapped = eg.lookup(&Math::Mul([two, a]));
+        assert!(swapped.is_none() || swapped == Some(eg.find(m)));
+    }
+
+    #[test]
+    fn multi_atom_query_with_relation() {
+        // rule: (= e (x * y)) ∧ good(y)  ⇒  mark(e)
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let two = eg.add(Math::Num(2));
+        let m_good = eg.add(Math::Mul([a, two]));
+        let _m_bad = eg.add(Math::Mul([a, b]));
+        eg.relations.insert("good", vec![two]);
+
+        let rule = Rewrite::<Math>::rule(
+            "mark-good-products",
+            Query::single("e", pmul(pvar("x"), pvar("y"))).with_relation("good", &["y"]),
+            Box::new(|eg, s| {
+                let e = bound(s, "e");
+                eg.relations.insert("marked", vec![e])
+            }),
+        );
+        rule.run(&mut eg);
+        eg.rebuild();
+        assert_eq!(eg.relations.len("marked"), 1);
+        assert!(eg.relations.contains("marked", &[eg.find(m_good)]));
+    }
+
+    #[test]
+    fn relation_atom_enumerates_unbound_vars() {
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        eg.relations.insert("pair", vec![a, b]);
+        eg.relations.insert("pair", vec![b, a]);
+        let q: Query<Math> = Query { atoms: vec![] };
+        let q = q.with_relation("pair", &["x", "y"]);
+        assert_eq!(q.search(&eg).len(), 2);
+        // Non-linear: pair(x, x) matches nothing.
+        let q2: Query<Math> = Query { atoms: vec![] };
+        let q2 = q2.with_relation("pair", &["x", "x"]);
+        assert_eq!(q2.search(&eg).len(), 0);
+    }
+
+    #[test]
+    fn bound_pattern_atom_constrains_existing_binding() {
+        // (= e (x * 2)) ∧ (= x (p + q)) — second atom searched inside x.
+        let mut eg = EG::new();
+        let p = eg.add(Math::Sym("p".into()));
+        let q = eg.add(Math::Sym("q".into()));
+        let sum = eg.add(Math::Add([p, q]));
+        let two = eg.add(Math::Num(2));
+        let _m = eg.add(Math::Mul([sum, two]));
+        let plain = eg.add(Math::Sym("z".into()));
+        let _m2 = eg.add(Math::Mul([plain, two]));
+
+        let query = Query::single("e", pmul(pvar("x"), n(2)))
+            .also("x", padd(pvar("p"), pvar("q")));
+        let results = query.search(&eg);
+        assert_eq!(results.len(), 1, "only the sum-operand product matches");
+        assert_eq!(results[0].get("p"), Some(p));
+        assert_eq!(results[0].get("q"), Some(q));
+    }
+}

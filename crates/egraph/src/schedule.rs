@@ -1,0 +1,240 @@
+//! Rule scheduling: the paper's §III-D2 strategy.
+//!
+//! HARDBOILED runs a fixed number of outer iterations of the axiomatic,
+//! application-specific and lowering rules, and between each iteration runs
+//! the *supporting* rules (type analysis, shape tracking) to a fixpoint —
+//! supporting rules always saturate in finitely many steps.
+
+use std::time::{Duration, Instant};
+
+use crate::egraph::{Analysis, EGraph};
+use crate::language::Language;
+use crate::rewrite::Rewrite;
+
+/// Statistics from a saturation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Outer iterations executed.
+    pub iterations: usize,
+    /// Total matches that changed the graph.
+    pub applied: usize,
+    /// E-nodes after the run.
+    pub nodes: usize,
+    /// E-classes after the run.
+    pub classes: usize,
+    /// Whether the run stopped because nothing changed.
+    pub saturated: bool,
+    /// Whether the run stopped because the node limit was hit.
+    pub node_limit_hit: bool,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Limits and phase driver for saturation.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    /// Maximum outer iterations for fixpoint phases.
+    pub max_iterations: usize,
+    /// Stop when the graph exceeds this many e-nodes.
+    pub node_limit: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner {
+            max_iterations: 32,
+            node_limit: 500_000,
+        }
+    }
+}
+
+impl Runner {
+    /// A runner with custom limits.
+    #[must_use]
+    pub fn new(max_iterations: usize, node_limit: usize) -> Self {
+        Runner {
+            max_iterations,
+            node_limit,
+        }
+    }
+
+    /// Runs every rule once, then rebuilds. Returns matches applied.
+    pub fn run_once<L: Language, N: Analysis<L>>(
+        egraph: &mut EGraph<L, N>,
+        rules: &[Rewrite<L, N>],
+    ) -> usize {
+        let mut applied = 0;
+        for rule in rules {
+            applied += rule.run(egraph);
+        }
+        egraph.rebuild();
+        applied
+    }
+
+    /// Runs the rules to saturation (or the iteration/node limit).
+    pub fn run_to_fixpoint<L: Language, N: Analysis<L>>(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        rules: &[Rewrite<L, N>],
+    ) -> RunReport {
+        let start = Instant::now();
+        let mut report = RunReport::default();
+        for _ in 0..self.max_iterations {
+            report.iterations += 1;
+            let relations_before = egraph.relations.total_tuples();
+            let applied = Self::run_once(egraph, rules);
+            let relations_changed = egraph.relations.total_tuples() != relations_before;
+            report.applied += applied;
+            if applied == 0 && !relations_changed {
+                report.saturated = true;
+                break;
+            }
+            if egraph.num_nodes() > self.node_limit {
+                report.node_limit_hit = true;
+                break;
+            }
+        }
+        report.nodes = egraph.num_nodes();
+        report.classes = egraph.num_classes();
+        report.elapsed = start.elapsed();
+        report
+    }
+
+    /// The paper's phased schedule: `outer_iters` rounds of the main rules,
+    /// with the supporting rules saturated before the first round and after
+    /// every round.
+    pub fn run_phased<L: Language, N: Analysis<L>>(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        main_rules: &[Rewrite<L, N>],
+        supporting_rules: &[Rewrite<L, N>],
+        outer_iters: usize,
+    ) -> RunReport {
+        let start = Instant::now();
+        let mut report = RunReport::default();
+        let support = self.run_to_fixpoint(egraph, supporting_rules);
+        report.applied += support.applied;
+        for _ in 0..outer_iters {
+            report.iterations += 1;
+            let applied = Self::run_once(egraph, main_rules);
+            report.applied += applied;
+            let support = self.run_to_fixpoint(egraph, supporting_rules);
+            report.applied += support.applied;
+            if applied == 0 && support.applied == 0 {
+                report.saturated = true;
+                break;
+            }
+            if egraph.num_nodes() > self.node_limit {
+                report.node_limit_hit = true;
+                break;
+            }
+        }
+        report.nodes = egraph.num_nodes();
+        report.classes = egraph.num_classes();
+        report.elapsed = start.elapsed();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math_lang::{n, pdiv, pmul, pvar, Math};
+    use crate::rewrite::Query;
+
+    type EG = EGraph<Math, ()>;
+
+    fn fig1_rules() -> Vec<Rewrite<Math>> {
+        vec![
+            Rewrite::rewrite(
+                "assoc",
+                pdiv(pmul(pvar("a"), pvar("b")), pvar("c")),
+                pmul(pvar("a"), pdiv(pvar("b"), pvar("c"))),
+            ),
+            Rewrite::rewrite("div-self", pdiv(n(2), n(2)), n(1)),
+            Rewrite::rewrite("mul-one", pmul(pvar("a"), n(1)), pvar("a")),
+        ]
+    }
+
+    #[test]
+    fn fixpoint_saturates_and_reports() {
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let two = eg.add(Math::Num(2));
+        let m = eg.add(Math::Mul([a, two]));
+        let d = eg.add(Math::Div([m, two]));
+        let rules = fig1_rules();
+        let report = Runner::default().run_to_fixpoint(&mut eg, &rules);
+        assert!(report.saturated);
+        assert!(report.iterations >= 2);
+        assert_eq!(eg.find(d), eg.find(a));
+        assert!(report.nodes > 0 && report.classes > 0);
+    }
+
+    #[test]
+    fn node_limit_stops_explosion() {
+        // A rule that keeps minting fresh literals can never saturate
+        // (hash-consing tames mere term growth, so grow payloads instead).
+        let mut eg = EG::new();
+        let _ = eg.add(Math::Num(0));
+        let succ = Rewrite::<Math>::rule(
+            "successor",
+            Query::single("e", pvar("e")),
+            Box::new(|eg, s| {
+                let id = crate::rewrite::bound(s, "e");
+                let v = eg
+                    .class(id)
+                    .nodes
+                    .iter()
+                    .find_map(|n| match n {
+                        Math::Num(v) => Some(*v),
+                        _ => None,
+                    });
+                match v {
+                    Some(v) => {
+                        let before = eg.num_nodes();
+                        eg.add(Math::Num(v + 1));
+                        eg.num_nodes() > before
+                    }
+                    None => false,
+                }
+            }),
+        );
+        let runner = Runner::new(1000, 50);
+        let report = runner.run_to_fixpoint(&mut eg, &[succ]);
+        assert!(report.node_limit_hit);
+        assert!(!report.saturated);
+    }
+
+    #[test]
+    fn phased_schedule_runs_supporting_rules_between_rounds() {
+        // Supporting rule derives facts used by the main rule's relation atom.
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let two = eg.add(Math::Num(2));
+        let m = eg.add(Math::Mul([a, two]));
+        let _d = eg.add(Math::Div([m, two]));
+
+        // Supporting: every literal 2 is "even".
+        let support = Rewrite::<Math>::rule(
+            "two-is-even",
+            Query::single("e", n(2)),
+            Box::new(|eg, s| {
+                let e = crate::rewrite::bound(s, "e");
+                eg.relations.insert("even", vec![e])
+            }),
+        );
+        // Main: products by an even number get marked.
+        let main = Rewrite::<Math>::rule(
+            "mark",
+            Query::single("e", pmul(pvar("x"), pvar("y"))).with_relation("even", &["y"]),
+            Box::new(|eg, s| {
+                let e = crate::rewrite::bound(s, "e");
+                eg.relations.insert("marked", vec![e])
+            }),
+        );
+        let report = Runner::default().run_phased(&mut eg, &[main], &[support], 3);
+        assert!(report.applied >= 2);
+        assert_eq!(eg.relations.len("marked"), 1);
+    }
+}

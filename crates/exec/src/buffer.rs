@@ -1,0 +1,365 @@
+//! Simulated memory: named buffers with placement-aware cost accounting.
+//!
+//! Heap (global) buffers charge every access to L1 and *newly touched*
+//! elements to DRAM (footprint model — see `hb-accel`'s counter docs).
+//! Shared/stack buffers charge the shared-memory counter; accelerator
+//! register buffers charge nothing (their traffic is counted on the memory
+//! side of the movement).
+
+use std::collections::HashMap;
+
+use hb_accel::counters::CostCounters;
+use hb_ir::numeric::round_to;
+use hb_ir::types::{MemoryType, ScalarType};
+
+/// Execution error (out-of-bounds access, unknown buffer, intrinsic misuse).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError(pub String);
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Shorthand result type.
+pub type ExecResult<T> = Result<T, ExecError>;
+
+/// A named simulated buffer.
+#[derive(Debug, Clone)]
+pub struct Buffer {
+    /// Element type (values round through this precision on store).
+    pub elem: ScalarType,
+    /// Placement.
+    pub memory: MemoryType,
+    data: Vec<f64>,
+    read_touched: Vec<bool>,
+    write_touched: Vec<bool>,
+}
+
+impl Buffer {
+    fn new(elem: ScalarType, size: usize, memory: MemoryType) -> Self {
+        Buffer {
+            elem,
+            memory,
+            data: vec![0.0; size],
+            read_touched: vec![false; size],
+            write_touched: vec![false; size],
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer has zero elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw contents (for checking results in tests/harnesses).
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// The buffer store plus accumulated cost counters.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    buffers: HashMap<String, Buffer>,
+    /// Cost counters accumulated by all accesses so far.
+    pub counters: CostCounters,
+}
+
+impl Memory {
+    /// Empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a zero-filled buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is already allocated.
+    pub fn alloc(
+        &mut self,
+        name: &str,
+        elem: ScalarType,
+        size: usize,
+        memory: MemoryType,
+    ) -> ExecResult<()> {
+        if self.buffers.contains_key(name) {
+            return Err(ExecError(format!("buffer {name} already allocated")));
+        }
+        self.buffers
+            .insert(name.to_string(), Buffer::new(elem, size, memory));
+        Ok(())
+    }
+
+    /// Allocates and initializes a buffer from `f64` contents (values round
+    /// through the element precision).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is already allocated.
+    pub fn alloc_init(
+        &mut self,
+        name: &str,
+        elem: ScalarType,
+        memory: MemoryType,
+        contents: &[f64],
+    ) -> ExecResult<()> {
+        self.alloc(name, elem, contents.len(), memory)?;
+        let buf = self.buffers.get_mut(name).expect("just allocated");
+        for (dst, &src) in buf.data.iter_mut().zip(contents) {
+            *dst = round_to(elem, src);
+        }
+        Ok(())
+    }
+
+    /// Frees a buffer (leaving its DRAM footprint in the counters).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffer does not exist.
+    pub fn free(&mut self, name: &str) -> ExecResult<()> {
+        self.buffers
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| ExecError(format!("free of unknown buffer {name}")))
+    }
+
+    /// Whether a buffer exists.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.buffers.contains_key(name)
+    }
+
+    /// Read-only view of a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffer does not exist.
+    pub fn buffer(&self, name: &str) -> ExecResult<&Buffer> {
+        self.buffers
+            .get(name)
+            .ok_or_else(|| ExecError(format!("unknown buffer {name}")))
+    }
+
+    fn buffer_mut(&mut self, name: &str) -> ExecResult<&mut Buffer> {
+        self.buffers
+            .get_mut(name)
+            .ok_or_else(|| ExecError(format!("unknown buffer {name}")))
+    }
+
+    /// Gathers elements at `indices`, applying cost accounting and storage
+    /// rounding (already applied at write time; reads return stored values).
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-bounds indices.
+    pub fn read(&mut self, name: &str, indices: &[i64]) -> ExecResult<Vec<f64>> {
+        let buf = self.buffer_mut(name)?;
+        let mut out = Vec::with_capacity(indices.len());
+        let elem_bytes = u64::from(buf.elem.bytes());
+        let mut new_dram = 0u64;
+        for &i in indices {
+            let idx = usize::try_from(i)
+                .map_err(|_| ExecError(format!("negative index {i} into {name}")))?;
+            let v = *buf
+                .data
+                .get(idx)
+                .ok_or_else(|| ExecError(format!("read {name}[{i}] out of bounds (len {})", buf.data.len())))?;
+            if !buf.read_touched[idx] {
+                buf.read_touched[idx] = true;
+                new_dram += elem_bytes;
+            }
+            out.push(v);
+        }
+        let total = elem_bytes * indices.len() as u64;
+        match buf.memory {
+            MemoryType::Heap => {
+                self.counters.l1_bytes += total;
+                self.counters.dram_read_bytes += new_dram;
+            }
+            MemoryType::GpuShared => {
+                self.counters.shared_bytes += total;
+            }
+            // Stack scratch models per-thread registers; accelerator
+            // register files are charged on the memory side of movements.
+            _ => {}
+        }
+        Ok(out)
+    }
+
+    /// Scatters `values` to `indices`, rounding through the element
+    /// precision and applying cost accounting.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-bounds indices or length mismatch.
+    pub fn write(&mut self, name: &str, indices: &[i64], values: &[f64]) -> ExecResult<()> {
+        if indices.len() != values.len() {
+            return Err(ExecError(format!(
+                "write to {name}: {} indices vs {} values",
+                indices.len(),
+                values.len()
+            )));
+        }
+        let buf = self.buffer_mut(name)?;
+        let elem = buf.elem;
+        let elem_bytes = u64::from(elem.bytes());
+        let mut new_dram = 0u64;
+        for (&i, &v) in indices.iter().zip(values) {
+            let idx = usize::try_from(i)
+                .map_err(|_| ExecError(format!("negative index {i} into {name}")))?;
+            let len = buf.data.len();
+            let slot = buf
+                .data
+                .get_mut(idx)
+                .ok_or_else(|| ExecError(format!("write {name}[{i}] out of bounds (len {len})")))?;
+            *slot = round_to(elem, v);
+            if !buf.write_touched[idx] {
+                buf.write_touched[idx] = true;
+                new_dram += elem_bytes;
+            }
+        }
+        let total = elem_bytes * indices.len() as u64;
+        match buf.memory {
+            MemoryType::Heap => {
+                self.counters.l1_bytes += total;
+                self.counters.dram_write_bytes += new_dram;
+            }
+            MemoryType::GpuShared => {
+                self.counters.shared_bytes += total;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Copies a buffer's contents out without cost accounting (harness use).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffer does not exist.
+    pub fn snapshot(&self, name: &str) -> ExecResult<Vec<f64>> {
+        Ok(self.buffer(name)?.data.to_vec())
+    }
+
+    /// Overwrites contents without cost accounting (harness use); rounds
+    /// through the element precision.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffer does not exist or sizes mismatch.
+    pub fn poke(&mut self, name: &str, contents: &[f64]) -> ExecResult<()> {
+        let buf = self.buffer_mut(name)?;
+        if contents.len() != buf.data.len() {
+            return Err(ExecError(format!(
+                "poke size mismatch for {name}: {} vs {}",
+                contents.len(),
+                buf.data.len()
+            )));
+        }
+        let elem = buf.elem;
+        for (dst, &src) in buf.data.iter_mut().zip(contents) {
+            *dst = round_to(elem, src);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let mut mem = Memory::new();
+        mem.alloc("a", ScalarType::F32, 8, MemoryType::Heap).unwrap();
+        mem.write("a", &[0, 1, 2], &[1.0, 2.0, 3.0]).unwrap();
+        let v = mem.read("a", &[2, 1, 0]).unwrap();
+        assert_eq!(v, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn duplicate_alloc_fails() {
+        let mut mem = Memory::new();
+        mem.alloc("a", ScalarType::F32, 4, MemoryType::Heap).unwrap();
+        assert!(mem.alloc("a", ScalarType::F32, 4, MemoryType::Heap).is_err());
+        mem.free("a").unwrap();
+        assert!(mem.alloc("a", ScalarType::F32, 4, MemoryType::Heap).is_ok());
+        assert!(mem.free("zzz").is_err());
+    }
+
+    #[test]
+    fn oob_accesses_error() {
+        let mut mem = Memory::new();
+        mem.alloc("a", ScalarType::F32, 4, MemoryType::Heap).unwrap();
+        assert!(mem.read("a", &[4]).is_err());
+        assert!(mem.read("a", &[-1]).is_err());
+        assert!(mem.write("a", &[9], &[0.0]).is_err());
+        assert!(mem.read("nope", &[0]).is_err());
+    }
+
+    #[test]
+    fn bf16_storage_rounds() {
+        let mut mem = Memory::new();
+        mem.alloc("w", ScalarType::BF16, 1, MemoryType::Heap).unwrap();
+        mem.write("w", &[0], &[1.0 + 2f64.powi(-12)]).unwrap();
+        assert_eq!(mem.read("w", &[0]).unwrap()[0], 1.0);
+    }
+
+    #[test]
+    fn dram_counts_footprint_l1_counts_accesses() {
+        let mut mem = Memory::new();
+        mem.alloc("a", ScalarType::F32, 16, MemoryType::Heap).unwrap();
+        // Read the same 4 elements three times.
+        for _ in 0..3 {
+            mem.read("a", &[0, 1, 2, 3]).unwrap();
+        }
+        assert_eq!(mem.counters.dram_read_bytes, 4 * 4, "footprint counted once");
+        assert_eq!(mem.counters.l1_bytes, 3 * 4 * 4, "every access hits L1");
+    }
+
+    #[test]
+    fn shared_memory_counts_separately() {
+        let mut mem = Memory::new();
+        mem.alloc("s", ScalarType::F32, 8, MemoryType::GpuShared).unwrap();
+        mem.write("s", &[0, 1], &[1.0, 2.0]).unwrap();
+        mem.read("s", &[0, 1]).unwrap();
+        assert_eq!(mem.counters.shared_bytes, 2 * 4 + 2 * 4);
+        assert_eq!(mem.counters.dram_bytes(), 0);
+        assert_eq!(mem.counters.l1_bytes, 0);
+    }
+
+    #[test]
+    fn register_buffers_cost_nothing() {
+        let mut mem = Memory::new();
+        mem.alloc("t", ScalarType::F32, 512, MemoryType::AmxTile).unwrap();
+        mem.write("t", &[0], &[1.0]).unwrap();
+        mem.read("t", &[0]).unwrap();
+        assert_eq!(mem.counters, CostCounters::default());
+    }
+
+    #[test]
+    fn alloc_init_and_snapshot() {
+        let mut mem = Memory::new();
+        mem.alloc_init("k", ScalarType::F16, MemoryType::Heap, &[0.5, 0.25])
+            .unwrap();
+        assert_eq!(mem.snapshot("k").unwrap(), vec![0.5, 0.25]);
+        mem.poke("k", &[1.0, 2.0]).unwrap();
+        assert_eq!(mem.snapshot("k").unwrap(), vec![1.0, 2.0]);
+        assert!(mem.poke("k", &[1.0]).is_err());
+        assert_eq!(mem.counters.l1_bytes, 0, "harness paths are uncounted");
+    }
+}

@@ -1,0 +1,639 @@
+//! Accelerator intrinsics: the calls HARDBOILED's lowering rules emit,
+//! interpreted against the `hb-accel` functional units.
+//!
+//! | intrinsic | signature | role |
+//! |---|---|---|
+//! | `tile_zero()` | `-> f32xN` | AMX `tilezero` |
+//! | `tile_load(buf, base, stride, rows)` | `-> bf16xN` | AMX `tileloadd` |
+//! | `tile_matmul(c, a, b, m, k, n)` | `-> f32x(m·n)` | AMX `tdpbf16ps` (B in VNNI) |
+//! | `tile_store(buf, base, stride, rows, tile)` | side effect | AMX `tilestored` |
+//! | `wmma_load_a(buf, base, ld, m, k)` | `-> f16x(m·k)` | `wmma.load.a.sync` |
+//! | `wmma_load_b(buf, base, ld, k, n)` | `-> f16x(k·n)` | `wmma.load.b.sync` |
+//! | `wmma_mma(a, b, c, m, n, k)` | `-> f32x(m·n)` | `wmma.mma.sync` |
+//! | `wmma_store(buf, base, ld, m, n, acc)` | side effect | `wmma.store.d.sync` |
+//! | `kway_interleave(ways, rows, v)` | `-> same lanes` | VNNI swizzle |
+//! | `convolution_shuffle(buf, base, rows, taps, stride)` | `-> rows×n` | Toeplitz build |
+//!
+//! Buffer arguments are passed as `Var` nodes naming the buffer; shape
+//! arguments are scalar expressions evaluated at run time.
+
+use hb_accel::amx::TileDtype;
+use hb_accel::wmma::{Fragment, FragmentKind, MatrixLayout, WmmaShape};
+use hb_ir::expr::Expr;
+use hb_ir::types::Type;
+
+use crate::buffer::{ExecError, ExecResult};
+use crate::interp::Interp;
+use crate::value::Value;
+
+fn buffer_name(e: &Expr) -> ExecResult<&str> {
+    match e {
+        Expr::Var(name, _) => Ok(name),
+        other => Err(ExecError(format!(
+            "intrinsic expected a buffer-name Var, got {other}"
+        ))),
+    }
+}
+
+fn scalar(it: &mut Interp, e: &Expr) -> ExecResult<i64> {
+    Ok(it.eval(e)?.as_i64())
+}
+
+fn expect_args(name: &str, args: &[Expr], n: usize) -> ExecResult<()> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(ExecError(format!(
+            "{name} expects {n} arguments, got {}",
+            args.len()
+        )))
+    }
+}
+
+/// Gathers a `rows × cols` row-major region starting at `base` with leading
+/// dimension `ld` from a buffer (with cost accounting).
+fn gather_matrix(
+    it: &mut Interp,
+    buf: &str,
+    base: i64,
+    ld: i64,
+    rows: i64,
+    cols: i64,
+) -> ExecResult<Vec<f64>> {
+    let mut indices = Vec::with_capacity((rows * cols) as usize);
+    for r in 0..rows {
+        for c in 0..cols {
+            indices.push(base + r * ld + c);
+        }
+    }
+    it.mem.read(buf, &indices)
+}
+
+/// Dispatches an intrinsic call.
+///
+/// # Errors
+///
+/// Fails on unknown intrinsics, malformed arguments, or accelerator errors.
+pub fn dispatch(it: &mut Interp, name: &str, args: &[Expr], ty: Type) -> ExecResult<Value> {
+    match name {
+        "tile_zero" => {
+            expect_args(name, args, 0)?;
+            Ok(Value::zero(ty))
+        }
+        "tile_load" => {
+            expect_args(name, args, 4)?;
+            let buf = buffer_name(&args[0])?.to_string();
+            let base = scalar(it, &args[1])?;
+            let stride = scalar(it, &args[2])?;
+            let rows = scalar(it, &args[3])?;
+            let lanes = i64::from(ty.lanes);
+            if rows <= 0 || lanes % rows != 0 {
+                return Err(ExecError(format!(
+                    "tile_load: rows {rows} does not divide lanes {lanes}"
+                )));
+            }
+            let cols = lanes / rows;
+            let data = gather_matrix(it, &buf, base, stride, rows, cols)?;
+            Ok(Value::new(ty, data))
+        }
+        "tile_store" => {
+            expect_args(name, args, 5)?;
+            let buf = buffer_name(&args[0])?.to_string();
+            let base = scalar(it, &args[1])?;
+            let stride = scalar(it, &args[2])?;
+            let rows = scalar(it, &args[3])?;
+            let tile = it.eval(&args[4])?;
+            let lanes = tile.lanes() as i64;
+            if rows <= 0 || lanes % rows != 0 {
+                return Err(ExecError(format!(
+                    "tile_store: rows {rows} does not divide lanes {lanes}"
+                )));
+            }
+            let cols = lanes / rows;
+            let mut indices = Vec::with_capacity(lanes as usize);
+            for r in 0..rows {
+                for c in 0..cols {
+                    indices.push(base + r * stride + c);
+                }
+            }
+            it.mem.write(&buf, &indices, &tile.data)?;
+            Ok(Value::int(0))
+        }
+        "tile_matmul" => {
+            expect_args(name, args, 6)?;
+            let c = it.eval(&args[0])?;
+            let a = it.eval(&args[1])?;
+            let b = it.eval(&args[2])?;
+            let m = scalar(it, &args[3])? as usize;
+            let k = scalar(it, &args[4])? as usize;
+            let n = scalar(it, &args[5])? as usize;
+            tile_matmul(it, &c, &a, &b, m, k, n)
+        }
+        "wmma_load_a" | "wmma_load_b" => {
+            expect_args(name, args, 5)?;
+            let buf = buffer_name(&args[0])?.to_string();
+            let base = scalar(it, &args[1])?;
+            let ld = scalar(it, &args[2])?;
+            let r = scalar(it, &args[3])?;
+            let c = scalar(it, &args[4])?;
+            if (r * c) as u32 != ty.lanes {
+                return Err(ExecError(format!(
+                    "{name}: shape {r}x{c} does not match {} lanes",
+                    ty.lanes
+                )));
+            }
+            let data = gather_matrix(it, &buf, base, ld, r, c)?;
+            // f16 rounding happens in buffer storage; fragments reround in
+            // case the source buffer is wider.
+            let data = data
+                .iter()
+                .map(|&v| hb_ir::numeric::round_f16(v))
+                .collect();
+            Ok(Value::new(ty, data))
+        }
+        "wmma_mma" => {
+            expect_args(name, args, 6)?;
+            let a = it.eval(&args[0])?;
+            let b = it.eval(&args[1])?;
+            let c = it.eval(&args[2])?;
+            let m = scalar(it, &args[3])? as usize;
+            let n = scalar(it, &args[4])? as usize;
+            let k = scalar(it, &args[5])? as usize;
+            wmma_mma(it, &a, &b, &c, m, n, k)
+        }
+        "wmma_store" => {
+            expect_args(name, args, 6)?;
+            let buf = buffer_name(&args[0])?.to_string();
+            let base = scalar(it, &args[1])?;
+            let ld = scalar(it, &args[2])?;
+            let m = scalar(it, &args[3])?;
+            let n = scalar(it, &args[4])?;
+            let acc = it.eval(&args[5])?;
+            if (m * n) as usize != acc.lanes() {
+                return Err(ExecError(format!(
+                    "wmma_store: {m}x{n} vs {} lanes",
+                    acc.lanes()
+                )));
+            }
+            let mut indices = Vec::with_capacity(acc.lanes());
+            for r in 0..m {
+                for c in 0..n {
+                    indices.push(base + r * ld + c);
+                }
+            }
+            it.mem.write(&buf, &indices, &acc.data)?;
+            Ok(Value::int(0))
+        }
+        "wmma_mma_cols" => {
+            // Partial-width accumulate: C (m×n_valid) is zero-padded into an
+            // m×n tile, a full mma_sync runs, and the valid columns are
+            // extracted. Used for strided (downsampling) Toeplitz matmuls
+            // whose trailing tile columns carry incomplete sums.
+            expect_args(name, args, 7)?;
+            let a = it.eval(&args[0])?;
+            let b = it.eval(&args[1])?;
+            let c = it.eval(&args[2])?;
+            let m = scalar(it, &args[3])? as usize;
+            let n_valid = scalar(it, &args[4])? as usize;
+            let n = scalar(it, &args[5])? as usize;
+            let k = scalar(it, &args[6])? as usize;
+            if c.lanes() != m * n_valid || n_valid > n {
+                return Err(ExecError(format!(
+                    "wmma_mma_cols: c has {} lanes for m{m} n_valid{n_valid}",
+                    c.lanes()
+                )));
+            }
+            let mut c_full = vec![0.0f64; m * n];
+            for r in 0..m {
+                for cc in 0..n_valid {
+                    c_full[r * n + cc] = c.data[r * n_valid + cc];
+                }
+            }
+            let c_full = Value::new(Type::f32().with_lanes((m * n) as u32), c_full);
+            let full = wmma_mma(it, &a, &b, &c_full, m, n, k)?;
+            let mut out = Vec::with_capacity(m * n_valid);
+            for r in 0..m {
+                for cc in 0..n_valid {
+                    out.push(full.data[r * n + cc]);
+                }
+            }
+            Ok(Value::new(ty, out))
+        }
+        "kway_interleave" => {
+            expect_args(name, args, 3)?;
+            let ways = scalar(it, &args[0])? as usize;
+            let rows = scalar(it, &args[1])? as usize;
+            let v = it.eval(&args[2])?;
+            kway_interleave(ways, rows, &v)
+        }
+        "upsample_shuffle" => {
+            // Multiphase Toeplitz matrix of §V-B: for a phase-major kernel
+            // buffer Kp (index = phase + phases·tap),
+            //   out[t·cols + c] = Kp[base + c%p + p·(t − c/p)]
+            // when 0 ≤ t − c/p < taps, else 0.
+            expect_args(name, args, 5)?;
+            let buf = buffer_name(&args[0])?.to_string();
+            let base = scalar(it, &args[1])?;
+            let rows = scalar(it, &args[2])?;
+            let taps = scalar(it, &args[3])?;
+            let phases = scalar(it, &args[4])?;
+            let lanes = i64::from(ty.lanes);
+            if rows <= 0 || phases <= 0 || lanes % rows != 0 {
+                return Err(ExecError(format!(
+                    "upsample_shuffle: rows {rows} phases {phases} lanes {lanes}"
+                )));
+            }
+            let cols = lanes / rows;
+            let tap_idx: Vec<i64> = (0..taps * phases).map(|t| base + t).collect();
+            let kern = it.mem.read(&buf, &tap_idx)?;
+            let mut out = vec![0.0f64; lanes as usize];
+            for t in 0..rows {
+                for c in 0..cols {
+                    let tap = t - c / phases;
+                    if tap >= 0 && tap < taps {
+                        let idx = (c % phases) + phases * tap;
+                        out[(t * cols + c) as usize] = kern[idx as usize];
+                    }
+                }
+            }
+            Ok(Value::new(ty, out))
+        }
+        "convolution_shuffle" => {
+            expect_args(name, args, 5)?;
+            let buf = buffer_name(&args[0])?.to_string();
+            let base = scalar(it, &args[1])?;
+            let rows = scalar(it, &args[2])?;
+            let taps = scalar(it, &args[3])?;
+            let stride = scalar(it, &args[4])?;
+            convolution_shuffle(it, &buf, base, rows, taps, stride, ty)
+        }
+        other => Err(ExecError(format!("unknown intrinsic {other}"))),
+    }
+}
+
+/// `tdpbf16ps` through the AMX unit: `C(m×n) += A(m×k)·B(vnni k/2×2n)`.
+fn tile_matmul(
+    it: &mut Interp,
+    c: &Value,
+    a: &Value,
+    b: &Value,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> ExecResult<Value> {
+    if a.lanes() != m * k || b.lanes() != k * n || c.lanes() != m * n {
+        return Err(ExecError(format!(
+            "tile_matmul shape mismatch: a={} b={} c={} for m{m} k{k} n{n}",
+            a.lanes(),
+            b.lanes(),
+            c.lanes()
+        )));
+    }
+    if k % 2 != 0 {
+        return Err(ExecError("tile_matmul requires even K (bf16 pairs)".into()));
+    }
+    let amx_err = |e: hb_accel::amx::AmxError| ExecError(e.to_string());
+    it.amx.configure(0, m, n, TileDtype::F32).map_err(amx_err)?;
+    it.amx.configure(1, m, k, TileDtype::Bf16).map_err(amx_err)?;
+    it.amx
+        .configure(2, k / 2, 2 * n, TileDtype::Bf16)
+        .map_err(amx_err)?;
+    it.amx.tileload(0, &c.to_f32(), n).map_err(amx_err)?;
+    it.amx.tileload(1, &a.to_f32(), k).map_err(amx_err)?;
+    it.amx.tileload(2, &b.to_f32(), 2 * n).map_err(amx_err)?;
+    it.amx.tdpbf16ps(0, 1, 2).map_err(amx_err)?;
+    let mut out = vec![0.0f32; m * n];
+    it.amx.tilestore(0, &mut out, n).map_err(amx_err)?;
+    Ok(Value::new(
+        Type::f32().with_lanes((m * n) as u32),
+        out.into_iter().map(f64::from).collect(),
+    ))
+}
+
+/// `wmma.mma.sync` through the tensor-core unit.
+fn wmma_mma(
+    it: &mut Interp,
+    a: &Value,
+    b: &Value,
+    c: &Value,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> ExecResult<Value> {
+    let shape = WmmaShape { m, n, k };
+    let werr = |e: hb_accel::wmma::WmmaError| ExecError(e.to_string());
+    if a.lanes() != m * k || b.lanes() != k * n || c.lanes() != m * n {
+        return Err(ExecError(format!(
+            "wmma_mma shape mismatch: a={} b={} c={} for {shape}",
+            a.lanes(),
+            b.lanes(),
+            c.lanes()
+        )));
+    }
+    let mut fa = Fragment::new(FragmentKind::MatrixA, shape).map_err(werr)?;
+    let mut fb = Fragment::new(FragmentKind::MatrixB, shape).map_err(werr)?;
+    let mut fc = Fragment::new(FragmentKind::Accumulator, shape).map_err(werr)?;
+    fa.load(&a.to_f32(), k, MatrixLayout::RowMajor).map_err(werr)?;
+    fb.load(&b.to_f32(), n, MatrixLayout::RowMajor).map_err(werr)?;
+    fc.load(&c.to_f32(), n, MatrixLayout::RowMajor).map_err(werr)?;
+    let mut fd = fc.clone();
+    it.tc.mma_sync(&mut fd, &fa, &fb, &fc).map_err(werr)?;
+    let mut out = vec![0.0f32; m * n];
+    fd.store(&mut out, n, MatrixLayout::RowMajor).map_err(werr)?;
+    Ok(Value::new(
+        Type::f32().with_lanes((m * n) as u32),
+        out.into_iter().map(f64::from).collect(),
+    ))
+}
+
+/// VNNI-style k-way interleave of a `rows × cols` row-major value:
+/// groups `ways` consecutive rows and interleaves their elements.
+fn kway_interleave(ways: usize, rows: usize, v: &Value) -> ExecResult<Value> {
+    if ways == 0 || rows == 0 || rows % ways != 0 || v.lanes() % rows != 0 {
+        return Err(ExecError(format!(
+            "kway_interleave: invalid ways={ways} rows={rows} lanes={}",
+            v.lanes()
+        )));
+    }
+    let cols = v.lanes() / rows;
+    let mut out = vec![0.0f64; v.lanes()];
+    for g in 0..rows / ways {
+        for c in 0..cols {
+            for w in 0..ways {
+                out[g * ways * cols + c * ways + w] = v.data[(g * ways + w) * cols + c];
+            }
+        }
+    }
+    Ok(Value::new(v.ty, out))
+}
+
+/// Builds the (strided) Toeplitz matrix `A_K` of §V-A/§V-B from a kernel
+/// buffer: `out[j·n + i] = K[base + j − stride·i]` when
+/// `0 ≤ j − stride·i < taps`, else 0. The output is `rows × n` row-major
+/// with `n = ty.lanes / rows`.
+fn convolution_shuffle(
+    it: &mut Interp,
+    buf: &str,
+    base: i64,
+    rows: i64,
+    taps: i64,
+    stride: i64,
+    ty: Type,
+) -> ExecResult<Value> {
+    let lanes = i64::from(ty.lanes);
+    if rows <= 0 || lanes % rows != 0 {
+        return Err(ExecError(format!(
+            "convolution_shuffle: rows {rows} does not divide lanes {lanes}"
+        )));
+    }
+    let n = lanes / rows;
+    // Read the kernel taps once (counted).
+    let tap_idx: Vec<i64> = (0..taps).map(|t| base + t).collect();
+    let kern = it.mem.read(buf, &tap_idx)?;
+    let mut out = vec![0.0f64; lanes as usize];
+    for j in 0..rows {
+        for i in 0..n {
+            let off = j - stride * i;
+            if off >= 0 && off < taps {
+                out[(j * n + i) as usize] = kern[off as usize];
+            }
+        }
+    }
+    Ok(Value::new(ty, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_ir::builder::*;
+    use hb_ir::types::{MemoryType, ScalarType};
+
+    fn interp() -> Interp {
+        Interp::new()
+    }
+
+    #[test]
+    fn tile_zero_makes_zeros() {
+        let mut it = interp();
+        let e = call(Type::f32().with_lanes(256), "tile_zero", vec![]);
+        let v = it.eval(&e).unwrap();
+        assert!(v.data.iter().all(|&x| x == 0.0));
+        assert_eq!(v.lanes(), 256);
+    }
+
+    #[test]
+    fn tile_load_matmul_store_roundtrip() {
+        // 16x32 (bf16) x 32x16 = 16x16 via the AMX path, vs naive.
+        let (m, k, n) = (16i64, 32i64, 16i64);
+        let mut it = interp();
+        let a: Vec<f64> = (0..m * k).map(|i| ((i % 13) - 6) as f64 * 0.25).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| ((i % 7) - 3) as f64 * 0.5).collect();
+        it.mem.alloc_init("A", ScalarType::BF16, MemoryType::Heap, &a).unwrap();
+        it.mem.alloc_init("Bv", ScalarType::BF16, MemoryType::Heap, &vnni(&b, k, n)).unwrap();
+        it.mem.alloc("C", ScalarType::F32, (m * n) as usize, MemoryType::Heap).unwrap();
+
+        let lanes_a = (m * k) as u32;
+        let lanes_b = (k * n) as u32;
+        let lanes_c = (m * n) as u32;
+        let load_a = call(
+            Type::bf16().with_lanes(lanes_a),
+            "tile_load",
+            vec![var("A"), int(0), int(k), int(m)],
+        );
+        let load_b = call(
+            Type::bf16().with_lanes(lanes_b),
+            "tile_load",
+            vec![var("Bv"), int(0), int(2 * n), int(k / 2)],
+        );
+        let zero = call(Type::f32().with_lanes(lanes_c), "tile_zero", vec![]);
+        let mm = call(
+            Type::f32().with_lanes(lanes_c),
+            "tile_matmul",
+            vec![zero, load_a, load_b, int(m), int(k), int(n)],
+        );
+        let st = evaluate(call(
+            Type::i32(),
+            "tile_store",
+            vec![var("C"), int(0), int(n), int(m), mm],
+        ));
+        it.exec(&st).unwrap();
+
+        let got = it.mem.snapshot("C").unwrap();
+        for mi in 0..m {
+            for ni in 0..n {
+                let mut want = 0.0;
+                for ki in 0..k {
+                    want += a[(mi * k + ki) as usize] * b[(ki * n + ni) as usize];
+                }
+                let g = got[(mi * n + ni) as usize];
+                assert!((g - want).abs() <= 0.02 * want.abs().max(1.0), "{g} vs {want}");
+            }
+        }
+        assert_eq!(it.counters().tensor_fmas, (m * n * k) as u64);
+    }
+
+    fn vnni(b: &[f64], k: i64, n: i64) -> Vec<f64> {
+        let mut out = vec![0.0; (k * n) as usize];
+        for kk in 0..k / 2 {
+            for nn in 0..n {
+                out[(kk * 2 * n + 2 * nn) as usize] = b[((2 * kk) * n + nn) as usize];
+                out[(kk * 2 * n + 2 * nn + 1) as usize] = b[((2 * kk + 1) * n + nn) as usize];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn wmma_path_matches_naive() {
+        let (m, n, k) = (32i64, 8i64, 16i64);
+        let mut it = interp();
+        let a: Vec<f64> = (0..m * k).map(|i| ((i % 9) - 4) as f64 * 0.25).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| ((i % 5) - 2) as f64 * 0.5).collect();
+        it.mem.alloc_init("I", ScalarType::F16, MemoryType::Heap, &a).unwrap();
+        it.mem.alloc_init("K", ScalarType::F16, MemoryType::Heap, &b).unwrap();
+        it.mem.alloc("O", ScalarType::F32, (m * n) as usize, MemoryType::Heap).unwrap();
+
+        let la = call(
+            Type::f16().with_lanes((m * k) as u32),
+            "wmma_load_a",
+            vec![var("I"), int(0), int(k), int(m), int(k)],
+        );
+        let lb = call(
+            Type::f16().with_lanes((k * n) as u32),
+            "wmma_load_b",
+            vec![var("K"), int(0), int(n), int(k), int(n)],
+        );
+        let zero = call(Type::f32().with_lanes((m * n) as u32), "tile_zero", vec![]);
+        let mma = call(
+            Type::f32().with_lanes((m * n) as u32),
+            "wmma_mma",
+            vec![la, lb, zero, int(m), int(n), int(k)],
+        );
+        let st = evaluate(call(
+            Type::i32(),
+            "wmma_store",
+            vec![var("O"), int(0), int(n), int(m), int(n), mma],
+        ));
+        it.exec(&st).unwrap();
+
+        let got = it.mem.snapshot("O").unwrap();
+        for mi in 0..m {
+            for ni in 0..n {
+                let mut want = 0.0;
+                for ki in 0..k {
+                    want += a[(mi * k + ki) as usize] * b[(ki * n + ni) as usize];
+                }
+                let g = got[(mi * n + ni) as usize];
+                assert!((g - want).abs() <= 0.02 * want.abs().max(1.0));
+            }
+        }
+        assert_eq!(it.counters().tensor_fmas, (m * n * k) as u64);
+    }
+
+    #[test]
+    fn kway_interleave_is_vnni() {
+        let mut it = interp();
+        it.mem
+            .alloc_init(
+                "B",
+                ScalarType::F32,
+                MemoryType::Heap,
+                &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            )
+            .unwrap();
+        // 4x2 matrix interleaved 2-way -> [1,3,2,4, 5,7,6,8].
+        let ld = load(
+            Type::f32().with_lanes(8),
+            "B",
+            ramp(int(0), int(1), 8),
+        );
+        let e = call(
+            Type::f32().with_lanes(8),
+            "kway_interleave",
+            vec![int(2), int(4), ld],
+        );
+        let v = it.eval(&e).unwrap();
+        assert_eq!(v.data, vec![1.0, 3.0, 2.0, 4.0, 5.0, 7.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn convolution_shuffle_builds_toeplitz() {
+        let mut it = interp();
+        it.mem
+            .alloc_init("K", ScalarType::F16, MemoryType::Heap, &[10.0, 20.0, 30.0])
+            .unwrap();
+        // rows=4, taps=3, stride=1, n=2:
+        // out[j][i] = K[j - i] if 0 <= j-i < 3.
+        let e = call(
+            Type::f16().with_lanes(8),
+            "convolution_shuffle",
+            vec![var("K"), int(0), int(4), int(3), int(1)],
+        );
+        let v = it.eval(&e).unwrap();
+        #[rustfmt::skip]
+        assert_eq!(
+            v.data,
+            vec![
+                10.0, 0.0,   // j=0: K[0], pad
+                20.0, 10.0,  // j=1: K[1], K[0]
+                30.0, 20.0,  // j=2
+                0.0, 30.0,   // j=3: pad, K[2]
+            ]
+        );
+    }
+
+    #[test]
+    fn strided_shuffle_for_downsampling() {
+        let mut it = interp();
+        it.mem
+            .alloc_init("K", ScalarType::F16, MemoryType::Heap, &[1.0, 2.0])
+            .unwrap();
+        // stride=2 (downsample by 2): out[j][i] = K[j - 2i] if 0<=j-2i<2.
+        let e = call(
+            Type::f16().with_lanes(8),
+            "convolution_shuffle",
+            vec![var("K"), int(0), int(4), int(2), int(2)],
+        );
+        let v = it.eval(&e).unwrap();
+        #[rustfmt::skip]
+        assert_eq!(
+            v.data,
+            vec![
+                1.0, 0.0,  // j=0: K[0], --
+                2.0, 0.0,  // j=1: K[1], --
+                0.0, 1.0,  // j=2: --, K[0]
+                0.0, 2.0,  // j=3: --, K[1]
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_on_malformed_calls() {
+        let mut it = interp();
+        assert!(it
+            .eval(&call(Type::f32(), "no_such_intrinsic", vec![]))
+            .is_err());
+        assert!(it
+            .eval(&call(Type::f32(), "tile_load", vec![int(0)]))
+            .is_err());
+        // Buffer arg must be a Var.
+        assert!(it
+            .eval(&call(
+                Type::f32().with_lanes(4),
+                "tile_load",
+                vec![int(0), int(0), int(1), int(2)],
+            ))
+            .is_err());
+        // Unsupported WMMA shape.
+        let zero = call(Type::f32().with_lanes(4), "tile_zero", vec![]);
+        let a = call(Type::f16().with_lanes(4), "tile_zero", vec![]);
+        let b = call(Type::f16().with_lanes(4), "tile_zero", vec![]);
+        assert!(it
+            .eval(&call(
+                Type::f32().with_lanes(4),
+                "wmma_mma",
+                vec![a, b, zero, int(2), int(2), int(2)],
+            ))
+            .is_err());
+    }
+}

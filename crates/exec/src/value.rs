@@ -1,0 +1,120 @@
+//! Runtime values: typed vectors of lanes.
+//!
+//! All lanes are stored as `f64`, which represents every `int32`, `float32`,
+//! `bfloat16` and `float16` value exactly; reduced-precision storage effects
+//! are applied at cast/load/store boundaries via [`hb_ir::numeric`].
+
+use hb_ir::types::{ScalarType, Type};
+
+/// A typed vector value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Value {
+    /// The value's IR type.
+    pub ty: Type,
+    /// Lane contents (`ty.lanes` entries).
+    pub data: Vec<f64>,
+}
+
+impl Value {
+    /// Creates a value, checking the lane count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != ty.lanes`.
+    #[must_use]
+    pub fn new(ty: Type, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), ty.lanes as usize, "lane count mismatch");
+        Value { ty, data }
+    }
+
+    /// A scalar `int32`.
+    #[must_use]
+    pub fn int(v: i64) -> Self {
+        Value::new(Type::i32(), vec![v as f64])
+    }
+
+    /// A scalar of the given float element type.
+    #[must_use]
+    pub fn float(v: f64, st: ScalarType) -> Self {
+        Value::new(Type::new(st, 1), vec![v])
+    }
+
+    /// An all-zero value of the given type.
+    #[must_use]
+    pub fn zero(ty: Type) -> Self {
+        Value::new(ty, vec![0.0; ty.lanes as usize])
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The single lane of a scalar, as `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not scalar.
+    #[must_use]
+    pub fn as_i64(&self) -> i64 {
+        assert_eq!(self.lanes(), 1, "expected a scalar");
+        self.data[0] as i64
+    }
+
+    /// Lanes converted to `i64` (for index vectors).
+    #[must_use]
+    pub fn to_indices(&self) -> Vec<i64> {
+        self.data.iter().map(|&v| v as i64).collect()
+    }
+
+    /// Lanes as `f32` (for handing to the accelerator simulators).
+    #[must_use]
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.data.iter().map(|&v| v as f32).collect()
+    }
+
+    /// Repeats the whole vector `n` times (broadcast semantics).
+    #[must_use]
+    pub fn broadcast(&self, n: u32) -> Value {
+        let mut data = Vec::with_capacity(self.data.len() * n as usize);
+        for _ in 0..n {
+            data.extend_from_slice(&self.data);
+        }
+        Value::new(self.ty.with_lanes(self.ty.lanes * n), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v = Value::int(42);
+        assert_eq!(v.as_i64(), 42);
+        assert_eq!(v.lanes(), 1);
+        let z = Value::zero(Type::f32().with_lanes(4));
+        assert_eq!(z.data, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn broadcast_repeats() {
+        let v = Value::new(Type::i32().with_lanes(2), vec![1.0, 2.0]);
+        let b = v.broadcast(3);
+        assert_eq!(b.data, vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        assert_eq!(b.ty.lanes, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count mismatch")]
+    fn lane_mismatch_panics() {
+        let _ = Value::new(Type::i32().with_lanes(3), vec![0.0]);
+    }
+
+    #[test]
+    fn index_conversion() {
+        let v = Value::new(Type::i32().with_lanes(3), vec![0.0, 5.0, 10.0]);
+        assert_eq!(v.to_indices(), vec![0, 5, 10]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Reduced-precision float emulation (`bfloat16`, `float16`).
+//!
+//! The simulators and the interpreter compute in `f64`/`f32` but must round
+//! through the storage precision whenever a value is cast to or loaded as a
+//! 16-bit type, matching what real AMX/WMMA hardware observes.
+
+use crate::types::ScalarType;
+
+/// Rounds `v` to the nearest `bfloat16` value (round-to-nearest-even),
+/// returned as `f64`.
+#[must_use]
+pub fn round_bf16(v: f64) -> f64 {
+    let f = v as f32;
+    if !f.is_finite() {
+        return f64::from(f);
+    }
+    let bits = f.to_bits();
+    // bfloat16 keeps the top 16 bits of the f32 representation.
+    let lsb = (bits >> 16) & 1;
+    let rounded = bits.wrapping_add(0x7fff + lsb) & 0xffff_0000;
+    f64::from(f32::from_bits(rounded))
+}
+
+/// Rounds `v` to the nearest IEEE 754 `float16` value
+/// (round-to-nearest-even), returned as `f64`.
+#[must_use]
+pub fn round_f16(v: f64) -> f64 {
+    f64::from(f16_bits_to_f32(f32_to_f16_bits(v as f32)))
+}
+
+/// Converts an `f32` to `float16` bits with round-to-nearest-even.
+#[must_use]
+pub fn f32_to_f16_bits(f: f32) -> u16 {
+    let bits = f.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN.
+        let m = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | m;
+    }
+    // Re-bias: f32 bias 127, f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow to infinity
+    }
+    if unbiased >= -14 {
+        // Normal range.
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let half_mant = (mant >> 13) as u16;
+        let round_bits = mant & 0x1fff;
+        let mut out = sign | half_exp | half_mant;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (half_mant & 1) == 1) {
+            out = out.wrapping_add(1);
+        }
+        return out;
+    }
+    if unbiased >= -25 {
+        // Subnormal range: value = m_h * 2^-24, so m_h = full_mant * 2^(unbiased+1).
+        let shift = (-unbiased - 1) as u32;
+        let full_mant = mant | 0x0080_0000;
+        let half_mant = (full_mant >> shift) as u16;
+        let rem = full_mant & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut out = sign | half_mant;
+        if rem > halfway || (rem == halfway && (half_mant & 1) == 1) {
+            out = out.wrapping_add(1);
+        }
+        return out;
+    }
+    sign // underflow to zero
+}
+
+/// Converts `float16` bits to `f32`.
+#[must_use]
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = i32::from((h >> 10) & 0x1f);
+    let mant = u32::from(h & 0x03ff);
+    if exp == 0x1f {
+        let m = if mant != 0 { 0x0040_0000 } else { 0 };
+        return f32::from_bits(sign | 0x7f80_0000 | m);
+    }
+    if exp == 0 {
+        if mant == 0 {
+            return f32::from_bits(sign);
+        }
+        // Subnormal half: normalize. After k shifts the value is
+        // 1.f * 2^(-14-k), i.e. biased f32 exponent e - 14 + 127 with e = -k.
+        let mut e = 0i32;
+        let mut m = mant;
+        while m & 0x0400 == 0 {
+            m <<= 1;
+            e -= 1;
+        }
+        let exp32 = ((e - 14 + 127) as u32) << 23;
+        let mant32 = (m & 0x03ff) << 13;
+        return f32::from_bits(sign | exp32 | mant32);
+    }
+    let exp32 = ((exp - 15 + 127) as u32) << 23;
+    f32::from_bits(sign | exp32 | (mant << 13))
+}
+
+/// Rounds `v` through the storage precision of `st`.
+#[must_use]
+pub fn round_to(st: ScalarType, v: f64) -> f64 {
+    match st {
+        ScalarType::BF16 => round_bf16(v),
+        ScalarType::F16 => round_f16(v),
+        ScalarType::F32 => f64::from(v as f32),
+        ScalarType::I32 => (v as i64).clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as f64,
+        ScalarType::Bool => {
+            if v != 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf16_rounding_drops_low_mantissa() {
+        // 1 + 2^-9 is not representable in bf16 (7 mantissa bits).
+        let v = 1.0 + 2f64.powi(-9);
+        let r = round_bf16(v);
+        assert!((r - 1.0).abs() < 2f64.powi(-8));
+        assert_eq!(round_bf16(1.0), 1.0);
+        assert_eq!(round_bf16(-2.5), -2.5);
+    }
+
+    #[test]
+    fn bf16_round_to_nearest_even() {
+        // Exactly halfway between two bf16 values should round to even.
+        let lo = f32::from_bits(0x3f80_0000); // 1.0
+        let hi = f32::from_bits(0x3f81_0000); // next bf16 up
+        let mid = f64::from(lo) + (f64::from(hi) - f64::from(lo)) / 2.0;
+        let r = round_bf16(mid);
+        assert_eq!(r, f64::from(lo), "ties go to even mantissa");
+    }
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.099976] {
+            let bits = f32_to_f16_bits(v);
+            let back = f16_bits_to_f32(bits);
+            let again = f32_to_f16_bits(back);
+            assert_eq!(bits, again, "round-trip must be stable for {v}");
+        }
+    }
+
+    #[test]
+    fn f16_overflow_to_inf() {
+        assert_eq!(f32_to_f16_bits(1e6), 0x7c00);
+        assert_eq!(f32_to_f16_bits(-1e6), 0xfc00);
+        assert!(f16_bits_to_f32(0x7c00).is_infinite());
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        let tiny = 2f32.powi(-24); // smallest positive half subnormal
+        let bits = f32_to_f16_bits(tiny);
+        assert_eq!(bits, 1);
+        let back = f16_bits_to_f32(bits);
+        assert!((f64::from(back) - f64::from(tiny)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn f16_nan_preserved() {
+        let bits = f32_to_f16_bits(f32::NAN);
+        assert!(f16_bits_to_f32(bits).is_nan());
+    }
+
+    #[test]
+    fn round_to_dispatches() {
+        assert_eq!(round_to(ScalarType::I32, 3.7), 3.0);
+        assert_eq!(round_to(ScalarType::Bool, 0.5), 1.0);
+        assert_eq!(round_to(ScalarType::Bool, 0.0), 0.0);
+        assert_eq!(round_to(ScalarType::F32, 1.5), 1.5);
+        let r = round_to(ScalarType::F16, 1.0 + 2f64.powi(-12));
+        assert!((r - 1.0).abs() < 2f64.powi(-10));
+    }
+
+    #[test]
+    fn f16_precision_is_ten_bits() {
+        let v = 1.0 + 2f64.powi(-10);
+        let r = round_f16(v);
+        assert_eq!(r, v, "1 + 2^-10 is exactly representable");
+        let v2 = 1.0 + 2f64.powi(-11);
+        let r2 = round_f16(v2);
+        assert!(r2 == 1.0 || r2 == 1.0 + 2f64.powi(-10));
+    }
+}

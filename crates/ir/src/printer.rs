@@ -1,0 +1,178 @@
+//! Textual printing of IR in the paper's notation.
+//!
+//! Broadcasts print as `x{n}(value)`, ramps as `ramp(base, stride, n)`,
+//! loads as `buffer[index]`, and reductions as
+//! `(type)vector_reduce_add(value)`.
+
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::stmt::{ForKind, Stmt};
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::IntImm(v) => write!(f, "{v}"),
+            Expr::FloatImm(v, st) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}f")?;
+                } else {
+                    write!(f, "{v}f")?;
+                }
+                if *st != crate::types::ScalarType::F32 {
+                    write!(f, "({st})")?;
+                }
+                Ok(())
+            }
+            Expr::Var(name, _) => write!(f, "{name}"),
+            Expr::Cast(ty, v) => write!(f, "cast<{ty}>({v})"),
+            Expr::Binary(op, a, b) => {
+                if op.name().chars().next().is_some_and(char::is_alphabetic) {
+                    write!(f, "{}({a}, {b})", op.name())
+                } else {
+                    write!(f, "({a} {} {b})", op.name())
+                }
+            }
+            Expr::Select(c, t, e) => write!(f, "select({c}, {t}, {e})"),
+            Expr::Ramp { base, stride, lanes } => write!(f, "ramp({base}, {stride}, {lanes})"),
+            Expr::Broadcast { value, lanes } => write!(f, "x{lanes}({value})"),
+            Expr::Load { buffer, index, .. } => write!(f, "{buffer}[{index}]"),
+            Expr::VectorReduceAdd { lanes, value } => {
+                let ty = self.ty();
+                let _ = lanes;
+                write!(f, "({ty})vector_reduce_add({value})")
+            }
+            Expr::Call { name, args, .. } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::LocToLoc { from, to, value } => {
+                let name = format!("{from}_to_{to}").to_lowercase();
+                write!(f, "{name}({value})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for ForKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ForKind::Serial => "for",
+            ForKind::Unrolled => "unrolled",
+            ForKind::Parallel => "parallel",
+            ForKind::GpuBlock => "gpu_block",
+            ForKind::GpuThread => "gpu_thread",
+            ForKind::GpuLane => "for_gpu_lanes",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Stmt {
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            Stmt::Store { buffer, index, value } => {
+                writeln!(f, "{pad}{buffer}[{index}] = {value};")
+            }
+            Stmt::Evaluate(e) => writeln!(f, "{pad}evaluate({e});"),
+            Stmt::For { var, min, extent, kind, body } => {
+                writeln!(f, "{pad}{kind} ({var} = {min}; {var} < {min} + {extent}) {{")?;
+                body.fmt_indented(f, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    s.fmt_indented(f, indent)?;
+                }
+                Ok(())
+            }
+            Stmt::Allocate { name, elem, size, memory, body } => {
+                writeln!(f, "{pad}allocate {name}[{elem} * {size}] in {memory} {{")?;
+                body.fmt_indented(f, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::If { cond, then_case } => {
+                writeln!(f, "{pad}if ({cond}) {{")?;
+                then_case.fmt_indented(f, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::*;
+    use crate::types::{MemoryType, ScalarType, Type};
+
+    #[test]
+    fn broadcast_prints_in_paper_notation() {
+        let e = bcast(ramp(int(0), int(1), 3), 8);
+        assert_eq!(e.to_string(), "x8(ramp(0, 1, 3))");
+    }
+
+    #[test]
+    fn nested_ramp_prints() {
+        // Fig. 2 line 1: a 4x8 transpose index.
+        let e = ramp(ramp(int(0), int(8), 4), bcast(int(1), 4), 8);
+        assert_eq!(e.to_string(), "ramp(ramp(0, 8, 4), x4(1), 8)");
+    }
+
+    #[test]
+    fn load_and_reduce_print() {
+        let idx = bcast(ramp(int(0), int(1), 3), 8);
+        let ld = load(Type::f32().with_lanes(24), "A", idx);
+        let red = vreduce_add(8, ld);
+        assert_eq!(
+            red.to_string(),
+            "(float32x8)vector_reduce_add(A[x8(ramp(0, 1, 3))])"
+        );
+    }
+
+    #[test]
+    fn movement_prints_lowercase() {
+        let e = mem_to_amx(bcast(flt(0.0), 4));
+        assert_eq!(e.to_string(), "mem_to_amx(x4(0.0f))");
+    }
+
+    #[test]
+    fn stmt_printing_nests() {
+        let s = allocate(
+            "tmp",
+            ScalarType::F32,
+            16,
+            MemoryType::Stack,
+            for_serial(
+                "i",
+                int(0),
+                int(4),
+                store("tmp", ramp(var("i"), int(1), 4), bcast(flt(0.0), 4)),
+            ),
+        );
+        let text = s.to_string();
+        assert!(text.contains("allocate tmp[float32 * 16] in Stack {"));
+        assert!(text.contains("for (i = 0; i < 0 + 4) {"));
+        assert!(text.contains("tmp[ramp(i, 1, 4)] = x4(0.0f);"));
+    }
+
+    #[test]
+    fn binary_and_call_printing() {
+        let e = min(add(var("x"), int(1)), int(7));
+        assert_eq!(e.to_string(), "min((x + 1), 7)");
+        let c = call(Type::i32(), "tile_zero", vec![int(0)]);
+        assert_eq!(c.to_string(), "tile_zero(0)");
+    }
+}

@@ -1,0 +1,464 @@
+//! The Halide-style local simplifier.
+//!
+//! This pass deliberately reproduces the behaviour §III-B of the paper calls
+//! the *phase-ordering problem*: local rewrites that make code cheaper also
+//! obscure tensor computation patterns. In particular it
+//!
+//! * un-nests ramps whose base is a broadcast
+//!   (`ramp(x16(r), s, 16)` → `x256(r) + ramp(x512(0), s, 16)`), which is
+//!   what flattens matrix A's three-level access pattern into two terms, and
+//! * converts a load of a broadcast index into a broadcast of a scalar load
+//!   (`B[x16(i)]` → `x16(B[i])`), the second obfuscation the paper names.
+//!
+//! HARDBOILED's axiomatic rules (crates/core) are what recover the nested
+//! forms inside the e-graph.
+
+use crate::builder::{add, bcast, div, modulo};
+use crate::expr::{BinOp, Expr};
+use crate::numeric::round_to;
+use crate::stmt::Stmt;
+use crate::types::{ScalarType, Type};
+
+/// Simplifies an expression to a fixpoint (bounded number of passes).
+#[must_use]
+pub fn simplify(e: &Expr) -> Expr {
+    let mut cur = e.clone();
+    for _ in 0..16 {
+        let next = cur.rewrite_bottom_up(&mut step);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Simplifies every expression in a statement tree.
+#[must_use]
+pub fn simplify_stmt(s: &Stmt) -> Stmt {
+    s.map_exprs(&mut |e| simplify(e))
+}
+
+fn fold_int(op: BinOp, a: i64, b: i64) -> Option<Expr> {
+    let v = match op {
+        BinOp::Add => a.checked_add(b)?,
+        BinOp::Sub => a.checked_sub(b)?,
+        BinOp::Mul => a.checked_mul(b)?,
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.div_euclid(b)
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                return None;
+            }
+            a.rem_euclid(b)
+        }
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        BinOp::Lt => return Some(bool_imm(a < b)),
+        BinOp::Le => return Some(bool_imm(a <= b)),
+        BinOp::Eq => return Some(bool_imm(a == b)),
+        BinOp::And | BinOp::Or => return None,
+    };
+    Some(Expr::IntImm(v))
+}
+
+fn fold_float(op: BinOp, a: f64, b: f64, st: ScalarType) -> Option<Expr> {
+    let v = match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == 0.0 {
+                return None;
+            }
+            a / b
+        }
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        BinOp::Lt => return Some(bool_imm(a < b)),
+        BinOp::Le => return Some(bool_imm(a <= b)),
+        BinOp::Eq => return Some(bool_imm(a == b)),
+        BinOp::Mod | BinOp::And | BinOp::Or => return None,
+    };
+    Some(Expr::FloatImm(round_to(st, v), st))
+}
+
+fn bool_imm(b: bool) -> Expr {
+    Expr::IntImm(i64::from(b))
+}
+
+/// One bottom-up rewriting step; children have already been rewritten.
+#[allow(clippy::too_many_lines)]
+fn step(e: &Expr) -> Option<Expr> {
+    match e {
+        Expr::Binary(op, a, b) => {
+            // Constant folding.
+            if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+                if let Some(folded) = fold_int(*op, x, y) {
+                    return Some(folded);
+                }
+            }
+            if let (Expr::FloatImm(x, st), Expr::FloatImm(y, _)) = (a.as_ref(), b.as_ref()) {
+                if let Some(folded) = fold_float(*op, *x, *y, *st) {
+                    return Some(folded);
+                }
+            }
+            // Algebraic identities (also through broadcasts of constants).
+            match op {
+                BinOp::Add => {
+                    if b.is_const_int(0) || is_const_float(b, 0.0) {
+                        return Some((**a).clone());
+                    }
+                    if a.is_const_int(0) || is_const_float(a, 0.0) {
+                        return Some((**b).clone());
+                    }
+                }
+                BinOp::Sub => {
+                    if b.is_const_int(0) || is_const_float(b, 0.0) {
+                        return Some((**a).clone());
+                    }
+                    // x - x => 0; (x + y) - y => x; (x + y) - x => y.
+                    // These arise when producer regions subtract their own
+                    // minima from global coordinates.
+                    if a == b {
+                        let lanes = e.lanes();
+                        let z = Expr::IntImm(0);
+                        return Some(if lanes == 1 { z } else { bcast(z, lanes) });
+                    }
+                    if let Expr::Binary(BinOp::Add, x, y) = a.as_ref() {
+                        if y == b {
+                            return Some((**x).clone());
+                        }
+                        if x == b {
+                            return Some((**y).clone());
+                        }
+                    }
+                }
+                BinOp::Mul => {
+                    if b.is_const_int(1) || is_const_float(b, 1.0) {
+                        return Some((**a).clone());
+                    }
+                    if a.is_const_int(1) || is_const_float(a, 1.0) {
+                        return Some((**b).clone());
+                    }
+                    if a.is_const_int(0) || b.is_const_int(0) {
+                        let lanes = e.lanes();
+                        let z = Expr::IntImm(0);
+                        return Some(if lanes == 1 { z } else { bcast(z, lanes) });
+                    }
+                }
+                BinOp::Div => {
+                    if b.is_const_int(1) {
+                        return Some((**a).clone());
+                    }
+                    // (c·x + y) / c  =>  c·x/c + y/c (Euclidean division
+                    // distributes over exactly-divisible addends).
+                    if let (Expr::IntImm(c), true) = (b.as_ref(), e.lanes() == 1) {
+                        if *c > 0 {
+                            if let Some(q) = div_exact(a, *c) {
+                                return Some(q);
+                            }
+                            if let Expr::Binary(BinOp::Add, x, y) = a.as_ref() {
+                                if let Some(qx) = div_exact(x, *c) {
+                                    return Some(add(qx, div((**y).clone(), (**b).clone())));
+                                }
+                                if let Some(qy) = div_exact(y, *c) {
+                                    return Some(add(div((**x).clone(), (**b).clone()), qy));
+                                }
+                            }
+                        }
+                    }
+                }
+                BinOp::Mod => {
+                    // (c·x + y) % c  =>  y % c.
+                    if let (Expr::IntImm(c), true) = (b.as_ref(), e.lanes() == 1) {
+                        if *c > 0 {
+                            if divisible_by(a, *c) {
+                                return Some(Expr::IntImm(0));
+                            }
+                            if let Expr::Binary(BinOp::Add, x, y) = a.as_ref() {
+                                if divisible_by(x, *c) {
+                                    return Some(modulo((**y).clone(), (**b).clone()));
+                                }
+                                if divisible_by(y, *c) {
+                                    return Some(modulo((**x).clone(), (**b).clone()));
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            // Pull broadcasts out of pointwise ops:
+            // op(xN(a), xN(b)) -> xN(op(a, b)).
+            if let (
+                Expr::Broadcast { value: va, lanes: la },
+                Expr::Broadcast { value: vb, lanes: lb },
+            ) = (a.as_ref(), b.as_ref())
+            {
+                if la == lb && va.lanes() == vb.lanes() {
+                    return Some(bcast(
+                        Expr::Binary(*op, va.clone(), vb.clone()),
+                        *la,
+                    ));
+                }
+            }
+            None
+        }
+        // x1(v) -> v ; xN(xM(v)) -> x(N*M)(v)
+        Expr::Broadcast { value, lanes } => {
+            if *lanes == 1 {
+                return Some((**value).clone());
+            }
+            if let Expr::Broadcast { value: inner, lanes: m } = value.as_ref() {
+                return Some(bcast((**inner).clone(), lanes * m));
+            }
+            None
+        }
+        Expr::Ramp { base, stride, lanes } => {
+            // ramp(b, s, 1) -> b
+            if *lanes == 1 {
+                return Some((**base).clone());
+            }
+            // ramp(b, x(0), n) -> broadcast(b, n)
+            if stride.is_const_int(0) {
+                return Some(bcast((**base).clone(), *lanes));
+            }
+            // The A-matrix obfuscation (§III-B): un-nest a ramp whose base is
+            // a broadcast:  ramp(xM(b), s, n)
+            //            -> xN(xM(b)) + ramp(xM(0), s, n)
+            // (skip when the broadcast value is already zero so the rewrite
+            // terminates).
+            if let Expr::Broadcast { value: bv, lanes: m } = base.as_ref() {
+                if !bv.is_const_int(0) && !is_const_float(bv, 0.0) {
+                    let inner_lanes = base.lanes();
+                    let zero = zero_like(bv);
+                    let rezeroed = Expr::Ramp {
+                        base: Box::new(bcast(zero, inner_lanes / bv.lanes() * bv.lanes())),
+                        stride: stride.clone(),
+                        lanes: *lanes,
+                    };
+                    let _ = m;
+                    return Some(add(bcast((**base).clone(), *lanes), rezeroed));
+                }
+            }
+            None
+        }
+        // The B-matrix obfuscation (§III-B): a load of a broadcast index
+        // becomes a broadcast of the (narrower) load.
+        Expr::Load { ty, buffer, index } => {
+            if let Expr::Broadcast { value: idx, lanes } = index.as_ref() {
+                let inner_ty = Type::new(ty.elem, idx.lanes());
+                return Some(bcast(
+                    Expr::Load {
+                        ty: inner_ty,
+                        buffer: buffer.clone(),
+                        index: idx.clone(),
+                    },
+                    *lanes,
+                ));
+            }
+            None
+        }
+        Expr::Cast(ty, v) => {
+            if v.ty() == *ty {
+                return Some((**v).clone());
+            }
+            match v.as_ref() {
+                Expr::IntImm(x) if ty.elem.is_float() && ty.is_scalar() => {
+                    Some(Expr::FloatImm(round_to(ty.elem, *x as f64), ty.elem))
+                }
+                Expr::FloatImm(x, _) if ty.elem.is_float() && ty.is_scalar() => {
+                    Some(Expr::FloatImm(round_to(ty.elem, *x), ty.elem))
+                }
+                Expr::FloatImm(x, _) if ty.elem == ScalarType::I32 && ty.is_scalar() => {
+                    Some(Expr::IntImm(*x as i64))
+                }
+                _ => None,
+            }
+        }
+        Expr::Select(c, t, f) => {
+            if c.is_const_int(1) {
+                return Some((**t).clone());
+            }
+            if c.is_const_int(0) {
+                return Some((**f).clone());
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Whether `e` is statically a multiple of `c` (conservative).
+fn divisible_by(e: &Expr, c: i64) -> bool {
+    match e {
+        Expr::IntImm(v) => v.rem_euclid(c) == 0,
+        Expr::Binary(BinOp::Add | BinOp::Sub, a, b) => {
+            divisible_by(a, c) && divisible_by(b, c)
+        }
+        Expr::Binary(BinOp::Mul, a, b) => divisible_by(a, c) || divisible_by(b, c),
+        _ => false,
+    }
+}
+
+/// Exact quotient `e / c` when `e` is statically a multiple of `c`.
+fn div_exact(e: &Expr, c: i64) -> Option<Expr> {
+    match e {
+        Expr::IntImm(v) if v.rem_euclid(c) == 0 => Some(Expr::IntImm(v / c)),
+        Expr::Binary(BinOp::Add, a, b) => {
+            Some(add(div_exact(a, c)?, div_exact(b, c)?))
+        }
+        Expr::Binary(BinOp::Mul, a, b) => {
+            if let Some(qa) = div_exact(a, c) {
+                Some(mul_expr(qa, (**b).clone()))
+            } else {
+                div_exact(b, c).map(|qb| mul_expr((**a).clone(), qb))
+            }
+        }
+        _ => None,
+    }
+}
+
+fn mul_expr(a: Expr, b: Expr) -> Expr {
+    Expr::Binary(BinOp::Mul, Box::new(a), Box::new(b))
+}
+
+fn is_const_float(e: &Expr, v: f64) -> bool {
+    match e {
+        Expr::FloatImm(x, _) => *x == v,
+        Expr::Broadcast { value, .. } => is_const_float(value, v),
+        _ => false,
+    }
+}
+
+fn zero_like(e: &Expr) -> Expr {
+    match e.ty().elem {
+        ScalarType::I32 | ScalarType::Bool => Expr::IntImm(0),
+        st => Expr::FloatImm(0.0, st),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(simplify(&add(int(2), int(3))), int(5));
+        assert_eq!(simplify(&div(int(7), int(2))), int(3));
+        assert_eq!(simplify(&modulo(int(-1), int(4))), int(3), "euclidean mod");
+        assert_eq!(simplify(&mul(flt(2.0), flt(4.0))), flt(8.0));
+        assert_eq!(simplify(&lt(int(1), int(2))), int(1));
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let x = var("x");
+        assert_eq!(simplify(&add(x.clone(), int(0))), x);
+        assert_eq!(simplify(&mul(x.clone(), int(1))), x);
+        assert_eq!(simplify(&mul(x.clone(), int(0))), int(0));
+        assert_eq!(simplify(&sub(x.clone(), int(0))), x);
+        assert_eq!(simplify(&div(x.clone(), int(1))), x);
+    }
+
+    #[test]
+    fn broadcast_flattening() {
+        let e = bcast(bcast(var("x"), 16), 16);
+        assert_eq!(simplify(&e), bcast(var("x"), 256));
+        assert_eq!(simplify(&bcast(var("x"), 1)), var("x"));
+    }
+
+    #[test]
+    fn ramp_of_one_lane_collapses() {
+        assert_eq!(simplify(&ramp(var("x"), int(3), 1)), var("x"));
+    }
+
+    #[test]
+    fn zero_stride_ramp_is_broadcast() {
+        let e = ramp(var("x"), int(0), 8);
+        assert_eq!(simplify(&e), bcast(var("x"), 8));
+    }
+
+    #[test]
+    fn load_of_broadcast_becomes_broadcast_of_load() {
+        // B[x16(i)] -> x16(B[i])  (§III-B's second obfuscation).
+        let idx = bcast(ramp(int(0), int(16), 32), 16);
+        let ld = load(Type::bf16().with_lanes(512), "B", idx);
+        let s = simplify(&ld);
+        match &s {
+            Expr::Broadcast { value, lanes } => {
+                assert_eq!(*lanes, 16);
+                match value.as_ref() {
+                    Expr::Load { ty, .. } => assert_eq!(ty.lanes, 32),
+                    other => panic!("expected inner load, got {other}"),
+                }
+            }
+            other => panic!("expected broadcast-of-load, got {other}"),
+        }
+    }
+
+    #[test]
+    fn ramp_with_broadcast_base_unnests() {
+        // ramp(x16(ramp(0,1,32)), x512(32), 16)
+        //   -> x256(ramp(0,1,32)) + ramp(x512(0), x512(32), 16)
+        // which is exactly the obscured A-matrix pattern of Fig. 3.
+        let inner = ramp(int(0), int(1), 32);
+        let e = ramp(bcast(inner.clone(), 16), bcast(int(32), 512), 16);
+        let s = simplify(&e);
+        let expected = add(
+            bcast(inner, 256),
+            ramp(bcast(int(0), 512), bcast(int(32), 512), 16),
+        );
+        assert_eq!(s, expected, "got {s}");
+    }
+
+    #[test]
+    fn unnesting_terminates_on_zero_base() {
+        let e = ramp(bcast(int(0), 512), bcast(int(32), 512), 16);
+        // Must be a fixpoint (no infinite xN(0) + ... expansion).
+        assert_eq!(simplify(&e), e);
+    }
+
+    #[test]
+    fn broadcast_pairs_merge_through_binops() {
+        let e = add(bcast(var("x"), 8), bcast(int(1), 8));
+        assert_eq!(simplify(&e), bcast(add(var("x"), int(1)), 8));
+    }
+
+    #[test]
+    fn cast_identity_removed_and_imms_fold() {
+        let x = var("x");
+        assert_eq!(simplify(&cast(Type::i32(), x.clone())), x);
+        assert_eq!(simplify(&cast(Type::f32(), int(3))), flt(3.0));
+        let h = simplify(&cast(Type::f16(), flt(1.0 + 2f64.powi(-12))));
+        match h {
+            Expr::FloatImm(v, ScalarType::F16) => assert!((v - 1.0).abs() < 1e-3),
+            other => panic!("expected f16 imm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_on_constants() {
+        let e = select(lt(int(1), int(2)), flt(1.0), flt(2.0));
+        assert_eq!(simplify(&e), flt(1.0));
+    }
+
+    #[test]
+    fn simplify_stmt_applies_everywhere() {
+        let s = store("out", ramp(add(int(1), int(2)), int(1), 4), bcast(flt(0.0), 4));
+        let s2 = simplify_stmt(&s);
+        match s2 {
+            Stmt::Store { index, .. } => match index {
+                Expr::Ramp { base, .. } => assert_eq!(base.as_int(), Some(3)),
+                other => panic!("expected ramp, got {other:?}"),
+            },
+            other => panic!("expected store, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! IR statements: stores, loops, allocations, and statement blocks.
+
+use crate::expr::Expr;
+use crate::types::{MemoryType, ScalarType};
+
+/// How a loop is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ForKind {
+    /// Ordinary sequential loop.
+    Serial,
+    /// Fully unrolled at compile time (extent must be constant).
+    Unrolled,
+    /// CPU-parallel loop.
+    Parallel,
+    /// GPU block (grid) dimension.
+    GpuBlock,
+    /// GPU thread dimension within a block.
+    GpuThread,
+    /// Warp-lane loop wrapped around WMMA statements
+    /// (the paper's `for_gpu_lanes(thread_id_x, 0, 32)`).
+    GpuLane,
+}
+
+impl ForKind {
+    /// Whether iterations run concurrently (for the performance model).
+    #[must_use]
+    pub fn is_parallel(self) -> bool {
+        !matches!(self, ForKind::Serial | ForKind::Unrolled)
+    }
+}
+
+/// An IR statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `buffer[index] = value` (vectorized when `index` is a vector).
+    Store {
+        /// Destination buffer name.
+        buffer: String,
+        /// Index vector.
+        index: Expr,
+        /// Stored value (lane count matches the index).
+        value: Expr,
+    },
+    /// Evaluates an expression for its side effects (e.g. `tile_store`).
+    Evaluate(Expr),
+    /// A counted loop over `var` in `[min, min+extent)`.
+    For {
+        /// Loop variable name (scalar `int32` in the body).
+        var: String,
+        /// Loop lower bound.
+        min: Expr,
+        /// Trip count.
+        extent: Expr,
+        /// Execution strategy.
+        kind: ForKind,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// Sequential composition.
+    Block(Vec<Stmt>),
+    /// Scoped allocation of `size` elements of `elem` in `memory`,
+    /// live for the duration of `body`.
+    Allocate {
+        /// Buffer name introduced for `body`.
+        name: String,
+        /// Element type.
+        elem: ScalarType,
+        /// Number of elements.
+        size: u64,
+        /// Placement.
+        memory: MemoryType,
+        /// Scope in which the buffer is visible.
+        body: Box<Stmt>,
+    },
+    /// Guarded statement (used for boundary handling).
+    If {
+        /// Scalar boolean condition.
+        cond: Expr,
+        /// Executed when the condition holds.
+        then_case: Box<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Pre-order traversal over all nested statements including `self`.
+    pub fn for_each_stmt(&self, f: &mut dyn FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::Store { .. } | Stmt::Evaluate(_) => {}
+            Stmt::For { body, .. } | Stmt::Allocate { body, .. } => body.for_each_stmt(f),
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    s.for_each_stmt(f);
+                }
+            }
+            Stmt::If { then_case, .. } => then_case.for_each_stmt(f),
+        }
+    }
+
+    /// Visits every expression appearing anywhere in the statement tree.
+    pub fn for_each_expr(&self, f: &mut dyn FnMut(&Expr)) {
+        self.for_each_stmt(&mut |s| match s {
+            Stmt::Store { index, value, .. } => {
+                index.for_each(f);
+                value.for_each(f);
+            }
+            Stmt::Evaluate(e) => e.for_each(f),
+            Stmt::For { min, extent, .. } => {
+                min.for_each(f);
+                extent.for_each(f);
+            }
+            Stmt::If { cond, .. } => cond.for_each(f),
+            Stmt::Block(_) | Stmt::Allocate { .. } => {}
+        });
+    }
+
+    /// Rewrites every top-level expression in the tree with `f`
+    /// (statement structure is preserved).
+    #[must_use]
+    pub fn map_exprs(&self, f: &mut dyn FnMut(&Expr) -> Expr) -> Stmt {
+        match self {
+            Stmt::Store { buffer, index, value } => Stmt::Store {
+                buffer: buffer.clone(),
+                index: f(index),
+                value: f(value),
+            },
+            Stmt::Evaluate(e) => Stmt::Evaluate(f(e)),
+            Stmt::For { var, min, extent, kind, body } => Stmt::For {
+                var: var.clone(),
+                min: f(min),
+                extent: f(extent),
+                kind: *kind,
+                body: Box::new(body.map_exprs(f)),
+            },
+            Stmt::Block(stmts) => Stmt::Block(stmts.iter().map(|s| s.map_exprs(f)).collect()),
+            Stmt::Allocate { name, elem, size, memory, body } => Stmt::Allocate {
+                name: name.clone(),
+                elem: *elem,
+                size: *size,
+                memory: *memory,
+                body: Box::new(body.map_exprs(f)),
+            },
+            Stmt::If { cond, then_case } => Stmt::If {
+                cond: f(cond),
+                then_case: Box::new(then_case.map_exprs(f)),
+            },
+        }
+    }
+
+    /// Rewrites every statement bottom-up; `f` returning `None` keeps the
+    /// node (with already-rewritten children).
+    #[must_use]
+    pub fn rewrite_stmts_bottom_up(&self, f: &mut dyn FnMut(&Stmt) -> Option<Stmt>) -> Stmt {
+        let with_children = match self {
+            Stmt::Store { .. } | Stmt::Evaluate(_) => self.clone(),
+            Stmt::For { var, min, extent, kind, body } => Stmt::For {
+                var: var.clone(),
+                min: min.clone(),
+                extent: extent.clone(),
+                kind: *kind,
+                body: Box::new(body.rewrite_stmts_bottom_up(f)),
+            },
+            Stmt::Block(stmts) => Stmt::Block(
+                stmts
+                    .iter()
+                    .map(|s| s.rewrite_stmts_bottom_up(f))
+                    .collect(),
+            ),
+            Stmt::Allocate { name, elem, size, memory, body } => Stmt::Allocate {
+                name: name.clone(),
+                elem: *elem,
+                size: *size,
+                memory: *memory,
+                body: Box::new(body.rewrite_stmts_bottom_up(f)),
+            },
+            Stmt::If { cond, then_case } => Stmt::If {
+                cond: cond.clone(),
+                then_case: Box::new(then_case.rewrite_stmts_bottom_up(f)),
+            },
+        };
+        f(&with_children).unwrap_or(with_children)
+    }
+
+    /// Collects the names of all stores in pre-order.
+    #[must_use]
+    pub fn stored_buffers(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.for_each_stmt(&mut |s| {
+            if let Stmt::Store { buffer, .. } = s {
+                out.push(buffer.clone());
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    fn sample() -> Stmt {
+        for_serial(
+            "x",
+            int(0),
+            int(4),
+            block(vec![
+                store("out", ramp(var("x"), int(1), 4), bcast(flt(0.0), 4)),
+                evaluate(call(crate::types::Type::i32(), "noop", vec![])),
+            ]),
+        )
+    }
+
+    #[test]
+    fn traversal_visits_all_statements() {
+        let mut count = 0;
+        sample().for_each_stmt(&mut |_| count += 1);
+        // for + block + store + evaluate
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn stored_buffers_collects_names() {
+        assert_eq!(sample().stored_buffers(), vec!["out".to_string()]);
+    }
+
+    #[test]
+    fn map_exprs_rewrites_indices() {
+        let s = sample().map_exprs(&mut |e| e.substitute("x", &int(7)));
+        let mut saw = false;
+        s.for_each_expr(&mut |e| {
+            if let crate::expr::Expr::Ramp { base, .. } = e {
+                assert_eq!(base.as_int(), Some(7));
+                saw = true;
+            }
+        });
+        assert!(saw);
+    }
+
+    #[test]
+    fn rewrite_bottom_up_replaces_loops() {
+        let s = sample().rewrite_stmts_bottom_up(&mut |s| match s {
+            Stmt::For { var, min, extent, body, .. } => Some(Stmt::For {
+                var: var.clone(),
+                min: min.clone(),
+                extent: extent.clone(),
+                kind: ForKind::Parallel,
+                body: body.clone(),
+            }),
+            _ => None,
+        });
+        match s {
+            Stmt::For { kind, .. } => assert_eq!(kind, ForKind::Parallel),
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_kinds() {
+        assert!(ForKind::GpuBlock.is_parallel());
+        assert!(ForKind::GpuLane.is_parallel());
+        assert!(!ForKind::Serial.is_parallel());
+        assert!(!ForKind::Unrolled.is_parallel());
+    }
+}

@@ -1,0 +1,873 @@
+//! Lowering: algorithms + schedules → `hb-ir` loop nests.
+//!
+//! Mirrors the Halide pipeline the paper builds on: loop-nest construction
+//! from the schedule (splits, reorder, loop kinds), `compute_at`
+//! realizations with interval-analysis region inference, reduction handling,
+//! nested vectorization ([`crate::vectorize`]) and a final pass of the
+//! pattern-obscuring simplifier ([`hb_ir::simplify`]) — the exact IR diet
+//! HARDBOILED's equality saturation is designed to digest.
+
+use std::collections::HashMap;
+
+use hb_ir::builder as b;
+use hb_ir::expr::Expr;
+use hb_ir::interval::{bounds, Interval, VarRanges};
+use hb_ir::simplify::{simplify, simplify_stmt};
+use hb_ir::stmt::{ForKind, Stmt};
+use hb_ir::types::{MemoryType, ScalarType, Type};
+
+use crate::ast::{ComputePlacement, Func, HExpr, Pipeline};
+use crate::schedule::{LoopKind, StageSchedule};
+use crate::vectorize::{
+    decompose_mod_div, mod_div_divisor, widen_stmt, LowerError, LowerResult,
+};
+
+/// One dimension of a realized region.
+#[derive(Debug, Clone)]
+pub struct RegionDim {
+    /// Global index of the first element (an expression over outer loop
+    /// variables).
+    pub min: Expr,
+    /// Static extent.
+    pub size: i64,
+}
+
+/// Region per producer name.
+type Regions = HashMap<String, Vec<RegionDim>>;
+
+/// The result of lowering a pipeline.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The complete statement (producer allocations inside).
+    pub stmt: Stmt,
+    /// Buffer placements (output, images, and accelerator buffers).
+    pub placements: HashMap<String, MemoryType>,
+    /// Output buffer name.
+    pub output_name: String,
+    /// Output element type.
+    pub output_elem: ScalarType,
+    /// Output length in elements.
+    pub output_len: i64,
+    /// Input images: `(name, elem, len)`.
+    pub inputs: Vec<(String, ScalarType, i64)>,
+}
+
+/// Per-stage lowering context.
+struct StageCtx {
+    /// Final loop variables, innermost first: `(name, extent, kind)`.
+    vars: Vec<(String, i64, LoopKind)>,
+    /// Original root variable → recombination over final loop variables
+    /// (local coordinates, starting at zero).
+    recomb: HashMap<String, Expr>,
+    /// Which final variables descend from reduction variables.
+    rvar_derived: HashMap<String, bool>,
+    /// Whether `atomic()` was requested.
+    atomic: bool,
+}
+
+fn stage_ctx(
+    roots: &[(String, i64, bool)], // (name, extent, is_rvar) innermost first
+    sched: &StageSchedule,
+) -> LowerResult<StageCtx> {
+    let mut extents: HashMap<String, i64> = HashMap::new();
+    let mut rvar: HashMap<String, bool> = HashMap::new();
+    let mut recomb: HashMap<String, Expr> = HashMap::new();
+    for (name, extent, is_r) in roots {
+        extents.insert(name.clone(), *extent);
+        rvar.insert(name.clone(), *is_r);
+        recomb.insert(name.clone(), b::var(name));
+    }
+    for split in &sched.splits {
+        let old_extent = *extents.get(&split.old).ok_or_else(|| {
+            LowerError(format!("split of unknown variable {}", split.old))
+        })?;
+        if old_extent % split.factor != 0 {
+            return Err(LowerError(format!(
+                "split of {} (extent {old_extent}) by non-dividing factor {}",
+                split.old, split.factor
+            )));
+        }
+        let replacement = b::add(
+            b::mul(b::var(&split.outer), b::int(split.factor)),
+            b::var(&split.inner),
+        );
+        for e in recomb.values_mut() {
+            *e = e.substitute(&split.old, &replacement);
+        }
+        let is_r = rvar.remove(&split.old).unwrap_or(false);
+        extents.remove(&split.old);
+        extents.insert(split.inner.clone(), split.factor);
+        extents.insert(split.outer.clone(), old_extent / split.factor);
+        rvar.insert(split.inner.clone(), is_r);
+        rvar.insert(split.outer.clone(), is_r);
+    }
+    let names: Vec<String> = roots.iter().map(|(n, _, _)| n.clone()).collect();
+    let order = sched.loop_vars(&names);
+    let vars = order
+        .iter()
+        .map(|v| {
+            let e = *extents
+                .get(v)
+                .unwrap_or_else(|| panic!("no extent for loop var {v}"));
+            (v.clone(), e, sched.kind(v))
+        })
+        .collect();
+    Ok(StageCtx {
+        vars,
+        recomb,
+        rvar_derived: rvar,
+        atomic: sched.atomic,
+    })
+}
+
+/// The lowering driver.
+struct Lowerer<'a> {
+    p: &'a Pipeline,
+    placements: HashMap<String, MemoryType>,
+}
+
+impl<'a> Lowerer<'a> {
+    /// All producers placed anywhere inside `consumer`.
+    fn producers_of(&self, consumer: &str) -> Vec<Func> {
+        let mut out = Vec::new();
+        for f in self.p.funcs.values() {
+            if let ComputePlacement::At { consumer: c, .. } = &f.borrow().placement {
+                if c == consumer {
+                    out.push(f.clone());
+                }
+            }
+        }
+        out.sort_by_key(Func::name);
+        out
+    }
+
+    /// Lowers a front-end expression to scalar IR under `env`.
+    fn lower_hexpr(
+        &self,
+        e: &HExpr,
+        env: &HashMap<String, Expr>,
+        regions: &Regions,
+    ) -> LowerResult<Expr> {
+        match e {
+            HExpr::Int(v) => Ok(b::int(*v)),
+            HExpr::Float(v, st) => Ok(b::flt_t(*v, *st)),
+            HExpr::Var(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| LowerError(format!("unbound variable {name}"))),
+            HExpr::Binary(op, a, bb) => {
+                let a = self.lower_hexpr(a, env, regions)?;
+                let bb = self.lower_hexpr(bb, env, regions)?;
+                Ok(Expr::Binary(*op, Box::new(a), Box::new(bb)))
+            }
+            HExpr::Cast(st, inner) => {
+                let inner = self.lower_hexpr(inner, env, regions)?;
+                Ok(b::cast(Type::new(*st, 1), inner))
+            }
+            HExpr::Select(c, t, f) => {
+                let c = self.lower_hexpr(c, env, regions)?;
+                let t = self.lower_hexpr(t, env, regions)?;
+                let f = self.lower_hexpr(f, env, regions)?;
+                Ok(b::select(c, t, f))
+            }
+            HExpr::Call(name, args) => self.lower_call(name, args, env, regions),
+        }
+    }
+
+    fn lower_call(
+        &self,
+        name: &str,
+        args: &[HExpr],
+        env: &HashMap<String, Expr>,
+        regions: &Regions,
+    ) -> LowerResult<Expr> {
+        if let Some(img) = self.p.images.get(name) {
+            let strides = img.strides();
+            let mut idx = b::int(0);
+            for (a, s) in args.iter().zip(&strides) {
+                let a = self.lower_hexpr(a, env, regions)?;
+                idx = b::add(idx, b::mul(a, b::int(*s)));
+            }
+            return Ok(b::load(Type::new(img.elem, 1), name, simplify(&idx)));
+        }
+        let f = self
+            .p
+            .funcs
+            .get(name)
+            .ok_or_else(|| LowerError(format!("call to unknown func {name}")))?;
+        let inner = f.borrow();
+        match &inner.placement {
+            ComputePlacement::Inline => {
+                if inner.update.is_some() {
+                    return Err(LowerError(format!(
+                        "func {name} has an update and must be given a compute_at placement"
+                    )));
+                }
+                let def = inner.pure_def.clone().ok_or_else(|| {
+                    LowerError(format!("inlined func {name} is undefined"))
+                })?;
+                let map: HashMap<String, HExpr> = inner
+                    .dims
+                    .iter()
+                    .cloned()
+                    .zip(args.iter().cloned())
+                    .collect();
+                let substituted = subst_hexpr(&def, &map);
+                self.lower_hexpr(&substituted, env, regions)
+            }
+            ComputePlacement::At { .. } => {
+                let region = regions.get(name).ok_or_else(|| {
+                    LowerError(format!(
+                        "func {name} is used here but realized in a different scope"
+                    ))
+                })?;
+                let mut idx = b::int(0);
+                let mut stride = 1i64;
+                for (a, dim) in args.iter().zip(region.iter()) {
+                    let a = self.lower_hexpr(a, env, regions)?;
+                    let local = b::sub(a, dim.min.clone());
+                    idx = b::add(idx, b::mul(local, b::int(stride)));
+                    stride *= dim.size;
+                }
+                Ok(b::load(Type::new(inner.elem, 1), name, simplify(&idx)))
+            }
+        }
+    }
+
+    /// Infers the region of `producer` required by `consumer`, realized at
+    /// `at_var` of the consumer's stage described by `ctx`/`env`.
+    fn infer_region(
+        &self,
+        consumer: &Func,
+        producer: &Func,
+        at_var: &str,
+        ctx: &StageCtx,
+        env: &HashMap<String, Expr>,
+        regions: &Regions,
+    ) -> LowerResult<Vec<RegionDim>> {
+        let pname = producer.name();
+        // Gather call sites in the consumer's definitions.
+        let cinner = consumer.borrow();
+        let mut sites: Vec<Vec<HExpr>> = Vec::new();
+        let mut scan = |e: &HExpr| collect_call_args(e, &pname, &mut sites);
+        if let Some(d) = &cinner.pure_def {
+            scan(d);
+        }
+        if let Some(u) = &cinner.update {
+            scan(&u.rhs);
+        }
+        if sites.is_empty() {
+            return Err(LowerError(format!(
+                "{pname} is computed at {at_var} of {} but never called by it",
+                cinner.name
+            )));
+        }
+        let arity = producer.borrow().dims.len();
+        // Loop variables strictly inside `at_var` vary per instance.
+        let pos = ctx
+            .vars
+            .iter()
+            .position(|(v, _, _)| v == at_var)
+            .ok_or_else(|| {
+                LowerError(format!(
+                    "compute_at variable {at_var} not found in {}'s loops",
+                    cinner.name
+                ))
+            })?;
+        let inner_vars: Vec<(String, i64)> = ctx.vars[..pos]
+            .iter()
+            .map(|(v, e, _)| (v.clone(), *e))
+            .collect();
+
+        let mut region: Option<Vec<RegionDim>> = None;
+        for site in &sites {
+            if site.len() != arity {
+                return Err(LowerError(format!("arity mismatch calling {pname}")));
+            }
+            let mut dims = Vec::with_capacity(arity);
+            for arg in site {
+                let idx = self.lower_hexpr(arg, env, regions)?;
+                // Size: inner vars range fully, everything else pinned to 0.
+                let mut ranges = VarRanges::new();
+                let mut free = Vec::new();
+                idx.for_each(&mut |e| {
+                    if let Expr::Var(n, _) = e {
+                        free.push(n.clone());
+                    }
+                });
+                for n in &free {
+                    ranges.insert(n.clone(), Interval::point(0));
+                }
+                for (v, e) in &inner_vars {
+                    ranges.insert(v.clone(), Interval::new(0, e - 1));
+                }
+                let iv = bounds(&idx, &ranges).ok_or_else(|| {
+                    LowerError(format!("cannot bound access {idx} to {pname}"))
+                })?;
+                // Min: substitute inner vars by zero, keep outer symbolic.
+                let mut min = idx.clone();
+                for (v, _) in &inner_vars {
+                    min = min.substitute(v, &b::int(0));
+                }
+                dims.push(RegionDim {
+                    min: simplify(&min),
+                    size: iv.extent(),
+                });
+            }
+            region = Some(match region.take() {
+                None => dims,
+                Some(prev) => prev
+                    .into_iter()
+                    .zip(dims)
+                    .map(|(a, bb)| {
+                        if a.min != bb.min {
+                            // Conservative: take the smaller min via Min node.
+                            RegionDim {
+                                min: simplify(&b::min(a.min, bb.min)),
+                                size: a.size.max(bb.size),
+                            }
+                        } else {
+                            RegionDim {
+                                min: a.min,
+                                size: a.size.max(bb.size),
+                            }
+                        }
+                    })
+                    .collect(),
+            });
+        }
+        Ok(region.expect("at least one site"))
+    }
+
+    /// Realizes `f` over `region`, returning the statement computing it
+    /// (without the enclosing allocation — the caller scopes it).
+    #[allow(clippy::too_many_lines)]
+    fn realize(&mut self, f: &Func, region: &[RegionDim]) -> LowerResult<Stmt> {
+        let inner = f.borrow().clone();
+        let strides: Vec<i64> = {
+            let mut acc = 1;
+            region
+                .iter()
+                .map(|d| {
+                    let s = acc;
+                    acc *= d.size;
+                    s
+                })
+                .collect()
+        };
+
+        let mut stages: Vec<Stmt> = Vec::new();
+        let stage_descrs: Vec<(bool, &StageSchedule)> = {
+            let mut v = vec![(false, &inner.init_schedule)];
+            if inner.update.is_some() {
+                v.push((true, &inner.update_schedule));
+            }
+            v
+        };
+
+        // Loop variables are qualified with the func name so producer loops
+        // never shadow consumer loops (region minima reference consumer
+        // variables symbolically).
+        let q = |v: &str| format!("{}__{v}", inner.name);
+        for (is_update, sched) in stage_descrs {
+            // Roots: reduction vars innermost, then dims.
+            let mut roots: Vec<(String, i64, bool)> = Vec::new();
+            if is_update {
+                if let Some(u) = &inner.update {
+                    for (rv, _, extent) in &u.rdom.vars {
+                        roots.push((q(rv), *extent, true));
+                    }
+                }
+            }
+            for (d, r) in inner.dims.iter().zip(region.iter()) {
+                roots.push((q(d), r.size, false));
+            }
+            let sched = qualify_schedule(sched, &inner.name);
+            let ctx = stage_ctx(&roots, &sched)?;
+
+            // Environment: dim -> global expr; rvar -> min + recomb.
+            let mut env: HashMap<String, Expr> = HashMap::new();
+            for (d, r) in inner.dims.iter().zip(region.iter()) {
+                env.insert(
+                    d.clone(),
+                    simplify(&b::add(r.min.clone(), ctx.recomb[&q(d)].clone())),
+                );
+            }
+            if is_update {
+                if let Some(u) = &inner.update {
+                    for (rv, rmin, _) in &u.rdom.vars {
+                        env.insert(
+                            rv.clone(),
+                            simplify(&b::add(b::int(*rmin), ctx.recomb[&q(rv)].clone())),
+                        );
+                    }
+                }
+            }
+
+            // Regions of this func's own producers (used in both leaf
+            // construction and loop wrapping).
+            let mut regions = Regions::new();
+            let mut realize_plan: Vec<(String, Func, Vec<RegionDim>)> = Vec::new();
+            for prod in self.producers_of(&inner.name) {
+                let ComputePlacement::At { var, .. } = prod.borrow().placement.clone() else {
+                    continue;
+                };
+                let var = q(&var);
+                if !ctx.vars.iter().any(|(v, _, _)| *v == var) {
+                    continue; // realized in the other stage's loops
+                }
+                let r = self.infer_region(f, &prod, &var, &ctx, &env, &regions)?;
+                regions.insert(prod.name(), r.clone());
+                realize_plan.push((var, prod, r));
+            }
+
+            // Leaf statement.
+            let mut idx = b::int(0);
+            for (d, s) in inner.dims.iter().zip(&strides) {
+                idx = b::add(idx, b::mul(ctx.recomb[&q(d)].clone(), b::int(*s)));
+            }
+            let idx = simplify(&idx);
+            let mut body = if is_update {
+                let u = inner.update.clone().expect("update stage has update");
+                let rhs = self.lower_hexpr(&u.rhs, &env, &regions)?;
+                let load = b::load(Type::new(inner.elem, 1), &inner.name, idx.clone());
+                b::store(&inner.name, idx, b::add(load, rhs))
+            } else {
+                let d = inner.pure_def.clone().ok_or_else(|| {
+                    LowerError(format!("func {} has no pure definition", inner.name))
+                })?;
+                let rhs = self.lower_hexpr(&d, &env, &regions)?;
+                b::store(&inner.name, idx, rhs)
+            };
+
+            // Wrap loops innermost-first.
+            for (var, extent, kind) in &ctx.vars {
+                // Attach producer realizations scheduled at this var (only
+                // if this stage actually uses them).
+                for (at_var, prod, r) in &realize_plan {
+                    if at_var == var {
+                        let mut used = false;
+                        body.for_each_expr(&mut |e| {
+                            if e.uses_buffer(&prod.name()) {
+                                used = true;
+                            }
+                        });
+                        if used {
+                            let prod_stmt = self.realize(prod, r)?;
+                            let pinner = prod.borrow();
+                            let size: i64 = r.iter().map(|d| d.size).product();
+                            self.placements
+                                .insert(pinner.name.clone(), pinner.store_in);
+                            body = b::allocate(
+                                &pinner.name,
+                                pinner.elem,
+                                size as u64,
+                                pinner.store_in,
+                                b::block(vec![prod_stmt, body]),
+                            );
+                        }
+                    }
+                }
+                match kind {
+                    LoopKind::Vectorized => {
+                        let n = u32::try_from(*extent).map_err(|_| {
+                            LowerError(format!("vector extent {extent} too large"))
+                        })?;
+                        let is_rvar = ctx.rvar_derived.get(var).copied().unwrap_or(false);
+                        if is_rvar && !ctx.atomic {
+                            return Err(LowerError(format!(
+                                "vectorizing reduction variable {var} requires atomic()"
+                            )));
+                        }
+                        if let Some(c) = mod_div_divisor(&body, var)? {
+                            if extent % c != 0 {
+                                return Err(LowerError(format!(
+                                    "extent {extent} of {var} not divisible by {c}"
+                                )));
+                            }
+                            let v0 = format!("{var}__p0");
+                            let v1 = format!("{var}__p1");
+                            let d = decompose_mod_div(&body, var, c, &v0, &v1);
+                            let w0 = widen_stmt(&d, &v0, 0, u32::try_from(c).unwrap())?;
+                            body = widen_stmt(&w0, &v1, 0, n / u32::try_from(c).unwrap())?;
+                        } else {
+                            body = widen_stmt(&body, var, 0, n)?;
+                        }
+                    }
+                    LoopKind::Unrolled => {
+                        let mut copies = Vec::with_capacity(*extent as usize);
+                        for i in 0..*extent {
+                            copies.push(body.map_exprs(&mut |e| {
+                                simplify(&e.substitute(var, &b::int(i)))
+                            }));
+                        }
+                        body = b::block(copies);
+                    }
+                    k => {
+                        let kind = match k {
+                            LoopKind::Serial => ForKind::Serial,
+                            LoopKind::Parallel => ForKind::Parallel,
+                            LoopKind::GpuBlock => ForKind::GpuBlock,
+                            LoopKind::GpuThread => ForKind::GpuThread,
+                            LoopKind::Vectorized | LoopKind::Unrolled => unreachable!(),
+                        };
+                        body = b::for_kind(var, b::int(0), b::int(*extent), kind, body);
+                    }
+                }
+            }
+            stages.push(body);
+        }
+        Ok(b::block(stages))
+    }
+}
+
+/// Clones a schedule with every variable name qualified by the func name.
+fn qualify_schedule(s: &StageSchedule, fname: &str) -> StageSchedule {
+    let q = |v: &str| format!("{fname}__{v}");
+    StageSchedule {
+        splits: s
+            .splits
+            .iter()
+            .map(|sp| crate::schedule::Split {
+                old: q(&sp.old),
+                outer: q(&sp.outer),
+                inner: q(&sp.inner),
+                factor: sp.factor,
+            })
+            .collect(),
+        order: s
+            .order
+            .as_ref()
+            .map(|o| o.iter().map(|v| q(v)).collect()),
+        kinds: s
+            .kinds
+            .iter()
+            .map(|(k, v)| (q(k), *v))
+            .collect(),
+        atomic: s.atomic,
+    }
+}
+
+fn collect_call_args(e: &HExpr, name: &str, out: &mut Vec<Vec<HExpr>>) {
+    match e {
+        HExpr::Int(_) | HExpr::Float(..) | HExpr::Var(_) => {}
+        HExpr::Call(n, args) => {
+            if n == name {
+                out.push(args.clone());
+            }
+            for a in args {
+                collect_call_args(a, name, out);
+            }
+        }
+        HExpr::Binary(_, a, bb) => {
+            collect_call_args(a, name, out);
+            collect_call_args(bb, name, out);
+        }
+        HExpr::Cast(_, inner) => collect_call_args(inner, name, out),
+        HExpr::Select(c, t, f) => {
+            collect_call_args(c, name, out);
+            collect_call_args(t, name, out);
+            collect_call_args(f, name, out);
+        }
+    }
+}
+
+fn subst_hexpr(e: &HExpr, map: &HashMap<String, HExpr>) -> HExpr {
+    match e {
+        HExpr::Int(_) | HExpr::Float(..) => e.clone(),
+        HExpr::Var(v) => map.get(v).cloned().unwrap_or_else(|| e.clone()),
+        HExpr::Call(n, args) => HExpr::Call(
+            n.clone(),
+            args.iter().map(|a| subst_hexpr(a, map)).collect(),
+        ),
+        HExpr::Binary(op, a, bb) => HExpr::Binary(
+            *op,
+            Box::new(subst_hexpr(a, map)),
+            Box::new(subst_hexpr(bb, map)),
+        ),
+        HExpr::Cast(st, inner) => HExpr::Cast(*st, Box::new(subst_hexpr(inner, map))),
+        HExpr::Select(c, t, f) => HExpr::Select(
+            Box::new(subst_hexpr(c, map)),
+            Box::new(subst_hexpr(t, map)),
+            Box::new(subst_hexpr(f, map)),
+        ),
+    }
+}
+
+/// Replaces unit-extent loops by binding the variable to its minimum.
+fn elide_unit_loops(s: &Stmt) -> Stmt {
+    s.rewrite_stmts_bottom_up(&mut |st| match st {
+        Stmt::For { var, min, extent, body, .. } if extent.as_int() == Some(1) => {
+            Some(body.map_exprs(&mut |e| simplify(&e.substitute(var, min))))
+        }
+        _ => None,
+    })
+}
+
+/// Lowers a pipeline to IR.
+///
+/// # Errors
+///
+/// Fails when the output lacks explicit bounds, a schedule is inconsistent
+/// (non-dividing splits, reduction vectorization without `atomic()`), or an
+/// algorithm uses unsupported constructs.
+pub fn lower(p: &Pipeline) -> LowerResult<Lowered> {
+    let out = p.output.borrow().clone();
+    let mut region = Vec::with_capacity(out.dims.len());
+    for d in &out.dims {
+        let (min, extent) = out.bounds.get(d).copied().ok_or_else(|| {
+            LowerError(format!(
+                "output {} needs bound() for dimension {d}",
+                out.name
+            ))
+        })?;
+        region.push(RegionDim {
+            min: b::int(min),
+            size: extent,
+        });
+    }
+    let mut lowerer = Lowerer {
+        p,
+        placements: HashMap::new(),
+    };
+    let stmt = lowerer.realize(&p.output, &region)?;
+    let stmt = elide_unit_loops(&stmt);
+    let stmt = simplify_stmt(&stmt);
+
+    let mut placements = lowerer.placements;
+    placements.insert(out.name.clone(), MemoryType::Heap);
+    for img in p.images.values() {
+        placements.insert(img.name.clone(), MemoryType::Heap);
+    }
+    let inputs = p
+        .images
+        .values()
+        .map(|i| (i.name.clone(), i.elem, i.len()))
+        .collect();
+    Ok(Lowered {
+        stmt,
+        placements,
+        output_name: out.name.clone(),
+        output_elem: out.elem,
+        output_len: region.iter().map(|d| d.size).product(),
+        inputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{cast_f32, hf, hv, Func, ImageParam, Pipeline, RDom};
+    use hb_exec::Interp;
+
+    fn run(lowered: &Lowered, inputs: &[(&str, Vec<f64>)]) -> Vec<f64> {
+        let mut it = Interp::new();
+        for (name, elem, len) in &lowered.inputs {
+            let data = inputs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, d)| d.clone())
+                .unwrap_or_else(|| vec![0.0; *len as usize]);
+            it.mem.alloc_init(name, *elem, MemoryType::Heap, &data).unwrap();
+        }
+        it.mem
+            .alloc(
+                &lowered.output_name,
+                lowered.output_elem,
+                lowered.output_len as usize,
+                MemoryType::Heap,
+            )
+            .unwrap();
+        it.exec(&lowered.stmt).unwrap();
+        it.mem.snapshot(&lowered.output_name).unwrap()
+    }
+
+    #[test]
+    fn scalar_copy_pipeline() {
+        let img = ImageParam::new("in", ScalarType::F32, &[8]);
+        let out = Func::new("out", &["x"], ScalarType::F32);
+        out.define(img.at(&[hv("x")]) * hf(2.0));
+        out.bound("x", 0, 8);
+        let p = Pipeline::new(&out, &[], &[&img]);
+        let lowered = lower(&p).unwrap();
+        let data: Vec<f64> = (0..8).map(f64::from).collect();
+        let got = run(&lowered, &[("in", data.clone())]);
+        let want: Vec<f64> = data.iter().map(|v| v * 2.0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn vectorized_pipeline_matches_serial() {
+        let img = ImageParam::new("in", ScalarType::F32, &[64]);
+        let mk = |vectorize: bool| {
+            let out = Func::new("out", &["x"], ScalarType::F32);
+            out.define(img.at(&[hv("x") + hi_(1)]) + img.at(&[hv("x")]));
+            out.bound("x", 0, 32);
+            if vectorize {
+                out.stage_init(|s| {
+                    s.split("x", "xo", "xi", 8).vectorize("xi");
+                });
+            }
+            let p = Pipeline::new(&out, &[], &[&img]);
+            lower(&p).unwrap()
+        };
+        fn hi_(v: i64) -> HExpr {
+            crate::ast::hi(v)
+        }
+        let data: Vec<f64> = (0..64).map(|i| f64::from(i) * 0.5).collect();
+        let serial = run(&mk(false), &[("in", data.clone())]);
+        let vectorized = run(&mk(true), &[("in", data)]);
+        assert_eq!(serial, vectorized);
+    }
+
+    #[test]
+    fn inline_funcs_substitute() {
+        let img = ImageParam::new("in", ScalarType::F32, &[16]);
+        let twice = Func::new("twice", &["x"], ScalarType::F32);
+        twice.define(img.at(&[hv("x")]) * hf(2.0));
+        let out = Func::new("out", &["x"], ScalarType::F32);
+        out.define(twice.at(&[hv("x")]) + twice.at(&[hv("x")]));
+        out.bound("x", 0, 16);
+        let p = Pipeline::new(&out, &[&twice], &[&img]);
+        let lowered = lower(&p).unwrap();
+        let data: Vec<f64> = (0..16).map(f64::from).collect();
+        let got = run(&lowered, &[("in", data.clone())]);
+        let want: Vec<f64> = data.iter().map(|v| v * 4.0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reduction_update_computes_convolution() {
+        // conv(x) += K(rx) * I(x + rx), serial everything.
+        let img = ImageParam::new("I", ScalarType::F32, &[24]);
+        let kern = ImageParam::new("K", ScalarType::F32, &[8]);
+        let conv = Func::new("conv", &["x"], ScalarType::F32);
+        conv.define(hf(0.0));
+        let r = RDom::new("rx", 0, 8);
+        conv.update_add(kern.at(&[hv("rx")]) * img.at(&[hv("x") + hv("rx")]), &r);
+        let out = Func::new("out", &["x"], ScalarType::F32);
+        out.define(conv.at(&[hv("x")]));
+        out.bound("x", 0, 16);
+        conv.compute_at(&out, "x");
+        let p = Pipeline::new(&out, &[&conv], &[&img, &kern]);
+        let lowered = lower(&p).unwrap();
+
+        let i_data: Vec<f64> = (0..24).map(|v| f64::from(v % 5)).collect();
+        let k_data: Vec<f64> = (0..8).map(|v| f64::from(v + 1) * 0.125).collect();
+        let got = run(&lowered, &[("I", i_data.clone()), ("K", k_data.clone())]);
+        for x in 0..16usize {
+            let want: f64 = (0..8).map(|r| k_data[r] * i_data[x + r]).sum();
+            assert!((got[x] - want).abs() < 1e-6, "x={x}: {} vs {want}", got[x]);
+        }
+    }
+
+    #[test]
+    fn compute_at_produces_scoped_allocation() {
+        let img = ImageParam::new("I", ScalarType::F32, &[64 + 8]);
+        let kern = ImageParam::new("K", ScalarType::F32, &[8]);
+        let conv = Func::new("conv", &["x"], ScalarType::F32);
+        conv.define(hf(0.0));
+        conv.update_add(
+            kern.at(&[hv("rx")]) * img.at(&[hv("x") + hv("rx")]),
+            &RDom::new("rx", 0, 8),
+        );
+        let out = Func::new("out", &["x"], ScalarType::F32);
+        out.define(conv.at(&[hv("x")]));
+        out.bound("x", 0, 64);
+        out.stage_init(|s| {
+            s.split("x", "xo", "xi", 16);
+        });
+        conv.compute_at(&out, "xo");
+        let p = Pipeline::new(&out, &[&conv], &[&img, &kern]);
+        let lowered = lower(&p).unwrap();
+        // There must be an Allocate of conv with size 16 (the xi segment).
+        let mut alloc_size = None;
+        lowered.stmt.for_each_stmt(&mut |s| {
+            if let Stmt::Allocate { name, size, .. } = s {
+                if name == "conv" {
+                    alloc_size = Some(*size);
+                }
+            }
+        });
+        assert_eq!(alloc_size, Some(16));
+        // And the result must be correct.
+        let i_data: Vec<f64> = (0..72).map(|v| f64::from(v % 7)).collect();
+        let k_data: Vec<f64> = (0..8).map(|v| f64::from(v) * 0.25).collect();
+        let got = run(&lowered, &[("I", i_data.clone()), ("K", k_data.clone())]);
+        for x in 0..64usize {
+            let want: f64 = (0..8).map(|r| k_data[r] * i_data[x + r]).sum();
+            assert!((got[x] - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn atomic_required_for_reduction_vectorization() {
+        let img = ImageParam::new("I", ScalarType::F32, &[24]);
+        let kern = ImageParam::new("K", ScalarType::F32, &[8]);
+        let conv = Func::new("conv", &["x"], ScalarType::F32);
+        conv.define(hf(0.0));
+        conv.update_add(
+            kern.at(&[hv("rx")]) * img.at(&[hv("x") + hv("rx")]),
+            &RDom::new("rx", 0, 8),
+        );
+        conv.stage_update(|s| {
+            s.vectorize("rx");
+        });
+        let out = Func::new("out", &["x"], ScalarType::F32);
+        out.define(conv.at(&[hv("x")]));
+        out.bound("x", 0, 16);
+        conv.compute_at(&out, "x");
+        let p = Pipeline::new(&out, &[&conv], &[&img, &kern]);
+        let err = lower(&p).unwrap_err();
+        assert!(err.0.contains("atomic"), "{err}");
+    }
+
+    #[test]
+    fn vectorized_reduction_with_atomic_is_correct() {
+        let img = ImageParam::new("I", ScalarType::F16, &[256 + 16]);
+        let kern = ImageParam::new("K", ScalarType::F16, &[8]);
+        let conv = Func::new("conv", &["x"], ScalarType::F32);
+        conv.define(hf(0.0));
+        conv.update_add(
+            cast_f32(kern.at(&[hv("rx")])) * cast_f32(img.at(&[hv("x") + hv("rx")])),
+            &RDom::new("rx", 0, 8),
+        );
+        conv.stage_init(|s| {
+            s.vectorize("x");
+        });
+        conv.stage_update(|s| {
+            s.reorder(&["rx", "x"]).atomic().vectorize("x").vectorize("rx");
+        });
+        let out = Func::new("out", &["x"], ScalarType::F32);
+        out.define(conv.at(&[hv("x")]));
+        out.bound("x", 0, 256);
+        out.stage_init(|s| {
+            s.split("x", "xo", "xi", 256).vectorize("xi").gpu_blocks("xo");
+        });
+        conv.compute_at(&out, "xo");
+        let p = Pipeline::new(&out, &[&conv], &[&img, &kern]);
+        let lowered = lower(&p).unwrap();
+        // The update must contain the canonical conv1d pattern lanes.
+        let mut saw_vra = false;
+        lowered.stmt.for_each_expr(&mut |e| {
+            if let Expr::VectorReduceAdd { lanes, value } = e {
+                assert_eq!(*lanes, 256);
+                assert_eq!(value.lanes(), 2048);
+                saw_vra = true;
+            }
+        });
+        assert!(saw_vra, "expected a 2048->256 reduction:\n{}", lowered.stmt);
+
+        let i_data: Vec<f64> = (0..272).map(|v| f64::from(v % 9) * 0.125).collect();
+        let k_data: Vec<f64> = (0..8).map(|v| f64::from(v + 1) * 0.0625).collect();
+        let got = run(&lowered, &[("I", i_data.clone()), ("K", k_data.clone())]);
+        for x in 0..256usize {
+            let want: f64 = (0..8).map(|r| k_data[r] * i_data[x + r]).sum();
+            assert!(
+                (got[x] - want).abs() < 1e-2,
+                "x={x}: {} vs {want}",
+                got[x]
+            );
+        }
+    }
+}

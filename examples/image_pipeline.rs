@@ -1,0 +1,29 @@
+//! Image-processing microbenchmarks (paper §V-A/§V-B): 1-D convolution at
+//! image scale, sweeping kernel size like Fig. 5.
+//!
+//! Run with: `cargo run --release --example image_pipeline`
+
+use hardboiled_repro::accel::device::DeviceProfile;
+use hardboiled_repro::accel::perf::estimate;
+use hardboiled_repro::apps::conv1d::Conv1d;
+
+fn main() {
+    let device = DeviceProfile::rtx4070_super();
+    println!("Conv1D on a 4096x4096 image (Fig. 5 shape), {}\n", device.name);
+    println!("{:>6} {:>14} {:>14} {:>9}", "k", "TC (ms)", "CUDA (ms)", "speedup");
+    for k in [8i64, 32, 56] {
+        let k8 = (k + 7) / 8 * 8; // schedules need multiples of 8 taps
+        let tc = estimate(&Conv1d::fig5_counters(k8, true), &device);
+        let cuda = estimate(&Conv1d::fig5_counters(k8, false), &device);
+        println!(
+            "{:>6} {:>11.3} ({}) {:>11.3} ({}) {:>8.2}x",
+            k8,
+            tc.millis(),
+            tc.bound(),
+            cuda.millis(),
+            cuda.bound(),
+            cuda.total_s / tc.total_s
+        );
+    }
+    println!("\n(run the full sweep with: cargo run -p hb-bench --bin fig5_conv1d)");
+}

@@ -1,0 +1,45 @@
+//! ML-workload sanity check (paper §IV): AMX MatMul schedule robustness.
+//!
+//! Reimplements the MatMul schedules from Intel's Optimization Reference
+//! Manual and prints which ones HARDBOILED lowers, per operand layout —
+//! the paper's Table I.
+//!
+//! Run with: `cargo run --example ml_kernels`
+
+use hardboiled_repro::apps::matmul_amx::{table1, AmxMatmul, Layout, Variant};
+
+fn mark(supported: bool) -> &'static str {
+    if supported {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+fn main() {
+    println!("Table I: support for MatMul schedules from Intel's manual\n");
+    println!("{:<24} {:>6} {:>10}", "Implementation", "VNNI", "Standard");
+    for row in table1() {
+        println!(
+            "{:<24} {:>6} {:>10}",
+            row.variant.name(),
+            mark(row.vnni),
+            mark(row.standard)
+        );
+    }
+
+    // One full run with numbers, for flavor.
+    let app = AmxMatmul::default();
+    let r = app
+        .run(Layout::Standard, Variant::Reference)
+        .expect("reference schedule is expressible");
+    println!(
+        "\nReference schedule (standard layout): {} tensor FMAs, lowered: {}",
+        r.counters.tensor_fmas,
+        r.selection.as_ref().unwrap().all_lowered()
+    );
+    println!(
+        "(HARDBOILED discovered the VNNI swizzle itself — no schedule changes; \
+         the generated code interleaves B via kway_interleave before tile_load.)"
+    );
+}

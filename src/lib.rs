@@ -1,0 +1,9 @@
+//! Workspace umbrella crate: re-exports the HARDBOILED reproduction stack
+//! so examples and integration tests can use one coherent namespace.
+pub use hardboiled;
+pub use hb_accel as accel;
+pub use hb_apps as apps;
+pub use hb_egraph as egraph;
+pub use hb_exec as exec;
+pub use hb_ir as ir;
+pub use hb_lang as lang;

@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: algorithm → schedule → lowering →
+//! HARDBOILED instruction selection → simulated execution, checked against
+//! pure-Rust references.
+
+use hardboiled_repro::accel::device::DeviceProfile;
+use hardboiled_repro::apps::conv1d::Conv1d;
+use hardboiled_repro::apps::gemm_wmma::GemmWmma;
+use hardboiled_repro::apps::harness::max_rel_error;
+use hardboiled_repro::apps::matmul_amx::{table1, AmxMatmul, Layout, Variant};
+use hardboiled_repro::apps::resample_int::{Downsample, Upsample};
+
+#[test]
+fn conv1d_full_pipeline_tensor_vs_cuda_vs_reference() {
+    let app = Conv1d { n: 768, k: 24 };
+    let tc = app.run(true);
+    let cuda = app.run(false);
+    let reference = app.reference();
+    assert!(tc.selection.as_ref().unwrap().all_lowered());
+    assert!(max_rel_error(&tc.output, &reference) < 0.08);
+    assert!(max_rel_error(&cuda.output, &reference) < 0.08);
+    // Same DRAM story, different compute engines.
+    assert!(tc.counters.tensor_fmas > 0);
+    assert_eq!(cuda.counters.tensor_fmas, 0);
+}
+
+#[test]
+fn conv1d_speedup_shape_on_rtx4070s() {
+    // The Fig. 5 claim at a (reduced) sweep: tensor cores pull ahead as the
+    // kernel grows because the CUDA path goes compute-bound.
+    let device = DeviceProfile::rtx4070_super();
+    let t = |k: i64, tc: bool| {
+        hardboiled_repro::accel::perf::estimate(&Conv1d::fig5_counters(k, tc), &device).total_s
+    };
+    let speedup_small = t(8, false) / t(8, true);
+    let speedup_large = t(160, false) / t(160, true);
+    assert!(speedup_large > speedup_small, "{speedup_small} !< {speedup_large}");
+    assert!(speedup_large > 1.8, "large kernels must win clearly");
+}
+
+#[test]
+fn table1_regenerates_exactly() {
+    let rows = table1();
+    let expect = [
+        (Variant::Reference, true, true),
+        (Variant::LoopReorder, true, true),
+        (Variant::PreloadA, true, true),
+        (Variant::PreloadB, true, false),
+        (Variant::SoftwarePipelining, false, false),
+    ];
+    for (variant, vnni, standard) in expect {
+        let row = rows.iter().find(|r| r.variant == variant).unwrap();
+        assert_eq!((row.vnni, row.standard), (vnni, standard), "{variant:?}");
+    }
+}
+
+#[test]
+fn amx_standard_layout_swizzle_is_injected_not_scheduled() {
+    // The user never asked for VNNI; HARDBOILED inserts kway_interleave.
+    let app = AmxMatmul::default();
+    let p = app.pipeline(Layout::Standard, Variant::Reference).unwrap();
+    let lowered = hardboiled_repro::lang::lower(&p).unwrap();
+    let before = lowered.stmt.to_string();
+    assert!(!before.contains("kway_interleave"));
+    let (after, report) = hardboiled_repro::hardboiled::select_default(&lowered.stmt);
+    assert!(report.all_lowered());
+    assert!(after.to_string().contains("kway_interleave"));
+}
+
+#[test]
+fn gemm_wmma_and_amx_agree_on_the_same_problem() {
+    // Same logical MatMul through two different accelerators.
+    let wmma = GemmWmma { m: 32, k: 32, n: 32 };
+    let r_wmma = wmma.run(true);
+    let amx = AmxMatmul { m: 32, k: 32, n: 32 };
+    let r_amx = amx.run(Layout::Standard, Variant::Reference).unwrap();
+    assert!(r_wmma.selection.as_ref().unwrap().all_lowered());
+    assert!(r_amx.selection.as_ref().unwrap().all_lowered());
+    // Different inputs (different seeds) — compare each to its reference.
+    assert!(max_rel_error(&r_wmma.output, &wmma.reference()) < 0.05);
+    let inputs = amx.inputs();
+    assert!(max_rel_error(&r_amx.output, &amx.reference(&inputs)) < 0.05);
+}
+
+#[test]
+fn resampling_pipelines_lower_and_match() {
+    let down = Downsample { n: 128, k: 16 };
+    let r = down.run(true);
+    assert!(r.selection.as_ref().unwrap().all_lowered());
+    assert!(max_rel_error(&r.output, &down.reference()) < 0.08);
+
+    let up = Upsample { n: 256, taps: 8 };
+    let r = up.run(true);
+    assert!(r.selection.as_ref().unwrap().all_lowered());
+    assert!(max_rel_error(&r.output, &up.reference()) < 0.08);
+}
+
+#[test]
+fn unsupported_schedules_fall_back_rather_than_miscompile() {
+    // Preload-B in the standard layout must not lower (ambiguous swizzle) —
+    // but the program still executes correctly via the fallback vector code.
+    let app = AmxMatmul::default();
+    let r = app.run(Layout::Standard, Variant::PreloadB).unwrap();
+    assert!(!r.selection.as_ref().unwrap().all_lowered());
+    let inputs = app.inputs();
+    assert!(
+        max_rel_error(&r.output, &app.reference(&inputs)) < 0.05,
+        "fallback execution must stay correct"
+    );
+}
+
+#[test]
+fn compile_time_grows_with_unrolled_kernel_size() {
+    // Fig. 6's mechanism: unrolling the reduction loop means more
+    // statements through equality saturation.
+    let small = Conv1d { n: 512, k: 8 };
+    let large = Conv1d { n: 512, k: 64 };
+    let (_, r_small) =
+        hardboiled_repro::apps::harness::compile_only(&small.pipeline_tc_unrolled()).unwrap();
+    let (_, r_large) =
+        hardboiled_repro::apps::harness::compile_only(&large.pipeline_tc_unrolled()).unwrap();
+    assert!(r_large.num_statements() > r_small.num_statements());
+    assert!(r_large.all_lowered(), "unrolled statements still lower");
+}
