@@ -170,7 +170,10 @@ impl AmxUnit {
             for c in 0..cols {
                 let idx = r * stride + c;
                 let v = *src.get(idx).ok_or_else(|| {
-                    AmxError(format!("tileload out of bounds: index {idx} len {}", src.len()))
+                    AmxError(format!(
+                        "tileload out of bounds: index {idx} len {}",
+                        src.len()
+                    ))
                 })?;
                 let v = match dtype {
                     TileDtype::Bf16 => round_bf16(f64::from(v)) as f32,
@@ -194,7 +197,9 @@ impl AmxUnit {
             for c in 0..tile.cols {
                 let idx = r * stride + c;
                 *dst.get_mut(idx).ok_or_else(|| {
-                    AmxError(format!("tilestore out of bounds: index {idx} len {dst_len}"))
+                    AmxError(format!(
+                        "tilestore out of bounds: index {idx} len {dst_len}"
+                    ))
                 })? = tile.get(r, c);
             }
         }
@@ -353,8 +358,12 @@ mod tests {
     fn accumulation_composes_over_k_tiles() {
         // Split K=64 into two K=32 tdp steps and compare with one matmul.
         let (m, k, n) = (8usize, 64usize, 8usize);
-        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.125).collect();
-        let b: Vec<f32> = (0..k * n).map(|i| ((i * 3 % 5) as f32 - 2.0) * 0.25).collect();
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.125)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 3 % 5) as f32 - 2.0) * 0.25)
+            .collect();
         let expect = naive_matmul(&a, &b, m, k, n);
 
         let mut amx = AmxUnit::new();
@@ -387,7 +396,10 @@ mod tests {
         let mut amx = AmxUnit::new();
         assert!(amx.configure(9, 1, 1, TileDtype::F32).is_err());
         assert!(amx.configure(0, 17, 1, TileDtype::F32).is_err());
-        assert!(amx.configure(0, 1, 17, TileDtype::F32).is_err(), "68 bytes/row");
+        assert!(
+            amx.configure(0, 1, 17, TileDtype::F32).is_err(),
+            "68 bytes/row"
+        );
         amx.configure(0, 16, 16, TileDtype::F32).unwrap();
         amx.configure(1, 16, 32, TileDtype::Bf16).unwrap();
         amx.configure(2, 16, 32, TileDtype::Bf16).unwrap();

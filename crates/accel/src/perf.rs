@@ -225,11 +225,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "efficiency must be in")]
     fn zero_efficiency_rejected() {
-        let _ = estimate_with_efficiency(
-            &CostCounters::default(),
-            &DeviceProfile::a100(),
-            0.0,
-        );
+        let _ = estimate_with_efficiency(&CostCounters::default(), &DeviceProfile::a100(), 0.0);
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub struct WmmaShape {
 
 impl WmmaShape {
     /// The `m16n16k16` geometry.
-    pub const M16N16K16: WmmaShape = WmmaShape { m: 16, n: 16, k: 16 };
+    pub const M16N16K16: WmmaShape = WmmaShape {
+        m: 16,
+        n: 16,
+        k: 16,
+    };
     /// The `m32n8k16` geometry (used by the paper's conv1d schedule).
     pub const M32N8K16: WmmaShape = WmmaShape { m: 32, n: 8, k: 16 };
     /// The `m8n32k16` geometry.
@@ -301,7 +305,10 @@ mod tests {
             let mut got = vec![0.0f32; m * n];
             fc.store(&mut got, n, MatrixLayout::RowMajor).unwrap();
             for (g, w) in got.iter().zip(expect.iter()) {
-                assert!((g - w).abs() <= 0.01 * w.abs().max(1.0), "{shape}: {g} vs {w}");
+                assert!(
+                    (g - w).abs() <= 0.01 * w.abs().max(1.0),
+                    "{shape}: {g} vs {w}"
+                );
             }
             assert_eq!(unit.fmas, shape.fmas());
             assert_eq!(unit.mma_count, 1);

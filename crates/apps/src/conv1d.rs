@@ -49,7 +49,9 @@ impl Conv1d {
 
         // Schedules.
         out.stage_init(|s| {
-            s.split("x", "xo", "xi", 256).vectorize("xi").gpu_blocks("xo");
+            s.split("x", "xo", "xi", 256)
+                .vectorize("xi")
+                .gpu_blocks("xo");
         });
         conv.compute_at(&out, "xo");
         if tensor_cores {

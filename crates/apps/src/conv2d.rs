@@ -79,7 +79,10 @@ impl Conv2d {
     /// Deterministic inputs `(I, K)`.
     #[must_use]
     pub fn inputs(&self) -> (Vec<f64>, Vec<f64>) {
-        let i = test_data(((self.width + self.kw) * (self.height + self.kh)) as usize, 21);
+        let i = test_data(
+            ((self.width + self.kw) * (self.height + self.kh)) as usize,
+            21,
+        );
         let k = test_data((self.kw * self.kh) as usize, 23);
         (i, k)
     }

@@ -182,7 +182,8 @@ impl DctDenoise {
             let prev = acc.clone();
             tc.mma_sync(&mut acc, &fa, &fb, &prev).expect("mma");
             let mut o = vec![0.0f32; TILE * TILE];
-            acc.store(&mut o, TILE, MatrixLayout::RowMajor).expect("store");
+            acc.store(&mut o, TILE, MatrixLayout::RowMajor)
+                .expect("store");
             for (dst, &src) in out.iter_mut().zip(&o) {
                 *dst = f64::from(src);
             }
@@ -237,7 +238,11 @@ fn hann2d() -> Vec<f64> {
 /// the dense transposed matrix (the paper's fast variant also runs the
 /// fully-unrolled kernel both ways; the flop count models the butterfly
 /// count either way).
-fn fast_2d(tile: &[f64; TILE * TILE], inverse: bool, counters: &mut CostCounters) -> [f64; TILE * TILE] {
+fn fast_2d(
+    tile: &[f64; TILE * TILE],
+    inverse: bool,
+    counters: &mut CostCounters,
+) -> [f64; TILE * TILE] {
     let d = dct_matrix(TILE);
     let dt = transpose(&d, TILE);
     // ~ (n/2) log2(n) butterflies per 16-point transform, 2 flops each,
@@ -314,7 +319,10 @@ mod tests {
         assert!(max_rel_error(&interior(&direct), &interior(&fast)) < 1e-6);
         // f16 fragment rounding on the tensor path.
         assert!(max_rel_error(&interior(&direct), &interior(&tensor)) < 0.05);
-        assert!(c1.cuda_flops > c2.cuda_flops, "fast DCT must do fewer flops");
+        assert!(
+            c1.cuda_flops > c2.cuda_flops,
+            "fast DCT must do fewer flops"
+        );
         assert!(c3.tensor_fmas > 0 && c1.tensor_fmas == 0);
         let _ = c2;
     }
@@ -335,7 +343,11 @@ mod tests {
             })
             .collect();
         let noise = test_data(64 * 64, 103);
-        let noisy: Vec<f64> = clean.iter().zip(&noise).map(|(c, n)| c + 0.05 * n).collect();
+        let noisy: Vec<f64> = clean
+            .iter()
+            .zip(&noise)
+            .map(|(c, n)| c + 0.05 * n)
+            .collect();
         let (out, _) = app.run(&noisy, DctVariant::DirectCuda);
         // Fully-overlapped interior only (edge pixels are single-coverage).
         let sq = |a: &[f64], b: &[f64]| -> f64 {

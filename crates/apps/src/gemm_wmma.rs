@@ -125,7 +125,11 @@ mod tests {
 
     #[test]
     fn wmma_gemm_lowers_and_matches() {
-        let app = GemmWmma { m: 32, k: 32, n: 32 };
+        let app = GemmWmma {
+            m: 32,
+            k: 32,
+            n: 32,
+        };
         let r = app.run(true);
         assert!(r.selection.as_ref().unwrap().all_lowered());
         assert_eq!(r.counters.tensor_fmas, (32 * 32 * 32) as u64);
@@ -135,7 +139,11 @@ mod tests {
 
     #[test]
     fn analytic_counters_match_simulation() {
-        let app = GemmWmma { m: 64, k: 32, n: 48 };
+        let app = GemmWmma {
+            m: 64,
+            k: 32,
+            n: 48,
+        };
         let sim = app.run(true).counters;
         let model = app.analytic_counters(true);
         assert_eq!(sim.tensor_fmas, model.tensor_fmas);
@@ -148,7 +156,11 @@ mod tests {
 
     #[test]
     fn cuda_gemm_matches_too() {
-        let app = GemmWmma { m: 32, k: 32, n: 32 };
+        let app = GemmWmma {
+            m: 32,
+            k: 32,
+            n: 32,
+        };
         let r = app.run(false);
         assert_eq!(r.counters.tensor_fmas, 0);
         assert!(max_rel_error(&r.output, &app.reference()) < 0.05);

@@ -2,6 +2,7 @@
 //! instruction selection, executes it on the simulator, and reports outputs,
 //! cost counters and runtime estimates.
 
+use hardboiled::selector::{select, SelectionReport, SelectorConfig};
 use hb_accel::counters::CostCounters;
 use hb_accel::device::DeviceProfile;
 use hb_accel::perf::{estimate, TimeEstimate};
@@ -10,7 +11,6 @@ use hb_exec::Interp;
 use hb_ir::types::MemoryType;
 use hb_lang::lower::{lower, Lowered};
 use hb_lang::Pipeline;
-use hardboiled::selector::{select, SelectionReport, SelectorConfig};
 
 use std::time::{Duration, Instant};
 

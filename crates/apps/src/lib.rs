@@ -4,8 +4,8 @@
 //! and schedules in `hb-lang`, instruction selection by `hardboiled`,
 //! functional execution and cost measurement in `hb-exec`/`hb-accel`.
 
-pub mod conv1d;
 pub mod baselines;
+pub mod conv1d;
 pub mod conv2d;
 pub mod dct_denoise;
 pub mod gemm_wmma;

@@ -75,7 +75,11 @@ pub struct AmxMatmul {
 
 impl Default for AmxMatmul {
     fn default() -> Self {
-        AmxMatmul { m: 32, k: 64, n: 32 }
+        AmxMatmul {
+            m: 32,
+            k: 64,
+            n: 32,
+        }
     }
 }
 
@@ -196,7 +200,7 @@ impl AmxMatmul {
         let (m, k, n) = (self.m as usize, self.k as usize, self.n as usize);
         let a = test_data(m * k, 3); // logical A, row-major m x k
         let b = test_data(k * n, 5); // logical B, row-major k x n
-        // A buffer: A(r, x) at r + k*x = logical A[x][r] (same layout).
+                                     // A buffer: A(r, x) at r + k*x = logical A[x][r] (same layout).
         let a_buf = a.clone();
         // B buffer: B(y, r) at y + n*r = logical B[r][y] (same layout).
         let b_buf = b.clone();
@@ -350,7 +354,11 @@ mod tests {
 
     #[test]
     fn preload_a_reduces_dram_reads() {
-        let app = AmxMatmul { m: 32, k: 64, n: 64 };
+        let app = AmxMatmul {
+            m: 32,
+            k: 64,
+            n: 64,
+        };
         let base = app.run(Layout::Vnni, Variant::Reference).unwrap();
         let pre = app.run(Layout::Vnni, Variant::PreloadA).unwrap();
         assert!(pre.selection.as_ref().unwrap().all_lowered());

@@ -42,8 +42,16 @@ pub fn conv2d_counters(k: u64, tensor_cores: bool) -> CostCounters {
     let n = 4096u64 * 4096;
     let (fmas, input, output) = base(n, k * k, n * 2, n * 4);
     CostCounters {
-        tensor_fmas: if tensor_cores { fmas * TOEPLITZ_REDUNDANCY } else { 0 },
-        cuda_flops: if tensor_cores { 0 } else { 2 * fmas * CUDA_CONV_DERATE },
+        tensor_fmas: if tensor_cores {
+            fmas * TOEPLITZ_REDUNDANCY
+        } else {
+            0
+        },
+        cuda_flops: if tensor_cores {
+            0
+        } else {
+            2 * fmas * CUDA_CONV_DERATE
+        },
         dram_read_bytes: input + k * k * 2,
         dram_write_bytes: output,
         l1_bytes: input * 2 * if tensor_cores { 2 } else { k } + output,
@@ -59,7 +67,11 @@ pub fn downsample_counters(k: u64, tensor_cores: bool) -> CostCounters {
     let n_out = n_in / 4;
     let (fmas, input, output) = base(n_out, k * k, n_in * 2, n_out * 4);
     CostCounters {
-        tensor_fmas: if tensor_cores { fmas * STRIDED_REDUNDANCY } else { 0 },
+        tensor_fmas: if tensor_cores {
+            fmas * STRIDED_REDUNDANCY
+        } else {
+            0
+        },
         cuda_flops: if tensor_cores {
             0
         } else {

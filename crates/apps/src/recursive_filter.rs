@@ -16,8 +16,6 @@
 use hb_accel::counters::CostCounters;
 use hb_accel::wmma::{Fragment, FragmentKind, MatrixLayout, TensorCoreUnit, WmmaShape};
 
-
-
 /// Filter and schedule parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct RecursiveFilter {
@@ -129,7 +127,11 @@ impl RecursiveFilter {
             for i in 0..self.tile {
                 let gi = lo + i;
                 let y1 = if i >= self.d { y[gi - self.d] } else { 0.0 };
-                let y2 = if i >= 2 * self.d { y[gi - 2 * self.d] } else { 0.0 };
+                let y2 = if i >= 2 * self.d {
+                    y[gi - 2 * self.d]
+                } else {
+                    0.0
+                };
                 y[gi] = w[i] + ap * y1 + bp * y2;
             }
             counters.cuda_flops += (self.tile * 4) as u64;
@@ -208,9 +210,9 @@ impl RecursiveFilter {
         let elem = 4u64;
         counters.dram_read_bytes += (n as u64) * elem * 9 / 8; // x + boundary re-reads
         counters.dram_write_bytes += (n as u64) * elem * 9 / 8; // y + fix-up
-        // L1 traffic per sample: the fused prefilter re-reads its taps on
-        // the CUDA path; the tensor path streams them through fragments
-        // instead — this is where the paper's §V-D savings come from.
+                                                                // L1 traffic per sample: the fused prefilter re-reads its taps on
+                                                                // the CUDA path; the tensor path streams them through fragments
+                                                                // instead — this is where the paper's §V-D savings come from.
         let per_sample = if tensor_cores {
             8
         } else {
@@ -238,7 +240,11 @@ impl RecursiveFilter {
                 } else {
                     hist[self.d + i]
                 };
-                let y2 = if i >= 2 * self.d { resp[i - 2 * self.d] } else { hist[i] };
+                let y2 = if i >= 2 * self.d {
+                    resp[i - 2 * self.d]
+                } else {
+                    hist[i]
+                };
                 resp[i] = ap * y1 + bp * y2;
             }
             for i in 0..self.tile {
@@ -310,7 +316,8 @@ fn conv_on_wmma(x: &[f64], lo: usize, f: &[f64], w: &mut [f64], tc: &mut TensorC
             let prev = acc.clone();
             tc.mma_sync(&mut acc, &fa, &fb, &prev).expect("mma");
             let mut out = vec![0.0f32; 32 * 8];
-            acc.store(&mut out, 8, MatrixLayout::RowMajor).expect("store");
+            acc.store(&mut out, 8, MatrixLayout::RowMajor)
+                .expect("store");
             for r in 0..32 {
                 for c in 0..8 {
                     let i = seg + 8 * r + c;
@@ -358,7 +365,10 @@ mod tests {
 
     #[test]
     fn tiled_cuda_filter_matches_direct() {
-        let app = RecursiveFilter { tile: 256, ..RecursiveFilter::default() };
+        let app = RecursiveFilter {
+            tile: 256,
+            ..RecursiveFilter::default()
+        };
         let x = test_data(1024, 73);
         let (y, c) = app.run(&x, false);
         let direct = crate::reference::recursive_filter(&x, app.a, app.b);
@@ -369,7 +379,10 @@ mod tests {
 
     #[test]
     fn tensor_core_variant_matches_and_uses_wmma() {
-        let app = RecursiveFilter { tile: 256, ..RecursiveFilter::default() };
+        let app = RecursiveFilter {
+            tile: 256,
+            ..RecursiveFilter::default()
+        };
         let x = test_data(1024, 73);
         let (y, c) = app.run(&x, true);
         let direct = crate::reference::recursive_filter(&x, app.a, app.b);

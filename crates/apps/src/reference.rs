@@ -22,7 +22,13 @@ pub fn matmul(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
 #[must_use]
 pub fn conv1d(input: &[f64], kernel: &[f64], n: usize) -> Vec<f64> {
     (0..n)
-        .map(|x| kernel.iter().enumerate().map(|(r, k)| input[x + r] * k).sum())
+        .map(|x| {
+            kernel
+                .iter()
+                .enumerate()
+                .map(|(r, k)| input[x + r] * k)
+                .sum()
+        })
         .collect()
 }
 
@@ -182,7 +188,9 @@ mod tests {
     fn conv2d_matches_separable_product() {
         // Separable kernel k(x)·k(y) must equal row conv then column conv.
         let (w, h, kw, kh) = (6, 5, 3, 3);
-        let input: Vec<f64> = (0..(w + kw) * (h + kh)).map(|i| ((i * 7) % 11) as f64).collect();
+        let input: Vec<f64> = (0..(w + kw) * (h + kh))
+            .map(|i| ((i * 7) % 11) as f64)
+            .collect();
         let kx = [1.0, 2.0, 1.0];
         let kernel: Vec<f64> = (0..kh)
             .flat_map(|ry| (0..kw).map(move |rx| kx[ry] * kx[rx]))

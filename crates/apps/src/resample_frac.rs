@@ -47,8 +47,8 @@ impl BlockSparseFilter {
             let lo = (((r0 as f64 + 0.5) * ratio - 0.5) - 3.0 * ratio)
                 .floor()
                 .max(0.0) as usize;
-            let hi = ((((r1 as f64 + 0.5) * ratio - 0.5) + 3.0 * ratio).ceil() as usize)
-                .min(n_in - 1);
+            let hi =
+                ((((r1 as f64 + 0.5) * ratio - 0.5) + 3.0 * ratio).ceil() as usize).min(n_in - 1);
             starts[bi] = lo;
             width = width.max(hi - lo + 1).max(support);
         }
@@ -144,7 +144,8 @@ impl BlockSparseFilter {
                 tc.mma_sync(&mut acc, &fa, &fb, &prev).expect("mma");
             }
             let mut o = vec![0.0f32; 16 * 16];
-            acc.store(&mut o, 16, MatrixLayout::RowMajor).expect("store");
+            acc.store(&mut o, 16, MatrixLayout::RowMajor)
+                .expect("store");
             for r in 0..rows {
                 out[r0 + r] = f64::from(o[r * 16]);
             }
@@ -184,8 +185,8 @@ impl Resize {
         let band = f.width as u64;
         // Vertical pass: n_out rows × n_in cols; horizontal: n_out × n_out.
         let fmas = ch * band * (n_out * n_in + n_out * n_out);
-        let dram_read = ch * (n_in * n_in * 2 + n_out * n_in * 2)
-            + 2 * (self.n_out as u64) * band * 4;
+        let dram_read =
+            ch * (n_in * n_in * 2 + n_out * n_in * 2) + 2 * (self.n_out as u64) * band * 4;
         let dram_write = ch * (n_out * n_in * 2 + n_out * n_out * 4);
         CostCounters {
             tensor_fmas: if tensor_cores { fmas } else { 0 },
@@ -235,17 +236,26 @@ mod tests {
     fn band_width_scales_with_ratio() {
         let small = BlockSparseFilter::lanczos(2048, 921, 16);
         let big = BlockSparseFilter::lanczos(2048, 143, 16);
-        assert!(big.width > small.width, "stronger downsampling → wider band");
+        assert!(
+            big.width > small.width,
+            "stronger downsampling → wider band"
+        );
         assert_eq!(big.width % 16, 0);
     }
 
     #[test]
     fn counters_scale_with_output_size() {
-        let r1 = Resize { n_in: 2048, n_out: 143, channels: 3 };
-        let r2 = Resize { n_in: 2048, n_out: 921, channels: 3 };
+        let r1 = Resize {
+            n_in: 2048,
+            n_out: 143,
+            channels: 3,
+        };
+        let r2 = Resize {
+            n_in: 2048,
+            n_out: 921,
+            channels: 3,
+        };
         // Larger outputs move more data even though the band is narrower.
-        assert!(
-            r2.counters(false).dram_write_bytes > r1.counters(false).dram_write_bytes
-        );
+        assert!(r2.counters(false).dram_write_bytes > r1.counters(false).dram_write_bytes);
     }
 }

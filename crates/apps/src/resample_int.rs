@@ -36,7 +36,9 @@ impl Downsample {
         out.bound("x", 0, self.n);
 
         out.stage_init(|s| {
-            s.split("x", "xo", "xi", 128).vectorize("xi").gpu_blocks("xo");
+            s.split("x", "xo", "xi", 128)
+                .vectorize("xi")
+                .gpu_blocks("xo");
         });
         down.compute_at(&out, "xo");
         if tensor_cores {
@@ -127,7 +129,9 @@ impl Upsample {
         out.bound("x", 0, self.n);
 
         out.stage_init(|s| {
-            s.split("x", "xo", "xi", 256).vectorize("xi").gpu_blocks("xo");
+            s.split("x", "xo", "xi", 256)
+                .vectorize("xi")
+                .gpu_blocks("xo");
         });
         ophase.compute_at(&out, "xo");
         if tensor_cores {
@@ -148,7 +152,9 @@ impl Upsample {
                 s.reorder(&["dx", "xx"]).vectorize("dx").vectorize("xx");
             });
             ophase.stage_update(|s| {
-                s.reorder(&["dx", "xx", "rx"]).vectorize("dx").vectorize("xx");
+                s.reorder(&["dx", "xx", "rx"])
+                    .vectorize("dx")
+                    .vectorize("xx");
             });
         }
         Pipeline::new(&out, &[&ophase], &[&img, &kp])

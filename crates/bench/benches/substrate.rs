@@ -67,9 +67,41 @@ fn bench_egraph_saturation(c: &mut Criterion) {
     });
 }
 
+fn bench_pattern_search(c: &mut Criterion) {
+    use hb_egraph::egraph::EGraph;
+    use hb_egraph::math_lang::{n, pmul, pvar, Math};
+    use hb_egraph::unionfind::Id;
+
+    // A wide graph: many products, only some by the literal 2 — the shape
+    // where the op index prunes and the naive matcher scans everything.
+    let mut eg = EGraph::<Math>::new();
+    let two = eg.add(Math::Num(2));
+    let mut prev: Vec<Id> = Vec::new();
+    for i in 0..256 {
+        let s = eg.add(Math::Sym(format!("s{i}")));
+        let k = eg.add(Math::Num(i));
+        let m = eg.add(Math::Mul([s, if i % 4 == 0 { two } else { k }]));
+        if let Some(&p) = prev.last() {
+            prev.push(eg.add(Math::Add([p, m])));
+        } else {
+            prev.push(m);
+        }
+    }
+    let pat = pmul(pvar("x"), n(2));
+    let compiled = pat.compile();
+    assert_eq!(pat.search(&eg).len(), compiled.search(&eg).len());
+
+    c.bench_function("pattern_search_naive_reference", |bench| {
+        bench.iter(|| pat.search(&eg));
+    });
+    c.bench_function("pattern_search_compiled_indexed", |bench| {
+        bench.iter(|| compiled.search(&eg));
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_amx_tdp, bench_wmma_mma, bench_egraph_saturation
+    targets = bench_amx_tdp, bench_wmma_mma, bench_egraph_saturation, bench_pattern_search
 }
 criterion_main!(benches);

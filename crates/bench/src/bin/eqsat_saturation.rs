@@ -1,0 +1,374 @@
+//! End-to-end equality-saturation benchmark, written to `BENCH_eqsat.json`
+//! so future PRs can track the engine's performance trajectory.
+//!
+//! Two measurements, both run once with the indexed/delta matcher and once
+//! with the retained naive reference matcher
+//! (`Runner::use_naive_matcher`), asserting identical results:
+//!
+//! 1. **selector workloads** — full `selector::select` per pipeline
+//!    (encode + saturate + extract + decode per leaf statement) on
+//!    representative conv1d / GEMM / AMX-MatMul encodings. Per-leaf
+//!    e-graphs are small (~100 classes), so the fixed encode/extract cost
+//!    bounds the achievable ratio.
+//! 2. **batched saturation** — every leaf statement of every workload
+//!    encoded into ONE e-graph, saturated with the paper's phased
+//!    schedule. This is the whole-program regime the indexed engine
+//!    targets (~1k classes; naive matching is O(classes × rules) per
+//!    iteration while the delta path only probes changed classes), and the
+//!    headline speedup number.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hardboiled::encode::encode_stmt;
+use hardboiled::lang::HbGraph;
+use hardboiled::movement::{annotate_stmt, collect_placements};
+use hardboiled::rules;
+use hardboiled::selector::{select, SelectionReport, SelectorConfig};
+use hb_apps::conv1d::Conv1d;
+use hb_apps::conv2d::Conv2d;
+use hb_apps::gemm_wmma::GemmWmma;
+use hb_apps::matmul_amx::{AmxMatmul, Layout, Variant};
+use hb_egraph::schedule::Runner;
+use hb_egraph::unionfind::Id;
+use hb_ir::stmt::Stmt;
+use hb_lang::lower::{lower, Lowered};
+
+struct Workload {
+    name: &'static str,
+    lowered: Lowered,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+    for (name, pipeline) in [
+        ("conv1d_tc_k16", Conv1d { n: 1024, k: 16 }.pipeline(true)),
+        ("conv1d_tc_k64", Conv1d { n: 1024, k: 64 }.pipeline(true)),
+        (
+            "gemm_wmma_32",
+            GemmWmma {
+                m: 32,
+                k: 32,
+                n: 32,
+            }
+            .pipeline(true),
+        ),
+        (
+            "matmul_amx_standard",
+            AmxMatmul::default()
+                .pipeline(Layout::Standard, Variant::Reference)
+                .expect("standard AMX matmul pipeline"),
+        ),
+    ] {
+        let lowered = lower(&pipeline).expect("lowering must succeed");
+        out.push(Workload { name, lowered });
+    }
+    out
+}
+
+/// Leaf statements the selector would saturate (Store/Evaluate with data
+/// movement), for the batched measurement.
+fn saturation_leaves(lowered: &Lowered) -> Vec<Stmt> {
+    let mut placements = collect_placements(&lowered.stmt);
+    for (k, v) in &lowered.placements {
+        placements.insert(k.clone(), *v);
+    }
+    let annotated = annotate_stmt(&lowered.stmt, &placements);
+    let mut leaves: Vec<Stmt> = Vec::new();
+    let _ = annotated.rewrite_stmts_bottom_up(&mut |s| {
+        let mut movement = false;
+        s.for_each_expr(&mut |e| {
+            if matches!(e, hb_ir::expr::Expr::LocToLoc { .. }) {
+                movement = true;
+            }
+        });
+        if movement && matches!(s, Stmt::Store { .. } | Stmt::Evaluate(_)) {
+            leaves.push(s.clone());
+        }
+        None
+    });
+    leaves
+}
+
+struct Measurement {
+    selected: Stmt,
+    report: SelectionReport,
+    wall_ms: f64,
+}
+
+fn run_selector(w: &Workload, naive: bool) -> Measurement {
+    let config = SelectorConfig {
+        runner: Runner::new(16, 200_000).with_naive_matcher(naive),
+        ..SelectorConfig::default()
+    };
+    // One warmup, then best-of-3 (selection is deterministic; the minimum
+    // is the least-noisy estimate of the true cost).
+    let _ = select(&w.lowered.stmt, &w.lowered.placements, &config);
+    let mut best: Option<Measurement> = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let (selected, report) = select(&w.lowered.stmt, &w.lowered.placements, &config);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if best.as_ref().is_none_or(|b| wall_ms < b.wall_ms) {
+            best = Some(Measurement {
+                selected,
+                report,
+                wall_ms,
+            });
+        }
+    }
+    best.expect("at least one measurement")
+}
+
+struct BatchRun {
+    encode_ms: f64,
+    saturate_ms: f64,
+    nodes: usize,
+    classes: usize,
+    iterations: usize,
+    /// find() of every leaf root — the semantic outcome to cross-check.
+    root_classes: Vec<Id>,
+    graph: HbGraph,
+}
+
+fn run_batched(leaves: &[Stmt], naive: bool) -> BatchRun {
+    let runner = Runner::new(16, 500_000).with_naive_matcher(naive);
+    let main_rules = rules::main_rules();
+    let supporting = rules::supporting_rules();
+    let mut best: Option<BatchRun> = None;
+    for _ in 0..7 {
+        let t = Instant::now();
+        let mut eg = HbGraph::default();
+        rules::app_specific::declare_relations(&mut eg);
+        let roots: Vec<Id> = leaves.iter().map(|s| encode_stmt(&mut eg, s)).collect();
+        let encode_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let report = runner.run_phased(&mut eg, &main_rules, &supporting, 8);
+        let saturate_ms = t.elapsed().as_secs_f64() * 1e3;
+        if best.as_ref().is_none_or(|b| saturate_ms < b.saturate_ms) {
+            best = Some(BatchRun {
+                encode_ms,
+                saturate_ms,
+                nodes: report.nodes,
+                classes: report.classes,
+                iterations: report.iterations,
+                root_classes: roots.iter().map(|&r| eg.find(r)).collect(),
+                graph: eg,
+            });
+        }
+    }
+    best.expect("at least one batch run")
+}
+
+/// Renumbers `__hb_tmpN` gensyms by first appearance so programs from two
+/// selector runs compare equal (the temp counter is global, not per-run).
+fn normalize_temps(program: &str) -> String {
+    let mut out = String::with_capacity(program.len());
+    let mut seen: Vec<String> = Vec::new();
+    let mut rest = program;
+    while let Some(pos) = rest.find("__hb_tmp") {
+        let (head, tail) = rest.split_at(pos + "__hb_tmp".len());
+        out.push_str(head);
+        let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+        let canon = match seen.iter().position(|d| *d == digits) {
+            Some(i) => i,
+            None => {
+                seen.push(digits.clone());
+                seen.len() - 1
+            }
+        };
+        let _ = write!(out, "{canon}");
+        rest = &tail[digits.len()..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn main() {
+    let all = workloads();
+    let mut rows = String::new();
+
+    println!("EqSat benchmark — indexed/delta matcher vs naive reference\n");
+    println!("[1] selector workloads (per-leaf e-graphs, full select())");
+    println!(
+        "{:<22} {:>12} {:>12} {:>8}   {:>6} {:>8}",
+        "workload", "indexed (ms)", "naive (ms)", "speedup", "stmts", "nodes"
+    );
+    let mut sel_indexed = 0.0;
+    let mut sel_naive = 0.0;
+    for w in &all {
+        let fast = run_selector(w, false);
+        let naive = run_selector(w, true);
+        assert_eq!(
+            normalize_temps(&fast.selected.to_string()),
+            normalize_temps(&naive.selected.to_string()),
+            "{}: the two matcher paths selected different programs",
+            w.name
+        );
+        let nodes: usize = fast.report.stmts.iter().map(|s| s.eqsat.nodes).sum();
+        let iters: usize = fast.report.stmts.iter().map(|s| s.eqsat.iterations).sum();
+        let speedup = naive.wall_ms / fast.wall_ms;
+        sel_indexed += fast.wall_ms;
+        sel_naive += naive.wall_ms;
+        println!(
+            "{:<22} {:>12.2} {:>12.2} {:>7.1}x   {:>6} {:>8}",
+            w.name,
+            fast.wall_ms,
+            naive.wall_ms,
+            speedup,
+            fast.report.num_statements(),
+            nodes
+        );
+        let _ = write!(
+            rows,
+            r#"{}    {{
+      "workload": "{}",
+      "statements": {},
+      "nodes": {},
+      "iterations": {},
+      "indexed": {{ "total_ms": {:.3}, "eqsat_ms": {:.3} }},
+      "naive": {{ "total_ms": {:.3}, "eqsat_ms": {:.3} }},
+      "speedup": {:.2}
+    }}"#,
+            if rows.is_empty() { "" } else { ",\n" },
+            w.name,
+            fast.report.num_statements(),
+            nodes,
+            iters,
+            fast.wall_ms,
+            fast.report.eqsat_time.as_secs_f64() * 1e3,
+            naive.wall_ms,
+            naive.report.eqsat_time.as_secs_f64() * 1e3,
+            speedup
+        );
+    }
+
+    // Batched whole-program saturation: all leaves, one e-graph. Scale the
+    // statement pool up with an unrolled conv1d and larger GEMM sizes.
+    let mut leaves: Vec<Stmt> = Vec::new();
+    for w in &all {
+        leaves.extend(saturation_leaves(&w.lowered));
+    }
+    for pipeline in [
+        Conv1d { n: 1024, k: 256 }.pipeline_tc_unrolled(),
+        Conv1d { n: 2048, k: 128 }.pipeline_tc_unrolled(),
+        Conv1d { n: 4096, k: 32 }.pipeline(true),
+        GemmWmma {
+            m: 64,
+            k: 64,
+            n: 64,
+        }
+        .pipeline(true),
+        GemmWmma {
+            m: 96,
+            k: 32,
+            n: 48,
+        }
+        .pipeline(true),
+        GemmWmma {
+            m: 32,
+            k: 96,
+            n: 64,
+        }
+        .pipeline(true),
+        Conv2d {
+            width: 512,
+            height: 64,
+            kw: 16,
+            kh: 3,
+        }
+        .pipeline(true),
+        Conv2d {
+            width: 256,
+            height: 128,
+            kw: 8,
+            kh: 5,
+        }
+        .pipeline(true),
+    ] {
+        leaves.extend(saturation_leaves(&lower(&pipeline).expect("lowering")));
+    }
+    for layout in [Layout::Standard, Layout::Vnni] {
+        if let Ok(p) = AmxMatmul::default().pipeline(layout, Variant::Reference) {
+            leaves.extend(saturation_leaves(&lower(&p).expect("lowering")));
+        }
+    }
+
+    let fast = run_batched(&leaves, false);
+    let naive = run_batched(&leaves, true);
+    // Semantics must be identical: same saturated sizes, and the same
+    // equivalence relation over all leaf roots.
+    assert_eq!(fast.nodes, naive.nodes, "batched node counts diverged");
+    assert_eq!(fast.classes, naive.classes, "batched class counts diverged");
+    for i in 0..fast.root_classes.len() {
+        for j in i + 1..fast.root_classes.len() {
+            assert_eq!(
+                fast.root_classes[i] == fast.root_classes[j],
+                naive.root_classes[i] == naive.root_classes[j],
+                "root equivalence {i}≡{j} diverged between matchers"
+            );
+        }
+    }
+    fast.graph.check_op_index();
+
+    let speedup = naive.saturate_ms / fast.saturate_ms;
+    println!(
+        "\n[2] batched whole-program saturation ({} leaves, one e-graph)",
+        leaves.len()
+    );
+    println!(
+        "    indexed {:.2} ms, naive {:.2} ms — {:.1}x speedup  ({} nodes, {} classes, {} iterations)",
+        fast.saturate_ms, naive.saturate_ms, speedup, fast.nodes, fast.classes, fast.iterations
+    );
+    // ≥5x is the engine's target on this workload (measured headroom:
+    // ~6x on an idle machine); treat <5x as noise-suspect and <3x as a
+    // genuine regression.
+    if speedup < 5.0 {
+        eprintln!(
+            "warning: saturation speedup {speedup:.2}x below the 5x target — \
+             rerun on an idle machine before concluding a regression"
+        );
+    }
+    assert!(
+        speedup >= 3.0,
+        "saturation speedup regressed hard: {speedup:.2}x (target ≥5x)"
+    );
+
+    let json = format!(
+        r#"{{
+  "benchmark": "eqsat_saturation",
+  "description": "equality saturation with the indexed/delta matcher vs the retained naive reference matcher (identical results asserted)",
+  "selector_workloads": [
+{rows}
+  ],
+  "selector_total": {{
+    "indexed_ms": {sel_indexed:.3},
+    "naive_ms": {sel_naive:.3},
+    "speedup": {sel_speedup:.2}
+  }},
+  "batched_saturation": {{
+    "description": "all leaf statements in one e-graph, phased schedule (outer=8)",
+    "leaves": {nleaves},
+    "nodes": {nodes},
+    "classes": {classes},
+    "iterations": {iters},
+    "indexed": {{ "encode_ms": {f_enc:.3}, "saturate_ms": {f_sat:.3} }},
+    "naive": {{ "encode_ms": {n_enc:.3}, "saturate_ms": {n_sat:.3} }},
+    "speedup": {speedup:.2}
+  }},
+  "headline_speedup": {speedup:.2}
+}}
+"#,
+        sel_speedup = sel_naive / sel_indexed,
+        nleaves = leaves.len(),
+        nodes = fast.nodes,
+        classes = fast.classes,
+        iters = fast.iterations,
+        f_enc = fast.encode_ms,
+        f_sat = fast.saturate_ms,
+        n_enc = naive.encode_ms,
+        n_sat = naive.saturate_ms,
+    );
+    std::fs::write("BENCH_eqsat.json", json).expect("write BENCH_eqsat.json");
+    println!("wrote BENCH_eqsat.json");
+}

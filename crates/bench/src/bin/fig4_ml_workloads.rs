@@ -4,8 +4,8 @@
 use hb_accel::device::DeviceProfile;
 use hb_accel::perf::{estimate, theoretical_peak};
 use hb_apps::baselines::{
-    attention_minimal, baseline_time, conv_layer_minimal, gemm_minimal, COMPOSED, CUBLASLT,
-    CUDNN, PYTORCH, VENDOR_CUDA_ONLY,
+    attention_minimal, baseline_time, conv_layer_minimal, gemm_minimal, COMPOSED, CUBLASLT, CUDNN,
+    PYTORCH, VENDOR_CUDA_ONLY,
 };
 use hb_apps::gemm_wmma::GemmWmma;
 use hb_bench::fmt_ms;
@@ -15,7 +15,11 @@ fn main() {
     println!("FIG 4 — ML workloads, {}\n", d.name);
 
     // --- GEMM 1024^3 (validated analytic counters from the real pipeline).
-    let g = GemmWmma { m: 1024, k: 1024, n: 1024 };
+    let g = GemmWmma {
+        m: 1024,
+        k: 1024,
+        n: 1024,
+    };
     let tc = estimate(&g.analytic_counters(true), &d);
     let cuda = estimate(&g.analytic_counters(false), &d);
     let peak = theoretical_peak(1 << 30, 3 * (1 << 21), &d, true);
@@ -25,11 +29,19 @@ fn main() {
     println!("  Halide (CUDA-only)     {}", fmt_ms(&cuda));
     println!(
         "  cuBLASLt               {}",
-        fmt_ms(&baseline_time(&gemm_minimal(1024, 1024, 1024, true, 2), &d, CUBLASLT))
+        fmt_ms(&baseline_time(
+            &gemm_minimal(1024, 1024, 1024, true, 2),
+            &d,
+            CUBLASLT
+        ))
     );
     println!(
         "  cuBLASLt (CUDA-only)   {}",
-        fmt_ms(&baseline_time(&gemm_minimal(1024, 1024, 1024, false, 2), &d, VENDOR_CUDA_ONLY))
+        fmt_ms(&baseline_time(
+            &gemm_minimal(1024, 1024, 1024, false, 2),
+            &d,
+            VENDOR_CUDA_ONLY
+        ))
     );
     println!("  paper: 0.01 peak / 0.07 TC / 0.2 CUDA / 0.04 cuBLASLt / 0.2 (ms)\n");
 
@@ -45,8 +57,14 @@ fn main() {
         println!("  theoretical peak       {}", fmt_ms(&estimate(&work, &d)));
         println!("  Halide (Tensor Cores)  {}", fmt_ms(&tc));
         println!("  Halide (CUDA-only)     {}", fmt_ms(&cuda));
-        println!("  PyTorch                {}", fmt_ms(&baseline_time(&work, &d, PYTORCH)));
-        println!("  cuDNN                  {}", fmt_ms(&baseline_time(&work, &d, CUDNN)));
+        println!(
+            "  PyTorch                {}",
+            fmt_ms(&baseline_time(&work, &d, PYTORCH))
+        );
+        println!(
+            "  cuDNN                  {}",
+            fmt_ms(&baseline_time(&work, &d, CUDNN))
+        );
         if c == 16 {
             println!("  paper: 0.8 peak / 1.1 TC / 3.9 CUDA / 3.9 PyTorch / 1.6 cuDNN (ms)\n");
         } else {
@@ -59,10 +77,22 @@ fn main() {
     let att_cuda = attention_minimal(64, 4096, 64, false, false);
     let tc = hb_accel::perf::estimate_with_efficiency(&att, &d, 0.45);
     println!("Attention (N=64, L=4096, D=64), naive unfused:");
-    println!("  theoretical peak       {}", fmt_ms(&estimate(&attention_minimal(64, 4096, 64, true, true), &d)));
+    println!(
+        "  theoretical peak       {}",
+        fmt_ms(&estimate(&attention_minimal(64, 4096, 64, true, true), &d))
+    );
     println!("  Halide (Tensor Cores)  {}", fmt_ms(&tc));
-    println!("  Halide (CUDA-only)     {}", fmt_ms(&estimate(&att_cuda, &d)));
-    println!("  PyTorch                {}", fmt_ms(&baseline_time(&att, &d, PYTORCH)));
-    println!("  Composed (cuBLAS+cuDNN){}", fmt_ms(&baseline_time(&att, &d, COMPOSED)));
+    println!(
+        "  Halide (CUDA-only)     {}",
+        fmt_ms(&estimate(&att_cuda, &d))
+    );
+    println!(
+        "  PyTorch                {}",
+        fmt_ms(&baseline_time(&att, &d, PYTORCH))
+    );
+    println!(
+        "  Composed (cuBLAS+cuDNN){}",
+        fmt_ms(&baseline_time(&att, &d, COMPOSED))
+    );
     println!("  paper: 0.9 peak / 27.8 TC / 33.6 CUDA / 33.6 PyTorch / 20.8 composed (ms)");
 }

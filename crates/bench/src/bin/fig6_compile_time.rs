@@ -7,7 +7,10 @@ use hb_apps::harness::compile_only;
 
 fn main() {
     println!("FIG 6 — Conv1D compile time (this machine, wall clock)\n");
-    println!("{:>5} {:>14} {:>14} {:>7}", "k", "eqsat (ms)", "total (ms)", "stmts");
+    println!(
+        "{:>5} {:>14} {:>14} {:>7}",
+        "k", "eqsat (ms)", "total (ms)", "stmts"
+    );
     for k in [8i64, 32, 56, 96, 160, 256] {
         let app = Conv1d { n: 4096, k };
         let p = app.pipeline_tc_unrolled();

@@ -9,7 +9,10 @@ use hb_bench::fmt_us;
 fn main() {
     let d = DeviceProfile::rtx4070_super();
     let app = RecursiveFilter::default();
-    println!("SEC V-D — recursive filter, 2^21 stereo samples, {}\n", d.name);
+    println!(
+        "SEC V-D — recursive filter, 2^21 stereo samples, {}\n",
+        d.name
+    );
     let cuda = estimate(&app.paper_counters(false), &d);
     let tc = estimate(&app.paper_counters(true), &d);
     println!("CUDA-only:    {}", fmt_us(&cuda));

@@ -8,11 +8,18 @@ use hb_apps::resample_frac::Resize;
 fn main() {
     let d = DeviceProfile::rtx4070_super();
     println!("TABLE II — Lanczos resize 2048x2048x3, {}\n", d.name);
-    println!("{:>12} {:>16} {:>16} {:>9}", "output", "CUDA-only (us)", "TensorCore (us)", "speedup");
+    println!(
+        "{:>12} {:>16} {:>16} {:>9}",
+        "output", "CUDA-only (us)", "TensorCore (us)", "speedup"
+    );
     let mut geo = 1.0f64;
     let sizes = [143usize, 245, 450, 921];
     for n_out in sizes {
-        let r = Resize { n_in: 2048, n_out, channels: 3 };
+        let r = Resize {
+            n_in: 2048,
+            n_out,
+            channels: 3,
+        };
         let cuda = estimate(&r.counters(false), &d);
         let tc = estimate(&r.counters(true), &d);
         let s = cuda.total_s / tc.total_s;

@@ -14,12 +14,27 @@ pub fn run(k: i64) {
         if k == 16 { 7 } else { 8 },
         d.name
     );
-    println!("{:>12} {:>16} {:>16} {:>9}", "benchmark", "TensorCores", "CUDA-only", "speedup");
+    println!(
+        "{:>12} {:>16} {:>16} {:>9}",
+        "benchmark", "TensorCores", "CUDA-only", "speedup"
+    );
     let k = k as u64;
     let rows = vec![
-        ("Conv2d", conv2d_counters(k, true), conv2d_counters(k, false)),
-        ("Downsample", downsample_counters(k, true), downsample_counters(k, false)),
-        ("Upsample", upsample_counters(k, true), upsample_counters(k, false)),
+        (
+            "Conv2d",
+            conv2d_counters(k, true),
+            conv2d_counters(k, false),
+        ),
+        (
+            "Downsample",
+            downsample_counters(k, true),
+            downsample_counters(k, false),
+        ),
+        (
+            "Upsample",
+            upsample_counters(k, true),
+            upsample_counters(k, false),
+        ),
     ];
     for (name, tc, cuda) in rows {
         let t_tc = estimate(&tc, &d);

@@ -39,8 +39,7 @@ fn decode_ty(rec: &RecExpr<HbLang>, id: Id) -> Result<Type, DecodeError> {
             let lanes = decode_num(rec, *l)?;
             Ok(Type::new(
                 *st,
-                u32::try_from(lanes)
-                    .map_err(|_| DecodeError(format!("bad lane count {lanes}")))?,
+                u32::try_from(lanes).map_err(|_| DecodeError(format!("bad lane count {lanes}")))?,
             ))
         }
         other => Err(DecodeError(format!(
@@ -72,9 +71,9 @@ fn at(rec: &RecExpr<HbLang>, id: Id) -> Result<Expr, DecodeError> {
             // int32 vars carrying the buffer name (the exec convention).
             Ok(Expr::Var(name.clone(), hb_ir::types::ScalarType::I32))
         }
-        HbLang::Ty(..) | HbLang::MultiplyLanes(_) => Err(DecodeError(
-            "type node in expression position".to_string(),
-        )),
+        HbLang::Ty(..) | HbLang::MultiplyLanes(_) => {
+            Err(DecodeError("type node in expression position".to_string()))
+        }
         HbLang::Cast([t, v]) => Ok(Expr::Cast(decode_ty(rec, *t)?, Box::new(at(rec, *v)?))),
         HbLang::Bin(op, [a, b]) => Ok(Expr::Binary(
             *op,

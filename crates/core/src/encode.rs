@@ -41,7 +41,11 @@ pub fn encode_expr(eg: &mut HbGraph, e: &Expr) -> Id {
             let f = encode_expr(eg, f);
             eg.add(HbLang::Select([c, t, f]))
         }
-        Expr::Ramp { base, stride, lanes } => {
+        Expr::Ramp {
+            base,
+            stride,
+            lanes,
+        } => {
             let b = encode_expr(eg, base);
             let s = encode_expr(eg, stride);
             let l = eg.add(HbLang::Num(i64::from(*lanes)));
@@ -86,7 +90,11 @@ pub fn encode_expr(eg: &mut HbGraph, e: &Expr) -> Id {
 /// Panics if given a non-leaf statement.
 pub fn encode_stmt(eg: &mut HbGraph, s: &Stmt) -> Id {
     match s {
-        Stmt::Store { buffer, index, value } => {
+        Stmt::Store {
+            buffer,
+            index,
+            value,
+        } => {
             let n = eg.add(HbLang::Str(buffer.clone()));
             let i = encode_expr(eg, index);
             let v = encode_expr(eg, value);
@@ -237,8 +245,8 @@ mod tests {
             ),
         );
         let id = encode_expr(&mut eg, &e);
-        let back = crate::decode::decode_expr(&eg.any_term(id).expect("extractable"))
-            .expect("decodable");
+        let back =
+            crate::decode::decode_expr(&eg.any_term(id).expect("extractable")).expect("decodable");
         assert_eq!(back, e);
     }
 

@@ -5,8 +5,10 @@
 //! can bind lane counts and rule actions can compute new ones (the
 //! `MultiplyLanes` idiom of the paper's supporting rules).
 
+use std::hash::{Hash, Hasher};
+
 use hb_egraph::egraph::{Analysis, EGraph};
-use hb_egraph::language::Language;
+use hb_egraph::language::{op_hasher, Language};
 use hb_egraph::unionfind::Id;
 use hb_ir::expr::BinOp;
 use hb_ir::types::{Location, ScalarType};
@@ -127,6 +129,43 @@ impl Language for HbLang {
             HbLang::StoreS(_) => "Store".into(),
             HbLang::EvalS(_) => "Evaluate".into(),
         }
+    }
+
+    fn op_key(&self) -> u64 {
+        // Discriminant + payload (never children), mirroring `matches_op`:
+        // two nodes that match ops always produce the same key, so the
+        // e-graph's operator index can stand in for a matches_op pre-filter.
+        let mut h = op_hasher();
+        std::mem::discriminant(self).hash(&mut h);
+        match self {
+            HbLang::Num(v) => v.hash(&mut h),
+            HbLang::Flt(bits, st) => {
+                bits.hash(&mut h);
+                st.hash(&mut h);
+            }
+            HbLang::Str(s) | HbLang::VarE(s) => s.hash(&mut h),
+            HbLang::Ty(st, _) => st.hash(&mut h),
+            HbLang::Bin(op, _) => op.hash(&mut h),
+            HbLang::Call(name, args) => {
+                name.hash(&mut h);
+                args.len().hash(&mut h);
+            }
+            HbLang::Loc(from, to, _) => {
+                from.hash(&mut h);
+                to.hash(&mut h);
+            }
+            HbLang::MultiplyLanes(_)
+            | HbLang::Cast(_)
+            | HbLang::Select(_)
+            | HbLang::Ramp(_)
+            | HbLang::Bcast(_)
+            | HbLang::Load(_)
+            | HbLang::Vra(_)
+            | HbLang::ExprVar(_)
+            | HbLang::StoreS(_)
+            | HbLang::EvalS(_) => {}
+        }
+        h.finish()
     }
 }
 

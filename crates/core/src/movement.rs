@@ -53,7 +53,11 @@ pub fn annotate_expr(e: &Expr, placements: &Placements) -> Expr {
 #[must_use]
 pub fn annotate_stmt(stmt: &Stmt, placements: &Placements) -> Stmt {
     stmt.rewrite_stmts_bottom_up(&mut |s| match s {
-        Stmt::Store { buffer, index, value } => {
+        Stmt::Store {
+            buffer,
+            index,
+            value,
+        } => {
             let index = annotate_expr(index, placements);
             let mut value = annotate_expr(value, placements);
             if let Some(loc) = accel_location(placements, buffer) {
@@ -86,7 +90,11 @@ mod tests {
 
     #[test]
     fn stores_into_amx_get_wrapped() {
-        let s = b::store("acc", b::ramp(b::int(0), b::int(1), 4), b::bcast(b::flt(0.0), 4));
+        let s = b::store(
+            "acc",
+            b::ramp(b::int(0), b::int(1), 4),
+            b::bcast(b::flt(0.0), 4),
+        );
         let a = annotate_stmt(&s, &placements());
         match a {
             Stmt::Store { value, .. } => match value {
@@ -106,7 +114,11 @@ mod tests {
         let s = b::store(
             "plain",
             b::ramp(b::int(0), b::int(1), 4),
-            b::load(Type::f32().with_lanes(4), "frag", b::ramp(b::int(0), b::int(1), 4)),
+            b::load(
+                Type::f32().with_lanes(4),
+                "frag",
+                b::ramp(b::int(0), b::int(1), 4),
+            ),
         );
         let a = annotate_stmt(&s, &placements());
         match a {
@@ -142,11 +154,7 @@ mod tests {
 
     #[test]
     fn plain_buffers_untouched() {
-        let s = b::store(
-            "plain",
-            b::int(0),
-            b::load(Type::f32(), "plain", b::int(1)),
-        );
+        let s = b::store("plain", b::int(0), b::load(Type::f32(), "plain", b::int(1)));
         assert_eq!(annotate_stmt(&s, &placements()), s);
     }
 

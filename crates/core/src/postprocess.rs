@@ -64,7 +64,11 @@ pub fn extract_materializations(e: &Expr) -> (Expr, Vec<Materialization>) {
 #[must_use]
 pub fn materialize_stmt(s: &Stmt) -> Stmt {
     let (new_stmt, mats) = match s {
-        Stmt::Store { buffer, index, value } => {
+        Stmt::Store {
+            buffer,
+            index,
+            value,
+        } => {
             let (index, mut m1) = extract_materializations(index);
             let (value, m2) = extract_materializations(value);
             m1.extend(m2);
@@ -86,7 +90,11 @@ pub fn materialize_stmt(s: &Stmt) -> Stmt {
     let mut out = new_stmt;
     for mat in mats.into_iter().rev() {
         let lanes = u32::try_from(mat.size).expect("temp too large");
-        let init = store(&mat.name, ramp(hb_ir::builder::int(0), hb_ir::builder::int(1), lanes), mat.init);
+        let init = store(
+            &mat.name,
+            ramp(hb_ir::builder::int(0), hb_ir::builder::int(1), lanes),
+            mat.init,
+        );
         out = allocate(
             &mat.name,
             mat.elem,
@@ -125,7 +133,13 @@ mod tests {
         let s = b::evaluate(call);
         let out = materialize_stmt(&s);
         match &out {
-            Stmt::Allocate { elem, size, memory, body, .. } => {
+            Stmt::Allocate {
+                elem,
+                size,
+                memory,
+                body,
+                ..
+            } => {
                 assert_eq!(*elem, ScalarType::F16);
                 assert_eq!(*size, 8);
                 assert_eq!(*memory, MemoryType::Stack);
@@ -170,11 +184,7 @@ mod tests {
     fn multiple_markers_nest_allocations() {
         let m1 = marker(b::bcast(b::flt(1.0), 2));
         let m2 = marker(b::bcast(b::flt(2.0), 2));
-        let s = b::store(
-            "out",
-            b::ramp(b::int(0), b::int(1), 2),
-            b::add(m1, m2),
-        );
+        let s = b::store("out", b::ramp(b::int(0), b::int(1), 2), b::add(m1, m2));
         let out = materialize_stmt(&s);
         let mut allocs = 0;
         out.for_each_stmt(&mut |st| {

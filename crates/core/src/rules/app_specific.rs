@@ -87,8 +87,11 @@ pub fn rules() -> Vec<Rw> {
     // --- AMX operand A, standard layout, loaded from memory. -------------
     out.push(Rw::rule(
         "amx-a-standard",
-        Query::single("A", pload(pty(ScalarType::BF16, pv("mk")), pv("An"), pv("idxA")))
-            .also("idxA", a_index_pattern()),
+        Query::single(
+            "A",
+            pload(pty(ScalarType::BF16, pv("mk")), pv("An"), pv("idxA")),
+        )
+        .also("idxA", a_index_pattern()),
         Box::new(|eg: &mut HbGraph, s| {
             let Some((m, k)) = amx_a_guards(eg, s) else {
                 return false;
@@ -135,26 +138,24 @@ pub fn rules() -> Vec<Rw> {
             let idx = eg.add(HbLang::Ramp([row, stride_b, m_id]));
             let tyid = ty(eg, ScalarType::BF16, m * k);
             let dense = eg.add(HbLang::Load([tyid, an, idx]));
-            eg.relations.insert("amx-a-tile", vec![a, dense, m_id, k_id])
+            eg.relations
+                .insert("amx-a-tile", vec![a, dense, m_id, k_id])
         }),
     ));
 
     // --- AMX operand B, standard layout: needs a VNNI swizzle. -----------
     out.push(Rw::rule(
         "amx-b-standard",
-        Query::single("B", pload(pty(ScalarType::BF16, pv("nk")), pv("Bn"), pv("idxB")))
-            .also("idxB", b_std_index_pattern()),
+        Query::single(
+            "B",
+            pload(pty(ScalarType::BF16, pv("nk")), pv("Bn"), pv("idxB")),
+        )
+        .also("idxB", b_std_index_pattern()),
         Box::new(|eg: &mut HbGraph, s| {
             let Some([k, n, m, nk]) = cis(eg, s, ["k", "n", "m", "nk"]) else {
                 return false;
             };
-            if k <= 0
-                || n <= 0
-                || k > AMX_MAX_K
-                || n > AMX_MAX_N
-                || k % 2 != 0
-                || nk != m * k * n
-            {
+            if k <= 0 || n <= 0 || k > AMX_MAX_K || n > AMX_MAX_N || k % 2 != 0 || nk != m * k * n {
                 return false;
             }
             let (b, bn, base, stride) = (
@@ -194,8 +195,11 @@ pub fn rules() -> Vec<Rw> {
     // --- AMX operand B, VNNI layout: load directly. ----------------------
     out.push(Rw::rule(
         "amx-b-vnni",
-        Query::single("B", pload(pty(ScalarType::BF16, pv("nk")), pv("Bn"), pv("idxB")))
-            .also("idxB", b_vnni_index_pattern()),
+        Query::single(
+            "B",
+            pload(pty(ScalarType::BF16, pv("nk")), pv("Bn"), pv("idxB")),
+        )
+        .also("idxB", b_vnni_index_pattern()),
         Box::new(|eg: &mut HbGraph, s| {
             let Some([khalf, kk, n]) = cis(eg, s, ["khalf", "kk", "n"]) else {
                 return false;
@@ -217,7 +221,8 @@ pub fn rules() -> Vec<Rw> {
             ));
             let k_full = num(eg, 2 * khalf);
             let n_id = bound(s, "n");
-            eg.relations.insert("amx-b-tile", vec![b, tile, k_full, n_id])
+            eg.relations
+                .insert("amx-b-tile", vec![b, tile, k_full, n_id])
         }),
     ));
 
@@ -271,9 +276,15 @@ pub fn rules() -> Vec<Rw> {
                 ),
             ),
         )
-        .also("A", pload(pty(ScalarType::F16, pv("mk")), pv("An"), pv("idxA")))
+        .also(
+            "A",
+            pload(pty(ScalarType::F16, pv("mk")), pv("An"), pv("idxA")),
+        )
         .also("idxA", a_index_pattern())
-        .also("B", pload(pty(ScalarType::F16, pv("knl")), pv("Bn"), pv("idxB")))
+        .also(
+            "B",
+            pload(pty(ScalarType::F16, pv("knl")), pv("Bn"), pv("idxB")),
+        )
         .also("idxB", b_std_index_pattern()),
         Box::new(|eg: &mut HbGraph, s| {
             let Some([m, n, k, mn, mnk]) = cis(eg, s, ["m", "n", "k", "mn", "mnk"]) else {
@@ -346,7 +357,10 @@ pub fn rules() -> Vec<Rw> {
                 ),
             ),
         )
-        .also("I", pload(pty(ScalarType::F16, pv("il")), pv("In"), pv("idxI")))
+        .also(
+            "I",
+            pload(pty(ScalarType::F16, pv("il")), pv("In"), pv("idxI")),
+        )
         .also(
             "idxI",
             pramp(
@@ -355,7 +369,10 @@ pub fn rules() -> Vec<Rw> {
                 pv("L"),
             ),
         )
-        .also("K", pload(pty(ScalarType::F16, pv("kl")), pv("Kn"), pv("idxK")))
+        .also(
+            "K",
+            pload(pty(ScalarType::F16, pv("kl")), pv("Kn"), pv("idxK")),
+        )
         .also(
             "idxK",
             pbcast(
@@ -412,7 +429,10 @@ pub fn rules() -> Vec<Rw> {
         }),
     ));
 
-    out
+    // Every applier above reads only its match's bound classes (via
+    // `ci`/`cis`/`bound`/analysis data) and performs monotone writes, so
+    // the scheduler may delta-search and quiescence-skip these rules.
+    out.into_iter().map(Rw::assume_pure).collect()
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -425,11 +445,7 @@ enum ConvKind {
 /// rules: both map to an `m32n8k16` WMMA MatMul against a Toeplitz matrix
 /// built by `convolution_shuffle`; downsampling uses a strided Toeplitz and
 /// only the first 4 result columns are meaningful (`wmma_mma_cols`).
-fn conv_like_rule(
-    name: &str,
-    idx_i: hb_egraph::pattern::Pattern<HbLang>,
-    kind: ConvKind,
-) -> Rw {
+fn conv_like_rule(name: &str, idx_i: hb_egraph::pattern::Pattern<HbLang>, kind: ConvKind) -> Rw {
     Rw::rule(
         name,
         Query::single(
@@ -445,9 +461,15 @@ fn conv_like_rule(
                 ),
             ),
         )
-        .also("I", pload(pty(ScalarType::F16, pv("il")), pv("In"), pv("idxI")))
+        .also(
+            "I",
+            pload(pty(ScalarType::F16, pv("il")), pv("In"), pv("idxI")),
+        )
         .also("idxI", idx_i)
-        .also("K", pload(pty(ScalarType::F16, pv("kl")), pv("Kn"), pv("idxK")))
+        .also(
+            "K",
+            pload(pty(ScalarType::F16, pv("kl")), pv("Kn"), pv("idxK")),
+        )
         .also(
             "idxK",
             pbcast(pramp(pv("baseK"), pnum(1), pv("t")), pv("L")),

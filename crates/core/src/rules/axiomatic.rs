@@ -58,10 +58,7 @@ pub fn rules() -> Vec<Rw> {
         "ramp-bcast-absorb",
         Query::single(
             "e",
-            padd(
-                pramp(pv("b"), pv("s"), pv("rl")),
-                pbcast(pv("x"), pv("bl")),
-            ),
+            padd(pramp(pv("b"), pv("s"), pv("rl")), pbcast(pv("x"), pv("bl"))),
         ),
         Box::new(|eg: &mut HbGraph, s| {
             let Some([rl, bl]) = cis(eg, s, ["rl", "bl"]) else {
@@ -144,7 +141,10 @@ pub fn rules() -> Vec<Rw> {
     //          => (op (Ramp x s l1) (Broadcast (Broadcast a (/ l2 l1)) l1))
     //   :when ((> l2 l1) (= 0 (% l2 l1)))
     for op in [BinOp::Add, BinOp::Mul] {
-        let name = format!("bcast-nest-sibling-{}", if op == BinOp::Add { "add" } else { "mul" });
+        let name = format!(
+            "bcast-nest-sibling-{}",
+            if op == BinOp::Add { "add" } else { "mul" }
+        );
         out.push(Rw::rule(
             &name,
             Query::single(
@@ -272,10 +272,7 @@ pub fn rules() -> Vec<Rw> {
         Query::single("e", pmul(pv("o"), pv("x"))),
         Box::new(|eg: &mut HbGraph, s| {
             let o = bound(s, "o");
-            let is_one = matches!(
-                eg.data(o).constant,
-                Some(crate::lang::ConstVal::Int(1))
-            );
+            let is_one = matches!(eg.data(o).constant, Some(crate::lang::ConstVal::Int(1)));
             if !is_one {
                 return false;
             }
@@ -285,7 +282,10 @@ pub fn rules() -> Vec<Rw> {
         }),
     ));
 
-    out
+    // Every applier above reads only its match's bound classes (via
+    // `ci`/`cis`/`bound`/analysis data) and performs monotone writes, so
+    // the scheduler may delta-search and quiescence-skip these rules.
+    out.into_iter().map(Rw::assume_pure).collect()
 }
 
 #[cfg(test)]
@@ -331,7 +331,11 @@ mod tests {
     fn pushes_broadcast_through_cast_and_load() {
         // x16(cast<f32x512>(B[idx])) ≡ cast<f32x8192>(B[x16(idx)])
         let mut eg = HbGraph::default();
-        let idx = b::ramp(b::ramp(b::int(0), b::int(16), 32), b::bcast(b::int(1), 32), 16);
+        let idx = b::ramp(
+            b::ramp(b::int(0), b::int(16), 32),
+            b::bcast(b::int(1), 32),
+            16,
+        );
         let outer = b::bcast(
             b::cast(
                 Type::f32().with_lanes(512),

@@ -63,15 +63,14 @@ pub fn rules() -> Vec<Rw> {
         (Location::Mem, Location::Wmma, "cancel-mem-wmma"),
         (Location::Wmma, Location::Mem, "cancel-wmma-mem"),
     ] {
-        out.push(Rw::rewrite(
-            name,
-            ploc(a, b, ploc(b, a, pv("e"))),
-            pv("e"),
-        ));
+        out.push(Rw::rewrite(name, ploc(a, b, ploc(b, a, pv("e"))), pv("e")));
     }
 
     // --- Zero initialization lowers to tile_zero. --------------------------
-    for (loc, name) in [(Location::Amx, "amx-tile-zero"), (Location::Wmma, "wmma-tile-zero")] {
+    for (loc, name) in [
+        (Location::Amx, "amx-tile-zero"),
+        (Location::Wmma, "wmma-tile-zero"),
+    ] {
         out.push(Rw::rule(
             name,
             Query::single("e", ploc(Location::Mem, loc, pv("z"))),
@@ -143,7 +142,11 @@ pub fn rules() -> Vec<Rw> {
         "amx-tile-store",
         Query::single(
             "s",
-            pstore(pv("buf"), pv("idx"), ploc(Location::Amx, Location::Mem, pv("tile"))),
+            pstore(
+                pv("buf"),
+                pv("idx"),
+                ploc(Location::Amx, Location::Mem, pv("tile")),
+            ),
         )
         .also(
             "idx",
@@ -179,7 +182,11 @@ pub fn rules() -> Vec<Rw> {
         "wmma-tile-store",
         Query::single(
             "s",
-            pstore(pv("buf"), pv("idx"), ploc(Location::Wmma, Location::Mem, pv("tile"))),
+            pstore(
+                pv("buf"),
+                pv("idx"),
+                ploc(Location::Wmma, Location::Mem, pv("tile")),
+            ),
         )
         .also(
             "idx",
@@ -219,7 +226,11 @@ pub fn rules() -> Vec<Rw> {
         "wmma-tile-store-flat",
         Query::single(
             "s",
-            pstore(pv("buf"), pv("idx"), ploc(Location::Wmma, Location::Mem, pv("tile"))),
+            pstore(
+                pv("buf"),
+                pv("idx"),
+                ploc(Location::Wmma, Location::Mem, pv("tile")),
+            ),
         )
         .also("idx", pramp(pv("base"), pnum(1), pv("l"))),
         Box::new(|eg: &mut HbGraph, s| {
@@ -248,7 +259,11 @@ pub fn rules() -> Vec<Rw> {
         "amx-tile-store-flat",
         Query::single(
             "s",
-            pstore(pv("buf"), pv("idx"), ploc(Location::Amx, Location::Mem, pv("tile"))),
+            pstore(
+                pv("buf"),
+                pv("idx"),
+                ploc(Location::Amx, Location::Mem, pv("tile")),
+            ),
         )
         .also("idx", pramp(pv("base"), pnum(1), pv("l"))),
         Box::new(|eg: &mut HbGraph, s| {
@@ -272,5 +287,8 @@ pub fn rules() -> Vec<Rw> {
         }),
     ));
 
-    out
+    // Every applier above reads only its match's bound classes (via
+    // `ci`/`cis`/`bound`/analysis data) and performs monotone writes, so
+    // the scheduler may delta-search and quiescence-skip these rules.
+    out.into_iter().map(Rw::assume_pure).collect()
 }

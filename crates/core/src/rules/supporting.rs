@@ -37,11 +37,8 @@ pub fn rules() -> Vec<Rw> {
         // (rule ((= e (Load (St l) n i))) ((has-type e (St l))))
         out.push(Rw::rule(
             &format!("load-has-type-{st}"),
-            Query::single(
-                "e",
-                crate::encode::pload(pv("t"), pv("n"), pv("i")),
-            )
-            .also("t", pty(st, pv("l"))),
+            Query::single("e", crate::encode::pload(pv("t"), pv("n"), pv("i")))
+                .also("t", pty(st, pv("l"))),
             Box::new(|eg: &mut HbGraph, s| {
                 let e = bound(s, "e");
                 let t = bound(s, "t");
@@ -49,7 +46,10 @@ pub fn rules() -> Vec<Rw> {
             }),
         ));
     }
-    out
+    // Every applier above reads only its match's bound classes (via
+    // `ci`/`cis`/`bound`/analysis data) and performs monotone writes, so
+    // the scheduler may delta-search and quiescence-skip these rules.
+    out.into_iter().map(Rw::assume_pure).collect()
 }
 
 #[cfg(test)]
@@ -78,7 +78,11 @@ mod tests {
     #[test]
     fn has_type_facts_populate() {
         let mut eg = HbGraph::default();
-        let e = b::load(Type::bf16().with_lanes(8), "A", b::ramp(b::int(0), b::int(1), 8));
+        let e = b::load(
+            Type::bf16().with_lanes(8),
+            "A",
+            b::ramp(b::int(0), b::int(1), 8),
+        );
         let id = encode_expr(&mut eg, &e);
         Runner::default().run_to_fixpoint(&mut eg, &rules());
         let facts: Vec<_> = eg.relations.tuples("has-type").collect();
@@ -89,7 +93,11 @@ mod tests {
     #[test]
     fn supporting_rules_saturate() {
         let mut eg = HbGraph::default();
-        let e = b::load(Type::f32().with_lanes(4), "X", b::ramp(b::int(0), b::int(1), 4));
+        let e = b::load(
+            Type::f32().with_lanes(4),
+            "X",
+            b::ramp(b::int(0), b::int(1), 4),
+        );
         let _ = encode_expr(&mut eg, &e);
         let report = Runner::default().run_to_fixpoint(&mut eg, &rules());
         assert!(report.saturated, "supporting rules must reach fixpoint");

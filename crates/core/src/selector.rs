@@ -218,11 +218,15 @@ mod tests {
         let wrapper = b::store(
             "matmul_wrapper",
             acc_idx,
-            b::load(Type::f32().with_lanes(256), "matmul", b::ramp(
-                b::ramp(b::int(0), b::int(1), 16),
-                b::bcast(b::int(16), 16),
-                16,
-            )),
+            b::load(
+                Type::f32().with_lanes(256),
+                "matmul",
+                b::ramp(
+                    b::ramp(b::int(0), b::int(1), 16),
+                    b::bcast(b::int(16), 16),
+                    16,
+                ),
+            ),
         );
         b::allocate(
             "matmul",

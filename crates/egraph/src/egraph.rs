@@ -1,7 +1,19 @@
 //! The e-graph: hash-consed e-nodes grouped into equivalence classes,
 //! with congruence maintained by explicit rebuilding (the egg algorithm).
+//!
+//! Performance machinery on top of the basic algorithm (see the crate docs
+//! for the design):
+//!
+//! * an **operator index** (`op_key` → candidate classes) kept current
+//!   through [`EGraph::add`] / [`EGraph::union`] / [`EGraph::rebuild`], so
+//!   indexed e-matching visits only classes that can possibly match;
+//! * **incremental rebuilding**: only classes dirtied by unions since the
+//!   last rebuild have their node lists re-canonicalized;
+//! * a per-class **modification epoch** (propagated to transitive parents
+//!   on rebuild) that lets the scheduler's delta search skip classes whose
+//!   match results cannot have changed since a rule last ran.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Debug;
 
 use crate::language::{Language, RecExpr};
@@ -42,6 +54,24 @@ pub struct EClass<L, D> {
     pub data: D,
     /// Parent e-nodes (and the class they live in), possibly stale.
     parents: Vec<(L, Id)>,
+    /// Epoch of the last change that could affect matches rooted here
+    /// (directly or in a descendant — propagated on rebuild).
+    modified: u64,
+}
+
+impl<L, D> EClass<L, D> {
+    /// Epoch of the last modification affecting matches rooted at this
+    /// class. Valid after a rebuild; see [`EGraph::work_epoch`].
+    #[must_use]
+    pub fn modified_epoch(&self) -> u64 {
+        self.modified
+    }
+
+    /// Ids of classes containing a parent e-node of this class (possibly
+    /// stale — canonicalize with [`EGraph::find`] before use).
+    pub fn parent_classes(&self) -> impl Iterator<Item = Id> + '_ {
+        self.parents.iter().map(|(_, id)| *id)
+    }
 }
 
 /// The e-graph.
@@ -55,6 +85,27 @@ pub struct EGraph<L: Language, N: Analysis<L> = ()> {
     /// Datalog-style relations over e-class ids (egglog's `relation`s).
     pub relations: Relations,
     clean: bool,
+    /// Operator index: `op_key` → classes containing a node with that key.
+    /// Entries may be stale (non-canonical) or duplicated between rebuilds;
+    /// readers canonicalize and dedup ([`EGraph::candidates_for`]).
+    classes_by_op: HashMap<u64, Vec<Id>>,
+    /// Op keys whose index rows need compaction on the next rebuild.
+    dirty_ops: HashSet<u64>,
+    /// Classes whose node lists need re-canonicalization on the next
+    /// rebuild (union winners and classes containing parents of losers).
+    dirty_classes: Vec<Id>,
+    /// Classes stamped since the last rebuild, awaiting upward epoch
+    /// propagation.
+    touched: Vec<Id>,
+    /// Append-only log of `(epoch, class)` modification events, epochs
+    /// nondecreasing — the delta-search read path ([`EGraph::modified_since`]).
+    /// Compacted on rebuild once it outgrows the class table.
+    modified_log: Vec<(u64, Id)>,
+    /// Monotone modification clock; see [`EGraph::bump_epoch`].
+    work_epoch: u64,
+    /// Whether any union happened since the last rebuild (gates relation
+    /// canonicalization).
+    unioned_since_rebuild: bool,
 }
 
 impl<L: Language, N: Analysis<L>> Default for EGraph<L, N> {
@@ -67,6 +118,13 @@ impl<L: Language, N: Analysis<L>> Default for EGraph<L, N> {
             analysis_pending: Vec::new(),
             relations: Relations::default(),
             clean: true,
+            classes_by_op: HashMap::new(),
+            dirty_ops: HashSet::new(),
+            dirty_classes: Vec::new(),
+            touched: Vec::new(),
+            modified_log: Vec::new(),
+            work_epoch: 1,
+            unioned_since_rebuild: false,
         }
     }
 }
@@ -124,8 +182,114 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         &self.class(id).data
     }
 
+    /// The current modification epoch. Classes created or modified from now
+    /// on carry an epoch `>=` this value.
+    #[must_use]
+    pub fn work_epoch(&self) -> u64 {
+        self.work_epoch
+    }
+
+    /// Advances the modification clock and returns the new epoch. A caller
+    /// that records the returned value `e` and later asks for classes with
+    /// `modified_epoch() >= e` sees exactly the classes (transitively)
+    /// modified after the bump.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.work_epoch += 1;
+        self.work_epoch
+    }
+
+    /// Canonical ids of classes that contain at least one e-node whose
+    /// [`Language::op_key`] equals `key` — the operator index read path.
+    /// Sorted and deduplicated.
+    ///
+    /// Zero-cost borrow: on a rebuilt graph every index row is already
+    /// canonical (fresh `add`s append strictly increasing fresh ids; rows
+    /// touched by unions are compacted during rebuild), so no per-query
+    /// canonicalization is needed. Only valid on a clean graph, like every
+    /// search entry point.
+    #[must_use]
+    pub fn candidates_for(&self, key: u64) -> &[Id] {
+        debug_assert!(self.clean, "candidates_for requires a rebuilt e-graph");
+        self.classes_by_op
+            .get(&key)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+    }
+
+    /// Stamps `id` (which must be canonical) as modified now.
+    fn stamp(&mut self, id: Id) {
+        if let Some(class) = self.classes.get_mut(&id) {
+            class.modified = self.work_epoch;
+            self.touched.push(id);
+            self.modified_log.push((self.work_epoch, id));
+        }
+    }
+
+    /// Canonical ids of classes (transitively) modified at or after
+    /// `cutoff`, via the modification log — O(changes), not O(classes), so
+    /// a delta probe over a saturated graph is free. May contain classes
+    /// whose last modification is slightly older than `cutoff` (log entries
+    /// are stamped at append time); such false positives only cost the
+    /// matcher a probe.
+    #[must_use]
+    pub fn modified_since(&self, cutoff: u64) -> Vec<Id> {
+        let start = self.modified_log.partition_point(|&(e, _)| e < cutoff);
+        if start == self.modified_log.len() {
+            return Vec::new();
+        }
+        let mut out: Vec<Id> = self.modified_log[start..]
+            .iter()
+            .map(|&(_, id)| self.find(id))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        // No liveness filter needed: `find` maps every logged id to a
+        // canonical root, and every root has a live class entry.
+        out
+    }
+
+    /// Whether any class was (transitively) modified at or after `cutoff`.
+    /// O(log changes) — the scheduler's cheap quiescence check.
+    #[must_use]
+    pub fn any_modified_since(&self, cutoff: u64) -> bool {
+        self.modified_log.partition_point(|&(e, _)| e < cutoff) < self.modified_log.len()
+    }
+
+    /// [`EGraph::modified_since`] restricted to classes that contain a node
+    /// with the given [`Language::op_key`] — the delta-probe enumeration
+    /// for an op-rooted pattern. Sorted-merge intersection of the log tail
+    /// with the operator index row; empty tail short-circuits to zero work.
+    #[must_use]
+    pub fn modified_candidates_for(&self, key: u64, cutoff: u64) -> Vec<Id> {
+        let tail = self.modified_since(cutoff);
+        if tail.is_empty() {
+            return tail;
+        }
+        let row: &[Id] = self.candidates_for(key);
+        let mut out = Vec::with_capacity(tail.len().min(row.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < tail.len() && j < row.len() {
+            match tail[i].cmp(&row[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(tail[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
     fn canonicalize(&self, node: &L) -> L {
         node.map_children(|c| self.find(c))
+    }
+
+    /// Canonicalization with path compression (for `&mut self` hot paths).
+    fn canonicalize_mut(&mut self, node: &L) -> L {
+        let uf = &mut self.unionfind;
+        node.map_children(|c| uf.find_mut(c))
     }
 
     /// Looks up an e-node (children need not be canonical) without inserting.
@@ -137,7 +301,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
 
     /// Adds an e-node, returning the id of its class (hash-consed).
     pub fn add(&mut self, node: L) -> Id {
-        let canon = self.canonicalize(&node);
+        let canon = self.canonicalize_mut(&node);
         if let Some(&existing) = self.memo.get(&canon) {
             return self.find(existing);
         }
@@ -158,8 +322,14 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
                 nodes: vec![canon.clone()],
                 data,
                 parents: Vec::new(),
+                modified: self.work_epoch,
             },
         );
+        self.classes_by_op
+            .entry(canon.op_key())
+            .or_default()
+            .push(id);
+        self.modified_log.push((self.work_epoch, id));
         self.memo.insert(canon, id);
         id
     }
@@ -178,12 +348,13 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     /// anything changed. Requires a [`EGraph::rebuild`] before the next
     /// search (tracked by an internal dirty flag).
     pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
-        let a = self.find(a);
-        let b = self.find(b);
+        let a = self.unionfind.find_mut(a);
+        let b = self.unionfind.find_mut(b);
         if a == b {
             return (a, false);
         }
         self.clean = false;
+        self.unioned_since_rebuild = true;
         // Keep the class with more parents as the winner to move less data.
         let (winner, loser) = {
             let pa = self.classes[&a].parents.len();
@@ -196,8 +367,18 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         };
         self.unionfind.union_roots(winner, loser);
         let loser_class = self.classes.remove(&loser).expect("loser class exists");
-        // Loser's parents must be re-canonicalized and re-hashed.
+        // Loser's parents must be re-canonicalized and re-hashed, and the
+        // classes holding those parent nodes re-canonicalized.
         self.pending.extend(loser_class.parents.iter().cloned());
+        for &(_, parent_class) in &loser_class.parents {
+            self.dirty_classes.push(parent_class);
+        }
+        // The loser's index rows now resolve to the winner; compact them on
+        // the next rebuild.
+        for node in &loser_class.nodes {
+            self.dirty_ops.insert(node.op_key());
+        }
+        self.dirty_classes.push(winner);
         let winner_class = self.classes.get_mut(&winner).expect("winner class exists");
         winner_class.nodes.extend(loser_class.nodes);
         winner_class.parents.extend(loser_class.parents);
@@ -206,18 +387,25 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             self.analysis_pending
                 .extend(self.classes[&winner].parents.iter().cloned());
         }
+        self.stamp(winner);
         (winner, true)
     }
 
     /// Restores the congruence invariant and canonicalizes memo entries,
     /// class node lists and relation tuples. Must be called after a batch of
     /// unions before the next search.
+    ///
+    /// Incremental: only classes dirtied since the last rebuild (union
+    /// winners, classes holding parents of union losers) have their node
+    /// lists re-canonicalized; only index rows for operators touched by
+    /// unions are compacted; relation tuples are only re-canonicalized when
+    /// a union actually happened. A saturated rebuild is near-free.
     pub fn rebuild(&mut self) {
         while !self.pending.is_empty() || !self.analysis_pending.is_empty() {
             while let Some((node, cls)) = self.pending.pop() {
-                let cls = self.find(cls);
+                let cls = self.unionfind.find_mut(cls);
                 self.memo.remove(&node);
-                let canon = self.canonicalize(&node);
+                let canon = self.canonicalize_mut(&node);
                 if let Some(&other) = self.memo.get(&canon) {
                     let other = self.find(other);
                     if other != cls {
@@ -228,36 +416,152 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
                 }
             }
             while let Some((node, cls)) = self.analysis_pending.pop() {
-                let cls = self.find(cls);
+                let cls = self.unionfind.find_mut(cls);
                 let canon = self.canonicalize(&node);
                 let new_data = N::make(self, &canon);
                 let class = self.classes.get_mut(&cls).expect("class exists");
                 if N::merge(&mut class.data, new_data) {
                     self.analysis_pending
                         .extend(self.classes[&cls].parents.iter().cloned());
+                    self.stamp(cls);
                 }
             }
         }
-        // Canonicalize node lists and dedup.
-        let ids: Vec<Id> = self.classes.keys().copied().collect();
-        for id in ids {
-            let mut class = self.classes.remove(&id).expect("class exists");
+        // Canonicalize node lists and dedup — only where unions could have
+        // left stale children or congruent duplicates.
+        let mut dirty: Vec<Id> = std::mem::take(&mut self.dirty_classes)
+            .into_iter()
+            .map(|id| self.unionfind.find_mut(id))
+            .collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        for id in dirty {
+            let Some(mut class) = self.classes.remove(&id) else {
+                continue; // merged away by a congruence union above
+            };
             for n in &mut class.nodes {
-                *n = n.map_children(|c| self.unionfind.find(c));
+                *n = n.map_children(|c| self.unionfind.find_mut(c));
             }
             class.nodes.sort();
             class.nodes.dedup();
             self.classes.insert(id, class);
         }
-        let uf = &self.unionfind;
-        self.relations.canonicalize(|id| uf.find(id));
+        // Compact index rows touched by unions.
+        for key in std::mem::take(&mut self.dirty_ops) {
+            if let Some(row) = self.classes_by_op.get_mut(&key) {
+                for id in row.iter_mut() {
+                    *id = self.unionfind.find_mut(*id);
+                }
+                row.sort_unstable();
+                row.dedup();
+            }
+        }
+        if self.unioned_since_rebuild {
+            let uf = &self.unionfind;
+            self.relations.canonicalize(|id| uf.find(id));
+            self.unioned_since_rebuild = false;
+        }
+        self.propagate_epochs();
+        self.compact_modified_log();
         self.clean = true;
+    }
+
+    /// Bounds the modification log: keep one entry per live class at its
+    /// maximum logged epoch. Exact (not lossy) for every future cutoff.
+    fn compact_modified_log(&mut self) {
+        if self.modified_log.len() <= 1024.max(4 * self.classes.len()) {
+            return;
+        }
+        let mut max_epoch: HashMap<Id, u64> = HashMap::new();
+        for &(e, id) in &self.modified_log {
+            let id = self.unionfind.find(id);
+            if self.classes.contains_key(&id) {
+                let slot = max_epoch.entry(id).or_insert(e);
+                *slot = (*slot).max(e);
+            }
+        }
+        let mut log: Vec<(u64, Id)> = max_epoch.into_iter().map(|(id, e)| (e, id)).collect();
+        log.sort_unstable();
+        self.modified_log = log;
+    }
+
+    /// Pushes modification epochs to transitive parents so that delta
+    /// searches see every class whose match results could have changed.
+    fn propagate_epochs(&mut self) {
+        let mut worklist: Vec<Id> = std::mem::take(&mut self.touched)
+            .into_iter()
+            .map(|id| self.unionfind.find_mut(id))
+            .collect();
+        worklist.sort_unstable();
+        worklist.dedup();
+        let mut parent_ids: Vec<Id> = Vec::new();
+        while let Some(id) = worklist.pop() {
+            let Some(class) = self.classes.get(&id) else {
+                continue;
+            };
+            let epoch = class.modified;
+            parent_ids.clear();
+            parent_ids.extend(class.parent_classes());
+            for pid in &parent_ids {
+                let pid = self.unionfind.find_mut(*pid);
+                if let Some(parent) = self.classes.get_mut(&pid) {
+                    if parent.modified < epoch {
+                        parent.modified = epoch;
+                        // Logged at the clock's current value to keep the
+                        // log sorted; any cutoff ≤ `epoch` still sees it.
+                        self.modified_log.push((self.work_epoch, pid));
+                        worklist.push(pid);
+                    }
+                }
+            }
+        }
     }
 
     /// Whether the graph is rebuilt (safe to search).
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.clean
+    }
+
+    /// Asserts that the operator index is exactly consistent with a
+    /// from-scratch recomputation: for every op key, the canonicalized
+    /// index row equals the set of classes containing a node with that key.
+    ///
+    /// Testing/debugging aid (used by the engine's property tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic if the index and the recomputation differ.
+    pub fn check_op_index(&self) {
+        assert!(self.is_clean(), "check_op_index requires a rebuilt e-graph");
+        let mut expected: HashMap<u64, Vec<Id>> = HashMap::new();
+        for class in self.classes.values() {
+            for node in &class.nodes {
+                expected.entry(node.op_key()).or_default().push(class.id);
+            }
+        }
+        for row in expected.values_mut() {
+            row.sort_unstable();
+            row.dedup();
+        }
+        for (key, want) in &expected {
+            let got = self.candidates_for(*key);
+            assert_eq!(
+                got,
+                want.as_slice(),
+                "op index row for key {key:#x} diverged from recomputation"
+            );
+        }
+        // No phantom rows — and every stored row must itself be canonical,
+        // sorted and deduplicated (candidates_for borrows rows as-is).
+        for (key, row) in &self.classes_by_op {
+            let want = expected.get(key).map(Vec::as_slice).unwrap_or_default();
+            assert_eq!(
+                row.as_slice(),
+                want,
+                "op index row for key {key:#x} is not canonical/sorted/deduped"
+            );
+        }
     }
 
     /// Extracts *some* term from a class (first constructible node, depth
@@ -402,5 +706,56 @@ mod tests {
         let _ = eg.add(Math::Mul([a, two]));
         assert_eq!(eg.num_nodes(), 3);
         assert!(!eg.is_empty());
+    }
+
+    #[test]
+    fn op_index_tracks_adds_and_unions() {
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let two = eg.add(Math::Num(2));
+        let ma = eg.add(Math::Mul([a, two]));
+        let mb = eg.add(Math::Mul([b, two]));
+        let key = Math::Mul([Id(0), Id(0)]).op_key();
+        assert_eq!(eg.candidates_for(key), {
+            let mut v = vec![ma, mb];
+            v.sort_unstable();
+            v
+        });
+        eg.check_op_index();
+        // Union a ≡ b: congruence merges the two Muls; the index row must
+        // compact to the single surviving class.
+        eg.union(a, b);
+        eg.rebuild();
+        assert_eq!(eg.candidates_for(key), vec![eg.find(ma)]);
+        eg.check_op_index();
+    }
+
+    #[test]
+    fn epochs_mark_modified_classes_and_ancestors() {
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let two = eg.add(Math::Num(2));
+        let m = eg.add(Math::Mul([a, two]));
+        let d = eg.add(Math::Div([m, two]));
+        eg.rebuild();
+        let cutoff = eg.bump_epoch();
+        // Nothing modified since the bump.
+        assert!(eg.classes().all(|c| c.modified_epoch() < cutoff));
+        // Union deep in the graph: the union site and its transitive
+        // ancestors (m, d) must carry the new epoch after rebuild.
+        eg.union(a, b);
+        eg.rebuild();
+        for id in [a, m, d] {
+            assert!(
+                eg.class(id).modified_epoch() >= cutoff,
+                "{id} should be marked modified"
+            );
+        }
+        assert!(
+            eg.class(two).modified_epoch() < cutoff,
+            "unrelated leaf must not be marked"
+        );
     }
 }

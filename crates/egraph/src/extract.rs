@@ -5,7 +5,7 @@
 //! coarse accelerator intrinsics) always win. The extractor is nonetheless
 //! generic over a [`CostFunction`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::egraph::{Analysis, EGraph};
 use crate::language::{Language, RecExpr};
@@ -48,6 +48,12 @@ impl<L: Language, F: Fn(&L) -> u64> CostFunction<L> for FnCost<F> {
 
 /// Bottom-up extractor: computes, for every class, the cheapest constructible
 /// node, then reads out the best term for any root.
+///
+/// Cost solving is worklist-driven: a class is (re)evaluated only when one
+/// of its children's best costs improves, and improvements propagate along
+/// the e-graph's parent edges. Leaves settle first, then their parents —
+/// the classic egg algorithm — instead of repeated full passes to a
+/// fixpoint, which re-scanned every class per improvement wave.
 pub struct Extractor<'a, L: Language, N: Analysis<L>, C: CostFunction<L>> {
     egraph: &'a EGraph<L, N>,
     cost_fn: C,
@@ -55,7 +61,7 @@ pub struct Extractor<'a, L: Language, N: Analysis<L>, C: CostFunction<L>> {
 }
 
 impl<'a, L: Language, N: Analysis<L>, C: CostFunction<L>> Extractor<'a, L, N, C> {
-    /// Builds the cost table (fixpoint over classes).
+    /// Builds the cost table (worklist propagation over classes).
     #[must_use]
     pub fn new(egraph: &'a EGraph<L, N>, cost_fn: C) -> Self {
         let mut ex = Extractor {
@@ -67,35 +73,78 @@ impl<'a, L: Language, N: Analysis<L>, C: CostFunction<L>> Extractor<'a, L, N, C>
         ex
     }
 
-    fn solve(&mut self) {
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for class in self.egraph.classes() {
-                for node in &class.nodes {
-                    let mut feasible = true;
-                    let best = &self.best;
-                    let cost = self.cost_fn.cost(node, &mut |cid| {
-                        let cid = self.egraph.find(cid);
-                        match best.get(&cid) {
-                            Some((c, _)) => *c,
-                            None => {
-                                feasible = false;
-                                u64::MAX / 4
-                            }
-                        }
-                    });
-                    if !feasible {
-                        continue;
+    /// The best (cost, node) for one class under the current table: the
+    /// *first* minimum-cost feasible node in the class's (sorted) node
+    /// list. Depending only on the table contents — never on visit order —
+    /// keeps equal-cost tie-breaks deterministic across runs.
+    fn best_of(&self, id: Id) -> Option<(u64, L)> {
+        let class = self.egraph.class(id);
+        let mut winner: Option<(u64, L)> = None;
+        for node in &class.nodes {
+            let mut feasible = true;
+            let best = &self.best;
+            let cost = self.cost_fn.cost(node, &mut |cid| {
+                let cid = self.egraph.find(cid);
+                match best.get(&cid) {
+                    Some((c, _)) => *c,
+                    None => {
+                        feasible = false;
+                        u64::MAX / 4
                     }
-                    let id = self.egraph.find(class.id);
-                    let better = match self.best.get(&id) {
-                        Some((old, _)) => cost < *old,
-                        None => true,
-                    };
-                    if better {
-                        self.best.insert(id, (cost, node.clone()));
-                        changed = true;
+                }
+            });
+            if !feasible {
+                continue;
+            }
+            if winner.as_ref().is_none_or(|(w, _)| cost < *w) {
+                winner = Some((cost, node.clone()));
+            }
+        }
+        winner
+    }
+
+    fn solve(&mut self) {
+        // Parent index over canonical ids: child class -> classes holding a
+        // node with that child (the edges improvements propagate along).
+        let mut parents: HashMap<Id, Vec<Id>> = HashMap::new();
+        for class in self.egraph.classes() {
+            let cid = self.egraph.find(class.id);
+            for node in &class.nodes {
+                for &child in node.children() {
+                    parents
+                        .entry(self.egraph.find(child))
+                        .or_default()
+                        .push(cid);
+                }
+            }
+        }
+        for row in parents.values_mut() {
+            row.sort_unstable();
+            row.dedup();
+        }
+        let mut queue: VecDeque<Id> = self.egraph.classes().map(|c| c.id).collect();
+        queue.make_contiguous().sort_unstable();
+        let mut queued: HashSet<Id> = queue.iter().copied().collect();
+        while let Some(id) = queue.pop_front() {
+            queued.remove(&id);
+            let Some((cost, node)) = self.best_of(id) else {
+                continue;
+            };
+            match self.best.get(&id) {
+                // Cost unchanged: keep the canonical (first-in-node-list)
+                // winner but don't re-propagate.
+                Some((old, old_node)) if *old == cost => {
+                    if *old_node != node {
+                        self.best.insert(id, (cost, node));
+                    }
+                }
+                Some((old, _)) if *old < cost => {}
+                _ => {
+                    self.best.insert(id, (cost, node));
+                    for &parent in parents.get(&id).map(Vec::as_slice).unwrap_or_default() {
+                        if queued.insert(parent) {
+                            queue.push_back(parent);
+                        }
                     }
                 }
             }

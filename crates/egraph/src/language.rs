@@ -1,7 +1,7 @@
 //! The [`Language`] trait: what an e-graph is generic over.
 
 use std::fmt::Debug;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
 use crate::unionfind::Id;
 
@@ -24,6 +24,26 @@ pub trait Language: Clone + Eq + Hash + Ord + Debug {
     /// Short operator name for debugging / printing.
     fn op_name(&self) -> String;
 
+    /// A 64-bit discriminant of the operator *and payload*, ignoring
+    /// children, used by the e-graph's operator index for indexed
+    /// e-matching.
+    ///
+    /// Contract: `a.matches_op(&b)` must imply `a.op_key() == b.op_key()`.
+    /// Collisions in the other direction are allowed — they only cost the
+    /// matcher a wasted candidate, which [`Language::matches_op`] filters
+    /// out.
+    ///
+    /// The default implementation hashes [`Language::op_name`], which is
+    /// correct whenever `matches_op` implies equal names (true of every
+    /// language in this repository). Implementations should override it
+    /// with a direct discriminant+payload hash to skip the `String`
+    /// allocation on every [`crate::egraph::EGraph::add`].
+    fn op_key(&self) -> u64 {
+        let mut h = op_hasher();
+        self.op_name().hash(&mut h);
+        h.finish()
+    }
+
     /// Replaces each child with `f(child)` (canonicalization helper).
     fn map_children(&self, mut f: impl FnMut(Id) -> Id) -> Self {
         let mut out = self.clone();
@@ -32,6 +52,16 @@ pub trait Language: Clone + Eq + Hash + Ord + Debug {
         }
         out
     }
+}
+
+/// A fresh hasher for [`Language::op_key`] implementations.
+///
+/// `DefaultHasher::new()` uses fixed keys, so op keys are stable within and
+/// across runs of the same binary (the index never leaves the process, so
+/// cross-version stability is not required).
+#[must_use]
+pub fn op_hasher() -> std::collections::hash_map::DefaultHasher {
+    std::collections::hash_map::DefaultHasher::new()
 }
 
 /// A term over `L`: nodes stored in a flat vector, children referring to

@@ -12,6 +12,57 @@
 //! tensor language lives in the `hardboiled` crate, and a small arithmetic
 //! demo language reproducing the paper's Fig. 1 lives in [`math_lang`].
 //!
+//! ## Performance design
+//!
+//! The engine keeps every hot path indexed and incremental (measured ~5–6x
+//! end-to-end saturation speedup over the retained naive reference on
+//! ~1k-class workloads; see `BENCH_eqsat.json` at the repo root):
+//!
+//! * **Interned substitutions.** [`pattern::Pattern::compile`] /
+//!   [`rewrite::Query::compile`] intern variables to `u32` slots once;
+//!   match-time bindings are dense `Vec<Option<Id>>` slot tables with no
+//!   string hashing or per-binding allocation. [`pattern::Subst`] keeps the
+//!   string-keyed `get`/`bind` API as a compatibility shim for rule
+//!   appliers (a linear scan of the shared name table — patterns bind a
+//!   handful of variables).
+//!
+//! * **Operator index.** [`egraph::EGraph`] maintains `op_key → classes`
+//!   rows ([`language::Language::op_key`] is a payload-aware discriminant;
+//!   `matches_op(a, b)` implies equal keys). `add` appends strictly
+//!   increasing fresh ids, unions mark the loser's ops dirty, and rebuild
+//!   compacts exactly the dirty rows — so on a clean graph
+//!   [`egraph::EGraph::candidates_for`] is a zero-cost borrow of a sorted,
+//!   canonical row, and a pattern search enumerates only classes that can
+//!   match its root operator.
+//!
+//! * **Incremental rebuild.** [`egraph::EGraph::rebuild`] re-canonicalizes
+//!   only classes dirtied since the last rebuild (union winners and the
+//!   classes holding parents of losers) instead of draining the entire
+//!   class map, and re-canonicalizes relation tuples only when a union
+//!   actually happened.
+//!
+//! * **Modification epochs + delta search.** Every class carries the epoch
+//!   of its last semantic change; rebuild propagates epochs to transitive
+//!   parents, and an append-only modification log makes "classes changed
+//!   since epoch e" an O(changes) query. [`schedule::Runner`] records a
+//!   per-rule epoch so a rule's search only probes classes modified since
+//!   that rule last ran; saturated phases cost almost nothing. Soundness
+//!   and the fallbacks are documented in [`schedule`].
+//!
+//! * **Worklist extraction.** [`extract::Extractor`] solves costs by
+//!   parent-propagation from the leaves up instead of repeated full passes
+//!   to a fixpoint.
+//!
+//! The pre-overhaul naive matcher is retained
+//! ([`pattern::Pattern::search`], [`rewrite::Query::search`],
+//! `Runner::use_naive_matcher`) as the reference oracle — algorithmically
+//! unchanged (full class scans, string-keyed binding), with one amendment:
+//! class enumeration is sorted by id so equal-cost extraction tie-breaks
+//! downstream are reproducible across runs. Equivalence tests
+//! in `tests/engine.rs` assert identical `(Id, Subst)` match sets and
+//! saturation outcomes, and `crates/bench/src/bin/eqsat_saturation.rs`
+//! measures the speedup against it.
+//!
 //! ## Example
 //!
 //! ```
@@ -54,8 +105,8 @@ pub mod unionfind;
 pub use egraph::{Analysis, EClass, EGraph};
 pub use extract::{AstSize, CostFunction, Extractor, FnCost};
 pub use language::{Language, RecExpr};
-pub use pattern::{Pattern, Subst};
+pub use pattern::{CompiledPattern, Pattern, Subst};
 pub use relation::Relations;
-pub use rewrite::{Atom, Query, Rewrite};
+pub use rewrite::{Atom, CompiledQuery, Query, Rewrite};
 pub use schedule::{RunReport, Runner};
 pub use unionfind::{Id, UnionFind};

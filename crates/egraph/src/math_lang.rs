@@ -1,7 +1,9 @@
 //! A tiny arithmetic language used to test the engine — the paper's Fig. 1
 //! example `(a×2)÷2 → a` is reproduced in this module's tests.
 
-use crate::language::Language;
+use std::hash::{Hash, Hasher};
+
+use crate::language::{op_hasher, Language};
 use crate::pattern::Pattern;
 use crate::unionfind::Id;
 
@@ -58,6 +60,18 @@ impl Language for Math {
             Math::Div(_) => "/".to_string(),
             Math::Shl(_) => "<<".to_string(),
         }
+    }
+
+    fn op_key(&self) -> u64 {
+        // Discriminant + payload, skipping the default's String round-trip.
+        let mut h = op_hasher();
+        std::mem::discriminant(self).hash(&mut h);
+        match self {
+            Math::Num(v) => v.hash(&mut h),
+            Math::Sym(s) => s.hash(&mut h),
+            Math::Add(_) | Math::Mul(_) | Math::Div(_) | Math::Shl(_) => {}
+        }
+        h.finish()
     }
 }
 

@@ -1,19 +1,40 @@
 //! Patterns and e-matching.
 //!
-//! A [`Pattern`] is a term with named holes. [`Pattern::search_class`]
-//! enumerates all substitutions under which the pattern matches some term
-//! represented by an e-class.
+//! A [`Pattern`] is a term with named holes. Matching has two
+//! implementations with identical semantics:
+//!
+//! * the **compiled, indexed matcher** ([`Pattern::compile`] →
+//!   [`CompiledPattern`]): variables are interned to `u32` slots once at
+//!   compile time, substitutions are flat `Vec<Option<Id>>` slot tables
+//!   (no string hashing or per-binding allocation), and whole-graph
+//!   searches enumerate only the classes the e-graph's operator index
+//!   reports as candidates for the pattern root's [`crate::language::Language::op_key`];
+//! * the **naive reference matcher** ([`Pattern::search`] /
+//!   [`Pattern::search_class`]): the original walk over every class,
+//!   retained verbatim as the oracle for equivalence tests and for
+//!   benchmarking the indexed path against (see `Runner::use_naive_matcher`).
+//!
+//! [`Subst`] keeps its string-keyed API ([`Subst::get`], [`Subst::bind`])
+//! as a compatibility shim for rule appliers; internally it is a shared
+//! variable table plus a dense slot→binding vector.
 
-use std::collections::HashMap;
+use std::rc::Rc;
 
 use crate::egraph::{Analysis, EGraph};
 use crate::language::Language;
 use crate::unionfind::Id;
 
 /// A substitution from pattern variable names to e-class ids.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Internally: `vars` is the (shared, interned) slot→name table and
+/// `bindings` the dense slot→id table. The string-keyed methods resolve
+/// names by scanning `vars` — patterns bind a handful of variables, so a
+/// linear scan beats hashing, and the hot matching paths never touch
+/// strings at all (they go through slots).
+#[derive(Debug, Clone, Default)]
 pub struct Subst {
-    map: HashMap<String, Id>,
+    vars: Rc<Vec<String>>,
+    bindings: Vec<Option<Id>>,
 }
 
 impl Subst {
@@ -23,41 +44,78 @@ impl Subst {
         Self::default()
     }
 
+    /// A substitution over `vars` with the given slot bindings.
+    pub(crate) fn from_bindings(vars: Rc<Vec<String>>, bindings: Vec<Option<Id>>) -> Self {
+        debug_assert_eq!(vars.len(), bindings.len());
+        Subst { vars, bindings }
+    }
+
+    fn slot_of(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
     /// The id bound to `var`, if any.
     #[must_use]
     pub fn get(&self, var: &str) -> Option<Id> {
-        self.map.get(var).copied()
+        self.slot_of(var).and_then(|s| self.bindings[s])
     }
 
     /// Binds `var` to `id`; returns false (leaving the subst unchanged) if
     /// `var` is already bound to a different id.
     pub fn bind(&mut self, var: &str, id: Id) -> bool {
-        match self.map.get(var) {
-            Some(&existing) => existing == id,
+        match self.slot_of(var) {
+            Some(s) => match self.bindings[s] {
+                Some(existing) => existing == id,
+                None => {
+                    self.bindings[s] = Some(id);
+                    true
+                }
+            },
             None => {
-                self.map.insert(var.to_string(), id);
+                Rc::make_mut(&mut self.vars).push(var.to_string());
+                self.bindings.push(Some(id));
                 true
             }
         }
     }
 
-    /// Iterates over bindings.
+    /// Iterates over bound `(name, id)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &Id)> {
-        self.map.iter()
+        self.vars
+            .iter()
+            .zip(self.bindings.iter())
+            .filter_map(|(v, b)| b.as_ref().map(|id| (v, id)))
     }
 
     /// Number of bound variables.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.bindings.iter().filter(|b| b.is_some()).count()
     }
 
     /// Whether no variables are bound.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
+    }
+
+    /// Sorted bound pairs — the semantic content of the substitution.
+    fn sorted_pairs(&self) -> Vec<(&str, Id)> {
+        let mut out: Vec<(&str, Id)> = self.iter().map(|(v, &id)| (v.as_str(), id)).collect();
+        out.sort_unstable();
+        out
     }
 }
+
+/// Substitutions compare by their bound `(name, id)` sets, regardless of
+/// slot order or which matcher produced them.
+impl PartialEq for Subst {
+    fn eq(&self, other: &Self) -> bool {
+        self.sorted_pairs() == other.sorted_pairs()
+    }
+}
+
+impl Eq for Subst {}
 
 /// A pattern over language `L`.
 ///
@@ -70,6 +128,138 @@ pub enum Pattern<L> {
     Var(String),
     /// An operator application.
     Node(L, Vec<Pattern<L>>),
+}
+
+/// A pattern compiled for the indexed matcher: variables interned to slots
+/// in a shared table, the root operator's index key precomputed.
+#[derive(Debug, Clone)]
+pub struct CompiledPattern<L> {
+    pub(crate) node: CompiledNode<L>,
+    pub(crate) vars: Rc<Vec<String>>,
+}
+
+/// Compiled pattern body; mirrors [`Pattern`] with slot-interned variables.
+#[derive(Debug, Clone)]
+pub(crate) enum CompiledNode<L> {
+    Var(u32),
+    Node {
+        op: L,
+        op_key: u64,
+        children: Vec<CompiledNode<L>>,
+    },
+}
+
+impl<L: Language> CompiledNode<L> {
+    /// The operator-index key of the root, or `None` for variable roots
+    /// (which match every class and cannot use the index).
+    pub(crate) fn root_key(&self) -> Option<u64> {
+        match self {
+            CompiledNode::Var(_) => None,
+            CompiledNode::Node { op_key, .. } => Some(*op_key),
+        }
+    }
+
+    /// Matches against class `id`, appending every consistent extension of
+    /// `seed` to `out`. Bindings are dense slot tables over the pattern's
+    /// variable table.
+    pub(crate) fn match_class<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        id: Id,
+        seed: &[Option<Id>],
+        out: &mut Vec<Vec<Option<Id>>>,
+    ) {
+        let id = egraph.find(id);
+        match self {
+            CompiledNode::Var(slot) => {
+                let slot = *slot as usize;
+                match seed[slot] {
+                    Some(existing) => {
+                        if existing == id {
+                            out.push(seed.to_vec());
+                        }
+                    }
+                    None => {
+                        let mut next = seed.to_vec();
+                        next[slot] = Some(id);
+                        out.push(next);
+                    }
+                }
+            }
+            CompiledNode::Node { op, children, .. } => {
+                for node in &egraph.class(id).nodes {
+                    if !node.matches_op(op) || node.children().len() != children.len() {
+                        continue;
+                    }
+                    let mut partial = vec![seed.to_vec()];
+                    let mut scratch = Vec::new();
+                    for (child_pat, &child_id) in children.iter().zip(node.children()) {
+                        scratch.clear();
+                        for s in &partial {
+                            child_pat.match_class(egraph, child_id, s, &mut scratch);
+                        }
+                        std::mem::swap(&mut partial, &mut scratch);
+                        if partial.is_empty() {
+                            break;
+                        }
+                    }
+                    out.append(&mut partial);
+                }
+            }
+        }
+    }
+}
+
+impl<L: Language> CompiledPattern<L> {
+    /// Number of variable slots.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Matches against e-class `id` starting from an empty substitution.
+    #[must_use]
+    pub fn search_class<N: Analysis<L>>(&self, egraph: &EGraph<L, N>, id: Id) -> Vec<Subst> {
+        debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
+        let seed = vec![None; self.vars.len()];
+        let mut raw = Vec::new();
+        self.node.match_class(egraph, id, &seed, &mut raw);
+        raw.into_iter()
+            .map(|b| Subst::from_bindings(Rc::clone(&self.vars), b))
+            .collect()
+    }
+
+    /// Searches the whole graph through the operator index; returns
+    /// `(root_id, subst)` pairs. Same match set as [`Pattern::search`].
+    #[must_use]
+    pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<(Id, Subst)> {
+        debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
+        let seed = vec![None; self.vars.len()];
+        let mut out = Vec::new();
+        let mut raw = Vec::new();
+        let visit = |id: Id, raw: &mut Vec<Vec<Option<Id>>>, out: &mut Vec<(Id, Subst)>| {
+            raw.clear();
+            self.node.match_class(egraph, id, &seed, raw);
+            for b in raw.drain(..) {
+                out.push((id, Subst::from_bindings(Rc::clone(&self.vars), b)));
+            }
+        };
+        match self.node.root_key() {
+            Some(key) => {
+                for &id in egraph.candidates_for(key) {
+                    visit(id, &mut raw, &mut out);
+                }
+            }
+            None => {
+                let mut ids: Vec<Id> = egraph.classes().map(|c| c.id).collect();
+                ids.sort_unstable();
+                for id in ids {
+                    visit(id, &mut raw, &mut out);
+                }
+            }
+        }
+        out
+    }
 }
 
 impl<L: Language> Pattern<L> {
@@ -102,8 +292,50 @@ impl<L: Language> Pattern<L> {
         }
     }
 
+    /// Interns a variable into `vars`, returning its slot. Shared with
+    /// `Query::compile` so pattern and query interning cannot diverge.
+    pub(crate) fn intern(vars: &mut Vec<String>, name: &str) -> u32 {
+        let slot = match vars.iter().position(|v| v == name) {
+            Some(s) => s,
+            None => {
+                vars.push(name.to_string());
+                vars.len() - 1
+            }
+        };
+        u32::try_from(slot).expect("pattern variable slot overflow")
+    }
+
+    /// Compiles the body against a shared variable table (used by queries
+    /// whose atoms share bindings).
+    pub(crate) fn compile_into(&self, vars: &mut Vec<String>) -> CompiledNode<L> {
+        match self {
+            Pattern::Var(v) => CompiledNode::Var(Self::intern(vars, v)),
+            Pattern::Node(op, children) => CompiledNode::Node {
+                op: op.clone(),
+                op_key: op.op_key(),
+                children: children.iter().map(|c| c.compile_into(vars)).collect(),
+            },
+        }
+    }
+
+    /// Compiles the pattern for the indexed matcher. Compile once, search
+    /// many times.
+    #[must_use]
+    pub fn compile(&self) -> CompiledPattern<L> {
+        let mut vars = Vec::new();
+        let node = self.compile_into(&mut vars);
+        CompiledPattern {
+            node,
+            vars: Rc::new(vars),
+        }
+    }
+
     /// Matches the pattern against e-class `id`, extending `subst`.
     /// Returns every consistent extension.
+    ///
+    /// This is the **naive reference matcher** — kept byte-for-byte
+    /// equivalent in observable behavior to the compiled path so the two
+    /// can be cross-checked; use [`Pattern::compile`] on hot paths.
     #[must_use]
     pub fn search_class<N: Analysis<L>>(
         &self,
@@ -147,12 +379,17 @@ impl<L: Language> Pattern<L> {
     }
 
     /// Searches every class in the graph; returns `(root_id, subst)` pairs.
+    ///
+    /// Naive reference path: iterates all classes. The compiled equivalent
+    /// is [`CompiledPattern::search`].
     #[must_use]
     pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<(Id, Subst)> {
         let mut out = Vec::new();
-        for class in egraph.classes() {
-            for s in self.search_class(egraph, class.id, &Subst::new()) {
-                out.push((class.id, s));
+        let mut ids: Vec<Id> = egraph.classes().map(|c| c.id).collect();
+        ids.sort_unstable();
+        for id in ids {
+            for s in self.search_class(egraph, id, &Subst::new()) {
+                out.push((id, s));
             }
         }
         out
@@ -289,5 +526,46 @@ mod tests {
         assert!(!s.bind("x", Id(2)));
         assert_eq!(s.len(), 1);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn compiled_matches_agree_with_naive() {
+        let mut eg = EGraph::<Math>::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let two = eg.add(Math::Num(2));
+        let _m1 = eg.add(Math::Mul([a, two]));
+        let _m2 = eg.add(Math::Mul([b, two]));
+        let _m3 = eg.add(Math::Mul([a, a]));
+        for pat in [
+            p_mul(pvar("x"), n(2)),
+            p_mul(pvar("x"), pvar("x")),
+            p_mul(pvar("x"), pvar("y")),
+            pvar("e"),
+        ] {
+            let naive: Vec<(Id, Subst)> = pat.search(&eg);
+            let compiled = pat.compile().search(&eg);
+            assert_eq!(naive.len(), compiled.len(), "pattern {pat:?}");
+            for m in &naive {
+                assert!(compiled.contains(m), "missing {m:?} for {pat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_subst_keeps_string_api() {
+        let mut eg = EGraph::<Math>::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let two = eg.add(Math::Num(2));
+        let m = eg.add(Math::Mul([a, two]));
+        let compiled = p_mul(pvar("x"), pvar("y")).compile();
+        let matches = compiled.search_class(&eg, m);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].get("x"), Some(a));
+        assert_eq!(matches[0].get("y"), Some(two));
+        // Appliers can keep binding new names through the shim.
+        let mut s = matches[0].clone();
+        assert!(s.bind("fresh", m));
+        assert_eq!(s.get("fresh"), Some(m));
     }
 }

@@ -12,6 +12,7 @@ use crate::unionfind::Id;
 #[derive(Debug, Clone, Default)]
 pub struct Relations {
     tables: HashMap<String, BTreeSet<Vec<Id>>>,
+    version: u64,
 }
 
 impl Relations {
@@ -29,7 +30,25 @@ impl Relations {
 
     /// Inserts a tuple; returns whether it was new.
     pub fn insert(&mut self, name: &str, tuple: Vec<Id>) -> bool {
-        self.tables.entry(name.to_string()).or_default().insert(tuple)
+        let new = self
+            .tables
+            .entry(name.to_string())
+            .or_default()
+            .insert(tuple);
+        if new {
+            self.version += 1;
+        }
+        new
+    }
+
+    /// A counter bumped every time a genuinely new tuple is inserted.
+    ///
+    /// Canonicalization does not bump it: merging tuples never creates new
+    /// facts. The scheduler uses this to decide whether a rule's delta
+    /// search can safely skip unchanged e-classes.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Whether the tuple is present.

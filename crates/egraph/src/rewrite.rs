@@ -1,9 +1,17 @@
 //! Rules: queries (conjunctions of patterns and relation atoms), guards and
 //! appliers — the engine's equivalent of egglog's `rewrite` and `rule`.
+//!
+//! Every [`Rewrite`] compiles its [`Query`] once at construction into a
+//! [`CompiledQuery`] (interned variables, precomputed operator keys), which
+//! is what [`Rewrite::run`] searches with. The uncompiled
+//! [`Query::search`] is retained as the naive reference implementation for
+//! equivalence tests and benchmarking.
+
+use std::rc::Rc;
 
 use crate::egraph::{Analysis, EGraph};
 use crate::language::Language;
-use crate::pattern::{Pattern, Subst};
+use crate::pattern::{CompiledNode, Pattern, Subst};
 use crate::unionfind::Id;
 
 /// One atom of a rule's query.
@@ -64,7 +72,54 @@ impl<L: Language> Query<L> {
         self
     }
 
+    /// Compiles the query: interns every variable (shared across atoms)
+    /// and precomputes pattern operator keys.
+    #[must_use]
+    pub fn compile(&self) -> CompiledQuery<L> {
+        let mut vars: Vec<String> = Vec::new();
+        let intern = Pattern::<L>::intern;
+        // Delta-eligibility: sound when the only *enumeration* of classes
+        // happens at the first atom's root. That is the case when every
+        // atom is a pattern and every atom after the first constrains a
+        // variable some earlier atom already bound (all bindings then
+        // descend from the first root, and epoch propagation marks that
+        // root whenever any of them changes). A relation atom or a
+        // fresh-variable pattern atom enumerates globally — not eligible.
+        let mut delta_eligible = !self.atoms.is_empty();
+        let atoms: Vec<CompiledAtom<L>> = self
+            .atoms
+            .iter()
+            .enumerate()
+            .map(|(i, atom)| match atom {
+                Atom::Pat { var, pattern } => {
+                    let vars_before = vars.len();
+                    let slot = intern(&mut vars, var);
+                    if i > 0 && (slot as usize) >= vars_before {
+                        delta_eligible = false;
+                    }
+                    let node = pattern.compile_into(&mut vars);
+                    CompiledAtom::Pat { slot, node }
+                }
+                Atom::Rel { name, vars: cols } => {
+                    delta_eligible = false;
+                    CompiledAtom::Rel {
+                        name: name.clone(),
+                        slots: cols.iter().map(|v| intern(&mut vars, v)).collect(),
+                    }
+                }
+            })
+            .collect();
+        CompiledQuery {
+            vars: Rc::new(vars),
+            atoms,
+            delta_eligible,
+        }
+    }
+
     /// Enumerates all substitutions satisfying the query.
+    ///
+    /// Naive reference implementation (string-keyed binding, full class
+    /// iteration); the engine's hot path is [`CompiledQuery::search`].
     #[must_use]
     pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<Subst> {
         let mut substs = vec![Subst::new()];
@@ -81,9 +136,16 @@ impl<L: Language> Query<L> {
                                 next.push(m);
                             }
                         } else {
-                            for class in egraph.classes() {
-                                for mut m in pattern.search_class(egraph, class.id, s) {
-                                    if m.bind(var, egraph.find(class.id)) {
+                            // Sorted enumeration: class-map iteration order
+                            // is seeded per process; sorting makes the
+                            // reference matcher's match *order* (and hence
+                            // equal-cost extraction tie-breaks downstream)
+                            // reproducible across runs.
+                            let mut ids: Vec<Id> = egraph.classes().map(|c| c.id).collect();
+                            ids.sort_unstable();
+                            for id in ids {
+                                for mut m in pattern.search_class(egraph, id, s) {
+                                    if m.bind(var, egraph.find(id)) {
                                         next.push(m);
                                     }
                                 }
@@ -121,6 +183,163 @@ impl<L: Language> Query<L> {
     }
 }
 
+/// A compiled atom: variables as slots into the query's table.
+enum CompiledAtom<L> {
+    Pat { slot: u32, node: CompiledNode<L> },
+    Rel { name: String, slots: Vec<u32> },
+}
+
+/// A [`Query`] compiled for the indexed matcher: one shared variable table,
+/// patterns with interned slots and precomputed op keys.
+pub struct CompiledQuery<L> {
+    vars: Rc<Vec<String>>,
+    atoms: Vec<CompiledAtom<L>>,
+    delta_eligible: bool,
+}
+
+impl<L: Language> CompiledQuery<L> {
+    /// Whether [`CompiledQuery::search_since`] may soundly restrict this
+    /// query to recently-modified classes: true for single-pattern queries.
+    /// Multi-atom queries (joins, relation atoms) always search in full.
+    #[must_use]
+    pub fn delta_eligible(&self) -> bool {
+        self.delta_eligible
+    }
+
+    /// Enumerates all substitutions satisfying the query, using the
+    /// operator index for root enumeration. Same result set as
+    /// [`Query::search`].
+    #[must_use]
+    pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<Subst> {
+        self.search_impl(egraph, None)
+    }
+
+    /// Like [`CompiledQuery::search`], but for delta-eligible queries the
+    /// root enumeration only probes classes with
+    /// `modified_epoch() >= cutoff` — the classes whose match sets can have
+    /// changed since the epoch was recorded (see
+    /// [`EGraph::bump_epoch`]). For non-eligible queries this is a full
+    /// search.
+    #[must_use]
+    pub fn search_since<N: Analysis<L>>(&self, egraph: &EGraph<L, N>, cutoff: u64) -> Vec<Subst> {
+        if self.delta_eligible {
+            self.search_impl(egraph, Some(cutoff))
+        } else {
+            self.search_impl(egraph, None)
+        }
+    }
+
+    fn search_impl<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        cutoff: Option<u64>,
+    ) -> Vec<Subst> {
+        debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
+        let nvars = self.vars.len();
+        let mut partials: Vec<Vec<Option<Id>>> = vec![vec![None; nvars]];
+        for atom in &self.atoms {
+            let mut next: Vec<Vec<Option<Id>>> = Vec::new();
+            match atom {
+                CompiledAtom::Pat { slot, node } => {
+                    let slot = *slot as usize;
+                    let mut scratch: Vec<Vec<Option<Id>>> = Vec::new();
+                    // Sorted full enumeration for variable-rooted patterns,
+                    // computed at most once per atom (not per partial).
+                    let mut all_ids: Option<Vec<Id>> = None;
+                    for p in &partials {
+                        if let Some(id) = p[slot] {
+                            node.match_class(egraph, id, p, &mut next);
+                        } else {
+                            let visit =
+                                |root: Id,
+                                 scratch: &mut Vec<Vec<Option<Id>>>,
+                                 next: &mut Vec<Vec<Option<Id>>>| {
+                                    scratch.clear();
+                                    node.match_class(egraph, root, p, scratch);
+                                    for mut m in scratch.drain(..) {
+                                        match m[slot] {
+                                            Some(existing) if existing != root => continue,
+                                            _ => m[slot] = Some(root),
+                                        }
+                                        next.push(m);
+                                    }
+                                };
+                            if let Some(cut) = cutoff {
+                                // Delta probe: O(changes) via the
+                                // modification log, zero when saturated,
+                                // op-filtered through the index.
+                                let roots = match node.root_key() {
+                                    Some(key) => egraph.modified_candidates_for(key, cut),
+                                    None => egraph.modified_since(cut),
+                                };
+                                for root in roots {
+                                    visit(root, &mut scratch, &mut next);
+                                }
+                            } else {
+                                match node.root_key() {
+                                    Some(key) => {
+                                        for &root in egraph.candidates_for(key) {
+                                            visit(root, &mut scratch, &mut next);
+                                        }
+                                    }
+                                    None => {
+                                        let ids = all_ids.get_or_insert_with(|| {
+                                            let mut ids: Vec<Id> =
+                                                egraph.classes().map(|c| c.id).collect();
+                                            ids.sort_unstable();
+                                            ids
+                                        });
+                                        for &id in ids.iter() {
+                                            visit(id, &mut scratch, &mut next);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                CompiledAtom::Rel { name, slots } => {
+                    for p in &partials {
+                        'tuples: for tuple in egraph.relations.tuples(name) {
+                            if tuple.len() != slots.len() {
+                                continue;
+                            }
+                            // Pre-filter on already-bound slots so a
+                            // mismatching tuple costs no allocation.
+                            for (&slot, &id) in slots.iter().zip(tuple.iter()) {
+                                if let Some(existing) = p[slot as usize] {
+                                    if existing != egraph.find(id) {
+                                        continue 'tuples;
+                                    }
+                                }
+                            }
+                            let mut m = p.clone();
+                            for (&slot, &id) in slots.iter().zip(tuple.iter()) {
+                                let id = egraph.find(id);
+                                match m[slot as usize] {
+                                    // Nonlinear tuple variables can still
+                                    // conflict within this pass.
+                                    Some(existing) if existing != id => continue 'tuples,
+                                    _ => m[slot as usize] = Some(id),
+                                }
+                            }
+                            next.push(m);
+                        }
+                    }
+                }
+            }
+            partials = next;
+            if partials.is_empty() {
+                break;
+            }
+        }
+        partials
+            .into_iter()
+            .map(|b| Subst::from_bindings(Rc::clone(&self.vars), b))
+            .collect()
+    }
+}
+
 /// Guard predicate evaluated on each match before application.
 pub type Guard<L, N> = Box<dyn Fn(&EGraph<L, N>, &Subst) -> bool>;
 
@@ -131,17 +350,25 @@ pub type ApplyFn<L, N> = Box<dyn Fn(&mut EGraph<L, N>, &Subst) -> bool>;
 pub struct Rewrite<L: Language, N: Analysis<L> = ()> {
     /// Rule name (for reports).
     pub name: String,
-    /// Query side.
+    /// Query side (uncompiled — the naive reference path).
     pub query: Query<L>,
+    /// Compiled query (the indexed path [`Rewrite::run`] uses).
+    pub compiled: CompiledQuery<L>,
     /// Optional guard (`:when` clauses).
     pub guard: Option<Guard<L, N>>,
     /// Action side.
     pub applier: ApplyFn<L, N>,
+    /// Whether the engine *knows* the guard/applier read nothing beyond the
+    /// matched classes (true for guard-less [`Rewrite::rewrite`] rules,
+    /// whose applier is the internal instantiate-and-union). Pure rules
+    /// skip the scheduler's relations-version fallback for delta search.
+    pub(crate) known_pure: bool,
 }
 
 impl<L: Language + 'static, N: Analysis<L>> Rewrite<L, N> {
     /// A `rewrite lhs => rhs` rule: matches `lhs` anywhere and unions the
     /// matched class with the instantiated `rhs`.
+    #[allow(clippy::self_named_constructors)] // egg's established API name
     pub fn rewrite(name: &str, lhs: Pattern<L>, rhs: Pattern<L>) -> Self {
         Self::rewrite_when(name, lhs, rhs, None)
     }
@@ -155,25 +382,40 @@ impl<L: Language + 'static, N: Analysis<L>> Rewrite<L, N> {
     ) -> Self {
         let root = "$root".to_string();
         let rhs2 = rhs;
-        Rewrite {
-            name: name.to_string(),
-            query: Query::single(&root, lhs),
+        let known_pure = guard.is_none();
+        let mut rw = Self::rule_when(
+            name,
+            Query::single(&root, lhs),
             guard,
-            applier: Box::new(move |egraph, subst| {
+            Box::new(move |egraph, subst| {
                 let root_id = subst.get("$root").expect("root bound by query");
                 let new_id = rhs2.instantiate(egraph, subst);
                 egraph.union(root_id, new_id).1
             }),
-        }
+        );
+        rw.known_pure = known_pure;
+        rw
     }
 
     /// A general rule with an arbitrary action.
     pub fn rule(name: &str, query: Query<L>, applier: ApplyFn<L, N>) -> Self {
+        Self::rule_when(name, query, None, applier)
+    }
+
+    fn rule_when(
+        name: &str,
+        query: Query<L>,
+        guard: Option<Guard<L, N>>,
+        applier: ApplyFn<L, N>,
+    ) -> Self {
+        let compiled = query.compile();
         Rewrite {
             name: name.to_string(),
             query,
-            guard: None,
+            compiled,
+            guard,
             applier,
+            known_pure: false,
         }
     }
 
@@ -181,20 +423,29 @@ impl<L: Language + 'static, N: Analysis<L>> Rewrite<L, N> {
     #[must_use]
     pub fn with_guard(mut self, guard: Guard<L, N>) -> Self {
         self.guard = Some(guard);
+        self.known_pure = false;
+        self
+    }
+
+    /// Promises the engine that this rule's guard and applier depend only
+    /// on the matched classes (their e-nodes and analysis data) and the
+    /// query's relation atoms — never on other classes or unrelated
+    /// relation state. (Monotone *writes* — adds, unions, tuple inserts —
+    /// are always fine.) The scheduler then drops the conservative
+    /// relations-version fallback and may skip the rule entirely while the
+    /// graph is quiescent. Every rule in this repository qualifies; rules
+    /// whose appliers *read* global relation state must not call this.
+    #[must_use]
+    pub fn assume_pure(mut self) -> Self {
+        self.known_pure = true;
         self
     }
 }
 
 impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
-    /// Runs the rule once over the whole graph (search, then apply all
-    /// matches). Returns the number of matches that changed the graph.
-    /// Rebuilds first if the graph is dirty, but does **not** rebuild after
-    /// applying.
-    pub fn run(&self, egraph: &mut EGraph<L, N>) -> usize {
-        if !egraph.is_clean() {
-            egraph.rebuild();
-        }
-        let matches = self.query.search(egraph);
+    /// Applies `matches`, honoring the guard; returns how many changed the
+    /// graph.
+    fn apply_matches(&self, egraph: &mut EGraph<L, N>, matches: Vec<Subst>) -> usize {
         let mut changed = 0;
         for m in matches {
             if let Some(g) = &self.guard {
@@ -207,6 +458,49 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
             }
         }
         changed
+    }
+
+    /// Runs the rule once over the whole graph (search with the compiled,
+    /// indexed matcher, then apply all matches). Returns the number of
+    /// matches that changed the graph. Rebuilds first if the graph is
+    /// dirty, but does **not** rebuild after applying.
+    pub fn run(&self, egraph: &mut EGraph<L, N>) -> usize {
+        if !egraph.is_clean() {
+            egraph.rebuild();
+        }
+        let matches = self.compiled.search(egraph);
+        self.apply_matches(egraph, matches)
+    }
+
+    /// Like [`Rewrite::run`] but with the retained naive matcher — the
+    /// benchmark/reference path.
+    pub fn run_naive(&self, egraph: &mut EGraph<L, N>) -> usize {
+        if !egraph.is_clean() {
+            egraph.rebuild();
+        }
+        let matches = self.query.search(egraph);
+        self.apply_matches(egraph, matches)
+    }
+
+    /// Delta run: searches only classes modified at or after `cutoff`
+    /// (falling back to a full search for non-delta-eligible queries).
+    /// The caller is responsible for `cutoff` bookkeeping — see
+    /// `schedule::Runner`.
+    pub fn run_since(&self, egraph: &mut EGraph<L, N>, cutoff: u64) -> usize {
+        if !egraph.is_clean() {
+            egraph.rebuild();
+        }
+        let matches = self.compiled.search_since(egraph, cutoff);
+        self.apply_matches(egraph, matches)
+    }
+}
+
+impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
+    /// Whether the engine knows this rule's guard/applier depend only on
+    /// the matched classes (see the field docs).
+    #[must_use]
+    pub fn is_known_pure(&self) -> bool {
+        self.known_pure
     }
 }
 
@@ -324,10 +618,12 @@ mod tests {
         let q: Query<Math> = Query { atoms: vec![] };
         let q = q.with_relation("pair", &["x", "y"]);
         assert_eq!(q.search(&eg).len(), 2);
+        assert_eq!(q.compile().search(&eg).len(), 2);
         // Non-linear: pair(x, x) matches nothing.
         let q2: Query<Math> = Query { atoms: vec![] };
         let q2 = q2.with_relation("pair", &["x", "x"]);
         assert_eq!(q2.search(&eg).len(), 0);
+        assert_eq!(q2.compile().search(&eg).len(), 0);
     }
 
     #[test]
@@ -342,11 +638,63 @@ mod tests {
         let plain = eg.add(Math::Sym("z".into()));
         let _m2 = eg.add(Math::Mul([plain, two]));
 
-        let query = Query::single("e", pmul(pvar("x"), n(2)))
-            .also("x", padd(pvar("p"), pvar("q")));
-        let results = query.search(&eg);
-        assert_eq!(results.len(), 1, "only the sum-operand product matches");
-        assert_eq!(results[0].get("p"), Some(p));
-        assert_eq!(results[0].get("q"), Some(q));
+        let query = Query::single("e", pmul(pvar("x"), n(2))).also("x", padd(pvar("p"), pvar("q")));
+        for results in [query.search(&eg), query.compile().search(&eg)] {
+            assert_eq!(results.len(), 1, "only the sum-operand product matches");
+            assert_eq!(results[0].get("p"), Some(p));
+            assert_eq!(results[0].get("q"), Some(q));
+        }
+    }
+
+    #[test]
+    fn compiled_query_matches_naive_on_all_atom_shapes() {
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let two = eg.add(Math::Num(2));
+        let m1 = eg.add(Math::Mul([a, two]));
+        let _m2 = eg.add(Math::Mul([b, two]));
+        let _s = eg.add(Math::Add([m1, b]));
+        eg.relations.insert("good", vec![two]);
+        eg.relations.insert("good", vec![b]);
+
+        let queries: Vec<Query<Math>> = vec![
+            Query::single("e", pmul(pvar("x"), pvar("y"))),
+            Query::single("e", pmul(pvar("x"), n(2))),
+            Query::single("e", pvar("e")),
+            Query::single("e", pmul(pvar("x"), pvar("y"))).with_relation("good", &["y"]),
+            Query::single("e", padd(pvar("x"), pvar("y"))).also("x", pmul(pvar("p"), pvar("q"))),
+        ];
+        for q in &queries {
+            let naive = q.search(&eg);
+            let compiled = q.compile().search(&eg);
+            assert_eq!(naive.len(), compiled.len());
+            for m in &naive {
+                assert!(compiled.contains(m), "compiled missed {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_search_sees_only_new_matches() {
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let two = eg.add(Math::Num(2));
+        let _m = eg.add(Math::Mul([a, two]));
+        eg.rebuild();
+        let q = Query::single("e", pmul(pvar("x"), pvar("y"))).compile();
+        assert!(q.delta_eligible());
+        // Full search finds the existing product.
+        assert_eq!(q.search(&eg).len(), 1);
+        let cutoff = eg.bump_epoch();
+        // Nothing changed since the cutoff: delta search is empty.
+        assert!(q.search_since(&eg, cutoff).is_empty());
+        // A new product appears: delta search reports exactly it.
+        let b = eg.add(Math::Sym("b".into()));
+        let mb = eg.add(Math::Mul([b, two]));
+        eg.rebuild();
+        let delta = q.search_since(&eg, cutoff);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].get("e"), Some(eg.find(mb)));
     }
 }

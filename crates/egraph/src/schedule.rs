@@ -4,6 +4,19 @@
 //! application-specific and lowering rules, and between each iteration runs
 //! the *supporting* rules (type analysis, shape tracking) to a fixpoint —
 //! supporting rules always saturate in finitely many steps.
+//!
+//! The runner drives the engine's **delta search**: for every rule it
+//! remembers the modification epoch at which it last searched, and a
+//! delta-eligible rule (see `CompiledQuery::delta_eligible`) only re-probes
+//! classes created or modified since — so once a phase saturates,
+//! re-running its rules costs almost nothing. Rules marked
+//! [`Rewrite::assume_pure`] (applicability depends only on the matched
+//! classes and the query's own relation atoms) are additionally skipped
+//! outright while the graph and relation store are quiescent; for rules
+//! *not* marked pure, any new relation tuple since their last run forces a
+//! full search as a safety net. Setting [`Runner::use_naive_matcher`]
+//! bypasses all of this and benchmarks the retained naive reference
+//! matcher.
 
 use std::time::{Duration, Instant};
 
@@ -30,6 +43,19 @@ pub struct RunReport {
     pub elapsed: Duration,
 }
 
+/// Per-rule delta-search bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct RuleState {
+    /// Epoch recorded right after this rule's last search; classes
+    /// modified at or after it must be re-probed.
+    last_epoch: u64,
+    /// Relations version at the last search; a change forces a full
+    /// search (new tuples can enable matches delta search cannot see).
+    last_rel_version: u64,
+    /// Whether the rule has searched at all yet.
+    ran_before: bool,
+}
+
 /// Limits and phase driver for saturation.
 #[derive(Debug, Clone)]
 pub struct Runner {
@@ -37,6 +63,10 @@ pub struct Runner {
     pub max_iterations: usize,
     /// Stop when the graph exceeds this many e-nodes.
     pub node_limit: usize,
+    /// Search with the retained naive reference matcher instead of the
+    /// indexed/delta path (for benchmarking and cross-checking; the match
+    /// sets are identical, only the time spent differs).
+    pub use_naive_matcher: bool,
 }
 
 impl Default for Runner {
@@ -44,6 +74,7 @@ impl Default for Runner {
         Runner {
             max_iterations: 32,
             node_limit: 500_000,
+            use_naive_matcher: false,
         }
     }
 }
@@ -55,10 +86,20 @@ impl Runner {
         Runner {
             max_iterations,
             node_limit,
+            ..Runner::default()
         }
     }
 
+    /// Flips the runner onto the naive reference matcher.
+    #[must_use]
+    pub fn with_naive_matcher(mut self, naive: bool) -> Self {
+        self.use_naive_matcher = naive;
+        self
+    }
+
     /// Runs every rule once, then rebuilds. Returns matches applied.
+    /// Full (non-delta) searches; the scheduler-internal path threads
+    /// per-rule delta state instead.
     pub fn run_once<L: Language, N: Analysis<L>>(
         egraph: &mut EGraph<L, N>,
         rules: &[Rewrite<L, N>],
@@ -71,19 +112,78 @@ impl Runner {
         applied
     }
 
+    /// One pass over `rules` with delta bookkeeping, then a rebuild.
+    fn run_iter<L: Language, N: Analysis<L>>(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        rules: &[Rewrite<L, N>],
+        states: &mut [RuleState],
+    ) -> usize {
+        debug_assert_eq!(rules.len(), states.len());
+        let mut applied = 0;
+        for (rule, state) in rules.iter().zip(states.iter_mut()) {
+            if self.use_naive_matcher {
+                applied += rule.run_naive(egraph);
+                continue;
+            }
+            if !egraph.is_clean() {
+                egraph.rebuild();
+            }
+            let rel_version = egraph.relations.version();
+            // Quiescence skip: a pure rule sees only its matched classes
+            // and relation atoms; if neither classes nor relations changed
+            // since it last ran, it would find the same matches and its
+            // (idempotent) application would change nothing — skip it.
+            if rule.is_known_pure()
+                && state.ran_before
+                && state.last_rel_version == rel_version
+                && !egraph.any_modified_since(state.last_epoch)
+            {
+                continue;
+            }
+            let delta_ok = state.ran_before
+                && rule.compiled.delta_eligible()
+                && (rule.is_known_pure() || state.last_rel_version == rel_version);
+            let cutoff = state.last_epoch;
+            // Record the next cutoff *before* applying so this rule's own
+            // unions are re-probed on its next run.
+            let searched_at = egraph.bump_epoch();
+            applied += if delta_ok {
+                rule.run_since(egraph, cutoff)
+            } else {
+                rule.run(egraph)
+            };
+            state.last_epoch = searched_at;
+            state.last_rel_version = rel_version;
+            state.ran_before = true;
+        }
+        egraph.rebuild();
+        applied
+    }
+
     /// Runs the rules to saturation (or the iteration/node limit).
     pub fn run_to_fixpoint<L: Language, N: Analysis<L>>(
         &self,
         egraph: &mut EGraph<L, N>,
         rules: &[Rewrite<L, N>],
     ) -> RunReport {
+        let mut states = vec![RuleState::default(); rules.len()];
+        self.fixpoint_with_states(egraph, rules, &mut states)
+    }
+
+    fn fixpoint_with_states<L: Language, N: Analysis<L>>(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        rules: &[Rewrite<L, N>],
+        states: &mut [RuleState],
+    ) -> RunReport {
         let start = Instant::now();
         let mut report = RunReport::default();
         for _ in 0..self.max_iterations {
             report.iterations += 1;
-            let relations_before = egraph.relations.total_tuples();
-            let applied = Self::run_once(egraph, rules);
-            let relations_changed = egraph.relations.total_tuples() != relations_before;
+            let relations_before = egraph.relations.version();
+            let applied = self.run_iter(egraph, rules, states);
+            let relations_changed = egraph.relations.version() != relations_before;
             report.applied += applied;
             if applied == 0 && !relations_changed {
                 report.saturated = true;
@@ -102,7 +202,8 @@ impl Runner {
 
     /// The paper's phased schedule: `outer_iters` rounds of the main rules,
     /// with the supporting rules saturated before the first round and after
-    /// every round.
+    /// every round. Delta state persists across rounds, so a supporting
+    /// fixpoint over an unchanged graph is near-free.
     pub fn run_phased<L: Language, N: Analysis<L>>(
         &self,
         egraph: &mut EGraph<L, N>,
@@ -112,13 +213,15 @@ impl Runner {
     ) -> RunReport {
         let start = Instant::now();
         let mut report = RunReport::default();
-        let support = self.run_to_fixpoint(egraph, supporting_rules);
+        let mut main_states = vec![RuleState::default(); main_rules.len()];
+        let mut support_states = vec![RuleState::default(); supporting_rules.len()];
+        let support = self.fixpoint_with_states(egraph, supporting_rules, &mut support_states);
         report.applied += support.applied;
         for _ in 0..outer_iters {
             report.iterations += 1;
-            let applied = Self::run_once(egraph, main_rules);
+            let applied = self.run_iter(egraph, main_rules, &mut main_states);
             report.applied += applied;
-            let support = self.run_to_fixpoint(egraph, supporting_rules);
+            let support = self.fixpoint_with_states(egraph, supporting_rules, &mut support_states);
             report.applied += support.applied;
             if applied == 0 && support.applied == 0 {
                 report.saturated = true;
@@ -156,19 +259,39 @@ mod tests {
         ]
     }
 
-    #[test]
-    fn fixpoint_saturates_and_reports() {
+    fn fig1_graph() -> (EG, crate::unionfind::Id, crate::unionfind::Id) {
         let mut eg = EG::new();
         let a = eg.add(Math::Sym("a".into()));
         let two = eg.add(Math::Num(2));
         let m = eg.add(Math::Mul([a, two]));
         let d = eg.add(Math::Div([m, two]));
+        (eg, a, d)
+    }
+
+    #[test]
+    fn fixpoint_saturates_and_reports() {
+        let (mut eg, a, d) = fig1_graph();
         let rules = fig1_rules();
         let report = Runner::default().run_to_fixpoint(&mut eg, &rules);
         assert!(report.saturated);
         assert!(report.iterations >= 2);
         assert_eq!(eg.find(d), eg.find(a));
         assert!(report.nodes > 0 && report.classes > 0);
+    }
+
+    #[test]
+    fn naive_matcher_reaches_the_same_fixpoint() {
+        let (mut eg_fast, a1, d1) = fig1_graph();
+        let (mut eg_naive, a2, d2) = fig1_graph();
+        let fast = Runner::default().run_to_fixpoint(&mut eg_fast, &fig1_rules());
+        let naive = Runner::default()
+            .with_naive_matcher(true)
+            .run_to_fixpoint(&mut eg_naive, &fig1_rules());
+        assert!(fast.saturated && naive.saturated);
+        assert_eq!(fast.nodes, naive.nodes);
+        assert_eq!(fast.classes, naive.classes);
+        assert_eq!(eg_fast.find(d1), eg_fast.find(a1));
+        assert_eq!(eg_naive.find(d2), eg_naive.find(a2));
     }
 
     #[test]
@@ -182,14 +305,10 @@ mod tests {
             Query::single("e", pvar("e")),
             Box::new(|eg, s| {
                 let id = crate::rewrite::bound(s, "e");
-                let v = eg
-                    .class(id)
-                    .nodes
-                    .iter()
-                    .find_map(|n| match n {
-                        Math::Num(v) => Some(*v),
-                        _ => None,
-                    });
+                let v = eg.class(id).nodes.iter().find_map(|n| match n {
+                    Math::Num(v) => Some(*v),
+                    _ => None,
+                });
                 match v {
                     Some(v) => {
                         let before = eg.num_nodes();

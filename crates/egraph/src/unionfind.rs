@@ -69,15 +69,19 @@ impl UnionFind {
     }
 
     /// Finds the canonical representative, compressing paths.
-    pub fn find_mut(&mut self, id: Id) -> Id {
-        let root = self.find(id);
-        let mut cur = id;
-        while self.parents[cur.index()] != root {
-            let next = self.parents[cur.index()];
-            self.parents[cur.index()] = root;
-            cur = next;
+    ///
+    /// Uses single-pass path halving (every node on the walk is pointed at
+    /// its grandparent), which touches each cache line once — measurably
+    /// cheaper than two-pass compression on the e-graph's add/rebuild hot
+    /// paths while giving the same amortized complexity.
+    pub fn find_mut(&mut self, mut id: Id) -> Id {
+        while self.parents[id.index()] != id {
+            let parent = self.parents[id.index()];
+            let grand = self.parents[parent.index()];
+            self.parents[id.index()] = grand;
+            id = grand;
         }
-        root
+        id
     }
 
     /// Merges the set containing `loser` into the set containing `winner`.

@@ -1,0 +1,221 @@
+//! Engine-internal invariants:
+//!
+//! * the operator index stays exactly consistent with a from-scratch
+//!   recomputation under randomized `add`/`union`/`rebuild` sequences;
+//! * the compiled/indexed matcher returns the same `(Id, Subst)` sets as
+//!   the retained naive reference matcher, on random graphs and across
+//!   full saturation of the `math_lang` rule suite;
+//! * saturation with the indexed + delta scheduler reaches the same
+//!   e-graph (nodes, classes, equivalences) and extracts the same terms
+//!   as the naive matcher path.
+
+use proptest::prelude::*;
+
+use hb_egraph::egraph::EGraph;
+use hb_egraph::extract::{AstSize, Extractor};
+use hb_egraph::math_lang::{n, pdiv, pmul, pshl, pvar, Math};
+use hb_egraph::pattern::{Pattern, Subst};
+use hb_egraph::rewrite::Rewrite;
+use hb_egraph::schedule::Runner;
+use hb_egraph::unionfind::Id;
+
+type EG = EGraph<Math, ()>;
+
+/// One step of a randomized e-graph workout: `(op_selector, x, y)` with the
+/// payload operands interpreted modulo the live id count.
+type Step = (u8, u32, u32);
+
+/// Replays a step sequence, returning the graph and the ids it created.
+fn replay(steps: &[Step]) -> (EG, Vec<Id>) {
+    let mut eg = EG::new();
+    let mut ids: Vec<Id> = Vec::new();
+    // Seed a few leaves so binary ops always have operands.
+    for s in ["a", "b", "c"] {
+        ids.push(eg.add(Math::Sym(s.into())));
+    }
+    for &(op, x, y) in steps {
+        let pick = |v: u32| ids[v as usize % ids.len()];
+        match op % 6 {
+            0 => ids.push(eg.add(Math::Num(i64::from(x % 8)))),
+            1 => ids.push(eg.add(Math::Mul([pick(x), pick(y)]))),
+            2 => ids.push(eg.add(Math::Add([pick(x), pick(y)]))),
+            3 => ids.push(eg.add(Math::Div([pick(x), pick(y)]))),
+            4 => {
+                eg.union(pick(x), pick(y));
+            }
+            _ => eg.rebuild(),
+        }
+    }
+    eg.rebuild();
+    (eg, ids)
+}
+
+/// The Fig. 1 rule suite plus a strength-reduction rule, exercising
+/// literal payloads and multi-level patterns. (No commutativity — paired
+/// with `assoc` it would mint fresh divisions forever and never saturate.)
+fn math_rules() -> Vec<Rewrite<Math>> {
+    vec![
+        Rewrite::rewrite(
+            "assoc",
+            pdiv(pmul(pvar("a"), pvar("b")), pvar("c")),
+            pmul(pvar("a"), pdiv(pvar("b"), pvar("c"))),
+        ),
+        Rewrite::rewrite("div-self", pdiv(n(2), n(2)), n(1)),
+        Rewrite::rewrite("mul-one", pmul(pvar("a"), n(1)), pvar("a")),
+        Rewrite::rewrite("mul-two-shl", pmul(pvar("a"), n(2)), pshl(pvar("a"), n(1))),
+    ]
+}
+
+/// Patterns from the rule suite's left-hand sides (plus a bare variable),
+/// used to cross-check the two matchers directly.
+fn probe_patterns() -> Vec<Pattern<Math>> {
+    vec![
+        pdiv(pmul(pvar("a"), pvar("b")), pvar("c")),
+        pmul(pvar("a"), pvar("b")),
+        pmul(pvar("a"), pvar("a")),
+        pdiv(n(2), n(2)),
+        pmul(pvar("a"), n(1)),
+        pmul(pvar("a"), n(2)),
+        pvar("e"),
+    ]
+}
+
+/// Asserts two match lists are equal as sets of `(root, subst)`.
+fn assert_same_matches(naive: &[(Id, Subst)], indexed: &[(Id, Subst)], ctx: &str) {
+    assert_eq!(naive.len(), indexed.len(), "{ctx}: match count differs");
+    for m in naive {
+        assert!(indexed.contains(m), "{ctx}: indexed matcher missed {m:?}");
+    }
+    for m in indexed {
+        assert!(naive.contains(m), "{ctx}: indexed matcher invented {m:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn op_index_consistent_under_random_workouts(
+        steps in proptest::collection::vec((0u8..6, 0u32..64, 0u32..64), 80),
+    ) {
+        let (eg, _) = replay(&steps);
+        // check_op_index panics if the maintained index differs anywhere
+        // from a from-scratch recomputation over the class table.
+        eg.check_op_index();
+    }
+
+    #[test]
+    fn indexed_matcher_equals_naive_on_random_graphs(
+        steps in proptest::collection::vec((0u8..6, 0u32..64, 0u32..64), 60),
+    ) {
+        let (eg, _) = replay(&steps);
+        for pat in probe_patterns() {
+            let naive = pat.search(&eg);
+            let indexed = pat.compile().search(&eg);
+            assert_same_matches(&naive, &indexed, &format!("{pat:?}"));
+        }
+    }
+
+    #[test]
+    fn saturation_agrees_between_matchers(
+        steps in proptest::collection::vec((0u8..5, 0u32..64, 0u32..64), 40),
+    ) {
+        // Saturate two copies of the same graph, one per matcher, and
+        // compare the resulting e-graphs and extracted terms.
+        let (mut fast, ids) = replay(&steps);
+        let mut naive = fast.clone();
+        let runner = Runner::new(16, 20_000);
+        let rules = math_rules();
+        let r1 = runner.run_to_fixpoint(&mut fast, &rules);
+        let r2 = runner
+            .with_naive_matcher(true)
+            .run_to_fixpoint(&mut naive, &rules);
+        prop_assert_eq!(r1.saturated, r2.saturated);
+        prop_assert_eq!(r1.nodes, r2.nodes, "node counts diverged");
+        prop_assert_eq!(r1.classes, r2.classes, "class counts diverged");
+        // Same equivalences between all tracked ids.
+        for &x in &ids {
+            for &y in &ids {
+                prop_assert_eq!(
+                    fast.find(x) == fast.find(y),
+                    naive.find(x) == naive.find(y),
+                    "equivalence of {} and {} diverged", x, y
+                );
+            }
+        }
+        // Same extraction costs from every root, and each fast-path
+        // extraction must be a member of the naive path's equivalent class
+        // (ids are numbered differently between runs, so equal-cost ties
+        // can break toward different — equally minimal — representatives).
+        let fast_results: Vec<_> = {
+            let ex = Extractor::new(&fast, AstSize);
+            ids.iter()
+                .map(|&x| ex.cost_of(x).map(|c| (c, ex.extract(x))))
+                .collect()
+        };
+        let naive_costs: Vec<_> = {
+            let ex = Extractor::new(&naive, AstSize);
+            ids.iter().map(|&x| ex.cost_of(x)).collect()
+        };
+        for ((&x, fast_result), naive_cost) in
+            ids.iter().zip(&fast_results).zip(&naive_costs)
+        {
+            prop_assert_eq!(fast_result.as_ref().map(|(c, _)| *c), *naive_cost);
+            if let Some((_, term)) = fast_result {
+                let reimported = naive.add_recexpr(term);
+                naive.rebuild();
+                prop_assert_eq!(
+                    naive.find(reimported),
+                    naive.find(x),
+                    "fast extraction {} is not in naive's class of {}",
+                    term.to_sexp(),
+                    x
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matchers_agree_after_full_math_saturation() {
+    // Deterministic end-to-end: saturate Fig. 1, then cross-check every
+    // probe pattern's match set on the saturated graph.
+    let mut eg = EG::new();
+    let a = eg.add(Math::Sym("a".into()));
+    let two = eg.add(Math::Num(2));
+    let m = eg.add(Math::Mul([a, two]));
+    let d = eg.add(Math::Div([m, two]));
+    let report = Runner::new(16, 20_000).run_to_fixpoint(&mut eg, &math_rules());
+    assert!(report.saturated);
+    assert_eq!(eg.find(d), eg.find(a));
+    for pat in probe_patterns() {
+        let naive = pat.search(&eg);
+        let indexed = pat.compile().search(&eg);
+        assert_same_matches(&naive, &indexed, &format!("{pat:?}"));
+    }
+    eg.check_op_index();
+}
+
+#[test]
+fn delta_runner_skips_saturated_phases_but_finds_late_matches() {
+    // After saturation, feeding a brand-new term into the graph must be
+    // picked up by the (delta) runner on the next call.
+    let mut eg = EG::new();
+    let a = eg.add(Math::Sym("a".into()));
+    let two = eg.add(Math::Num(2));
+    let m = eg.add(Math::Mul([a, two]));
+    let _d = eg.add(Math::Div([m, two]));
+    let rules = math_rules();
+    let runner = Runner::new(16, 20_000);
+    let first = runner.run_to_fixpoint(&mut eg, &rules);
+    assert!(first.saturated);
+    // New work arrives.
+    let b = eg.add(Math::Sym("b".into()));
+    let mb = eg.add(Math::Mul([b, two]));
+    let second = runner.run_to_fixpoint(&mut eg, &rules);
+    assert!(second.saturated);
+    // mul-two-shl must have fired on the new product.
+    let one = eg.add(Math::Num(1));
+    let shifted = eg.lookup(&Math::Shl([b, one]));
+    assert_eq!(shifted, Some(eg.find(mb)), "late-arriving match was missed");
+}

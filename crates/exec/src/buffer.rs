@@ -174,10 +174,12 @@ impl Memory {
         for &i in indices {
             let idx = usize::try_from(i)
                 .map_err(|_| ExecError(format!("negative index {i} into {name}")))?;
-            let v = *buf
-                .data
-                .get(idx)
-                .ok_or_else(|| ExecError(format!("read {name}[{i}] out of bounds (len {})", buf.data.len())))?;
+            let v = *buf.data.get(idx).ok_or_else(|| {
+                ExecError(format!(
+                    "read {name}[{i}] out of bounds (len {})",
+                    buf.data.len()
+                ))
+            })?;
             if !buf.read_touched[idx] {
                 buf.read_touched[idx] = true;
                 new_dram += elem_bytes;
@@ -285,7 +287,8 @@ mod tests {
     #[test]
     fn alloc_read_write_roundtrip() {
         let mut mem = Memory::new();
-        mem.alloc("a", ScalarType::F32, 8, MemoryType::Heap).unwrap();
+        mem.alloc("a", ScalarType::F32, 8, MemoryType::Heap)
+            .unwrap();
         mem.write("a", &[0, 1, 2], &[1.0, 2.0, 3.0]).unwrap();
         let v = mem.read("a", &[2, 1, 0]).unwrap();
         assert_eq!(v, vec![3.0, 2.0, 1.0]);
@@ -294,8 +297,11 @@ mod tests {
     #[test]
     fn duplicate_alloc_fails() {
         let mut mem = Memory::new();
-        mem.alloc("a", ScalarType::F32, 4, MemoryType::Heap).unwrap();
-        assert!(mem.alloc("a", ScalarType::F32, 4, MemoryType::Heap).is_err());
+        mem.alloc("a", ScalarType::F32, 4, MemoryType::Heap)
+            .unwrap();
+        assert!(mem
+            .alloc("a", ScalarType::F32, 4, MemoryType::Heap)
+            .is_err());
         mem.free("a").unwrap();
         assert!(mem.alloc("a", ScalarType::F32, 4, MemoryType::Heap).is_ok());
         assert!(mem.free("zzz").is_err());
@@ -304,7 +310,8 @@ mod tests {
     #[test]
     fn oob_accesses_error() {
         let mut mem = Memory::new();
-        mem.alloc("a", ScalarType::F32, 4, MemoryType::Heap).unwrap();
+        mem.alloc("a", ScalarType::F32, 4, MemoryType::Heap)
+            .unwrap();
         assert!(mem.read("a", &[4]).is_err());
         assert!(mem.read("a", &[-1]).is_err());
         assert!(mem.write("a", &[9], &[0.0]).is_err());
@@ -314,7 +321,8 @@ mod tests {
     #[test]
     fn bf16_storage_rounds() {
         let mut mem = Memory::new();
-        mem.alloc("w", ScalarType::BF16, 1, MemoryType::Heap).unwrap();
+        mem.alloc("w", ScalarType::BF16, 1, MemoryType::Heap)
+            .unwrap();
         mem.write("w", &[0], &[1.0 + 2f64.powi(-12)]).unwrap();
         assert_eq!(mem.read("w", &[0]).unwrap()[0], 1.0);
     }
@@ -322,19 +330,25 @@ mod tests {
     #[test]
     fn dram_counts_footprint_l1_counts_accesses() {
         let mut mem = Memory::new();
-        mem.alloc("a", ScalarType::F32, 16, MemoryType::Heap).unwrap();
+        mem.alloc("a", ScalarType::F32, 16, MemoryType::Heap)
+            .unwrap();
         // Read the same 4 elements three times.
         for _ in 0..3 {
             mem.read("a", &[0, 1, 2, 3]).unwrap();
         }
-        assert_eq!(mem.counters.dram_read_bytes, 4 * 4, "footprint counted once");
+        assert_eq!(
+            mem.counters.dram_read_bytes,
+            4 * 4,
+            "footprint counted once"
+        );
         assert_eq!(mem.counters.l1_bytes, 3 * 4 * 4, "every access hits L1");
     }
 
     #[test]
     fn shared_memory_counts_separately() {
         let mut mem = Memory::new();
-        mem.alloc("s", ScalarType::F32, 8, MemoryType::GpuShared).unwrap();
+        mem.alloc("s", ScalarType::F32, 8, MemoryType::GpuShared)
+            .unwrap();
         mem.write("s", &[0, 1], &[1.0, 2.0]).unwrap();
         mem.read("s", &[0, 1]).unwrap();
         assert_eq!(mem.counters.shared_bytes, 2 * 4 + 2 * 4);
@@ -345,7 +359,8 @@ mod tests {
     #[test]
     fn register_buffers_cost_nothing() {
         let mut mem = Memory::new();
-        mem.alloc("t", ScalarType::F32, 512, MemoryType::AmxTile).unwrap();
+        mem.alloc("t", ScalarType::F32, 512, MemoryType::AmxTile)
+            .unwrap();
         mem.write("t", &[0], &[1.0]).unwrap();
         mem.read("t", &[0]).unwrap();
         assert_eq!(mem.counters, CostCounters::default());

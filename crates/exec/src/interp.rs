@@ -82,7 +82,11 @@ impl Interp {
     /// malformed intrinsic calls.
     pub fn exec(&mut self, stmt: &Stmt) -> ExecResult<()> {
         match stmt {
-            Stmt::Store { buffer, index, value } => {
+            Stmt::Store {
+                buffer,
+                index,
+                value,
+            } => {
                 let idx = self.eval(index)?;
                 let val = self.eval(value)?;
                 self.mem.write(buffer, &idx.to_indices(), &val.data)
@@ -97,7 +101,13 @@ impl Interp {
                 }
                 Ok(())
             }
-            Stmt::For { var, min, extent, kind, body } => {
+            Stmt::For {
+                var,
+                min,
+                extent,
+                kind,
+                body,
+            } => {
                 let min = self.eval(min)?.as_i64();
                 let extent = self.eval(extent)?.as_i64();
                 let saved = self.env.get(var).copied();
@@ -118,7 +128,13 @@ impl Interp {
                 };
                 Ok(())
             }
-            Stmt::Allocate { name, elem, size, memory, body } => {
+            Stmt::Allocate {
+                name,
+                elem,
+                size,
+                memory,
+                body,
+            } => {
                 self.mem.alloc(name, *elem, *size as usize, *memory)?;
                 let result = self.exec(body);
                 self.mem.free(name)?;
@@ -173,7 +189,11 @@ impl Interp {
                     .collect();
                 Ok(Value::new(vt.ty, data))
             }
-            Expr::Ramp { base, stride, lanes } => {
+            Expr::Ramp {
+                base,
+                stride,
+                lanes,
+            } => {
                 let vb = self.eval(base)?;
                 let vs = self.eval(stride)?;
                 let inner = vb.lanes();
@@ -411,7 +431,13 @@ mod tests {
             "i",
             int(0),
             int(3),
-            allocate("tmp", ScalarType::F32, 4, MemoryType::Stack, store("tmp", int(0), flt(1.0))),
+            allocate(
+                "tmp",
+                ScalarType::F32,
+                4,
+                MemoryType::Stack,
+                store("tmp", int(0), flt(1.0)),
+            ),
         );
         it.exec(&s2).unwrap();
     }

@@ -145,10 +145,7 @@ pub fn dispatch(it: &mut Interp, name: &str, args: &[Expr], ty: Type) -> ExecRes
             let data = gather_matrix(it, &buf, base, ld, r, c)?;
             // f16 rounding happens in buffer storage; fragments reround in
             // case the source buffer is wider.
-            let data = data
-                .iter()
-                .map(|&v| hb_ir::numeric::round_f16(v))
-                .collect();
+            let data = data.iter().map(|&v| hb_ir::numeric::round_f16(v)).collect();
             Ok(Value::new(ty, data))
         }
         "wmma_mma" => {
@@ -294,7 +291,9 @@ fn tile_matmul(
     }
     let amx_err = |e: hb_accel::amx::AmxError| ExecError(e.to_string());
     it.amx.configure(0, m, n, TileDtype::F32).map_err(amx_err)?;
-    it.amx.configure(1, m, k, TileDtype::Bf16).map_err(amx_err)?;
+    it.amx
+        .configure(1, m, k, TileDtype::Bf16)
+        .map_err(amx_err)?;
     it.amx
         .configure(2, k / 2, 2 * n, TileDtype::Bf16)
         .map_err(amx_err)?;
@@ -333,13 +332,17 @@ fn wmma_mma(
     let mut fa = Fragment::new(FragmentKind::MatrixA, shape).map_err(werr)?;
     let mut fb = Fragment::new(FragmentKind::MatrixB, shape).map_err(werr)?;
     let mut fc = Fragment::new(FragmentKind::Accumulator, shape).map_err(werr)?;
-    fa.load(&a.to_f32(), k, MatrixLayout::RowMajor).map_err(werr)?;
-    fb.load(&b.to_f32(), n, MatrixLayout::RowMajor).map_err(werr)?;
-    fc.load(&c.to_f32(), n, MatrixLayout::RowMajor).map_err(werr)?;
+    fa.load(&a.to_f32(), k, MatrixLayout::RowMajor)
+        .map_err(werr)?;
+    fb.load(&b.to_f32(), n, MatrixLayout::RowMajor)
+        .map_err(werr)?;
+    fc.load(&c.to_f32(), n, MatrixLayout::RowMajor)
+        .map_err(werr)?;
     let mut fd = fc.clone();
     it.tc.mma_sync(&mut fd, &fa, &fb, &fc).map_err(werr)?;
     let mut out = vec![0.0f32; m * n];
-    fd.store(&mut out, n, MatrixLayout::RowMajor).map_err(werr)?;
+    fd.store(&mut out, n, MatrixLayout::RowMajor)
+        .map_err(werr)?;
     Ok(Value::new(
         Type::f32().with_lanes((m * n) as u32),
         out.into_iter().map(f64::from).collect(),
@@ -428,9 +431,15 @@ mod tests {
         let mut it = interp();
         let a: Vec<f64> = (0..m * k).map(|i| ((i % 13) - 6) as f64 * 0.25).collect();
         let b: Vec<f64> = (0..k * n).map(|i| ((i % 7) - 3) as f64 * 0.5).collect();
-        it.mem.alloc_init("A", ScalarType::BF16, MemoryType::Heap, &a).unwrap();
-        it.mem.alloc_init("Bv", ScalarType::BF16, MemoryType::Heap, &vnni(&b, k, n)).unwrap();
-        it.mem.alloc("C", ScalarType::F32, (m * n) as usize, MemoryType::Heap).unwrap();
+        it.mem
+            .alloc_init("A", ScalarType::BF16, MemoryType::Heap, &a)
+            .unwrap();
+        it.mem
+            .alloc_init("Bv", ScalarType::BF16, MemoryType::Heap, &vnni(&b, k, n))
+            .unwrap();
+        it.mem
+            .alloc("C", ScalarType::F32, (m * n) as usize, MemoryType::Heap)
+            .unwrap();
 
         let lanes_a = (m * k) as u32;
         let lanes_b = (k * n) as u32;
@@ -466,7 +475,10 @@ mod tests {
                     want += a[(mi * k + ki) as usize] * b[(ki * n + ni) as usize];
                 }
                 let g = got[(mi * n + ni) as usize];
-                assert!((g - want).abs() <= 0.02 * want.abs().max(1.0), "{g} vs {want}");
+                assert!(
+                    (g - want).abs() <= 0.02 * want.abs().max(1.0),
+                    "{g} vs {want}"
+                );
             }
         }
         assert_eq!(it.counters().tensor_fmas, (m * n * k) as u64);
@@ -489,9 +501,15 @@ mod tests {
         let mut it = interp();
         let a: Vec<f64> = (0..m * k).map(|i| ((i % 9) - 4) as f64 * 0.25).collect();
         let b: Vec<f64> = (0..k * n).map(|i| ((i % 5) - 2) as f64 * 0.5).collect();
-        it.mem.alloc_init("I", ScalarType::F16, MemoryType::Heap, &a).unwrap();
-        it.mem.alloc_init("K", ScalarType::F16, MemoryType::Heap, &b).unwrap();
-        it.mem.alloc("O", ScalarType::F32, (m * n) as usize, MemoryType::Heap).unwrap();
+        it.mem
+            .alloc_init("I", ScalarType::F16, MemoryType::Heap, &a)
+            .unwrap();
+        it.mem
+            .alloc_init("K", ScalarType::F16, MemoryType::Heap, &b)
+            .unwrap();
+        it.mem
+            .alloc("O", ScalarType::F32, (m * n) as usize, MemoryType::Heap)
+            .unwrap();
 
         let la = call(
             Type::f16().with_lanes((m * k) as u32),
@@ -542,11 +560,7 @@ mod tests {
             )
             .unwrap();
         // 4x2 matrix interleaved 2-way -> [1,3,2,4, 5,7,6,8].
-        let ld = load(
-            Type::f32().with_lanes(8),
-            "B",
-            ramp(int(0), int(1), 8),
-        );
+        let ld = load(Type::f32().with_lanes(8), "B", ramp(int(0), int(1), 8));
         let e = call(
             Type::f32().with_lanes(8),
             "kway_interleave",

@@ -201,7 +201,11 @@ impl Expr {
                 debug_assert_eq!(f.ty().lanes, tt.lanes);
                 tt
             }
-            Expr::Ramp { base, stride, lanes } => {
+            Expr::Ramp {
+                base,
+                stride,
+                lanes,
+            } => {
                 let tb = base.ty();
                 debug_assert_eq!(
                     tb.lanes,
@@ -335,7 +339,11 @@ impl Expr {
                 Box::new(t.rewrite_bottom_up(f)),
                 Box::new(e.rewrite_bottom_up(f)),
             ),
-            Expr::Ramp { base, stride, lanes } => Expr::Ramp {
+            Expr::Ramp {
+                base,
+                stride,
+                lanes,
+            } => Expr::Ramp {
                 base: Box::new(base.rewrite_bottom_up(f)),
                 stride: Box::new(stride.rewrite_bottom_up(f)),
                 lanes: *lanes,
@@ -394,10 +402,7 @@ mod tests {
     #[test]
     fn immediates_have_expected_types() {
         assert_eq!(Expr::IntImm(3).ty(), Type::i32());
-        assert_eq!(
-            Expr::FloatImm(1.5, ScalarType::F32).ty(),
-            Type::f32()
-        );
+        assert_eq!(Expr::FloatImm(1.5, ScalarType::F32).ty(), Type::f32());
     }
 
     #[test]
@@ -440,11 +445,7 @@ mod tests {
 
     #[test]
     fn uses_var_and_buffer() {
-        let e = load(
-            Type::f32().with_lanes(4),
-            "A",
-            ramp(var("x"), int(1), 4),
-        );
+        let e = load(Type::f32().with_lanes(4), "A", ramp(var("x"), int(1), 4));
         assert!(e.uses_var("x"));
         assert!(!e.uses_var("y"));
         assert!(e.uses_buffer("A"));

@@ -148,7 +148,11 @@ pub fn bounds(e: &Expr, env: &VarRanges) -> Option<Interval> {
             let f = bounds(f, env)?;
             Some(it.union(&f))
         }
-        Expr::Ramp { base, stride, lanes } => {
+        Expr::Ramp {
+            base,
+            stride,
+            lanes,
+        } => {
             let ib = bounds(base, env)?;
             let is = bounds(stride, env)?;
             let steps = i64::from(*lanes) - 1;

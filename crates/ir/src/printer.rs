@@ -34,7 +34,11 @@ impl fmt::Display for Expr {
                 }
             }
             Expr::Select(c, t, e) => write!(f, "select({c}, {t}, {e})"),
-            Expr::Ramp { base, stride, lanes } => write!(f, "ramp({base}, {stride}, {lanes})"),
+            Expr::Ramp {
+                base,
+                stride,
+                lanes,
+            } => write!(f, "ramp({base}, {stride}, {lanes})"),
             Expr::Broadcast { value, lanes } => write!(f, "x{lanes}({value})"),
             Expr::Load { buffer, index, .. } => write!(f, "{buffer}[{index}]"),
             Expr::VectorReduceAdd { lanes, value } => {
@@ -78,12 +82,25 @@ impl Stmt {
     fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
         let pad = "  ".repeat(indent);
         match self {
-            Stmt::Store { buffer, index, value } => {
+            Stmt::Store {
+                buffer,
+                index,
+                value,
+            } => {
                 writeln!(f, "{pad}{buffer}[{index}] = {value};")
             }
             Stmt::Evaluate(e) => writeln!(f, "{pad}evaluate({e});"),
-            Stmt::For { var, min, extent, kind, body } => {
-                writeln!(f, "{pad}{kind} ({var} = {min}; {var} < {min} + {extent}) {{")?;
+            Stmt::For {
+                var,
+                min,
+                extent,
+                kind,
+                body,
+            } => {
+                writeln!(
+                    f,
+                    "{pad}{kind} ({var} = {min}; {var} < {min} + {extent}) {{"
+                )?;
                 body.fmt_indented(f, indent + 1)?;
                 writeln!(f, "{pad}}}")
             }
@@ -93,7 +110,13 @@ impl Stmt {
                 }
                 Ok(())
             }
-            Stmt::Allocate { name, elem, size, memory, body } => {
+            Stmt::Allocate {
+                name,
+                elem,
+                size,
+                memory,
+                body,
+            } => {
                 writeln!(f, "{pad}allocate {name}[{elem} * {size}] in {memory} {{")?;
                 body.fmt_indented(f, indent + 1)?;
                 writeln!(f, "{pad}}}")

@@ -196,15 +196,18 @@ fn step(e: &Expr) -> Option<Expr> {
             // Pull broadcasts out of pointwise ops:
             // op(xN(a), xN(b)) -> xN(op(a, b)).
             if let (
-                Expr::Broadcast { value: va, lanes: la },
-                Expr::Broadcast { value: vb, lanes: lb },
+                Expr::Broadcast {
+                    value: va,
+                    lanes: la,
+                },
+                Expr::Broadcast {
+                    value: vb,
+                    lanes: lb,
+                },
             ) = (a.as_ref(), b.as_ref())
             {
                 if la == lb && va.lanes() == vb.lanes() {
-                    return Some(bcast(
-                        Expr::Binary(*op, va.clone(), vb.clone()),
-                        *la,
-                    ));
+                    return Some(bcast(Expr::Binary(*op, va.clone(), vb.clone()), *la));
                 }
             }
             None
@@ -214,12 +217,20 @@ fn step(e: &Expr) -> Option<Expr> {
             if *lanes == 1 {
                 return Some((**value).clone());
             }
-            if let Expr::Broadcast { value: inner, lanes: m } = value.as_ref() {
+            if let Expr::Broadcast {
+                value: inner,
+                lanes: m,
+            } = value.as_ref()
+            {
                 return Some(bcast((**inner).clone(), lanes * m));
             }
             None
         }
-        Expr::Ramp { base, stride, lanes } => {
+        Expr::Ramp {
+            base,
+            stride,
+            lanes,
+        } => {
             // ramp(b, s, 1) -> b
             if *lanes == 1 {
                 return Some((**base).clone());
@@ -233,7 +244,11 @@ fn step(e: &Expr) -> Option<Expr> {
             //            -> xN(xM(b)) + ramp(xM(0), s, n)
             // (skip when the broadcast value is already zero so the rewrite
             // terminates).
-            if let Expr::Broadcast { value: bv, lanes: m } = base.as_ref() {
+            if let Expr::Broadcast {
+                value: bv,
+                lanes: m,
+            } = base.as_ref()
+            {
                 if !bv.is_const_int(0) && !is_const_float(bv, 0.0) {
                     let inner_lanes = base.lanes();
                     let zero = zero_like(bv);
@@ -298,9 +313,7 @@ fn step(e: &Expr) -> Option<Expr> {
 fn divisible_by(e: &Expr, c: i64) -> bool {
     match e {
         Expr::IntImm(v) => v.rem_euclid(c) == 0,
-        Expr::Binary(BinOp::Add | BinOp::Sub, a, b) => {
-            divisible_by(a, c) && divisible_by(b, c)
-        }
+        Expr::Binary(BinOp::Add | BinOp::Sub, a, b) => divisible_by(a, c) && divisible_by(b, c),
         Expr::Binary(BinOp::Mul, a, b) => divisible_by(a, c) || divisible_by(b, c),
         _ => false,
     }
@@ -310,9 +323,7 @@ fn divisible_by(e: &Expr, c: i64) -> bool {
 fn div_exact(e: &Expr, c: i64) -> Option<Expr> {
     match e {
         Expr::IntImm(v) if v.rem_euclid(c) == 0 => Some(Expr::IntImm(v / c)),
-        Expr::Binary(BinOp::Add, a, b) => {
-            Some(add(div_exact(a, c)?, div_exact(b, c)?))
-        }
+        Expr::Binary(BinOp::Add, a, b) => Some(add(div_exact(a, c)?, div_exact(b, c)?)),
         Expr::Binary(BinOp::Mul, a, b) => {
             if let Some(qa) = div_exact(a, c) {
                 Some(mul_expr(qa, (**b).clone()))
@@ -451,7 +462,11 @@ mod tests {
 
     #[test]
     fn simplify_stmt_applies_everywhere() {
-        let s = store("out", ramp(add(int(1), int(2)), int(1), 4), bcast(flt(0.0), 4));
+        let s = store(
+            "out",
+            ramp(add(int(1), int(2)), int(1), 4),
+            bcast(flt(0.0), 4),
+        );
         let s2 = simplify_stmt(&s);
         match s2 {
             Stmt::Store { index, .. } => match index {

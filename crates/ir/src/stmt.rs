@@ -119,13 +119,23 @@ impl Stmt {
     #[must_use]
     pub fn map_exprs(&self, f: &mut dyn FnMut(&Expr) -> Expr) -> Stmt {
         match self {
-            Stmt::Store { buffer, index, value } => Stmt::Store {
+            Stmt::Store {
+                buffer,
+                index,
+                value,
+            } => Stmt::Store {
                 buffer: buffer.clone(),
                 index: f(index),
                 value: f(value),
             },
             Stmt::Evaluate(e) => Stmt::Evaluate(f(e)),
-            Stmt::For { var, min, extent, kind, body } => Stmt::For {
+            Stmt::For {
+                var,
+                min,
+                extent,
+                kind,
+                body,
+            } => Stmt::For {
                 var: var.clone(),
                 min: f(min),
                 extent: f(extent),
@@ -133,7 +143,13 @@ impl Stmt {
                 body: Box::new(body.map_exprs(f)),
             },
             Stmt::Block(stmts) => Stmt::Block(stmts.iter().map(|s| s.map_exprs(f)).collect()),
-            Stmt::Allocate { name, elem, size, memory, body } => Stmt::Allocate {
+            Stmt::Allocate {
+                name,
+                elem,
+                size,
+                memory,
+                body,
+            } => Stmt::Allocate {
                 name: name.clone(),
                 elem: *elem,
                 size: *size,
@@ -153,20 +169,29 @@ impl Stmt {
     pub fn rewrite_stmts_bottom_up(&self, f: &mut dyn FnMut(&Stmt) -> Option<Stmt>) -> Stmt {
         let with_children = match self {
             Stmt::Store { .. } | Stmt::Evaluate(_) => self.clone(),
-            Stmt::For { var, min, extent, kind, body } => Stmt::For {
+            Stmt::For {
+                var,
+                min,
+                extent,
+                kind,
+                body,
+            } => Stmt::For {
                 var: var.clone(),
                 min: min.clone(),
                 extent: extent.clone(),
                 kind: *kind,
                 body: Box::new(body.rewrite_stmts_bottom_up(f)),
             },
-            Stmt::Block(stmts) => Stmt::Block(
-                stmts
-                    .iter()
-                    .map(|s| s.rewrite_stmts_bottom_up(f))
-                    .collect(),
-            ),
-            Stmt::Allocate { name, elem, size, memory, body } => Stmt::Allocate {
+            Stmt::Block(stmts) => {
+                Stmt::Block(stmts.iter().map(|s| s.rewrite_stmts_bottom_up(f)).collect())
+            }
+            Stmt::Allocate {
+                name,
+                elem,
+                size,
+                memory,
+                body,
+            } => Stmt::Allocate {
                 name: name.clone(),
                 elem: *elem,
                 size: *size,
@@ -240,7 +265,13 @@ mod tests {
     #[test]
     fn rewrite_bottom_up_replaces_loops() {
         let s = sample().rewrite_stmts_bottom_up(&mut |s| match s {
-            Stmt::For { var, min, extent, body, .. } => Some(Stmt::For {
+            Stmt::For {
+                var,
+                min,
+                extent,
+                body,
+                ..
+            } => Some(Stmt::For {
                 var: var.clone(),
                 min: min.clone(),
                 extent: extent.clone(),

@@ -43,9 +43,7 @@ impl HExpr {
             HExpr::Call(_, args) => args.iter().any(|a| a.uses_var(name)),
             HExpr::Binary(_, a, b) => a.uses_var(name) || b.uses_var(name),
             HExpr::Cast(_, e) => e.uses_var(name),
-            HExpr::Select(c, t, f) => {
-                c.uses_var(name) || t.uses_var(name) || f.uses_var(name)
-            }
+            HExpr::Select(c, t, f) => c.uses_var(name) || t.uses_var(name) || f.uses_var(name),
         }
     }
 
@@ -174,7 +172,12 @@ impl ImageParam {
     /// Calls the image at the given indices (innermost first).
     #[must_use]
     pub fn at(&self, args: &[HExpr]) -> HExpr {
-        assert_eq!(args.len(), self.extents.len(), "arity mismatch for {}", self.name);
+        assert_eq!(
+            args.len(),
+            self.extents.len(),
+            "arity mismatch for {}",
+            self.name
+        );
         HExpr::Call(self.name.clone(), args.to_vec())
     }
 }
@@ -315,8 +318,16 @@ impl Func {
     /// Adds the update definition `f(dims) += rhs` over `rdom`.
     pub fn update_add(&self, rhs: HExpr, rdom: &RDom) {
         let mut inner = self.inner.borrow_mut();
-        assert!(inner.pure_def.is_some(), "{} needs a pure def first", inner.name);
-        assert!(inner.update.is_none(), "{} already has an update", inner.name);
+        assert!(
+            inner.pure_def.is_some(),
+            "{} needs a pure def first",
+            inner.name
+        );
+        assert!(
+            inner.update.is_none(),
+            "{} already has an update",
+            inner.name
+        );
         inner.update = Some(UpdateDef {
             rhs,
             rdom: rdom.clone(),
@@ -327,7 +338,12 @@ impl Func {
     #[must_use]
     pub fn at(&self, args: &[HExpr]) -> HExpr {
         let inner = self.inner.borrow();
-        assert_eq!(args.len(), inner.dims.len(), "arity mismatch for {}", inner.name);
+        assert_eq!(
+            args.len(),
+            inner.dims.len(),
+            "arity mismatch for {}",
+            inner.name
+        );
         HExpr::Call(inner.name.clone(), args.to_vec())
     }
 

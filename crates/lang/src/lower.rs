@@ -18,9 +18,7 @@ use hb_ir::types::{MemoryType, ScalarType, Type};
 
 use crate::ast::{ComputePlacement, Func, HExpr, Pipeline};
 use crate::schedule::{LoopKind, StageSchedule};
-use crate::vectorize::{
-    decompose_mod_div, mod_div_divisor, widen_stmt, LowerError, LowerResult,
-};
+use crate::vectorize::{decompose_mod_div, mod_div_divisor, widen_stmt, LowerError, LowerResult};
 
 /// One dimension of a realized region.
 #[derive(Debug, Clone)]
@@ -78,9 +76,9 @@ fn stage_ctx(
         recomb.insert(name.clone(), b::var(name));
     }
     for split in &sched.splits {
-        let old_extent = *extents.get(&split.old).ok_or_else(|| {
-            LowerError(format!("split of unknown variable {}", split.old))
-        })?;
+        let old_extent = *extents
+            .get(&split.old)
+            .ok_or_else(|| LowerError(format!("split of unknown variable {}", split.old)))?;
         if old_extent % split.factor != 0 {
             return Err(LowerError(format!(
                 "split of {} (extent {old_extent}) by non-dividing factor {}",
@@ -203,9 +201,10 @@ impl<'a> Lowerer<'a> {
                         "func {name} has an update and must be given a compute_at placement"
                     )));
                 }
-                let def = inner.pure_def.clone().ok_or_else(|| {
-                    LowerError(format!("inlined func {name} is undefined"))
-                })?;
+                let def = inner
+                    .pure_def
+                    .clone()
+                    .ok_or_else(|| LowerError(format!("inlined func {name} is undefined")))?;
                 let map: HashMap<String, HExpr> = inner
                     .dims
                     .iter()
@@ -301,9 +300,8 @@ impl<'a> Lowerer<'a> {
                 for (v, e) in &inner_vars {
                     ranges.insert(v.clone(), Interval::new(0, e - 1));
                 }
-                let iv = bounds(&idx, &ranges).ok_or_else(|| {
-                    LowerError(format!("cannot bound access {idx} to {pname}"))
-                })?;
+                let iv = bounds(&idx, &ranges)
+                    .ok_or_else(|| LowerError(format!("cannot bound access {idx} to {pname}")))?;
                 // Min: substitute inner vars by zero, keep outer symbolic.
                 let mut min = idx.clone();
                 for (v, _) in &inner_vars {
@@ -456,8 +454,7 @@ impl<'a> Lowerer<'a> {
                             let prod_stmt = self.realize(prod, r)?;
                             let pinner = prod.borrow();
                             let size: i64 = r.iter().map(|d| d.size).product();
-                            self.placements
-                                .insert(pinner.name.clone(), pinner.store_in);
+                            self.placements.insert(pinner.name.clone(), pinner.store_in);
                             body = b::allocate(
                                 &pinner.name,
                                 pinner.elem,
@@ -470,9 +467,8 @@ impl<'a> Lowerer<'a> {
                 }
                 match kind {
                     LoopKind::Vectorized => {
-                        let n = u32::try_from(*extent).map_err(|_| {
-                            LowerError(format!("vector extent {extent} too large"))
-                        })?;
+                        let n = u32::try_from(*extent)
+                            .map_err(|_| LowerError(format!("vector extent {extent} too large")))?;
                         let is_rvar = ctx.rvar_derived.get(var).copied().unwrap_or(false);
                         if is_rvar && !ctx.atomic {
                             return Err(LowerError(format!(
@@ -497,9 +493,9 @@ impl<'a> Lowerer<'a> {
                     LoopKind::Unrolled => {
                         let mut copies = Vec::with_capacity(*extent as usize);
                         for i in 0..*extent {
-                            copies.push(body.map_exprs(&mut |e| {
-                                simplify(&e.substitute(var, &b::int(i)))
-                            }));
+                            copies.push(
+                                body.map_exprs(&mut |e| simplify(&e.substitute(var, &b::int(i)))),
+                            );
                         }
                         body = b::block(copies);
                     }
@@ -535,15 +531,8 @@ fn qualify_schedule(s: &StageSchedule, fname: &str) -> StageSchedule {
                 factor: sp.factor,
             })
             .collect(),
-        order: s
-            .order
-            .as_ref()
-            .map(|o| o.iter().map(|v| q(v)).collect()),
-        kinds: s
-            .kinds
-            .iter()
-            .map(|(k, v)| (q(k), *v))
-            .collect(),
+        order: s.order.as_ref().map(|o| o.iter().map(|v| q(v)).collect()),
+        kinds: s.kinds.iter().map(|(k, v)| (q(k), *v)).collect(),
         atomic: s.atomic,
     }
 }
@@ -597,7 +586,13 @@ fn subst_hexpr(e: &HExpr, map: &HashMap<String, HExpr>) -> HExpr {
 /// Replaces unit-extent loops by binding the variable to its minimum.
 fn elide_unit_loops(s: &Stmt) -> Stmt {
     s.rewrite_stmts_bottom_up(&mut |st| match st {
-        Stmt::For { var, min, extent, body, .. } if extent.as_int() == Some(1) => {
+        Stmt::For {
+            var,
+            min,
+            extent,
+            body,
+            ..
+        } if extent.as_int() == Some(1) => {
             Some(body.map_exprs(&mut |e| simplify(&e.substitute(var, min))))
         }
         _ => None,
@@ -668,7 +663,9 @@ mod tests {
                 .find(|(n, _)| n == name)
                 .map(|(_, d)| d.clone())
                 .unwrap_or_else(|| vec![0.0; *len as usize]);
-            it.mem.alloc_init(name, *elem, MemoryType::Heap, &data).unwrap();
+            it.mem
+                .alloc_init(name, *elem, MemoryType::Heap, &data)
+                .unwrap();
         }
         it.mem
             .alloc(
@@ -836,13 +833,18 @@ mod tests {
             s.vectorize("x");
         });
         conv.stage_update(|s| {
-            s.reorder(&["rx", "x"]).atomic().vectorize("x").vectorize("rx");
+            s.reorder(&["rx", "x"])
+                .atomic()
+                .vectorize("x")
+                .vectorize("rx");
         });
         let out = Func::new("out", &["x"], ScalarType::F32);
         out.define(conv.at(&[hv("x")]));
         out.bound("x", 0, 256);
         out.stage_init(|s| {
-            s.split("x", "xo", "xi", 256).vectorize("xi").gpu_blocks("xo");
+            s.split("x", "xo", "xi", 256)
+                .vectorize("xi")
+                .gpu_blocks("xo");
         });
         conv.compute_at(&out, "xo");
         let p = Pipeline::new(&out, &[&conv], &[&img, &kern]);
@@ -863,11 +865,7 @@ mod tests {
         let got = run(&lowered, &[("I", i_data.clone()), ("K", k_data.clone())]);
         for x in 0..256usize {
             let want: f64 = (0..8).map(|r| k_data[r] * i_data[x + r]).sum();
-            assert!(
-                (got[x] - want).abs() < 1e-2,
-                "x={x}: {} vs {want}",
-                got[x]
-            );
+            assert!((got[x] - want).abs() < 1e-2, "x={x}: {} vs {want}", got[x]);
         }
     }
 }

@@ -68,7 +68,11 @@ pub fn affine_coeff(e: &Expr, v: &str) -> Option<Expr> {
             let cv = affine_coeff(value, v)?;
             Some(bcast(cv, *lanes))
         }
-        Expr::Ramp { base, stride, lanes } => {
+        Expr::Ramp {
+            base,
+            stride,
+            lanes,
+        } => {
             if stride.uses_var(v) {
                 return None;
             }
@@ -108,9 +112,10 @@ fn push_broadcast_inward(value: &Expr, lanes: u32) -> Option<Expr> {
             Box::new(bcast((**a).clone(), lanes)),
             Box::new(bcast((**b).clone(), lanes)),
         )),
-        Expr::Broadcast { value: inner, lanes: m } => {
-            Some(bcast((**inner).clone(), m * lanes))
-        }
+        Expr::Broadcast {
+            value: inner,
+            lanes: m,
+        } => Some(bcast((**inner).clone(), m * lanes)),
         _ => None,
     }
 }
@@ -170,9 +175,7 @@ pub fn widen_expr(e: &Expr, v: &str, min: i64, n: u32) -> LowerResult<Expr> {
         Expr::Ramp { .. } => Err(LowerError(format!(
             "non-affine ramp in vectorized index over {v}: {e}"
         ))),
-        other => Err(LowerError(format!(
-            "cannot vectorize {other} over {v}"
-        ))),
+        other => Err(LowerError(format!("cannot vectorize {other} over {v}"))),
     }
 }
 
@@ -185,7 +188,11 @@ pub fn widen_expr(e: &Expr, v: &str, min: i64, n: u32) -> LowerResult<Expr> {
 /// Fails on statements that cannot be vectorized over `v`.
 pub fn widen_stmt(s: &Stmt, v: &str, min: i64, n: u32) -> LowerResult<Stmt> {
     match s {
-        Stmt::Store { buffer, index, value } => {
+        Stmt::Store {
+            buffer,
+            index,
+            value,
+        } => {
             if index.uses_var(v) {
                 return Ok(Stmt::Store {
                     buffer: buffer.clone(),
@@ -195,20 +202,24 @@ pub fn widen_stmt(s: &Stmt, v: &str, min: i64, n: u32) -> LowerResult<Stmt> {
             }
             // Reduction vectorization: f[idx] = f[idx] + rhs, idx free of v.
             if let Expr::Binary(BinOp::Add, lhs, rhs) = value {
-                if let Expr::Load { buffer: b2, index: i2, .. } = lhs.as_ref() {
+                if let Expr::Load {
+                    buffer: b2,
+                    index: i2,
+                    ..
+                } = lhs.as_ref()
+                {
                     if b2 == buffer && i2.as_ref() == index && !lhs.uses_var(v) {
                         // Extend an existing reduction (second rvar lane
                         // level, e.g. after mod/div decomposition) instead
                         // of nesting vector_reduce_adds.
                         let reduced = match rhs.as_ref() {
-                            Expr::VectorReduceAdd { lanes, value: inner }
-                                if *lanes == index.lanes() =>
-                            {
-                                Expr::VectorReduceAdd {
-                                    lanes: *lanes,
-                                    value: Box::new(widen_expr(inner, v, min, n)?),
-                                }
-                            }
+                            Expr::VectorReduceAdd {
+                                lanes,
+                                value: inner,
+                            } if *lanes == index.lanes() => Expr::VectorReduceAdd {
+                                lanes: *lanes,
+                                value: Box::new(widen_expr(inner, v, min, n)?),
+                            },
                             _ => Expr::VectorReduceAdd {
                                 lanes: index.lanes(),
                                 value: Box::new(widen_expr(rhs, v, min, n)?),
@@ -316,16 +327,10 @@ mod tests {
     #[test]
     fn affine_coefficients() {
         let v = "x";
-        assert_eq!(
-            simplify(&affine_coeff(&b::var("x"), v).unwrap()),
-            b::int(1)
-        );
+        assert_eq!(simplify(&affine_coeff(&b::var("x"), v).unwrap()), b::int(1));
         let e = b::add(b::mul(b::var("x"), b::int(32)), b::var("r"));
         assert_eq!(simplify(&affine_coeff(&e, v).unwrap()), b::int(32));
-        assert_eq!(
-            simplify(&affine_coeff(&b::var("r"), v).unwrap()),
-            b::int(0)
-        );
+        assert_eq!(simplify(&affine_coeff(&b::var("r"), v).unwrap()), b::int(0));
         // Non-affine: x * x.
         assert!(affine_coeff(&b::mul(b::var("x"), b::var("x")), v).is_none());
     }
@@ -421,24 +426,52 @@ mod tests {
         // Scalar loop.
         let mut it1 = Interp::new();
         it1.mem
-            .alloc_init("g", hb_ir::types::ScalarType::F32, hb_ir::types::MemoryType::Heap, &g)
+            .alloc_init(
+                "g",
+                hb_ir::types::ScalarType::F32,
+                hb_ir::types::MemoryType::Heap,
+                &g,
+            )
             .unwrap();
         it1.mem
-            .alloc("f", hb_ir::types::ScalarType::F32, 16, hb_ir::types::MemoryType::Heap)
+            .alloc(
+                "f",
+                hb_ir::types::ScalarType::F32,
+                16,
+                hb_ir::types::MemoryType::Heap,
+            )
             .unwrap();
-        it1.exec(&b::for_serial("x", b::int(0), b::int(16), b::store("f", b::var("x"), val.clone())))
-            .unwrap();
+        it1.exec(&b::for_serial(
+            "x",
+            b::int(0),
+            b::int(16),
+            b::store("f", b::var("x"), val.clone()),
+        ))
+        .unwrap();
         // Vectorized.
         let mut it2 = Interp::new();
         it2.mem
-            .alloc_init("g", hb_ir::types::ScalarType::F32, hb_ir::types::MemoryType::Heap, &g)
+            .alloc_init(
+                "g",
+                hb_ir::types::ScalarType::F32,
+                hb_ir::types::MemoryType::Heap,
+                &g,
+            )
             .unwrap();
         it2.mem
-            .alloc("f", hb_ir::types::ScalarType::F32, 16, hb_ir::types::MemoryType::Heap)
+            .alloc(
+                "f",
+                hb_ir::types::ScalarType::F32,
+                16,
+                hb_ir::types::MemoryType::Heap,
+            )
             .unwrap();
         let w = widen_stmt(&b::store("f", b::var("x"), val), "x", 0, 16).unwrap();
         it2.exec(&w).unwrap();
-        assert_eq!(it1.mem.snapshot("f").unwrap(), it2.mem.snapshot("f").unwrap());
+        assert_eq!(
+            it1.mem.snapshot("f").unwrap(),
+            it2.mem.snapshot("f").unwrap()
+        );
     }
 
     #[test]

@@ -28,8 +28,14 @@ fn main() {
     let app_small = RecursiveFilter { tile: 1024, ..app };
     let (y_cuda, c_cuda) = app_small.run(&x, false);
     let (y_tc, c_tc) = app_small.run(&x, true);
-    println!("max rel error, tiled+SLA (CUDA) vs direct: {:.2e}", max_rel_error(&y_cuda, &direct));
-    println!("max rel error, tiled+SLA (WMMA) vs direct: {:.2e}", max_rel_error(&y_tc, &direct));
+    println!(
+        "max rel error, tiled+SLA (CUDA) vs direct: {:.2e}",
+        max_rel_error(&y_cuda, &direct)
+    );
+    println!(
+        "max rel error, tiled+SLA (WMMA) vs direct: {:.2e}",
+        max_rel_error(&y_tc, &direct)
+    );
     println!("tensor FMAs in the WMMA prefilter: {}\n", c_tc.tensor_fmas);
     let _ = c_cuda;
 

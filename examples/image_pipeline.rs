@@ -9,8 +9,14 @@ use hardboiled_repro::apps::conv1d::Conv1d;
 
 fn main() {
     let device = DeviceProfile::rtx4070_super();
-    println!("Conv1D on a 4096x4096 image (Fig. 5 shape), {}\n", device.name);
-    println!("{:>6} {:>14} {:>14} {:>9}", "k", "TC (ms)", "CUDA (ms)", "speedup");
+    println!(
+        "Conv1D on a 4096x4096 image (Fig. 5 shape), {}\n",
+        device.name
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "k", "TC (ms)", "CUDA (ms)", "speedup"
+    );
     for k in [8i64, 32, 56] {
         let k8 = (k + 7) / 8 * 8; // schedules need multiples of 8 taps
         let tc = estimate(&Conv1d::fig5_counters(k8, true), &device);

@@ -9,7 +9,10 @@ use hardboiled_repro::apps::harness::max_rel_error;
 
 fn main() {
     let app = Conv1d { n: 4096, k: 32 };
-    println!("1-D convolution, n = {}, k = {} taps (f16 in, f32 out)\n", app.n, app.k);
+    println!(
+        "1-D convolution, n = {}, k = {} taps (f16 in, f32 out)\n",
+        app.n, app.k
+    );
 
     let reference = app.reference();
     let device = DeviceProfile::rtx4070_super();

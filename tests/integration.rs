@@ -33,7 +33,10 @@ fn conv1d_speedup_shape_on_rtx4070s() {
     };
     let speedup_small = t(8, false) / t(8, true);
     let speedup_large = t(160, false) / t(160, true);
-    assert!(speedup_large > speedup_small, "{speedup_small} !< {speedup_large}");
+    assert!(
+        speedup_large > speedup_small,
+        "{speedup_small} !< {speedup_large}"
+    );
     assert!(speedup_large > 1.8, "large kernels must win clearly");
 }
 
@@ -69,9 +72,17 @@ fn amx_standard_layout_swizzle_is_injected_not_scheduled() {
 #[test]
 fn gemm_wmma_and_amx_agree_on_the_same_problem() {
     // Same logical MatMul through two different accelerators.
-    let wmma = GemmWmma { m: 32, k: 32, n: 32 };
+    let wmma = GemmWmma {
+        m: 32,
+        k: 32,
+        n: 32,
+    };
     let r_wmma = wmma.run(true);
-    let amx = AmxMatmul { m: 32, k: 32, n: 32 };
+    let amx = AmxMatmul {
+        m: 32,
+        k: 32,
+        n: 32,
+    };
     let r_amx = amx.run(Layout::Standard, Variant::Reference).unwrap();
     assert!(r_wmma.selection.as_ref().unwrap().all_lowered());
     assert!(r_amx.selection.as_ref().unwrap().all_lowered());

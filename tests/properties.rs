@@ -41,14 +41,19 @@ fn arb_scalar_expr() -> impl Strategy<Value = Expr> {
 /// outermost level (scalar, ramp, broadcast, or a two-level nest — the
 /// shapes HARDBOILED cares about). Operand lanes always agree.
 fn arb_int_expr() -> impl Strategy<Value = Expr> {
-    (arb_scalar_expr(), arb_scalar_expr(), 0u8..4, 2u32..5, 2u32..5).prop_map(
-        |(a, stride, shape, n, m)| match shape {
+    (
+        arb_scalar_expr(),
+        arb_scalar_expr(),
+        0u8..4,
+        2u32..5,
+        2u32..5,
+    )
+        .prop_map(|(a, stride, shape, n, m)| match shape {
             0 => a,
             1 => b::ramp(a, stride, n),
             2 => b::bcast(a, n),
             _ => b::ramp(b::bcast(a, m), b::bcast(stride, m), n),
-        },
-    )
+        })
 }
 
 fn eval_lanes(e: &Expr, x: i64, y: i64) -> Option<Vec<f64>> {
