@@ -110,7 +110,7 @@ impl RecursiveFilter {
                 // matrix of F (same mapping as §V-A, taps padded to 8).
                 conv_on_wmma(&x[..=lo + self.tile - 1], lo, &f, &mut w, &mut tc);
             } else {
-                for i in 0..self.tile {
+                for (i, wi) in w.iter_mut().enumerate() {
                     let gi = lo + i;
                     let mut acc = 0.0;
                     for (j, &fj) in f.iter().enumerate() {
@@ -118,13 +118,13 @@ impl RecursiveFilter {
                             acc += fj * x[gi - j];
                         }
                     }
-                    w[i] = acc;
+                    *wi = acc;
                 }
                 counters.cuda_flops += (self.tile * ftaps * 2) as u64;
             }
             // Dilated recursion (d independent chains — the intra-block
             // parallelism).
-            for i in 0..self.tile {
+            for (i, &wi) in w.iter().enumerate() {
                 let gi = lo + i;
                 let y1 = if i >= self.d { y[gi - self.d] } else { 0.0 };
                 let y2 = if i >= 2 * self.d {
@@ -132,7 +132,7 @@ impl RecursiveFilter {
                 } else {
                     0.0
                 };
-                y[gi] = w[i] + ap * y1 + bp * y2;
+                y[gi] = wi + ap * y1 + bp * y2;
             }
             counters.cuda_flops += (self.tile * 4) as u64;
         }
@@ -166,11 +166,11 @@ impl RecursiveFilter {
                 counters.cuda_flops += (ftaps * ftaps) as u64;
             }
             // Recursion boundary: add homogeneous response of carried state.
-            for i in 0..self.tile {
+            for (i, ai) in alpha.iter().enumerate().take(self.tile) {
                 let gi = lo + i;
                 let mut adj = 0.0;
                 for s in 0..2 * self.d {
-                    adj += alpha[i][s] * carry[s];
+                    adj += ai[s] * carry[s];
                 }
                 y[gi] += adj;
                 let _ = &beta;

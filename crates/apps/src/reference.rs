@@ -145,9 +145,9 @@ pub fn lanczos_resample(input: &[f64], n_out: usize) -> Vec<f64> {
             let hi = ((center + radius).ceil() as usize).min(n_in - 1);
             let mut acc = 0.0;
             let mut wsum = 0.0;
-            for i in lo..=hi {
+            for (i, &xi) in input.iter().enumerate().take(hi + 1).skip(lo) {
                 let w = lanczos3((i as f64 - center) / ratio);
-                acc += w * input[i];
+                acc += w * xi;
                 wsum += w;
             }
             if wsum.abs() > 1e-12 {

@@ -41,7 +41,7 @@ impl BlockSparseFilter {
         let blocks = n_out.div_ceil(block);
         let mut starts = vec![0usize; blocks];
         let mut width = 0usize;
-        for bi in 0..blocks {
+        for (bi, start) in starts.iter_mut().enumerate() {
             let r0 = bi * block;
             let r1 = (r0 + block - 1).min(n_out - 1);
             let lo = (((r0 as f64 + 0.5) * ratio - 0.5) - 3.0 * ratio)
@@ -49,7 +49,7 @@ impl BlockSparseFilter {
                 .max(0.0) as usize;
             let hi =
                 ((((r1 as f64 + 0.5) * ratio - 0.5) + 3.0 * ratio).ceil() as usize).min(n_in - 1);
-            starts[bi] = lo;
+            *start = lo;
             width = width.max(hi - lo + 1).max(support);
         }
         let width = width.next_multiple_of(16);

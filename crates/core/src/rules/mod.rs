@@ -65,3 +65,32 @@ pub fn main_rules() -> Vec<Rw> {
 pub fn supporting_rules() -> Vec<Rw> {
     supporting::rules()
 }
+
+/// The full rule schedule (main + supporting), built — and its queries
+/// compiled — once and shared across every leaf statement of a `select()`
+/// call. Rule construction compiles a few dozen queries; doing it per leaf
+/// used to dominate small-statement selection.
+pub struct RuleSet {
+    /// Main rules (axiomatic + app-specific + lowering), run in the outer
+    /// phased iterations.
+    pub main: Vec<Rw>,
+    /// Supporting rules, saturated between main iterations.
+    pub support: Vec<Rw>,
+}
+
+impl RuleSet {
+    /// Builds (and compiles) the complete rule schedule.
+    #[must_use]
+    pub fn build() -> Self {
+        RuleSet {
+            main: main_rules(),
+            support: supporting_rules(),
+        }
+    }
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        Self::build()
+    }
+}

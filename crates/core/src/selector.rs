@@ -6,21 +6,47 @@
 //! (4) extracts the cheapest equivalent program under the §III-D3 cost
 //! model, and (5) post-processes `ExprVar` materializations — then splices
 //! the result back into the surrounding loop nest.
+//!
+//! ## Per-leaf vs. batched mode
+//!
+//! The default mode builds **one e-graph per leaf statement**. The batched
+//! mode ([`SelectorConfig::batched`] / [`select_batched`]) instead encodes
+//! *every* accelerator-touching leaf of the program into **one shared
+//! e-graph** — hash-consing deduplicates subterms shared across leaves
+//! (index algebra, types, common loads), each leaf keeping its own root
+//! e-class — runs the phased rule schedule **once** over the merged graph,
+//! then extracts and decodes each root independently and splices the
+//! results back into their loop nests in traversal order.
+//!
+//! Batched mode is where the engine's incrementality pays off: the rule
+//! set's fixed costs (per-rule delta bookkeeping, supporting-rule
+//! fixpoints, rebuilds) are paid once per program instead of once per
+//! leaf, and saturated phases cost almost nothing thanks to delta search.
+//! The selected programs are identical to the per-leaf path on every
+//! workload in `crates/apps` (asserted by the `eqsat_saturation` bench and
+//! the root `batched_equivalence` tests): saturation discovers the same
+//! equivalences either way, and extraction tie-breaks are
+//! content-deterministic, not id-order-dependent.
+//!
+//! Both modes build the rewrite-rule schedule ([`rules::RuleSet`]) once per
+//! [`select`] call — rule construction compiles dozens of queries and used
+//! to be re-done per leaf.
 
 use std::time::{Duration, Instant};
 
 use hb_egraph::extract::Extractor;
 use hb_egraph::schedule::{RunReport, Runner};
+use hb_egraph::unionfind::Id;
 use hb_ir::expr::Expr;
 use hb_ir::stmt::Stmt;
 
 use crate::cost::HbCost;
 use crate::decode::decode_stmt;
 use crate::encode::encode_stmt;
-use crate::lang::HbGraph;
+use crate::lang::{HbAnalysis, HbGraph, HbLang};
 use crate::movement::{annotate_stmt, collect_placements, Placements};
 use crate::postprocess::materialize_stmt;
-use crate::rules;
+use crate::rules::RuleSet;
 
 /// Configuration of the selector.
 #[derive(Debug, Clone)]
@@ -29,6 +55,9 @@ pub struct SelectorConfig {
     pub outer_iters: usize,
     /// Saturation limits.
     pub runner: Runner,
+    /// Saturate all leaf statements in one shared e-graph instead of one
+    /// e-graph per leaf (see the module docs).
+    pub batched: bool,
 }
 
 impl Default for SelectorConfig {
@@ -36,6 +65,21 @@ impl Default for SelectorConfig {
         SelectorConfig {
             outer_iters: 8,
             runner: Runner::new(16, 200_000),
+            batched: false,
+        }
+    }
+}
+
+impl SelectorConfig {
+    /// The batched (shared e-graph) configuration: same outer-iteration
+    /// budget, a node limit sized for whole programs rather than single
+    /// leaves.
+    #[must_use]
+    pub fn batched() -> Self {
+        SelectorConfig {
+            outer_iters: 8,
+            runner: Runner::new(16, 500_000),
+            batched: true,
         }
     }
 }
@@ -56,6 +100,10 @@ pub struct StmtReport {
 pub struct SelectionReport {
     /// Per-statement outcomes (only statements that were saturated).
     pub stmts: Vec<StmtReport>,
+    /// The shared-graph saturation report when the batched mode ran (the
+    /// per-statement `eqsat` reports are then empty defaults — the work
+    /// happened once, here).
+    pub batch: Option<RunReport>,
     /// Total time spent inside equality saturation (the paper's Fig. 6
     /// "egglog" series).
     pub eqsat_time: Duration,
@@ -97,27 +145,50 @@ fn stmt_has_movement(s: &Stmt) -> bool {
     found
 }
 
+/// Whether the (annotated) statement is a leaf the selector must saturate:
+/// a `Store`/`Evaluate` containing data movement.
+fn is_selection_leaf(s: &Stmt) -> bool {
+    match s {
+        Stmt::Store { index, value, .. } => expr_has_movement(index) || expr_has_movement(value),
+        Stmt::Evaluate(e) => expr_has_movement(e),
+        _ => false,
+    }
+}
+
+/// Extracts, decodes and post-processes one saturated root back into a
+/// statement (falling back to the original on undecodable terms).
+fn readout(
+    extractor: &Extractor<'_, HbLang, HbAnalysis, HbCost>,
+    root: Id,
+    original: &Stmt,
+) -> Stmt {
+    let term = extractor.extract(root);
+    let decoded = match decode_stmt(&term) {
+        Ok(s) => s,
+        Err(_) => original.clone(),
+    };
+    materialize_stmt(&decoded)
+}
+
 /// Runs instruction selection on one annotated leaf statement.
-fn select_leaf(stmt: &Stmt, config: &SelectorConfig, report: &mut SelectionReport) -> Stmt {
+fn select_leaf(
+    stmt: &Stmt,
+    config: &SelectorConfig,
+    rules: &RuleSet,
+    report: &mut SelectionReport,
+) -> Stmt {
     let started = Instant::now();
     let mut eg = HbGraph::default();
     crate::rules::app_specific::declare_relations(&mut eg);
     let root = encode_stmt(&mut eg, stmt);
-    let main = rules::main_rules();
-    let support = rules::supporting_rules();
     let eqsat_started = Instant::now();
     let run = config
         .runner
-        .run_phased(&mut eg, &main, &support, config.outer_iters);
+        .run_phased(&mut eg, &rules.main, &rules.support, config.outer_iters);
     report.eqsat_time += eqsat_started.elapsed();
 
     let extractor = Extractor::new(&eg, HbCost);
-    let term = extractor.extract(root);
-    let decoded = match decode_stmt(&term) {
-        Ok(s) => s,
-        Err(_) => stmt.clone(),
-    };
-    let materialized = materialize_stmt(&decoded);
+    let materialized = readout(&extractor, root, stmt);
     let lowered = !stmt_has_movement(&materialized);
     report.stmts.push(StmtReport {
         original: stmt.to_string(),
@@ -128,41 +199,152 @@ fn select_leaf(stmt: &Stmt, config: &SelectorConfig, report: &mut SelectionRepor
     materialized
 }
 
+/// Annotates the tree with data movements (the shared front half of both
+/// selection modes).
+fn annotate(stmt: &Stmt, extra_placements: &Placements) -> Stmt {
+    let mut placements = collect_placements(stmt);
+    for (k, v) in extra_placements {
+        placements.insert(k.clone(), *v);
+    }
+    annotate_stmt(stmt, &placements)
+}
+
 /// Runs HARDBOILED over a whole statement tree.
 ///
 /// `extra_placements` supplements the placements discoverable from
 /// `Allocate` nodes (for buffers allocated outside the tree, e.g. pipeline
-/// outputs).
+/// outputs). With [`SelectorConfig::batched`] set this dispatches to the
+/// shared-e-graph mode of [`select_batched`].
 #[must_use]
 pub fn select(
     stmt: &Stmt,
     extra_placements: &Placements,
     config: &SelectorConfig,
 ) -> (Stmt, SelectionReport) {
-    let mut placements = collect_placements(stmt);
-    for (k, v) in extra_placements {
-        placements.insert(k.clone(), *v);
+    if config.batched {
+        return select_batched(stmt, extra_placements, config);
     }
-    let annotated = annotate_stmt(stmt, &placements);
+    let annotated = annotate(stmt, extra_placements);
+    // Built on the first leaf: programs without accelerator-touching
+    // leaves pay nothing for rule construction.
+    let mut rules: Option<RuleSet> = None;
     let mut report = SelectionReport::default();
-    let out = annotated.rewrite_stmts_bottom_up(&mut |s| match s {
-        Stmt::Store { index, value, .. } => {
-            if expr_has_movement(index) || expr_has_movement(value) {
-                Some(select_leaf(s, config, &mut report))
-            } else {
-                None
-            }
-        }
-        Stmt::Evaluate(e) => {
-            if expr_has_movement(e) {
-                Some(select_leaf(s, config, &mut report))
-            } else {
-                None
-            }
-        }
-        _ => None,
+    let out = annotated.rewrite_stmts_bottom_up(&mut |s| {
+        is_selection_leaf(s).then(|| {
+            let rules = rules.get_or_insert_with(RuleSet::build);
+            select_leaf(s, config, rules, &mut report)
+        })
     });
     (out, report)
+}
+
+/// Whole-program selection in one shared e-graph: every
+/// accelerator-touching leaf is encoded into a single graph (per-leaf root
+/// e-classes, cross-leaf subterm deduplication), the phased schedule runs
+/// once, and each root is extracted/decoded/post-processed independently
+/// before being spliced back into its loop nest. Selected programs are
+/// identical to the per-leaf path; the saturation cost is paid once per
+/// program. Callers normally go through [`select`] with
+/// [`SelectorConfig::batched`].
+#[must_use]
+pub fn select_batched(
+    stmt: &Stmt,
+    extra_placements: &Placements,
+    config: &SelectorConfig,
+) -> (Stmt, SelectionReport) {
+    let (mut outs, report) = select_batched_many(&[(stmt, extra_placements)], config);
+    (outs.pop().expect("one program in, one program out"), report)
+}
+
+/// Batch compilation: whole-*suite* selection in one shared e-graph. Every
+/// accelerator-touching leaf of every program is encoded into a single
+/// graph and saturated together — rewrites are universally valid term
+/// equivalences, so leaves from different programs share subterm classes
+/// soundly, and the rule set's fixed costs plus the saturation are paid
+/// once for the entire batch. Returns the selected programs in input
+/// order and a single report whose `stmts` concatenate the programs'
+/// leaves (also in order).
+#[must_use]
+pub fn select_batched_many(
+    programs: &[(&Stmt, &Placements)],
+    config: &SelectorConfig,
+) -> (Vec<Stmt>, SelectionReport) {
+    let total_started = Instant::now();
+    let mut report = SelectionReport::default();
+    let annotated: Vec<Stmt> = programs
+        .iter()
+        .map(|(stmt, extra)| annotate(stmt, extra))
+        .collect();
+
+    // Pass 1: collect each program's leaves. `for_each_stmt` visits leaf
+    // statements in the same left-to-right order as the bottom-up rewrite
+    // used for splicing below (leaves have no statement children), without
+    // rebuilding the tree.
+    let mut leaves: Vec<Stmt> = Vec::new();
+    let mut leaf_counts: Vec<usize> = Vec::with_capacity(annotated.len());
+    for tree in &annotated {
+        let before = leaves.len();
+        tree.for_each_stmt(&mut |s| {
+            if is_selection_leaf(s) {
+                leaves.push(s.clone());
+            }
+        });
+        leaf_counts.push(leaves.len() - before);
+    }
+    if leaves.is_empty() {
+        report.total_time = total_started.elapsed();
+        return (annotated, report);
+    }
+
+    // One shared graph for every leaf of every program; hash-consing dedups
+    // common subterms across programs.
+    let rules = RuleSet::build();
+    let mut eg = HbGraph::default();
+    crate::rules::app_specific::declare_relations(&mut eg);
+    let roots: Vec<Id> = leaves.iter().map(|s| encode_stmt(&mut eg, s)).collect();
+
+    let eqsat_started = Instant::now();
+    let run = config
+        .runner
+        .run_phased(&mut eg, &rules.main, &rules.support, config.outer_iters);
+    report.eqsat_time = eqsat_started.elapsed();
+
+    // One cost table serves every root.
+    let extractor = Extractor::new(&eg, HbCost);
+    let selected: Vec<Stmt> = roots
+        .iter()
+        .zip(&leaves)
+        .map(|(&root, original)| {
+            let materialized = readout(&extractor, root, original);
+            report.stmts.push(StmtReport {
+                original: original.to_string(),
+                lowered: !stmt_has_movement(&materialized),
+                eqsat: RunReport::default(),
+            });
+            materialized
+        })
+        .collect();
+    report.batch = Some(run);
+
+    // Pass 2: splice each program's results back, in traversal order.
+    let mut outs = Vec::with_capacity(annotated.len());
+    let mut next = 0usize;
+    for (tree, &count) in annotated.iter().zip(&leaf_counts) {
+        let end = next + count;
+        let out = tree.rewrite_stmts_bottom_up(&mut |s| {
+            if is_selection_leaf(s) {
+                let replacement = selected[next].clone();
+                next += 1;
+                Some(replacement)
+            } else {
+                None
+            }
+        });
+        debug_assert_eq!(next, end, "leaf traversal order diverged");
+        outs.push(out);
+    }
+    report.total_time = total_started.elapsed();
+    (outs, report)
 }
 
 /// Convenience wrapper with default configuration and no extra placements.

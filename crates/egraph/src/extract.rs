@@ -54,6 +54,16 @@ impl<L: Language, F: Fn(&L) -> u64> CostFunction<L> for FnCost<F> {
 /// the e-graph's parent edges. Leaves settle first, then their parents —
 /// the classic egg algorithm — instead of repeated full passes to a
 /// fixpoint, which re-scanned every class per improvement wave.
+///
+/// Equal-cost ties are broken by **content**, not by e-class ids: after the
+/// cost table settles, a canonicalization pass re-picks each class's
+/// representative as the minimum-cost node with the smallest
+/// `(op_key, children…)` term ([`Language::op_key`] digests only the
+/// operator and payload), comparing children recursively by their (already
+/// canonical) representatives. Two e-graphs holding the same equivalences
+/// therefore extract the *same term* regardless of how their ids were
+/// assigned — which is what lets batched/shared-graph users (and re-runs)
+/// get byte-identical output.
 pub struct Extractor<'a, L: Language, N: Analysis<L>, C: CostFunction<L>> {
     egraph: &'a EGraph<L, N>,
     cost_fn: C,
@@ -70,6 +80,7 @@ impl<'a, L: Language, N: Analysis<L>, C: CostFunction<L>> Extractor<'a, L, N, C>
             best: HashMap::new(),
         };
         ex.solve();
+        ex.canonicalize_ties();
         ex
     }
 
@@ -149,6 +160,143 @@ impl<'a, L: Language, N: Analysis<L>, C: CostFunction<L>> Extractor<'a, L, N, C>
                 }
             }
         }
+    }
+
+    /// Cost of one node under the settled table, or `None` if a child has
+    /// no constructible term.
+    fn node_cost(&self, node: &L) -> Option<u64> {
+        let mut feasible = true;
+        let best = &self.best;
+        let egraph = self.egraph;
+        let cost = self
+            .cost_fn
+            .cost(node, &mut |cid| match best.get(&egraph.find(cid)) {
+                Some((c, _)) => *c,
+                None => {
+                    feasible = false;
+                    u64::MAX / 4
+                }
+            });
+        feasible.then_some(cost)
+    }
+
+    /// Re-picks each class's representative among its minimum-cost nodes by
+    /// content order (see the type docs). Classes are finalized in
+    /// ascending cost order: any cost function whose nodes cost strictly
+    /// more than their children (true of [`AstSize`] and everything built
+    /// on additive positive weights) then guarantees a node's children are
+    /// already final when the node is compared.
+    fn canonicalize_ties(&mut self) {
+        let mut order: Vec<(u64, Id)> = self.best.iter().map(|(&id, &(c, _))| (c, id)).collect();
+        order.sort_unstable();
+        // Class-vs-class orderings recur under every tied parent; memoize
+        // them across the pass.
+        let mut memo: HashMap<(Id, Id), std::cmp::Ordering> = HashMap::new();
+        for (cost, id) in order {
+            let class = self.egraph.class(id);
+            if class.nodes.len() <= 1 {
+                continue; // nothing to tie-break, table entry is already it
+            }
+            let mut winner: Option<L> = None;
+            for node in &class.nodes {
+                if self.node_cost(node) != Some(cost) {
+                    continue;
+                }
+                // The determinism argument needs strict monotonicity: a
+                // min-cost node's children must already be finalized, i.e.
+                // strictly cheaper than this class. Nodes violating it
+                // (possible only under non-monotone cost functions, e.g.
+                // zero own-cost nodes — where a node can even be its own
+                // descendant) are skipped so the pass never installs a
+                // representative extraction could cycle through; if no
+                // node qualifies, the solve() winner stands.
+                if !node.children().iter().all(|&c| {
+                    self.best
+                        .get(&self.egraph.find(c))
+                        .is_some_and(|(child_cost, _)| *child_cost < cost)
+                }) {
+                    continue;
+                }
+                let better = match &winner {
+                    None => true,
+                    Some(w) => self.cmp_nodes(node, w, cost, &mut memo) == std::cmp::Ordering::Less,
+                };
+                if better {
+                    winner = Some(node.clone());
+                }
+            }
+            if let Some(node) = winner {
+                self.best.insert(id, (cost, node));
+            }
+        }
+    }
+
+    /// Content order on two nodes of the same class (or of classes already
+    /// compared equal): operator key (a content-only payload digest —
+    /// deterministic across graphs, unlike e-class ids), then arity, then
+    /// children pairwise by their canonical representatives. `limit` is
+    /// the cost of the class the nodes belong to; comparisons only descend
+    /// into strictly cheaper classes (see [`Extractor::cmp_classes`]).
+    fn cmp_nodes(
+        &self,
+        a: &L,
+        b: &L,
+        limit: u64,
+        memo: &mut HashMap<(Id, Id), std::cmp::Ordering>,
+    ) -> std::cmp::Ordering {
+        a.op_key()
+            .cmp(&b.op_key())
+            .then(a.children().len().cmp(&b.children().len()))
+            .then_with(|| {
+                for (&ca, &cb) in a.children().iter().zip(b.children()) {
+                    let ord = self.cmp_classes(ca, cb, limit, memo);
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+    }
+
+    /// Content order on two classes: best cost first, then the canonical
+    /// representatives recursively. Descent is gated on the classes being
+    /// strictly cheaper than `limit` (the cost of the class whose nodes
+    /// are being compared), so every recursion strictly decreases the
+    /// cost and terminates even under a non-monotone cost function —
+    /// where a solve()-installed representative may reference equal-cost
+    /// classes cyclically. Under such functions equal-cost chains compare
+    /// `Equal` here (no content guarantee, which is documented to require
+    /// monotonicity); under monotone ones the gate never triggers.
+    fn cmp_classes(
+        &self,
+        a: Id,
+        b: Id,
+        limit: u64,
+        memo: &mut HashMap<(Id, Id), std::cmp::Ordering>,
+    ) -> std::cmp::Ordering {
+        let a = self.egraph.find(a);
+        let b = self.egraph.find(b);
+        if a == b {
+            return std::cmp::Ordering::Equal;
+        }
+        if let Some(&ord) = memo.get(&(a, b)) {
+            return ord;
+        }
+        let ord = match (self.best.get(&a), self.best.get(&b)) {
+            (Some((ca, na)), Some((cb, nb))) => ca.cmp(cb).then_with(|| {
+                if *ca >= limit {
+                    std::cmp::Ordering::Equal
+                } else {
+                    self.cmp_nodes(na, nb, *ca, memo)
+                }
+            }),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => std::cmp::Ordering::Equal,
+        };
+        memo.insert((a, b), ord);
+        memo.insert((b, a), ord.reverse());
+        ord
     }
 
     /// Best cost for a class, if any term is constructible.

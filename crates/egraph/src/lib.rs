@@ -14,9 +14,10 @@
 //!
 //! ## Performance design
 //!
-//! The engine keeps every hot path indexed and incremental (measured ~5–6x
-//! end-to-end saturation speedup over the retained naive reference on
-//! ~1k-class workloads; see `BENCH_eqsat.json` at the repo root):
+//! The engine keeps every hot path indexed and incremental (measured
+//! ~6.5–7x end-to-end saturation speedup over the retained naive reference
+//! on ~1.8k-class whole-program workloads; see `BENCH_eqsat.json` at the
+//! repo root):
 //!
 //! * **Interned substitutions.** [`pattern::Pattern::compile`] /
 //!   [`rewrite::Query::compile`] intern variables to `u32` slots once;
@@ -25,6 +26,14 @@
 //!   string-keyed `get`/`bind` API as a compatibility shim for rule
 //!   appliers (a linear scan of the shared name table — patterns bind a
 //!   handful of variables).
+//!
+//! * **Reusable binding buffers.** Match loops draw every binding row and
+//!   row list from a [`pattern::MatchScratch`] arena and return dead
+//!   buffers to it, so steady-state matching does not allocate per
+//!   candidate. The scheduler holds one scratch per saturation run and
+//!   threads it through every rule's search (`*_with` / `run_delta` entry
+//!   points); rows only leave the arena when they graduate into
+//!   [`pattern::Subst`]s handed to appliers.
 //!
 //! * **Operator index.** [`egraph::EGraph`] maintains `op_key → classes`
 //!   rows ([`language::Language::op_key`] is a payload-aware discriminant;
@@ -49,9 +58,24 @@
 //!   that rule last ran; saturated phases cost almost nothing. Soundness
 //!   and the fallbacks are documented in [`schedule`].
 //!
-//! * **Worklist extraction.** [`extract::Extractor`] solves costs by
-//!   parent-propagation from the leaves up instead of repeated full passes
-//!   to a fixpoint.
+//! * **Semi-naive relation queries.** Queries that join relation atoms or
+//!   fresh-variable pattern atoms (not coverable by a single root probe)
+//!   are delta-evaluated Datalog-style: [`relation::Relations`] stamps
+//!   every tuple with the tick of its last change (insertion *or*
+//!   canonicalization rewrite), and [`rewrite::CompiledQuery::search_delta`]
+//!   runs one join round per atom with that atom restricted to — and the
+//!   join re-ordered to start from — its delta. Empty-delta rounds are
+//!   skipped outright, so these rules too cost nearly nothing at
+//!   quiescence, where they previously re-ran a full join every pass.
+//!
+//! * **Worklist extraction, content-deterministic ties.**
+//!   [`extract::Extractor`] solves costs by parent-propagation from the
+//!   leaves up instead of repeated full passes to a fixpoint, then
+//!   finalizes equal-cost ties by *content* (operator key + recursive
+//!   child comparison, memoized) rather than by e-class id order — two
+//!   graphs holding the same equivalences extract identical terms however
+//!   their ids were assigned, which is what lets the selector's shared
+//!   (batched) e-graph mode reproduce the per-leaf output byte for byte.
 //!
 //! The pre-overhaul naive matcher is retained
 //! ([`pattern::Pattern::search`], [`rewrite::Query::search`],
@@ -105,7 +129,7 @@ pub mod unionfind;
 pub use egraph::{Analysis, EClass, EGraph};
 pub use extract::{AstSize, CostFunction, Extractor, FnCost};
 pub use language::{Language, RecExpr};
-pub use pattern::{CompiledPattern, Pattern, Subst};
+pub use pattern::{CompiledPattern, MatchScratch, Pattern, Subst};
 pub use relation::Relations;
 pub use rewrite::{Atom, CompiledQuery, Query, Rewrite};
 pub use schedule::{RunReport, Runner};

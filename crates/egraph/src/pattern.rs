@@ -17,12 +17,83 @@
 //! [`Subst`] keeps its string-keyed API ([`Subst::get`], [`Subst::bind`])
 //! as a compatibility shim for rule appliers; internally it is a shared
 //! variable table plus a dense slot→binding vector.
+//!
+//! The compiled matcher never allocates per candidate: every binding row
+//! (`Vec<Option<Id>>`) and row list it needs comes from a [`MatchScratch`]
+//! arena that recycles buffers across candidates, atoms, rules and passes.
+//! Callers that search in a loop (the scheduler, above all) hold one
+//! `MatchScratch` for the whole run and thread it through the `_with`
+//! search entry points; the scratch-less entry points create a transient
+//! arena and are intended for one-off searches and tests. Rows only leave
+//! the arena when they graduate into [`Subst`]s handed to rule appliers.
 
 use std::rc::Rc;
 
 use crate::egraph::{Analysis, EGraph};
 use crate::language::Language;
 use crate::unionfind::Id;
+
+/// Reusable buffers for the compiled matcher: binding rows and row lists
+/// are taken from (and returned to) these free lists instead of being
+/// allocated per candidate. One scratch per saturation run amortizes
+/// essentially all match-loop allocation.
+///
+/// The scratch is language-independent (rows are plain `Vec<Option<Id>>`),
+/// so one arena serves every rule in a rule set regardless of variable
+/// counts: rows are resized to the width each query needs when taken.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    rows: Vec<Vec<Option<Id>>>,
+    lists: Vec<Vec<Vec<Option<Id>>>>,
+}
+
+impl MatchScratch {
+    /// An empty scratch arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A row initialized as a copy of `seed`.
+    pub(crate) fn row_from(&mut self, seed: &[Option<Id>]) -> Vec<Option<Id>> {
+        match self.rows.pop() {
+            Some(mut row) => {
+                row.clear();
+                row.extend_from_slice(seed);
+                row
+            }
+            None => seed.to_vec(),
+        }
+    }
+
+    /// A row of `width` unbound slots.
+    pub(crate) fn blank_row(&mut self, width: usize) -> Vec<Option<Id>> {
+        match self.rows.pop() {
+            Some(mut row) => {
+                row.clear();
+                row.resize(width, None);
+                row
+            }
+            None => vec![None; width],
+        }
+    }
+
+    /// Recycles a dead row.
+    pub(crate) fn give_row(&mut self, row: Vec<Option<Id>>) {
+        self.rows.push(row);
+    }
+
+    /// An empty row list.
+    pub(crate) fn take_list(&mut self) -> Vec<Vec<Option<Id>>> {
+        self.lists.pop().unwrap_or_default()
+    }
+
+    /// Recycles a row list, reclaiming any rows still inside it.
+    pub(crate) fn give_list(&mut self, mut list: Vec<Vec<Option<Id>>>) {
+        self.rows.append(&mut list);
+        self.lists.push(list);
+    }
+}
 
 /// A substitution from pattern variable names to e-class ids.
 ///
@@ -161,13 +232,15 @@ impl<L: Language> CompiledNode<L> {
 
     /// Matches against class `id`, appending every consistent extension of
     /// `seed` to `out`. Bindings are dense slot tables over the pattern's
-    /// variable table.
+    /// variable table; every row comes from (and dead rows return to) the
+    /// `scratch` arena.
     pub(crate) fn match_class<N: Analysis<L>>(
         &self,
         egraph: &EGraph<L, N>,
         id: Id,
         seed: &[Option<Id>],
         out: &mut Vec<Vec<Option<Id>>>,
+        scratch: &mut MatchScratch,
     ) {
         let id = egraph.find(id);
         match self {
@@ -176,35 +249,38 @@ impl<L: Language> CompiledNode<L> {
                 match seed[slot] {
                     Some(existing) => {
                         if existing == id {
-                            out.push(seed.to_vec());
+                            out.push(scratch.row_from(seed));
                         }
                     }
                     None => {
-                        let mut next = seed.to_vec();
+                        let mut next = scratch.row_from(seed);
                         next[slot] = Some(id);
                         out.push(next);
                     }
                 }
             }
             CompiledNode::Node { op, children, .. } => {
+                let mut partial = scratch.take_list();
+                let mut step = scratch.take_list();
                 for node in &egraph.class(id).nodes {
                     if !node.matches_op(op) || node.children().len() != children.len() {
                         continue;
                     }
-                    let mut partial = vec![seed.to_vec()];
-                    let mut scratch = Vec::new();
+                    partial.push(scratch.row_from(seed));
                     for (child_pat, &child_id) in children.iter().zip(node.children()) {
-                        scratch.clear();
-                        for s in &partial {
-                            child_pat.match_class(egraph, child_id, s, &mut scratch);
+                        for s in partial.drain(..) {
+                            child_pat.match_class(egraph, child_id, &s, &mut step, scratch);
+                            scratch.give_row(s);
                         }
-                        std::mem::swap(&mut partial, &mut scratch);
+                        std::mem::swap(&mut partial, &mut step);
                         if partial.is_empty() {
                             break;
                         }
                     }
                     out.append(&mut partial);
                 }
+                scratch.give_list(partial);
+                scratch.give_list(step);
             }
         }
     }
@@ -220,10 +296,23 @@ impl<L: Language> CompiledPattern<L> {
     /// Matches against e-class `id` starting from an empty substitution.
     #[must_use]
     pub fn search_class<N: Analysis<L>>(&self, egraph: &EGraph<L, N>, id: Id) -> Vec<Subst> {
+        self.search_class_with(egraph, id, &mut MatchScratch::new())
+    }
+
+    /// [`CompiledPattern::search_class`] with a caller-provided scratch
+    /// arena (reuse it across calls to avoid re-allocating match buffers).
+    #[must_use]
+    pub fn search_class_with<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        id: Id,
+        scratch: &mut MatchScratch,
+    ) -> Vec<Subst> {
         debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
-        let seed = vec![None; self.vars.len()];
+        let seed = scratch.blank_row(self.vars.len());
         let mut raw = Vec::new();
-        self.node.match_class(egraph, id, &seed, &mut raw);
+        self.node.match_class(egraph, id, &seed, &mut raw, scratch);
+        scratch.give_row(seed);
         raw.into_iter()
             .map(|b| Subst::from_bindings(Rc::clone(&self.vars), b))
             .collect()
@@ -233,13 +322,26 @@ impl<L: Language> CompiledPattern<L> {
     /// `(root_id, subst)` pairs. Same match set as [`Pattern::search`].
     #[must_use]
     pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<(Id, Subst)> {
+        self.search_with(egraph, &mut MatchScratch::new())
+    }
+
+    /// [`CompiledPattern::search`] with a caller-provided scratch arena.
+    #[must_use]
+    pub fn search_with<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        scratch: &mut MatchScratch,
+    ) -> Vec<(Id, Subst)> {
         debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
-        let seed = vec![None; self.vars.len()];
+        let seed = scratch.blank_row(self.vars.len());
         let mut out = Vec::new();
         let mut raw = Vec::new();
-        let visit = |id: Id, raw: &mut Vec<Vec<Option<Id>>>, out: &mut Vec<(Id, Subst)>| {
+        let visit = |id: Id,
+                     raw: &mut Vec<Vec<Option<Id>>>,
+                     out: &mut Vec<(Id, Subst)>,
+                     scratch: &mut MatchScratch| {
             raw.clear();
-            self.node.match_class(egraph, id, &seed, raw);
+            self.node.match_class(egraph, id, &seed, raw, scratch);
             for b in raw.drain(..) {
                 out.push((id, Subst::from_bindings(Rc::clone(&self.vars), b)));
             }
@@ -247,17 +349,18 @@ impl<L: Language> CompiledPattern<L> {
         match self.node.root_key() {
             Some(key) => {
                 for &id in egraph.candidates_for(key) {
-                    visit(id, &mut raw, &mut out);
+                    visit(id, &mut raw, &mut out, scratch);
                 }
             }
             None => {
                 let mut ids: Vec<Id> = egraph.classes().map(|c| c.id).collect();
                 ids.sort_unstable();
                 for id in ids {
-                    visit(id, &mut raw, &mut out);
+                    visit(id, &mut raw, &mut out, scratch);
                 }
             }
         }
+        scratch.give_row(seed);
         out
     }
 }

@@ -3,16 +3,38 @@
 //! HARDBOILED uses relations such as `amx-B-tile` to decouple
 //! application-specific tile-discovery rules from hardware lowering rules.
 //! Tuples store e-class ids and are re-canonicalized on every rebuild.
+//!
+//! ## Change ticks (the semi-naive delta protocol)
+//!
+//! Every tuple carries the **tick** of its last change, where a "change" is
+//! either the tuple's insertion or a canonicalization that rewrote its ids
+//! (a remapped tuple can join with pattern matches it could not join with
+//! before, so delta evaluation must treat it as new). [`Relations::tick`]
+//! exposes the monotone clock; [`Relations::tuples_since`] enumerates the
+//! tuples of one relation changed *after* a recorded tick. The scheduler
+//! records the tick before each rule's search, so a relation atom's delta
+//! probe sees exactly the tuples that changed since that rule last ran —
+//! see `rewrite::CompiledQuery::search_delta` for the join rounds built on
+//! top of this.
+//!
+//! [`Relations::version`] is different and unchanged: it counts *new facts*
+//! only (canonicalization never bumps it) and gates the scheduler's
+//! conservative full-search fallback for rules with impure guards.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 
 use crate::unionfind::Id;
 
-/// A set of named relations, each a set of id tuples.
+/// A set of named relations, each a set of id tuples stamped with the tick
+/// of their last change.
 #[derive(Debug, Clone, Default)]
 pub struct Relations {
-    tables: HashMap<String, BTreeSet<Vec<Id>>>,
+    tables: HashMap<String, BTreeMap<Vec<Id>, u64>>,
+    /// Highest tuple stamp per relation — the O(1) "anything changed since
+    /// tick t?" probe backing [`Relations::changed_since`].
+    max_ticks: HashMap<String, u64>,
     version: u64,
+    tick: u64,
 }
 
 impl Relations {
@@ -30,44 +52,71 @@ impl Relations {
 
     /// Inserts a tuple; returns whether it was new.
     pub fn insert(&mut self, name: &str, tuple: Vec<Id>) -> bool {
-        let new = self
-            .tables
-            .entry(name.to_string())
-            .or_default()
-            .insert(tuple);
-        if new {
-            self.version += 1;
+        let table = self.tables.entry(name.to_string()).or_default();
+        if table.contains_key(&tuple) {
+            return false;
         }
-        new
+        self.tick += 1;
+        table.insert(tuple, self.tick);
+        self.max_ticks.insert(name.to_string(), self.tick);
+        self.version += 1;
+        true
     }
 
     /// A counter bumped every time a genuinely new tuple is inserted.
     ///
     /// Canonicalization does not bump it: merging tuples never creates new
-    /// facts. The scheduler uses this to decide whether a rule's delta
-    /// search can safely skip unchanged e-classes.
+    /// facts. The scheduler uses this to decide whether a rule with an
+    /// impure guard must fall back to a full search.
     #[must_use]
     pub fn version(&self) -> u64 {
         self.version
     }
 
+    /// The change clock: advanced on every insertion *and* whenever
+    /// canonicalization rewrites at least one tuple. A caller that records
+    /// `tick()` and later asks [`Relations::tuples_since`] for that value
+    /// sees exactly the tuples changed after the recording.
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
     /// Whether the tuple is present.
     #[must_use]
     pub fn contains(&self, name: &str, tuple: &[Id]) -> bool {
-        self.tables
-            .get(name)
-            .is_some_and(|t| t.contains(&tuple.to_vec()))
+        self.tables.get(name).is_some_and(|t| t.contains_key(tuple))
     }
 
     /// All tuples of a relation (empty iterator if undeclared).
     pub fn tuples(&self, name: &str) -> impl Iterator<Item = &Vec<Id>> {
-        self.tables.get(name).into_iter().flatten()
+        self.tables.get(name).into_iter().flatten().map(|(t, _)| t)
+    }
+
+    /// Whether the relation has any tuple changed strictly after tick
+    /// `cutoff`. O(1) — the probe semi-naive evaluation uses to skip
+    /// empty delta rounds without scanning the table.
+    #[must_use]
+    pub fn changed_since(&self, name: &str, cutoff: u64) -> bool {
+        self.max_ticks.get(name).is_some_and(|&max| max > cutoff)
+    }
+
+    /// Tuples of a relation changed (inserted or canonicalized-rewritten)
+    /// strictly after tick `cutoff` — the semi-naive delta read path.
+    /// Check [`Relations::changed_since`] first to avoid the scan when
+    /// nothing changed.
+    pub fn tuples_since(&self, name: &str, cutoff: u64) -> impl Iterator<Item = &Vec<Id>> {
+        self.tables
+            .get(name)
+            .into_iter()
+            .flatten()
+            .filter_map(move |(t, &changed)| (changed > cutoff).then_some(t))
     }
 
     /// Number of tuples in a relation.
     #[must_use]
     pub fn len(&self, name: &str) -> usize {
-        self.tables.get(name).map_or(0, BTreeSet::len)
+        self.tables.get(name).map_or(0, BTreeMap::len)
     }
 
     /// Whether the relation has no tuples.
@@ -79,18 +128,37 @@ impl Relations {
     /// Total number of tuples across all relations.
     #[must_use]
     pub fn total_tuples(&self) -> usize {
-        self.tables.values().map(BTreeSet::len).sum()
+        self.tables.values().map(BTreeMap::len).sum()
     }
 
     /// Rewrites every id in every tuple with `find`, merging tuples that
     /// become equal. Called by the e-graph on rebuild.
+    ///
+    /// Tuples whose ids actually change are stamped with a fresh tick
+    /// (they can join differently now); unchanged tuples keep their stamp,
+    /// so a saturated store stays invisible to delta probes. When a changed
+    /// and an unchanged tuple merge, the merged tuple keeps the *newest*
+    /// stamp.
     pub fn canonicalize(&mut self, find: impl Fn(Id) -> Id) {
-        for table in self.tables.values_mut() {
-            let new: BTreeSet<Vec<Id>> = table
-                .iter()
-                .map(|t| t.iter().map(|&id| find(id)).collect())
-                .collect();
+        let mut bumped = false;
+        for (name, table) in &mut self.tables {
+            let needs_rewrite = table.keys().any(|t| t.iter().any(|&id| find(id) != id));
+            if !needs_rewrite {
+                continue;
+            }
+            if !bumped {
+                self.tick += 1;
+                bumped = true;
+            }
+            let mut new: BTreeMap<Vec<Id>, u64> = BTreeMap::new();
+            for (tuple, changed) in std::mem::take(table) {
+                let canon: Vec<Id> = tuple.iter().map(|&id| find(id)).collect();
+                let stamp = if canon == tuple { changed } else { self.tick };
+                let slot = new.entry(canon).or_insert(stamp);
+                *slot = (*slot).max(stamp);
+            }
             *table = new;
+            self.max_ticks.insert(name.clone(), self.tick);
         }
     }
 }
@@ -129,5 +197,47 @@ mod tests {
         r.declare("has-type");
         assert!(r.is_empty("has-type"));
         assert_eq!(r.tuples("has-type").count(), 0);
+    }
+
+    #[test]
+    fn tuples_since_sees_only_new_insertions() {
+        let mut r = Relations::new();
+        r.insert("rel", vec![Id(1)]);
+        let cutoff = r.tick();
+        assert_eq!(r.tuples_since("rel", cutoff).count(), 0);
+        assert!(!r.changed_since("rel", cutoff));
+        r.insert("rel", vec![Id(2)]);
+        let delta: Vec<_> = r.tuples_since("rel", cutoff).cloned().collect();
+        assert_eq!(delta, vec![vec![Id(2)]]);
+        assert!(r.changed_since("rel", cutoff));
+        // Re-inserting an existing tuple is not a change.
+        let cutoff2 = r.tick();
+        r.insert("rel", vec![Id(2)]);
+        assert_eq!(r.tuples_since("rel", cutoff2).count(), 0);
+        assert!(!r.changed_since("rel", cutoff2));
+        // The probe is per-relation: changes elsewhere don't leak in.
+        r.insert("other", vec![Id(3)]);
+        assert!(!r.changed_since("rel", cutoff2));
+        assert!(r.changed_since("other", cutoff2));
+    }
+
+    #[test]
+    fn canonicalization_restamps_rewritten_tuples_only() {
+        let mut r = Relations::new();
+        r.insert("rel", vec![Id(1)]);
+        r.insert("rel", vec![Id(2)]);
+        let cutoff = r.tick();
+        // 2 unioned into 1: tuple [2] is rewritten to [1] and merges with
+        // the unchanged [1]; the merged tuple must look new to a delta
+        // probe (it can join differently now), and version must not move.
+        let version = r.version();
+        r.canonicalize(|id| if id == Id(2) { Id(1) } else { id });
+        assert_eq!(r.version(), version, "canonicalization mints no facts");
+        let delta: Vec<_> = r.tuples_since("rel", cutoff).cloned().collect();
+        assert_eq!(delta, vec![vec![Id(1)]]);
+        // An identity canonicalization changes nothing.
+        let cutoff2 = r.tick();
+        r.canonicalize(|id| id);
+        assert_eq!(r.tuples_since("rel", cutoff2).count(), 0);
     }
 }

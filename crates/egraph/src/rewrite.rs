@@ -6,12 +6,31 @@
 //! is what [`Rewrite::run`] searches with. The uncompiled
 //! [`Query::search`] is retained as the naive reference implementation for
 //! equivalence tests and benchmarking.
+//!
+//! ## Delta search
+//!
+//! [`CompiledQuery::search_delta`] finds every match that did not exist
+//! when the caller's cutoffs were recorded. Two regimes:
+//!
+//! * **single-root** queries (every enumeration descends from the first
+//!   pattern atom's root — see [`CompiledQuery::delta_eligible`]) probe
+//!   only the classes modified since the epoch cutoff, in one round;
+//! * everything else — joins with relation atoms or fresh-variable pattern
+//!   atoms — is evaluated **semi-naively**: one round per atom, where round
+//!   `i` restricts atom `i` to its *delta* (classes modified since the
+//!   epoch cutoff for pattern atoms, tuples changed since the relation tick
+//!   for relation atoms — see [`crate::relation::Relations::tuples_since`])
+//!   and every other atom to its full extent. A new match must use at
+//!   least one new atom-match, so the union of the rounds covers exactly
+//!   the new matches; rounds over a quiescent graph and relation store are
+//!   all empty and cost nearly nothing, where these queries previously
+//!   re-ran a full join every pass.
 
 use std::rc::Rc;
 
 use crate::egraph::{Analysis, EGraph};
 use crate::language::Language;
-use crate::pattern::{CompiledNode, Pattern, Subst};
+use crate::pattern::{CompiledNode, MatchScratch, Pattern, Subst};
 use crate::unionfind::Id;
 
 /// One atom of a rule's query.
@@ -78,13 +97,15 @@ impl<L: Language> Query<L> {
     pub fn compile(&self) -> CompiledQuery<L> {
         let mut vars: Vec<String> = Vec::new();
         let intern = Pattern::<L>::intern;
-        // Delta-eligibility: sound when the only *enumeration* of classes
-        // happens at the first atom's root. That is the case when every
-        // atom is a pattern and every atom after the first constrains a
-        // variable some earlier atom already bound (all bindings then
-        // descend from the first root, and epoch propagation marks that
-        // root whenever any of them changes). A relation atom or a
-        // fresh-variable pattern atom enumerates globally — not eligible.
+        // Delta-eligibility: a *single* delta probe at the first atom's
+        // root is sound when the only *enumeration* of classes happens
+        // there. That is the case when every atom is a pattern and every
+        // atom after the first constrains a variable some earlier atom
+        // already bound (all bindings then descend from the first root,
+        // and epoch propagation marks that root whenever any of them
+        // changes). A relation atom or a fresh-variable pattern atom
+        // enumerates globally — not eligible; those queries are delta-
+        // evaluated semi-naively instead (see `search_delta`).
         let mut delta_eligible = !self.atoms.is_empty();
         let atoms: Vec<CompiledAtom<L>> = self
             .atoms
@@ -189,6 +210,25 @@ enum CompiledAtom<L> {
     Rel { name: String, slots: Vec<u32> },
 }
 
+/// How a search pass restricts its enumerations (see the module docs).
+enum Restrict {
+    /// Full join over every atom.
+    Full,
+    /// Single-root delta: unbound-root enumeration probes only classes
+    /// modified at or after the epoch (sound for delta-eligible queries,
+    /// whose only enumeration is the first atom's root).
+    Root(u64),
+    /// One semi-naive round: atom `index` is restricted to its delta
+    /// (classes modified at/after `epoch` for pattern atoms, tuples
+    /// changed after `rel_tick` for relation atoms); every other atom
+    /// joins in full.
+    Atom {
+        index: usize,
+        epoch: u64,
+        rel_tick: u64,
+    },
+}
+
 /// A [`Query`] compiled for the indexed matcher: one shared variable table,
 /// patterns with interned slots and precomputed op keys.
 pub struct CompiledQuery<L> {
@@ -198,9 +238,11 @@ pub struct CompiledQuery<L> {
 }
 
 impl<L: Language> CompiledQuery<L> {
-    /// Whether [`CompiledQuery::search_since`] may soundly restrict this
-    /// query to recently-modified classes: true for single-pattern queries.
-    /// Multi-atom queries (joins, relation atoms) always search in full.
+    /// Whether a *single* delta probe at the first atom's root soundly
+    /// finds every new match: true when all bindings descend from that
+    /// root. Queries where this is false (relation atoms, fresh-variable
+    /// pattern atoms) still support delta search, via the semi-naive
+    /// rounds of [`CompiledQuery::search_delta`].
     #[must_use]
     pub fn delta_eligible(&self) -> bool {
         self.delta_eligible
@@ -211,7 +253,18 @@ impl<L: Language> CompiledQuery<L> {
     /// [`Query::search`].
     #[must_use]
     pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<Subst> {
-        self.search_impl(egraph, None)
+        self.search_with(egraph, &mut MatchScratch::new())
+    }
+
+    /// [`CompiledQuery::search`] with a caller-provided scratch arena.
+    #[must_use]
+    pub fn search_with<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        scratch: &mut MatchScratch,
+    ) -> Vec<Subst> {
+        let rows = self.search_rows(egraph, &Restrict::Full, scratch);
+        self.rows_to_substs(rows)
     }
 
     /// Like [`CompiledQuery::search`], but for delta-eligible queries the
@@ -219,52 +272,158 @@ impl<L: Language> CompiledQuery<L> {
     /// `modified_epoch() >= cutoff` — the classes whose match sets can have
     /// changed since the epoch was recorded (see
     /// [`EGraph::bump_epoch`]). For non-eligible queries this is a full
-    /// search.
+    /// search; use [`CompiledQuery::search_delta`] to get semi-naive
+    /// evaluation for those.
     #[must_use]
     pub fn search_since<N: Analysis<L>>(&self, egraph: &EGraph<L, N>, cutoff: u64) -> Vec<Subst> {
-        if self.delta_eligible {
-            self.search_impl(egraph, Some(cutoff))
+        let restrict = if self.delta_eligible {
+            Restrict::Root(cutoff)
         } else {
-            self.search_impl(egraph, None)
-        }
+            Restrict::Full
+        };
+        let rows = self.search_rows(egraph, &restrict, &mut MatchScratch::new());
+        self.rows_to_substs(rows)
     }
 
-    fn search_impl<N: Analysis<L>>(
+    /// Every match that did not exist when the cutoffs were recorded:
+    /// `epoch_cutoff` from [`EGraph::bump_epoch`], `rel_cutoff` from
+    /// [`crate::relation::Relations::tick`]. Single delta probe for
+    /// delta-eligible queries; semi-naive rounds (one per atom) otherwise.
+    /// May return a match that already existed (delta probes
+    /// over-approximate); appliers are idempotent, so re-applying is
+    /// harmless.
+    #[must_use]
+    pub fn search_delta<N: Analysis<L>>(
         &self,
         egraph: &EGraph<L, N>,
-        cutoff: Option<u64>,
+        epoch_cutoff: u64,
+        rel_cutoff: u64,
+        scratch: &mut MatchScratch,
     ) -> Vec<Subst> {
+        if self.delta_eligible {
+            let rows = self.search_rows(egraph, &Restrict::Root(epoch_cutoff), scratch);
+            return self.rows_to_substs(rows);
+        }
+        // Semi-naive: round i restricts atom i to its delta, and the join
+        // *starts* from that delta (the restricted atom is evaluated
+        // first), so a round costs work proportional to its delta — not a
+        // full re-join. A match is found by round i iff atom i's
+        // contribution is new, so the union over rounds covers every new
+        // match; duplicates (matches with several new atoms) are
+        // deduplicated below. Rounds whose delta is provably empty are
+        // skipped outright, which is what makes quiescent passes free.
+        let classes_dirty = egraph.any_modified_since(epoch_cutoff);
+        let rels_dirty = egraph.relations.tick() > rel_cutoff;
+        if !classes_dirty && !rels_dirty {
+            return Vec::new();
+        }
+        let mut rows: Vec<Vec<Option<Id>>> = Vec::new();
+        for (index, atom) in self.atoms.iter().enumerate() {
+            let delta_nonempty = match atom {
+                CompiledAtom::Pat { .. } => classes_dirty,
+                CompiledAtom::Rel { name, .. } => {
+                    rels_dirty && egraph.relations.changed_since(name, rel_cutoff)
+                }
+            };
+            if !delta_nonempty {
+                continue;
+            }
+            let restrict = Restrict::Atom {
+                index,
+                epoch: epoch_cutoff,
+                rel_tick: rel_cutoff,
+            };
+            rows.extend(self.search_rows(egraph, &restrict, scratch));
+        }
+        rows.sort_unstable();
+        rows.dedup_by(|a, b| {
+            if a == b {
+                // `a` is the one removed: reclaim its buffer.
+                scratch.give_row(std::mem::take(a));
+                true
+            } else {
+                false
+            }
+        });
+        self.rows_to_substs(rows)
+    }
+
+    fn rows_to_substs(&self, rows: Vec<Vec<Option<Id>>>) -> Vec<Subst> {
+        rows.into_iter()
+            .map(|b| Subst::from_bindings(Rc::clone(&self.vars), b))
+            .collect()
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn search_rows<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        restrict: &Restrict,
+        scratch: &mut MatchScratch,
+    ) -> Vec<Vec<Option<Id>>> {
         debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
         let nvars = self.vars.len();
-        let mut partials: Vec<Vec<Option<Id>>> = vec![vec![None; nvars]];
-        for atom in &self.atoms {
-            let mut next: Vec<Vec<Option<Id>>> = Vec::new();
+        let mut partials = scratch.take_list();
+        partials.push(scratch.blank_row(nvars));
+        let mut next = scratch.take_list();
+        // Atom evaluation order: a conjunctive join is order-independent in
+        // its result, so a semi-naive round starts from its delta atom and
+        // the remaining atoms filter/extend from there — the round's cost
+        // scales with the delta, not the full join.
+        let delta_first = match restrict {
+            Restrict::Atom { index, .. } => Some(*index),
+            _ => None,
+        };
+        let order = delta_first
+            .into_iter()
+            .chain((0..self.atoms.len()).filter(|&j| Some(j) != delta_first));
+        for i in order {
+            let atom = &self.atoms[i];
             match atom {
                 CompiledAtom::Pat { slot, node } => {
                     let slot = *slot as usize;
-                    let mut scratch: Vec<Vec<Option<Id>>> = Vec::new();
+                    // `enum_cutoff` limits this atom's unbound-root
+                    // enumeration to modified classes. A delta-restricted
+                    // pattern atom always evaluates first (on the single
+                    // all-unbound seed row), so restricting the enumeration
+                    // is the whole restriction — its root slot cannot be
+                    // bound yet.
+                    let enum_cutoff = match restrict {
+                        Restrict::Full => None,
+                        Restrict::Root(cut) => Some(*cut),
+                        Restrict::Atom { index, epoch, .. } if *index == i => Some(*epoch),
+                        Restrict::Atom { .. } => None,
+                    };
+                    let mut step = scratch.take_list();
                     // Sorted full enumeration for variable-rooted patterns,
                     // computed at most once per atom (not per partial).
                     let mut all_ids: Option<Vec<Id>> = None;
-                    for p in &partials {
+                    for p in partials.iter() {
                         if let Some(id) = p[slot] {
-                            node.match_class(egraph, id, p, &mut next);
+                            debug_assert!(
+                                !matches!(restrict, Restrict::Atom { index, .. } if *index == i),
+                                "delta atom is evaluated first; its root is never pre-bound"
+                            );
+                            node.match_class(egraph, id, p, &mut next, scratch);
                         } else {
                             let visit =
                                 |root: Id,
-                                 scratch: &mut Vec<Vec<Option<Id>>>,
-                                 next: &mut Vec<Vec<Option<Id>>>| {
-                                    scratch.clear();
-                                    node.match_class(egraph, root, p, scratch);
-                                    for mut m in scratch.drain(..) {
+                                 step: &mut Vec<Vec<Option<Id>>>,
+                                 next: &mut Vec<Vec<Option<Id>>>,
+                                 scratch: &mut MatchScratch| {
+                                    node.match_class(egraph, root, p, step, scratch);
+                                    for mut m in step.drain(..) {
                                         match m[slot] {
-                                            Some(existing) if existing != root => continue,
+                                            Some(existing) if existing != root => {
+                                                scratch.give_row(m);
+                                                continue;
+                                            }
                                             _ => m[slot] = Some(root),
                                         }
                                         next.push(m);
                                     }
                                 };
-                            if let Some(cut) = cutoff {
+                            if let Some(cut) = enum_cutoff {
                                 // Delta probe: O(changes) via the
                                 // modification log, zero when saturated,
                                 // op-filtered through the index.
@@ -273,13 +432,13 @@ impl<L: Language> CompiledQuery<L> {
                                     None => egraph.modified_since(cut),
                                 };
                                 for root in roots {
-                                    visit(root, &mut scratch, &mut next);
+                                    visit(root, &mut step, &mut next, scratch);
                                 }
                             } else {
                                 match node.root_key() {
                                     Some(key) => {
                                         for &root in egraph.candidates_for(key) {
-                                            visit(root, &mut scratch, &mut next);
+                                            visit(root, &mut step, &mut next, scratch);
                                         }
                                     }
                                     None => {
@@ -290,17 +449,28 @@ impl<L: Language> CompiledQuery<L> {
                                             ids
                                         });
                                         for &id in ids.iter() {
-                                            visit(id, &mut scratch, &mut next);
+                                            visit(id, &mut step, &mut next, scratch);
                                         }
                                     }
                                 }
                             }
                         }
                     }
+                    scratch.give_list(step);
                 }
                 CompiledAtom::Rel { name, slots } => {
-                    for p in &partials {
-                        'tuples: for tuple in egraph.relations.tuples(name) {
+                    let rel_cutoff = match restrict {
+                        Restrict::Atom {
+                            index, rel_tick, ..
+                        } if *index == i => Some(*rel_tick),
+                        _ => None,
+                    };
+                    for p in partials.iter() {
+                        let tuples: Box<dyn Iterator<Item = &Vec<Id>>> = match rel_cutoff {
+                            Some(t) => Box::new(egraph.relations.tuples_since(name, t)),
+                            None => Box::new(egraph.relations.tuples(name)),
+                        };
+                        'tuples: for tuple in tuples {
                             if tuple.len() != slots.len() {
                                 continue;
                             }
@@ -313,13 +483,16 @@ impl<L: Language> CompiledQuery<L> {
                                     }
                                 }
                             }
-                            let mut m = p.clone();
+                            let mut m = scratch.row_from(p);
                             for (&slot, &id) in slots.iter().zip(tuple.iter()) {
                                 let id = egraph.find(id);
                                 match m[slot as usize] {
                                     // Nonlinear tuple variables can still
                                     // conflict within this pass.
-                                    Some(existing) if existing != id => continue 'tuples,
+                                    Some(existing) if existing != id => {
+                                        scratch.give_row(m);
+                                        continue 'tuples;
+                                    }
                                     _ => m[slot as usize] = Some(id),
                                 }
                             }
@@ -328,15 +501,16 @@ impl<L: Language> CompiledQuery<L> {
                     }
                 }
             }
-            partials = next;
+            for row in partials.drain(..) {
+                scratch.give_row(row);
+            }
+            std::mem::swap(&mut partials, &mut next);
             if partials.is_empty() {
                 break;
             }
         }
+        scratch.give_list(next);
         partials
-            .into_iter()
-            .map(|b| Subst::from_bindings(Rc::clone(&self.vars), b))
-            .collect()
     }
 }
 
@@ -465,10 +639,16 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
     /// matches that changed the graph. Rebuilds first if the graph is
     /// dirty, but does **not** rebuild after applying.
     pub fn run(&self, egraph: &mut EGraph<L, N>) -> usize {
+        self.run_with(egraph, &mut MatchScratch::new())
+    }
+
+    /// [`Rewrite::run`] with a caller-provided scratch arena (the scheduler
+    /// holds one per saturation run).
+    pub fn run_with(&self, egraph: &mut EGraph<L, N>, scratch: &mut MatchScratch) -> usize {
         if !egraph.is_clean() {
             egraph.rebuild();
         }
-        let matches = self.compiled.search(egraph);
+        let matches = self.compiled.search_with(egraph, scratch);
         self.apply_matches(egraph, matches)
     }
 
@@ -491,6 +671,26 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
             egraph.rebuild();
         }
         let matches = self.compiled.search_since(egraph, cutoff);
+        self.apply_matches(egraph, matches)
+    }
+
+    /// Full delta run: applies every match that is new relative to the
+    /// recorded cutoffs (`epoch_cutoff` from [`EGraph::bump_epoch`],
+    /// `rel_cutoff` from [`crate::relation::Relations::tick`]) — single
+    /// root probe for delta-eligible queries, semi-naive rounds otherwise.
+    pub fn run_delta(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        epoch_cutoff: u64,
+        rel_cutoff: u64,
+        scratch: &mut MatchScratch,
+    ) -> usize {
+        if !egraph.is_clean() {
+            egraph.rebuild();
+        }
+        let matches = self
+            .compiled
+            .search_delta(egraph, epoch_cutoff, rel_cutoff, scratch);
         self.apply_matches(egraph, matches)
     }
 }

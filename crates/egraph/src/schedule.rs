@@ -6,15 +6,20 @@
 //! supporting rules always saturate in finitely many steps.
 //!
 //! The runner drives the engine's **delta search**: for every rule it
-//! remembers the modification epoch at which it last searched, and a
-//! delta-eligible rule (see `CompiledQuery::delta_eligible`) only re-probes
-//! classes created or modified since — so once a phase saturates,
-//! re-running its rules costs almost nothing. Rules marked
-//! [`Rewrite::assume_pure`] (applicability depends only on the matched
-//! classes and the query's own relation atoms) are additionally skipped
-//! outright while the graph and relation store are quiescent; for rules
-//! *not* marked pure, any new relation tuple since their last run forces a
-//! full search as a safety net. Setting [`Runner::use_naive_matcher`]
+//! remembers the modification epoch (and relation change tick) at which it
+//! last searched, and re-probes only what changed since — a single root
+//! probe for delta-eligible rules, semi-naive join rounds for rules with
+//! relation atoms or fresh-variable pattern atoms (see
+//! `CompiledQuery::search_delta`) — so once a phase saturates, re-running
+//! its rules costs almost nothing. Rules marked [`Rewrite::assume_pure`]
+//! (applicability depends only on the matched classes and the query's own
+//! relation atoms) are additionally skipped outright while the graph and
+//! relation store are quiescent; for rules *not* marked pure, any new
+//! relation tuple since their last run forces a full search as a safety
+//! net (their guards may read relation state the query does not mention).
+//! One [`MatchScratch`] arena per saturation run is threaded through every
+//! search so the compiled matcher's binding buffers are recycled across
+//! candidates, rules and passes. Setting [`Runner::use_naive_matcher`]
 //! bypasses all of this and benchmarks the retained naive reference
 //! matcher.
 
@@ -22,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use crate::egraph::{Analysis, EGraph};
 use crate::language::Language;
+use crate::pattern::MatchScratch;
 use crate::rewrite::Rewrite;
 
 /// Statistics from a saturation run.
@@ -39,8 +45,27 @@ pub struct RunReport {
     pub saturated: bool,
     /// Whether the run stopped because the node limit was hit.
     pub node_limit_hit: bool,
+    /// Rule searches that ran as delta probes (single-root or semi-naive).
+    pub delta_searches: usize,
+    /// Rule searches that ran in full (first runs and impure-guard
+    /// fallbacks after relation growth).
+    pub full_searches: usize,
+    /// Rule searches skipped entirely by the quiescence check.
+    pub skipped_searches: usize,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+}
+
+impl RunReport {
+    /// Folds a sub-run (e.g. a supporting-rule fixpoint) into this report:
+    /// applied matches and search-mode counters accumulate; sizes, flags
+    /// and timing stay the outer run's.
+    fn absorb(&mut self, sub: &RunReport) {
+        self.applied += sub.applied;
+        self.delta_searches += sub.delta_searches;
+        self.full_searches += sub.full_searches;
+        self.skipped_searches += sub.skipped_searches;
+    }
 }
 
 /// Per-rule delta-search bookkeeping.
@@ -49,8 +74,12 @@ struct RuleState {
     /// Epoch recorded right after this rule's last search; classes
     /// modified at or after it must be re-probed.
     last_epoch: u64,
-    /// Relations version at the last search; a change forces a full
-    /// search (new tuples can enable matches delta search cannot see).
+    /// Relation change tick at the last search; tuples changed after it
+    /// feed the semi-naive relation-atom rounds.
+    last_rel_tick: u64,
+    /// Relations version at the last search; for rules with impure guards
+    /// a change forces a full search (the guard may read relation state
+    /// the query does not mention).
     last_rel_version: u64,
     /// Whether the rule has searched at all yet.
     ran_before: bool,
@@ -113,11 +142,15 @@ impl Runner {
     }
 
     /// One pass over `rules` with delta bookkeeping, then a rebuild.
+    /// Returns the matches applied; search-mode counters accumulate into
+    /// `report`.
     fn run_iter<L: Language, N: Analysis<L>>(
         &self,
         egraph: &mut EGraph<L, N>,
         rules: &[Rewrite<L, N>],
         states: &mut [RuleState],
+        scratch: &mut MatchScratch,
+        report: &mut RunReport,
     ) -> usize {
         debug_assert_eq!(rules.len(), states.len());
         let mut applied = 0;
@@ -139,21 +172,30 @@ impl Runner {
                 && state.last_rel_version == rel_version
                 && !egraph.any_modified_since(state.last_epoch)
             {
+                report.skipped_searches += 1;
                 continue;
             }
-            let delta_ok = state.ran_before
-                && rule.compiled.delta_eligible()
-                && (rule.is_known_pure() || state.last_rel_version == rel_version);
-            let cutoff = state.last_epoch;
-            // Record the next cutoff *before* applying so this rule's own
-            // unions are re-probed on its next run.
+            // Delta search is sound for every query shape (single-root
+            // probe or semi-naive rounds); the only holdout is a rule with
+            // an impure guard after relation growth, whose guard may now
+            // accept matches the delta cannot re-surface.
+            let delta_ok =
+                state.ran_before && (rule.is_known_pure() || state.last_rel_version == rel_version);
+            let epoch_cutoff = state.last_epoch;
+            let rel_cutoff = state.last_rel_tick;
+            // Record the next cutoffs *before* applying so this rule's own
+            // unions and tuple inserts are re-probed on its next run.
             let searched_at = egraph.bump_epoch();
+            let rel_tick_at = egraph.relations.tick();
             applied += if delta_ok {
-                rule.run_since(egraph, cutoff)
+                report.delta_searches += 1;
+                rule.run_delta(egraph, epoch_cutoff, rel_cutoff, scratch)
             } else {
-                rule.run(egraph)
+                report.full_searches += 1;
+                rule.run_with(egraph, scratch)
             };
             state.last_epoch = searched_at;
+            state.last_rel_tick = rel_tick_at;
             state.last_rel_version = rel_version;
             state.ran_before = true;
         }
@@ -168,7 +210,8 @@ impl Runner {
         rules: &[Rewrite<L, N>],
     ) -> RunReport {
         let mut states = vec![RuleState::default(); rules.len()];
-        self.fixpoint_with_states(egraph, rules, &mut states)
+        let mut scratch = MatchScratch::new();
+        self.fixpoint_with_states(egraph, rules, &mut states, &mut scratch)
     }
 
     fn fixpoint_with_states<L: Language, N: Analysis<L>>(
@@ -176,13 +219,14 @@ impl Runner {
         egraph: &mut EGraph<L, N>,
         rules: &[Rewrite<L, N>],
         states: &mut [RuleState],
+        scratch: &mut MatchScratch,
     ) -> RunReport {
         let start = Instant::now();
         let mut report = RunReport::default();
         for _ in 0..self.max_iterations {
             report.iterations += 1;
             let relations_before = egraph.relations.version();
-            let applied = self.run_iter(egraph, rules, states);
+            let applied = self.run_iter(egraph, rules, states, scratch, &mut report);
             let relations_changed = egraph.relations.version() != relations_before;
             report.applied += applied;
             if applied == 0 && !relations_changed {
@@ -203,7 +247,8 @@ impl Runner {
     /// The paper's phased schedule: `outer_iters` rounds of the main rules,
     /// with the supporting rules saturated before the first round and after
     /// every round. Delta state persists across rounds, so a supporting
-    /// fixpoint over an unchanged graph is near-free.
+    /// fixpoint over an unchanged graph is near-free; one scratch arena
+    /// serves both rule sets for the whole run.
     pub fn run_phased<L: Language, N: Analysis<L>>(
         &self,
         egraph: &mut EGraph<L, N>,
@@ -215,14 +260,27 @@ impl Runner {
         let mut report = RunReport::default();
         let mut main_states = vec![RuleState::default(); main_rules.len()];
         let mut support_states = vec![RuleState::default(); supporting_rules.len()];
-        let support = self.fixpoint_with_states(egraph, supporting_rules, &mut support_states);
-        report.applied += support.applied;
+        let mut scratch = MatchScratch::new();
+        let support =
+            self.fixpoint_with_states(egraph, supporting_rules, &mut support_states, &mut scratch);
+        report.absorb(&support);
         for _ in 0..outer_iters {
             report.iterations += 1;
-            let applied = self.run_iter(egraph, main_rules, &mut main_states);
+            let applied = self.run_iter(
+                egraph,
+                main_rules,
+                &mut main_states,
+                &mut scratch,
+                &mut report,
+            );
             report.applied += applied;
-            let support = self.fixpoint_with_states(egraph, supporting_rules, &mut support_states);
-            report.applied += support.applied;
+            let support = self.fixpoint_with_states(
+                egraph,
+                supporting_rules,
+                &mut support_states,
+                &mut scratch,
+            );
+            report.absorb(&support);
             if applied == 0 && support.applied == 0 {
                 report.saturated = true;
                 break;

@@ -13,9 +13,9 @@ use proptest::prelude::*;
 
 use hb_egraph::egraph::EGraph;
 use hb_egraph::extract::{AstSize, Extractor};
-use hb_egraph::math_lang::{n, pdiv, pmul, pshl, pvar, Math};
-use hb_egraph::pattern::{Pattern, Subst};
-use hb_egraph::rewrite::Rewrite;
+use hb_egraph::math_lang::{n, padd, pdiv, pmul, pshl, pvar, Math};
+use hb_egraph::pattern::{MatchScratch, Pattern, Subst};
+use hb_egraph::rewrite::{Query, Rewrite};
 use hb_egraph::schedule::Runner;
 use hb_egraph::unionfind::Id;
 
@@ -25,14 +25,8 @@ type EG = EGraph<Math, ()>;
 /// payload operands interpreted modulo the live id count.
 type Step = (u8, u32, u32);
 
-/// Replays a step sequence, returning the graph and the ids it created.
-fn replay(steps: &[Step]) -> (EG, Vec<Id>) {
-    let mut eg = EG::new();
-    let mut ids: Vec<Id> = Vec::new();
-    // Seed a few leaves so binary ops always have operands.
-    for s in ["a", "b", "c"] {
-        ids.push(eg.add(Math::Sym(s.into())));
-    }
+/// Applies a step sequence to an existing graph, extending `ids`.
+fn apply_steps(eg: &mut EG, ids: &mut Vec<Id>, steps: &[Step]) {
     for &(op, x, y) in steps {
         let pick = |v: u32| ids[v as usize % ids.len()];
         match op % 6 {
@@ -47,6 +41,17 @@ fn replay(steps: &[Step]) -> (EG, Vec<Id>) {
         }
     }
     eg.rebuild();
+}
+
+/// Replays a step sequence, returning the graph and the ids it created.
+fn replay(steps: &[Step]) -> (EG, Vec<Id>) {
+    let mut eg = EG::new();
+    let mut ids: Vec<Id> = Vec::new();
+    // Seed a few leaves so binary ops always have operands.
+    for s in ["a", "b", "c"] {
+        ids.push(eg.add(Math::Sym(s.into())));
+    }
+    apply_steps(&mut eg, &mut ids, steps);
     (eg, ids)
 }
 
@@ -194,6 +199,130 @@ fn matchers_agree_after_full_math_saturation() {
         assert_same_matches(&naive, &indexed, &format!("{pat:?}"));
     }
     eg.check_op_index();
+}
+
+/// Queries exercising every non-delta-eligible shape: pattern⋈relation,
+/// relation-only, fresh-variable pattern atoms, relation-extended bindings.
+fn relation_queries() -> Vec<Query<Math>> {
+    vec![
+        Query::single("e", pmul(pvar("x"), pvar("y"))).with_relation("good", &["y"]),
+        Query { atoms: vec![] }.with_relation("pair", &["x", "y"]),
+        Query::single("e", padd(pvar("x"), pvar("y"))).also("q", pmul(pvar("p"), pvar("p2"))),
+        Query::single("e", pmul(pvar("x"), pvar("y"))).with_relation("pair", &["y", "z"]),
+    ]
+}
+
+/// Random tuple insertions into the `good` (unary) and `pair` (binary)
+/// relations, operands modulo the live id count.
+fn insert_tuples(eg: &mut EG, ids: &[Id], tuples: &[(u8, u32, u32)]) {
+    for &(which, x, y) in tuples {
+        let pick = |v: u32| ids[v as usize % ids.len()];
+        if which % 2 == 0 {
+            eg.relations.insert("good", vec![pick(x)]);
+        } else {
+            eg.relations.insert("pair", vec![pick(x), pick(y)]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Semi-naive delta evaluation must be sound (no invented matches) and
+    // complete (every match that appeared after the cutoffs is reported)
+    // for relation-atom queries, under randomized graph workouts and
+    // tuple insertions on both sides of the cutoff.
+    #[test]
+    fn semi_naive_delta_covers_new_matches(
+        steps1 in proptest::collection::vec((0u8..6, 0u32..64, 0u32..64), 40),
+        tuples1 in proptest::collection::vec((0u8..2, 0u32..64, 0u32..64), 6),
+        steps2 in proptest::collection::vec((0u8..6, 0u32..64, 0u32..64), 25),
+        tuples2 in proptest::collection::vec((0u8..2, 0u32..64, 0u32..64), 6),
+    ) {
+        let (mut eg, mut ids) = replay(&steps1);
+        insert_tuples(&mut eg, &ids, &tuples1);
+        eg.rebuild();
+        let queries = relation_queries();
+        let compiled: Vec<_> = queries.iter().map(Query::compile).collect();
+        for c in &compiled {
+            prop_assert!(!c.delta_eligible(), "these queries must need semi-naive");
+        }
+        let before: Vec<Vec<Subst>> = compiled.iter().map(|c| c.search(&eg)).collect();
+        let epoch_cutoff = eg.bump_epoch();
+        let rel_cutoff = eg.relations.tick();
+
+        apply_steps(&mut eg, &mut ids, &steps2);
+        insert_tuples(&mut eg, &ids, &tuples2);
+        eg.rebuild();
+
+        let mut scratch = MatchScratch::new();
+        for ((query, c), before) in queries.iter().zip(&compiled).zip(&before) {
+            let full = c.search(&eg);
+            let naive = query.search(&eg);
+            assert_same_matches(
+                &full.iter().map(|s| (Id(0), s.clone())).collect::<Vec<_>>(),
+                &naive.iter().map(|s| (Id(0), s.clone())).collect::<Vec<_>>(),
+                "full vs naive",
+            );
+            let delta = c.search_delta(&eg, epoch_cutoff, rel_cutoff, &mut scratch);
+            for m in &delta {
+                prop_assert!(full.contains(m), "delta invented {m:?}");
+            }
+            for m in &full {
+                if !before.contains(m) {
+                    prop_assert!(
+                        delta.contains(m),
+                        "semi-naive missed the new match {m:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduler_semi_naive_finds_late_tuples_without_full_research() {
+    // The main rule joins against a relation that is *empty* when the rule
+    // first (full-)searches; a second rule derives the tuple afterwards.
+    // The scheduler must surface the join match purely through the
+    // semi-naive delta rounds — no second full search.
+    let mut eg = EG::new();
+    let a = eg.add(Math::Sym("a".into()));
+    let two = eg.add(Math::Num(2));
+    let m = eg.add(Math::Mul([a, two]));
+    let main = Rewrite::<Math>::rule(
+        "mark-good-products",
+        Query::single("e", pmul(pvar("x"), pvar("y"))).with_relation("good", &["y"]),
+        Box::new(|eg, s| {
+            let e = hb_egraph::rewrite::bound(s, "e");
+            eg.relations.insert("marked", vec![e])
+        }),
+    )
+    .assume_pure();
+    let derive = Rewrite::<Math>::rule(
+        "two-is-good",
+        Query::single("e", n(2)),
+        Box::new(|eg, s| {
+            let e = hb_egraph::rewrite::bound(s, "e");
+            eg.relations.insert("good", vec![e])
+        }),
+    )
+    .assume_pure();
+    // Order matters: `main` searches before `good` is populated.
+    let report = Runner::new(16, 20_000).run_to_fixpoint(&mut eg, &[main, derive]);
+    assert!(report.saturated);
+    assert!(
+        eg.relations.contains("marked", &[eg.find(m)]),
+        "the late-tuple join match was missed"
+    );
+    assert_eq!(
+        report.full_searches, 2,
+        "only each rule's first search may be full"
+    );
+    assert!(
+        report.delta_searches >= 2,
+        "later passes must run as delta probes"
+    );
 }
 
 #[test]

@@ -286,7 +286,7 @@ fn tile_matmul(
             c.lanes()
         )));
     }
-    if k % 2 != 0 {
+    if !k.is_multiple_of(2) {
         return Err(ExecError("tile_matmul requires even K (bf16 pairs)".into()));
     }
     let amx_err = |e: hb_accel::amx::AmxError| ExecError(e.to_string());
@@ -352,7 +352,7 @@ fn wmma_mma(
 /// VNNI-style k-way interleave of a `rows × cols` row-major value:
 /// groups `ways` consecutive rows and interleaves their elements.
 fn kway_interleave(ways: usize, rows: usize, v: &Value) -> ExecResult<Value> {
-    if ways == 0 || rows == 0 || rows % ways != 0 || v.lanes() % rows != 0 {
+    if ways == 0 || rows == 0 || !rows.is_multiple_of(ways) || !v.lanes().is_multiple_of(rows) {
         return Err(ExecError(format!(
             "kway_interleave: invalid ways={ways} rows={rows} lanes={}",
             v.lanes()

@@ -1,0 +1,182 @@
+//! Batched (shared e-graph) selection must be indistinguishable from the
+//! default per-leaf path on every pipeline-producing workload in
+//! `crates/apps`: same selected program, byte for byte (modulo the global
+//! `__hb_tmp` counter, renumbered before comparison), and the same
+//! per-statement lowering outcomes.
+
+use hardboiled_repro::apps::conv1d::Conv1d;
+use hardboiled_repro::apps::conv2d::Conv2d;
+use hardboiled_repro::apps::gemm_wmma::GemmWmma;
+use hardboiled_repro::apps::matmul_amx::{AmxMatmul, Layout, Variant};
+use hardboiled_repro::apps::resample_int::{Downsample, Upsample};
+use hardboiled_repro::hardboiled::selector::{select, select_batched_many, SelectorConfig};
+use hardboiled_repro::lang::lower::lower;
+use hardboiled_repro::lang::Pipeline;
+
+/// Renumbers `__hb_tmpN` gensyms by first appearance so programs from two
+/// selector runs compare equal (the temp counter is global, not per-run).
+fn normalize_temps(program: &str) -> String {
+    let mut out = String::with_capacity(program.len());
+    let mut seen: Vec<String> = Vec::new();
+    let mut rest = program;
+    while let Some(pos) = rest.find("__hb_tmp") {
+        let (head, tail) = rest.split_at(pos + "__hb_tmp".len());
+        out.push_str(head);
+        let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+        let canon = match seen.iter().position(|d| *d == digits) {
+            Some(i) => i,
+            None => {
+                seen.push(digits.clone());
+                seen.len() - 1
+            }
+        };
+        out.push_str(&canon.to_string());
+        rest = &tail[digits.len()..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Selects the pipeline through both modes and asserts equivalence.
+fn assert_batched_equivalent(name: &str, pipeline: &Pipeline) {
+    let lowered = lower(pipeline).unwrap_or_else(|e| panic!("{name}: lowering failed: {e}"));
+    let (per_leaf, r_leaf) = select(
+        &lowered.stmt,
+        &lowered.placements,
+        &SelectorConfig::default(),
+    );
+    let (batched, r_batch) = select(
+        &lowered.stmt,
+        &lowered.placements,
+        &SelectorConfig::batched(),
+    );
+    assert_eq!(
+        normalize_temps(&per_leaf.to_string()),
+        normalize_temps(&batched.to_string()),
+        "{name}: batched selection produced a different program"
+    );
+    assert_eq!(
+        r_leaf.num_statements(),
+        r_batch.num_statements(),
+        "{name}: leaf counts diverged"
+    );
+    for (i, (a, b)) in r_leaf.stmts.iter().zip(&r_batch.stmts).enumerate() {
+        assert_eq!(a.original, b.original, "{name}: stmt {i} original differs");
+        assert_eq!(
+            a.lowered, b.lowered,
+            "{name}: stmt {i} lowering outcome differs"
+        );
+    }
+    if r_leaf.num_statements() > 0 {
+        let batch = r_batch.batch.as_ref().expect("batched mode sets batch");
+        assert!(batch.nodes > 0, "{name}: shared graph cannot be empty");
+    } else {
+        assert!(r_batch.batch.is_none(), "{name}: no leaves, no batch run");
+    }
+}
+
+#[test]
+fn conv1d_workloads_select_identically() {
+    for (n, k) in [(512, 8), (1024, 16), (1024, 64)] {
+        let app = Conv1d { n, k };
+        assert_batched_equivalent(&format!("conv1d_{n}_{k}"), &app.pipeline(true));
+    }
+    // The unrolled variant multiplies the leaf count (Fig. 6's regime) —
+    // exactly where shared-subterm deduplication matters.
+    let app = Conv1d { n: 512, k: 32 };
+    assert_batched_equivalent("conv1d_unrolled_512_32", &app.pipeline_tc_unrolled());
+}
+
+#[test]
+fn conv2d_workloads_select_identically() {
+    let app = Conv2d {
+        width: 256,
+        height: 64,
+        kw: 8,
+        kh: 3,
+    };
+    assert_batched_equivalent("conv2d_256_64", &app.pipeline(true));
+}
+
+#[test]
+fn gemm_wmma_workloads_select_identically() {
+    for (m, k, n) in [(32, 32, 32), (64, 64, 64), (96, 32, 48)] {
+        let app = GemmWmma { m, k, n };
+        assert_batched_equivalent(&format!("gemm_{m}_{k}_{n}"), &app.pipeline(true));
+    }
+}
+
+#[test]
+fn amx_matmul_workloads_select_identically() {
+    // Every layout × variant whose schedule builds, including the ones
+    // that must *fail* to lower (Standard+PreloadB): failure outcomes must
+    // match between the modes, too.
+    for layout in [Layout::Standard, Layout::Vnni] {
+        for variant in Variant::all() {
+            if let Ok(p) = AmxMatmul::default().pipeline(layout, variant) {
+                assert_batched_equivalent(&format!("amx_{layout:?}_{variant:?}"), &p);
+            }
+        }
+    }
+}
+
+#[test]
+fn resampling_workloads_select_identically() {
+    let down = Downsample { n: 128, k: 16 };
+    assert_batched_equivalent("downsample_128_16", &down.pipeline(true));
+    let up = Upsample { n: 256, taps: 8 };
+    assert_batched_equivalent("upsample_256_8", &up.pipeline(true));
+}
+
+#[test]
+fn whole_suite_batch_selects_identically() {
+    // `select_batched_many`: leaves of several different programs share
+    // one e-graph; every program must still come out byte-identical to
+    // its independent per-leaf selection.
+    let pipelines = [
+        Conv1d { n: 1024, k: 16 }.pipeline(true),
+        Conv1d { n: 512, k: 32 }.pipeline_tc_unrolled(),
+        GemmWmma {
+            m: 32,
+            k: 32,
+            n: 32,
+        }
+        .pipeline(true),
+        AmxMatmul::default()
+            .pipeline(Layout::Standard, Variant::Reference)
+            .unwrap(),
+    ];
+    let lowereds: Vec<_> = pipelines.iter().map(|p| lower(p).unwrap()).collect();
+    let programs: Vec<_> = lowereds.iter().map(|l| (&l.stmt, &l.placements)).collect();
+    let (outs, report) = select_batched_many(&programs, &SelectorConfig::batched());
+    assert_eq!(outs.len(), lowereds.len());
+    assert!(report.batch.is_some());
+    for (i, (lowered, out)) in lowereds.iter().zip(&outs).enumerate() {
+        let (per_leaf, _) = select(
+            &lowered.stmt,
+            &lowered.placements,
+            &SelectorConfig::default(),
+        );
+        assert_eq!(
+            normalize_temps(&per_leaf.to_string()),
+            normalize_temps(&out.to_string()),
+            "program {i}: suite-batched selection diverged from per-leaf"
+        );
+    }
+}
+
+#[test]
+fn statements_without_movement_are_untouched_in_batched_mode() {
+    // A pipeline with no accelerator placements has no selection leaves:
+    // batched mode must return the tree unchanged with an empty report.
+    let app = Conv1d { n: 256, k: 8 };
+    let lowered = lower(&app.pipeline(false)).unwrap();
+    let (out, report) = select(
+        &lowered.stmt,
+        &lowered.placements,
+        &SelectorConfig::batched(),
+    );
+    assert_eq!(report.num_statements(), 0);
+    assert!(report.batch.is_none());
+    assert_eq!(out.to_string(), lowered.stmt.to_string());
+}
