@@ -2,9 +2,9 @@
 //!
 //! The constants for the two GPUs are those the paper itself uses for its
 //! theoretical-peak lines: the A100 at 156 T-FMA/s FP16 tensor throughput
-//! and 2 TB/s HBM (§IV, [13]), and the RTX 4070 SUPER at 36 T-FMA/s tensor
-//! throughput (RTX 4090 numbers scaled by Tensor Core count, footnote 6)
-//! with 504.2 GB/s advertised bandwidth.
+//! and 2 TB/s HBM (§IV, citation 13), and the RTX 4070 SUPER at 36 T-FMA/s
+//! tensor throughput (RTX 4090 numbers scaled by Tensor Core count,
+//! footnote 6) with 504.2 GB/s advertised bandwidth.
 
 /// Throughput/latency parameters of one execution platform.
 #[derive(Debug, Clone, PartialEq)]

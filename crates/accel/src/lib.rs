@@ -32,10 +32,12 @@ pub mod amx;
 pub mod counters;
 pub mod device;
 pub mod perf;
+pub mod target;
 pub mod wmma;
 
 pub use amx::{AmxUnit, TileDtype};
 pub use counters::{CostCounters, MemScope};
 pub use device::DeviceProfile;
 pub use perf::{estimate, estimate_with_efficiency, theoretical_peak, Bound, TimeEstimate};
+pub use target::{AmxTarget, RuleProfile, ScalarTarget, SimTarget, Target, WmmaTarget};
 pub use wmma::{Fragment, FragmentKind, MatrixLayout, TensorCoreUnit, WmmaShape};

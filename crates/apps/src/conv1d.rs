@@ -6,11 +6,12 @@
 //! a Toeplitz matrix built by `convolution_shuffle`. The CUDA-only schedule
 //! is the best-effort baseline the paper compares against (Fig. 5).
 
+use hardboiled::Session;
 use hb_accel::counters::CostCounters;
 use hb_ir::types::{MemoryType, ScalarType};
 use hb_lang::ast::{cast_f32, hf, hv, Func, ImageParam, Pipeline, RDom};
 
-use crate::harness::{compile_and_run, test_data, RunResult};
+use crate::harness::{compile_and_run_with, test_data, RunResult};
 use crate::reference;
 
 /// Problem parameters.
@@ -101,16 +102,27 @@ impl Conv1d {
         (i, k)
     }
 
-    /// Runs one schedule end to end on the simulator.
+    /// Runs one schedule end to end on the simulator (default session).
     ///
     /// # Panics
     ///
     /// Panics on lowering/execution failure.
     #[must_use]
     pub fn run(&self, tensor_cores: bool) -> RunResult {
+        self.run_with(&Session::default(), tensor_cores)
+    }
+
+    /// Runs one schedule end to end through a caller-provided [`Session`]
+    /// (pick the target, cost model and batching mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics on lowering/execution failure.
+    #[must_use]
+    pub fn run_with(&self, session: &Session, tensor_cores: bool) -> RunResult {
         let p = self.pipeline(tensor_cores);
         let (i, k) = self.inputs();
-        compile_and_run(&p, true, &[("I", &i), ("K", &k)]).expect("conv1d run")
+        compile_and_run_with(session, &p, &[("I", &i), ("K", &k)]).expect("conv1d run")
     }
 
     /// Reference output.

@@ -2,10 +2,11 @@
 //! each kernel row is a 1-D convolution HARDBOILED tensorizes (the `ry`
 //! loop stays serial, exactly the paper's reformulation).
 
+use hardboiled::Session;
 use hb_ir::types::{MemoryType, ScalarType};
 use hb_lang::ast::{cast_f32, hf, hv, Func, ImageParam, Pipeline, RDom};
 
-use crate::harness::{compile_and_run, test_data, RunResult};
+use crate::harness::{compile_and_run_with, test_data, RunResult};
 use crate::reference;
 
 /// Problem parameters.
@@ -87,16 +88,26 @@ impl Conv2d {
         (i, k)
     }
 
-    /// Runs one schedule.
+    /// Runs one schedule (default session).
     ///
     /// # Panics
     ///
     /// Panics on lowering/execution failure.
     #[must_use]
     pub fn run(&self, tensor_cores: bool) -> RunResult {
+        self.run_with(&Session::default(), tensor_cores)
+    }
+
+    /// Runs one schedule through a caller-provided [`Session`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on lowering/execution failure.
+    #[must_use]
+    pub fn run_with(&self, session: &Session, tensor_cores: bool) -> RunResult {
         let p = self.pipeline(tensor_cores);
         let (i, k) = self.inputs();
-        compile_and_run(&p, true, &[("I", &i), ("K", &k)]).expect("conv2d run")
+        compile_and_run_with(session, &p, &[("I", &i), ("K", &k)]).expect("conv2d run")
     }
 
     /// Reference output (row-major `height × width` transposed to the `out`

@@ -5,7 +5,9 @@ use hb_accel::counters::CostCounters;
 use hb_ir::types::{MemoryType, ScalarType};
 use hb_lang::ast::{cast_f32, hf, hv, Func, ImageParam, Pipeline, RDom};
 
-use crate::harness::{compile_and_run, test_data, RunResult};
+use hardboiled::Session;
+
+use crate::harness::{compile_and_run_with, test_data, RunResult};
 use crate::reference;
 
 /// GEMM sizes (multiples of 16).
@@ -79,16 +81,26 @@ impl GemmWmma {
         )
     }
 
-    /// Runs one schedule.
+    /// Runs one schedule (default session).
     ///
     /// # Panics
     ///
     /// Panics on failure.
     #[must_use]
     pub fn run(&self, tensor_cores: bool) -> RunResult {
+        self.run_with(&Session::default(), tensor_cores)
+    }
+
+    /// Runs one schedule through a caller-provided [`Session`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on failure.
+    #[must_use]
+    pub fn run_with(&self, session: &Session, tensor_cores: bool) -> RunResult {
         let p = self.pipeline(tensor_cores);
         let (a, b) = self.inputs();
-        compile_and_run(&p, true, &[("A", &a), ("B", &b)]).expect("gemm run")
+        compile_and_run_with(session, &p, &[("A", &a), ("B", &b)]).expect("gemm run")
     }
 
     /// Reference output (row-major M×N).

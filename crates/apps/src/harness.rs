@@ -1,8 +1,8 @@
 //! Compile-and-run harness: lowers a pipeline, optionally runs HARDBOILED
-//! instruction selection, executes it on the simulator, and reports outputs,
-//! cost counters and runtime estimates.
+//! instruction selection through a [`Session`], executes it on the
+//! simulator, and reports outputs, cost counters and runtime estimates.
 
-use hardboiled::selector::{select, SelectionReport, SelectorConfig};
+use hardboiled::{CompileReport, Session};
 use hb_accel::counters::CostCounters;
 use hb_accel::device::DeviceProfile;
 use hb_accel::perf::{estimate, TimeEstimate};
@@ -21,8 +21,8 @@ pub struct RunResult {
     pub output: Vec<f64>,
     /// Cost counters of the simulated execution.
     pub counters: CostCounters,
-    /// Instruction-selection report (empty if the selector was skipped).
-    pub selection: Option<SelectionReport>,
+    /// Unified compilation report (`None` if the selector was skipped).
+    pub selection: Option<CompileReport>,
     /// Wall-clock compile time (lowering + selection).
     pub compile_time: Duration,
 }
@@ -35,8 +35,39 @@ impl RunResult {
     }
 }
 
-/// Compiles a pipeline (optionally through HARDBOILED) and executes it with
-/// the given inputs.
+/// Compiles a pipeline through a caller-provided [`Session`] and executes
+/// it with the given inputs. The session is reused across calls, so its
+/// compiled rule set is paid for once.
+///
+/// # Errors
+///
+/// Fails on lowering or execution errors.
+pub fn compile_and_run_with(
+    session: &Session,
+    pipeline: &Pipeline,
+    inputs: &[(&str, &[f64])],
+) -> ExecResult<RunResult> {
+    let started = Instant::now();
+    let lowered = lower(pipeline).map_err(|e| ExecError(e.to_string()))?;
+    let result = session
+        .compile(&lowered)
+        .map_err(|e| ExecError(e.to_string()))?;
+    let compile_time = started.elapsed();
+
+    let mut it = Interp::new();
+    alloc_io(&mut it, &lowered, inputs)?;
+    it.run_kernel(&result.program)?;
+    let output = it.mem.snapshot(&lowered.output_name)?;
+    Ok(RunResult {
+        output,
+        counters: it.counters(),
+        selection: Some(result.report),
+        compile_time,
+    })
+}
+
+/// Compiles a pipeline (optionally through HARDBOILED, with the default
+/// session) and executes it with the given inputs.
 ///
 /// # Errors
 ///
@@ -46,46 +77,48 @@ pub fn compile_and_run(
     use_selector: bool,
     inputs: &[(&str, &[f64])],
 ) -> ExecResult<RunResult> {
+    if use_selector {
+        return compile_and_run_with(&Session::default(), pipeline, inputs);
+    }
     let started = Instant::now();
     let lowered = lower(pipeline).map_err(|e| ExecError(e.to_string()))?;
-    let (stmt, selection) = if use_selector {
-        let (s, r) = select(
-            &lowered.stmt,
-            &lowered.placements,
-            &SelectorConfig::default(),
-        );
-        (s, Some(r))
-    } else {
-        (lowered.stmt.clone(), None)
-    };
     let compile_time = started.elapsed();
-
     let mut it = Interp::new();
     alloc_io(&mut it, &lowered, inputs)?;
-    it.run_kernel(&stmt)?;
+    it.run_kernel(&lowered.stmt)?;
     let output = it.mem.snapshot(&lowered.output_name)?;
     Ok(RunResult {
         output,
         counters: it.counters(),
-        selection,
+        selection: None,
         compile_time,
     })
 }
 
-/// Lowers and selects without executing (for compile-time measurements,
-/// Fig. 6).
+/// Lowers and selects through a caller-provided session without executing
+/// (for compile-time measurements, Fig. 6).
 ///
 /// # Errors
 ///
 /// Fails on lowering errors.
-pub fn compile_only(pipeline: &Pipeline) -> Result<(Lowered, SelectionReport), ExecError> {
+pub fn compile_only_with(
+    session: &Session,
+    pipeline: &Pipeline,
+) -> Result<(Lowered, CompileReport), ExecError> {
     let lowered = lower(pipeline).map_err(|e| ExecError(e.to_string()))?;
-    let (_, report) = select(
-        &lowered.stmt,
-        &lowered.placements,
-        &SelectorConfig::default(),
-    );
-    Ok((lowered, report))
+    let result = session
+        .compile(&lowered)
+        .map_err(|e| ExecError(e.to_string()))?;
+    Ok((lowered, result.report))
+}
+
+/// Lowers and selects with the default session without executing.
+///
+/// # Errors
+///
+/// Fails on lowering errors.
+pub fn compile_only(pipeline: &Pipeline) -> Result<(Lowered, CompileReport), ExecError> {
+    compile_only_with(&Session::default(), pipeline)
 }
 
 fn alloc_io(it: &mut Interp, lowered: &Lowered, inputs: &[(&str, &[f64])]) -> ExecResult<()> {

@@ -5,10 +5,11 @@
 //! pre-swizzled VNNI layout and the conventional standard layout, and
 //! reports which combinations HARDBOILED can lower — regenerating Table I.
 
+use hardboiled::Session;
 use hb_ir::types::{MemoryType, ScalarType};
 use hb_lang::ast::{cast_f32, hf, hi, hv, Func, HExpr, ImageParam, Pipeline, RDom};
 
-use crate::harness::{compile_and_run, max_rel_error, test_data, RunResult};
+use crate::harness::{compile_and_run_with, max_rel_error, test_data, RunResult};
 use crate::reference;
 
 /// Operand layout for matrix B.
@@ -234,15 +235,28 @@ impl AmxMatmul {
         )
     }
 
-    /// Runs one combination; `None` when inexpressible.
+    /// Runs one combination with the default session; `None` when
+    /// inexpressible.
     #[must_use]
     pub fn run(&self, layout: Layout, variant: Variant) -> Option<RunResult> {
+        self.run_with(&Session::default(), layout, variant)
+    }
+
+    /// Runs one combination through a caller-provided [`Session`]; `None`
+    /// when inexpressible.
+    #[must_use]
+    pub fn run_with(
+        &self,
+        session: &Session,
+        layout: Layout,
+        variant: Variant,
+    ) -> Option<RunResult> {
         let p = self.pipeline(layout, variant).ok()?;
         let inputs = self.inputs();
         Some(
-            compile_and_run(
+            compile_and_run_with(
+                session,
                 &p,
-                true,
                 &[
                     ("A", &inputs.a_buf),
                     ("B", &inputs.b_buf),
@@ -263,7 +277,7 @@ impl AmxMatmul {
         let lowered = result
             .selection
             .as_ref()
-            .is_some_and(hardboiled::selector::SelectionReport::all_lowered);
+            .is_some_and(hardboiled::CompileReport::all_lowered);
         let inputs = self.inputs();
         let correct = max_rel_error(&result.output, &self.reference(&inputs)) < 0.05;
         lowered && correct

@@ -5,7 +5,9 @@
 use hb_ir::types::{MemoryType, ScalarType};
 use hb_lang::ast::{cast_f32, hf, hi, hv, Func, ImageParam, Pipeline, RDom};
 
-use crate::harness::{compile_and_run, test_data, RunResult};
+use hardboiled::Session;
+
+use crate::harness::{compile_and_run_with, test_data, RunResult};
 use crate::reference;
 
 /// Downsampling by 2: `O(x) = Σ_r I(2x+r)·K(r)`.
@@ -74,16 +76,26 @@ impl Downsample {
         )
     }
 
-    /// Runs one schedule.
+    /// Runs one schedule (default session).
     ///
     /// # Panics
     ///
     /// Panics on failure.
     #[must_use]
     pub fn run(&self, tensor_cores: bool) -> RunResult {
+        self.run_with(&Session::default(), tensor_cores)
+    }
+
+    /// Runs one schedule through a caller-provided [`Session`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on failure.
+    #[must_use]
+    pub fn run_with(&self, session: &Session, tensor_cores: bool) -> RunResult {
         let p = self.pipeline(tensor_cores);
         let (i, k) = self.inputs();
-        compile_and_run(&p, true, &[("I", &i), ("K", &k)]).expect("downsample run")
+        compile_and_run_with(session, &p, &[("I", &i), ("K", &k)]).expect("downsample run")
     }
 
     /// Reference output.
@@ -169,16 +181,26 @@ impl Upsample {
         )
     }
 
-    /// Runs one schedule.
+    /// Runs one schedule (default session).
     ///
     /// # Panics
     ///
     /// Panics on failure.
     #[must_use]
     pub fn run(&self, tensor_cores: bool) -> RunResult {
+        self.run_with(&Session::default(), tensor_cores)
+    }
+
+    /// Runs one schedule through a caller-provided [`Session`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on failure.
+    #[must_use]
+    pub fn run_with(&self, session: &Session, tensor_cores: bool) -> RunResult {
         let p = self.pipeline(tensor_cores);
         let (i, kp) = self.inputs();
-        compile_and_run(&p, true, &[("I", &i), ("Kp", &kp)]).expect("upsample run")
+        compile_and_run_with(session, &p, &[("I", &i), ("Kp", &kp)]).expect("upsample run")
     }
 
     /// Reference output.

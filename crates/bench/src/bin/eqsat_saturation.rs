@@ -1,23 +1,26 @@
 //! End-to-end equality-saturation benchmark, written to `BENCH_eqsat.json`
 //! so future PRs can track the engine's performance trajectory.
 //!
-//! Three measurements:
+//! Three measurements (all through the `Session` API):
 //!
-//! 1. **selector workloads** — full per-leaf `selector::select` per
+//! 1. **selector workloads** — full per-leaf `Session::compile` per
 //!    pipeline (encode + saturate + extract + decode per leaf statement)
 //!    on representative conv1d / GEMM / AMX-MatMul encodings, once with
 //!    the indexed/delta matcher and once with the retained naive reference
 //!    matcher (`Runner::use_naive_matcher`), asserting identical selected
 //!    programs.
-//! 2. **batched selection** — per workload through
-//!    `SelectorConfig::batched` (all of a program's leaves in ONE shared
-//!    e-graph), and the whole suite through `select_batched_many` (every
-//!    leaf of every workload in one graph, one saturation for the entire
-//!    batch), asserting byte-identical selected programs against the
-//!    per-leaf path in both shapes. The suite number is the headline: the
-//!    rule set's fixed costs and the saturation are paid once for the
+//! 2. **batched selection** — per workload through a
+//!    `Batching::Batched` session (all of a program's leaves in ONE shared
+//!    e-graph), and the whole suite through `Session::compile_ir_suite`
+//!    (every leaf of every workload in one graph, one saturation for the
+//!    entire batch), asserting byte-identical selected programs against
+//!    the per-leaf path in both shapes. The suite number is the headline:
+//!    the rule set's fixed costs and the saturation are paid once for the
 //!    batch, and cross-program subterm sharing collapses the repeated
-//!    index algebra of the conv1d/GEMM/AMX family.
+//!    index algebra of the conv1d/GEMM/AMX family. The suite run's
+//!    per-stage timings (encode / saturate / extract / splice, from
+//!    `CompileReport::stages`) are recorded in the JSON so future PRs can
+//!    target the slowest stage.
 //! 3. **batched saturation** — every leaf statement of an enlarged
 //!    workload pool encoded into one e-graph and saturated with the phased
 //!    schedule, indexed vs naive (the engine-level speedup), plus the
@@ -35,8 +38,9 @@ use std::time::Instant;
 use hardboiled::encode::encode_stmt;
 use hardboiled::lang::HbGraph;
 use hardboiled::movement::{annotate_stmt, collect_placements};
+use hardboiled::postprocess::normalize_temps;
 use hardboiled::rules;
-use hardboiled::selector::{select, select_batched_many, SelectionReport, SelectorConfig};
+use hardboiled::{Batching, CompileReport, Session};
 use hb_apps::conv1d::Conv1d;
 use hb_apps::conv2d::Conv2d;
 use hb_apps::gemm_wmma::GemmWmma;
@@ -168,23 +172,23 @@ fn saturation_leaves(lowered: &Lowered) -> Vec<Stmt> {
 
 struct Measurement {
     selected: Stmt,
-    report: SelectionReport,
+    report: CompileReport,
     wall_ms: f64,
 }
 
-/// Best-of-N wall clock for one selector configuration (selection is
-/// deterministic; the minimum is the least-noisy estimate).
-fn run_selector_config(w: &Workload, config: &SelectorConfig, reps: usize) -> Measurement {
-    let _ = select(&w.lowered.stmt, &w.lowered.placements, config);
+/// Best-of-N wall clock for one session (selection is deterministic; the
+/// minimum is the least-noisy estimate).
+fn run_session(w: &Workload, session: &Session, reps: usize) -> Measurement {
+    let _ = session.compile_ir(&w.lowered.stmt, &w.lowered.placements);
     let mut best: Option<Measurement> = None;
     for _ in 0..reps {
         let start = Instant::now();
-        let (selected, report) = select(&w.lowered.stmt, &w.lowered.placements, config);
+        let result = session.compile_ir(&w.lowered.stmt, &w.lowered.placements);
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         if best.as_ref().is_none_or(|b| wall_ms < b.wall_ms) {
             best = Some(Measurement {
-                selected,
-                report,
+                selected: result.program,
+                report: result.report,
                 wall_ms,
             });
         }
@@ -192,11 +196,20 @@ fn run_selector_config(w: &Workload, config: &SelectorConfig, reps: usize) -> Me
     best.expect("at least one measurement")
 }
 
-fn per_leaf_config(naive: bool) -> SelectorConfig {
-    SelectorConfig {
-        runner: Runner::new(16, 200_000).with_naive_matcher(naive),
-        ..SelectorConfig::default()
-    }
+/// The per-leaf reference session, optionally on the naive matcher.
+fn per_leaf_session(naive: bool) -> Session {
+    Session::builder()
+        .runner(Runner::new(16, 200_000).with_naive_matcher(naive))
+        .build()
+        .expect("valid session")
+}
+
+/// The shared-e-graph session.
+fn batched_session() -> Session {
+    Session::builder()
+        .batching(Batching::Batched)
+        .build()
+        .expect("valid session")
 }
 
 struct BatchRun {
@@ -242,30 +255,6 @@ fn run_batched_saturation(leaves: &[Stmt], naive: bool, reps: usize) -> BatchRun
         }
     }
     best.expect("at least one batch run")
-}
-
-/// Renumbers `__hb_tmpN` gensyms by first appearance so programs from two
-/// selector runs compare equal (the temp counter is global, not per-run).
-fn normalize_temps(program: &str) -> String {
-    let mut out = String::with_capacity(program.len());
-    let mut seen: Vec<String> = Vec::new();
-    let mut rest = program;
-    while let Some(pos) = rest.find("__hb_tmp") {
-        let (head, tail) = rest.split_at(pos + "__hb_tmp".len());
-        out.push_str(head);
-        let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
-        let canon = match seen.iter().position(|d| *d == digits) {
-            Some(i) => i,
-            None => {
-                seen.push(digits.clone());
-                seen.len() - 1
-            }
-        };
-        let _ = write!(out, "{canon}");
-        rest = &tail[digits.len()..];
-    }
-    out.push_str(rest);
-    out
 }
 
 /// The leaf pool for the engine-level saturation measurement: every leaf
@@ -321,23 +310,24 @@ fn run_prehoist_baseline(all: &[Workload], reps: usize) -> f64 {
     best
 }
 
-/// One whole-suite batched selection (`select_batched_many`): every leaf
-/// of every workload in one shared e-graph, one saturation. Returns the
-/// selected programs, the report and the wall time, best of `reps`.
-fn run_suite_batched(all: &[Workload], reps: usize) -> (Vec<Stmt>, SelectionReport, f64) {
-    let config = SelectorConfig::batched();
+/// One whole-suite batched compilation (`Session::compile_ir_suite` under
+/// `Batching::Batched`): every leaf of every workload in one shared
+/// e-graph, one saturation. Returns the selected programs, the report and
+/// the wall time, best of `reps`.
+fn run_suite_batched(all: &[Workload], reps: usize) -> (Vec<Stmt>, CompileReport, f64) {
+    let session = batched_session();
     let programs: Vec<(&Stmt, &hardboiled::movement::Placements)> = all
         .iter()
         .map(|w| (&w.lowered.stmt, &w.lowered.placements))
         .collect();
-    let _ = select_batched_many(&programs, &config);
-    let mut best: Option<(Vec<Stmt>, SelectionReport, f64)> = None;
+    let _ = session.compile_ir_suite(&programs);
+    let mut best: Option<(Vec<Stmt>, CompileReport, f64)> = None;
     for _ in 0..reps {
         let start = Instant::now();
-        let (outs, report) = select_batched_many(&programs, &config);
+        let result = session.compile_ir_suite(&programs);
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         if best.as_ref().is_none_or(|(_, _, b)| wall_ms < *b) {
-            best = Some((outs, report, wall_ms));
+            best = Some((result.programs, result.report, wall_ms));
         }
     }
     best.expect("at least one suite run")
@@ -363,11 +353,14 @@ fn assert_saturation_equivalent(fast: &BatchRun, naive: &BatchRun) {
 /// `--check`: equivalence oracles only — no repetitions, no timing
 /// assertions, no JSON. This is what CI runs on every PR.
 fn check_mode(all: &[Workload]) {
+    let indexed_session = per_leaf_session(false);
+    let naive_session = per_leaf_session(true);
+    let shared_session = batched_session();
     let mut canonical_programs = Vec::new();
     for w in all {
-        let per_leaf = run_selector_config(w, &per_leaf_config(false), 1);
-        let naive = run_selector_config(w, &per_leaf_config(true), 1);
-        let batched = run_selector_config(w, &SelectorConfig::batched(), 1);
+        let per_leaf = run_session(w, &indexed_session, 1);
+        let naive = run_session(w, &naive_session, 1);
+        let batched = run_session(w, &shared_session, 1);
         let canonical = normalize_temps(&per_leaf.selected.to_string());
         assert_eq!(
             canonical,
@@ -431,17 +424,20 @@ fn main() {
 
     let mut rows = String::new();
     println!("EqSat benchmark — indexed/delta matcher vs naive reference\n");
-    println!("[1] selector workloads (per-leaf e-graphs, full select())");
+    println!("[1] selector workloads (per-leaf e-graphs, full Session::compile)");
     println!(
         "{:<22} {:>12} {:>12} {:>8}   {:>6} {:>8}",
         "workload", "indexed (ms)", "naive (ms)", "speedup", "stmts", "nodes"
     );
+    let indexed_session = per_leaf_session(false);
+    let naive_session = per_leaf_session(true);
+    let shared_session = batched_session();
     let mut sel_indexed = 0.0;
     let mut sel_naive = 0.0;
     let mut per_leaf_runs: Vec<Measurement> = Vec::new();
     for w in &all {
-        let fast = run_selector_config(w, &per_leaf_config(false), 3);
-        let naive = run_selector_config(w, &per_leaf_config(true), 3);
+        let fast = run_session(w, &indexed_session, 3);
+        let naive = run_session(w, &naive_session, 3);
         assert_eq!(
             normalize_temps(&fast.selected.to_string()),
             normalize_temps(&naive.selected.to_string()),
@@ -495,7 +491,7 @@ fn main() {
     );
     let mut batch_rows = String::new();
     for (w, per_leaf) in all.iter().zip(&per_leaf_runs) {
-        let batched = run_selector_config(w, &SelectorConfig::batched(), 3);
+        let batched = run_session(w, &shared_session, 3);
         assert_eq!(
             normalize_temps(&per_leaf.selected.to_string()),
             normalize_temps(&batched.selected.to_string()),
@@ -564,6 +560,7 @@ fn main() {
         .batch
         .as_ref()
         .expect("suite batch must report the shared run");
+    let suite_stages = suite_report.stages;
     let suite_per_leaf = sel_indexed;
     let suite_speedup = suite_per_leaf / suite_batched;
     let prehoist = run_prehoist_baseline(&all, 2);
@@ -575,6 +572,13 @@ fn main() {
         suite_run.delta_searches,
         suite_run.full_searches,
         suite_run.skipped_searches
+    );
+    println!(
+        "      stages: encode {:.2} ms, saturate {:.2} ms, extract {:.2} ms, splice {:.2} ms",
+        suite_stages.encode.as_secs_f64() * 1e3,
+        suite_stages.saturate.as_secs_f64() * 1e3,
+        suite_stages.extract.as_secs_f64() * 1e3,
+        suite_stages.splice.as_secs_f64() * 1e3,
     );
     println!(
         "      vs per-leaf (rules hoisted, this PR):   {suite_per_leaf:.2} ms — {suite_speedup:.1}x"
@@ -647,10 +651,11 @@ fn main() {
 {batch_rows}
   ],
   "batched_select_suite": {{
-    "description": "whole suite as one batch: every leaf of every workload in one shared e-graph (select_batched_many); per_leaf_ms is this PR's hoisted per-leaf path, per_leaf_prehoist_ms the PR-1 path with rules rebuilt per leaf",
+    "description": "whole suite as one batch: every leaf of every workload in one shared e-graph (Session::compile_ir_suite, Batching::Batched); per_leaf_ms is the hoisted per-leaf path, per_leaf_prehoist_ms the PR-1 path with rules rebuilt per leaf; stages_ms is the CompileReport per-stage breakdown of the suite compile",
     "per_leaf_ms": {suite_per_leaf:.3},
     "per_leaf_prehoist_ms": {prehoist:.3},
     "batched_ms": {suite_batched:.3},
+    "stages_ms": {{ "encode": {stage_encode:.3}, "saturate": {stage_saturate:.3}, "extract": {stage_extract:.3}, "splice": {stage_splice:.3} }},
     "shared_nodes": {suite_nodes},
     "shared_classes": {suite_classes},
     "searches": {{ "delta": {suite_delta}, "full": {suite_full}, "skipped": {suite_skip} }},
@@ -673,6 +678,10 @@ fn main() {
 }}
 "#,
         sel_speedup = sel_naive / sel_indexed,
+        stage_encode = suite_stages.encode.as_secs_f64() * 1e3,
+        stage_saturate = suite_stages.saturate.as_secs_f64() * 1e3,
+        stage_extract = suite_stages.extract.as_secs_f64() * 1e3,
+        stage_splice = suite_stages.splice.as_secs_f64() * 1e3,
         suite_nodes = suite_run.nodes,
         suite_classes = suite_run.classes,
         suite_delta = suite_run.delta_searches,

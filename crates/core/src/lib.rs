@@ -6,28 +6,67 @@
 //! syntactic obfuscation introduced by the simplifier (the phase-ordering
 //! problem of §III-B).
 //!
-//! Pipeline (per leaf statement touching accelerator-placed buffers):
+//! ## The `Session` API
 //!
-//! 1. [`movement`] injects `loc_to_loc` data-movement markers,
-//! 2. [`encode`] builds the e-graph term ([`lang::HbLang`], paper Fig. 9),
-//! 3. [`rules`] saturate — axiomatic, application-specific, lowering, with
-//!    supporting rules run to fixpoint between iterations (§III-D2),
-//! 4. [`cost::HbCost`] extraction picks the cheapest equivalent (§III-D3),
-//! 5. [`decode`] + [`postprocess`] splice the result (materializing
-//!    `ExprVar` swizzle buffers) back into the loop nest.
-//!
-//! Drive it with [`selector::select`] or [`selector::select_default`].
+//! All compilation goes through a [`Session`], built once and reused:
 //!
 //! ```
-//! use hardboiled::selector::select_default;
+//! use hardboiled::{Batching, Session};
 //! use hb_ir::builder::*;
+//!
+//! let session = Session::builder()
+//!     .target_name("sim")          // "amx" | "wmma" | "scalar" | "sim"
+//!     .batching(Batching::Batched) // one shared e-graph per compile call
+//!     .build()
+//!     .unwrap();
 //!
 //! // Statements that do not touch accelerator buffers pass through.
 //! let s = store("out", ramp(int(0), int(1), 4), bcast(flt(2.0), 4));
-//! let (out, report) = select_default(&s);
-//! assert_eq!(out, s);
-//! assert_eq!(report.num_statements(), 0);
+//! let result = session.compile(&s).unwrap();
+//! assert_eq!(result.program, s);
+//! assert_eq!(result.report.num_statements(), 0);
 //! ```
+//!
+//! The session drives the full pipeline for every leaf statement touching
+//! accelerator-placed buffers:
+//!
+//! 1. [`movement`] injects `loc_to_loc` data-movement markers (for the
+//!    placements the target's policy honors),
+//! 2. [`encode`] builds the e-graph term ([`lang::HbLang`], paper Fig. 9),
+//! 3. [`rules`] saturate — axiomatic, application-specific, lowering (the
+//!    families the target's rule profile selects), with supporting rules
+//!    run to fixpoint between iterations (§III-D2),
+//! 4. extraction picks the cheapest equivalent under the session's
+//!    [`CostModel`] (§III-D3),
+//! 5. [`decode`] + [`postprocess`] splice the result (materializing
+//!    `ExprVar` swizzle buffers) back into the loop nest.
+//!
+//! [`Session::compile_suite`] batches entire suites: with
+//! [`Batching::Batched`], every leaf of every program shares one e-graph
+//! and one saturation run, with results byte-identical to per-leaf
+//! compilation. The [`CompileReport`] unifies statement outcomes, engine
+//! saturation statistics, front-end diagnostics and per-stage timings
+//! (lower / encode / saturate / extract / splice).
+//!
+//! ## Extension points
+//!
+//! * **Targets** ([`hb_accel::target::Target`]) bundle a device profile, a
+//!   placement policy and a rule profile. Built-ins: `amx`, `wmma`, the
+//!   no-accelerator `scalar` fallback, and `sim` (both families — the
+//!   default). Plug in a new backend by implementing the trait and passing
+//!   it to [`SessionBuilder::target`].
+//! * **Cost models** ([`cost::CostModel`]) assign per-node extraction
+//!   costs. The default, [`cost::DeviceCost`], is *derived from the
+//!   target's device profile*: intrinsics are priced by how the device's
+//!   tensor units compare to its general-purpose cores, so a device with
+//!   slow tensor units makes extraction keep the vector code. Override
+//!   with [`SessionBuilder::cost_model`].
+//! * **Front ends** implement [`session::IntoProgram`]; `hb-lang` does so
+//!   for its `Pipeline` and `Lowered` types, which makes
+//!   `session.compile(&pipeline)` lower and select in one call.
+//!
+//! The pre-`Session` free functions ([`selector::select`] and friends)
+//! remain as deprecated shims with byte-identical outputs.
 
 pub mod cost;
 pub mod decode;
@@ -37,7 +76,17 @@ pub mod movement;
 pub mod postprocess;
 pub mod rules;
 pub mod selector;
+pub mod session;
 
+pub use cost::{CostModel, DeviceCost, HbCost};
+pub use hb_accel::target::{AmxTarget, RuleProfile, ScalarTarget, SimTarget, Target, WmmaTarget};
 pub use lang::{HbAnalysis, HbGraph, HbLang};
 pub use movement::Placements;
-pub use selector::{select, select_default, SelectionReport, SelectorConfig};
+pub use selector::{SelectionReport, SelectorConfig};
+pub use session::{
+    Batching, BuildError, CompileError, CompileReport, CompileResult, IntoProgram, Program,
+    Session, SessionBuilder, StageTimings, StmtReport, SuiteResult,
+};
+
+#[allow(deprecated)]
+pub use selector::{select, select_default};

@@ -23,6 +23,34 @@ fn fresh_name() -> String {
     format!("__hb_tmp{n}")
 }
 
+/// Renumbers `__hb_tmpN` gensyms by first appearance so programs from two
+/// selector runs compare equal: the temp counter above is global to the
+/// process, not per-run, so byte-comparing selected programs across runs
+/// requires this canonicalization first. Used by every equivalence oracle
+/// (the batched-vs-per-leaf tests and the `eqsat_saturation` bench).
+#[must_use]
+pub fn normalize_temps(program: &str) -> String {
+    let mut out = String::with_capacity(program.len());
+    let mut seen: Vec<String> = Vec::new();
+    let mut rest = program;
+    while let Some(pos) = rest.find("__hb_tmp") {
+        let (head, tail) = rest.split_at(pos + "__hb_tmp".len());
+        out.push_str(head);
+        let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+        let canon = match seen.iter().position(|d| *d == digits) {
+            Some(i) => i,
+            None => {
+                seen.push(digits.clone());
+                seen.len() - 1
+            }
+        };
+        out.push_str(&canon.to_string());
+        rest = &tail[digits.len()..];
+    }
+    out.push_str(rest);
+    out
+}
+
 /// A materialized temporary: name, element type, size and initializer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Materialization {

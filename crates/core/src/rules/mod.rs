@@ -14,6 +14,9 @@ pub mod axiomatic;
 pub mod lowering;
 pub mod supporting;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hb_accel::target::RuleProfile;
 use hb_egraph::pattern::Subst;
 use hb_egraph::rewrite::Rewrite;
 use hb_egraph::unionfind::Id;
@@ -66,10 +69,24 @@ pub fn supporting_rules() -> Vec<Rw> {
     supporting::rules()
 }
 
+/// Number of [`RuleSet`] constructions performed by this process. Rule
+/// construction compiles dozens of queries, so the `Session` builds rule
+/// sets lazily (once per session, and only when a program actually has
+/// selection leaves); this counter lets tests assert that leaf-free
+/// compilations do zero rule-compile work.
+static RULE_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many times a [`RuleSet`] has been built in this process.
+#[must_use]
+pub fn rule_build_count() -> usize {
+    RULE_BUILDS.load(Ordering::SeqCst)
+}
+
 /// The full rule schedule (main + supporting), built — and its queries
-/// compiled — once and shared across every leaf statement of a `select()`
-/// call. Rule construction compiles a few dozen queries; doing it per leaf
-/// used to dominate small-statement selection.
+/// compiled — once and shared across every leaf statement of a `Session`
+/// (and of every `compile` it runs). Rule construction compiles a few
+/// dozen queries; doing it per leaf used to dominate small-statement
+/// selection.
 pub struct RuleSet {
     /// Main rules (axiomatic + app-specific + lowering), run in the outer
     /// phased iterations.
@@ -82,8 +99,29 @@ impl RuleSet {
     /// Builds (and compiles) the complete rule schedule.
     #[must_use]
     pub fn build() -> Self {
+        Self::for_profile(RuleProfile::All)
+    }
+
+    /// Builds the rule schedule for one target's [`RuleProfile`]: the
+    /// accelerator families the target cannot lower are dropped by rule
+    /// name (`amx-*` / `wmma-*` across the app-specific and lowering
+    /// sets), so an AMX-only session never saturates with WMMA rules and
+    /// vice versa. The axiomatic and supporting rules are target-neutral
+    /// and always included.
+    #[must_use]
+    pub fn for_profile(profile: RuleProfile) -> Self {
+        RULE_BUILDS.fetch_add(1, Ordering::SeqCst);
+        let mut main = main_rules();
+        match profile {
+            RuleProfile::All => {}
+            RuleProfile::Amx => main.retain(|r| !r.name.contains("wmma")),
+            RuleProfile::Wmma => main.retain(|r| !r.name.contains("amx")),
+            RuleProfile::None => {
+                main.retain(|r| !r.name.contains("wmma") && !r.name.contains("amx"));
+            }
+        }
         RuleSet {
-            main: main_rules(),
+            main,
             support: supporting_rules(),
         }
     }
@@ -92,5 +130,40 @@ impl RuleSet {
 impl Default for RuleSet {
     fn default() -> Self {
         Self::build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_keep_the_family_prefix_convention() {
+        // Profile filtering is name-based: a rule belongs to the AMX
+        // family iff its name contains "amx", to WMMA iff it contains
+        // "wmma". A name mentioning BOTH (e.g. a hypothetical
+        // "amx-to-wmma-copy") would silently vanish from *both*
+        // single-target profiles, so this test makes that situation loud:
+        // give such a rule a neutral name or extend `for_profile` with an
+        // explicit family tag first.
+        for r in main_rules() {
+            assert!(
+                !(r.name.contains("amx") && r.name.contains("wmma")),
+                "rule {:?} names both families; profile filtering would drop it everywhere",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_partition_the_main_rules() {
+        let all = RuleSet::build().main.len();
+        let amx = RuleSet::for_profile(RuleProfile::Amx).main.len();
+        let wmma = RuleSet::for_profile(RuleProfile::Wmma).main.len();
+        let none = RuleSet::for_profile(RuleProfile::None).main.len();
+        assert!(amx < all && wmma < all, "{amx}/{wmma}/{all}");
+        // Neutral rules (axiomatic + shared app rules) appear in every
+        // profile; family rules in exactly one.
+        assert_eq!(amx + wmma, all + none, "family rules must partition");
     }
 }

@@ -1,54 +1,35 @@
-//! The tensor instruction selector: HARDBOILED's driver.
+//! Deprecated free-function selector API, kept as thin shims over
+//! [`crate::session::Session`].
 //!
-//! For every leaf statement that touches accelerator-placed buffers, the
-//! selector (1) runs the data-movement annotation, (2) encodes the statement
-//! into an e-graph, (3) saturates with the phased rule schedule of §III-D2,
-//! (4) extracts the cheapest equivalent program under the §III-D3 cost
-//! model, and (5) post-processes `ExprVar` materializations — then splices
-//! the result back into the surrounding loop nest.
+//! The `select*` functions below were the public surface before the
+//! `Session` redesign; they remain so the original equivalence oracles
+//! (per-leaf ≡ batched ≡ suite-batched, indexed ≡ naive) keep running
+//! against the exact historical signatures. Each one builds a session from
+//! the given [`SelectorConfig`] and delegates; outputs are byte-identical
+//! to the pre-`Session` implementation.
 //!
-//! ## Per-leaf vs. batched mode
+//! New code should build a [`Session`]:
 //!
-//! The default mode builds **one e-graph per leaf statement**. The batched
-//! mode ([`SelectorConfig::batched`] / [`select_batched`]) instead encodes
-//! *every* accelerator-touching leaf of the program into **one shared
-//! e-graph** — hash-consing deduplicates subterms shared across leaves
-//! (index algebra, types, common loads), each leaf keeping its own root
-//! e-class — runs the phased rule schedule **once** over the merged graph,
-//! then extracts and decodes each root independently and splices the
-//! results back into their loop nests in traversal order.
+//! ```
+//! use hardboiled::{Batching, Session};
 //!
-//! Batched mode is where the engine's incrementality pays off: the rule
-//! set's fixed costs (per-rule delta bookkeeping, supporting-rule
-//! fixpoints, rebuilds) are paid once per program instead of once per
-//! leaf, and saturated phases cost almost nothing thanks to delta search.
-//! The selected programs are identical to the per-leaf path on every
-//! workload in `crates/apps` (asserted by the `eqsat_saturation` bench and
-//! the root `batched_equivalence` tests): saturation discovers the same
-//! equivalences either way, and extraction tie-breaks are
-//! content-deterministic, not id-order-dependent.
-//!
-//! Both modes build the rewrite-rule schedule ([`rules::RuleSet`]) once per
-//! [`select`] call — rule construction compiles dozens of queries and used
-//! to be re-done per leaf.
+//! let session = Session::builder().batching(Batching::Batched).build().unwrap();
+//! ```
 
-use std::time::{Duration, Instant};
-
-use hb_egraph::extract::Extractor;
-use hb_egraph::schedule::{RunReport, Runner};
-use hb_egraph::unionfind::Id;
-use hb_ir::expr::Expr;
+use hb_egraph::schedule::Runner;
 use hb_ir::stmt::Stmt;
 
-use crate::cost::HbCost;
-use crate::decode::decode_stmt;
-use crate::encode::encode_stmt;
-use crate::lang::{HbAnalysis, HbGraph, HbLang};
-use crate::movement::{annotate_stmt, collect_placements, Placements};
-use crate::postprocess::materialize_stmt;
-use crate::rules::RuleSet;
+use crate::movement::Placements;
+use crate::session::{Batching, Session};
 
-/// Configuration of the selector.
+pub use crate::session::{CompileReport, StmtReport};
+
+/// The whole-program selection report (now an alias of the unified
+/// [`CompileReport`]; the historical fields and methods are unchanged).
+pub type SelectionReport = CompileReport;
+
+/// Configuration of the free-function selector shims. `Session` holds the
+/// same knobs through its builder.
 #[derive(Debug, Clone)]
 pub struct SelectorConfig {
     /// Outer iterations of the main rules (§III-D2's fixed budget).
@@ -56,7 +37,7 @@ pub struct SelectorConfig {
     /// Saturation limits.
     pub runner: Runner,
     /// Saturate all leaf statements in one shared e-graph instead of one
-    /// e-graph per leaf (see the module docs).
+    /// e-graph per leaf.
     pub batched: bool,
 }
 
@@ -82,278 +63,85 @@ impl SelectorConfig {
             batched: true,
         }
     }
-}
 
-/// Outcome for one statement that went through equality saturation.
-#[derive(Debug, Clone)]
-pub struct StmtReport {
-    /// Pretty-printed original statement.
-    pub original: String,
-    /// Whether all data movements were absorbed into intrinsics.
-    pub lowered: bool,
-    /// Saturation statistics.
-    pub eqsat: RunReport,
-}
-
-/// Whole-program selection report.
-#[derive(Debug, Clone, Default)]
-pub struct SelectionReport {
-    /// Per-statement outcomes (only statements that were saturated).
-    pub stmts: Vec<StmtReport>,
-    /// The shared-graph saturation report when the batched mode ran (the
-    /// per-statement `eqsat` reports are then empty defaults — the work
-    /// happened once, here).
-    pub batch: Option<RunReport>,
-    /// Total time spent inside equality saturation (the paper's Fig. 6
-    /// "egglog" series).
-    pub eqsat_time: Duration,
-    /// Total selector time including encode/extract/decode.
-    pub total_time: Duration,
-}
-
-impl SelectionReport {
-    /// Whether every saturated statement lowered fully.
+    /// The equivalent session (default `sim` target and device-derived
+    /// cost model, which reproduces the historical constants). Accepts
+    /// every historically constructible config verbatim — even degenerate
+    /// budgets the `Session` builder rejects for new code — so the shims
+    /// never fail where the original free functions succeeded.
     #[must_use]
-    pub fn all_lowered(&self) -> bool {
-        self.stmts.iter().all(|s| s.lowered)
+    pub fn to_session(&self) -> Session {
+        Session::from_selector_parts(
+            if self.batched {
+                Batching::Batched
+            } else {
+                Batching::PerLeaf
+            },
+            self.outer_iters,
+            self.runner.clone(),
+        )
     }
-
-    /// Number of statements that went through saturation.
-    #[must_use]
-    pub fn num_statements(&self) -> usize {
-        self.stmts.len()
-    }
-}
-
-fn expr_has_movement(e: &Expr) -> bool {
-    let mut found = false;
-    e.for_each(&mut |n| {
-        if matches!(n, Expr::LocToLoc { .. }) {
-            found = true;
-        }
-    });
-    found
-}
-
-fn stmt_has_movement(s: &Stmt) -> bool {
-    let mut found = false;
-    s.for_each_expr(&mut |e| {
-        if matches!(e, Expr::LocToLoc { .. }) {
-            found = true;
-        }
-    });
-    found
-}
-
-/// Whether the (annotated) statement is a leaf the selector must saturate:
-/// a `Store`/`Evaluate` containing data movement.
-fn is_selection_leaf(s: &Stmt) -> bool {
-    match s {
-        Stmt::Store { index, value, .. } => expr_has_movement(index) || expr_has_movement(value),
-        Stmt::Evaluate(e) => expr_has_movement(e),
-        _ => false,
-    }
-}
-
-/// Extracts, decodes and post-processes one saturated root back into a
-/// statement (falling back to the original on undecodable terms).
-fn readout(
-    extractor: &Extractor<'_, HbLang, HbAnalysis, HbCost>,
-    root: Id,
-    original: &Stmt,
-) -> Stmt {
-    let term = extractor.extract(root);
-    let decoded = match decode_stmt(&term) {
-        Ok(s) => s,
-        Err(_) => original.clone(),
-    };
-    materialize_stmt(&decoded)
-}
-
-/// Runs instruction selection on one annotated leaf statement.
-fn select_leaf(
-    stmt: &Stmt,
-    config: &SelectorConfig,
-    rules: &RuleSet,
-    report: &mut SelectionReport,
-) -> Stmt {
-    let started = Instant::now();
-    let mut eg = HbGraph::default();
-    crate::rules::app_specific::declare_relations(&mut eg);
-    let root = encode_stmt(&mut eg, stmt);
-    let eqsat_started = Instant::now();
-    let run = config
-        .runner
-        .run_phased(&mut eg, &rules.main, &rules.support, config.outer_iters);
-    report.eqsat_time += eqsat_started.elapsed();
-
-    let extractor = Extractor::new(&eg, HbCost);
-    let materialized = readout(&extractor, root, stmt);
-    let lowered = !stmt_has_movement(&materialized);
-    report.stmts.push(StmtReport {
-        original: stmt.to_string(),
-        lowered,
-        eqsat: run,
-    });
-    report.total_time += started.elapsed();
-    materialized
-}
-
-/// Annotates the tree with data movements (the shared front half of both
-/// selection modes).
-fn annotate(stmt: &Stmt, extra_placements: &Placements) -> Stmt {
-    let mut placements = collect_placements(stmt);
-    for (k, v) in extra_placements {
-        placements.insert(k.clone(), *v);
-    }
-    annotate_stmt(stmt, &placements)
 }
 
 /// Runs HARDBOILED over a whole statement tree.
 ///
 /// `extra_placements` supplements the placements discoverable from
 /// `Allocate` nodes (for buffers allocated outside the tree, e.g. pipeline
-/// outputs). With [`SelectorConfig::batched`] set this dispatches to the
-/// shared-e-graph mode of [`select_batched`].
+/// outputs).
+#[deprecated(since = "0.2.0", note = "use hardboiled::Session::compile")]
 #[must_use]
 pub fn select(
     stmt: &Stmt,
     extra_placements: &Placements,
     config: &SelectorConfig,
 ) -> (Stmt, SelectionReport) {
-    if config.batched {
-        return select_batched(stmt, extra_placements, config);
-    }
-    let annotated = annotate(stmt, extra_placements);
-    // Built on the first leaf: programs without accelerator-touching
-    // leaves pay nothing for rule construction.
-    let mut rules: Option<RuleSet> = None;
-    let mut report = SelectionReport::default();
-    let out = annotated.rewrite_stmts_bottom_up(&mut |s| {
-        is_selection_leaf(s).then(|| {
-            let rules = rules.get_or_insert_with(RuleSet::build);
-            select_leaf(s, config, rules, &mut report)
-        })
-    });
-    (out, report)
+    let result = config.to_session().compile_ir(stmt, extra_placements);
+    (result.program, result.report)
 }
 
-/// Whole-program selection in one shared e-graph: every
-/// accelerator-touching leaf is encoded into a single graph (per-leaf root
-/// e-classes, cross-leaf subterm deduplication), the phased schedule runs
-/// once, and each root is extracted/decoded/post-processed independently
-/// before being spliced back into its loop nest. Selected programs are
-/// identical to the per-leaf path; the saturation cost is paid once per
-/// program. Callers normally go through [`select`] with
-/// [`SelectorConfig::batched`].
+/// Whole-program selection in one shared e-graph.
+#[deprecated(
+    since = "0.2.0",
+    note = "use hardboiled::Session with Batching::Batched"
+)]
 #[must_use]
 pub fn select_batched(
     stmt: &Stmt,
     extra_placements: &Placements,
     config: &SelectorConfig,
 ) -> (Stmt, SelectionReport) {
-    let (mut outs, report) = select_batched_many(&[(stmt, extra_placements)], config);
-    (outs.pop().expect("one program in, one program out"), report)
+    let mut config = config.clone();
+    config.batched = true;
+    let result = config.to_session().compile_ir(stmt, extra_placements);
+    (result.program, result.report)
 }
 
-/// Batch compilation: whole-*suite* selection in one shared e-graph. Every
-/// accelerator-touching leaf of every program is encoded into a single
-/// graph and saturated together — rewrites are universally valid term
-/// equivalences, so leaves from different programs share subterm classes
-/// soundly, and the rule set's fixed costs plus the saturation are paid
-/// once for the entire batch. Returns the selected programs in input
-/// order and a single report whose `stmts` concatenate the programs'
-/// leaves (also in order).
+/// Batch compilation: whole-*suite* selection in one shared e-graph.
+#[deprecated(
+    since = "0.2.0",
+    note = "use hardboiled::Session::compile_suite with Batching::Batched"
+)]
 #[must_use]
 pub fn select_batched_many(
     programs: &[(&Stmt, &Placements)],
     config: &SelectorConfig,
 ) -> (Vec<Stmt>, SelectionReport) {
-    let total_started = Instant::now();
-    let mut report = SelectionReport::default();
-    let annotated: Vec<Stmt> = programs
-        .iter()
-        .map(|(stmt, extra)| annotate(stmt, extra))
-        .collect();
-
-    // Pass 1: collect each program's leaves. `for_each_stmt` visits leaf
-    // statements in the same left-to-right order as the bottom-up rewrite
-    // used for splicing below (leaves have no statement children), without
-    // rebuilding the tree.
-    let mut leaves: Vec<Stmt> = Vec::new();
-    let mut leaf_counts: Vec<usize> = Vec::with_capacity(annotated.len());
-    for tree in &annotated {
-        let before = leaves.len();
-        tree.for_each_stmt(&mut |s| {
-            if is_selection_leaf(s) {
-                leaves.push(s.clone());
-            }
-        });
-        leaf_counts.push(leaves.len() - before);
-    }
-    if leaves.is_empty() {
-        report.total_time = total_started.elapsed();
-        return (annotated, report);
-    }
-
-    // One shared graph for every leaf of every program; hash-consing dedups
-    // common subterms across programs.
-    let rules = RuleSet::build();
-    let mut eg = HbGraph::default();
-    crate::rules::app_specific::declare_relations(&mut eg);
-    let roots: Vec<Id> = leaves.iter().map(|s| encode_stmt(&mut eg, s)).collect();
-
-    let eqsat_started = Instant::now();
-    let run = config
-        .runner
-        .run_phased(&mut eg, &rules.main, &rules.support, config.outer_iters);
-    report.eqsat_time = eqsat_started.elapsed();
-
-    // One cost table serves every root.
-    let extractor = Extractor::new(&eg, HbCost);
-    let selected: Vec<Stmt> = roots
-        .iter()
-        .zip(&leaves)
-        .map(|(&root, original)| {
-            let materialized = readout(&extractor, root, original);
-            report.stmts.push(StmtReport {
-                original: original.to_string(),
-                lowered: !stmt_has_movement(&materialized),
-                eqsat: RunReport::default(),
-            });
-            materialized
-        })
-        .collect();
-    report.batch = Some(run);
-
-    // Pass 2: splice each program's results back, in traversal order.
-    let mut outs = Vec::with_capacity(annotated.len());
-    let mut next = 0usize;
-    for (tree, &count) in annotated.iter().zip(&leaf_counts) {
-        let end = next + count;
-        let out = tree.rewrite_stmts_bottom_up(&mut |s| {
-            if is_selection_leaf(s) {
-                let replacement = selected[next].clone();
-                next += 1;
-                Some(replacement)
-            } else {
-                None
-            }
-        });
-        debug_assert_eq!(next, end, "leaf traversal order diverged");
-        outs.push(out);
-    }
-    report.total_time = total_started.elapsed();
-    (outs, report)
+    let mut config = config.clone();
+    config.batched = true;
+    let result = config.to_session().compile_ir_suite(programs);
+    (result.programs, result.report)
 }
 
 /// Convenience wrapper with default configuration and no extra placements.
+#[deprecated(since = "0.2.0", note = "use hardboiled::Session::compile")]
 #[must_use]
 pub fn select_default(stmt: &Stmt) -> (Stmt, SelectionReport) {
-    select(stmt, &Placements::new(), &SelectorConfig::default())
+    let result = Session::default().compile_ir(stmt, &Placements::new());
+    (result.program, result.report)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use hb_ir::builder as b;
@@ -466,5 +254,37 @@ mod tests {
         let (_, report) = select_default(&s);
         assert_eq!(report.num_statements(), 1);
         assert!(!report.all_lowered());
+    }
+
+    use crate::postprocess::normalize_temps;
+
+    #[test]
+    fn shims_accept_degenerate_historical_configs() {
+        // Public-field configs the builder would reject (outer_iters == 0
+        // runs only the supporting fixpoint) completed under the original
+        // free functions and must keep doing so through the shims.
+        let config = SelectorConfig {
+            outer_iters: 0,
+            ..SelectorConfig::default()
+        };
+        let stmt = simplify_stmt(&fig3_matmul());
+        let (_, report) = select(&stmt, &crate::movement::Placements::new(), &config);
+        assert_eq!(report.num_statements(), 3);
+        assert!(!report.all_lowered(), "no main iterations, no lowering");
+    }
+
+    #[test]
+    fn shims_match_the_session_api() {
+        let stmt = simplify_stmt(&fig3_matmul());
+        let (via_shim, shim_report) = select_default(&stmt);
+        let via_session = Session::default().compile(&stmt).unwrap();
+        assert_eq!(
+            normalize_temps(&via_shim.to_string()),
+            normalize_temps(&via_session.program.to_string())
+        );
+        assert_eq!(
+            shim_report.num_statements(),
+            via_session.report.num_statements()
+        );
     }
 }

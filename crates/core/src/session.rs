@@ -1,0 +1,884 @@
+//! The `Session` compilation API: HARDBOILED's end-to-end pipeline driver.
+//!
+//! A [`Session`] owns everything one compilation context needs — the
+//! [`Target`] (device parameters, placement policy, rule profile), the
+//! extraction [`CostModel`] (derived from the target's device unless
+//! overridden), the batching mode and the saturation budget — and exposes
+//! two entry points:
+//!
+//! * [`Session::compile`] — one program (anything implementing
+//!   [`IntoProgram`]: an IR statement tree, a front-end `Pipeline` from
+//!   `hb-lang`, or a pre-lowered `Lowered`) through the full lower →
+//!   annotate → encode → saturate → extract → splice pipeline;
+//! * [`Session::compile_suite`] — a whole suite of programs at once; with
+//!   [`Batching::Batched`] every leaf of every program shares **one**
+//!   e-graph and one saturation run (the whole-suite scale-out mode).
+//!
+//! ```
+//! use hardboiled::{Batching, Session};
+//! use hb_ir::builder::*;
+//!
+//! let session = Session::builder()
+//!     .target_name("sim")
+//!     .batching(Batching::Batched)
+//!     .build()
+//!     .unwrap();
+//! // Statements that do not touch accelerator buffers pass through.
+//! let s = store("out", ramp(int(0), int(1), 4), bcast(flt(2.0), 4));
+//! let result = session.compile(&s).unwrap();
+//! assert_eq!(result.program, s);
+//! assert_eq!(result.report.num_statements(), 0);
+//! ```
+//!
+//! The report ([`CompileReport`]) unifies what used to be three separate
+//! artifacts — the selector's statement outcomes, the engine's
+//! [`RunReport`], and front-end lowering diagnostics — and adds per-stage
+//! wall-clock timings ([`StageTimings`]) so regressions can be pinned to
+//! the stage that caused them.
+//!
+//! The free functions in [`crate::selector`] remain as deprecated shims
+//! over this API.
+
+use std::fmt;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use hb_accel::target::{SimTarget, Target};
+use hb_egraph::extract::Extractor;
+use hb_egraph::schedule::{RunReport, Runner};
+use hb_egraph::unionfind::Id;
+use hb_ir::expr::Expr;
+use hb_ir::stmt::Stmt;
+
+use crate::cost::{CostModel, DeviceCost, ModelCost};
+use crate::decode::decode_stmt;
+use crate::encode::encode_stmt;
+use crate::lang::{HbAnalysis, HbGraph, HbLang};
+use crate::movement::{annotate_stmt, collect_placements, Placements};
+use crate::postprocess::materialize_stmt;
+use crate::rules::RuleSet;
+
+/// A compilation unit: an IR statement tree plus the buffer placements the
+/// schedule requested (supplementing those discoverable from `Allocate`
+/// nodes), with optional front-end diagnostics carried into the report.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The statement tree to compile.
+    pub stmt: Stmt,
+    /// Extra placements for buffers allocated outside the tree (pipeline
+    /// outputs, image inputs).
+    pub placements: Placements,
+    /// Program name for reports (e.g. the pipeline's output func).
+    pub name: Option<String>,
+    /// Front-end diagnostics (lowering notes), surfaced in
+    /// [`CompileReport::notes`].
+    pub notes: Vec<String>,
+}
+
+impl Program {
+    /// A program with no extra placements or diagnostics.
+    #[must_use]
+    pub fn new(stmt: Stmt) -> Self {
+        Program {
+            stmt,
+            placements: Placements::new(),
+            name: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// A program with explicit extra placements.
+    #[must_use]
+    pub fn with_placements(stmt: Stmt, placements: Placements) -> Self {
+        Program {
+            stmt,
+            placements,
+            name: None,
+            notes: Vec::new(),
+        }
+    }
+}
+
+/// Anything a [`Session`] can compile. `hb-lang` implements this for its
+/// `Pipeline` (lowering on demand) and `Lowered` types, making the session
+/// the single entry point from front-end source to selected IR; new front
+/// ends plug in the same way.
+pub trait IntoProgram {
+    /// Produces the program to compile. Front-end failures surface as
+    /// [`CompileError::Lower`].
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`CompileError::Lower`] when the source
+    /// cannot be lowered to IR.
+    fn to_program(&self) -> Result<Program, CompileError>;
+}
+
+impl IntoProgram for Program {
+    fn to_program(&self) -> Result<Program, CompileError> {
+        Ok(self.clone())
+    }
+}
+
+impl IntoProgram for Stmt {
+    fn to_program(&self) -> Result<Program, CompileError> {
+        Ok(Program::new(self.clone()))
+    }
+}
+
+/// Session construction errors (builder validation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// `target_name` did not resolve to a registered target.
+    UnknownTarget(String),
+    /// `batching` was set twice with different modes.
+    ConflictingBatching(Batching, Batching),
+    /// `outer_iters` must be at least 1.
+    InvalidOuterIters,
+    /// `node_limit` must be at least 1.
+    InvalidNodeLimit,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownTarget(name) => write!(
+                f,
+                "unknown target {name:?} (known: amx, wmma, scalar, sim, a100, rtx4070super)"
+            ),
+            BuildError::ConflictingBatching(a, b) => {
+                write!(f, "conflicting batching modes: {a:?} then {b:?}")
+            }
+            BuildError::InvalidOuterIters => write!(f, "outer_iters must be at least 1"),
+            BuildError::InvalidNodeLimit => write!(f, "node_limit must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The front end failed to produce IR.
+    Lower(String),
+    /// `compile_suite` was called with no programs.
+    EmptySuite,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lower(msg) => write!(f, "lowering failed: {msg}"),
+            CompileError::EmptySuite => write!(f, "compile_suite needs at least one program"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// How the session distributes saturation work across leaf statements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Batching {
+    /// One e-graph per leaf statement (the reference mode).
+    #[default]
+    PerLeaf,
+    /// One shared e-graph for every leaf of every program in a compile
+    /// call — rule fixed costs and saturation paid once, subterms
+    /// deduplicated across leaves and programs. Selected programs are
+    /// byte-identical to [`Batching::PerLeaf`].
+    Batched,
+}
+
+/// Wall-clock time spent in each pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Front-end lowering (`IntoProgram::to_program`).
+    pub lower: Duration,
+    /// Movement annotation + e-graph encoding.
+    pub encode: Duration,
+    /// Equality saturation (the paper's Fig. 6 "egglog" series).
+    pub saturate: Duration,
+    /// Extraction + decoding + `ExprVar` materialization.
+    pub extract: Duration,
+    /// Splicing selected statements back into their loop nests.
+    pub splice: Duration,
+}
+
+/// Outcome for one statement that went through equality saturation.
+#[derive(Debug, Clone)]
+pub struct StmtReport {
+    /// Pretty-printed original statement.
+    pub original: String,
+    /// Whether all data movements were absorbed into intrinsics.
+    pub lowered: bool,
+    /// Saturation statistics (per-leaf mode; in batched mode the shared
+    /// run lives in [`CompileReport::batch`] and this is an empty
+    /// default).
+    pub eqsat: RunReport,
+}
+
+/// The unified compilation report: per-statement selection outcomes, the
+/// engine's saturation statistics, front-end diagnostics and per-stage
+/// timings, for one `compile` or `compile_suite` call.
+#[derive(Debug, Clone, Default)]
+pub struct CompileReport {
+    /// Name of the target the session compiled for.
+    pub target: String,
+    /// Per-statement outcomes (only statements that were saturated).
+    pub stmts: Vec<StmtReport>,
+    /// The shared-graph saturation report when the batched mode ran (the
+    /// per-statement `eqsat` reports are then empty defaults — the work
+    /// happened once, here).
+    pub batch: Option<RunReport>,
+    /// Per-stage wall-clock breakdown.
+    pub stages: StageTimings,
+    /// Total time spent inside equality saturation (equals
+    /// `stages.saturate`; kept as a named field for report consumers).
+    pub eqsat_time: Duration,
+    /// End-to-end compile time (lowering included).
+    pub total_time: Duration,
+    /// Front-end diagnostics carried over from the [`Program`]s.
+    pub notes: Vec<String>,
+}
+
+impl CompileReport {
+    /// Whether every saturated statement lowered fully.
+    #[must_use]
+    pub fn all_lowered(&self) -> bool {
+        self.stmts.iter().all(|s| s.lowered)
+    }
+
+    /// Number of statements that went through saturation.
+    #[must_use]
+    pub fn num_statements(&self) -> usize {
+        self.stmts.len()
+    }
+}
+
+/// Result of compiling one program.
+#[derive(Debug, Clone)]
+pub struct CompileResult {
+    /// The selected program.
+    pub program: Stmt,
+    /// The unified report.
+    pub report: CompileReport,
+}
+
+/// Result of compiling a suite of programs.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// The selected programs, in input order.
+    pub programs: Vec<Stmt>,
+    /// One report for the whole suite (`stmts` concatenates the programs'
+    /// leaves in order).
+    pub report: CompileReport,
+}
+
+/// Builder for [`Session`] (see the module docs for the knobs).
+pub struct SessionBuilder {
+    target: Option<Box<dyn Target>>,
+    unknown_target: Option<String>,
+    cost: Option<Box<dyn CostModel>>,
+    batching: Option<Batching>,
+    batching_conflict: Option<(Batching, Batching)>,
+    outer_iters: usize,
+    node_limit: Option<usize>,
+    runner: Option<Runner>,
+    naive_matcher: bool,
+}
+
+impl SessionBuilder {
+    fn new() -> Self {
+        SessionBuilder {
+            target: None,
+            unknown_target: None,
+            cost: None,
+            batching: None,
+            batching_conflict: None,
+            outer_iters: 8,
+            node_limit: None,
+            runner: None,
+            naive_matcher: false,
+        }
+    }
+
+    /// Sets the compilation target (default: [`SimTarget`], both
+    /// accelerator families). Last write wins, clearing any earlier
+    /// unresolved [`SessionBuilder::target_name`].
+    #[must_use]
+    pub fn target(mut self, target: impl Target + 'static) -> Self {
+        self.target = Some(Box::new(target));
+        self.unknown_target = None;
+        self
+    }
+
+    /// Sets the target by registry name (`"amx"`, `"wmma"`, `"scalar"`,
+    /// `"sim"`, `"a100"`, `"rtx4070super"`). Unknown names surface as
+    /// [`BuildError::UnknownTarget`] at [`SessionBuilder::build`] time —
+    /// unless a later `target`/`target_name` call resolves (last write
+    /// wins).
+    #[must_use]
+    pub fn target_name(mut self, name: &str) -> Self {
+        match hb_accel::target::by_name(name) {
+            Some(t) => {
+                self.target = Some(t);
+                self.unknown_target = None;
+            }
+            None => self.unknown_target = Some(name.to_string()),
+        }
+        self
+    }
+
+    /// Overrides the extraction cost model (default: [`DeviceCost`]
+    /// derived from the target's device profile).
+    #[must_use]
+    pub fn cost_model(mut self, cost: impl CostModel + 'static) -> Self {
+        self.cost = Some(Box::new(cost));
+        self
+    }
+
+    /// Sets the batching mode (default: [`Batching::PerLeaf`]). Setting
+    /// two different modes is a [`BuildError::ConflictingBatching`].
+    #[must_use]
+    pub fn batching(mut self, batching: Batching) -> Self {
+        match self.batching {
+            Some(prev) if prev != batching => {
+                self.batching_conflict.get_or_insert((prev, batching));
+            }
+            _ => self.batching = Some(batching),
+        }
+        self
+    }
+
+    /// Outer iterations of the main rules (§III-D2's fixed budget;
+    /// default 8).
+    #[must_use]
+    pub fn outer_iters(mut self, iters: usize) -> Self {
+        self.outer_iters = iters;
+        self
+    }
+
+    /// E-graph node budget per saturation run (default: 200k per-leaf,
+    /// 500k batched).
+    #[must_use]
+    pub fn node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Uses the retained naive reference matcher instead of the
+    /// indexed/delta matcher (correctness oracle / benchmark baseline).
+    #[must_use]
+    pub fn naive_matcher(mut self, naive: bool) -> Self {
+        self.naive_matcher = naive;
+        self
+    }
+
+    /// Full control over the saturation [`Runner`] (overrides
+    /// `node_limit` / `naive_matcher`).
+    #[must_use]
+    pub fn runner(mut self, runner: Runner) -> Self {
+        self.runner = Some(runner);
+        self
+    }
+
+    /// Validates the configuration and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] on an unknown target name, conflicting
+    /// batching modes, or zero iteration/node budgets.
+    pub fn build(self) -> Result<Session, BuildError> {
+        if let Some(name) = self.unknown_target {
+            return Err(BuildError::UnknownTarget(name));
+        }
+        if let Some((a, b)) = self.batching_conflict {
+            return Err(BuildError::ConflictingBatching(a, b));
+        }
+        if self.outer_iters == 0 {
+            return Err(BuildError::InvalidOuterIters);
+        }
+        if self.node_limit == Some(0) {
+            return Err(BuildError::InvalidNodeLimit);
+        }
+        let batching = self.batching.unwrap_or_default();
+        let target = self.target.unwrap_or_else(|| Box::new(SimTarget::new()));
+        let cost = self
+            .cost
+            .unwrap_or_else(|| Box::new(DeviceCost::from_profile(target.device())));
+        let runner = self.runner.unwrap_or_else(|| {
+            let limit = self.node_limit.unwrap_or(match batching {
+                Batching::PerLeaf => 200_000,
+                Batching::Batched => 500_000,
+            });
+            Runner::new(16, limit).with_naive_matcher(self.naive_matcher)
+        });
+        Ok(Session {
+            target,
+            cost,
+            batching,
+            outer_iters: self.outer_iters,
+            runner,
+            rules: OnceLock::new(),
+        })
+    }
+}
+
+/// One compilation context: target, cost model, batching mode, saturation
+/// budget, and a lazily built (then cached) rule set.
+///
+/// Sessions are cheap to create; the expensive rule compilation happens on
+/// the first `compile` that actually has accelerator-touching leaves and
+/// is reused by every later call on the same session.
+pub struct Session {
+    target: Box<dyn Target>,
+    cost: Box<dyn CostModel>,
+    batching: Batching,
+    outer_iters: usize,
+    runner: Runner,
+    rules: OnceLock<RuleSet>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::builder()
+            .build()
+            .expect("default session is valid")
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("target", &self.target.name())
+            .field("batching", &self.batching)
+            .field("outer_iters", &self.outer_iters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Starts building a session.
+    #[must_use]
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// Compatibility constructor for the deprecated `selector` shims:
+    /// accepts any historical `SelectorConfig` verbatim — including
+    /// degenerate budgets like `outer_iters == 0`, which the builder
+    /// rejects for new code — so the shims behave exactly like the
+    /// original free functions did.
+    pub(crate) fn from_selector_parts(
+        batching: Batching,
+        outer_iters: usize,
+        runner: Runner,
+    ) -> Session {
+        let target = SimTarget::new();
+        let cost = DeviceCost::from_profile(target.device());
+        Session {
+            target: Box::new(target),
+            cost: Box::new(cost),
+            batching,
+            outer_iters,
+            runner,
+            rules: OnceLock::new(),
+        }
+    }
+
+    /// The session's target.
+    #[must_use]
+    pub fn target(&self) -> &dyn Target {
+        self.target.as_ref()
+    }
+
+    /// The session's batching mode.
+    #[must_use]
+    pub fn batching(&self) -> Batching {
+        self.batching
+    }
+
+    /// The rule set, built on first use for the target's rule profile.
+    fn rules(&self) -> &RuleSet {
+        self.rules
+            .get_or_init(|| RuleSet::for_profile(self.target.rule_profile()))
+    }
+
+    /// Compiles one program through the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Lower`] when the front end fails; IR-level
+    /// sources ([`Stmt`], [`Program`]) never fail.
+    pub fn compile<S: IntoProgram + ?Sized>(
+        &self,
+        source: &S,
+    ) -> Result<CompileResult, CompileError> {
+        let lower_started = Instant::now();
+        let program = source.to_program()?;
+        let lower = lower_started.elapsed();
+        let (mut programs, mut report) =
+            self.compile_programs(&[(&program.stmt, &program.placements)]);
+        report.stages.lower = lower;
+        report.total_time += lower;
+        report.notes.extend(program.notes.iter().cloned());
+        Ok(CompileResult {
+            program: programs.pop().expect("one program in, one program out"),
+            report,
+        })
+    }
+
+    /// Compiles a whole suite. With [`Batching::Batched`] every leaf of
+    /// every program shares one e-graph and one saturation run; with
+    /// [`Batching::PerLeaf`] programs are still compiled in one call but
+    /// each leaf gets its own graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::EmptySuite`] on an empty slice and
+    /// [`CompileError::Lower`] when any front end fails.
+    pub fn compile_suite<S: IntoProgram>(
+        &self,
+        sources: &[S],
+    ) -> Result<SuiteResult, CompileError> {
+        if sources.is_empty() {
+            return Err(CompileError::EmptySuite);
+        }
+        let lower_started = Instant::now();
+        let programs: Vec<Program> = sources
+            .iter()
+            .map(IntoProgram::to_program)
+            .collect::<Result<_, _>>()?;
+        let lower = lower_started.elapsed();
+        let refs: Vec<(&Stmt, &Placements)> =
+            programs.iter().map(|p| (&p.stmt, &p.placements)).collect();
+        let (selected, mut report) = self.compile_programs(&refs);
+        report.stages.lower = lower;
+        report.total_time += lower;
+        for p in &programs {
+            report.notes.extend(p.notes.iter().cloned());
+        }
+        Ok(SuiteResult {
+            programs: selected,
+            report,
+        })
+    }
+
+    /// IR-level entry point: compiles one statement tree with explicit
+    /// extra placements (infallible — no front end involved). This is what
+    /// the deprecated `selector::select` shims call.
+    #[must_use]
+    pub fn compile_ir(&self, stmt: &Stmt, extra_placements: &Placements) -> CompileResult {
+        let (mut programs, report) = self.compile_programs(&[(stmt, extra_placements)]);
+        CompileResult {
+            program: programs.pop().expect("one program in, one program out"),
+            report,
+        }
+    }
+
+    /// IR-level suite entry point (infallible, accepts empty suites for
+    /// backward compatibility with `select_batched_many`).
+    #[must_use]
+    pub fn compile_ir_suite(&self, programs: &[(&Stmt, &Placements)]) -> SuiteResult {
+        let (selected, report) = self.compile_programs(programs);
+        SuiteResult {
+            programs: selected,
+            report,
+        }
+    }
+
+    /// Applies the target's placement policy and annotates data movements
+    /// (the shared front half of both batching modes).
+    fn annotate(&self, stmt: &Stmt, extra_placements: &Placements) -> Stmt {
+        let mut placements = collect_placements(stmt);
+        for (k, v) in extra_placements {
+            placements.insert(k.clone(), *v);
+        }
+        // Placement policy: placements the target cannot honor are
+        // ignored; the affected statements keep their vector code.
+        placements.retain(|_, m| self.target.supports(*m));
+        annotate_stmt(stmt, &placements)
+    }
+
+    /// The stage pipeline shared by every entry point: annotate → collect
+    /// leaves → saturate (per-leaf or shared graph) → extract → splice.
+    fn compile_programs(&self, programs: &[(&Stmt, &Placements)]) -> (Vec<Stmt>, CompileReport) {
+        let total_started = Instant::now();
+        let mut report = CompileReport {
+            target: self.target.name().to_string(),
+            ..CompileReport::default()
+        };
+
+        let encode_started = Instant::now();
+        let annotated: Vec<Stmt> = programs
+            .iter()
+            .map(|(stmt, extra)| self.annotate(stmt, extra))
+            .collect();
+
+        // Pass 1: collect each program's leaves. `for_each_stmt` visits
+        // leaf statements in the same left-to-right order as the bottom-up
+        // rewrite used for splicing below (leaves have no statement
+        // children), without rebuilding the tree.
+        let mut leaves: Vec<Stmt> = Vec::new();
+        let mut leaf_counts: Vec<usize> = Vec::with_capacity(annotated.len());
+        for tree in &annotated {
+            let before = leaves.len();
+            tree.for_each_stmt(&mut |s| {
+                if is_selection_leaf(s) {
+                    leaves.push(s.clone());
+                }
+            });
+            leaf_counts.push(leaves.len() - before);
+        }
+        report.stages.encode = encode_started.elapsed();
+        if leaves.is_empty() {
+            // Leaf-free programs never touch the rule set (nor build it).
+            report.total_time = total_started.elapsed();
+            return (annotated, report);
+        }
+
+        let rules = self.rules();
+        let selected = match self.batching {
+            Batching::Batched => self.saturate_shared(&leaves, rules, &mut report),
+            Batching::PerLeaf => self.saturate_per_leaf(&leaves, rules, &mut report),
+        };
+        report.eqsat_time = report.stages.saturate;
+
+        // Pass 2: splice each program's results back, in traversal order.
+        let splice_started = Instant::now();
+        let mut outs = Vec::with_capacity(annotated.len());
+        let mut next = 0usize;
+        for (tree, &count) in annotated.iter().zip(&leaf_counts) {
+            let end = next + count;
+            let out = tree.rewrite_stmts_bottom_up(&mut |s| {
+                if is_selection_leaf(s) {
+                    let replacement = selected[next].clone();
+                    next += 1;
+                    Some(replacement)
+                } else {
+                    None
+                }
+            });
+            debug_assert_eq!(next, end, "leaf traversal order diverged");
+            outs.push(out);
+        }
+        report.stages.splice = splice_started.elapsed();
+        report.total_time = total_started.elapsed();
+        (outs, report)
+    }
+
+    /// Batched mode: one shared e-graph for every leaf; hash-consing
+    /// dedups common subterms across leaves and programs, the phased
+    /// schedule runs once, and each root is extracted independently.
+    fn saturate_shared(
+        &self,
+        leaves: &[Stmt],
+        rules: &RuleSet,
+        report: &mut CompileReport,
+    ) -> Vec<Stmt> {
+        let encode_started = Instant::now();
+        let mut eg = HbGraph::default();
+        crate::rules::app_specific::declare_relations(&mut eg);
+        let roots: Vec<Id> = leaves.iter().map(|s| encode_stmt(&mut eg, s)).collect();
+        report.stages.encode += encode_started.elapsed();
+
+        let saturate_started = Instant::now();
+        let run = self
+            .runner
+            .run_phased(&mut eg, &rules.main, &rules.support, self.outer_iters);
+        report.stages.saturate += saturate_started.elapsed();
+
+        // One cost table serves every root.
+        let extract_started = Instant::now();
+        let extractor = Extractor::new(&eg, ModelCost(self.cost.as_ref()));
+        let selected: Vec<Stmt> = roots
+            .iter()
+            .zip(leaves)
+            .map(|(&root, original)| {
+                let materialized = readout(&extractor, root, original);
+                report.stmts.push(StmtReport {
+                    original: original.to_string(),
+                    lowered: !stmt_has_movement(&materialized),
+                    eqsat: RunReport::default(),
+                });
+                materialized
+            })
+            .collect();
+        report.stages.extract += extract_started.elapsed();
+        report.batch = Some(run);
+        selected
+    }
+
+    /// Per-leaf mode: a fresh e-graph per leaf, saturated and extracted
+    /// independently (the reference mode batched outputs are asserted
+    /// against).
+    fn saturate_per_leaf(
+        &self,
+        leaves: &[Stmt],
+        rules: &RuleSet,
+        report: &mut CompileReport,
+    ) -> Vec<Stmt> {
+        leaves
+            .iter()
+            .map(|stmt| {
+                let encode_started = Instant::now();
+                let mut eg = HbGraph::default();
+                crate::rules::app_specific::declare_relations(&mut eg);
+                let root = encode_stmt(&mut eg, stmt);
+                report.stages.encode += encode_started.elapsed();
+
+                let saturate_started = Instant::now();
+                let run =
+                    self.runner
+                        .run_phased(&mut eg, &rules.main, &rules.support, self.outer_iters);
+                report.stages.saturate += saturate_started.elapsed();
+
+                let extract_started = Instant::now();
+                let extractor = Extractor::new(&eg, ModelCost(self.cost.as_ref()));
+                let materialized = readout(&extractor, root, stmt);
+                report.stages.extract += extract_started.elapsed();
+                report.stmts.push(StmtReport {
+                    original: stmt.to_string(),
+                    lowered: !stmt_has_movement(&materialized),
+                    eqsat: run,
+                });
+                materialized
+            })
+            .collect()
+    }
+}
+
+/// Extracts, decodes and post-processes one saturated root back into a
+/// statement (falling back to the original on undecodable terms).
+fn readout(
+    extractor: &Extractor<'_, HbLang, HbAnalysis, ModelCost<'_>>,
+    root: Id,
+    original: &Stmt,
+) -> Stmt {
+    let term = extractor.extract(root);
+    let decoded = match decode_stmt(&term) {
+        Ok(s) => s,
+        Err(_) => original.clone(),
+    };
+    materialize_stmt(&decoded)
+}
+
+fn expr_has_movement(e: &Expr) -> bool {
+    let mut found = false;
+    e.for_each(&mut |n| {
+        if matches!(n, Expr::LocToLoc { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+pub(crate) fn stmt_has_movement(s: &Stmt) -> bool {
+    let mut found = false;
+    s.for_each_expr(&mut |e| {
+        if matches!(e, Expr::LocToLoc { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Whether the (annotated) statement is a leaf the selector must saturate:
+/// a `Store`/`Evaluate` containing data movement.
+pub(crate) fn is_selection_leaf(s: &Stmt) -> bool {
+    match s {
+        Stmt::Store { index, value, .. } => expr_has_movement(index) || expr_has_movement(value),
+        Stmt::Evaluate(e) => expr_has_movement(e),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_accel::target::{AmxTarget, ScalarTarget};
+    use hb_ir::builder as b;
+    use hb_ir::types::{MemoryType, ScalarType};
+
+    fn amx_square_stmt() -> Stmt {
+        // A store into an AMX buffer whose value is not a recognizable
+        // tensor op (a plain elementwise square) — saturates, never lowers.
+        let idx = b::ramp(b::int(0), b::int(1), 8);
+        let ld = b::load(hb_ir::types::Type::f32().with_lanes(8), "x", idx.clone());
+        b::allocate(
+            "acc",
+            ScalarType::F32,
+            8,
+            MemoryType::AmxTile,
+            b::store("acc", idx, b::mul(ld.clone(), ld)),
+        )
+    }
+
+    #[test]
+    fn builder_defaults_build() {
+        let s = Session::builder().build().unwrap();
+        assert_eq!(s.target().name(), "sim");
+        assert_eq!(s.batching(), Batching::PerLeaf);
+    }
+
+    #[test]
+    fn sessions_are_send_and_sync() {
+        // The build-once-reuse-everywhere contract includes sharing a
+        // session across threads (one rule compilation serving a pool of
+        // workers).
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+        let session = std::sync::Arc::new(Session::default());
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&session);
+                std::thread::spawn(move || {
+                    s.compile(&amx_square_stmt())
+                        .unwrap()
+                        .report
+                        .num_statements()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn scalar_target_ignores_accelerator_placements() {
+        let session = Session::builder()
+            .target(ScalarTarget::new())
+            .build()
+            .unwrap();
+        let stmt = amx_square_stmt();
+        let result = session.compile(&stmt).unwrap();
+        assert_eq!(result.report.num_statements(), 0);
+        assert_eq!(result.program.to_string(), stmt.to_string());
+    }
+
+    #[test]
+    fn amx_target_still_saturates_amx_leaves() {
+        let session = Session::builder().target(AmxTarget::new()).build().unwrap();
+        let result = session.compile(&amx_square_stmt()).unwrap();
+        assert_eq!(result.report.num_statements(), 1);
+        assert!(!result.report.all_lowered());
+        assert_eq!(result.report.target, "amx");
+    }
+
+    #[test]
+    fn stage_timings_cover_the_pipeline() {
+        let session = Session::builder()
+            .batching(Batching::Batched)
+            .build()
+            .unwrap();
+        let result = session.compile(&amx_square_stmt()).unwrap();
+        let stages = result.report.stages;
+        assert!(stages.encode > Duration::ZERO);
+        assert!(stages.saturate > Duration::ZERO);
+        assert!(stages.extract > Duration::ZERO);
+        assert_eq!(result.report.eqsat_time, stages.saturate);
+        assert!(result.report.total_time >= stages.saturate);
+    }
+}

@@ -11,7 +11,7 @@ use crate::unionfind::Id;
 /// values, lane counts…) plus `Id` children. Two e-nodes *match* when they
 /// have the same operator and payload; their children are compared
 /// separately by the e-graph / pattern matcher.
-pub trait Language: Clone + Eq + Hash + Ord + Debug {
+pub trait Language: Clone + Eq + Hash + Ord + Debug + Send + Sync {
     /// Child e-class ids, in order.
     fn children(&self) -> &[Id];
 

@@ -27,7 +27,7 @@
 //! arena and are intended for one-off searches and tests. Rows only leave
 //! the arena when they graduate into [`Subst`]s handed to rule appliers.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::egraph::{Analysis, EGraph};
 use crate::language::Language;
@@ -104,7 +104,7 @@ impl MatchScratch {
 /// strings at all (they go through slots).
 #[derive(Debug, Clone, Default)]
 pub struct Subst {
-    vars: Rc<Vec<String>>,
+    vars: Arc<Vec<String>>,
     bindings: Vec<Option<Id>>,
 }
 
@@ -116,7 +116,7 @@ impl Subst {
     }
 
     /// A substitution over `vars` with the given slot bindings.
-    pub(crate) fn from_bindings(vars: Rc<Vec<String>>, bindings: Vec<Option<Id>>) -> Self {
+    pub(crate) fn from_bindings(vars: Arc<Vec<String>>, bindings: Vec<Option<Id>>) -> Self {
         debug_assert_eq!(vars.len(), bindings.len());
         Subst { vars, bindings }
     }
@@ -143,7 +143,7 @@ impl Subst {
                 }
             },
             None => {
-                Rc::make_mut(&mut self.vars).push(var.to_string());
+                Arc::make_mut(&mut self.vars).push(var.to_string());
                 self.bindings.push(Some(id));
                 true
             }
@@ -206,7 +206,7 @@ pub enum Pattern<L> {
 #[derive(Debug, Clone)]
 pub struct CompiledPattern<L> {
     pub(crate) node: CompiledNode<L>,
-    pub(crate) vars: Rc<Vec<String>>,
+    pub(crate) vars: Arc<Vec<String>>,
 }
 
 /// Compiled pattern body; mirrors [`Pattern`] with slot-interned variables.
@@ -314,7 +314,7 @@ impl<L: Language> CompiledPattern<L> {
         self.node.match_class(egraph, id, &seed, &mut raw, scratch);
         scratch.give_row(seed);
         raw.into_iter()
-            .map(|b| Subst::from_bindings(Rc::clone(&self.vars), b))
+            .map(|b| Subst::from_bindings(Arc::clone(&self.vars), b))
             .collect()
     }
 
@@ -343,7 +343,7 @@ impl<L: Language> CompiledPattern<L> {
             raw.clear();
             self.node.match_class(egraph, id, &seed, raw, scratch);
             for b in raw.drain(..) {
-                out.push((id, Subst::from_bindings(Rc::clone(&self.vars), b)));
+                out.push((id, Subst::from_bindings(Arc::clone(&self.vars), b)));
             }
         };
         match self.node.root_key() {
@@ -429,7 +429,7 @@ impl<L: Language> Pattern<L> {
         let node = self.compile_into(&mut vars);
         CompiledPattern {
             node,
-            vars: Rc::new(vars),
+            vars: Arc::new(vars),
         }
     }
 

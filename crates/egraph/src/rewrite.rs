@@ -26,7 +26,7 @@
 //!   all empty and cost nearly nothing, where these queries previously
 //!   re-ran a full join every pass.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::egraph::{Analysis, EGraph};
 use crate::language::Language;
@@ -131,7 +131,7 @@ impl<L: Language> Query<L> {
             })
             .collect();
         CompiledQuery {
-            vars: Rc::new(vars),
+            vars: Arc::new(vars),
             atoms,
             delta_eligible,
         }
@@ -232,7 +232,7 @@ enum Restrict {
 /// A [`Query`] compiled for the indexed matcher: one shared variable table,
 /// patterns with interned slots and precomputed op keys.
 pub struct CompiledQuery<L> {
-    vars: Rc<Vec<String>>,
+    vars: Arc<Vec<String>>,
     atoms: Vec<CompiledAtom<L>>,
     delta_eligible: bool,
 }
@@ -350,7 +350,7 @@ impl<L: Language> CompiledQuery<L> {
 
     fn rows_to_substs(&self, rows: Vec<Vec<Option<Id>>>) -> Vec<Subst> {
         rows.into_iter()
-            .map(|b| Subst::from_bindings(Rc::clone(&self.vars), b))
+            .map(|b| Subst::from_bindings(Arc::clone(&self.vars), b))
             .collect()
     }
 
@@ -515,10 +515,10 @@ impl<L: Language> CompiledQuery<L> {
 }
 
 /// Guard predicate evaluated on each match before application.
-pub type Guard<L, N> = Box<dyn Fn(&EGraph<L, N>, &Subst) -> bool>;
+pub type Guard<L, N> = Box<dyn Fn(&EGraph<L, N>, &Subst) -> bool + Send + Sync>;
 
 /// Action run on each surviving match; returns whether the e-graph changed.
-pub type ApplyFn<L, N> = Box<dyn Fn(&mut EGraph<L, N>, &Subst) -> bool>;
+pub type ApplyFn<L, N> = Box<dyn Fn(&mut EGraph<L, N>, &Subst) -> bool + Send + Sync>;
 
 /// A named rule: query → guard → action.
 pub struct Rewrite<L: Language, N: Analysis<L> = ()> {

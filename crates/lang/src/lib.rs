@@ -8,6 +8,10 @@
 //! nests with nested vectorization ([`vectorize`]) — the IR HARDBOILED's
 //! instruction selector consumes.
 //!
+//! [`ast::Pipeline`] and [`lower::Lowered`] implement
+//! `hardboiled::IntoProgram`, so `session.compile(&pipeline)` lowers and
+//! selects in one call through the `Session` API.
+//!
 //! ```
 //! use hb_lang::ast::{hf, hv, Func, ImageParam, Pipeline};
 //! use hb_ir::types::ScalarType;

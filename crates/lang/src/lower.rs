@@ -649,6 +649,37 @@ pub fn lower(p: &Pipeline) -> LowerResult<Lowered> {
     })
 }
 
+/// Front-end integration with the `hardboiled::Session` API: pipelines
+/// lower on demand inside `Session::compile`, so
+/// `session.compile(&pipeline)` is the one-call entry point from source to
+/// selected IR. Lowering failures surface as `CompileError::Lower`, and the
+/// lowering summary lands in the unified report's notes.
+impl hardboiled::IntoProgram for Pipeline {
+    fn to_program(&self) -> Result<hardboiled::Program, hardboiled::CompileError> {
+        let lowered = lower(self).map_err(|e| hardboiled::CompileError::Lower(e.to_string()))?;
+        hardboiled::IntoProgram::to_program(&lowered)
+    }
+}
+
+/// Pre-lowered pipelines compile directly (the harness lowers once, keeps
+/// the I/O metadata for execution, and hands the rest to the session).
+impl hardboiled::IntoProgram for Lowered {
+    fn to_program(&self) -> Result<hardboiled::Program, hardboiled::CompileError> {
+        Ok(hardboiled::Program {
+            stmt: self.stmt.clone(),
+            placements: self.placements.clone(),
+            name: Some(self.output_name.clone()),
+            notes: vec![format!(
+                "lowered pipeline '{}': {} input(s), {}-element {} output",
+                self.output_name,
+                self.inputs.len(),
+                self.output_len,
+                self.output_elem,
+            )],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -677,6 +708,31 @@ mod tests {
             .unwrap();
         it.exec(&lowered.stmt).unwrap();
         it.mem.snapshot(&lowered.output_name).unwrap()
+    }
+
+    #[test]
+    fn pipelines_compile_through_a_session() {
+        // The IntoProgram integration: one call from Pipeline to selected
+        // IR, with the lowering summary in the unified report.
+        let img = ImageParam::new("in", ScalarType::F32, &[8]);
+        let out = Func::new("out", &["x"], ScalarType::F32);
+        out.define(img.at(&[hv("x")]) * hf(2.0));
+        out.bound("x", 0, 8);
+        let p = Pipeline::new(&out, &[], &[&img]);
+        let session = hardboiled::Session::default();
+        let result = session.compile(&p).unwrap();
+        // No accelerator placements: the program passes through unchanged.
+        assert_eq!(result.report.num_statements(), 0);
+        assert_eq!(
+            result.program.to_string(),
+            lower(&p).unwrap().stmt.to_string()
+        );
+        assert!(
+            result.report.notes.iter().any(|n| n.contains("'out'")),
+            "{:?}",
+            result.report.notes
+        );
+        assert!(result.report.stages.lower > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! Run with: `cargo run --example ml_kernels`
 
 use hardboiled_repro::apps::matmul_amx::{table1, AmxMatmul, Layout, Variant};
+use hardboiled_repro::hardboiled::{AmxTarget, Session};
 
 fn mark(supported: bool) -> &'static str {
     if supported {
@@ -28,13 +29,20 @@ fn main() {
         );
     }
 
-    // One full run with numbers, for flavor.
+    // One full run with numbers, for flavor — through an AMX-only session:
+    // the target's rule profile drops the WMMA lowering rules entirely and
+    // its cost model derives from the AMX host's device profile.
+    let session = Session::builder()
+        .target(AmxTarget::new())
+        .build()
+        .expect("valid session");
     let app = AmxMatmul::default();
     let r = app
-        .run(Layout::Standard, Variant::Reference)
+        .run_with(&session, Layout::Standard, Variant::Reference)
         .expect("reference schedule is expressible");
     println!(
-        "\nReference schedule (standard layout): {} tensor FMAs, lowered: {}",
+        "\nReference schedule (standard layout, target `{}`): {} tensor FMAs, lowered: {}",
+        session.target().name(),
         r.counters.tensor_fmas,
         r.selection.as_ref().unwrap().all_lowered()
     );

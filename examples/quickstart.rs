@@ -1,11 +1,13 @@
-//! Quickstart: write a 1-D convolution once, schedule it twice — with and
-//! without Tensor Cores — and compare correctness and modeled performance.
+//! Quickstart: write a 1-D convolution once, build a `Session`, and
+//! schedule the convolution twice — with and without Tensor Cores — then
+//! compare correctness and modeled performance.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use hardboiled_repro::accel::device::DeviceProfile;
 use hardboiled_repro::apps::conv1d::Conv1d;
 use hardboiled_repro::apps::harness::max_rel_error;
+use hardboiled_repro::hardboiled::{Batching, Session};
 
 fn main() {
     let app = Conv1d { n: 4096, k: 32 };
@@ -14,21 +16,40 @@ fn main() {
         app.n, app.k
     );
 
+    // One session for the whole program: the `sim` target (AMX + WMMA),
+    // the cost model derived from its device profile, and the batched mode
+    // (every leaf of a program saturates in one shared e-graph). The
+    // compiled rule set is built once and reused across both runs.
+    let session = Session::builder()
+        .target_name("sim")
+        .batching(Batching::Batched)
+        .build()
+        .expect("valid session");
+    println!(
+        "session: target `{}`, {:?} batching\n",
+        session.target().name(),
+        session.batching()
+    );
+
     let reference = app.reference();
     let device = DeviceProfile::rtx4070_super();
 
     for (label, tensor_cores) in [("CUDA-only", false), ("Tensor Cores", true)] {
-        let r = app.run(tensor_cores);
+        let r = app.run_with(&session, tensor_cores);
         let err = max_rel_error(&r.output, &reference);
         let t = r.time_on(&device);
         println!("== {label} schedule ==");
-        if let Some(sel) = &r.selection {
+        if let Some(report) = &r.selection {
             println!(
                 "  HARDBOILED: {} statements saturated, all lowered: {}",
-                sel.num_statements(),
-                sel.all_lowered()
+                report.num_statements(),
+                report.all_lowered()
             );
-            println!("  EqSat time: {:?}", sel.eqsat_time);
+            let s = report.stages;
+            println!(
+                "  stages: lower {:?}, encode {:?}, saturate {:?}, extract {:?}, splice {:?}",
+                s.lower, s.encode, s.saturate, s.extract, s.splice
+            );
         }
         println!("  max rel. error vs reference: {err:.2e}");
         println!(

@@ -1,5 +1,38 @@
 //! Workspace umbrella crate: re-exports the HARDBOILED reproduction stack
 //! so examples and integration tests can use one coherent namespace.
+//!
+//! The front door is [`hardboiled::Session`]: build one (pick a target, a
+//! cost model and a batching mode), then `compile` front-end pipelines or
+//! IR statement trees through the whole lower → encode → saturate →
+//! extract → splice pipeline:
+//!
+//! ```
+//! use hardboiled_repro::hardboiled::{Batching, Session};
+//! use hardboiled_repro::lang::ast::{hf, hv, Func, ImageParam, Pipeline};
+//! use hardboiled_repro::ir::types::ScalarType;
+//!
+//! let img = ImageParam::new("in", ScalarType::F32, &[16]);
+//! let out = Func::new("out", &["x"], ScalarType::F32);
+//! out.define(img.at(&[hv("x")]) * hf(3.0));
+//! out.bound("x", 0, 16);
+//! let p = Pipeline::new(&out, &[], &[&img]);
+//!
+//! let session = Session::builder()
+//!     .target_name("sim")
+//!     .batching(Batching::Batched)
+//!     .build()
+//!     .unwrap();
+//! let result = session.compile(&p).unwrap();
+//! assert!(result.report.all_lowered());
+//! ```
+//!
+//! Layer map: [`lang`] (front end) → [`ir`] (loop-nest IR) → `hardboiled`
+//! (the EqSat instruction selector and its `Session` driver) → [`exec`]
+//! (functional simulation) with [`accel`] providing the accelerator
+//! simulators, device profiles and the [`accel::target::Target`] trait the
+//! session plugs backends through. [`apps`] holds the paper's case-study
+//! workloads on top of the full stack.
+
 pub use hardboiled;
 pub use hb_accel as accel;
 pub use hb_apps as apps;

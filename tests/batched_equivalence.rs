@@ -3,39 +3,22 @@
 //! `crates/apps`: same selected program, byte for byte (modulo the global
 //! `__hb_tmp` counter, renumbered before comparison), and the same
 //! per-statement lowering outcomes.
+//!
+//! These oracles deliberately run through the deprecated `select*` shims:
+//! they pin the historical free-function surface to the `Session`
+//! implementation underneath (see `tests/session.rs` for the
+//! `Session`-native equivalents).
+#![allow(deprecated)]
 
 use hardboiled_repro::apps::conv1d::Conv1d;
 use hardboiled_repro::apps::conv2d::Conv2d;
 use hardboiled_repro::apps::gemm_wmma::GemmWmma;
 use hardboiled_repro::apps::matmul_amx::{AmxMatmul, Layout, Variant};
 use hardboiled_repro::apps::resample_int::{Downsample, Upsample};
+use hardboiled_repro::hardboiled::postprocess::normalize_temps;
 use hardboiled_repro::hardboiled::selector::{select, select_batched_many, SelectorConfig};
 use hardboiled_repro::lang::lower::lower;
 use hardboiled_repro::lang::Pipeline;
-
-/// Renumbers `__hb_tmpN` gensyms by first appearance so programs from two
-/// selector runs compare equal (the temp counter is global, not per-run).
-fn normalize_temps(program: &str) -> String {
-    let mut out = String::with_capacity(program.len());
-    let mut seen: Vec<String> = Vec::new();
-    let mut rest = program;
-    while let Some(pos) = rest.find("__hb_tmp") {
-        let (head, tail) = rest.split_at(pos + "__hb_tmp".len());
-        out.push_str(head);
-        let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
-        let canon = match seen.iter().position(|d| *d == digits) {
-            Some(i) => i,
-            None => {
-                seen.push(digits.clone());
-                seen.len() - 1
-            }
-        };
-        out.push_str(&canon.to_string());
-        rest = &tail[digits.len()..];
-    }
-    out.push_str(rest);
-    out
-}
 
 /// Selects the pipeline through both modes and asserts equivalence.
 fn assert_batched_equivalent(name: &str, pipeline: &Pipeline) {

@@ -64,9 +64,10 @@ fn amx_standard_layout_swizzle_is_injected_not_scheduled() {
     let lowered = hardboiled_repro::lang::lower(&p).unwrap();
     let before = lowered.stmt.to_string();
     assert!(!before.contains("kway_interleave"));
-    let (after, report) = hardboiled_repro::hardboiled::select_default(&lowered.stmt);
-    assert!(report.all_lowered());
-    assert!(after.to_string().contains("kway_interleave"));
+    let session = hardboiled_repro::hardboiled::Session::default();
+    let result = session.compile(&lowered).unwrap();
+    assert!(result.report.all_lowered());
+    assert!(result.program.to_string().contains("kway_interleave"));
 }
 
 #[test]

@@ -1,0 +1,54 @@
+//! Lazy rule construction: compiling programs with no accelerator-touching
+//! leaves must do zero rule-compile work (through the batched path
+//! included), and a session builds its rule set at most once.
+//!
+//! This lives in its own test binary on purpose: it asserts on the
+//! process-global `rules::rule_build_count()` counter, so it must not share
+//! a process with other tests that build rule sets on parallel threads
+//! (every file under `tests/` compiles to its own binary, and this one
+//! holds a single `#[test]`).
+
+use hardboiled_repro::apps::conv1d::Conv1d;
+use hardboiled_repro::hardboiled::{rules, Batching, Session};
+use hardboiled_repro::lang::lower::lower;
+
+#[test]
+fn leaf_free_programs_build_no_rules_in_either_batching_mode() {
+    let app = Conv1d { n: 256, k: 8 };
+    let plain = lower(&app.pipeline(false)).unwrap(); // no accel placements
+    for batching in [Batching::PerLeaf, Batching::Batched] {
+        let session = Session::builder().batching(batching).build().unwrap();
+        let before = rules::rule_build_count();
+        for _ in 0..3 {
+            let r = session.compile(&plain).unwrap();
+            assert_eq!(r.report.num_statements(), 0);
+        }
+        let suite = session
+            .compile_suite(&[plain.clone(), plain.clone()])
+            .unwrap();
+        assert_eq!(suite.report.num_statements(), 0);
+        assert_eq!(
+            rules::rule_build_count(),
+            before,
+            "{batching:?}: leaf-free compilation must not build the rule set"
+        );
+    }
+
+    // And a session that does saturate builds the rules exactly once, no
+    // matter how many compiles it serves.
+    let session = Session::builder()
+        .batching(Batching::Batched)
+        .build()
+        .unwrap();
+    let tc = lower(&app.pipeline(true)).unwrap();
+    let before = rules::rule_build_count();
+    for _ in 0..3 {
+        let r = session.compile(&tc).unwrap();
+        assert!(r.report.num_statements() > 0);
+    }
+    assert_eq!(
+        rules::rule_build_count(),
+        before + 1,
+        "a session builds its rule set exactly once"
+    );
+}

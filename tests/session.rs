@@ -1,0 +1,287 @@
+//! The `Session` API contract: builder validation, error paths, the
+//! device-derived cost model, target placement policies, and the
+//! lazy-rule-construction guarantee.
+
+use hardboiled_repro::accel::device::DeviceProfile;
+use hardboiled_repro::accel::target::{ScalarTarget, SimTarget, WmmaTarget};
+use hardboiled_repro::apps::conv1d::Conv1d;
+use hardboiled_repro::apps::gemm_wmma::GemmWmma;
+use hardboiled_repro::apps::matmul_amx::{AmxMatmul, Layout, Variant};
+use hardboiled_repro::hardboiled::cost::HbCost;
+use hardboiled_repro::hardboiled::postprocess::normalize_temps;
+use hardboiled_repro::hardboiled::{Batching, BuildError, CompileError, DeviceCost, Session};
+use hardboiled_repro::lang::lower::lower;
+use hardboiled_repro::lang::Pipeline;
+
+// ---------------------------------------------------------------------------
+// Builder validation.
+
+#[test]
+fn unknown_target_is_a_build_error() {
+    let err = Session::builder().target_name("tpu").build().unwrap_err();
+    assert_eq!(err, BuildError::UnknownTarget("tpu".into()));
+    assert!(err.to_string().contains("tpu"));
+}
+
+#[test]
+fn later_valid_target_clears_an_unknown_name() {
+    // Last write wins: a corrected target_name (or an explicit target)
+    // supersedes an earlier unresolved name.
+    let s = Session::builder()
+        .target_name("tpu")
+        .target_name("sim")
+        .build()
+        .unwrap();
+    assert_eq!(s.target().name(), "sim");
+    let s = Session::builder()
+        .target_name("tpu")
+        .target(ScalarTarget::new())
+        .build()
+        .unwrap();
+    assert_eq!(s.target().name(), "scalar");
+}
+
+#[test]
+fn conflicting_batching_modes_are_a_build_error() {
+    let err = Session::builder()
+        .batching(Batching::PerLeaf)
+        .batching(Batching::Batched)
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        BuildError::ConflictingBatching(Batching::PerLeaf, Batching::Batched)
+    );
+    // Setting the same mode twice is fine — only *conflicts* error.
+    let ok = Session::builder()
+        .batching(Batching::Batched)
+        .batching(Batching::Batched)
+        .build();
+    assert!(ok.is_ok());
+}
+
+#[test]
+fn zero_budgets_are_build_errors() {
+    assert_eq!(
+        Session::builder().outer_iters(0).build().unwrap_err(),
+        BuildError::InvalidOuterIters
+    );
+    assert_eq!(
+        Session::builder().node_limit(0).build().unwrap_err(),
+        BuildError::InvalidNodeLimit
+    );
+}
+
+#[test]
+fn empty_suite_is_a_compile_error() {
+    let session = Session::builder()
+        .batching(Batching::Batched)
+        .build()
+        .unwrap();
+    let sources: Vec<hardboiled::Program> = Vec::new();
+    let err = session.compile_suite(&sources).unwrap_err();
+    assert_eq!(err, CompileError::EmptySuite);
+}
+
+#[test]
+fn lowering_failures_surface_as_compile_errors() {
+    // An output without bounds cannot lower.
+    use hardboiled_repro::ir::types::ScalarType;
+    use hardboiled_repro::lang::ast::{hf, Func};
+    let out = Func::new("out", &["x"], ScalarType::F32);
+    out.define(hf(1.0));
+    let p = Pipeline::new(&out, &[], &[]);
+    let err = Session::default().compile(&p).unwrap_err();
+    match err {
+        CompileError::Lower(msg) => assert!(msg.contains("bound"), "{msg}"),
+        other => panic!("expected Lower, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The device-derived cost model.
+
+#[test]
+fn device_derived_default_reproduces_hbcost_on_every_workload() {
+    // The acceptance keystone: the Session default (DeviceCost derived from
+    // the target's profile) must select byte-identical programs to the
+    // historical hardcoded HbCost on every pipeline-producing workload.
+    let pipelines: Vec<(String, Pipeline)> = vec![
+        ("conv1d".into(), Conv1d { n: 512, k: 16 }.pipeline(true)),
+        (
+            "conv1d_unrolled".into(),
+            Conv1d { n: 512, k: 32 }.pipeline_tc_unrolled(),
+        ),
+        (
+            "gemm".into(),
+            GemmWmma {
+                m: 32,
+                k: 32,
+                n: 32,
+            }
+            .pipeline(true),
+        ),
+        (
+            "amx_standard".into(),
+            AmxMatmul::default()
+                .pipeline(Layout::Standard, Variant::Reference)
+                .unwrap(),
+        ),
+        (
+            "amx_vnni".into(),
+            AmxMatmul::default()
+                .pipeline(Layout::Vnni, Variant::Reference)
+                .unwrap(),
+        ),
+    ];
+    let derived = Session::default();
+    let hardcoded = Session::builder().cost_model(HbCost).build().unwrap();
+    for (name, p) in &pipelines {
+        let lowered = lower(p).unwrap();
+        let a = derived.compile(&lowered).unwrap();
+        let b = hardcoded.compile(&lowered).unwrap();
+        assert_eq!(
+            normalize_temps(&a.program.to_string()),
+            normalize_temps(&b.program.to_string()),
+            "{name}: device-derived cost model diverged from HbCost"
+        );
+        assert!(a.report.all_lowered(), "{name}");
+    }
+}
+
+#[test]
+fn alternate_device_profile_changes_an_extraction_choice() {
+    // A profile whose tensor units are catastrophically slower than its
+    // general-purpose cores prices intrinsics above the movement penalty:
+    // extraction must then keep the vector form (movement survives, the
+    // statement honestly reports as not lowered) where the real profile
+    // offloads to tile intrinsics.
+    let crippled = DeviceProfile {
+        name: "no-tensor-unit box",
+        tensor_fma_per_s: 1e9,
+        cuda_fma_per_s: 20e12,
+        ..DeviceProfile::a100()
+    };
+    assert!(DeviceCost::from_profile(&crippled).intrinsic > hardboiled::cost::MOVEMENT_PENALTY);
+
+    let app = Conv1d { n: 512, k: 16 };
+    let lowered = lower(&app.pipeline(true)).unwrap();
+
+    let fast = Session::default();
+    let slow = Session::builder()
+        .target(SimTarget::with_device(crippled))
+        .build()
+        .unwrap();
+    let fast_out = fast.compile(&lowered).unwrap();
+    let slow_out = slow.compile(&lowered).unwrap();
+
+    assert!(fast_out.report.all_lowered());
+    assert!(
+        !slow_out.report.all_lowered(),
+        "slow tensor units must make extraction refuse the intrinsics"
+    );
+    assert_ne!(
+        normalize_temps(&fast_out.program.to_string()),
+        normalize_temps(&slow_out.program.to_string()),
+        "the two device profiles must select different programs"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Target placement policies.
+
+#[test]
+fn scalar_target_passes_programs_through() {
+    let app = Conv1d { n: 256, k: 8 };
+    let lowered = lower(&app.pipeline(true)).unwrap();
+    let session = Session::builder()
+        .target(ScalarTarget::new())
+        .build()
+        .unwrap();
+    let result = session.compile(&lowered).unwrap();
+    assert_eq!(result.report.num_statements(), 0);
+    assert!(result.report.batch.is_none());
+    // No saturation leaves -> the annotated tree IS the input tree.
+    assert_eq!(result.program.to_string(), lowered.stmt.to_string());
+}
+
+#[test]
+fn wmma_target_compiles_wmma_but_skips_amx_placements() {
+    let session = Session::builder()
+        .target(WmmaTarget::new())
+        .build()
+        .unwrap();
+    // A WMMA workload fully lowers...
+    let gemm = lower(
+        &GemmWmma {
+            m: 32,
+            k: 32,
+            n: 32,
+        }
+        .pipeline(true),
+    )
+    .unwrap();
+    let r = session.compile(&gemm).unwrap();
+    assert!(r.report.num_statements() > 0);
+    assert!(r.report.all_lowered());
+    assert_eq!(r.report.target, "wmma");
+    // ...while AMX placements are ignored entirely (vector fallback, no
+    // saturation work at all).
+    let amx = lower(
+        &AmxMatmul::default()
+            .pipeline(Layout::Standard, Variant::Reference)
+            .unwrap(),
+    )
+    .unwrap();
+    let r = session.compile(&amx).unwrap();
+    assert_eq!(r.report.num_statements(), 0);
+    assert_eq!(r.program.to_string(), amx.stmt.to_string());
+}
+
+// The lazy-rule-construction regression test lives in its own binary,
+// `tests/rule_laziness.rs`: it asserts on the process-global rule-build
+// counter, which the parallel tests in this binary would perturb.
+
+// ---------------------------------------------------------------------------
+// Suite compilation.
+
+#[test]
+fn suite_compilation_matches_per_program_compilation() {
+    let sources = vec![
+        lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap(),
+        lower(
+            &GemmWmma {
+                m: 32,
+                k: 32,
+                n: 32,
+            }
+            .pipeline(true),
+        )
+        .unwrap(),
+    ];
+    let session = Session::builder()
+        .batching(Batching::Batched)
+        .build()
+        .unwrap();
+    let suite = session.compile_suite(&sources).unwrap();
+    assert_eq!(suite.programs.len(), 2);
+    assert!(suite.report.batch.is_some(), "shared-graph run must report");
+    for (lowered, out) in sources.iter().zip(&suite.programs) {
+        let single = session.compile(lowered).unwrap();
+        assert_eq!(
+            normalize_temps(&single.program.to_string()),
+            normalize_temps(&out.to_string()),
+            "suite-batched selection diverged from single-program compile"
+        );
+    }
+    // Lowering diagnostics from every program surface in the suite report.
+    assert_eq!(
+        suite
+            .report
+            .notes
+            .iter()
+            .filter(|n| n.contains("lowered pipeline"))
+            .count(),
+        2
+    );
+}
