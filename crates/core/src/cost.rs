@@ -153,7 +153,7 @@ mod tests {
     use super::*;
     use crate::encode::encode_expr;
     use crate::lang::HbGraph;
-    use hb_egraph::extract::Extractor;
+    use hb_egraph::extract::WorklistExtractor;
     use hb_ir::builder as b;
     use hb_ir::types::Type;
 
@@ -161,7 +161,7 @@ mod tests {
     fn movements_dominate_cost() {
         let mut eg = HbGraph::default();
         let id = encode_expr(&mut eg, &b::mem_to_amx(b::bcast(b::flt(0.0), 4)));
-        let ex = Extractor::new(&eg, HbCost);
+        let ex = WorklistExtractor::new(&eg, HbCost);
         assert!(ex.cost_of(id).unwrap() >= MOVEMENT_PENALTY);
     }
 
@@ -175,7 +175,7 @@ mod tests {
         );
         eg.union(moved, call);
         eg.rebuild();
-        let ex = Extractor::new(&eg, HbCost);
+        let ex = WorklistExtractor::new(&eg, HbCost);
         let term = ex.extract(moved);
         assert_eq!(
             crate::decode::decode_expr(&term).unwrap(),
@@ -246,7 +246,7 @@ mod tests {
         eg.union(moved, call);
         eg.rebuild();
         let cheap_tensor = DeviceCost::from_profile(&DeviceProfile::a100());
-        let ex = Extractor::new(&eg, cheap_tensor);
+        let ex = WorklistExtractor::new(&eg, cheap_tensor);
         assert_eq!(
             crate::decode::decode_expr(&ex.extract(moved)).unwrap(),
             b::call(Type::f32().with_lanes(512), "tile_zero", vec![]),
@@ -255,7 +255,7 @@ mod tests {
             intrinsic: MOVEMENT_PENALTY * 2,
             movement: MOVEMENT_PENALTY,
         };
-        let ex = Extractor::new(&eg, slow_tensor);
+        let ex = WorklistExtractor::new(&eg, slow_tensor);
         assert_eq!(
             crate::decode::decode_expr(&ex.extract(moved)).unwrap(),
             b::mem_to_amx(b::bcast(b::flt(0.0), 512)),

@@ -37,7 +37,8 @@
 //!    families the target's rule profile selects), with supporting rules
 //!    run to fixpoint between iterations (§III-D2),
 //! 4. extraction picks the cheapest equivalent under the session's
-//!    [`CostModel`] (§III-D3),
+//!    [`CostModel`] (§III-D3), through the session's extraction *strategy*
+//!    (see below),
 //! 5. [`decode`] + [`postprocess`] splice the result (materializing
 //!    `ExprVar` swizzle buffers) back into the loop nest.
 //!
@@ -45,8 +46,10 @@
 //! [`Batching::Batched`], every leaf of every program shares one e-graph
 //! and one saturation run, with results byte-identical to per-leaf
 //! compilation. The [`CompileReport`] unifies statement outcomes, engine
-//! saturation statistics, front-end diagnostics and per-stage timings
-//! (lower / encode / saturate / extract / splice).
+//! saturation statistics, front-end diagnostics, per-stage timings
+//! (lower / encode / saturate / extract / splice) and an
+//! [`ExtractionReport`] (strategy, cost-table size, per-root costs,
+//! shared-table reuse counters).
 //!
 //! ## Extension points
 //!
@@ -61,6 +64,16 @@
 //!   tensor units compare to its general-purpose cores, so a device with
 //!   slow tensor units makes extraction keep the vector code. Override
 //!   with [`SessionBuilder::cost_model`].
+//! * **Extraction strategies** ([`hb_egraph::extract::Extract`]) decide
+//!   how the saturated graph is solved and read out. The default policy,
+//!   [`ExtractionPolicy::Auto`] (supplied by the target, overridable with
+//!   [`SessionBuilder::extractor`]), runs the reference worklist solver
+//!   per leaf and the shared-table strategy — one cost table plus a term
+//!   bank reused across every root — for batched multi-root graphs;
+//!   outputs are byte-identical, the switch is purely the extract-stage
+//!   speedup. [`ExtractionPolicy::DagCost`] instead charges shared
+//!   subterms once per readout (CSE semantics) and may legitimately select
+//!   different programs on unrolled workloads.
 //! * **Front ends** implement [`session::IntoProgram`]; `hb-lang` does so
 //!   for its `Pipeline` and `Lowered` types, which makes
 //!   `session.compile(&pipeline)` lower and select in one call.
@@ -79,13 +92,15 @@ pub mod selector;
 pub mod session;
 
 pub use cost::{CostModel, DeviceCost, HbCost};
-pub use hb_accel::target::{AmxTarget, RuleProfile, ScalarTarget, SimTarget, Target, WmmaTarget};
+pub use hb_accel::target::{
+    AmxTarget, ExtractionPolicy, RuleProfile, ScalarTarget, SimTarget, Target, WmmaTarget,
+};
 pub use lang::{HbAnalysis, HbGraph, HbLang};
 pub use movement::Placements;
 pub use selector::{SelectionReport, SelectorConfig};
 pub use session::{
-    Batching, BuildError, CompileError, CompileReport, CompileResult, IntoProgram, Program,
-    Session, SessionBuilder, StageTimings, StmtReport, SuiteResult,
+    Batching, BuildError, CompileError, CompileReport, CompileResult, ExtractionReport,
+    IntoProgram, Program, Session, SessionBuilder, StageTimings, StmtReport, SuiteResult,
 };
 
 #[allow(deprecated)]

@@ -43,8 +43,8 @@ use std::fmt;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use hb_accel::target::{SimTarget, Target};
-use hb_egraph::extract::Extractor;
+use hb_accel::target::{ExtractionPolicy, SimTarget, Target};
+use hb_egraph::extract::{DagCostExtractor, Extract, SharedTableExtractor, WorklistExtractor};
 use hb_egraph::schedule::{RunReport, Runner};
 use hb_egraph::unionfind::Id;
 use hb_ir::expr::Expr;
@@ -53,7 +53,7 @@ use hb_ir::stmt::Stmt;
 use crate::cost::{CostModel, DeviceCost, ModelCost};
 use crate::decode::decode_stmt;
 use crate::encode::encode_stmt;
-use crate::lang::{HbAnalysis, HbGraph, HbLang};
+use crate::lang::{HbGraph, HbLang};
 use crate::movement::{annotate_stmt, collect_placements, Placements};
 use crate::postprocess::materialize_stmt;
 use crate::rules::RuleSet;
@@ -205,6 +205,52 @@ pub struct StageTimings {
     pub splice: Duration,
 }
 
+/// What the extraction stage did, whatever strategy ran: the settled
+/// cost-table size(s), each root's extraction cost, the shared-table reuse
+/// counters, and the wall-clock spent reading roots out (cost lookup +
+/// term extraction — the per-root, strategy-dependent half of the extract
+/// stage; the per-graph cost solve and the strategy-independent decode /
+/// materialization are excluded).
+///
+/// In per-leaf mode every leaf solves its own table; the sizes and counters
+/// below are summed across leaves.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractionReport {
+    /// Strategy that ran (`"worklist"`, `"shared-table"`, `"dag-cost"`).
+    pub strategy: &'static str,
+    /// Cost-table entries (classes with a constructible term), summed over
+    /// every e-graph the compile solved.
+    pub table_entries: usize,
+    /// Extraction cost of each saturated root, in leaf order (`None` for a
+    /// root with no constructible term — cannot happen for encoded
+    /// statements, kept honest for custom pipelines).
+    pub root_costs: Vec<Option<u64>>,
+    /// Nodes materialized in the shared term bank (shared-table strategy;
+    /// 0 otherwise).
+    pub bank_nodes: usize,
+    /// Readout lookups served from sub-dags banked by *earlier* readouts —
+    /// the cross-root reuse the shared-table strategy exists for
+    /// (intra-root sharing is excluded; every strategy memoizes that).
+    pub reused_readouts: usize,
+    /// Total wall-clock across all per-root term readouts (decode and
+    /// materialization excluded — they cost the same under any strategy).
+    pub readout_time: Duration,
+}
+
+impl ExtractionReport {
+    /// Number of roots read out.
+    #[must_use]
+    pub fn roots(&self) -> usize {
+        self.root_costs.len()
+    }
+
+    /// Mean per-root readout time.
+    #[must_use]
+    pub fn per_root_readout(&self) -> Duration {
+        self.readout_time / u32::try_from(self.roots().max(1)).unwrap_or(u32::MAX)
+    }
+}
+
 /// Outcome for one statement that went through equality saturation.
 #[derive(Debug, Clone)]
 pub struct StmtReport {
@@ -231,6 +277,10 @@ pub struct CompileReport {
     /// per-statement `eqsat` reports are then empty defaults — the work
     /// happened once, here).
     pub batch: Option<RunReport>,
+    /// What the extraction stage did (strategy, cost-table size, per-root
+    /// costs, shared-table reuse, readout time). `None` when nothing was
+    /// saturated.
+    pub extraction: Option<ExtractionReport>,
     /// Per-stage wall-clock breakdown.
     pub stages: StageTimings,
     /// Total time spent inside equality saturation (equals
@@ -282,6 +332,7 @@ pub struct SessionBuilder {
     cost: Option<Box<dyn CostModel>>,
     batching: Option<Batching>,
     batching_conflict: Option<(Batching, Batching)>,
+    extraction: Option<ExtractionPolicy>,
     outer_iters: usize,
     node_limit: Option<usize>,
     runner: Option<Runner>,
@@ -296,6 +347,7 @@ impl SessionBuilder {
             cost: None,
             batching: None,
             batching_conflict: None,
+            extraction: None,
             outer_iters: 8,
             node_limit: None,
             runner: None,
@@ -335,6 +387,19 @@ impl SessionBuilder {
     #[must_use]
     pub fn cost_model(mut self, cost: impl CostModel + 'static) -> Self {
         self.cost = Some(Box::new(cost));
+        self
+    }
+
+    /// Overrides the extraction strategy (default: the target's
+    /// [`Target::extraction_policy`], which is [`ExtractionPolicy::Auto`]
+    /// for every built-in target — the worklist strategy per leaf, the
+    /// shared-table strategy for batched multi-root graphs; the two are
+    /// byte-identical, so `Auto` is purely a speed choice).
+    /// [`ExtractionPolicy::DagCost`] changes the objective (shared
+    /// subterms charged once) and may select different programs.
+    #[must_use]
+    pub fn extractor(mut self, policy: ExtractionPolicy) -> Self {
+        self.extraction = Some(policy);
         self
     }
 
@@ -414,10 +479,14 @@ impl SessionBuilder {
             });
             Runner::new(16, limit).with_naive_matcher(self.naive_matcher)
         });
+        let extraction = self
+            .extraction
+            .unwrap_or_else(|| target.extraction_policy());
         Ok(Session {
             target,
             cost,
             batching,
+            extraction,
             outer_iters: self.outer_iters,
             runner,
             rules: OnceLock::new(),
@@ -435,6 +504,7 @@ pub struct Session {
     target: Box<dyn Target>,
     cost: Box<dyn CostModel>,
     batching: Batching,
+    extraction: ExtractionPolicy,
     outer_iters: usize,
     runner: Runner,
     rules: OnceLock<RuleSet>,
@@ -453,6 +523,7 @@ impl fmt::Debug for Session {
         f.debug_struct("Session")
             .field("target", &self.target.name())
             .field("batching", &self.batching)
+            .field("extraction", &self.extraction)
             .field("outer_iters", &self.outer_iters)
             .finish_non_exhaustive()
     }
@@ -481,6 +552,7 @@ impl Session {
             target: Box::new(target),
             cost: Box::new(cost),
             batching,
+            extraction: ExtractionPolicy::Auto,
             outer_iters,
             runner,
             rules: OnceLock::new(),
@@ -497,6 +569,41 @@ impl Session {
     #[must_use]
     pub fn batching(&self) -> Batching {
         self.batching
+    }
+
+    /// The session's extraction policy (builder override, else the
+    /// target's default).
+    #[must_use]
+    pub fn extraction_policy(&self) -> ExtractionPolicy {
+        self.extraction
+    }
+
+    /// Resolves [`ExtractionPolicy::Auto`] for one compilation shape: the
+    /// worklist strategy on single-root per-leaf graphs, the shared-table
+    /// strategy on multi-root batched graphs (byte-identical outputs —
+    /// `Auto` only picks the faster readout path).
+    fn resolved_extraction(&self, batched: bool) -> ExtractionPolicy {
+        match self.extraction {
+            ExtractionPolicy::Auto if batched => ExtractionPolicy::SharedTable,
+            ExtractionPolicy::Auto => ExtractionPolicy::Worklist,
+            other => other,
+        }
+    }
+
+    /// Builds the resolved strategy over one saturated graph.
+    fn build_extractor<'g>(
+        &'g self,
+        eg: &'g HbGraph,
+        batched: bool,
+    ) -> Box<dyn Extract<HbLang> + 'g> {
+        let cost = ModelCost(self.cost.as_ref());
+        match self.resolved_extraction(batched) {
+            ExtractionPolicy::SharedTable => Box::new(SharedTableExtractor::new(eg, cost)),
+            ExtractionPolicy::DagCost => Box::new(DagCostExtractor::new(eg, cost)),
+            ExtractionPolicy::Auto | ExtractionPolicy::Worklist => {
+                Box::new(WorklistExtractor::new(eg, cost))
+            }
+        }
     }
 
     /// The rule set, built on first use for the target's rule profile.
@@ -689,14 +796,20 @@ impl Session {
             .run_phased(&mut eg, &rules.main, &rules.support, self.outer_iters);
         report.stages.saturate += saturate_started.elapsed();
 
-        // One cost table serves every root.
+        // One cost table serves every root; the resolved strategy (Auto →
+        // shared-table here) additionally shares readout work across roots
+        // through its term bank.
         let extract_started = Instant::now();
-        let extractor = Extractor::new(&eg, ModelCost(self.cost.as_ref()));
+        let extractor = self.build_extractor(&eg, true);
+        let mut extraction = ExtractionReport {
+            strategy: extractor.stats().strategy,
+            ..ExtractionReport::default()
+        };
         let selected: Vec<Stmt> = roots
             .iter()
             .zip(leaves)
             .map(|(&root, original)| {
-                let materialized = readout(&extractor, root, original);
+                let materialized = readout(extractor.as_ref(), root, original, &mut extraction);
                 report.stmts.push(StmtReport {
                     original: original.to_string(),
                     lowered: !stmt_has_movement(&materialized),
@@ -705,6 +818,11 @@ impl Session {
                 materialized
             })
             .collect();
+        let stats = extractor.stats();
+        extraction.table_entries = stats.table_entries;
+        extraction.bank_nodes = stats.bank_nodes;
+        extraction.reused_readouts = stats.reused_readouts;
+        report.extraction = Some(extraction);
         report.stages.extract += extract_started.elapsed();
         report.batch = Some(run);
         selected
@@ -719,7 +837,8 @@ impl Session {
         rules: &RuleSet,
         report: &mut CompileReport,
     ) -> Vec<Stmt> {
-        leaves
+        let mut extraction: Option<ExtractionReport> = None;
+        let selected: Vec<Stmt> = leaves
             .iter()
             .map(|stmt| {
                 let encode_started = Instant::now();
@@ -735,8 +854,16 @@ impl Session {
                 report.stages.saturate += saturate_started.elapsed();
 
                 let extract_started = Instant::now();
-                let extractor = Extractor::new(&eg, ModelCost(self.cost.as_ref()));
-                let materialized = readout(&extractor, root, stmt);
+                let extractor = self.build_extractor(&eg, false);
+                let agg = extraction.get_or_insert_with(|| ExtractionReport {
+                    strategy: extractor.stats().strategy,
+                    ..ExtractionReport::default()
+                });
+                let materialized = readout(extractor.as_ref(), root, stmt, agg);
+                let stats = extractor.stats();
+                agg.table_entries += stats.table_entries;
+                agg.bank_nodes += stats.bank_nodes;
+                agg.reused_readouts += stats.reused_readouts;
                 report.stages.extract += extract_started.elapsed();
                 report.stmts.push(StmtReport {
                     original: stmt.to_string(),
@@ -745,21 +872,34 @@ impl Session {
                 });
                 materialized
             })
-            .collect()
+            .collect();
+        report.extraction = extraction;
+        selected
     }
 }
 
 /// Extracts, decodes and post-processes one saturated root back into a
-/// statement (falling back to the original on undecodable terms).
+/// statement (falling back to the original on non-constructible roots and
+/// undecodable terms). Only the term readout itself is charged to
+/// `extraction` — decoding and materialization cost the same whatever
+/// strategy produced the term.
 fn readout(
-    extractor: &Extractor<'_, HbLang, HbAnalysis, ModelCost<'_>>,
+    extractor: &dyn Extract<HbLang>,
     root: Id,
     original: &Stmt,
+    extraction: &mut ExtractionReport,
 ) -> Stmt {
-    let term = extractor.extract(root);
-    let decoded = match decode_stmt(&term) {
-        Ok(s) => s,
-        Err(_) => original.clone(),
+    let readout_started = Instant::now();
+    let cost = extractor.cost_of(root);
+    extraction.root_costs.push(cost);
+    // A root with no constructible term (possible only for custom
+    // pipelines encoding cyclic-only classes) keeps its original form —
+    // extract() would panic on it.
+    let term = cost.is_some().then(|| extractor.extract(root));
+    extraction.readout_time += readout_started.elapsed();
+    let decoded = match term.as_ref().map(decode_stmt) {
+        Some(Ok(s)) => s,
+        Some(Err(_)) | None => original.clone(),
     };
     materialize_stmt(&decoded)
 }

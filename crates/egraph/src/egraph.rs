@@ -565,7 +565,8 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     }
 
     /// Extracts *some* term from a class (first constructible node, depth
-    /// first). Mainly for tests; use [`crate::extract::Extractor`] for
+    /// first). Mainly for tests; use a [`crate::extract::Extract`]
+    /// strategy (e.g. [`crate::extract::WorklistExtractor`]) for
     /// cost-aware extraction.
     #[must_use]
     pub fn any_term(&self, id: Id) -> Option<RecExpr<L>> {

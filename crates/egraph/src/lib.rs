@@ -6,7 +6,8 @@
 //! [`rewrite::Rewrite`] rules with egglog-style Datalog
 //! [`relation::Relations`], phased [`schedule::Runner`] scheduling
 //! (§III-D2), per-class [`egraph::Analysis`] lattices, and cost-based
-//! [`extract::Extractor`] term extraction (§III-D3).
+//! term extraction (§III-D3) behind the pluggable [`extract::Extract`]
+//! strategy API.
 //!
 //! The engine is generic over a [`language::Language`]; the HARDBOILED
 //! tensor language lives in the `hardboiled` crate, and a small arithmetic
@@ -68,14 +69,26 @@
 //!   skipped outright, so these rules too cost nearly nothing at
 //!   quiescence, where they previously re-ran a full join every pass.
 //!
-//! * **Worklist extraction, content-deterministic ties.**
-//!   [`extract::Extractor`] solves costs by parent-propagation from the
-//!   leaves up instead of repeated full passes to a fixpoint, then
-//!   finalizes equal-cost ties by *content* (operator key + recursive
+//! * **Pluggable extraction strategies.** Extraction is a strategy API
+//!   behind the object-safe [`extract::Extract`] trait (solve once at
+//!   construction, then `cost_of`/`extract` readouts plus
+//!   [`extract::ExtractionStats`] counters). The reference strategy,
+//!   [`extract::WorklistExtractor`], solves costs by parent-propagation
+//!   from the leaves up instead of repeated full passes to a fixpoint,
+//!   then finalizes equal-cost ties by *content* (operator key + recursive
 //!   child comparison, memoized) rather than by e-class id order — two
 //!   graphs holding the same equivalences extract identical terms however
 //!   their ids were assigned, which is what lets the selector's shared
 //!   (batched) e-graph mode reproduce the per-leaf output byte for byte.
+//!   [`extract::SharedTableExtractor`] keeps the same table (and therefore
+//!   byte-identical terms, asserted by proptest against the worklist
+//!   strategy) but routes every readout through a shared term bank, so the
+//!   sub-dags hundreds of suite roots have in common are materialized once
+//!   instead of once per root — the extract-stage speedup of batched mode.
+//!   [`extract::DagCostExtractor`] changes the *objective*: shared
+//!   subterms are charged once per readout dag (CSE semantics), finalized
+//!   bottom-up in ascending tree-cost order with a strict-descent gate
+//!   that keeps every chosen dag acyclic.
 //!
 //! The pre-overhaul naive matcher is retained
 //! ([`pattern::Pattern::search`], [`rewrite::Query::search`],
@@ -91,7 +104,7 @@
 //!
 //! ```
 //! use hb_egraph::egraph::EGraph;
-//! use hb_egraph::extract::{AstSize, Extractor};
+//! use hb_egraph::extract::{AstSize, WorklistExtractor};
 //! use hb_egraph::math_lang::{n, pdiv, pmul, pvar, Math};
 //! use hb_egraph::rewrite::Rewrite;
 //! use hb_egraph::schedule::Runner;
@@ -112,7 +125,7 @@
 //!     Rewrite::rewrite("mul-one", pmul(pvar("a"), n(1)), pvar("a")),
 //! ];
 //! Runner::default().run_to_fixpoint(&mut eg, &rules);
-//! let best = Extractor::new(&eg, AstSize).extract(d);
+//! let best = WorklistExtractor::new(&eg, AstSize).extract(d);
 //! assert_eq!(best.to_sexp(), "a");
 //! ```
 
@@ -127,7 +140,10 @@ pub mod schedule;
 pub mod unionfind;
 
 pub use egraph::{Analysis, EClass, EGraph};
-pub use extract::{AstSize, CostFunction, Extractor, FnCost};
+pub use extract::{
+    AstSize, CostFunction, DagCostExtractor, Extract, ExtractionStats, FnCost,
+    SharedTableExtractor, WorklistExtractor,
+};
 pub use language::{Language, RecExpr};
 pub use pattern::{CompiledPattern, MatchScratch, Pattern, Subst};
 pub use relation::Relations;

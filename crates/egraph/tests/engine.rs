@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 
 use hb_egraph::egraph::EGraph;
-use hb_egraph::extract::{AstSize, Extractor};
+use hb_egraph::extract::{AstSize, WorklistExtractor};
 use hb_egraph::math_lang::{n, padd, pdiv, pmul, pshl, pvar, Math};
 use hb_egraph::pattern::{MatchScratch, Pattern, Subst};
 use hb_egraph::rewrite::{Query, Rewrite};
@@ -153,13 +153,13 @@ proptest! {
         // (ids are numbered differently between runs, so equal-cost ties
         // can break toward different — equally minimal — representatives).
         let fast_results: Vec<_> = {
-            let ex = Extractor::new(&fast, AstSize);
+            let ex = WorklistExtractor::new(&fast, AstSize);
             ids.iter()
                 .map(|&x| ex.cost_of(x).map(|c| (c, ex.extract(x))))
                 .collect()
         };
         let naive_costs: Vec<_> = {
-            let ex = Extractor::new(&naive, AstSize);
+            let ex = WorklistExtractor::new(&naive, AstSize);
             ids.iter().map(|&x| ex.cost_of(x)).collect()
         };
         for ((&x, fast_result), naive_cost) in

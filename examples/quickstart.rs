@@ -26,9 +26,10 @@ fn main() {
         .build()
         .expect("valid session");
     println!(
-        "session: target `{}`, {:?} batching\n",
+        "session: target `{}`, {:?} batching, {:?} extraction\n",
         session.target().name(),
-        session.batching()
+        session.batching(),
+        session.extraction_policy()
     );
 
     let reference = app.reference();
@@ -50,6 +51,18 @@ fn main() {
                 "  stages: lower {:?}, encode {:?}, saturate {:?}, extract {:?}, splice {:?}",
                 s.lower, s.encode, s.saturate, s.extract, s.splice
             );
+            if let Some(ex) = &report.extraction {
+                println!(
+                    "  extraction: `{}` strategy, {} table entries, {} roots, \
+                     bank {} nodes ({} reused), readout {:?}",
+                    ex.strategy,
+                    ex.table_entries,
+                    ex.roots(),
+                    ex.bank_nodes,
+                    ex.reused_readouts,
+                    ex.readout_time
+                );
+            }
         }
         println!("  max rel. error vs reference: {err:.2e}");
         println!(

@@ -9,7 +9,7 @@
 //!    `MultiplyLanes` concretization, axiom-produced loads keep symbolic
 //!    types and the app rules cannot bind shapes.
 
-use hardboiled_repro::egraph::extract::{AstSize, Extractor};
+use hardboiled_repro::egraph::extract::{AstSize, WorklistExtractor};
 use hardboiled_repro::egraph::schedule::Runner;
 use hardboiled_repro::hardboiled::cost::HbCost;
 use hardboiled_repro::hardboiled::decode::decode_stmt;
@@ -73,9 +73,9 @@ fn saturate_and_extract(
     let support = rules::supporting_rules();
     Runner::new(16, 200_000).run_phased(&mut eg, &main, &support, 8);
     let term = if use_hb_cost {
-        Extractor::new(&eg, HbCost).extract(root)
+        WorklistExtractor::new(&eg, HbCost).extract(root)
     } else {
-        Extractor::new(&eg, AstSize).extract(root)
+        WorklistExtractor::new(&eg, AstSize).extract(root)
     };
     decode_stmt(&term).unwrap_or_else(|_| stmt.clone())
 }
@@ -140,7 +140,7 @@ fn ablation_without_supporting_rules_types_stay_symbolic() {
     let main = rules::main_rules();
     // Note: run_to_fixpoint over main rules only — no supporting phase.
     Runner::new(8, 200_000).run_to_fixpoint(&mut eg, &main);
-    let term = Extractor::new(&eg, HbCost).extract(root);
+    let term = WorklistExtractor::new(&eg, HbCost).extract(root);
     let out = decode_stmt(&term).unwrap_or(stmt);
     assert!(
         !is_lowered(&out),

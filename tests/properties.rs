@@ -187,7 +187,7 @@ proptest! {
     ) {
         // Saturate a nested index expression with the HARDBOILED axioms and
         // check the extracted form evaluates identically.
-        use hardboiled_repro::egraph::extract::Extractor;
+        use hardboiled_repro::egraph::extract::WorklistExtractor;
         use hardboiled_repro::egraph::schedule::Runner;
         use hardboiled_repro::hardboiled::cost::HbCost;
         use hardboiled_repro::hardboiled::decode::decode_expr;
@@ -207,7 +207,7 @@ proptest! {
             &rules::supporting_rules(),
             4,
         );
-        let term = Extractor::new(&eg, HbCost).extract(id);
+        let term = WorklistExtractor::new(&eg, HbCost).extract(id);
         let back = decode_expr(&term).unwrap();
         let v1 = eval_lanes(&e, 0, 0).unwrap();
         let v2 = eval_lanes(&back, 0, 0).unwrap();

@@ -3,7 +3,7 @@
 //! lazy-rule-construction guarantee.
 
 use hardboiled_repro::accel::device::DeviceProfile;
-use hardboiled_repro::accel::target::{ScalarTarget, SimTarget, WmmaTarget};
+use hardboiled_repro::accel::target::{ExtractionPolicy, ScalarTarget, SimTarget, WmmaTarget};
 use hardboiled_repro::apps::conv1d::Conv1d;
 use hardboiled_repro::apps::gemm_wmma::GemmWmma;
 use hardboiled_repro::apps::matmul_amx::{AmxMatmul, Layout, Variant};
@@ -236,6 +236,125 @@ fn wmma_target_compiles_wmma_but_skips_amx_placements() {
     let r = session.compile(&amx).unwrap();
     assert_eq!(r.report.num_statements(), 0);
     assert_eq!(r.program.to_string(), amx.stmt.to_string());
+}
+
+// ---------------------------------------------------------------------------
+// Extraction strategies.
+
+#[test]
+fn auto_policy_resolves_by_batching_mode() {
+    // Per-leaf sessions run the worklist strategy, batched sessions the
+    // shared-table strategy; the extraction report names which one ran.
+    let lowered = lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap();
+    let per_leaf = Session::default().compile(&lowered).unwrap();
+    let extraction = per_leaf
+        .report
+        .extraction
+        .as_ref()
+        .expect("saturated → report");
+    assert_eq!(extraction.strategy, "worklist");
+    assert_eq!(extraction.roots(), per_leaf.report.num_statements());
+    assert!(extraction.table_entries > 0);
+    assert!(extraction.root_costs.iter().all(Option::is_some));
+
+    let batched = Session::builder()
+        .batching(Batching::Batched)
+        .build()
+        .unwrap();
+    let result = batched.compile(&lowered).unwrap();
+    let extraction = result
+        .report
+        .extraction
+        .as_ref()
+        .expect("saturated → report");
+    assert_eq!(extraction.strategy, "shared-table");
+    assert!(extraction.bank_nodes > 0);
+    // No-leaf compiles have no extraction stage at all.
+    let scalar = Session::builder()
+        .target(ScalarTarget::new())
+        .build()
+        .unwrap();
+    assert!(scalar
+        .compile(&lowered)
+        .unwrap()
+        .report
+        .extraction
+        .is_none());
+}
+
+#[test]
+fn shared_table_matches_worklist_per_root_on_suites() {
+    // The Session-native equivalence oracle for the strategy redesign: a
+    // batched suite read out through the shared table must be
+    // byte-identical to the same suite forced onto per-root worklist
+    // readouts, per program and per statement.
+    let sources = vec![
+        lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap(),
+        lower(&Conv1d { n: 512, k: 32 }.pipeline_tc_unrolled()).unwrap(),
+        lower(
+            &GemmWmma {
+                m: 32,
+                k: 32,
+                n: 32,
+            }
+            .pipeline(true),
+        )
+        .unwrap(),
+    ];
+    let shared = Session::builder()
+        .batching(Batching::Batched)
+        .extractor(ExtractionPolicy::SharedTable)
+        .build()
+        .unwrap();
+    let worklist = Session::builder()
+        .batching(Batching::Batched)
+        .extractor(ExtractionPolicy::Worklist)
+        .build()
+        .unwrap();
+    let a = shared.compile_suite(&sources).unwrap();
+    let b = worklist.compile_suite(&sources).unwrap();
+    for (i, (sa, sb)) in a.programs.iter().zip(&b.programs).enumerate() {
+        assert_eq!(
+            normalize_temps(&sa.to_string()),
+            normalize_temps(&sb.to_string()),
+            "program {i}: shared-table readout diverged from worklist"
+        );
+    }
+    let ea = a.report.extraction.unwrap();
+    let eb = b.report.extraction.unwrap();
+    assert_eq!(ea.strategy, "shared-table");
+    assert_eq!(eb.strategy, "worklist");
+    assert_eq!(ea.root_costs, eb.root_costs, "per-root costs diverged");
+    // The unrolled conv multiplies structurally identical leaves — the
+    // bank must have served repeated sub-dags instead of re-deriving them.
+    assert!(ea.reused_readouts > 0, "shared table never reused anything");
+    assert_eq!(eb.reused_readouts, 0, "worklist has no bank to reuse");
+}
+
+#[test]
+fn dag_cost_strategy_is_a_session_plugin() {
+    let lowered = lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap();
+    let session = Session::builder()
+        .extractor(ExtractionPolicy::DagCost)
+        .build()
+        .unwrap();
+    assert_eq!(session.extraction_policy(), ExtractionPolicy::DagCost);
+    let result = session.compile(&lowered).unwrap();
+    let extraction = result
+        .report
+        .extraction
+        .as_ref()
+        .expect("saturated → report");
+    assert_eq!(extraction.strategy, "dag-cost");
+    // Charging shared subterms once must not un-lower the conv: intrinsic
+    // forms stay far below the movement penalty under either objective.
+    assert!(result.report.all_lowered());
+    // Dag costs price each root at no more than its tree cost.
+    let tree = Session::default().compile(&lowered).unwrap();
+    let tree_costs = tree.report.extraction.unwrap().root_costs;
+    for (dag, tree) in extraction.root_costs.iter().zip(&tree_costs) {
+        assert!(dag.unwrap() <= tree.unwrap(), "dag {dag:?} > tree {tree:?}");
+    }
 }
 
 // The lazy-rule-construction regression test lives in its own binary,
