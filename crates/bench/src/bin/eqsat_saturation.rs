@@ -24,13 +24,25 @@
 //! 3. **batched saturation** — every leaf statement of an enlarged
 //!    workload pool encoded into one e-graph and saturated with the phased
 //!    schedule, indexed vs naive (the engine-level speedup), plus the
-//!    run's delta/full/skipped search counters (the semi-naive relation
-//!    evaluation shows up here: relation-atom rules no longer full-search
-//!    every pass).
+//!    run's delta/full/skipped search counters and the per-op delta-probe
+//!    row counts (probed vs skipped op rows). The same pool is also run
+//!    with the retained per-class delta baseline
+//!    (`Runner::use_per_class_deltas`) — identical outcomes asserted — to
+//!    record how many probe rows op-keyed tracking saves.
 //!
 //! Passing `--check` runs only the equivalence oracles (per-leaf vs
-//! batched programs, indexed vs naive saturation) without repetitions,
-//! timing assertions or the JSON write — CI runs this on every PR.
+//! batched programs, indexed vs naive vs per-class-delta saturation)
+//! without repetitions, timing assertions or the JSON write — CI runs
+//! this on every PR.
+//!
+//! Passing `--compare <path>` additionally reloads a previously committed
+//! `BENCH_eqsat.json` before the run and exits nonzero if any tracked
+//! speedup ratio regressed by more than 25% against it — the CI
+//! bench-regression guard (the fresh JSON is still written, so CI can
+//! upload it as an artifact). In this mode the absolute wall-clock floors
+//! below are demoted to warnings: they are calibrated on the dev machine
+//! and would double-fail a noisy shared runner that the 25% ratio
+//! comparison already polices.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -204,6 +216,15 @@ fn per_leaf_session(naive: bool) -> Session {
         .expect("valid session")
 }
 
+/// A per-leaf session on the retained per-class delta baseline — the
+/// op-keyed ≡ per-class selection oracle.
+fn per_class_session() -> Session {
+    Session::builder()
+        .runner(Runner::new(16, 200_000).with_per_class_deltas(true))
+        .build()
+        .expect("valid session")
+}
+
 /// The shared-e-graph session (`Auto` extraction resolves to the
 /// shared-table strategy in batched mode).
 fn batched_session() -> Session {
@@ -232,13 +253,17 @@ struct BatchRun {
     delta_searches: usize,
     full_searches: usize,
     skipped_searches: usize,
+    probed_rows: usize,
+    skipped_rows: usize,
     /// find() of every leaf root — the semantic outcome to cross-check.
     root_classes: Vec<Id>,
     graph: HbGraph,
 }
 
-fn run_batched_saturation(leaves: &[Stmt], naive: bool, reps: usize) -> BatchRun {
-    let runner = Runner::new(16, 500_000).with_naive_matcher(naive);
+fn run_batched_saturation(leaves: &[Stmt], naive: bool, per_class: bool, reps: usize) -> BatchRun {
+    let runner = Runner::new(16, 500_000)
+        .with_naive_matcher(naive)
+        .with_per_class_deltas(per_class);
     let rule_set = rules::RuleSet::build();
     let mut best: Option<BatchRun> = None;
     for _ in 0..reps {
@@ -260,6 +285,8 @@ fn run_batched_saturation(leaves: &[Stmt], naive: bool, reps: usize) -> BatchRun
                 delta_searches: report.delta_searches,
                 full_searches: report.full_searches,
                 skipped_searches: report.skipped_searches,
+                probed_rows: report.delta_probed_rows,
+                skipped_rows: report.delta_skipped_rows,
                 root_classes: roots.iter().map(|&r| eg.find(r)).collect(),
                 graph: eg,
             });
@@ -419,17 +446,25 @@ fn assert_saturation_equivalent(fast: &BatchRun, naive: &BatchRun) {
 fn check_mode(all: &[Workload]) {
     let indexed_session = per_leaf_session(false);
     let naive_session = per_leaf_session(true);
+    let per_class = per_class_session();
     let shared_session = batched_session();
     let mut canonical_programs = Vec::new();
     for w in all {
         let per_leaf = run_session(w, &indexed_session, 1);
         let naive = run_session(w, &naive_session, 1);
+        let pc = run_session(w, &per_class, 1);
         let batched = run_session(w, &shared_session, 1);
         let canonical = normalize_temps(&per_leaf.selected.to_string());
         assert_eq!(
             canonical,
             normalize_temps(&naive.selected.to_string()),
             "{}: naive-matcher selection diverged",
+            w.name
+        );
+        assert_eq!(
+            canonical,
+            normalize_temps(&pc.selected.to_string()),
+            "{}: per-class-delta selection diverged",
             w.name
         );
         assert_eq!(
@@ -445,7 +480,7 @@ fn check_mode(all: &[Workload]) {
             w.name
         );
         println!(
-            "{:<26} ok ({} stmts, batched identical, naive oracle identical)",
+            "{:<26} ok ({} stmts, batched identical, naive + per-class oracles identical)",
             w.name,
             per_leaf.report.num_statements()
         );
@@ -479,8 +514,8 @@ fn check_mode(all: &[Workload]) {
         shared_ex.reused_readouts
     );
     let leaves = saturation_pool(all);
-    let fast = run_batched_saturation(&leaves, false, 1);
-    let naive = run_batched_saturation(&leaves, true, 1);
+    let fast = run_batched_saturation(&leaves, false, false, 1);
+    let naive = run_batched_saturation(&leaves, true, false, 1);
     assert_saturation_equivalent(&fast, &naive);
     println!(
         "batched saturation     ok ({} leaves, {} nodes, {} classes, indexed ≡ naive)",
@@ -488,12 +523,97 @@ fn check_mode(all: &[Workload]) {
         fast.nodes,
         fast.classes
     );
+    // Op-keyed ≡ per-class oracle: the retained per-class delta baseline
+    // must reach the same saturated graph, while probing at least as many
+    // delta rows as the op-keyed default.
+    let per_class = run_batched_saturation(&leaves, false, true, 1);
+    assert_saturation_equivalent(&fast, &per_class);
+    assert!(
+        fast.probed_rows <= per_class.probed_rows,
+        "op-keyed tracking probed more rows ({}) than the per-class baseline ({})",
+        fast.probed_rows,
+        per_class.probed_rows
+    );
+    fast.graph.check_op_epochs();
+    println!(
+        "delta tracking         ok (op-keyed ≡ per-class; probed rows {} vs {}, skipped {} vs {})",
+        fast.probed_rows, per_class.probed_rows, fast.skipped_rows, per_class.skipped_rows
+    );
     println!("all equivalence oracles passed");
+}
+
+/// Extracts the number following `"key":` in `json`, searching from the
+/// first occurrence of `"anchor"`. A two-level scope is all the committed
+/// `BENCH_eqsat.json` needs (the bench writes the file itself, so the
+/// shape is known) — no JSON parser, no new dependency.
+fn json_number(json: &str, anchor: &str, key: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{anchor}\""))?;
+    let tail = &json[start..];
+    let kpos = tail.find(&format!("\"{key}\":"))?;
+    let after = tail[kpos + key.len() + 3..].trim_start();
+    let num: String = after
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// The bench-regression guard: every tracked `(anchor, key, fresh)` ratio
+/// must stay within 25% of its committed value. Keys missing from the
+/// committed baseline are reported and skipped, so the guard tolerates
+/// schema growth. Returns whether all tracked ratios held.
+fn compare_against_baseline(baseline: &str, tracked: &[(&str, &str, f64)]) -> bool {
+    let mut ok = true;
+    for &(anchor, key, fresh) in tracked {
+        match json_number(baseline, anchor, key) {
+            Some(committed) => {
+                let floor = committed * 0.75;
+                if fresh < floor {
+                    eprintln!(
+                        "bench-guard: {anchor}.{key} REGRESSED — fresh {fresh:.2} is below 75% \
+                         of the committed {committed:.2} (floor {floor:.2})"
+                    );
+                    ok = false;
+                } else {
+                    println!(
+                        "bench-guard: {anchor}.{key} ok — fresh {fresh:.2} vs committed {committed:.2}"
+                    );
+                }
+            }
+            None => {
+                println!("bench-guard: {anchor}.{key} not in the committed baseline — skipped");
+            }
+        }
+    }
+    ok
+}
+
+/// A wall-clock acceptance floor: panics when running locally (strict),
+/// warns when running as the CI bench-guard (`--compare`) — absolute
+/// floors calibrated on the dev machine don't transfer to shared CI
+/// runners, where the guard's 25% ratio comparison is the gate instead.
+fn timing_floor(strict: bool, ok: bool, msg: impl Fn() -> String) {
+    if ok {
+        return;
+    }
+    assert!(!strict, "{}", msg());
+    eprintln!("warning: {} (soft under --compare)", msg());
 }
 
 #[allow(clippy::too_many_lines)]
 fn main() {
-    let check_only = std::env::args().any(|a| a == "--check");
+    let args: Vec<String> = std::env::args().collect();
+    let check_only = args.iter().any(|a| a == "--check");
+    // Read the committed baseline *before* the run: the fresh JSON is
+    // written to the same default path, and CI uploads it afterwards.
+    let compare_baseline: Option<String> = args.iter().position(|a| a == "--compare").map(|i| {
+        let path = args
+            .get(i + 1)
+            .expect("--compare requires a path to the committed BENCH_eqsat.json");
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--compare: cannot read {path}: {e}"))
+    });
+    let strict_timing = compare_baseline.is_none();
     let all = workloads();
     if check_only {
         check_mode(&all);
@@ -605,6 +725,8 @@ fn main() {
       "delta_searches": {},
       "full_searches": {},
       "skipped_searches": {},
+      "delta_probed_rows": {},
+      "delta_skipped_rows": {},
       "speedup": {:.2}
     }}"#,
             if batch_rows.is_empty() { "" } else { ",\n" },
@@ -618,6 +740,8 @@ fn main() {
             run.delta_searches,
             run.full_searches,
             run.skipped_searches,
+            run.delta_probed_rows,
+            run.delta_skipped_rows,
             speedup
         );
     }
@@ -668,16 +792,20 @@ fn main() {
     // per-leaf path as it stood when this work was scoped (rules rebuilt
     // per leaf), ≥1.8x over the per-leaf path after this PR's own rule
     // hoisting (measured ~2.5x; the hoist eats part of the batch's edge).
-    assert!(
-        prehoist_speedup >= 3.0,
-        "whole-suite batched selection speedup {prehoist_speedup:.2}x below the 3x bar \
-         (vs the per-leaf-rule-build baseline)"
-    );
-    assert!(
-        suite_speedup >= 1.8,
-        "whole-suite batched selection speedup {suite_speedup:.2}x below the 1.8x floor \
-         (vs the hoisted per-leaf path)"
-    );
+    // Soft under `--compare`: on shared CI runners the guard's 25% ratio
+    // comparison is the gate, and dev-machine floors would double-fail it.
+    timing_floor(strict_timing, prehoist_speedup >= 3.0, || {
+        format!(
+            "whole-suite batched selection speedup {prehoist_speedup:.2}x below the 3x bar \
+             (vs the per-leaf-rule-build baseline)"
+        )
+    });
+    timing_floor(strict_timing, suite_speedup >= 1.8, || {
+        format!(
+            "whole-suite batched selection speedup {suite_speedup:.2}x below the 1.8x floor \
+             (vs the hoisted per-leaf path)"
+        )
+    });
 
     // The extract stage under the two tree-cost strategies: the suite read
     // out through the shared table (the batched default) vs the same suite
@@ -725,11 +853,17 @@ fn main() {
     // above are the correctness gate; the ratio is tracking data.
 
     // [3] batched whole-program saturation: all leaves, one e-graph, engine
-    // level (no encode/extract), indexed vs naive.
+    // level (no encode/extract), indexed vs naive — plus the per-class
+    // delta baseline for the probed-row A/B.
     let leaves = saturation_pool(&all);
-    let fast = run_batched_saturation(&leaves, false, 7);
-    let naive = run_batched_saturation(&leaves, true, 2);
+    let fast = run_batched_saturation(&leaves, false, false, 7);
+    let naive = run_batched_saturation(&leaves, true, false, 2);
     assert_saturation_equivalent(&fast, &naive);
+    // Same rep count as the op-keyed arm: both sides of the A/B keep the
+    // best-of-N minimum, so unequal N would bias the timing comparison.
+    let per_class = run_batched_saturation(&leaves, false, true, 7);
+    assert_saturation_equivalent(&fast, &per_class);
+    fast.graph.check_op_epochs();
 
     let speedup = naive.saturate_ms / fast.saturate_ms;
     println!(
@@ -744,19 +878,32 @@ fn main() {
         "    searches: {} delta, {} full, {} skipped (semi-naive keeps relation rules off the full path)",
         fast.delta_searches, fast.full_searches, fast.skipped_searches
     );
+    // max(1) keeps the ratio finite if a future rule set probes nothing
+    // (an `inf` token would corrupt the JSON).
+    let probe_reduction = per_class.probed_rows.max(1) as f64 / fast.probed_rows.max(1) as f64;
+    println!(
+        "    delta probes: op-keyed {} probed / {} skipped rows, per-class baseline {} probed / {} skipped — {:.2}x fewer probes",
+        fast.probed_rows, fast.skipped_rows, per_class.probed_rows, per_class.skipped_rows,
+        probe_reduction
+    );
+    assert!(
+        fast.probed_rows <= per_class.probed_rows,
+        "op-keyed tracking probed more rows ({}) than the per-class baseline ({})",
+        fast.probed_rows,
+        per_class.probed_rows
+    );
     // ≥5x is the engine's target on this workload (measured headroom:
-    // ~6x on an idle machine); treat <5x as noise-suspect and <3x as a
-    // genuine regression.
+    // ~8x on an idle machine); treat <5x as noise-suspect and <3x as a
+    // genuine regression. Soft under `--compare` (see above).
     if speedup < 5.0 {
         eprintln!(
             "warning: saturation speedup {speedup:.2}x below the 5x target — \
              rerun on an idle machine before concluding a regression"
         );
     }
-    assert!(
-        speedup >= 3.0,
-        "saturation speedup regressed hard: {speedup:.2}x (target ≥5x)"
-    );
+    timing_floor(strict_timing, speedup >= 3.0, || {
+        format!("saturation speedup regressed hard: {speedup:.2}x (target ≥5x)")
+    });
 
     let json = format!(
         r#"{{
@@ -793,7 +940,7 @@ fn main() {
     }},
     "shared_nodes": {suite_nodes},
     "shared_classes": {suite_classes},
-    "searches": {{ "delta": {suite_delta}, "full": {suite_full}, "skipped": {suite_skip} }},
+    "searches": {{ "delta": {suite_delta}, "full": {suite_full}, "skipped": {suite_skip}, "probed_rows": {suite_probed}, "skipped_rows": {suite_skipped_rows} }},
     "speedup_vs_per_leaf": {suite_speedup:.2},
     "speedup_vs_prehoist": {prehoist_speedup:.2}
   }},
@@ -806,6 +953,12 @@ fn main() {
     "indexed": {{ "encode_ms": {f_enc:.3}, "saturate_ms": {f_sat:.3} }},
     "naive": {{ "encode_ms": {n_enc:.3}, "saturate_ms": {n_sat:.3} }},
     "searches": {{ "delta": {f_delta}, "full": {f_full}, "skipped": {f_skip} }},
+    "delta_probe_stats": {{
+      "description": "candidate op rows visited vs skipped by delta probes: op-keyed tracking probes only classes whose (class, root_op) rows changed since each rule last ran; per_class is the same saturation on the retained Runner::use_per_class_deltas baseline (identical saturated graph asserted), which re-probes every modified class containing the root operator",
+      "op_keyed": {{ "probed_rows": {f_probed}, "skipped_rows": {f_skipped_rows}, "saturate_ms": {f_sat:.3} }},
+      "per_class": {{ "probed_rows": {pc_probed}, "skipped_rows": {pc_skipped_rows}, "saturate_ms": {pc_sat:.3} }},
+      "probe_reduction": {probe_reduction:.2}
+    }},
     "speedup": {speedup:.2}
   }},
   "headline_speedup": {speedup:.2},
@@ -829,6 +982,8 @@ fn main() {
         suite_delta = suite_run.delta_searches,
         suite_full = suite_run.full_searches,
         suite_skip = suite_run.skipped_searches,
+        suite_probed = suite_run.delta_probed_rows,
+        suite_skipped_rows = suite_run.delta_skipped_rows,
         nleaves = leaves.len(),
         nodes = fast.nodes,
         classes = fast.classes,
@@ -840,7 +995,39 @@ fn main() {
         f_delta = fast.delta_searches,
         f_full = fast.full_searches,
         f_skip = fast.skipped_searches,
+        f_probed = fast.probed_rows,
+        f_skipped_rows = fast.skipped_rows,
+        pc_probed = per_class.probed_rows,
+        pc_skipped_rows = per_class.skipped_rows,
+        pc_sat = per_class.saturate_ms,
     );
     std::fs::write("BENCH_eqsat.json", json).expect("write BENCH_eqsat.json");
     println!("wrote BENCH_eqsat.json");
+
+    if let Some(baseline) = compare_baseline {
+        // The tracked ratios: the engine headline, the whole-suite batched
+        // selection ratios and the per-leaf selector total. Probe-count
+        // ratios are deterministic but machine-independent, so they are
+        // guarded by the hard assert above instead.
+        let tracked = [
+            ("headline_speedup", "headline_speedup", speedup),
+            (
+                "headline_batched_select_speedup",
+                "headline_batched_select_speedup",
+                prehoist_speedup,
+            ),
+            ("selector_total", "speedup", sel_naive / sel_indexed),
+            ("batched_select_suite", "speedup_vs_per_leaf", suite_speedup),
+            (
+                "batched_select_suite",
+                "speedup_vs_prehoist",
+                prehoist_speedup,
+            ),
+        ];
+        if !compare_against_baseline(&baseline, &tracked) {
+            eprintln!("bench-guard: tracked speedup regressed >25% vs the committed baseline");
+            std::process::exit(1);
+        }
+        println!("bench-guard: all tracked speedups within 25% of the committed baseline");
+    }
 }

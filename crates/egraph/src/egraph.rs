@@ -9,9 +9,21 @@
 //!   indexed e-matching visits only classes that can possibly match;
 //! * **incremental rebuilding**: only classes dirtied by unions since the
 //!   last rebuild have their node lists re-canonicalized;
-//! * a per-class **modification epoch** (propagated to transitive parents
-//!   on rebuild) that lets the scheduler's delta search skip classes whose
-//!   match results cannot have changed since a rule last ran.
+//! * **op-keyed modification epochs**: every `(class, op_key)` row carries
+//!   the epoch of the last change that could affect matches rooted at that
+//!   class *through a node with that operator*. Changes propagate to
+//!   transitive parents on rebuild, but each ancestor is stamped only in
+//!   the rows of the parent-node operators the change actually flows
+//!   through — so a union near a widely shared leaf does not mark every
+//!   op row of every ancestor. Per-op append-only delta logs (compacted
+//!   deterministically on rebuild) make "classes whose `k` rows changed
+//!   since epoch `e`" an O(changes-to-`k`) query
+//!   ([`EGraph::modified_candidates_for`]). A class-level epoch (the max
+//!   over its rows) and a global log are kept alongside: they serve
+//!   variable-rooted patterns, the scheduler's quiescence check, and the
+//!   retained per-class read path
+//!   ([`EGraph::modified_candidates_per_class`], the
+//!   [`DeltaTracking::PerClass`] A/B baseline).
 
 use std::collections::{HashMap, HashSet};
 use std::fmt::Debug;
@@ -19,6 +31,26 @@ use std::fmt::Debug;
 use crate::language::{Language, RecExpr};
 use crate::relation::Relations;
 use crate::unionfind::{Id, UnionFind};
+
+/// Which change-tracking granularity a delta search reads.
+///
+/// Both granularities are maintained by every graph; this only selects the
+/// read path. [`DeltaTracking::OpKeyed`] probes the per-`(class, op_key)`
+/// rows — a pattern rooted at operator `k` re-probes only classes whose
+/// `k` rows changed. [`DeltaTracking::PerClass`] is the pre-op-keying
+/// behavior (any change to a class re-probes it for every root operator it
+/// contains), retained as the A/B baseline the same way the naive matcher
+/// is retained (`Runner::use_per_class_deltas`). Match sets are identical;
+/// only the number of probed rows differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeltaTracking {
+    /// Probe per-`(class, op_key)` rows (the default).
+    #[default]
+    OpKeyed,
+    /// Probe per-class epochs intersected with the operator index — the
+    /// pre-op-keying baseline.
+    PerClass,
+}
 
 /// An e-class analysis: a lattice value maintained per e-class
 /// (constants, types, …). See egg's `Analysis`.
@@ -55,8 +87,15 @@ pub struct EClass<L, D> {
     /// Parent e-nodes (and the class they live in), possibly stale.
     parents: Vec<(L, Id)>,
     /// Epoch of the last change that could affect matches rooted here
-    /// (directly or in a descendant — propagated on rebuild).
+    /// (directly or in a descendant — propagated on rebuild). The max over
+    /// `op_epochs` rows.
     modified: u64,
+    /// Per-operator modification rows: `(op_key, epoch)` where `epoch` is
+    /// the last change that could affect matches rooted here *through a
+    /// node with that operator*. Keys are exactly the distinct op keys of
+    /// `nodes`; classes hold a handful of operators, so a linear scan
+    /// beats hashing.
+    op_epochs: Vec<(u64, u64)>,
 }
 
 impl<L, D> EClass<L, D> {
@@ -65,6 +104,36 @@ impl<L, D> EClass<L, D> {
     #[must_use]
     pub fn modified_epoch(&self) -> u64 {
         self.modified
+    }
+
+    /// Epoch of the last modification affecting matches rooted at this
+    /// class through a node with the given [`Language::op_key`], or `None`
+    /// if the class holds no such node. Valid after a rebuild.
+    #[must_use]
+    pub fn op_modified_epoch(&self, key: u64) -> Option<u64> {
+        self.op_epochs
+            .iter()
+            .find_map(|&(k, e)| (k == key).then_some(e))
+    }
+
+    /// Advances the `(class, key)` row to `epoch`; returns whether the row
+    /// moved (callers log the change only then, keeping the per-op delta
+    /// logs duplicate-light).
+    fn bump_op_epoch(&mut self, key: u64, epoch: u64) -> bool {
+        match self.op_epochs.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, e)) => {
+                if *e < epoch {
+                    *e = epoch;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                self.op_epochs.push((key, epoch));
+                true
+            }
+        }
     }
 
     /// Ids of classes containing a parent e-node of this class (possibly
@@ -98,9 +167,19 @@ pub struct EGraph<L: Language, N: Analysis<L> = ()> {
     /// propagation.
     touched: Vec<Id>,
     /// Append-only log of `(epoch, class)` modification events, epochs
-    /// nondecreasing — the delta-search read path ([`EGraph::modified_since`]).
-    /// Compacted on rebuild once it outgrows the class table.
+    /// nondecreasing — the class-granular delta read path
+    /// ([`EGraph::modified_since`], variable-rooted patterns, the
+    /// quiescence check). Compacted on rebuild once it outgrows the class
+    /// table.
     modified_log: Vec<(u64, Id)>,
+    /// Per-operator append-only logs of `(epoch, class)` row-modification
+    /// events, epochs nondecreasing within each log — the op-keyed delta
+    /// read path ([`EGraph::modified_candidates_for`]). A class appears in
+    /// log `k` when its `(class, k)` row was stamped: a `k`-node was added,
+    /// a union merged `k`-nodes into it, or a change propagated up through
+    /// a parent node with op `k`. Compacted deterministically on rebuild
+    /// once a log outgrows its index row.
+    modified_log_by_op: HashMap<u64, Vec<(u64, Id)>>,
     /// Monotone modification clock; see [`EGraph::bump_epoch`].
     work_epoch: u64,
     /// Whether any union happened since the last rebuild (gates relation
@@ -123,6 +202,7 @@ impl<L: Language, N: Analysis<L>> Default for EGraph<L, N> {
             dirty_classes: Vec::new(),
             touched: Vec::new(),
             modified_log: Vec::new(),
+            modified_log_by_op: HashMap::new(),
             work_epoch: 1,
             unioned_since_rebuild: false,
         }
@@ -216,13 +296,32 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             .unwrap_or_default()
     }
 
-    /// Stamps `id` (which must be canonical) as modified now.
+    /// Stamps `id` (which must be canonical) as modified now: the class
+    /// epoch, and every one of its op rows. Called at union sites (the
+    /// merged class's matches can change through any of its nodes —
+    /// including cross-matcher root-id changes for ops that only one side
+    /// contributed; `union` merges the loser's row keys into the winner
+    /// first, so the rows cover the merged node list) and on analysis-data
+    /// changes (guards may read the data under any root operator). Walks
+    /// the existing rows, not the node list — O(distinct ops), no
+    /// allocation.
     fn stamp(&mut self, id: Id) {
-        if let Some(class) = self.classes.get_mut(&id) {
-            class.modified = self.work_epoch;
-            self.touched.push(id);
-            self.modified_log.push((self.work_epoch, id));
+        let epoch = self.work_epoch;
+        let Some(class) = self.classes.get_mut(&id) else {
+            return;
+        };
+        class.modified = epoch;
+        for &mut (key, ref mut row) in &mut class.op_epochs {
+            if *row < epoch {
+                *row = epoch;
+                self.modified_log_by_op
+                    .entry(key)
+                    .or_default()
+                    .push((epoch, id));
+            }
         }
+        self.touched.push(id);
+        self.modified_log.push((epoch, id));
     }
 
     /// Canonical ids of classes (transitively) modified at or after
@@ -255,12 +354,38 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         self.modified_log.partition_point(|&(e, _)| e < cutoff) < self.modified_log.len()
     }
 
-    /// [`EGraph::modified_since`] restricted to classes that contain a node
-    /// with the given [`Language::op_key`] — the delta-probe enumeration
-    /// for an op-rooted pattern. Sorted-merge intersection of the log tail
-    /// with the operator index row; empty tail short-circuits to zero work.
+    /// Canonical ids of classes whose `(class, key)` rows were stamped at
+    /// or after `cutoff` — the **op-keyed** delta-probe enumeration for a
+    /// pattern rooted at that operator. Reads the per-op log tail, so the
+    /// cost is O(changes to `key` rows), zero when that operator was
+    /// untouched — a union in a region with no `key` activity no longer
+    /// widens this probe. Sorted and deduplicated; may over-approximate
+    /// like [`EGraph::modified_since`] (false positives cost the matcher a
+    /// probe).
     #[must_use]
     pub fn modified_candidates_for(&self, key: u64, cutoff: u64) -> Vec<Id> {
+        let Some(log) = self.modified_log_by_op.get(&key) else {
+            return Vec::new();
+        };
+        let start = log.partition_point(|&(e, _)| e < cutoff);
+        if start == log.len() {
+            return Vec::new();
+        }
+        let mut out: Vec<Id> = log[start..].iter().map(|&(_, id)| self.find(id)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// [`EGraph::modified_since`] restricted to classes that contain a node
+    /// with the given [`Language::op_key`] — the retained **per-class**
+    /// delta-probe enumeration ([`DeltaTracking::PerClass`]): any change to
+    /// a class re-surfaces it for every root operator it contains.
+    /// Sorted-merge intersection of the global log tail with the operator
+    /// index row; empty tail short-circuits to zero work. Always a
+    /// superset of [`EGraph::modified_candidates_for`] at the same cutoff.
+    #[must_use]
+    pub fn modified_candidates_per_class(&self, key: u64, cutoff: u64) -> Vec<Id> {
         let tail = self.modified_since(cutoff);
         if tail.is_empty() {
             return tail;
@@ -315,6 +440,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
                 .parents
                 .push((canon.clone(), id));
         }
+        let key = canon.op_key();
         self.classes.insert(
             id,
             EClass {
@@ -323,13 +449,15 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
                 data,
                 parents: Vec::new(),
                 modified: self.work_epoch,
+                op_epochs: vec![(key, self.work_epoch)],
             },
         );
-        self.classes_by_op
-            .entry(canon.op_key())
-            .or_default()
-            .push(id);
+        self.classes_by_op.entry(key).or_default().push(id);
         self.modified_log.push((self.work_epoch, id));
+        self.modified_log_by_op
+            .entry(key)
+            .or_default()
+            .push((self.work_epoch, id));
         self.memo.insert(canon, id);
         id
     }
@@ -381,6 +509,12 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         self.dirty_classes.push(winner);
         let winner_class = self.classes.get_mut(&winner).expect("winner class exists");
         winner_class.nodes.extend(loser_class.nodes);
+        // Carry the loser's op rows over so the winner's row keys keep
+        // covering its (now merged) node list; the stamp below then lifts
+        // every row to the current epoch.
+        for &(key, epoch) in &loser_class.op_epochs {
+            winner_class.bump_op_epoch(key, epoch);
+        }
         winner_class.parents.extend(loser_class.parents);
         let data_changed = N::merge(&mut winner_class.data, loser_class.data);
         if data_changed {
@@ -466,27 +600,67 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         self.clean = true;
     }
 
-    /// Bounds the modification log: keep one entry per live class at its
-    /// maximum logged epoch. Exact (not lossy) for every future cutoff.
+    /// Bounds the modification logs: keep one entry per live class (per
+    /// op row, for the per-op logs) at its maximum logged epoch. Exact
+    /// (not lossy) for every future cutoff, and **deterministic**: the
+    /// intermediate max-epoch map is a `HashMap`, so the compacted log is
+    /// fully ordered by `(epoch, id)` before it replaces the old one —
+    /// epochs are unique per id, so hash-iteration order can never leak
+    /// into the log (and thence into delta probe order). Pinned by
+    /// `compaction_is_deterministic_and_exact` in `tests/engine.rs`.
     fn compact_modified_log(&mut self) {
-        if self.modified_log.len() <= 1024.max(4 * self.classes.len()) {
-            return;
+        if self.modified_log.len() > 1024.max(4 * self.classes.len()) {
+            let mut max_epoch: HashMap<Id, u64> = HashMap::new();
+            for &(e, id) in &self.modified_log {
+                let id = self.unionfind.find(id);
+                if self.classes.contains_key(&id) {
+                    let slot = max_epoch.entry(id).or_insert(e);
+                    *slot = (*slot).max(e);
+                }
+            }
+            self.modified_log = Self::sorted_log(max_epoch);
         }
-        let mut max_epoch: HashMap<Id, u64> = HashMap::new();
-        for &(e, id) in &self.modified_log {
-            let id = self.unionfind.find(id);
-            if self.classes.contains_key(&id) {
+        for (key, log) in &mut self.modified_log_by_op {
+            let row_len = self.classes_by_op.get(key).map_or(0, Vec::len);
+            if log.len() <= 64.max(4 * row_len) {
+                continue;
+            }
+            let mut max_epoch: HashMap<Id, u64> = HashMap::new();
+            for &(e, id) in log.iter() {
+                // No liveness filter needed: `find` maps every logged id
+                // to a live root, and node lists only ever grow, so the
+                // root still holds a node with this op key.
+                let id = self.unionfind.find(id);
                 let slot = max_epoch.entry(id).or_insert(e);
                 *slot = (*slot).max(e);
             }
+            *log = Self::sorted_log(max_epoch);
         }
+    }
+
+    /// A compacted log in its canonical order: strictly sorted by
+    /// `(epoch, id)` (ids are unique keys, so this is a total order
+    /// independent of the map's hash-iteration order).
+    fn sorted_log(max_epoch: HashMap<Id, u64>) -> Vec<(u64, Id)> {
         let mut log: Vec<(u64, Id)> = max_epoch.into_iter().map(|(id, e)| (e, id)).collect();
         log.sort_unstable();
-        self.modified_log = log;
+        log
     }
 
     /// Pushes modification epochs to transitive parents so that delta
     /// searches see every class whose match results could have changed.
+    ///
+    /// Op-keyed: a change in class `c` flows to a parent class only
+    /// through the actual parent e-nodes, so each parent is stamped in the
+    /// rows of those nodes' operators — `(parent, Mul)` stays untouched
+    /// when the change arrived under the parent's `Div` node. The
+    /// class-level epoch (max over rows) drives the worklist: a parent is
+    /// re-traversed only when its max advanced, which is exactly when its
+    /// own parents' rows (keyed by *their* parent-node ops, independent of
+    /// which row advanced here) could still be behind. Row stamps are
+    /// gated per row, not on the class max: a second path into an
+    /// already-traversed parent through a different-op parent node must
+    /// still stamp that op's row.
     fn propagate_epochs(&mut self) {
         let mut worklist: Vec<Id> = std::mem::take(&mut self.touched)
             .into_iter()
@@ -494,21 +668,34 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             .collect();
         worklist.sort_unstable();
         worklist.dedup();
-        let mut parent_ids: Vec<Id> = Vec::new();
+        let mut parent_rows: Vec<(Id, u64)> = Vec::new();
         while let Some(id) = worklist.pop() {
             let Some(class) = self.classes.get(&id) else {
                 continue;
             };
             let epoch = class.modified;
-            parent_ids.clear();
-            parent_ids.extend(class.parent_classes());
-            for pid in &parent_ids {
-                let pid = self.unionfind.find_mut(*pid);
+            parent_rows.clear();
+            parent_rows.extend(
+                class
+                    .parents
+                    .iter()
+                    .map(|(node, pid)| (*pid, node.op_key())),
+            );
+            parent_rows.sort_unstable();
+            parent_rows.dedup();
+            for &(pid, key) in &parent_rows {
+                let pid = self.unionfind.find_mut(pid);
                 if let Some(parent) = self.classes.get_mut(&pid) {
-                    if parent.modified < epoch {
-                        parent.modified = epoch;
+                    if parent.bump_op_epoch(key, epoch) {
                         // Logged at the clock's current value to keep the
                         // log sorted; any cutoff ≤ `epoch` still sees it.
+                        self.modified_log_by_op
+                            .entry(key)
+                            .or_default()
+                            .push((self.work_epoch, pid));
+                    }
+                    if parent.modified < epoch {
+                        parent.modified = epoch;
                         self.modified_log.push((self.work_epoch, pid));
                         worklist.push(pid);
                     }
@@ -561,6 +748,70 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
                 want,
                 "op index row for key {key:#x} is not canonical/sorted/deduped"
             );
+        }
+    }
+
+    /// Asserts the op-keyed epoch invariants on a rebuilt graph:
+    ///
+    /// * every class's row keys are exactly the distinct op keys of its
+    ///   node list;
+    /// * the class-level epoch is the maximum over its rows;
+    /// * every row is **log-covered**: a delta probe for its op at a
+    ///   cutoff at or below the row's epoch re-surfaces the class.
+    ///
+    /// Testing/debugging aid (used by the engine's property tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic if any invariant is violated.
+    pub fn check_op_epochs(&self) {
+        assert!(
+            self.is_clean(),
+            "check_op_epochs requires a rebuilt e-graph"
+        );
+        // One pass over the per-op logs: canonical id → max logged epoch.
+        // A probe at cutoff `c` re-surfaces a class iff its max logged
+        // epoch is ≥ `c`, so this is exactly the coverage the row check
+        // below needs — without an O(rows × log) probe per row.
+        let mut coverage: HashMap<u64, HashMap<Id, u64>> = HashMap::new();
+        for (key, log) in &self.modified_log_by_op {
+            let map = coverage.entry(*key).or_default();
+            for &(e, id) in log {
+                let id = self.find(id);
+                let slot = map.entry(id).or_insert(e);
+                *slot = (*slot).max(e);
+            }
+        }
+        for class in self.classes.values() {
+            let mut want: Vec<u64> = class.nodes.iter().map(Language::op_key).collect();
+            want.sort_unstable();
+            want.dedup();
+            let mut got: Vec<u64> = class.op_epochs.iter().map(|&(k, _)| k).collect();
+            got.sort_unstable();
+            assert_eq!(
+                got, want,
+                "class {}: op rows diverge from its node operators",
+                class.id
+            );
+            let max_row = class.op_epochs.iter().map(|&(_, e)| e).max().unwrap_or(0);
+            assert_eq!(
+                class.modified, max_row,
+                "class {}: class epoch is not the max over its op rows",
+                class.id
+            );
+            for &(key, epoch) in &class.op_epochs {
+                let covered = coverage
+                    .get(&key)
+                    .and_then(|m| m.get(&class.id))
+                    .copied()
+                    .unwrap_or(0);
+                assert!(
+                    covered >= epoch,
+                    "class {}: row (key {key:#x}, epoch {epoch}) is not log-covered \
+                     (max logged epoch {covered})",
+                    class.id
+                );
+            }
         }
     }
 
@@ -730,6 +981,81 @@ mod tests {
         eg.rebuild();
         assert_eq!(eg.candidates_for(key), vec![eg.find(ma)]);
         eg.check_op_index();
+    }
+
+    #[test]
+    fn op_rows_track_only_the_changed_operator() {
+        // A class holding nodes of two operators with disjoint subtrees:
+        // a change under one subtree must stamp only that operator's row,
+        // while the per-class baseline re-surfaces the class for both.
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let c = eg.add(Math::Sym("c".into()));
+        let two = eg.add(Math::Num(2));
+        let three = eg.add(Math::Num(3));
+        let m = eg.add(Math::Mul([a, two]));
+        let d = eg.add(Math::Div([b, three]));
+        eg.union(m, d); // the class now holds a Mul node and a Div node
+        eg.rebuild();
+        let u = eg.find(m);
+        let mul_key = Math::Mul([Id(0), Id(0)]).op_key();
+        let div_key = Math::Div([Id(0), Id(0)]).op_key();
+        assert!(eg.class(u).op_modified_epoch(mul_key).is_some());
+        assert!(eg.class(u).op_modified_epoch(div_key).is_some());
+        let cutoff = eg.bump_epoch();
+        // Change strictly under the Div node's subtree.
+        eg.union(b, c);
+        eg.rebuild();
+        assert!(
+            eg.modified_candidates_for(div_key, cutoff).contains(&u),
+            "the Div row must re-surface the class"
+        );
+        assert!(
+            !eg.modified_candidates_for(mul_key, cutoff).contains(&u),
+            "the untouched Mul row must not re-surface the class"
+        );
+        assert!(
+            eg.modified_candidates_per_class(mul_key, cutoff)
+                .contains(&u),
+            "the per-class baseline re-surfaces the class for every op it contains"
+        );
+        eg.check_op_epochs();
+    }
+
+    #[test]
+    fn union_near_shared_leaf_stamps_only_flow_through_ops() {
+        // The motivating workload shape: one widely shared leaf (`two`)
+        // with Mul parents in one region and Div parents in another. A
+        // union inside the Mul region must not stamp the Div parents'
+        // rows, even though per-class ancestor propagation from the shared
+        // leaf would have.
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        let b = eg.add(Math::Sym("b".into()));
+        let two = eg.add(Math::Num(2));
+        let m = eg.add(Math::Mul([a, two]));
+        let d = eg.add(Math::Div([b, two]));
+        eg.rebuild();
+        let cutoff = eg.bump_epoch();
+        // Union at the shared leaf's sibling inside the Mul region.
+        let c = eg.add(Math::Sym("c".into()));
+        eg.union(a, c);
+        eg.rebuild();
+        let mul_key = Math::Mul([Id(0), Id(0)]).op_key();
+        let div_key = Math::Div([Id(0), Id(0)]).op_key();
+        assert!(eg
+            .modified_candidates_for(mul_key, cutoff)
+            .contains(&eg.find(m)));
+        assert!(
+            eg.modified_candidates_for(div_key, cutoff).is_empty(),
+            "no Div row changed, so the Div probe must be empty"
+        );
+        assert!(
+            eg.class(d).op_modified_epoch(div_key).unwrap() < cutoff,
+            "the Div parent's row must keep its old epoch"
+        );
+        eg.check_op_epochs();
     }
 
     #[test]

@@ -41,10 +41,22 @@ use crate::unionfind::Id;
 /// The scratch is language-independent (rows are plain `Vec<Option<Id>>`),
 /// so one arena serves every rule in a rule set regardless of variable
 /// counts: rows are resized to the width each query needs when taken.
+///
+/// The scratch doubles as the **delta-probe counter** carrier: it is the
+/// one `&mut` context already threaded through every search, so the
+/// matcher accumulates how many candidate rows its delta probes actually
+/// visited (vs. how many the probed operators' index rows hold in total)
+/// without widening any search signature. The scheduler drains the
+/// counters into its `RunReport` via [`MatchScratch::take_probe_counters`].
 #[derive(Debug, Default)]
 pub struct MatchScratch {
     rows: Vec<Vec<Option<Id>>>,
     lists: Vec<Vec<Vec<Option<Id>>>>,
+    /// Candidate classes enumerated by delta probes since the last drain.
+    probed_rows: usize,
+    /// Candidate classes delta probes did *not* have to visit: the probed
+    /// operators' remaining index-row entries, whose rows were quiet.
+    skipped_rows: usize,
 }
 
 impl MatchScratch {
@@ -52,6 +64,23 @@ impl MatchScratch {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Records one delta probe: `probed` candidates enumerated out of a
+    /// `universe` of classes the probed operator's index row holds (all
+    /// classes, for a variable-rooted probe).
+    pub(crate) fn record_probe(&mut self, probed: usize, universe: usize) {
+        self.probed_rows += probed;
+        self.skipped_rows += universe.saturating_sub(probed);
+    }
+
+    /// Returns `(probed, skipped)` row counts accumulated by delta probes
+    /// since the last call, resetting both.
+    pub fn take_probe_counters(&mut self) -> (usize, usize) {
+        let out = (self.probed_rows, self.skipped_rows);
+        self.probed_rows = 0;
+        self.skipped_rows = 0;
+        out
     }
 
     /// A row initialized as a copy of `seed`.

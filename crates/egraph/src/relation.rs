@@ -20,6 +20,12 @@
 //! [`Relations::version`] is different and unchanged: it counts *new facts*
 //! only (canonicalization never bumps it) and gates the scheduler's
 //! conservative full-search fallback for rules with impure guards.
+//!
+//! Change reads are **log-backed**, mirroring the e-graph's per-op delta
+//! logs: every relation keeps an append-only `(tick, tuple)` change log
+//! (compacted deterministically from the table once it outgrows it), so a
+//! [`Relations::tuples_since`] delta round costs O(changes to that
+//! relation) — not a scan of its whole table.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -33,8 +39,30 @@ pub struct Relations {
     /// Highest tuple stamp per relation — the O(1) "anything changed since
     /// tick t?" probe backing [`Relations::changed_since`].
     max_ticks: HashMap<String, u64>,
+    /// Per-relation append-only `(tick, tuple)` change logs, ticks
+    /// nondecreasing — the delta read path behind
+    /// [`Relations::tuples_since`]. A log entry is *current* while the
+    /// table still stamps its tuple at that tick; superseded and
+    /// merged-away entries are filtered on read and dropped by compaction.
+    change_logs: HashMap<String, Vec<(u64, Vec<Id>)>>,
     version: u64,
     tick: u64,
+}
+
+/// Rebuilds a relation's change log from its table once the log outgrows
+/// it: one entry per live tuple at its current stamp, ordered by
+/// `(tick, tuple)` — deterministic (the table is a `BTreeMap`) and exact
+/// for every future cutoff.
+fn compact_change_log(log: &mut Vec<(u64, Vec<Id>)>, table: &BTreeMap<Vec<Id>, u64>) {
+    if log.len() <= 64.max(4 * table.len()) {
+        return;
+    }
+    let mut fresh: Vec<(u64, Vec<Id>)> = table
+        .iter()
+        .map(|(tuple, &tick)| (tick, tuple.clone()))
+        .collect();
+    fresh.sort_unstable();
+    *log = fresh;
 }
 
 impl Relations {
@@ -57,7 +85,10 @@ impl Relations {
             return false;
         }
         self.tick += 1;
+        let log = self.change_logs.entry(name.to_string()).or_default();
+        log.push((self.tick, tuple.clone()));
         table.insert(tuple, self.tick);
+        compact_change_log(log, table);
         self.max_ticks.insert(name.to_string(), self.tick);
         self.version += 1;
         true
@@ -103,14 +134,19 @@ impl Relations {
 
     /// Tuples of a relation changed (inserted or canonicalized-rewritten)
     /// strictly after tick `cutoff` — the semi-naive delta read path.
-    /// Check [`Relations::changed_since`] first to avoid the scan when
-    /// nothing changed.
+    /// Reads the change-log tail, so the cost is O(changes after
+    /// `cutoff`), not O(table); a log entry yields its tuple only while
+    /// the table still stamps that tuple at the entry's tick, which
+    /// filters superseded and merged-away entries and deduplicates in one
+    /// check. Check [`Relations::changed_since`] first to avoid even the
+    /// tail walk when nothing changed.
     pub fn tuples_since(&self, name: &str, cutoff: u64) -> impl Iterator<Item = &Vec<Id>> {
-        self.tables
-            .get(name)
-            .into_iter()
-            .flatten()
-            .filter_map(move |(t, &changed)| (changed > cutoff).then_some(t))
+        let table = self.tables.get(name);
+        let log = self.change_logs.get(name).map_or(&[][..], Vec::as_slice);
+        let start = log.partition_point(|&(t, _)| t <= cutoff);
+        log[start..]
+            .iter()
+            .filter_map(move |(tick, tuple)| (table?.get(tuple) == Some(tick)).then_some(tuple))
     }
 
     /// Number of tuples in a relation.
@@ -158,6 +194,15 @@ impl Relations {
                 *slot = (*slot).max(stamp);
             }
             *table = new;
+            let log = self.change_logs.entry(name.clone()).or_default();
+            // Log the restamped tuples (ordered table walk → entries with
+            // the shared tick are appended in deterministic tuple order).
+            for (tuple, &stamp) in table.iter() {
+                if stamp == self.tick {
+                    log.push((stamp, tuple.clone()));
+                }
+            }
+            compact_change_log(log, table);
             self.max_ticks.insert(name.clone(), self.tick);
         }
     }

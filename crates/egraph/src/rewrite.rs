@@ -25,10 +25,21 @@
 //!   the new matches; rounds over a quiescent graph and relation store are
 //!   all empty and cost nearly nothing, where these queries previously
 //!   re-ran a full join every pass.
+//!
+//! Delta probes are **keyed by the atom's root operator**: an op-rooted
+//! atom enumerates only classes whose `(class, op_key)` rows changed
+//! ([`crate::egraph::EGraph::modified_candidates_for`]), so activity
+//! confined to other operators — even in this atom's transitive ancestors
+//! — costs it nothing. The pre-op-keying read path (any modified class
+//! that contains the operator) is retained behind
+//! [`crate::egraph::DeltaTracking::PerClass`] as the A/B baseline; both
+//! paths produce identical match sets, and every probe records how many
+//! candidate rows it visited vs. skipped into the
+//! [`MatchScratch`] counters.
 
 use std::sync::Arc;
 
-use crate::egraph::{Analysis, EGraph};
+use crate::egraph::{Analysis, DeltaTracking, EGraph};
 use crate::language::Language;
 use crate::pattern::{CompiledNode, MatchScratch, Pattern, Subst};
 use crate::unionfind::Id;
@@ -215,8 +226,9 @@ enum Restrict {
     /// Full join over every atom.
     Full,
     /// Single-root delta: unbound-root enumeration probes only classes
-    /// modified at or after the epoch (sound for delta-eligible queries,
-    /// whose only enumeration is the first atom's root).
+    /// whose root-operator rows were stamped at or after the epoch (sound
+    /// for delta-eligible queries, whose only enumeration is the first
+    /// atom's root).
     Root(u64),
     /// One semi-naive round: atom `index` is restricted to its delta
     /// (classes modified at/after `epoch` for pattern atoms, tuples
@@ -263,14 +275,14 @@ impl<L: Language> CompiledQuery<L> {
         egraph: &EGraph<L, N>,
         scratch: &mut MatchScratch,
     ) -> Vec<Subst> {
-        let rows = self.search_rows(egraph, &Restrict::Full, scratch);
+        let rows = self.search_rows(egraph, &Restrict::Full, DeltaTracking::OpKeyed, scratch);
         self.rows_to_substs(rows)
     }
 
     /// Like [`CompiledQuery::search`], but for delta-eligible queries the
-    /// root enumeration only probes classes with
-    /// `modified_epoch() >= cutoff` — the classes whose match sets can have
-    /// changed since the epoch was recorded (see
+    /// root enumeration only probes classes whose root-operator rows were
+    /// stamped at or after `cutoff` — the classes whose match sets can
+    /// have changed since the epoch was recorded (see
     /// [`EGraph::bump_epoch`]). For non-eligible queries this is a full
     /// search; use [`CompiledQuery::search_delta`] to get semi-naive
     /// evaluation for those.
@@ -281,7 +293,12 @@ impl<L: Language> CompiledQuery<L> {
         } else {
             Restrict::Full
         };
-        let rows = self.search_rows(egraph, &restrict, &mut MatchScratch::new());
+        let rows = self.search_rows(
+            egraph,
+            &restrict,
+            DeltaTracking::OpKeyed,
+            &mut MatchScratch::new(),
+        );
         self.rows_to_substs(rows)
     }
 
@@ -291,7 +308,8 @@ impl<L: Language> CompiledQuery<L> {
     /// delta-eligible queries; semi-naive rounds (one per atom) otherwise.
     /// May return a match that already existed (delta probes
     /// over-approximate); appliers are idempotent, so re-applying is
-    /// harmless.
+    /// harmless. Probes are op-keyed; see
+    /// [`CompiledQuery::search_delta_tracked`] for the per-class baseline.
     #[must_use]
     pub fn search_delta<N: Analysis<L>>(
         &self,
@@ -300,8 +318,30 @@ impl<L: Language> CompiledQuery<L> {
         rel_cutoff: u64,
         scratch: &mut MatchScratch,
     ) -> Vec<Subst> {
+        self.search_delta_tracked(
+            egraph,
+            epoch_cutoff,
+            rel_cutoff,
+            DeltaTracking::OpKeyed,
+            scratch,
+        )
+    }
+
+    /// [`CompiledQuery::search_delta`] with an explicit change-tracking
+    /// granularity — [`DeltaTracking::PerClass`] selects the retained
+    /// pre-op-keying probe as the A/B baseline. Identical match sets;
+    /// only the probed-row counts differ.
+    #[must_use]
+    pub fn search_delta_tracked<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        epoch_cutoff: u64,
+        rel_cutoff: u64,
+        tracking: DeltaTracking,
+        scratch: &mut MatchScratch,
+    ) -> Vec<Subst> {
         if self.delta_eligible {
-            let rows = self.search_rows(egraph, &Restrict::Root(epoch_cutoff), scratch);
+            let rows = self.search_rows(egraph, &Restrict::Root(epoch_cutoff), tracking, scratch);
             return self.rows_to_substs(rows);
         }
         // Semi-naive: round i restricts atom i to its delta, and the join
@@ -333,7 +373,7 @@ impl<L: Language> CompiledQuery<L> {
                 epoch: epoch_cutoff,
                 rel_tick: rel_cutoff,
             };
-            rows.extend(self.search_rows(egraph, &restrict, scratch));
+            rows.extend(self.search_rows(egraph, &restrict, tracking, scratch));
         }
         rows.sort_unstable();
         rows.dedup_by(|a, b| {
@@ -359,6 +399,7 @@ impl<L: Language> CompiledQuery<L> {
         &self,
         egraph: &EGraph<L, N>,
         restrict: &Restrict,
+        tracking: DeltaTracking,
         scratch: &mut MatchScratch,
     ) -> Vec<Vec<Option<Id>>> {
         debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
@@ -424,13 +465,27 @@ impl<L: Language> CompiledQuery<L> {
                                     }
                                 };
                             if let Some(cut) = enum_cutoff {
-                                // Delta probe: O(changes) via the
-                                // modification log, zero when saturated,
-                                // op-filtered through the index.
-                                let roots = match node.root_key() {
-                                    Some(key) => egraph.modified_candidates_for(key, cut),
-                                    None => egraph.modified_since(cut),
+                                // Delta probe, keyed by the atom's root
+                                // operator: O(changes to that op's rows)
+                                // via the per-op log (or the retained
+                                // per-class log ∩ index row under the
+                                // baseline tracking), zero when the op was
+                                // quiet.
+                                let (roots, universe) = match node.root_key() {
+                                    Some(key) => (
+                                        match tracking {
+                                            DeltaTracking::OpKeyed => {
+                                                egraph.modified_candidates_for(key, cut)
+                                            }
+                                            DeltaTracking::PerClass => {
+                                                egraph.modified_candidates_per_class(key, cut)
+                                            }
+                                        },
+                                        egraph.candidates_for(key).len(),
+                                    ),
+                                    None => (egraph.modified_since(cut), egraph.num_classes()),
                                 };
+                                scratch.record_probe(roots.len(), universe);
                                 for root in roots {
                                     visit(root, &mut step, &mut next, scratch);
                                 }
@@ -678,19 +733,22 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
     /// recorded cutoffs (`epoch_cutoff` from [`EGraph::bump_epoch`],
     /// `rel_cutoff` from [`crate::relation::Relations::tick`]) — single
     /// root probe for delta-eligible queries, semi-naive rounds otherwise.
+    /// `tracking` selects the probe granularity (op-keyed, or the
+    /// retained per-class baseline); match sets are identical either way.
     pub fn run_delta(
         &self,
         egraph: &mut EGraph<L, N>,
         epoch_cutoff: u64,
         rel_cutoff: u64,
+        tracking: DeltaTracking,
         scratch: &mut MatchScratch,
     ) -> usize {
         if !egraph.is_clean() {
             egraph.rebuild();
         }
-        let matches = self
-            .compiled
-            .search_delta(egraph, epoch_cutoff, rel_cutoff, scratch);
+        let matches =
+            self.compiled
+                .search_delta_tracked(egraph, epoch_cutoff, rel_cutoff, tracking, scratch);
         self.apply_matches(egraph, matches)
     }
 }

@@ -11,7 +11,13 @@
 //! probe for delta-eligible rules, semi-naive join rounds for rules with
 //! relation atoms or fresh-variable pattern atoms (see
 //! `CompiledQuery::search_delta`) — so once a phase saturates, re-running
-//! its rules costs almost nothing. Rules marked [`Rewrite::assume_pure`]
+//! its rules costs almost nothing. Probes are **keyed by each atom's root
+//! operator**: a rule rooted at `Mul` re-probes only classes whose `Mul`
+//! rows changed since it last ran, not every modified class that happens
+//! to contain a `Mul` node ([`Runner::use_per_class_deltas`] restores the
+//! broader pre-op-keying probes as the A/B baseline, and
+//! [`RunReport::delta_probed_rows`] / [`RunReport::delta_skipped_rows`]
+//! count the difference). Rules marked [`Rewrite::assume_pure`]
 //! (applicability depends only on the matched classes and the query's own
 //! relation atoms) are additionally skipped outright while the graph and
 //! relation store are quiescent; for rules *not* marked pure, any new
@@ -25,7 +31,7 @@
 
 use std::time::{Duration, Instant};
 
-use crate::egraph::{Analysis, EGraph};
+use crate::egraph::{Analysis, DeltaTracking, EGraph};
 use crate::language::Language;
 use crate::pattern::MatchScratch;
 use crate::rewrite::Rewrite;
@@ -52,6 +58,17 @@ pub struct RunReport {
     pub full_searches: usize,
     /// Rule searches skipped entirely by the quiescence check.
     pub skipped_searches: usize,
+    /// Candidate op rows (classes) delta probes actually visited. Under
+    /// op-keyed tracking a probe enumerates only classes whose
+    /// `(class, root_op)` rows changed since the rule last ran; under the
+    /// per-class baseline, every modified class containing the root op.
+    pub delta_probed_rows: usize,
+    /// Candidate op rows delta probes skipped: the probed operators'
+    /// remaining index-row entries, which were quiet since the rule last
+    /// ran. `probed + skipped` is the work a non-delta indexed search
+    /// would have done, so `skipped / (probed + skipped)` is the delta
+    /// machinery's coverage.
+    pub delta_skipped_rows: usize,
     /// Wall-clock time spent.
     pub elapsed: Duration,
 }
@@ -65,6 +82,8 @@ impl RunReport {
         self.delta_searches += sub.delta_searches;
         self.full_searches += sub.full_searches;
         self.skipped_searches += sub.skipped_searches;
+        self.delta_probed_rows += sub.delta_probed_rows;
+        self.delta_skipped_rows += sub.delta_skipped_rows;
     }
 }
 
@@ -96,6 +115,11 @@ pub struct Runner {
     /// indexed/delta path (for benchmarking and cross-checking; the match
     /// sets are identical, only the time spent differs).
     pub use_naive_matcher: bool,
+    /// Run delta probes against the retained per-class epochs instead of
+    /// the op-keyed rows (the pre-op-keying A/B baseline, kept the same
+    /// way the naive matcher is; identical match sets, broader probes —
+    /// the difference shows in [`RunReport::delta_probed_rows`]).
+    pub use_per_class_deltas: bool,
 }
 
 impl Default for Runner {
@@ -104,6 +128,7 @@ impl Default for Runner {
             max_iterations: 32,
             node_limit: 500_000,
             use_naive_matcher: false,
+            use_per_class_deltas: false,
         }
     }
 }
@@ -124,6 +149,23 @@ impl Runner {
     pub fn with_naive_matcher(mut self, naive: bool) -> Self {
         self.use_naive_matcher = naive;
         self
+    }
+
+    /// Flips the runner onto the retained per-class delta baseline.
+    #[must_use]
+    pub fn with_per_class_deltas(mut self, per_class: bool) -> Self {
+        self.use_per_class_deltas = per_class;
+        self
+    }
+
+    /// The change-tracking granularity this runner's delta probes read.
+    #[must_use]
+    pub fn delta_tracking(&self) -> DeltaTracking {
+        if self.use_per_class_deltas {
+            DeltaTracking::PerClass
+        } else {
+            DeltaTracking::OpKeyed
+        }
     }
 
     /// Runs every rule once, then rebuilds. Returns matches applied.
@@ -189,7 +231,13 @@ impl Runner {
             let rel_tick_at = egraph.relations.tick();
             applied += if delta_ok {
                 report.delta_searches += 1;
-                rule.run_delta(egraph, epoch_cutoff, rel_cutoff, scratch)
+                rule.run_delta(
+                    egraph,
+                    epoch_cutoff,
+                    rel_cutoff,
+                    self.delta_tracking(),
+                    scratch,
+                )
             } else {
                 report.full_searches += 1;
                 rule.run_with(egraph, scratch)
@@ -199,6 +247,9 @@ impl Runner {
             state.last_rel_version = rel_version;
             state.ran_before = true;
         }
+        let (probed, skipped) = scratch.take_probe_counters();
+        report.delta_probed_rows += probed;
+        report.delta_skipped_rows += skipped;
         egraph.rebuild();
         applied
     }

@@ -5,14 +5,18 @@
 //! * the compiled/indexed matcher returns the same `(Id, Subst)` sets as
 //!   the retained naive reference matcher, on random graphs and across
 //!   full saturation of the `math_lang` rule suite;
-//! * saturation with the indexed + delta scheduler reaches the same
-//!   e-graph (nodes, classes, equivalences) and extracts the same terms
-//!   as the naive matcher path.
+//! * saturation with the indexed + delta scheduler — under op-keyed *and*
+//!   per-class change tracking — reaches the same e-graph (nodes, classes,
+//!   equivalences) and extracts the same terms as the naive matcher path;
+//! * op-keyed delta probes skip classes whose probed-operator rows were
+//!   untouched (counter-based), and modification-log compaction is
+//!   deterministic and exact.
 
 use proptest::prelude::*;
 
-use hb_egraph::egraph::EGraph;
+use hb_egraph::egraph::{DeltaTracking, EGraph};
 use hb_egraph::extract::{AstSize, WorklistExtractor};
+use hb_egraph::language::Language;
 use hb_egraph::math_lang::{n, padd, pdiv, pmul, pshl, pvar, Math};
 use hb_egraph::pattern::{MatchScratch, Pattern, Subst};
 use hb_egraph::rewrite::{Query, Rewrite};
@@ -105,8 +109,11 @@ proptest! {
     ) {
         let (eg, _) = replay(&steps);
         // check_op_index panics if the maintained index differs anywhere
-        // from a from-scratch recomputation over the class table.
+        // from a from-scratch recomputation over the class table;
+        // check_op_epochs pins the op-keyed row invariants (row keys ==
+        // node operators, class epoch == max row, rows log-covered).
         eg.check_op_index();
+        eg.check_op_epochs();
     }
 
     #[test]
@@ -125,19 +132,37 @@ proptest! {
     fn saturation_agrees_between_matchers(
         steps in proptest::collection::vec((0u8..5, 0u32..64, 0u32..64), 40),
     ) {
-        // Saturate two copies of the same graph, one per matcher, and
-        // compare the resulting e-graphs and extracted terms.
+        // Saturate three copies of the same graph — op-keyed deltas (the
+        // default), the retained per-class delta baseline, and the naive
+        // matcher — and compare the resulting e-graphs and extracted
+        // terms.
         let (mut fast, ids) = replay(&steps);
+        let mut per_class = fast.clone();
         let mut naive = fast.clone();
         let runner = Runner::new(16, 20_000);
         let rules = math_rules();
         let r1 = runner.run_to_fixpoint(&mut fast, &rules);
+        let r_pc = runner
+            .clone()
+            .with_per_class_deltas(true)
+            .run_to_fixpoint(&mut per_class, &rules);
         let r2 = runner
             .with_naive_matcher(true)
             .run_to_fixpoint(&mut naive, &rules);
         prop_assert_eq!(r1.saturated, r2.saturated);
         prop_assert_eq!(r1.nodes, r2.nodes, "node counts diverged");
         prop_assert_eq!(r1.classes, r2.classes, "class counts diverged");
+        prop_assert_eq!(r1.saturated, r_pc.saturated);
+        prop_assert_eq!(r1.nodes, r_pc.nodes, "per-class node counts diverged");
+        prop_assert_eq!(r1.classes, r_pc.classes, "per-class class counts diverged");
+        // Op-keyed probes never visit more rows than the per-class
+        // baseline on the same workload.
+        prop_assert!(
+            r1.delta_probed_rows <= r_pc.delta_probed_rows,
+            "op-keyed probed {} rows, per-class {}",
+            r1.delta_probed_rows, r_pc.delta_probed_rows
+        );
+        fast.check_op_epochs();
         // Same equivalences between all tracked ids.
         for &x in &ids {
             for &y in &ids {
@@ -145,6 +170,11 @@ proptest! {
                     fast.find(x) == fast.find(y),
                     naive.find(x) == naive.find(y),
                     "equivalence of {} and {} diverged", x, y
+                );
+                prop_assert_eq!(
+                    fast.find(x) == fast.find(y),
+                    per_class.find(x) == per_class.find(y),
+                    "per-class equivalence of {} and {} diverged", x, y
                 );
             }
         }
@@ -276,7 +306,29 @@ proptest! {
                     );
                 }
             }
+            // The retained per-class probe must be equally sound and
+            // complete — it only probes more rows, never different
+            // match semantics.
+            let pc = c.search_delta_tracked(
+                &eg,
+                epoch_cutoff,
+                rel_cutoff,
+                DeltaTracking::PerClass,
+                &mut scratch,
+            );
+            for m in &pc {
+                prop_assert!(full.contains(m), "per-class delta invented {m:?}");
+            }
+            for m in &full {
+                if !before.contains(m) {
+                    prop_assert!(
+                        pc.contains(m),
+                        "per-class delta missed the new match {m:?}"
+                    );
+                }
+            }
         }
+        eg.check_op_epochs();
     }
 }
 
@@ -323,6 +375,171 @@ fn scheduler_semi_naive_finds_late_tuples_without_full_research() {
         report.delta_searches >= 2,
         "later passes must run as delta probes"
     );
+}
+
+#[test]
+fn untouched_op_rows_are_not_probed() {
+    // Epoch exactness, counter-based: a class holding both a Mul and a Div
+    // node sees a change under its Mul subtree only. The Div-rooted
+    // query's op-keyed delta probe must visit zero rows, while the
+    // per-class baseline re-probes the class (it is modified and contains
+    // a Div node). Match sets are empty either way — the probe count is
+    // the difference under test.
+    let mut eg = EG::new();
+    let two = eg.add(Math::Num(2));
+    let three = eg.add(Math::Num(3));
+    let mut mul_roots = Vec::new();
+    for i in 0..8 {
+        let a = eg.add(Math::Sym(format!("a{i}")));
+        let b = eg.add(Math::Sym(format!("b{i}")));
+        let m = eg.add(Math::Mul([a, two]));
+        let d = eg.add(Math::Div([b, three]));
+        eg.union(m, d); // every class holds a Mul node and a Div node
+        mul_roots.push((a, m));
+    }
+    eg.rebuild();
+    let q_mul = Query::single("e", pmul(pvar("x"), pvar("y"))).compile();
+    let q_div = Query::single("e", pdiv(pvar("x"), pvar("y"))).compile();
+    let cutoff = eg.bump_epoch();
+    let rel_cutoff = eg.relations.tick();
+    // One change, strictly under one class's Mul subtree.
+    let c = eg.add(Math::Sym("c".into()));
+    eg.union(mul_roots[0].0, c);
+    eg.rebuild();
+
+    let mut scratch = MatchScratch::new();
+    let _ = q_div.search_delta(&eg, cutoff, rel_cutoff, &mut scratch);
+    let (div_probed, _) = scratch.take_probe_counters();
+    assert_eq!(
+        div_probed, 0,
+        "no Div row changed — the op-keyed Div probe must visit nothing"
+    );
+    let _ = q_div.search_delta_tracked(
+        &eg,
+        cutoff,
+        rel_cutoff,
+        DeltaTracking::PerClass,
+        &mut scratch,
+    );
+    let (div_probed_pc, _) = scratch.take_probe_counters();
+    assert!(
+        div_probed_pc > 0,
+        "the per-class baseline re-probes the modified multi-op class"
+    );
+    let _ = q_mul.search_delta(&eg, cutoff, rel_cutoff, &mut scratch);
+    let (mul_probed, _) = scratch.take_probe_counters();
+    assert!(
+        mul_probed > 0,
+        "the changed Mul row must be probed under op-keyed tracking"
+    );
+    eg.check_op_epochs();
+}
+
+#[test]
+fn op_keyed_runner_probes_fewer_rows_than_per_class() {
+    // Runner-level A/B: multi-op classes u_i hold a Mul node and a Div
+    // node with disjoint subtrees. A rule that only changes the Div
+    // side's shared leaf (`3` gains a Div node) restamps the u_i through
+    // their Div parent nodes alone, so the Mul-rooted rule's delta probe
+    // visits zero rows under op-keyed tracking — while the per-class
+    // baseline re-probes every modified u_i (each contains a Mul node).
+    // Outcomes must be identical; only probe counts may differ.
+    let mut op_keyed = EG::new();
+    let two = op_keyed.add(Math::Num(2));
+    let three = op_keyed.add(Math::Num(3));
+    for i in 0..8 {
+        let a = op_keyed.add(Math::Sym(format!("a{i}")));
+        let b = op_keyed.add(Math::Sym(format!("b{i}")));
+        let m = op_keyed.add(Math::Mul([a, two]));
+        let d = op_keyed.add(Math::Div([b, three]));
+        op_keyed.union(m, d);
+    }
+    op_keyed.rebuild();
+    let rules: Vec<Rewrite<Math>> = vec![
+        // Never fires; its delta probes of the Mul rows are under test.
+        // Runs first so the Div-side change below lands *after* its first
+        // full search and must be covered by its delta window.
+        Rewrite::rewrite("mul-one", pmul(pvar("x"), n(1)), pvar("x")),
+        // Never fires; keeps a Div-rooted probe in the mix for realism.
+        Rewrite::rewrite("div-threes", pdiv(n(3), n(3)), n(1)),
+        // Fires once: `3` ≡ `3/1`, a change strictly on the Div side.
+        Rewrite::rewrite("three-div-one", n(3), pdiv(n(3), n(1))),
+    ];
+    let mut per_class = op_keyed.clone();
+    let runner = Runner::new(16, 20_000);
+    let r_op = runner.run_to_fixpoint(&mut op_keyed, &rules);
+    let r_pc = runner
+        .with_per_class_deltas(true)
+        .run_to_fixpoint(&mut per_class, &rules);
+    assert!(r_op.saturated && r_pc.saturated);
+    assert_eq!(r_op.nodes, r_pc.nodes);
+    assert_eq!(r_op.classes, r_pc.classes);
+    assert_eq!(r_op.applied, r_pc.applied);
+    assert!(
+        r_op.delta_probed_rows < r_pc.delta_probed_rows,
+        "op-keyed probed {} rows, per-class {} — expected strictly fewer",
+        r_op.delta_probed_rows,
+        r_pc.delta_probed_rows
+    );
+    assert!(
+        r_op.delta_skipped_rows > r_pc.delta_skipped_rows,
+        "op-keyed must skip the rows per-class probes"
+    );
+    op_keyed.check_op_epochs();
+}
+
+#[test]
+fn compaction_is_deterministic_and_exact() {
+    // Regression: modification-log compaction builds its max-epoch map in
+    // a HashMap; the compacted log must be fully ordered by (epoch, id)
+    // so delta replay never depends on hash-iteration order. Two replicas
+    // of the same workout use independently seeded HashMaps, so any
+    // order leak diverges their probe results.
+    let mul_key = Math::Mul([Id(0), Id(0)]).op_key();
+    let build = || {
+        let mut eg = EG::new();
+        let two = eg.add(Math::Num(2));
+        // A Mul chain deep enough that every union propagates ~40 epochs.
+        let mut chain = vec![eg.add(Math::Sym("x".into()))];
+        for _ in 0..40 {
+            let top = *chain.last().unwrap();
+            chain.push(eg.add(Math::Mul([top, two])));
+        }
+        eg.rebuild();
+        let mut cutoffs = Vec::new();
+        // Enough stamped epochs that rebuild compacts the logs repeatedly.
+        for i in 0..60 {
+            cutoffs.push(eg.bump_epoch());
+            let s = eg.add(Math::Sym(format!("s{i}")));
+            eg.union(s, chain[0]);
+            eg.rebuild();
+        }
+        (eg, cutoffs)
+    };
+    let (a, cutoffs_a) = build();
+    let (b, cutoffs_b) = build();
+    assert_eq!(cutoffs_a, cutoffs_b, "replicas must replay identically");
+    for &cutoff in &cutoffs_a {
+        assert_eq!(
+            a.modified_since(cutoff),
+            b.modified_since(cutoff),
+            "global log diverged between replicas at cutoff {cutoff}"
+        );
+        assert_eq!(
+            a.modified_candidates_for(mul_key, cutoff),
+            b.modified_candidates_for(mul_key, cutoff),
+            "per-op log diverged between replicas at cutoff {cutoff}"
+        );
+        // Exactness after compaction: the whole chain was restamped after
+        // every cutoff, so every chain class must still be reported.
+        assert_eq!(
+            a.modified_candidates_for(mul_key, cutoff).len(),
+            40,
+            "compaction lost chain entries at cutoff {cutoff}"
+        );
+    }
+    a.check_op_epochs();
+    b.check_op_epochs();
 }
 
 #[test]
