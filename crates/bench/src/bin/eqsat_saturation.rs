@@ -52,7 +52,7 @@ use hardboiled::lang::HbGraph;
 use hardboiled::movement::{annotate_stmt, collect_placements};
 use hardboiled::postprocess::normalize_temps;
 use hardboiled::rules;
-use hardboiled::{Batching, CompileReport, ExtractionPolicy, Session};
+use hardboiled::{Batching, CompileOutcome, CompileReport, ExtractionPolicy, Session};
 use hb_apps::conv1d::Conv1d;
 use hb_apps::conv2d::Conv2d;
 use hb_apps::gemm_wmma::GemmWmma;
@@ -852,6 +852,58 @@ fn main() {
     // panic would lose the whole benchmark run. The byte-identity asserts
     // above are the correctness gate; the ratio is tracking data.
 
+    // [2b] robustness plumbing: the same whole-suite batch with generous
+    // budgets configured (a 120 s deadline plus an effectively-unbounded
+    // match budget). The budget clock is amortized — one `Instant` read
+    // per 16 rule searches — so the unconstrained suite must come in
+    // within 2% of the budget-free run, byte-identical programs asserted.
+    let budgeted_session = Session::builder()
+        .batching(Batching::Batched)
+        .deadline(std::time::Duration::from_secs(120))
+        .match_budget(usize::MAX / 2)
+        .build()
+        .expect("valid session");
+    let (budgeted_outs, budgeted_report, budgeted_ms) =
+        run_suite_batched(&all, &budgeted_session, 5);
+    for ((w, out), budgeted) in all.iter().zip(&suite_outs).zip(&budgeted_outs) {
+        assert_eq!(
+            normalize_temps(&out.to_string()),
+            normalize_temps(&budgeted.to_string()),
+            "{}: generous budgets changed the selected program",
+            w.name
+        );
+    }
+    assert_eq!(
+        budgeted_report.outcome,
+        CompileOutcome::Saturated,
+        "generous budgets must not truncate the suite"
+    );
+    let mut outcomes = [0usize; 3]; // saturated / truncated / fallback
+    for m in &per_leaf_runs {
+        outcomes[match m.report.outcome {
+            CompileOutcome::Saturated => 0,
+            CompileOutcome::Truncated { .. } => 1,
+            CompileOutcome::FallbackUnoptimized => 2,
+        }] += 1;
+    }
+    assert_eq!(
+        outcomes,
+        [all.len(), 0, 0],
+        "an unconstrained selector run degraded"
+    );
+    let budget_overhead_pct = (budgeted_ms / suite_batched - 1.0) * 100.0;
+    println!(
+        "      budget plumbing: budgeted {budgeted_ms:.2} ms vs unbudgeted {suite_batched:.2} ms — \
+         {budget_overhead_pct:+.2}% overhead (outcomes: {} saturated, 0 truncated, 0 fallback)",
+        all.len()
+    );
+    timing_floor(strict_timing, budget_overhead_pct < 2.0, || {
+        format!(
+            "deadline/match-budget plumbing costs {budget_overhead_pct:.2}% on the unconstrained \
+             suite (bar: 2%)"
+        )
+    });
+
     // [3] batched whole-program saturation: all leaves, one e-graph, engine
     // level (no encode/extract), indexed vs naive — plus the per-class
     // delta baseline for the probed-row A/B.
@@ -938,6 +990,13 @@ fn main() {
       "extract_stage_speedup": {extract_speedup:.2},
       "readout_speedup": {readout_speedup:.2}
     }},
+    "robustness": {{
+      "description": "graceful-degradation plumbing on the unconstrained suite: per-workload compile outcomes (every per-leaf selector run and the batched suite must saturate — no truncation, no fallback) and the wall cost of configuring budgets that never fire (a 120 s deadline plus an effectively-unbounded match budget, best-of-5, byte-identical programs asserted); the amortized budget clock must stay under 2% overhead",
+      "outcomes": {{ "saturated": {outcomes_saturated}, "truncated": {outcomes_truncated}, "fallback": {outcomes_fallback} }},
+      "unbudgeted_ms": {suite_batched:.3},
+      "budgeted_ms": {budgeted_ms:.3},
+      "budget_overhead_pct": {budget_overhead_pct:.2}
+    }},
     "shared_nodes": {suite_nodes},
     "shared_classes": {suite_classes},
     "searches": {{ "delta": {suite_delta}, "full": {suite_full}, "skipped": {suite_skip}, "probed_rows": {suite_probed}, "skipped_rows": {suite_skipped_rows} }},
@@ -966,6 +1025,9 @@ fn main() {
 }}
 "#,
         sel_speedup = sel_naive / sel_indexed,
+        outcomes_saturated = outcomes[0],
+        outcomes_truncated = outcomes[1],
+        outcomes_fallback = outcomes[2],
         extract_strategy = suite_extraction.strategy,
         extract_table_entries = suite_extraction.table_entries,
         extract_roots = suite_extraction.roots(),

@@ -97,10 +97,12 @@ pub use hb_accel::target::{
 };
 pub use lang::{HbAnalysis, HbGraph, HbLang};
 pub use movement::Placements;
+pub use postprocess::MaterializeError;
 pub use selector::{SelectionReport, SelectorConfig};
 pub use session::{
-    Batching, BuildError, CompileError, CompileReport, CompileResult, ExtractionReport,
-    IntoProgram, Program, Session, SessionBuilder, StageTimings, StmtReport, SuiteResult,
+    Batching, BuildError, CompileError, CompileOutcome, CompileReport, CompileResult,
+    ExtractionReport, IntoProgram, IrSuiteResult, Program, Session, SessionBuilder, StageTimings,
+    StmtReport, SuiteResult, TruncationReason,
 };
 
 #[allow(deprecated)]

@@ -64,14 +64,41 @@ pub struct Materialization {
     pub init: Expr,
 }
 
+/// A malformed extraction result the materializer cannot lower (a marker
+/// with no argument, a temp too wide to address). On the session's splice
+/// path these feed the `FallbackUnoptimized` rung — the original statement
+/// is spliced unoptimized — instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaterializeError(pub String);
+
+impl std::fmt::Display for MaterializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "materialization failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for MaterializeError {}
+
 /// Replaces `__expr_var(inner)` markers in an expression with buffer-name
 /// variables, returning the rewritten expression and the materializations.
-#[must_use]
-pub fn extract_materializations(e: &Expr) -> (Expr, Vec<Materialization>) {
+///
+/// # Errors
+///
+/// Returns [`MaterializeError`] on a marker call with no argument.
+pub fn try_extract_materializations(
+    e: &Expr,
+) -> Result<(Expr, Vec<Materialization>), MaterializeError> {
     let mut mats = Vec::new();
+    let mut error: Option<MaterializeError> = None;
     let out = e.rewrite_bottom_up(&mut |node| match node {
         Expr::Call { name, args, .. } if name == EXPR_VAR_MARKER => {
-            let inner = args.first().expect("__expr_var has one argument").clone();
+            let Some(inner) = args.first() else {
+                error.get_or_insert_with(|| {
+                    MaterializeError(format!("{EXPR_VAR_MARKER} marker with no argument"))
+                });
+                return None;
+            };
+            let inner = inner.clone();
             let ty = inner.ty();
             let tmp = fresh_name();
             mats.push(Materialization {
@@ -84,21 +111,39 @@ pub fn extract_materializations(e: &Expr) -> (Expr, Vec<Materialization>) {
         }
         _ => None,
     });
-    (out, mats)
+    match error {
+        Some(e) => Err(e),
+        None => Ok((out, mats)),
+    }
+}
+
+/// Infallible shim over [`try_extract_materializations`].
+///
+/// # Panics
+///
+/// Panics on a malformed marker; error-tolerant callers (the session's
+/// splice path) use the `try_` form and degrade instead.
+#[must_use]
+pub fn extract_materializations(e: &Expr) -> (Expr, Vec<Materialization>) {
+    try_extract_materializations(e).expect("__expr_var has one argument")
 }
 
 /// Post-processes one leaf statement: materializes its `ExprVar`s in place,
 /// wrapping the statement in the needed allocations and initializing stores.
-#[must_use]
-pub fn materialize_stmt(s: &Stmt) -> Stmt {
+///
+/// # Errors
+///
+/// Returns [`MaterializeError`] on a malformed marker or a temp buffer too
+/// large to address with a 32-bit ramp.
+pub fn try_materialize_stmt(s: &Stmt) -> Result<Stmt, MaterializeError> {
     let (new_stmt, mats) = match s {
         Stmt::Store {
             buffer,
             index,
             value,
         } => {
-            let (index, mut m1) = extract_materializations(index);
-            let (value, m2) = extract_materializations(value);
+            let (index, mut m1) = try_extract_materializations(index)?;
+            let (value, m2) = try_extract_materializations(value)?;
             m1.extend(m2);
             (
                 Stmt::Store {
@@ -110,14 +155,19 @@ pub fn materialize_stmt(s: &Stmt) -> Stmt {
             )
         }
         Stmt::Evaluate(e) => {
-            let (e, m) = extract_materializations(e);
+            let (e, m) = try_extract_materializations(e)?;
             (Stmt::Evaluate(e), m)
         }
         other => (other.clone(), Vec::new()),
     };
     let mut out = new_stmt;
     for mat in mats.into_iter().rev() {
-        let lanes = u32::try_from(mat.size).expect("temp too large");
+        let lanes = u32::try_from(mat.size).map_err(|_| {
+            MaterializeError(format!(
+                "temp buffer {} too large: {} elements",
+                mat.name, mat.size
+            ))
+        })?;
         let init = store(
             &mat.name,
             ramp(hb_ir::builder::int(0), hb_ir::builder::int(1), lanes),
@@ -131,7 +181,18 @@ pub fn materialize_stmt(s: &Stmt) -> Stmt {
             block(vec![init, out]),
         );
     }
-    out
+    Ok(out)
+}
+
+/// Infallible shim over [`try_materialize_stmt`].
+///
+/// # Panics
+///
+/// Panics on a malformed statement; error-tolerant callers use the `try_`
+/// form and degrade instead.
+#[must_use]
+pub fn materialize_stmt(s: &Stmt) -> Stmt {
+    try_materialize_stmt(s).expect("materialization failed")
 }
 
 #[cfg(test)]
@@ -200,6 +261,20 @@ mod tests {
             }
         });
         assert!(found_var);
+    }
+
+    #[test]
+    fn malformed_marker_is_an_error_not_a_panic() {
+        // A marker call with no argument cannot be materialized; the splice
+        // path must get an Err to feed the fallback rung.
+        let bad = Expr::Call {
+            ty: Type::f32().with_lanes(4),
+            name: EXPR_VAR_MARKER.to_string(),
+            args: vec![],
+        };
+        let s = b::store("out", b::ramp(b::int(0), b::int(1), 4), bad);
+        let err = try_materialize_stmt(&s).unwrap_err();
+        assert!(err.to_string().contains("no argument"), "{err}");
     }
 
     #[test]

@@ -40,12 +40,13 @@
 //! over this API.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use hb_accel::target::{ExtractionPolicy, SimTarget, Target};
 use hb_egraph::extract::{DagCostExtractor, Extract, SharedTableExtractor, WorklistExtractor};
-use hb_egraph::schedule::{RunReport, Runner};
+use hb_egraph::schedule::{Budget, RunReport, Runner};
 use hb_egraph::unionfind::Id;
 use hb_ir::expr::Expr;
 use hb_ir::stmt::Stmt;
@@ -55,7 +56,7 @@ use crate::decode::decode_stmt;
 use crate::encode::encode_stmt;
 use crate::lang::{HbGraph, HbLang};
 use crate::movement::{annotate_stmt, collect_placements, Placements};
-use crate::postprocess::materialize_stmt;
+use crate::postprocess::try_materialize_stmt;
 use crate::rules::RuleSet;
 
 /// A compilation unit: an IR statement tree plus the buffer placements the
@@ -137,6 +138,10 @@ pub enum BuildError {
     InvalidOuterIters,
     /// `node_limit` must be at least 1.
     InvalidNodeLimit,
+    /// `deadline` must be a non-zero duration.
+    InvalidDeadline,
+    /// `match_budget` must be at least 1.
+    InvalidMatchBudget,
 }
 
 impl fmt::Display for BuildError {
@@ -151,6 +156,8 @@ impl fmt::Display for BuildError {
             }
             BuildError::InvalidOuterIters => write!(f, "outer_iters must be at least 1"),
             BuildError::InvalidNodeLimit => write!(f, "node_limit must be at least 1"),
+            BuildError::InvalidDeadline => write!(f, "deadline must be a non-zero duration"),
+            BuildError::InvalidMatchBudget => write!(f, "match_budget must be at least 1"),
         }
     }
 }
@@ -164,6 +171,11 @@ pub enum CompileError {
     Lower(String),
     /// `compile_suite` was called with no programs.
     EmptySuite,
+    /// The engine panicked and the panic could not be absorbed by the
+    /// unoptimized fallback (a second panic inside the isolation unit).
+    /// In `compile_suite` the error is confined to the offending program;
+    /// the rest of the suite still compiles.
+    Engine(String),
 }
 
 impl fmt::Display for CompileError {
@@ -171,6 +183,7 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Lower(msg) => write!(f, "lowering failed: {msg}"),
             CompileError::EmptySuite => write!(f, "compile_suite needs at least one program"),
+            CompileError::Engine(msg) => write!(f, "engine failure: {msg}"),
         }
     }
 }
@@ -188,6 +201,82 @@ pub enum Batching {
     /// deduplicated across leaves and programs. Selected programs are
     /// byte-identical to [`Batching::PerLeaf`].
     Batched,
+}
+
+/// Which budget cut saturation short (see [`CompileOutcome::Truncated`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// The session deadline (or the runner's time budget) passed.
+    Deadline,
+    /// The e-graph node limit was hit.
+    NodeLimit,
+    /// The applied-match budget was spent.
+    MatchBudget,
+}
+
+/// Where on the degradation ladder one compile landed. Every rung returns
+/// a correct program — the rungs only trade optimization quality for
+/// boundedness: full saturation, then best-so-far extraction from a
+/// budget-truncated graph, then the plain lowered program spliced
+/// unoptimized. A suite report carries the worst rung any leaf hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompileOutcome {
+    /// Every saturation run completed its schedule (saturated or spent
+    /// its fixed iteration budget) — the reference result.
+    #[default]
+    Saturated,
+    /// A budget stopped saturation early; extraction ran on the valid
+    /// best-so-far e-graph.
+    Truncated {
+        /// Which budget fired (deadline wins over node limit over match
+        /// budget when several fired).
+        reason: TruncationReason,
+    },
+    /// Saturation, extraction or splicing failed outright (a panicking
+    /// rule, an undecodable term, a malformed materialization); the plain
+    /// lowered program was spliced unoptimized.
+    FallbackUnoptimized,
+}
+
+impl CompileOutcome {
+    fn rung(self) -> u8 {
+        match self {
+            CompileOutcome::Saturated => 0,
+            CompileOutcome::Truncated { .. } => 1,
+            CompileOutcome::FallbackUnoptimized => 2,
+        }
+    }
+
+    /// The worse of two rungs (ladder aggregation across leaves and
+    /// programs).
+    #[must_use]
+    pub fn worst(self, other: CompileOutcome) -> CompileOutcome {
+        if other.rung() > self.rung() {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Whether the compile landed below the reference rung.
+    #[must_use]
+    pub fn is_degraded(self) -> bool {
+        self != CompileOutcome::Saturated
+    }
+
+    /// The outcome a saturation run's report testifies to.
+    fn of_run(run: &RunReport) -> CompileOutcome {
+        let reason = if run.deadline_hit {
+            TruncationReason::Deadline
+        } else if run.node_limit_hit {
+            TruncationReason::NodeLimit
+        } else if run.match_budget_hit {
+            TruncationReason::MatchBudget
+        } else {
+            return CompileOutcome::Saturated;
+        };
+        CompileOutcome::Truncated { reason }
+    }
 }
 
 /// Wall-clock time spent in each pipeline stage.
@@ -281,6 +370,9 @@ pub struct CompileReport {
     /// costs, shared-table reuse, readout time). `None` when nothing was
     /// saturated.
     pub extraction: Option<ExtractionReport>,
+    /// Where on the degradation ladder this compile landed (the worst
+    /// rung across its leaves; see [`CompileOutcome`]).
+    pub outcome: CompileOutcome,
     /// Per-stage wall-clock breakdown.
     pub stages: StageTimings,
     /// Total time spent inside equality saturation (equals
@@ -315,9 +407,49 @@ pub struct CompileResult {
     pub report: CompileReport,
 }
 
-/// Result of compiling a suite of programs.
-#[derive(Debug, Clone)]
+/// Result of compiling a suite of programs through
+/// [`Session::compile_suite`], with per-program fault isolation: one
+/// panicking or unlowerable program costs only its own slot.
+#[derive(Debug)]
 pub struct SuiteResult {
+    /// Per-program outcomes, in input order: the compiled result (with
+    /// its own report and [`CompileOutcome`]) or the error confined to
+    /// that program.
+    pub results: Vec<Result<CompileResult, CompileError>>,
+    /// Aggregate report for the whole suite: `stmts` concatenates the
+    /// successful programs' leaves in order, `outcome` is the worst rung
+    /// any program hit. Stage timings are suite-level.
+    pub report: CompileReport,
+}
+
+impl SuiteResult {
+    /// The selected programs when every unit succeeded, or the first
+    /// per-program error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed program's [`CompileError`].
+    pub fn programs(&self) -> Result<Vec<&Stmt>, &CompileError> {
+        self.results
+            .iter()
+            .map(|r| r.as_ref().map(|c| &c.program))
+            .collect()
+    }
+
+    /// Number of programs whose compile failed outright (their slots hold
+    /// errors; the programs that succeeded are unaffected).
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
+    }
+}
+
+/// Result of the raw IR-level suite entry point
+/// ([`Session::compile_ir_suite`]): infallible, no isolation wrapping —
+/// the historical shape the deprecated selector shims and the benches
+/// consume.
+#[derive(Debug, Clone)]
+pub struct IrSuiteResult {
     /// The selected programs, in input order.
     pub programs: Vec<Stmt>,
     /// One report for the whole suite (`stmts` concatenates the programs'
@@ -335,8 +467,12 @@ pub struct SessionBuilder {
     extraction: Option<ExtractionPolicy>,
     outer_iters: usize,
     node_limit: Option<usize>,
+    deadline: Option<Duration>,
+    match_budget: Option<usize>,
     runner: Option<Runner>,
     naive_matcher: bool,
+    #[cfg(feature = "fault-injection")]
+    fault_plan: Option<std::sync::Arc<hb_egraph::fault::FaultPlan>>,
 }
 
 impl SessionBuilder {
@@ -350,8 +486,12 @@ impl SessionBuilder {
             extraction: None,
             outer_iters: 8,
             node_limit: None,
+            deadline: None,
+            match_budget: None,
             runner: None,
             naive_matcher: false,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
 
@@ -432,6 +572,39 @@ impl SessionBuilder {
         self
     }
 
+    /// Wall-clock deadline for each `compile`/`compile_suite` call. The
+    /// deadline is absolute per call — every saturation run of the call
+    /// (all per-leaf runs included) shares it — and is enforced between
+    /// rule searches, so the e-graph stays valid and extraction proceeds
+    /// on the best-so-far graph; the report records
+    /// [`CompileOutcome::Truncated`] with
+    /// [`TruncationReason::Deadline`]. A zero duration is a
+    /// [`BuildError::InvalidDeadline`].
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Cap on total rewrite matches applied per saturation run. Hitting
+    /// it truncates like the deadline does
+    /// ([`TruncationReason::MatchBudget`]). Zero is a
+    /// [`BuildError::InvalidMatchBudget`].
+    #[must_use]
+    pub fn match_budget(mut self, budget: usize) -> Self {
+        self.match_budget = Some(budget);
+        self
+    }
+
+    /// Installs a deterministic fault plan on the session's runner (chaos
+    /// testing only; see `hb_egraph::fault`).
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn fault_plan(mut self, plan: std::sync::Arc<hb_egraph::fault::FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Uses the retained naive reference matcher instead of the
     /// indexed/delta matcher (correctness oracle / benchmark baseline).
     #[must_use]
@@ -467,18 +640,29 @@ impl SessionBuilder {
         if self.node_limit == Some(0) {
             return Err(BuildError::InvalidNodeLimit);
         }
+        if self.deadline == Some(Duration::ZERO) {
+            return Err(BuildError::InvalidDeadline);
+        }
+        if self.match_budget == Some(0) {
+            return Err(BuildError::InvalidMatchBudget);
+        }
         let batching = self.batching.unwrap_or_default();
         let target = self.target.unwrap_or_else(|| Box::new(SimTarget::new()));
         let cost = self
             .cost
             .unwrap_or_else(|| Box::new(DeviceCost::from_profile(target.device())));
-        let runner = self.runner.unwrap_or_else(|| {
+        #[allow(unused_mut)]
+        let mut runner = self.runner.unwrap_or_else(|| {
             let limit = self.node_limit.unwrap_or(match batching {
                 Batching::PerLeaf => 200_000,
                 Batching::Batched => 500_000,
             });
             Runner::new(16, limit).with_naive_matcher(self.naive_matcher)
         });
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = self.fault_plan {
+            runner.fault_plan = Some(plan);
+        }
         let extraction = self
             .extraction
             .unwrap_or_else(|| target.extraction_policy());
@@ -488,6 +672,8 @@ impl SessionBuilder {
             batching,
             extraction,
             outer_iters: self.outer_iters,
+            deadline: self.deadline,
+            match_budget: self.match_budget,
             runner,
             rules: OnceLock::new(),
         })
@@ -506,6 +692,8 @@ pub struct Session {
     batching: Batching,
     extraction: ExtractionPolicy,
     outer_iters: usize,
+    deadline: Option<Duration>,
+    match_budget: Option<usize>,
     runner: Runner,
     rules: OnceLock<RuleSet>,
 }
@@ -554,6 +742,8 @@ impl Session {
             batching,
             extraction: ExtractionPolicy::Auto,
             outer_iters,
+            deadline: None,
+            match_budget: None,
             runner,
             rules: OnceLock::new(),
         }
@@ -612,12 +802,28 @@ impl Session {
             .get_or_init(|| RuleSet::for_profile(self.target.rule_profile()))
     }
 
-    /// Compiles one program through the full pipeline.
+    /// This call's [`Budget`]: the session deadline anchored at the
+    /// current instant (so every saturation run of the call shares it)
+    /// plus the match cap. The runner's own budgets tighten it further
+    /// inside the engine.
+    fn compile_budget(&self) -> Budget {
+        Budget {
+            deadline: self.deadline.map(|d| Instant::now() + d),
+            match_budget: self.match_budget,
+        }
+    }
+
+    /// Compiles one program through the full pipeline, panic-isolated:
+    /// an engine panic degrades to the unoptimized lowered fallback
+    /// ([`CompileOutcome::FallbackUnoptimized`]) rather than propagating,
+    /// so `compile` is total for any lowerable input.
     ///
     /// # Errors
     ///
-    /// Returns [`CompileError::Lower`] when the front end fails; IR-level
-    /// sources ([`Stmt`], [`Program`]) never fail.
+    /// Returns [`CompileError::Lower`] when the front end fails (IR-level
+    /// sources — [`Stmt`], [`Program`] — never do) and
+    /// [`CompileError::Engine`] only when the fallback path itself
+    /// panics.
     pub fn compile<S: IntoProgram + ?Sized>(
         &self,
         source: &S,
@@ -625,15 +831,12 @@ impl Session {
         let lower_started = Instant::now();
         let program = source.to_program()?;
         let lower = lower_started.elapsed();
-        let (mut programs, mut report) =
-            self.compile_programs(&[(&program.stmt, &program.placements)]);
-        report.stages.lower = lower;
-        report.total_time += lower;
-        report.notes.extend(program.notes.iter().cloned());
-        Ok(CompileResult {
-            program: programs.pop().expect("one program in, one program out"),
-            report,
-        })
+        let mut result =
+            self.compile_unit(&program.stmt, &program.placements, self.compile_budget())?;
+        result.report.stages.lower = lower;
+        result.report.total_time += lower;
+        result.report.notes.extend(program.notes.iter().cloned());
+        Ok(result)
     }
 
     /// Compiles a whole suite. With [`Batching::Batched`] every leaf of
@@ -641,10 +844,17 @@ impl Session {
     /// [`Batching::PerLeaf`] programs are still compiled in one call but
     /// each leaf gets its own graph.
     ///
+    /// Faults are isolated per program: a front-end failure or an engine
+    /// panic lands in that program's slot of [`SuiteResult::results`]
+    /// while the rest of the suite completes. (After a panic in the
+    /// shared batched run, the surviving programs are recompiled in
+    /// isolation — each still batches its own leaves — under the same
+    /// call-level budget.)
+    ///
     /// # Errors
     ///
-    /// Returns [`CompileError::EmptySuite`] on an empty slice and
-    /// [`CompileError::Lower`] when any front end fails.
+    /// Returns [`CompileError::EmptySuite`] on an empty slice; every
+    /// other failure is per-program, inside the result.
     pub fn compile_suite<S: IntoProgram>(
         &self,
         sources: &[S],
@@ -652,44 +862,189 @@ impl Session {
         if sources.is_empty() {
             return Err(CompileError::EmptySuite);
         }
+        let budget = self.compile_budget();
         let lower_started = Instant::now();
-        let programs: Vec<Program> = sources
-            .iter()
-            .map(IntoProgram::to_program)
-            .collect::<Result<_, _>>()?;
+        let lowered: Vec<Result<Program, CompileError>> =
+            sources.iter().map(IntoProgram::to_program).collect();
         let lower = lower_started.elapsed();
-        let refs: Vec<(&Stmt, &Placements)> =
-            programs.iter().map(|p| (&p.stmt, &p.placements)).collect();
-        let (selected, mut report) = self.compile_programs(&refs);
+
+        // Fast path: every program lowered and the whole-suite compile
+        // (one shared e-graph in batched mode) survives.
+        if lowered.iter().all(Result::is_ok) {
+            let programs: Vec<&Program> = lowered.iter().filter_map(|r| r.as_ref().ok()).collect();
+            let refs: Vec<(&Stmt, &Placements)> =
+                programs.iter().map(|p| (&p.stmt, &p.placements)).collect();
+            let shared = catch_unwind(AssertUnwindSafe(|| self.compile_programs(&refs, budget)));
+            if let Ok(compiled) = shared {
+                return Ok(self.split_suite(compiled, &programs, lower));
+            }
+            // A panic in the shared run falls through to the isolated
+            // path; the fault plan counters (chaos tests) and transient
+            // faults have moved on, so surviving programs recompile.
+        }
+
+        // Isolated path: one unit per program, errors confined to their
+        // slot, all programs sharing the call-level budget.
+        let mut report = CompileReport {
+            target: self.target.name().to_string(),
+            stages: StageTimings {
+                lower,
+                ..StageTimings::default()
+            },
+            ..CompileReport::default()
+        };
+        let mut results = Vec::with_capacity(lowered.len());
+        for lowered_program in lowered {
+            results.push(lowered_program.and_then(|program| {
+                let unit = self.compile_unit(&program.stmt, &program.placements, budget);
+                if let Ok(u) = &unit {
+                    report.outcome = report.outcome.worst(u.report.outcome);
+                    report.stmts.extend(u.report.stmts.iter().cloned());
+                    report.notes.extend(u.report.notes.iter().cloned());
+                    report.notes.extend(program.notes.iter().cloned());
+                }
+                unit
+            }));
+        }
+        report.total_time = lower_started.elapsed();
+        Ok(SuiteResult { results, report })
+    }
+
+    /// Splits a whole-suite compile into per-program results sharing the
+    /// suite-level report (per-program slices of the statement reports;
+    /// timings, the batch run and extraction stats stay suite-level).
+    fn split_suite(
+        &self,
+        compiled: CompiledPrograms,
+        programs: &[&Program],
+        lower: Duration,
+    ) -> SuiteResult {
+        let CompiledPrograms {
+            programs: selected,
+            mut report,
+            leaf_counts,
+        } = compiled;
         report.stages.lower = lower;
         report.total_time += lower;
-        for p in &programs {
+        for p in programs {
             report.notes.extend(p.notes.iter().cloned());
         }
-        Ok(SuiteResult {
-            programs: selected,
+        let mut next = 0usize;
+        let results = selected
+            .into_iter()
+            .zip(&leaf_counts)
+            .zip(programs)
+            .map(|((stmt, &count), program)| {
+                let unit_report = CompileReport {
+                    target: report.target.clone(),
+                    stmts: report.stmts[next..next + count].to_vec(),
+                    batch: report.batch.clone(),
+                    extraction: None,
+                    outcome: report.outcome,
+                    stages: report.stages,
+                    eqsat_time: report.eqsat_time,
+                    total_time: report.total_time,
+                    notes: program.notes.clone(),
+                };
+                next += count;
+                Ok(CompileResult {
+                    program: stmt,
+                    report: unit_report,
+                })
+            })
+            .collect();
+        SuiteResult { results, report }
+    }
+
+    /// One program through the pipeline with both isolation layers: an
+    /// engine panic degrades to the unoptimized fallback; a second panic
+    /// (inside annotation or the fallback itself) becomes
+    /// [`CompileError::Engine`].
+    fn compile_unit(
+        &self,
+        stmt: &Stmt,
+        placements: &Placements,
+        budget: Budget,
+    ) -> Result<CompileResult, CompileError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let optimized = catch_unwind(AssertUnwindSafe(|| {
+                self.compile_programs(&[(stmt, placements)], budget)
+            }));
+            match optimized {
+                Ok(CompiledPrograms {
+                    mut programs,
+                    report,
+                    ..
+                }) => CompileResult {
+                    program: programs.pop().expect("one program in, one program out"),
+                    report,
+                },
+                Err(payload) => self.fallback_unit(stmt, placements, &panic_message(&payload)),
+            }
+        }))
+        .map_err(|payload| CompileError::Engine(panic_message(&payload)))
+    }
+
+    /// The ladder's last rung: splice the plain lowered (annotated)
+    /// program unoptimized. Annotation applies no rewrite rules, and
+    /// programs with residual data movement execute correctly (the same
+    /// path statements that never lower take), so this is total for any
+    /// lowerable input.
+    fn fallback_unit(&self, stmt: &Stmt, placements: &Placements, cause: &str) -> CompileResult {
+        let started = Instant::now();
+        let annotated = self.annotate(stmt, placements);
+        let mut report = CompileReport {
+            target: self.target.name().to_string(),
+            outcome: CompileOutcome::FallbackUnoptimized,
+            ..CompileReport::default()
+        };
+        annotated.for_each_stmt(&mut |s| {
+            if is_selection_leaf(s) {
+                report.stmts.push(StmtReport {
+                    original: s.to_string(),
+                    lowered: false,
+                    eqsat: RunReport::default(),
+                });
+            }
+        });
+        report.notes.push(format!(
+            "engine fault; spliced the unoptimized program: {cause}"
+        ));
+        report.total_time = started.elapsed();
+        CompileResult {
+            program: annotated,
             report,
-        })
+        }
     }
 
     /// IR-level entry point: compiles one statement tree with explicit
-    /// extra placements (infallible — no front end involved). This is what
-    /// the deprecated `selector::select` shims call.
+    /// extra placements (infallible — no front end involved, no panic
+    /// isolation: this is the raw pipeline the deprecated
+    /// `selector::select` shims and the benches measure).
     #[must_use]
     pub fn compile_ir(&self, stmt: &Stmt, extra_placements: &Placements) -> CompileResult {
-        let (mut programs, report) = self.compile_programs(&[(stmt, extra_placements)]);
+        let CompiledPrograms {
+            mut programs,
+            report,
+            ..
+        } = self.compile_programs(&[(stmt, extra_placements)], self.compile_budget());
         CompileResult {
             program: programs.pop().expect("one program in, one program out"),
             report,
         }
     }
 
-    /// IR-level suite entry point (infallible, accepts empty suites for
-    /// backward compatibility with `select_batched_many`).
+    /// IR-level suite entry point (infallible, no isolation wrapping;
+    /// accepts empty suites for backward compatibility with
+    /// `select_batched_many`).
     #[must_use]
-    pub fn compile_ir_suite(&self, programs: &[(&Stmt, &Placements)]) -> SuiteResult {
-        let (selected, report) = self.compile_programs(programs);
-        SuiteResult {
+    pub fn compile_ir_suite(&self, programs: &[(&Stmt, &Placements)]) -> IrSuiteResult {
+        let CompiledPrograms {
+            programs: selected,
+            report,
+            ..
+        } = self.compile_programs(programs, self.compile_budget());
+        IrSuiteResult {
             programs: selected,
             report,
         }
@@ -709,8 +1064,13 @@ impl Session {
     }
 
     /// The stage pipeline shared by every entry point: annotate → collect
-    /// leaves → saturate (per-leaf or shared graph) → extract → splice.
-    fn compile_programs(&self, programs: &[(&Stmt, &Placements)]) -> (Vec<Stmt>, CompileReport) {
+    /// leaves → saturate (per-leaf or shared graph) → extract → splice,
+    /// all under one call-level [`Budget`].
+    fn compile_programs(
+        &self,
+        programs: &[(&Stmt, &Placements)],
+        budget: Budget,
+    ) -> CompiledPrograms {
         let total_started = Instant::now();
         let mut report = CompileReport {
             target: self.target.name().to_string(),
@@ -742,13 +1102,17 @@ impl Session {
         if leaves.is_empty() {
             // Leaf-free programs never touch the rule set (nor build it).
             report.total_time = total_started.elapsed();
-            return (annotated, report);
+            return CompiledPrograms {
+                programs: annotated,
+                report,
+                leaf_counts,
+            };
         }
 
         let rules = self.rules();
         let selected = match self.batching {
-            Batching::Batched => self.saturate_shared(&leaves, rules, &mut report),
-            Batching::PerLeaf => self.saturate_per_leaf(&leaves, rules, &mut report),
+            Batching::Batched => self.saturate_shared(&leaves, rules, budget, &mut report),
+            Batching::PerLeaf => self.saturate_per_leaf(&leaves, rules, budget, &mut report),
         };
         report.eqsat_time = report.stages.saturate;
 
@@ -772,7 +1136,11 @@ impl Session {
         }
         report.stages.splice = splice_started.elapsed();
         report.total_time = total_started.elapsed();
-        (outs, report)
+        CompiledPrograms {
+            programs: outs,
+            report,
+            leaf_counts,
+        }
     }
 
     /// Batched mode: one shared e-graph for every leaf; hash-consing
@@ -782,6 +1150,7 @@ impl Session {
         &self,
         leaves: &[Stmt],
         rules: &RuleSet,
+        budget: Budget,
         report: &mut CompileReport,
     ) -> Vec<Stmt> {
         let encode_started = Instant::now();
@@ -791,10 +1160,15 @@ impl Session {
         report.stages.encode += encode_started.elapsed();
 
         let saturate_started = Instant::now();
-        let run = self
-            .runner
-            .run_phased(&mut eg, &rules.main, &rules.support, self.outer_iters);
+        let run = self.runner.run_phased_budgeted(
+            &mut eg,
+            &rules.main,
+            &rules.support,
+            self.outer_iters,
+            budget,
+        );
         report.stages.saturate += saturate_started.elapsed();
+        report.outcome = report.outcome.worst(CompileOutcome::of_run(&run));
 
         // One cost table serves every root; the resolved strategy (Auto →
         // shared-table here) additionally shares readout work across roots
@@ -809,7 +1183,13 @@ impl Session {
             .iter()
             .zip(leaves)
             .map(|(&root, original)| {
-                let materialized = readout(extractor.as_ref(), root, original, &mut extraction);
+                let materialized = readout(
+                    extractor.as_ref(),
+                    root,
+                    original,
+                    &mut extraction,
+                    &mut report.outcome,
+                );
                 report.stmts.push(StmtReport {
                     original: original.to_string(),
                     lowered: !stmt_has_movement(&materialized),
@@ -835,6 +1215,7 @@ impl Session {
         &self,
         leaves: &[Stmt],
         rules: &RuleSet,
+        budget: Budget,
         report: &mut CompileReport,
     ) -> Vec<Stmt> {
         let mut extraction: Option<ExtractionReport> = None;
@@ -848,10 +1229,15 @@ impl Session {
                 report.stages.encode += encode_started.elapsed();
 
                 let saturate_started = Instant::now();
-                let run =
-                    self.runner
-                        .run_phased(&mut eg, &rules.main, &rules.support, self.outer_iters);
+                let run = self.runner.run_phased_budgeted(
+                    &mut eg,
+                    &rules.main,
+                    &rules.support,
+                    self.outer_iters,
+                    budget,
+                );
                 report.stages.saturate += saturate_started.elapsed();
+                report.outcome = report.outcome.worst(CompileOutcome::of_run(&run));
 
                 let extract_started = Instant::now();
                 let extractor = self.build_extractor(&eg, false);
@@ -859,7 +1245,8 @@ impl Session {
                     strategy: extractor.stats().strategy,
                     ..ExtractionReport::default()
                 });
-                let materialized = readout(extractor.as_ref(), root, stmt, agg);
+                let materialized =
+                    readout(extractor.as_ref(), root, stmt, agg, &mut report.outcome);
                 let stats = extractor.stats();
                 agg.table_entries += stats.table_entries;
                 agg.bank_nodes += stats.bank_nodes;
@@ -878,16 +1265,39 @@ impl Session {
     }
 }
 
+/// The internal result of one `compile_programs` pipeline run: selected
+/// programs, the unified report, and each program's leaf count (so suite
+/// entry points can slice the concatenated statement reports).
+struct CompiledPrograms {
+    programs: Vec<Stmt>,
+    report: CompileReport,
+    leaf_counts: Vec<usize>,
+}
+
+/// Renders a caught panic payload (`&str` and `String` payloads pass
+/// through; anything else is summarized).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Extracts, decodes and post-processes one saturated root back into a
-/// statement (falling back to the original on non-constructible roots and
-/// undecodable terms). Only the term readout itself is charged to
-/// `extraction` — decoding and materialization cost the same whatever
-/// strategy produced the term.
+/// statement. Non-constructible roots, undecodable terms and malformed
+/// materializations fall back to the original (annotated, unoptimized)
+/// statement and demote `outcome` to the fallback rung for that compile.
+/// Only the term readout itself is charged to `extraction` — decoding and
+/// materialization cost the same whatever strategy produced the term.
 fn readout(
     extractor: &dyn Extract<HbLang>,
     root: Id,
     original: &Stmt,
     extraction: &mut ExtractionReport,
+    outcome: &mut CompileOutcome,
 ) -> Stmt {
     let readout_started = Instant::now();
     let cost = extractor.cost_of(root);
@@ -899,9 +1309,20 @@ fn readout(
     extraction.readout_time += readout_started.elapsed();
     let decoded = match term.as_ref().map(decode_stmt) {
         Some(Ok(s)) => s,
-        Some(Err(_)) | None => original.clone(),
+        Some(Err(_)) | None => {
+            *outcome = outcome.worst(CompileOutcome::FallbackUnoptimized);
+            // The original has no `__expr_var` markers, so materialization
+            // is an identity — return it directly.
+            return original.clone();
+        }
     };
-    materialize_stmt(&decoded)
+    match try_materialize_stmt(&decoded) {
+        Ok(s) => s,
+        Err(_) => {
+            *outcome = outcome.worst(CompileOutcome::FallbackUnoptimized);
+            original.clone()
+        }
+    }
 }
 
 fn expr_has_movement(e: &Expr) -> bool {

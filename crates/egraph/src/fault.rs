@@ -1,0 +1,222 @@
+//! Deterministic fault injection for chaos testing (cargo feature
+//! `fault-injection`; never compiled into production builds).
+//!
+//! A [`FaultPlan`] is a seeded, one-shot fault installed on a
+//! [`crate::schedule::Runner`]: panic inside the *n*th rule search, or
+//! force one of the budget stops (deadline, node limit, match budget) at
+//! the *n*th scheduler iteration. Counters are process-wide atomics shared
+//! through an `Arc`, so a plan observed across several runs (per-leaf
+//! compiles, a degraded retry after a panic) fires exactly once and every
+//! later run proceeds normally — which is exactly the shape of a transient
+//! production fault.
+//!
+//! Budget faults only fire when the run actually has that budget
+//! configured, so a forced stop never makes a report claim a budget that
+//! was not in force (`DeadlineExhaust` requires a deadline, `MatchFlood` a
+//! match budget; `NodeExplosion` needs nothing — every runner has a node
+//! limit). [`FaultPlan::times_fired`] lets tests assert the fault actually
+//! triggered.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The fault a [`FaultPlan`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the *n*th rule search (0-based, counted across every
+    /// run the plan observes).
+    RulePanic {
+        /// Global search index at which to panic.
+        at_search: u64,
+    },
+    /// Trip the wall-clock deadline at the *n*th scheduler iteration
+    /// (fires only when the run has a deadline configured).
+    DeadlineExhaust {
+        /// Global iteration index at which to trip.
+        at_iteration: u64,
+    },
+    /// Trip the node-limit stop at the *n*th scheduler iteration — the
+    /// "exploding rule set" whose growth no rewrite actually caused.
+    NodeExplosion {
+        /// Global iteration index at which to trip.
+        at_iteration: u64,
+    },
+    /// Trip the match budget at the *n*th scheduler iteration (fires only
+    /// when the run has a match budget configured).
+    MatchFlood {
+        /// Global iteration index at which to trip.
+        at_iteration: u64,
+    },
+}
+
+/// What an iteration-level fault tells the scheduler to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedStop {
+    /// Record `deadline_hit` and stop.
+    Deadline,
+    /// Record `node_limit_hit` and stop.
+    NodeLimit,
+    /// Record `match_budget_hit` and stop.
+    MatchBudget,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A seeded, deterministic, one-shot fault plan (see the module docs).
+#[derive(Debug)]
+pub struct FaultPlan {
+    fault: Fault,
+    searches: AtomicU64,
+    iterations: AtomicU64,
+    fired: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan injecting exactly `fault`.
+    #[must_use]
+    pub fn new(fault: Fault) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan {
+            fault,
+            searches: AtomicU64::new(0),
+            iterations: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        })
+    }
+
+    /// Derives a fault deterministically from a seed: the kind from the
+    /// low bits, the trigger point from higher bits — early enough that
+    /// realistic workloads (a handful of iterations, dozens of rule
+    /// searches per iteration) reach it.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Arc<FaultPlan> {
+        let mix = splitmix64(seed);
+        let fault = match mix % 4 {
+            0 => Fault::RulePanic {
+                at_search: (mix >> 8) % 64,
+            },
+            1 => Fault::DeadlineExhaust {
+                at_iteration: (mix >> 16) % 6,
+            },
+            2 => Fault::NodeExplosion {
+                at_iteration: (mix >> 16) % 6,
+            },
+            _ => Fault::MatchFlood {
+                at_iteration: (mix >> 16) % 6,
+            },
+        };
+        FaultPlan::new(fault)
+    }
+
+    /// The fault this plan injects.
+    #[must_use]
+    pub fn fault(&self) -> Fault {
+        self.fault
+    }
+
+    /// How many times the fault has fired (0 or 1; a plan is one-shot).
+    #[must_use]
+    pub fn times_fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Engine hook: called before every rule search.
+    ///
+    /// # Panics
+    ///
+    /// Deliberately, when a [`Fault::RulePanic`] plan reaches its search —
+    /// that is the fault being injected.
+    pub fn on_search(&self, rule_name: &str) {
+        let n = self.searches.fetch_add(1, Ordering::Relaxed);
+        if let Fault::RulePanic { at_search } = self.fault {
+            if n == at_search {
+                self.fired.fetch_add(1, Ordering::Relaxed);
+                panic!("injected fault: panic in rule search #{n} ({rule_name})");
+            }
+        }
+    }
+
+    /// Engine hook: called at the top of every scheduler iteration with
+    /// the budgets actually in force; returns the stop to record when the
+    /// fault fires this iteration.
+    pub fn on_iteration(&self, has_deadline: bool, has_match_budget: bool) -> Option<InjectedStop> {
+        let n = self.iterations.fetch_add(1, Ordering::Relaxed);
+        let stop = match self.fault {
+            Fault::DeadlineExhaust { at_iteration } if n == at_iteration && has_deadline => {
+                InjectedStop::Deadline
+            }
+            Fault::NodeExplosion { at_iteration } if n == at_iteration => InjectedStop::NodeLimit,
+            Fault::MatchFlood { at_iteration } if n == at_iteration && has_match_budget => {
+                InjectedStop::MatchBudget
+            }
+            _ => return None,
+        };
+        self.fired.fetch_add(1, Ordering::Relaxed);
+        Some(stop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic_and_cover_every_kind() {
+        let mut kinds = [false; 4];
+        for seed in 0..64 {
+            let a = FaultPlan::from_seed(seed).fault();
+            let b = FaultPlan::from_seed(seed).fault();
+            assert_eq!(a, b, "seed {seed} must be deterministic");
+            let k = match a {
+                Fault::RulePanic { .. } => 0,
+                Fault::DeadlineExhaust { .. } => 1,
+                Fault::NodeExplosion { .. } => 2,
+                Fault::MatchFlood { .. } => 3,
+            };
+            kinds[k] = true;
+        }
+        assert!(kinds.iter().all(|&k| k), "64 seeds must cover all kinds");
+    }
+
+    #[test]
+    fn rule_panic_fires_exactly_once() {
+        let plan = FaultPlan::new(Fault::RulePanic { at_search: 2 });
+        plan.on_search("a");
+        plan.on_search("b");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.on_search("c")))
+            .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("injected fault"), "{msg}");
+        assert!(msg.contains("(c)"), "{msg}");
+        // One-shot: the search counter moved past the trigger.
+        plan.on_search("d");
+        assert_eq!(plan.times_fired(), 1);
+    }
+
+    #[test]
+    fn budget_faults_respect_configured_budgets() {
+        let plan = FaultPlan::new(Fault::DeadlineExhaust { at_iteration: 0 });
+        // No deadline configured: the fault's moment passes unfired.
+        assert_eq!(plan.on_iteration(false, false), None);
+        assert_eq!(plan.on_iteration(true, true), None, "moment already gone");
+        assert_eq!(plan.times_fired(), 0);
+
+        let plan = FaultPlan::new(Fault::MatchFlood { at_iteration: 1 });
+        assert_eq!(plan.on_iteration(true, true), None);
+        assert_eq!(
+            plan.on_iteration(true, true),
+            Some(InjectedStop::MatchBudget)
+        );
+        assert_eq!(plan.times_fired(), 1);
+
+        let plan = FaultPlan::new(Fault::NodeExplosion { at_iteration: 0 });
+        assert_eq!(
+            plan.on_iteration(false, false),
+            Some(InjectedStop::NodeLimit)
+        );
+    }
+}

@@ -110,6 +110,32 @@
 //!   bottom-up in ascending tree-cost order with a strict-descent gate
 //!   that keeps every chosen dag acyclic.
 //!
+//! ## Robustness design
+//!
+//! Saturation is **bounded** by more than the iteration/node caps: a
+//! [`schedule::Budget`] carries an absolute wall-clock deadline and an
+//! applied-match cap, enforced by the scheduler between rule searches
+//! through an amortized clock (one real `Instant::now` read every 16
+//! searches, plus one unamortized check per outer iteration, bounding
+//! deadline overshoot to a fraction of one iteration). A budget stop
+//! breaks out of the rule loop *before* the pass's probe-counter drain
+//! and congruence rebuild, never instead of them — so a truncated run
+//! always leaves the e-graph rebuilt and valid, and extraction proceeds
+//! on the best-so-far graph. `RunReport::{deadline_hit, match_budget_hit,
+//! node_limit_hit}` (summarized by [`schedule::RunReport::truncated`])
+//! record which budget fired; a budget stop never claims saturation.
+//! Budgets are deliberately *absolute* (`Instant`, not `Duration`) so one
+//! deadline can span every per-leaf run of a single compile call — the
+//! `hardboiled` session layer builds its degradation ladder
+//! (`Saturated` → `Truncated` → `FallbackUnoptimized`) on exactly this
+//! contract.
+//!
+//! The cargo feature `fault-injection` compiles the deterministic
+//! `fault::FaultPlan` hooks (panic in the *n*th rule search, forced
+//! budget stops at the *n*th iteration) the chaos suite uses to prove the
+//! ladder holds under seeded faults; the hooks cost nothing when the
+//! feature is off.
+//!
 //! The pre-overhaul naive matcher is retained
 //! ([`pattern::Pattern::search`], [`rewrite::Query::search`],
 //! `Runner::use_naive_matcher`) as the reference oracle — algorithmically
@@ -151,6 +177,8 @@
 
 pub mod egraph;
 pub mod extract;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod language;
 pub mod math_lang;
 pub mod pattern;
@@ -164,9 +192,11 @@ pub use extract::{
     AstSize, CostFunction, DagCostExtractor, Extract, ExtractionStats, FnCost,
     SharedTableExtractor, WorklistExtractor,
 };
+#[cfg(feature = "fault-injection")]
+pub use fault::{Fault, FaultPlan, InjectedStop};
 pub use language::{Language, RecExpr};
 pub use pattern::{CompiledPattern, MatchScratch, Pattern, Subst};
 pub use relation::Relations;
 pub use rewrite::{Atom, CompiledQuery, Query, Rewrite};
-pub use schedule::{RunReport, Runner};
+pub use schedule::{Budget, RunReport, Runner};
 pub use unionfind::{Id, UnionFind};

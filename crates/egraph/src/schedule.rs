@@ -51,6 +51,10 @@ pub struct RunReport {
     pub saturated: bool,
     /// Whether the run stopped because the node limit was hit.
     pub node_limit_hit: bool,
+    /// Whether the run stopped because the wall-clock deadline passed.
+    pub deadline_hit: bool,
+    /// Whether the run stopped because the match budget was spent.
+    pub match_budget_hit: bool,
     /// Rule searches that ran as delta probes (single-root or semi-naive).
     pub delta_searches: usize,
     /// Rule searches that ran in full (first runs and impure-guard
@@ -74,6 +78,16 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Whether the run was cut short by any budget (node limit, deadline
+    /// or match budget) rather than saturating or exhausting its
+    /// iteration cap. The e-graph is still valid — truncation stops
+    /// between rule searches, after the pass's rebuild — so extraction on
+    /// the best-so-far graph is always sound.
+    #[must_use]
+    pub fn truncated(&self) -> bool {
+        self.node_limit_hit || self.deadline_hit || self.match_budget_hit
+    }
+
     /// Folds a sub-run (e.g. a supporting-rule fixpoint) into this report:
     /// applied matches and search-mode counters accumulate; sizes, flags
     /// and timing stay the outer run's.
@@ -84,6 +98,120 @@ impl RunReport {
         self.skipped_searches += sub.skipped_searches;
         self.delta_probed_rows += sub.delta_probed_rows;
         self.delta_skipped_rows += sub.delta_skipped_rows;
+    }
+}
+
+/// Saturation budgets beyond the iteration/node caps: an absolute
+/// wall-clock deadline and a cap on total applied matches. Hitting either
+/// stops the run between rule searches — after the pass's rebuild — so
+/// the e-graph is always left valid and extraction proceeds on the
+/// best-so-far graph.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Absolute deadline. An `Instant` rather than a `Duration` so one
+    /// budget can span several runs (e.g. every per-leaf run of one
+    /// compile call shares the same deadline).
+    pub deadline: Option<Instant>,
+    /// Maximum total matches applied across the run.
+    pub match_budget: Option<usize>,
+}
+
+impl Budget {
+    /// The unbounded budget.
+    #[must_use]
+    pub fn none() -> Self {
+        Budget::default()
+    }
+
+    /// Component-wise minimum of two budgets: the earlier deadline, the
+    /// smaller match cap.
+    #[must_use]
+    pub fn tighten(self, other: Budget) -> Budget {
+        fn min_opt<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            }
+        }
+        Budget {
+            deadline: min_opt(self.deadline, other.deadline),
+            match_budget: min_opt(self.match_budget, other.match_budget),
+        }
+    }
+}
+
+/// Budget ticks (rule searches) between real clock reads. `Instant::now`
+/// costs tens of nanoseconds while one rule search costs microseconds, so
+/// a short stride keeps the deadline check unmeasurable while bounding
+/// overshoot to a fraction of one scheduler iteration (each iteration
+/// additionally forces an unamortized check).
+const DEADLINE_STRIDE: u32 = 16;
+
+/// Amortized budget enforcement for one saturation run: counts applied
+/// matches exactly, reads the real clock every [`DEADLINE_STRIDE`] ticks.
+#[derive(Debug)]
+struct BudgetClock {
+    budget: Budget,
+    ticks: u32,
+    applied: usize,
+    deadline_hit: bool,
+    match_budget_hit: bool,
+}
+
+impl BudgetClock {
+    fn new(budget: Budget) -> Self {
+        BudgetClock {
+            budget,
+            ticks: 0,
+            applied: 0,
+            deadline_hit: false,
+            match_budget_hit: false,
+        }
+    }
+
+    /// Accounts the matches one rule applied; trips the match budget.
+    fn note_applied(&mut self, n: usize) {
+        self.applied += n;
+        if let Some(cap) = self.budget.match_budget {
+            if self.applied >= cap {
+                self.match_budget_hit = true;
+            }
+        }
+    }
+
+    /// Amortized pre-search check; returns whether the run must stop.
+    fn tick(&mut self) -> bool {
+        if self.exhausted() {
+            return true;
+        }
+        if self.budget.deadline.is_some() {
+            self.ticks += 1;
+            if self.ticks >= DEADLINE_STRIDE {
+                self.ticks = 0;
+                self.check_now();
+            }
+        }
+        self.exhausted()
+    }
+
+    /// Unamortized deadline check (free when no deadline is set); run
+    /// once per scheduler iteration to bound overshoot.
+    fn check_now(&mut self) {
+        if let Some(deadline) = self.budget.deadline {
+            if Instant::now() >= deadline {
+                self.deadline_hit = true;
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.deadline_hit || self.match_budget_hit
+    }
+
+    fn stamp(&self, report: &mut RunReport) {
+        report.deadline_hit |= self.deadline_hit;
+        report.match_budget_hit |= self.match_budget_hit;
     }
 }
 
@@ -111,6 +239,13 @@ pub struct Runner {
     pub max_iterations: usize,
     /// Stop when the graph exceeds this many e-nodes.
     pub node_limit: usize,
+    /// Wall-clock budget applied to each run this runner starts
+    /// (converted to an absolute deadline at run entry). Callers that
+    /// need one deadline across several runs pass an absolute [`Budget`]
+    /// to the `*_budgeted` entry points instead.
+    pub time_budget: Option<Duration>,
+    /// Cap on total matches applied per run.
+    pub match_budget: Option<usize>,
     /// Search with the retained naive reference matcher instead of the
     /// indexed/delta path (for benchmarking and cross-checking; the match
     /// sets are identical, only the time spent differs).
@@ -120,6 +255,10 @@ pub struct Runner {
     /// way the naive matcher is; identical match sets, broader probes —
     /// the difference shows in [`RunReport::delta_probed_rows`]).
     pub use_per_class_deltas: bool,
+    /// Deterministic fault plan for chaos testing (see [`crate::fault`]);
+    /// shared so one plan's one-shot counters span every run it observes.
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: Option<std::sync::Arc<crate::fault::FaultPlan>>,
 }
 
 impl Default for Runner {
@@ -127,8 +266,12 @@ impl Default for Runner {
         Runner {
             max_iterations: 32,
             node_limit: 500_000,
+            time_budget: None,
+            match_budget: None,
             use_naive_matcher: false,
             use_per_class_deltas: false,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
 }
@@ -141,6 +284,38 @@ impl Runner {
             max_iterations,
             node_limit,
             ..Runner::default()
+        }
+    }
+
+    /// Sets a per-run wall-clock budget.
+    #[must_use]
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Sets a per-run applied-match budget.
+    #[must_use]
+    pub fn with_match_budget(mut self, budget: usize) -> Self {
+        self.match_budget = Some(budget);
+        self
+    }
+
+    /// Installs a deterministic fault plan (chaos testing only).
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: std::sync::Arc<crate::fault::FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// This runner's own budgets as an absolute [`Budget`] anchored at
+    /// the current instant.
+    #[must_use]
+    pub fn budget_from_now(&self) -> Budget {
+        Budget {
+            deadline: self.time_budget.map(|d| Instant::now() + d),
+            match_budget: self.match_budget,
         }
     }
 
@@ -192,13 +367,26 @@ impl Runner {
         rules: &[Rewrite<L, N>],
         states: &mut [RuleState],
         scratch: &mut MatchScratch,
+        clock: &mut BudgetClock,
         report: &mut RunReport,
     ) -> usize {
         debug_assert_eq!(rules.len(), states.len());
         let mut applied = 0;
         for (rule, state) in rules.iter().zip(states.iter_mut()) {
+            // Budget check between rule searches: breaking here (instead
+            // of returning) still drains the probe counters and rebuilds
+            // below, so a truncated pass leaves the graph valid.
+            if clock.tick() {
+                break;
+            }
+            #[cfg(feature = "fault-injection")]
+            if let Some(plan) = &self.fault_plan {
+                plan.on_search(&rule.name);
+            }
             if self.use_naive_matcher {
-                applied += rule.run_naive(egraph);
+                let n = rule.run_naive(egraph);
+                applied += n;
+                clock.note_applied(n);
                 continue;
             }
             if !egraph.is_clean() {
@@ -229,7 +417,7 @@ impl Runner {
             // unions and tuple inserts are re-probed on its next run.
             let searched_at = egraph.bump_epoch();
             let rel_tick_at = egraph.relations.tick();
-            applied += if delta_ok {
+            let n = if delta_ok {
                 report.delta_searches += 1;
                 rule.run_delta(
                     egraph,
@@ -242,6 +430,8 @@ impl Runner {
                 report.full_searches += 1;
                 rule.run_with(egraph, scratch)
             };
+            applied += n;
+            clock.note_applied(n);
             state.last_epoch = searched_at;
             state.last_rel_tick = rel_tick_at;
             state.last_rel_version = rel_version;
@@ -254,15 +444,33 @@ impl Runner {
         applied
     }
 
-    /// Runs the rules to saturation (or the iteration/node limit).
+    /// Runs the rules to saturation (or the iteration/node limit, or the
+    /// runner's own time/match budgets).
     pub fn run_to_fixpoint<L: Language, N: Analysis<L>>(
         &self,
         egraph: &mut EGraph<L, N>,
         rules: &[Rewrite<L, N>],
     ) -> RunReport {
+        self.run_to_fixpoint_budgeted(egraph, rules, self.budget_from_now())
+    }
+
+    /// [`Runner::run_to_fixpoint`] under an explicit absolute [`Budget`]
+    /// (tightened by the runner's own budgets). Truncation leaves the
+    /// graph rebuilt and valid; [`RunReport::deadline_hit`] /
+    /// [`RunReport::match_budget_hit`] record which budget fired.
+    pub fn run_to_fixpoint_budgeted<L: Language, N: Analysis<L>>(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        rules: &[Rewrite<L, N>],
+        budget: Budget,
+    ) -> RunReport {
         let mut states = vec![RuleState::default(); rules.len()];
         let mut scratch = MatchScratch::new();
-        self.fixpoint_with_states(egraph, rules, &mut states, &mut scratch)
+        let mut clock = BudgetClock::new(budget.tighten(self.budget_from_now()));
+        let mut report =
+            self.fixpoint_with_states(egraph, rules, &mut states, &mut scratch, &mut clock, true);
+        clock.stamp(&mut report);
+        report
     }
 
     fn fixpoint_with_states<L: Language, N: Analysis<L>>(
@@ -271,16 +479,26 @@ impl Runner {
         rules: &[Rewrite<L, N>],
         states: &mut [RuleState],
         scratch: &mut MatchScratch,
+        clock: &mut BudgetClock,
+        _inject_faults: bool,
     ) -> RunReport {
         let start = Instant::now();
         let mut report = RunReport::default();
         for _ in 0..self.max_iterations {
+            clock.check_now();
+            if clock.exhausted() {
+                break;
+            }
+            #[cfg(feature = "fault-injection")]
+            if _inject_faults && self.inject_iteration_fault(clock, &mut report) {
+                break;
+            }
             report.iterations += 1;
             let relations_before = egraph.relations.version();
-            let applied = self.run_iter(egraph, rules, states, scratch, &mut report);
+            let applied = self.run_iter(egraph, rules, states, scratch, clock, &mut report);
             let relations_changed = egraph.relations.version() != relations_before;
             report.applied += applied;
-            if applied == 0 && !relations_changed {
+            if applied == 0 && !relations_changed && !clock.exhausted() {
                 report.saturated = true;
                 break;
             }
@@ -295,6 +513,35 @@ impl Runner {
         report
     }
 
+    /// Resolves an iteration-level fault against the budgets actually in
+    /// force, so injected stops never claim a budget that was not
+    /// configured. Returns whether the run must stop.
+    #[cfg(feature = "fault-injection")]
+    fn inject_iteration_fault(&self, clock: &mut BudgetClock, report: &mut RunReport) -> bool {
+        use crate::fault::InjectedStop;
+        let Some(plan) = &self.fault_plan else {
+            return false;
+        };
+        match plan.on_iteration(
+            clock.budget.deadline.is_some(),
+            clock.budget.match_budget.is_some(),
+        ) {
+            Some(InjectedStop::Deadline) => {
+                clock.deadline_hit = true;
+                true
+            }
+            Some(InjectedStop::NodeLimit) => {
+                report.node_limit_hit = true;
+                true
+            }
+            Some(InjectedStop::MatchBudget) => {
+                clock.match_budget_hit = true;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The paper's phased schedule: `outer_iters` rounds of the main rules,
     /// with the supporting rules saturated before the first round and after
     /// every round. Delta state persists across rounds, so a supporting
@@ -307,31 +554,77 @@ impl Runner {
         supporting_rules: &[Rewrite<L, N>],
         outer_iters: usize,
     ) -> RunReport {
+        self.run_phased_budgeted(
+            egraph,
+            main_rules,
+            supporting_rules,
+            outer_iters,
+            self.budget_from_now(),
+        )
+    }
+
+    /// [`Runner::run_phased`] under an explicit absolute [`Budget`]
+    /// (tightened by the runner's own budgets). The budget is enforced
+    /// between rule searches with an amortized clock check plus one
+    /// unamortized check per outer round, so overshoot is bounded by one
+    /// iteration; the graph is always left rebuilt and valid.
+    pub fn run_phased_budgeted<L: Language, N: Analysis<L>>(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        main_rules: &[Rewrite<L, N>],
+        supporting_rules: &[Rewrite<L, N>],
+        outer_iters: usize,
+        budget: Budget,
+    ) -> RunReport {
         let start = Instant::now();
         let mut report = RunReport::default();
         let mut main_states = vec![RuleState::default(); main_rules.len()];
         let mut support_states = vec![RuleState::default(); supporting_rules.len()];
         let mut scratch = MatchScratch::new();
-        let support =
-            self.fixpoint_with_states(egraph, supporting_rules, &mut support_states, &mut scratch);
+        let mut clock = BudgetClock::new(budget.tighten(self.budget_from_now()));
+        let support = self.fixpoint_with_states(
+            egraph,
+            supporting_rules,
+            &mut support_states,
+            &mut scratch,
+            &mut clock,
+            false,
+        );
         report.absorb(&support);
         for _ in 0..outer_iters {
+            clock.check_now();
+            if clock.exhausted() {
+                break;
+            }
+            #[cfg(feature = "fault-injection")]
+            if self.inject_iteration_fault(&mut clock, &mut report) {
+                break;
+            }
             report.iterations += 1;
             let applied = self.run_iter(
                 egraph,
                 main_rules,
                 &mut main_states,
                 &mut scratch,
+                &mut clock,
                 &mut report,
             );
             report.applied += applied;
+            if clock.exhausted() {
+                break;
+            }
             let support = self.fixpoint_with_states(
                 egraph,
                 supporting_rules,
                 &mut support_states,
                 &mut scratch,
+                &mut clock,
+                false,
             );
             report.absorb(&support);
+            if clock.exhausted() {
+                break;
+            }
             if applied == 0 && support.applied == 0 {
                 report.saturated = true;
                 break;
@@ -344,6 +637,7 @@ impl Runner {
         report.nodes = egraph.num_nodes();
         report.classes = egraph.num_classes();
         report.elapsed = start.elapsed();
+        clock.stamp(&mut report);
         report
     }
 }
@@ -403,13 +697,10 @@ mod tests {
         assert_eq!(eg_naive.find(d2), eg_naive.find(a2));
     }
 
-    #[test]
-    fn node_limit_stops_explosion() {
-        // A rule that keeps minting fresh literals can never saturate
-        // (hash-consing tames mere term growth, so grow payloads instead).
-        let mut eg = EG::new();
-        let _ = eg.add(Math::Num(0));
-        let succ = Rewrite::<Math>::rule(
+    /// A rule that keeps minting fresh literals can never saturate
+    /// (hash-consing tames mere term growth, so grow payloads instead).
+    fn successor_rule() -> Rewrite<Math> {
+        Rewrite::<Math>::rule(
             "successor",
             Query::single("e", pvar("e")),
             Box::new(|eg, s| {
@@ -427,11 +718,103 @@ mod tests {
                     None => false,
                 }
             }),
-        );
+        )
+    }
+
+    #[test]
+    fn node_limit_stops_explosion() {
+        let mut eg = EG::new();
+        let _ = eg.add(Math::Num(0));
         let runner = Runner::new(1000, 50);
-        let report = runner.run_to_fixpoint(&mut eg, &[succ]);
+        let report = runner.run_to_fixpoint(&mut eg, &[successor_rule()]);
         assert!(report.node_limit_hit);
+        assert!(report.truncated());
         assert!(!report.saturated);
+    }
+
+    #[test]
+    fn time_budget_stops_unsaturating_run() {
+        let mut eg = EG::new();
+        let _ = eg.add(Math::Num(0));
+        let runner = Runner::new(usize::MAX, usize::MAX).with_time_budget(Duration::from_millis(5));
+        let report = runner.run_to_fixpoint(&mut eg, &[successor_rule()]);
+        assert!(report.deadline_hit);
+        assert!(report.truncated());
+        assert!(!report.saturated);
+        // The truncated graph is rebuilt and consistent.
+        assert_eq!(report.nodes, eg.num_nodes());
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_any_iteration() {
+        let mut eg = EG::new();
+        let _ = eg.add(Math::Num(0));
+        let budget = Budget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            match_budget: None,
+        };
+        let runner = Runner::new(1000, usize::MAX);
+        let report = runner.run_to_fixpoint_budgeted(&mut eg, &[successor_rule()], budget);
+        assert!(report.deadline_hit);
+        assert_eq!(report.iterations, 0);
+        assert!(!report.saturated, "a budget stop must not claim saturation");
+    }
+
+    #[test]
+    fn match_budget_stops_run() {
+        let mut eg = EG::new();
+        let _ = eg.add(Math::Num(0));
+        let runner = Runner::new(1000, usize::MAX).with_match_budget(7);
+        let report = runner.run_to_fixpoint(&mut eg, &[successor_rule()]);
+        assert!(report.match_budget_hit);
+        assert!(!report.deadline_hit);
+        assert!(report.applied >= 7, "stops only once the budget is spent");
+        assert!(report.applied <= 8, "per-rule accounting bounds overshoot");
+    }
+
+    #[test]
+    fn generous_budgets_do_not_change_saturation() {
+        let (mut eg, a, d) = fig1_graph();
+        let runner = Runner::default()
+            .with_time_budget(Duration::from_secs(3600))
+            .with_match_budget(1_000_000);
+        let report = runner.run_to_fixpoint(&mut eg, &fig1_rules());
+        assert!(report.saturated);
+        assert!(!report.truncated());
+        assert_eq!(eg.find(d), eg.find(a));
+    }
+
+    #[test]
+    fn phased_run_respects_absolute_deadline() {
+        let mut eg = EG::new();
+        let _ = eg.add(Math::Num(0));
+        let budget = Budget {
+            deadline: Some(Instant::now()),
+            match_budget: None,
+        };
+        let runner = Runner::new(1000, usize::MAX);
+        let report = runner.run_phased_budgeted(&mut eg, &[successor_rule()], &[], 1000, budget);
+        assert!(report.deadline_hit);
+        assert!(!report.saturated);
+    }
+
+    #[test]
+    fn budget_tighten_takes_component_minima() {
+        let early = Instant::now();
+        let late = early + Duration::from_secs(60);
+        let a = Budget {
+            deadline: Some(late),
+            match_budget: None,
+        };
+        let b = Budget {
+            deadline: Some(early),
+            match_budget: Some(10),
+        };
+        let t = a.tighten(b);
+        assert_eq!(t.deadline, Some(early));
+        assert_eq!(t.match_budget, Some(10));
+        let n = Budget::none().tighten(Budget::none());
+        assert!(n.deadline.is_none() && n.match_budget.is_none());
     }
 
     #[test]

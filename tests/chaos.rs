@@ -1,0 +1,185 @@
+//! Chaos suite (cargo feature `fault-injection`): under every seeded
+//! [`FaultPlan`], compilation still returns `Ok` for every lowerable
+//! program, each report carries a truthful [`CompileOutcome`], and every
+//! emitted program — degraded or not — passes the apps reference oracles.
+#![cfg(feature = "fault-injection")]
+
+use std::panic;
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+use hardboiled_repro::apps::conv1d::Conv1d;
+use hardboiled_repro::apps::gemm_wmma::GemmWmma;
+use hardboiled_repro::apps::harness::max_rel_error;
+use hardboiled_repro::egraph::fault::{Fault, FaultPlan};
+use hardboiled_repro::hardboiled::postprocess::normalize_temps;
+use hardboiled_repro::hardboiled::{Batching, CompileOutcome, Session, TruncationReason};
+use hardboiled_repro::lang::lower::lower;
+
+static QUIET: Once = Once::new();
+
+/// Silences the default panic printout for the injected faults (they are
+/// caught and degraded by design) while leaving real panics loud.
+fn quiet_injected_panics() {
+    QUIET.call_once(|| {
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected fault"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.contains("injected fault"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// A session on which every fault kind is applicable: the deadline and
+/// match budget are configured (so the injected stops are truthful) but
+/// generous enough never to fire on their own.
+fn chaos_session(plan: &Arc<FaultPlan>) -> Session {
+    Session::builder()
+        .deadline(Duration::from_secs(120))
+        .match_budget(usize::MAX / 2)
+        .fault_plan(Arc::clone(plan))
+        .build()
+        .unwrap()
+}
+
+fn expected_outcome(fault: Fault) -> CompileOutcome {
+    match fault {
+        Fault::RulePanic { .. } => CompileOutcome::FallbackUnoptimized,
+        Fault::DeadlineExhaust { .. } => CompileOutcome::Truncated {
+            reason: TruncationReason::Deadline,
+        },
+        Fault::NodeExplosion { .. } => CompileOutcome::Truncated {
+            reason: TruncationReason::NodeLimit,
+        },
+        Fault::MatchFlood { .. } => CompileOutcome::Truncated {
+            reason: TruncationReason::MatchBudget,
+        },
+    }
+}
+
+#[test]
+fn every_seeded_fault_still_compiles_and_passes_the_oracle() {
+    quiet_injected_panics();
+    let app = Conv1d { n: 512, k: 16 };
+    let reference = app.reference();
+    for seed in 0..16u64 {
+        let plan = FaultPlan::from_seed(seed);
+        let session = chaos_session(&plan);
+        let r = app.run_with(&session, true);
+        let outcome = r.selection.as_ref().expect("selector ran").outcome;
+        if plan.times_fired() == 0 {
+            // The trigger point was past what this workload reaches; the
+            // compile must have been undisturbed.
+            assert_eq!(
+                outcome,
+                CompileOutcome::Saturated,
+                "seed {seed}: nothing fired yet the outcome degraded"
+            );
+        } else {
+            assert_eq!(plan.times_fired(), 1, "seed {seed}: plans are one-shot");
+            assert_eq!(
+                outcome,
+                expected_outcome(plan.fault()),
+                "seed {seed} ({:?}): report lied about the degradation",
+                plan.fault()
+            );
+        }
+        assert!(
+            max_rel_error(&r.output, &reference) < 0.08,
+            "seed {seed} ({:?}): degraded compile miscompiled",
+            plan.fault()
+        );
+    }
+}
+
+#[test]
+fn rule_panic_in_shared_suite_is_isolated_and_retried() {
+    quiet_injected_panics();
+    let sources = vec![
+        lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap(),
+        lower(
+            &GemmWmma {
+                m: 32,
+                k: 32,
+                n: 32,
+            }
+            .pipeline(true),
+        )
+        .unwrap(),
+    ];
+    let plan = FaultPlan::new(Fault::RulePanic { at_search: 0 });
+    let session = Session::builder()
+        .batching(Batching::Batched)
+        .fault_plan(Arc::clone(&plan))
+        .build()
+        .unwrap();
+    let suite = session.compile_suite(&sources).unwrap();
+    assert_eq!(plan.times_fired(), 1, "the shared run must hit the fault");
+    assert_eq!(suite.errors(), 0, "isolation must not drop any program");
+    // The fault is one-shot (a transient), so the per-program retries
+    // saturate normally and must match a clean session byte for byte.
+    assert_eq!(suite.report.outcome, CompileOutcome::Saturated);
+    let programs = suite.programs().expect("retries succeed after the fault");
+    let clean = Session::builder()
+        .batching(Batching::Batched)
+        .build()
+        .unwrap()
+        .compile_suite(&sources)
+        .unwrap();
+    let clean_programs = clean.programs().unwrap();
+    for (i, (a, b)) in programs.iter().zip(&clean_programs).enumerate() {
+        assert_eq!(
+            normalize_temps(&a.to_string()),
+            normalize_temps(&b.to_string()),
+            "program {i}: retried compile diverged from a clean session"
+        );
+    }
+}
+
+#[test]
+fn every_seeded_fault_leaves_suite_compilation_total() {
+    quiet_injected_panics();
+    let sources = vec![
+        lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap(),
+        lower(
+            &GemmWmma {
+                m: 32,
+                k: 32,
+                n: 32,
+            }
+            .pipeline(true),
+        )
+        .unwrap(),
+    ];
+    for seed in 0..12u64 {
+        let plan = FaultPlan::from_seed(seed);
+        let session = Session::builder()
+            .batching(Batching::Batched)
+            .deadline(Duration::from_secs(120))
+            .match_budget(usize::MAX / 2)
+            .fault_plan(Arc::clone(&plan))
+            .build()
+            .unwrap();
+        let suite = session.compile_suite(&sources).unwrap();
+        assert_eq!(suite.errors(), 0, "seed {seed}: a slot errored");
+        for (i, slot) in suite.results.iter().enumerate() {
+            assert!(slot.is_ok(), "seed {seed} program {i}: {slot:?}");
+        }
+        if plan.times_fired() == 0 {
+            assert_eq!(
+                suite.report.outcome,
+                CompileOutcome::Saturated,
+                "seed {seed}: nothing fired yet the suite degraded"
+            );
+        }
+    }
+}

@@ -70,6 +70,22 @@ fn zero_budgets_are_build_errors() {
         Session::builder().node_limit(0).build().unwrap_err(),
         BuildError::InvalidNodeLimit
     );
+    let err = Session::builder()
+        .deadline(std::time::Duration::ZERO)
+        .build()
+        .unwrap_err();
+    assert_eq!(err, BuildError::InvalidDeadline);
+    assert!(err.to_string().contains("non-zero"), "{err}");
+    assert_eq!(
+        Session::builder().match_budget(0).build().unwrap_err(),
+        BuildError::InvalidMatchBudget
+    );
+    // Non-zero budgets build fine.
+    assert!(Session::builder()
+        .deadline(std::time::Duration::from_millis(1))
+        .match_budget(1)
+        .build()
+        .is_ok());
 }
 
 #[test]
@@ -313,7 +329,9 @@ fn shared_table_matches_worklist_per_root_on_suites() {
         .unwrap();
     let a = shared.compile_suite(&sources).unwrap();
     let b = worklist.compile_suite(&sources).unwrap();
-    for (i, (sa, sb)) in a.programs.iter().zip(&b.programs).enumerate() {
+    let a_programs = a.programs().expect("shared-table suite fully compiled");
+    let b_programs = b.programs().expect("worklist suite fully compiled");
+    for (i, (sa, sb)) in a_programs.iter().zip(&b_programs).enumerate() {
         assert_eq!(
             normalize_temps(&sa.to_string()),
             normalize_temps(&sb.to_string()),
@@ -383,9 +401,10 @@ fn suite_compilation_matches_per_program_compilation() {
         .build()
         .unwrap();
     let suite = session.compile_suite(&sources).unwrap();
-    assert_eq!(suite.programs.len(), 2);
+    let programs = suite.programs().expect("suite fully compiled");
+    assert_eq!(programs.len(), 2);
     assert!(suite.report.batch.is_some(), "shared-graph run must report");
-    for (lowered, out) in sources.iter().zip(&suite.programs) {
+    for (lowered, out) in sources.iter().zip(&programs) {
         let single = session.compile(lowered).unwrap();
         assert_eq!(
             normalize_temps(&single.program.to_string()),
