@@ -43,144 +43,31 @@
 //! below are demoted to warnings: they are calibrated on the dev machine
 //! and would double-fail a noisy shared runner that the 25% ratio
 //! comparison already polices.
+//!
+//! Passing `--threads N` turns on intra-compile parallelism (parallel
+//! rule search and extraction readouts, `compile_threads` /
+//! `Runner::search_threads`) in **every** measured session — results are
+//! asserted byte-identical either way, so the flag only moves the
+//! wall-clock numbers. The default is 1 (serial) to keep the committed
+//! baseline comparable across machines; the thread knob and the actual
+//! core count are recorded in the JSON's `metadata` block.
+//! `serve_throughput` owns the parallel-vs-serial A/B series.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use hardboiled::encode::encode_stmt;
 use hardboiled::lang::HbGraph;
-use hardboiled::movement::{annotate_stmt, collect_placements};
 use hardboiled::postprocess::normalize_temps;
 use hardboiled::rules;
 use hardboiled::{Batching, CompileOutcome, CompileReport, ExtractionPolicy, Session};
-use hb_apps::conv1d::Conv1d;
-use hb_apps::conv2d::Conv2d;
-use hb_apps::gemm_wmma::GemmWmma;
-use hb_apps::matmul_amx::{AmxMatmul, Layout, Variant};
+use hb_bench::guard::{compare_against_baseline, timing_floor};
+use hb_bench::workloads::{
+    metadata_json, saturation_leaves, saturation_pool, threads_flag, workloads, Workload,
+};
 use hb_egraph::schedule::Runner;
 use hb_egraph::unionfind::Id;
 use hb_ir::stmt::Stmt;
-use hb_lang::lower::{lower, Lowered};
-
-struct Workload {
-    name: &'static str,
-    lowered: Lowered,
-}
-
-fn workloads() -> Vec<Workload> {
-    let mut out = Vec::new();
-    for (name, pipeline) in [
-        ("conv1d_tc_k16", Conv1d { n: 1024, k: 16 }.pipeline(true)),
-        ("conv1d_tc_k64", Conv1d { n: 1024, k: 64 }.pipeline(true)),
-        (
-            "conv1d_tc_k32_n4096",
-            Conv1d { n: 4096, k: 32 }.pipeline(true),
-        ),
-        (
-            "conv1d_unrolled_k64",
-            Conv1d { n: 1024, k: 64 }.pipeline_tc_unrolled(),
-        ),
-        (
-            "conv1d_unrolled_k256",
-            Conv1d { n: 1024, k: 256 }.pipeline_tc_unrolled(),
-        ),
-        (
-            "conv1d_unrolled_k128_n2048",
-            Conv1d { n: 2048, k: 128 }.pipeline_tc_unrolled(),
-        ),
-        (
-            "conv1d_unrolled_k512",
-            Conv1d { n: 2048, k: 512 }.pipeline_tc_unrolled(),
-        ),
-        (
-            "gemm_wmma_32",
-            GemmWmma {
-                m: 32,
-                k: 32,
-                n: 32,
-            }
-            .pipeline(true),
-        ),
-        (
-            "gemm_wmma_64",
-            GemmWmma {
-                m: 64,
-                k: 64,
-                n: 64,
-            }
-            .pipeline(true),
-        ),
-        (
-            "gemm_wmma_96_32_48",
-            GemmWmma {
-                m: 96,
-                k: 32,
-                n: 48,
-            }
-            .pipeline(true),
-        ),
-        (
-            "conv2d_512x64_k16x3",
-            Conv2d {
-                width: 512,
-                height: 64,
-                kw: 16,
-                kh: 3,
-            }
-            .pipeline(true),
-        ),
-        (
-            "conv2d_256x128_k8x5",
-            Conv2d {
-                width: 256,
-                height: 128,
-                kw: 8,
-                kh: 5,
-            }
-            .pipeline(true),
-        ),
-        (
-            "matmul_amx_standard",
-            AmxMatmul::default()
-                .pipeline(Layout::Standard, Variant::Reference)
-                .expect("standard AMX matmul pipeline"),
-        ),
-        (
-            "matmul_amx_vnni",
-            AmxMatmul::default()
-                .pipeline(Layout::Vnni, Variant::Reference)
-                .expect("VNNI AMX matmul pipeline"),
-        ),
-    ] {
-        let lowered = lower(&pipeline).expect("lowering must succeed");
-        out.push(Workload { name, lowered });
-    }
-    out
-}
-
-/// Leaf statements the selector would saturate (Store/Evaluate with data
-/// movement), for the batched measurement.
-fn saturation_leaves(lowered: &Lowered) -> Vec<Stmt> {
-    let mut placements = collect_placements(&lowered.stmt);
-    for (k, v) in &lowered.placements {
-        placements.insert(k.clone(), *v);
-    }
-    let annotated = annotate_stmt(&lowered.stmt, &placements);
-    let mut leaves: Vec<Stmt> = Vec::new();
-    let _ = annotated.rewrite_stmts_bottom_up(&mut |s| {
-        let mut movement = false;
-        s.for_each_expr(&mut |e| {
-            if matches!(e, hb_ir::expr::Expr::LocToLoc { .. }) {
-                movement = true;
-            }
-        });
-        if movement && matches!(s, Stmt::Store { .. } | Stmt::Evaluate(_)) {
-            leaves.push(s.clone());
-        }
-        None
-    });
-    leaves
-}
 
 struct Measurement {
     selected: Stmt,
@@ -209,37 +96,41 @@ fn run_session(w: &Workload, session: &Session, reps: usize) -> Measurement {
 }
 
 /// The per-leaf reference session, optionally on the naive matcher.
-fn per_leaf_session(naive: bool) -> Session {
+fn per_leaf_session(naive: bool, threads: usize) -> Session {
     Session::builder()
         .runner(Runner::new(16, 200_000).with_naive_matcher(naive))
+        .compile_threads(threads)
         .build()
         .expect("valid session")
 }
 
 /// A per-leaf session on the retained per-class delta baseline — the
 /// op-keyed ≡ per-class selection oracle.
-fn per_class_session() -> Session {
+fn per_class_session(threads: usize) -> Session {
     Session::builder()
         .runner(Runner::new(16, 200_000).with_per_class_deltas(true))
+        .compile_threads(threads)
         .build()
         .expect("valid session")
 }
 
 /// The shared-e-graph session (`Auto` extraction resolves to the
 /// shared-table strategy in batched mode).
-fn batched_session() -> Session {
+fn batched_session(threads: usize) -> Session {
     Session::builder()
         .batching(Batching::Batched)
+        .compile_threads(threads)
         .build()
         .expect("valid session")
 }
 
 /// A shared-e-graph session with a forced extraction strategy, for the
 /// shared-table vs per-root-worklist comparison.
-fn batched_session_with(extractor: ExtractionPolicy) -> Session {
+fn batched_session_with(extractor: ExtractionPolicy, threads: usize) -> Session {
     Session::builder()
         .batching(Batching::Batched)
         .extractor(extractor)
+        .compile_threads(threads)
         .build()
         .expect("valid session")
 }
@@ -260,10 +151,17 @@ struct BatchRun {
     graph: HbGraph,
 }
 
-fn run_batched_saturation(leaves: &[Stmt], naive: bool, per_class: bool, reps: usize) -> BatchRun {
+fn run_batched_saturation(
+    leaves: &[Stmt],
+    naive: bool,
+    per_class: bool,
+    threads: usize,
+    reps: usize,
+) -> BatchRun {
     let runner = Runner::new(16, 500_000)
         .with_naive_matcher(naive)
-        .with_per_class_deltas(per_class);
+        .with_per_class_deltas(per_class)
+        .with_search_threads(threads);
     let rule_set = rules::RuleSet::build();
     let mut best: Option<BatchRun> = None;
     for _ in 0..reps {
@@ -293,23 +191,6 @@ fn run_batched_saturation(leaves: &[Stmt], naive: bool, per_class: bool, reps: u
         }
     }
     best.expect("at least one batch run")
-}
-
-/// The leaf pool for the engine-level saturation measurement: every leaf
-/// of every workload, plus one extra GEMM shape for good measure.
-fn saturation_pool(all: &[Workload]) -> Vec<Stmt> {
-    let mut leaves: Vec<Stmt> = Vec::new();
-    for w in all {
-        leaves.extend(saturation_leaves(&w.lowered));
-    }
-    let extra = GemmWmma {
-        m: 32,
-        k: 96,
-        n: 64,
-    }
-    .pipeline(true);
-    leaves.extend(saturation_leaves(&lower(&extra).expect("lowering")));
-    leaves
 }
 
 /// The PR-1 selector baseline: per-leaf e-graphs with the rule set (and
@@ -395,10 +276,14 @@ fn assert_extractor_equivalence(
     all: &[Workload],
     shared_outs: &[Stmt],
     shared_report: &CompileReport,
+    threads: usize,
     reps: usize,
 ) -> CompileReport {
-    let (worklist_outs, worklist_report, _) =
-        run_suite_batched(all, &batched_session_with(ExtractionPolicy::Worklist), reps);
+    let (worklist_outs, worklist_report, _) = run_suite_batched(
+        all,
+        &batched_session_with(ExtractionPolicy::Worklist, threads),
+        reps,
+    );
     for ((w, shared), worklist) in all.iter().zip(shared_outs).zip(&worklist_outs) {
         assert_eq!(
             normalize_temps(&shared.to_string()),
@@ -443,11 +328,11 @@ fn assert_saturation_equivalent(fast: &BatchRun, naive: &BatchRun) {
 
 /// `--check`: equivalence oracles only — no repetitions, no timing
 /// assertions, no JSON. This is what CI runs on every PR.
-fn check_mode(all: &[Workload]) {
-    let indexed_session = per_leaf_session(false);
-    let naive_session = per_leaf_session(true);
-    let per_class = per_class_session();
-    let shared_session = batched_session();
+fn check_mode(all: &[Workload], threads: usize) {
+    let indexed_session = per_leaf_session(false, threads);
+    let naive_session = per_leaf_session(true, threads);
+    let per_class = per_class_session(threads);
+    let shared_session = batched_session(threads);
     let mut canonical_programs = Vec::new();
     for w in all {
         let per_leaf = run_session(w, &indexed_session, 1);
@@ -486,7 +371,7 @@ fn check_mode(all: &[Workload]) {
         );
         canonical_programs.push(canonical);
     }
-    let (suite_outs, suite_report, _) = run_suite_batched(all, &batched_session(), 1);
+    let (suite_outs, suite_report, _) = run_suite_batched(all, &batched_session(threads), 1);
     for ((w, canonical), out) in all.iter().zip(&canonical_programs).zip(&suite_outs) {
         assert_eq!(
             *canonical,
@@ -502,7 +387,7 @@ fn check_mode(all: &[Workload]) {
     // Extractor-equivalence oracle: the suite read out through the shared
     // table (the batched default) must be byte-identical to the same suite
     // forced onto per-root worklist readouts.
-    let _ = assert_extractor_equivalence(all, &suite_outs, &suite_report, 1);
+    let _ = assert_extractor_equivalence(all, &suite_outs, &suite_report, threads, 1);
     let shared_ex = suite_report
         .extraction
         .as_ref()
@@ -514,8 +399,8 @@ fn check_mode(all: &[Workload]) {
         shared_ex.reused_readouts
     );
     let leaves = saturation_pool(all);
-    let fast = run_batched_saturation(&leaves, false, false, 1);
-    let naive = run_batched_saturation(&leaves, true, false, 1);
+    let fast = run_batched_saturation(&leaves, false, false, threads, 1);
+    let naive = run_batched_saturation(&leaves, true, false, threads, 1);
     assert_saturation_equivalent(&fast, &naive);
     println!(
         "batched saturation     ok ({} leaves, {} nodes, {} classes, indexed ≡ naive)",
@@ -526,7 +411,7 @@ fn check_mode(all: &[Workload]) {
     // Op-keyed ≡ per-class oracle: the retained per-class delta baseline
     // must reach the same saturated graph, while probing at least as many
     // delta rows as the op-keyed default.
-    let per_class = run_batched_saturation(&leaves, false, true, 1);
+    let per_class = run_batched_saturation(&leaves, false, true, threads, 1);
     assert_saturation_equivalent(&fast, &per_class);
     assert!(
         fast.probed_rows <= per_class.probed_rows,
@@ -540,64 +425,6 @@ fn check_mode(all: &[Workload]) {
         fast.probed_rows, per_class.probed_rows, fast.skipped_rows, per_class.skipped_rows
     );
     println!("all equivalence oracles passed");
-}
-
-/// Extracts the number following `"key":` in `json`, searching from the
-/// first occurrence of `"anchor"`. A two-level scope is all the committed
-/// `BENCH_eqsat.json` needs (the bench writes the file itself, so the
-/// shape is known) — no JSON parser, no new dependency.
-fn json_number(json: &str, anchor: &str, key: &str) -> Option<f64> {
-    let start = json.find(&format!("\"{anchor}\""))?;
-    let tail = &json[start..];
-    let kpos = tail.find(&format!("\"{key}\":"))?;
-    let after = tail[kpos + key.len() + 3..].trim_start();
-    let num: String = after
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-        .collect();
-    num.parse().ok()
-}
-
-/// The bench-regression guard: every tracked `(anchor, key, fresh)` ratio
-/// must stay within 25% of its committed value. Keys missing from the
-/// committed baseline are reported and skipped, so the guard tolerates
-/// schema growth. Returns whether all tracked ratios held.
-fn compare_against_baseline(baseline: &str, tracked: &[(&str, &str, f64)]) -> bool {
-    let mut ok = true;
-    for &(anchor, key, fresh) in tracked {
-        match json_number(baseline, anchor, key) {
-            Some(committed) => {
-                let floor = committed * 0.75;
-                if fresh < floor {
-                    eprintln!(
-                        "bench-guard: {anchor}.{key} REGRESSED — fresh {fresh:.2} is below 75% \
-                         of the committed {committed:.2} (floor {floor:.2})"
-                    );
-                    ok = false;
-                } else {
-                    println!(
-                        "bench-guard: {anchor}.{key} ok — fresh {fresh:.2} vs committed {committed:.2}"
-                    );
-                }
-            }
-            None => {
-                println!("bench-guard: {anchor}.{key} not in the committed baseline — skipped");
-            }
-        }
-    }
-    ok
-}
-
-/// A wall-clock acceptance floor: panics when running locally (strict),
-/// warns when running as the CI bench-guard (`--compare`) — absolute
-/// floors calibrated on the dev machine don't transfer to shared CI
-/// runners, where the guard's 25% ratio comparison is the gate instead.
-fn timing_floor(strict: bool, ok: bool, msg: impl Fn() -> String) {
-    if ok {
-        return;
-    }
-    assert!(!strict, "{}", msg());
-    eprintln!("warning: {} (soft under --compare)", msg());
 }
 
 #[allow(clippy::too_many_lines)]
@@ -614,9 +441,10 @@ fn main() {
             .unwrap_or_else(|e| panic!("--compare: cannot read {path}: {e}"))
     });
     let strict_timing = compare_baseline.is_none();
+    let threads = threads_flag(&args, 1);
     let all = workloads();
     if check_only {
-        check_mode(&all);
+        check_mode(&all, threads);
         return;
     }
 
@@ -627,9 +455,9 @@ fn main() {
         "{:<22} {:>12} {:>12} {:>8}   {:>6} {:>8}",
         "workload", "indexed (ms)", "naive (ms)", "speedup", "stmts", "nodes"
     );
-    let indexed_session = per_leaf_session(false);
-    let naive_session = per_leaf_session(true);
-    let shared_session = batched_session();
+    let indexed_session = per_leaf_session(false, threads);
+    let naive_session = per_leaf_session(true, threads);
+    let shared_session = batched_session(threads);
     let mut sel_indexed = 0.0;
     let mut sel_naive = 0.0;
     let mut per_leaf_runs: Vec<Measurement> = Vec::new();
@@ -749,7 +577,8 @@ fn main() {
     // The headline: the whole suite as ONE batch (`select_batched_many`) —
     // every leaf of every workload in one shared e-graph, one saturation —
     // against the per-leaf path's total from [1].
-    let (suite_outs, suite_report, suite_batched) = run_suite_batched(&all, &batched_session(), 5);
+    let (suite_outs, suite_report, suite_batched) =
+        run_suite_batched(&all, &batched_session(threads), 5);
     for ((w, per_leaf), out) in all.iter().zip(&per_leaf_runs).zip(&suite_outs) {
         assert_eq!(
             normalize_temps(&per_leaf.selected.to_string()),
@@ -811,7 +640,8 @@ fn main() {
     // out through the shared table (the batched default) vs the same suite
     // forced onto per-root worklist readouts — byte-identical programs
     // (asserted), the stage time difference is the strategy's win.
-    let worklist_report = assert_extractor_equivalence(&all, &suite_outs, &suite_report, 5);
+    let worklist_report =
+        assert_extractor_equivalence(&all, &suite_outs, &suite_report, threads, 5);
     let suite_extraction = suite_report
         .extraction
         .as_ref()
@@ -861,6 +691,7 @@ fn main() {
         .batching(Batching::Batched)
         .deadline(std::time::Duration::from_secs(120))
         .match_budget(usize::MAX / 2)
+        .compile_threads(threads)
         .build()
         .expect("valid session");
     let (budgeted_outs, budgeted_report, budgeted_ms) =
@@ -908,12 +739,12 @@ fn main() {
     // level (no encode/extract), indexed vs naive — plus the per-class
     // delta baseline for the probed-row A/B.
     let leaves = saturation_pool(&all);
-    let fast = run_batched_saturation(&leaves, false, false, 7);
-    let naive = run_batched_saturation(&leaves, true, false, 2);
+    let fast = run_batched_saturation(&leaves, false, false, threads, 7);
+    let naive = run_batched_saturation(&leaves, true, false, threads, 2);
     assert_saturation_equivalent(&fast, &naive);
     // Same rep count as the op-keyed arm: both sides of the A/B keep the
     // best-of-N minimum, so unequal N would bias the timing comparison.
-    let per_class = run_batched_saturation(&leaves, false, true, 7);
+    let per_class = run_batched_saturation(&leaves, false, true, threads, 7);
     assert_saturation_equivalent(&fast, &per_class);
     fast.graph.check_op_epochs();
 
@@ -961,6 +792,7 @@ fn main() {
         r#"{{
   "benchmark": "eqsat_saturation",
   "description": "equality saturation with the indexed/delta matcher vs the retained naive reference matcher, and batched (shared e-graph) selection vs the per-leaf path (identical results asserted for both)",
+  {metadata},
   "selector_workloads": [
 {rows}
   ],
@@ -1024,6 +856,7 @@ fn main() {
   "headline_batched_select_speedup": {prehoist_speedup:.2}
 }}
 "#,
+        metadata = metadata_json(threads),
         sel_speedup = sel_naive / sel_indexed,
         outcomes_saturated = outcomes[0],
         outcomes_truncated = outcomes[1],

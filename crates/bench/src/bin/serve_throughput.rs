@@ -1,0 +1,520 @@
+//! Compile-service throughput and intra-compile parallelism benchmark,
+//! written to `BENCH_serve.json`.
+//!
+//! Three measurements over the shared workload pool
+//! (`hb_bench::workloads`):
+//!
+//! 1. **service throughput** — the full pool submitted to a
+//!    [`CompileService`] as a burst, several rounds, once on 1 worker and
+//!    once on `--threads` workers: requests/sec plus p50/p99 per-request
+//!    latency (submit → reply, queue wait included — a closed-loop burst
+//!    is the service's worst case).
+//! 2. **saturate-stage series** — the whole suite through one batched
+//!    session (`Batching::Batched`, one shared e-graph, one saturation)
+//!    at `compile_threads` 1 / 2 / `--threads`: parallel rule search
+//!    against the immutable e-graph snapshot with serial deterministic
+//!    match application, byte-identical programs asserted at every
+//!    thread count, stage wall times recorded.
+//! 3. **extract-readout series** — the same suite forced onto per-root
+//!    worklist readouts (the `Sync` extraction strategy), serial vs
+//!    parallel readout partitions.
+//!
+//! On a 1-core machine a parallel wall-clock *win* is impossible, so the
+//! win floors only arm when [`cores`] ≥ 2 (the JSON's `metadata` block
+//! records both the knob and the cores, keeping numbers from different
+//! machines interpretable). Correctness never depends on core count:
+//! every mode asserts byte-identical programs against serial.
+//!
+//! `--check` runs only the equivalence oracles — parallel ≡ serial for
+//! per-leaf / batched / suite-batched compilation under all three
+//! extraction strategies, and service replies ≡ direct session calls —
+//! with no timing floors and no JSON write. CI runs this on every PR.
+//!
+//! `--compare <path>` reloads a committed `BENCH_serve.json` and exits
+//! nonzero if a tracked ratio regressed >25% (floors demote to warnings,
+//! as in `eqsat_saturation`).
+
+use std::time::Instant;
+
+use hardboiled::postprocess::normalize_temps;
+use hardboiled::{Batching, CompileService, ExtractionPolicy, Session};
+use hb_bench::guard::{compare_against_baseline, timing_floor};
+use hb_bench::workloads::{cores, metadata_json, threads_flag, workloads, Workload};
+use hb_ir::stmt::Stmt;
+
+/// A session over the default `sim` target with the given batching,
+/// forced extraction strategy (None = the target's `Auto` policy) and
+/// intra-compile thread count.
+fn session(batching: Batching, policy: Option<ExtractionPolicy>, threads: usize) -> Session {
+    let mut b = Session::builder()
+        .batching(batching)
+        .compile_threads(threads);
+    if let Some(p) = policy {
+        b = b.extractor(p);
+    }
+    b.build().expect("valid session")
+}
+
+/// Compiles every workload per-leaf through `session` and returns the
+/// normalized program texts, in workload order.
+fn compile_pool(all: &[Workload], session: &Session) -> Vec<String> {
+    all.iter()
+        .map(|w| {
+            let result = session.compile(&w.lowered).expect("workload must compile");
+            normalize_temps(&result.program.to_string())
+        })
+        .collect()
+}
+
+/// One whole-suite batched compile; returns normalized programs and the
+/// report (stage times, extraction stats).
+fn compile_suite(all: &[Workload], session: &Session) -> (Vec<String>, hardboiled::CompileReport) {
+    let programs: Vec<(&Stmt, &hardboiled::movement::Placements)> = all
+        .iter()
+        .map(|w| (&w.lowered.stmt, &w.lowered.placements))
+        .collect();
+    let result = session.compile_ir_suite(&programs);
+    let outs = result
+        .programs
+        .iter()
+        .map(|p| normalize_temps(&p.to_string()))
+        .collect();
+    (outs, result.report)
+}
+
+/// The parallel ≡ serial oracle for one batching × extraction strategy:
+/// identical programs at every parallel thread count.
+fn assert_parallel_identity(
+    all: &[Workload],
+    batching: Batching,
+    policy: Option<ExtractionPolicy>,
+    label: &str,
+) {
+    let reference = compile_pool(all, &session(batching, policy, 1));
+    for threads in [2, 4] {
+        let parallel = compile_pool(all, &session(batching, policy, threads));
+        for (w, (expect, got)) in all.iter().zip(reference.iter().zip(&parallel)) {
+            assert_eq!(
+                expect, got,
+                "{}: {label} selection diverged at compile_threads={threads}",
+                w.name
+            );
+        }
+    }
+    println!(
+        "{label:<28} ok ({} workloads, threads 2 and 4 ≡ serial)",
+        all.len()
+    );
+}
+
+/// The service oracle: replies through a multi-worker service are
+/// byte-identical to direct single-threaded session calls, twice in a
+/// row (no cross-request state).
+fn assert_service_identity(all: &[Workload]) {
+    let direct = session(Batching::PerLeaf, None, 1);
+    let reference = compile_pool(all, &direct);
+    let service = CompileService::builder()
+        .worker_threads(4)
+        .register("default", session(Batching::PerLeaf, None, 1))
+        .build()
+        .expect("valid service");
+    for round in 0..2 {
+        let sources: Vec<_> = all.iter().map(|w| w.lowered.clone()).collect();
+        let replies = service
+            .compile_batch("default", sources)
+            .expect("submission must be accepted");
+        for (w, (expect, reply)) in all.iter().zip(reference.iter().zip(&replies)) {
+            let reply = reply.as_ref().expect("request must compile");
+            assert_eq!(
+                *expect,
+                normalize_temps(&reply.program.to_string()),
+                "{}: service reply diverged from the direct session (round {round})",
+                w.name
+            );
+        }
+    }
+    // A suite request through the service ≡ a direct suite compile.
+    let sources: Vec<_> = all.iter().map(|w| w.lowered.clone()).collect();
+    let served = service
+        .submit_suite("default", sources.clone())
+        .expect("submission must be accepted")
+        .wait()
+        .expect("suite must compile");
+    let direct_suite = direct.compile_suite(&sources).expect("suite must compile");
+    for (w, (s, d)) in all
+        .iter()
+        .zip(served.results.iter().zip(&direct_suite.results))
+    {
+        assert_eq!(
+            normalize_temps(
+                &s.as_ref()
+                    .expect("request must compile")
+                    .program
+                    .to_string()
+            ),
+            normalize_temps(
+                &d.as_ref()
+                    .expect("request must compile")
+                    .program
+                    .to_string()
+            ),
+            "{}: service suite reply diverged",
+            w.name
+        );
+    }
+    service.shutdown();
+    println!(
+        "service ≡ direct             ok ({} workloads × 2 rounds on 4 workers, plus one suite request)",
+        all.len()
+    );
+}
+
+fn check_mode(all: &[Workload]) {
+    assert_parallel_identity(all, Batching::PerLeaf, None, "per-leaf auto");
+    assert_parallel_identity(all, Batching::Batched, None, "batched shared-table");
+    assert_parallel_identity(
+        all,
+        Batching::PerLeaf,
+        Some(ExtractionPolicy::Worklist),
+        "per-leaf worklist",
+    );
+    assert_parallel_identity(
+        all,
+        Batching::Batched,
+        Some(ExtractionPolicy::Worklist),
+        "batched worklist",
+    );
+    assert_parallel_identity(
+        all,
+        Batching::PerLeaf,
+        Some(ExtractionPolicy::DagCost),
+        "per-leaf dag-cost",
+    );
+    assert_parallel_identity(
+        all,
+        Batching::Batched,
+        Some(ExtractionPolicy::DagCost),
+        "batched dag-cost",
+    );
+    // Suite-batched (every workload's every leaf in ONE graph).
+    let (reference, _) = compile_suite(all, &session(Batching::Batched, None, 1));
+    for threads in [2, 4] {
+        let (parallel, _) = compile_suite(all, &session(Batching::Batched, None, threads));
+        assert_eq!(
+            reference, parallel,
+            "suite-batched selection diverged at compile_threads={threads}"
+        );
+    }
+    println!(
+        "suite-batched                ok ({} workloads in one shared graph, threads 2 and 4 ≡ serial)",
+        all.len()
+    );
+    assert_service_identity(all);
+    println!("all parallel-equivalence oracles passed");
+}
+
+struct ServeStats {
+    workers: usize,
+    requests: usize,
+    wall_ms: f64,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Index-based percentile over a sorted latency series.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let last = sorted.len() - 1;
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let idx = ((last as f64) * p).round() as usize;
+    sorted[idx.min(last)]
+}
+
+/// One closed-loop burst measurement: `rounds` copies of the pool
+/// submitted up front, then all tickets awaited in submit order. Latency
+/// is submit → reply, so it includes queue wait — by design (the burst
+/// is the service's worst case and what makes the multi-worker p99 drop
+/// visible).
+fn run_service(all: &[Workload], workers: usize, rounds: usize) -> ServeStats {
+    let service = CompileService::builder()
+        .worker_threads(workers)
+        .register("default", session(Batching::PerLeaf, None, 1))
+        .build()
+        .expect("valid service");
+    // Warm-up round: first-touch allocations and lazily-built rule sets.
+    for w in all {
+        let _ = service
+            .submit("default", w.lowered.clone())
+            .expect("submission must be accepted")
+            .wait()
+            .expect("workload must compile");
+    }
+    let started = Instant::now();
+    let mut pending = Vec::with_capacity(all.len() * rounds);
+    for _ in 0..rounds {
+        for w in all {
+            pending.push((
+                Instant::now(),
+                service
+                    .submit("default", w.lowered.clone())
+                    .expect("submission must be accepted"),
+            ));
+        }
+    }
+    let mut latencies: Vec<f64> = pending
+        .into_iter()
+        .map(|(submitted, ticket)| {
+            let _ = ticket.wait().expect("workload must compile");
+            submitted.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let requests = latencies.len();
+    latencies.sort_by(f64::total_cmp);
+    service.shutdown();
+    #[allow(clippy::cast_precision_loss)]
+    let rps = requests as f64 / (wall_ms / 1e3);
+    ServeStats {
+        workers,
+        requests,
+        wall_ms,
+        rps,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
+struct StageRun {
+    threads: usize,
+    wall_ms: f64,
+    saturate_ms: f64,
+    extract_ms: f64,
+    readout_ms: f64,
+}
+
+/// Best-of-`reps` whole-suite batched compile at one thread count,
+/// asserting the programs against `reference` (pass an empty slice to
+/// establish the reference). Best is by suite wall; the saturate stage is
+/// additionally min-tracked across reps (same rationale as the readout
+/// min in `eqsat_saturation`: stage times are small enough that a single
+/// scheduler hiccup would swamp the series).
+fn run_stage(
+    all: &[Workload],
+    policy: Option<ExtractionPolicy>,
+    threads: usize,
+    reps: usize,
+    reference: &[String],
+) -> (Vec<String>, StageRun) {
+    let session = session(Batching::Batched, policy, threads);
+    let _ = compile_suite(all, &session); // warm-up
+    let mut best: Option<(Vec<String>, StageRun)> = None;
+    let mut min_saturate = f64::INFINITY;
+    let mut min_readout = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let (outs, report) = compile_suite(all, &session);
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let saturate_ms = report.stages.saturate.as_secs_f64() * 1e3;
+        let extract_ms = report.stages.extract.as_secs_f64() * 1e3;
+        let readout_ms = report
+            .extraction
+            .as_ref()
+            .map_or(0.0, |ex| ex.readout_time.as_secs_f64() * 1e3);
+        min_saturate = min_saturate.min(saturate_ms);
+        min_readout = min_readout.min(readout_ms);
+        if !reference.is_empty() {
+            assert_eq!(
+                reference,
+                &outs[..],
+                "suite programs diverged at compile_threads={threads}"
+            );
+        }
+        if best.as_ref().is_none_or(|(_, b)| wall_ms < b.wall_ms) {
+            best = Some((
+                outs,
+                StageRun {
+                    threads,
+                    wall_ms,
+                    saturate_ms,
+                    extract_ms,
+                    readout_ms,
+                },
+            ));
+        }
+    }
+    let (outs, mut run) = best.expect("at least one rep");
+    run.saturate_ms = min_saturate;
+    run.readout_ms = min_readout;
+    (outs, run)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check_only = args.iter().any(|a| a == "--check");
+    let compare_baseline: Option<String> = args.iter().position(|a| a == "--compare").map(|i| {
+        let path = args
+            .get(i + 1)
+            .expect("--compare requires a path to the committed BENCH_serve.json");
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--compare: cannot read {path}: {e}"))
+    });
+    let strict_timing = compare_baseline.is_none();
+    let all = workloads();
+    if check_only {
+        check_mode(&all);
+        return;
+    }
+    let threads = threads_flag(&args, cores().max(2));
+    let multi_core = cores() >= 2;
+
+    // [1] service throughput: 1 worker vs `threads` workers.
+    println!(
+        "CompileService throughput — {} workloads × 3 rounds, burst-submitted ({} cores visible)\n",
+        all.len(),
+        cores()
+    );
+    let serial = run_service(&all, 1, 3);
+    let parallel = run_service(&all, threads, 3);
+    let rps_speedup = parallel.rps / serial.rps;
+    for s in [&serial, &parallel] {
+        println!(
+            "  workers={:<2} {:>4} requests in {:>8.2} ms — {:>7.1} req/s, p50 {:>7.2} ms, p99 {:>7.2} ms",
+            s.workers, s.requests, s.wall_ms, s.rps, s.p50_ms, s.p99_ms
+        );
+    }
+    println!("  throughput speedup: {rps_speedup:.2}x");
+    if multi_core {
+        timing_floor(strict_timing, rps_speedup > 1.0, || {
+            format!(
+                "{} service workers did not beat 1 worker ({rps_speedup:.2}x) despite {} cores",
+                threads,
+                cores()
+            )
+        });
+    } else {
+        println!(
+            "  (1 core visible — a multi-worker wall-clock win is impossible here; floors off)"
+        );
+    }
+
+    // [2] intra-compile saturate-stage series: whole suite, one shared
+    // graph, compile_threads 1 / 2 / `threads`.
+    let mut counts = vec![1, 2, threads];
+    counts.dedup();
+    println!("\nsaturate-stage series (whole suite, one shared e-graph, parallel rule search)");
+    let (reference, serial_stage) = run_stage(&all, None, 1, 5, &[]);
+    let mut series = vec![serial_stage];
+    for &t in counts.iter().skip(1) {
+        let (_, run) = run_stage(&all, None, t, 5, &reference);
+        series.push(run);
+    }
+    for run in &series {
+        println!(
+            "  threads={:<2} saturate {:>7.2} ms, extract {:>6.2} ms, suite wall {:>8.2} ms",
+            run.threads, run.saturate_ms, run.extract_ms, run.wall_ms
+        );
+    }
+    let saturate_speedup_2t = series[0].saturate_ms / series[1].saturate_ms;
+    println!("  saturate speedup at 2 threads: {saturate_speedup_2t:.2}x (programs byte-identical, asserted)");
+    if multi_core {
+        timing_floor(strict_timing, saturate_speedup_2t > 1.0, || {
+            format!(
+                "parallel rule search on 2 threads did not beat serial \
+                 ({saturate_speedup_2t:.2}x) despite {} cores",
+                cores()
+            )
+        });
+    }
+
+    // [3] extract-readout series: worklist strategy (per-root readouts
+    // partition across threads), serial vs `threads`.
+    let (wl_reference, wl_serial) = run_stage(&all, Some(ExtractionPolicy::Worklist), 1, 5, &[]);
+    let (_, wl_parallel) = run_stage(
+        &all,
+        Some(ExtractionPolicy::Worklist),
+        threads,
+        5,
+        &wl_reference,
+    );
+    let readout_speedup = wl_serial.readout_ms / wl_parallel.readout_ms;
+    println!(
+        "\nextract readouts (worklist strategy): serial {:.3} ms vs {} threads {:.3} ms — {readout_speedup:.2}x",
+        wl_serial.readout_ms, threads, wl_parallel.readout_ms
+    );
+
+    let json = format!(
+        r#"{{
+  "benchmark": "serve_throughput",
+  "description": "CompileService request throughput (burst-submitted workload pool, per-request submit-to-reply latency) and intra-compile parallelism (parallel rule search + parallel extraction readouts on the batched suite), byte-identical programs asserted against serial at every thread count",
+  {metadata},
+  "service": {{
+    "description": "one per-leaf sim-target session behind a worker pool; the full pool x 3 rounds submitted as a burst, latency includes queue wait",
+    "requests": {requests},
+    "workers_1": {{ "workers": 1, "wall_ms": {s_wall:.3}, "rps": {s_rps:.2}, "p50_ms": {s_p50:.3}, "p99_ms": {s_p99:.3} }},
+    "workers_n": {{ "workers": {p_workers}, "wall_ms": {p_wall:.3}, "rps": {p_rps:.2}, "p50_ms": {p_p50:.3}, "p99_ms": {p_p99:.3} }},
+    "rps_speedup": {rps_speedup:.2}
+  }},
+  "saturate_series": [
+{stage_rows}
+  ],
+  "saturate_speedup_2t": {saturate_speedup_2t:.2},
+  "extract_readout": {{
+    "description": "per-root worklist readouts (the Sync strategy) partitioned across threads on the batched suite",
+    "strategy": "worklist",
+    "serial_ms": {wl_serial_ms:.3},
+    "parallel_ms": {wl_parallel_ms:.3},
+    "parallel_threads": {threads},
+    "readout_speedup": {readout_speedup:.2}
+  }}
+}}
+"#,
+        metadata = metadata_json(threads),
+        requests = serial.requests,
+        s_wall = serial.wall_ms,
+        s_rps = serial.rps,
+        s_p50 = serial.p50_ms,
+        s_p99 = serial.p99_ms,
+        p_workers = parallel.workers,
+        p_wall = parallel.wall_ms,
+        p_rps = parallel.rps,
+        p_p50 = parallel.p50_ms,
+        p_p99 = parallel.p99_ms,
+        stage_rows = series
+            .iter()
+            .map(|r| {
+                format!(
+                    r#"    {{ "threads": {}, "saturate_ms": {:.3}, "extract_ms": {:.3}, "suite_wall_ms": {:.3} }}"#,
+                    r.threads, r.saturate_ms, r.extract_ms, r.wall_ms
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        wl_serial_ms = wl_serial.readout_ms,
+        wl_parallel_ms = wl_parallel.readout_ms,
+    );
+    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+
+    if let Some(baseline) = compare_baseline {
+        // Tracked ratios only — absolute rps/latency are machine-bound.
+        let tracked = [
+            ("service", "rps_speedup", rps_speedup),
+            (
+                "saturate_speedup_2t",
+                "saturate_speedup_2t",
+                saturate_speedup_2t,
+            ),
+            ("extract_readout", "readout_speedup", readout_speedup),
+        ];
+        if !compare_against_baseline(&baseline, &tracked) {
+            eprintln!("bench-guard: tracked speedup regressed >25% vs the committed baseline");
+            std::process::exit(1);
+        }
+        println!("bench-guard: all tracked speedups within 25% of the committed baseline");
+    }
+}

@@ -5,7 +5,9 @@
 //! same rows/series the paper reports; EXPERIMENTS.md records the
 //! paper-vs-measured comparison.
 
+pub mod guard;
 pub mod micro;
+pub mod workloads;
 
 use hb_accel::counters::CostCounters;
 use hb_accel::device::DeviceProfile;

@@ -51,6 +51,14 @@
 //! [`ExtractionReport`] (strategy, cost-table size, per-root costs,
 //! shared-table reuse counters).
 //!
+//! For server-style use, [`CompileService`] stacks a fixed worker pool on
+//! top: one long-lived session per registered target, `compile` /
+//! `compile_suite` requests fanned across `std::thread` workers with
+//! per-request panic isolation and a drain/shutdown path — see
+//! [`service`]. Intra-compile parallelism (parallel rule search and
+//! extraction readouts) is the orthogonal
+//! [`SessionBuilder::compile_threads`] knob.
+//!
 //! ## Extension points
 //!
 //! * **Targets** ([`hb_accel::target::Target`]) bundle a device profile, a
@@ -89,6 +97,7 @@ pub mod movement;
 pub mod postprocess;
 pub mod rules;
 pub mod selector;
+pub mod service;
 pub mod session;
 
 pub use cost::{CostModel, DeviceCost, HbCost};
@@ -99,6 +108,7 @@ pub use lang::{HbAnalysis, HbGraph, HbLang};
 pub use movement::Placements;
 pub use postprocess::MaterializeError;
 pub use selector::{SelectionReport, SelectorConfig};
+pub use service::{CompileService, CompileServiceBuilder, ServiceError, Ticket};
 pub use session::{
     Batching, BuildError, CompileError, CompileOutcome, CompileReport, CompileResult,
     ExtractionReport, IntoProgram, IrSuiteResult, Program, Session, SessionBuilder, StageTimings,

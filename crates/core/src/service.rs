@@ -1,0 +1,529 @@
+//! [`CompileService`] — a multi-threaded front door over [`Session`]s.
+//!
+//! A [`Session`] is immutable after construction and `Sync` (see the
+//! thread-safety notes in [`crate::session`]), so one long-lived session
+//! per target can serve every request concurrently. The service owns that
+//! mapping — one session per *registered target name* — plus a fixed pool
+//! of worker threads (`std::thread` + `mpsc` channels; no dependencies)
+//! that requests fan out across:
+//!
+//! ```
+//! use hardboiled::CompileService;
+//! use hb_ir::builder::*;
+//!
+//! let service = CompileService::builder()
+//!     .worker_threads(2)
+//!     .register_target("sim")
+//!     .build()
+//!     .unwrap();
+//!
+//! let s = store("out", ramp(int(0), int(1), 4), bcast(flt(2.0), 4));
+//! let ticket = service.submit("sim", s.clone()).unwrap();
+//! assert_eq!(ticket.wait().unwrap().program, s);
+//! service.shutdown();
+//! ```
+//!
+//! ## Request isolation
+//!
+//! Each request runs under its own `catch_unwind`, on top of the
+//! session's internal two-layer isolation (see
+//! [`crate::session`]): a panic anywhere in one request — including in
+//! the front end's [`IntoProgram::to_program`], which runs *before* the
+//! session's own isolation — surfaces as that request's
+//! [`CompileError::Engine`] while the workers keep serving everything
+//! else. Per-request degradation ([`crate::CompileOutcome`]'s ladder)
+//! likewise stays per-request: one truncated compile does not slow or
+//! degrade its neighbors.
+//!
+//! ## Determinism
+//!
+//! Requests are independent and sessions are immutable, so results are
+//! byte-identical regardless of worker count or completion order; only
+//! the *reply* order of [`CompileService::compile_batch`] is defined
+//! (input order). The concurrency tests assert this against serial
+//! compilation.
+//!
+//! ## Shutdown = drain
+//!
+//! [`CompileService::shutdown`] (and `Drop`) closes the job queue and
+//! joins the workers. An `mpsc` receiver drains already-queued messages
+//! after its sender closes, so every accepted request still completes and
+//! its [`Ticket`] resolves; only *new* submissions are refused
+//! ([`ServiceError::ShuttingDown`]).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::session::{
+    panic_message, BuildError, CompileError, CompileResult, IntoProgram, Session, SuiteResult,
+};
+
+/// A queued request: a closure that performs the compile and sends the
+/// reply on its own channel (so one queue can carry any reply type).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Errors from submitting work to a [`CompileService`].
+///
+/// Service errors are about *routing* a request; errors from the compile
+/// itself come back through the [`Ticket`] as [`CompileError`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The target name was never registered on the builder.
+    UnknownTarget(String),
+    /// The job queue is closed (the service is draining).
+    ShuttingDown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownTarget(name) => {
+                write!(f, "no session registered for target {name:?}")
+            }
+            ServiceError::ShuttingDown => write!(f, "compile service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A pending request's handle. [`Ticket::wait`] blocks until the worker
+/// that picked the request up finishes it.
+#[must_use = "a ticket resolves to the request's result; dropping it discards the compile"]
+#[derive(Debug)]
+pub struct Ticket<T = CompileResult> {
+    rx: Receiver<Result<T, CompileError>>,
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the request completes and returns its outcome.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the compile itself produced — including
+    /// [`CompileError::Engine`] when the request panicked in a worker.
+    pub fn wait(self) -> Result<T, CompileError> {
+        // Unreachable in practice: workers always send exactly one reply
+        // (panics are caught inside the job), and shutdown drains the
+        // queue. Degrade to an error rather than panicking the caller.
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(CompileError::Engine(
+                "compile worker exited before replying".to_string(),
+            ))
+        })
+    }
+}
+
+/// Builder for [`CompileService`]. See the module docs for the model.
+#[derive(Debug, Default)]
+pub struct CompileServiceBuilder {
+    workers: Option<usize>,
+    entries: Vec<(String, SessionSpec)>,
+}
+
+#[derive(Debug)]
+enum SessionSpec {
+    /// Build a default session for this registered target name.
+    Default,
+    /// Use this pre-built session (custom batching, budgets, fault
+    /// plans, `compile_threads`, …).
+    Ready(Box<Session>),
+}
+
+impl CompileServiceBuilder {
+    /// Size of the worker pool. Defaults to
+    /// [`std::thread::available_parallelism`].
+    #[must_use]
+    pub fn worker_threads(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Registers `name` with a default [`Session`] for the target of the
+    /// same name (equivalent to `Session::builder().target_name(name)`).
+    #[must_use]
+    pub fn register_target(mut self, name: &str) -> Self {
+        self.entries.push((name.to_string(), SessionSpec::Default));
+        self
+    }
+
+    /// Registers `name` with a caller-configured [`Session`] — the hook
+    /// for custom batching, extraction policy, budgets, intra-compile
+    /// `compile_threads`, or (in tests) fault plans.
+    #[must_use]
+    pub fn register(mut self, name: &str, session: Session) -> Self {
+        self.entries
+            .push((name.to_string(), SessionSpec::Ready(Box::new(session))));
+        self
+    }
+
+    /// Builds the service: resolves every registered target to a session
+    /// and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::InvalidWorkers`] for a zero-sized pool,
+    /// [`BuildError::DuplicateTarget`] when one name is registered twice,
+    /// and any [`BuildError`] from building a `register_target` default
+    /// session (e.g. [`BuildError::UnknownTarget`]).
+    pub fn build(self) -> Result<CompileService, BuildError> {
+        if self.workers == Some(0) {
+            return Err(BuildError::InvalidWorkers);
+        }
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        let mut sessions = HashMap::new();
+        for (name, spec) in self.entries {
+            let session = match spec {
+                SessionSpec::Default => Session::builder().target_name(&name).build()?,
+                SessionSpec::Ready(session) => *session,
+            };
+            if sessions.insert(name.clone(), Arc::new(session)).is_some() {
+                return Err(BuildError::DuplicateTarget(name));
+            }
+        }
+        Ok(CompileService::spawn(sessions, workers))
+    }
+}
+
+/// A fixed pool of compile workers fanning requests across one immutable
+/// [`Session`] per registered target. See the module docs.
+#[derive(Debug)]
+pub struct CompileService {
+    sessions: HashMap<String, Arc<Session>>,
+    jobs: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CompileService {
+    /// Entry point: `CompileService::builder().register_target("amx")…`.
+    #[must_use]
+    pub fn builder() -> CompileServiceBuilder {
+        CompileServiceBuilder::default()
+    }
+
+    fn spawn(sessions: HashMap<String, Arc<Session>>, workers: usize) -> Self {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                // Same shared-receiver idiom as the engine's `SearchPool`:
+                // hold the lock only across `recv`, run the job unlocked.
+                std::thread::spawn(move || loop {
+                    let job = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break,
+                    };
+                    let Ok(job) = job else { break };
+                    job();
+                })
+            })
+            .collect();
+        CompileService {
+            sessions,
+            jobs: Some(tx),
+            workers,
+        }
+    }
+
+    /// Worker pool size.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Registered target names, sorted.
+    #[must_use]
+    pub fn targets(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.sessions.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The session serving `target` — the same instance every request to
+    /// that target uses, so its reports/extraction stats are directly
+    /// comparable to direct [`Session::compile`] calls.
+    #[must_use]
+    pub fn session(&self, target: &str) -> Option<&Session> {
+        self.sessions.get(target).map(Arc::as_ref)
+    }
+
+    fn resolve(&self, target: &str) -> Result<Arc<Session>, ServiceError> {
+        self.sessions
+            .get(target)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownTarget(target.to_string()))
+    }
+
+    /// Queues `work` and returns the ticket its reply will arrive on.
+    fn dispatch<T, F>(&self, work: F) -> Result<Ticket<T>, ServiceError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> Result<T, CompileError> + Send + 'static,
+    {
+        let (tx, rx) = channel();
+        let job: Job = Box::new(move || {
+            // Per-request isolation: a panic becomes this request's
+            // `Engine` error; the worker (and queue) keep going.
+            let outcome = catch_unwind(AssertUnwindSafe(work))
+                .unwrap_or_else(|payload| Err(CompileError::Engine(panic_message(&*payload))));
+            // A dropped ticket just means nobody is waiting.
+            let _ = tx.send(outcome);
+        });
+        self.jobs
+            .as_ref()
+            .ok_or(ServiceError::ShuttingDown)?
+            .send(job)
+            .map_err(|_| ServiceError::ShuttingDown)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits one program for compilation on `target`'s session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTarget`] / [`ServiceError::ShuttingDown`];
+    /// compile failures come back through the [`Ticket`].
+    pub fn submit<S>(&self, target: &str, source: S) -> Result<Ticket, ServiceError>
+    where
+        S: IntoProgram + Send + 'static,
+    {
+        let session = self.resolve(target)?;
+        self.dispatch(move || session.compile(&source))
+    }
+
+    /// Submits a whole suite as one request ([`Session::compile_suite`]
+    /// semantics — with a batched session, one shared e-graph and one
+    /// saturation run for the entire suite).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompileService::submit`].
+    pub fn submit_suite<S>(
+        &self,
+        target: &str,
+        sources: Vec<S>,
+    ) -> Result<Ticket<SuiteResult>, ServiceError>
+    where
+        S: IntoProgram + Send + 'static,
+    {
+        let session = self.resolve(target)?;
+        self.dispatch(move || session.compile_suite(&sources))
+    }
+
+    /// Batch API: submits every source as its *own* request (so each gets
+    /// its own [`crate::CompileOutcome`] and failure isolation), then
+    /// waits for all of them. Replies are in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] if any submission is refused; per-request
+    /// compile errors are confined to their slot in the returned vector.
+    pub fn compile_batch<S>(
+        &self,
+        target: &str,
+        sources: Vec<S>,
+    ) -> Result<Vec<Result<CompileResult, CompileError>>, ServiceError>
+    where
+        S: IntoProgram + Send + 'static,
+    {
+        let tickets = sources
+            .into_iter()
+            .map(|source| self.submit(target, source))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(tickets.into_iter().map(Ticket::wait).collect())
+    }
+
+    /// Drains and stops the service: already-queued requests still run to
+    /// completion (their tickets resolve), new submissions are refused,
+    /// and every worker is joined before this returns. Dropping the
+    /// service does the same.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        // Closing the channel lets workers finish the queue, then stop.
+        self.jobs.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for CompileService {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Program;
+    use hb_ir::builder as b;
+    use hb_ir::stmt::Stmt;
+    use hb_ir::types::{MemoryType, ScalarType, Type};
+
+    /// One accelerator-touching leaf (AMX-tile buffer), distinct per `i`
+    /// so batch replies are distinguishable.
+    fn tile_leaf(i: i64) -> Stmt {
+        let idx = b::ramp(b::int(i), b::int(1), 8);
+        let ld = b::load(Type::f32().with_lanes(8), &format!("x{i}"), idx.clone());
+        b::allocate(
+            &format!("acc{i}"),
+            ScalarType::F32,
+            8,
+            MemoryType::AmxTile,
+            b::store(&format!("acc{i}"), idx, b::mul(ld.clone(), ld)),
+        )
+    }
+
+    #[test]
+    fn submit_matches_direct_session_compile() {
+        let service = CompileService::builder()
+            .worker_threads(2)
+            .register_target("sim")
+            .build()
+            .unwrap();
+        assert_eq!(service.workers(), 2);
+        assert_eq!(service.targets(), vec!["sim"]);
+
+        let direct = Session::builder().target_name("sim").build().unwrap();
+        let stmt = tile_leaf(0);
+        let served = service.submit("sim", stmt.clone()).unwrap().wait().unwrap();
+        let expect = direct.compile(&stmt).unwrap();
+        assert_eq!(served.program, expect.program);
+        assert_eq!(served.report.outcome, expect.report.outcome);
+        service.shutdown();
+    }
+
+    #[test]
+    fn batch_replies_in_input_order() {
+        let service = CompileService::builder()
+            .worker_threads(3)
+            .register_target("sim")
+            .build()
+            .unwrap();
+        let direct = Session::builder().target_name("sim").build().unwrap();
+        let sources: Vec<Stmt> = (0..6).map(tile_leaf).collect();
+        let replies = service.compile_batch("sim", sources.clone()).unwrap();
+        assert_eq!(replies.len(), sources.len());
+        for (reply, source) in replies.iter().zip(&sources) {
+            let expect = direct.compile(source).unwrap();
+            assert_eq!(reply.as_ref().unwrap().program, expect.program);
+        }
+    }
+
+    #[test]
+    fn suite_request_matches_direct_compile_suite() {
+        let service = CompileService::builder()
+            .worker_threads(2)
+            .register_target("sim")
+            .build()
+            .unwrap();
+        let direct = Session::builder().target_name("sim").build().unwrap();
+        let sources: Vec<Stmt> = (0..3).map(tile_leaf).collect();
+        let served = service
+            .submit_suite("sim", sources.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let expect = direct.compile_suite(&sources).unwrap();
+        assert_eq!(served.results.len(), expect.results.len());
+        for (s, e) in served.results.iter().zip(&expect.results) {
+            assert_eq!(s.as_ref().unwrap().program, e.as_ref().unwrap().program);
+        }
+    }
+
+    /// A front end that panics in `to_program` — *before* the session's
+    /// own isolation layers, so only the service-level `catch_unwind`
+    /// can confine it.
+    struct PanickingFrontEnd;
+    impl IntoProgram for PanickingFrontEnd {
+        fn to_program(&self) -> Result<Program, CompileError> {
+            panic!("injected fault: front end exploded");
+        }
+    }
+
+    #[test]
+    fn panicking_request_is_confined_and_service_keeps_serving() {
+        let service = CompileService::builder()
+            .worker_threads(2)
+            .register_target("sim")
+            .build()
+            .unwrap();
+        let bad = service.submit("sim", PanickingFrontEnd).unwrap();
+        let good = service.submit("sim", tile_leaf(1)).unwrap();
+        match bad.wait() {
+            Err(CompileError::Engine(msg)) => assert!(msg.contains("injected fault"), "{msg}"),
+            other => panic!("expected Engine error, got {other:?}"),
+        }
+        // The pool survived: the concurrent request and a fresh one both
+        // complete normally.
+        assert!(good.wait().is_ok());
+        assert!(service.submit("sim", tile_leaf(2)).unwrap().wait().is_ok());
+    }
+
+    #[test]
+    fn unknown_target_is_a_routing_error() {
+        let service = CompileService::builder()
+            .register_target("sim")
+            .build()
+            .unwrap();
+        let err = service.submit("tpu", tile_leaf(0)).unwrap_err();
+        assert_eq!(err, ServiceError::UnknownTarget("tpu".to_string()));
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert_eq!(
+            CompileService::builder()
+                .worker_threads(0)
+                .build()
+                .unwrap_err(),
+            BuildError::InvalidWorkers
+        );
+        assert_eq!(
+            CompileService::builder()
+                .register_target("sim")
+                .register_target("sim")
+                .build()
+                .unwrap_err(),
+            BuildError::DuplicateTarget("sim".to_string())
+        );
+        assert!(matches!(
+            CompileService::builder()
+                .register_target("not-a-target")
+                .build()
+                .unwrap_err(),
+            BuildError::UnknownTarget(_)
+        ));
+    }
+
+    #[test]
+    fn custom_session_registration_is_honored() {
+        let session = Session::builder()
+            .target_name("amx")
+            .compile_threads(2)
+            .build()
+            .unwrap();
+        let service = CompileService::builder()
+            .worker_threads(1)
+            .register("fast-amx", session)
+            .build()
+            .unwrap();
+        assert_eq!(service.session("fast-amx").unwrap().threads(), 2);
+        assert!(service
+            .submit("fast-amx", tile_leaf(0))
+            .unwrap()
+            .wait()
+            .is_ok());
+    }
+}

@@ -110,6 +110,38 @@
 //!   bottom-up in ascending tree-cost order with a strict-descent gate
 //!   that keeps every chosen dag acyclic.
 //!
+//! ## Parallel search (snapshot-search, serial-apply)
+//!
+//! With [`schedule::Runner::with_search_threads`] the scheduler runs each
+//! rule's *search* across a fixed [`pool::SearchPool`], while keeping
+//! every *application* serial. The invariants that make parallelism
+//! byte-invisible:
+//!
+//! * **Immutable snapshot.** A search only ever sees `&EGraph` — no rule
+//!   is applied, no class touched, while any worker is searching. All
+//!   read paths are genuinely `&self` (`UnionFind::find` is the
+//!   non-compressing walk; no interior mutability anywhere on the read
+//!   side), so `EGraph<L, N>: Sync` whenever `N::Data: Sync` and workers
+//!   share the snapshot freely.
+//! * **Partition, don't race.** The first atom's root enumeration is
+//!   computed once, serially (delta-probe counters recorded there, once),
+//!   then split into contiguous chunks; each worker runs the full
+//!   multi-atom join for its chunk with a dedicated per-worker
+//!   [`pattern::MatchScratch`]. Because every atom maps partial matches
+//!   to output runs *in order*, chunk-order concatenation reproduces the
+//!   serial match order exactly — not just the same match *set*.
+//! * **Serial, deterministic apply.** The scheduler applies the
+//!   concatenated matches on the one `&mut EGraph`, in that order, on its
+//!   own thread. Rule order, match order, union order, and therefore
+//!   every extraction tie-break downstream are identical to the serial
+//!   run; `RunReport`s compare equal field-for-field (asserted in
+//!   [`schedule`]'s tests).
+//!
+//! Semi-naive relation rounds stay serial (per-round deltas are tiny and
+//! the row dedup is order-sensitive), as do enumerations below
+//! `PARALLEL_MIN_ROOTS` — both through the same code path, so the
+//! threshold can never change observable behavior, only timing.
+//!
 //! ## Robustness design
 //!
 //! Saturation is **bounded** by more than the iteration/node caps: a
@@ -182,6 +214,7 @@ pub mod fault;
 pub mod language;
 pub mod math_lang;
 pub mod pattern;
+pub mod pool;
 pub mod relation;
 pub mod rewrite;
 pub mod schedule;
@@ -196,7 +229,8 @@ pub use extract::{
 pub use fault::{Fault, FaultPlan, InjectedStop};
 pub use language::{Language, RecExpr};
 pub use pattern::{CompiledPattern, MatchScratch, Pattern, Subst};
+pub use pool::SearchPool;
 pub use relation::Relations;
-pub use rewrite::{Atom, CompiledQuery, Query, Rewrite};
+pub use rewrite::{Atom, CompiledQuery, ParallelCtx, Query, Rewrite};
 pub use schedule::{Budget, RunReport, Runner};
 pub use unionfind::{Id, UnionFind};

@@ -1,0 +1,225 @@
+//! A minimal fixed worker pool for parallel rule *search*.
+//!
+//! The scheduler's parallel search path ([`crate::schedule::Runner`],
+//! `search_threads > 1`) partitions one rule's root enumeration into
+//! chunks and evaluates the join for each chunk concurrently against an
+//! immutable `&EGraph` snapshot. That needs a pool that can run closures
+//! borrowing the caller's stack — `rayon`-style scoped execution — without
+//! adding a dependency and without paying a `std::thread::spawn` per
+//! search (a saturation run performs hundreds of searches; spawning per
+//! search would cost more than the searches themselves).
+//!
+//! [`SearchPool::scatter`] is the whole API: hand it one closure per
+//! chunk, it runs them across the workers (and the calling thread) and
+//! returns when **all** of them have finished. Blocking until every job
+//! reports back is what makes the lifetime erasure sound: the jobs borrow
+//! state owned by the caller's frame, and the caller cannot regain control
+//! (or unwind) until no worker can touch those borrows anymore.
+//!
+//! A panicking job does not poison the pool: the worker catches the
+//! unwind, hands the payload back, and `scatter` re-raises it on the
+//! calling thread *after* the barrier — so a fault injected into a rule
+//! search under parallelism surfaces exactly like the serial panic would,
+//! and the session layer's `catch_unwind` isolation keeps working.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased job. `scatter` transmutes `'env` closures to
+/// `'static` before queueing them; soundness comes from the completion
+/// barrier (see the module docs).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One job's completion receipt: normal return or a caught panic payload.
+type Receipt = Result<(), Box<dyn std::any::Any + Send>>;
+
+/// Fixed pool of `threads - 1` workers plus the calling thread (so
+/// `SearchPool::new(2)` uses exactly two threads during a scatter, not
+/// three).
+#[derive(Debug)]
+pub struct SearchPool {
+    threads: usize,
+    jobs: Option<Sender<(Job, Sender<Receipt>)>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SearchPool {
+    /// A pool that runs scattered jobs on `threads` threads in total
+    /// (`threads - 1` spawned workers; the caller's thread runs the first
+    /// job of every scatter). `threads` is clamped to at least 1; a
+    /// 1-thread pool spawns nothing and `scatter` degenerates to running
+    /// the jobs in order on the caller.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<(Job, Sender<Receipt>)>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads - 1)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Holding the lock only across `recv` is the classic
+                    // shared-receiver pool: one idle worker blocks on the
+                    // channel, the rest block on the mutex; each dequeued
+                    // job releases the lock before running.
+                    let job = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break,
+                    };
+                    let Ok((job, receipt_tx)) = job else { break };
+                    let receipt = catch_unwind(AssertUnwindSafe(job));
+                    // A dropped receiver means the scatterer is already
+                    // unwinding; the job still ran, nothing to report.
+                    let _ = receipt_tx.send(receipt);
+                })
+            })
+            .collect();
+        SearchPool {
+            threads,
+            jobs: Some(tx),
+            workers,
+        }
+    }
+
+    /// Total threads a scatter uses (spawned workers + the caller).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job to completion, distributing them across the workers
+    /// and the calling thread, then returns. Jobs may borrow from the
+    /// caller's stack (`'env`): the internal barrier guarantees no job
+    /// outlives this call.
+    ///
+    /// # Panics
+    ///
+    /// If any job panicked, the first panic payload (in job order) is
+    /// re-raised here — after every job has finished, so borrows stay
+    /// sound even across the unwind.
+    pub fn scatter<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let (receipt_tx, receipt_rx): (Sender<Receipt>, Receiver<Receipt>) = channel();
+        let mut jobs = jobs.into_iter();
+        let first = jobs.next().expect("checked non-empty");
+        let mut queued = 0usize;
+        for job in jobs {
+            // SAFETY: the job only runs before this function returns (we
+            // block on one receipt per queued job below, and on the inline
+            // job, before returning or unwinding), so every `'env` borrow
+            // it captures is live for its whole execution. Only the
+            // lifetime is transmuted; the vtable/layout of
+            // `Box<dyn FnOnce + Send>` is unchanged.
+            let job: Job = unsafe {
+                std::mem::transmute::<
+                    Box<dyn FnOnce() + Send + 'env>,
+                    Box<dyn FnOnce() + Send + 'static>,
+                >(job)
+            };
+            self.jobs
+                .as_ref()
+                .expect("pool alive while scattering")
+                .send((job, receipt_tx.clone()))
+                .expect("workers alive while pool is alive");
+            queued += 1;
+        }
+        // The caller is a worker too: run the first chunk here while the
+        // queued chunks execute, catching a panic so the barrier below
+        // still runs.
+        let mut first_panic = catch_unwind(AssertUnwindSafe(first)).err();
+        // Barrier: one receipt per queued job, whatever order they finish
+        // in. (Job *results* are written into per-chunk output slots by
+        // the closures themselves, so completion order never affects
+        // observable ordering.)
+        for _ in 0..queued {
+            let receipt = receipt_rx
+                .recv()
+                .expect("every queued job sends exactly one receipt");
+            if let Err(payload) = receipt {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for SearchPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every worker out of `recv`.
+        self.jobs.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scatter_runs_every_job_and_blocks_until_done() {
+        let pool = SearchPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let counter = AtomicUsize::new(0);
+        let mut outs = vec![0usize; 8];
+        {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = outs
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    let counter = &counter;
+                    Box::new(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        *slot = i + 1;
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.scatter(jobs);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        assert_eq!(outs, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = SearchPool::new(1);
+        let mut hit = false;
+        pool.scatter(vec![Box::new(|| hit = true)]);
+        assert!(hit);
+    }
+
+    #[test]
+    fn panicking_job_resurfaces_after_the_barrier() {
+        let pool = SearchPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+                Box::new(|| panic!("injected fault: pool test")),
+                Box::new(|| {
+                    finished.fetch_add(1, Ordering::Relaxed);
+                }),
+                Box::new(|| {
+                    finished.fetch_add(1, Ordering::Relaxed);
+                }),
+            ];
+            pool.scatter(jobs);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("injected fault"), "{msg}");
+        // The barrier held: the surviving jobs all ran before the unwind.
+        assert_eq!(finished.load(Ordering::Relaxed), 2);
+        // The pool survives a panicking scatter.
+        let mut ok = false;
+        pool.scatter(vec![Box::new(|| ok = true)]);
+        assert!(ok);
+    }
+}

@@ -42,7 +42,27 @@ use std::sync::Arc;
 use crate::egraph::{Analysis, DeltaTracking, EGraph};
 use crate::language::Language;
 use crate::pattern::{CompiledNode, MatchScratch, Pattern, Subst};
+use crate::pool::SearchPool;
 use crate::unionfind::Id;
+
+/// Minimum root-enumeration size at which a parallel-context search
+/// actually partitions across the pool. Below it the scatter/barrier
+/// overhead (a few channel round-trips) exceeds the join work, so the
+/// search runs inline on the scheduler thread — bit-for-bit the serial
+/// path. Delta probes over quiescent regions are tiny and stay inline;
+/// first-iteration full searches over populated operator rows partition.
+pub(crate) const PARALLEL_MIN_ROOTS: usize = 64;
+
+/// Borrowed parallel-search context: the saturation run's worker pool and
+/// one [`MatchScratch`] per pool thread. Chunk *i* of a partitioned search
+/// always uses scratch *i*, so the probe counters and recycled buffers are
+/// never shared between workers.
+pub struct ParallelCtx<'a> {
+    /// Pool shared across every search of one saturation run.
+    pub pool: &'a SearchPool,
+    /// Per-worker scratch arenas (`len() >= pool.threads()`).
+    pub scratches: &'a mut [MatchScratch],
+}
 
 /// One atom of a rule's query.
 pub enum Atom<L> {
@@ -222,6 +242,7 @@ enum CompiledAtom<L> {
 }
 
 /// How a search pass restricts its enumerations (see the module docs).
+#[derive(Clone, Copy)]
 enum Restrict {
     /// Full join over every atom.
     Full,
@@ -275,7 +296,13 @@ impl<L: Language> CompiledQuery<L> {
         egraph: &EGraph<L, N>,
         scratch: &mut MatchScratch,
     ) -> Vec<Subst> {
-        let rows = self.search_rows(egraph, &Restrict::Full, DeltaTracking::OpKeyed, scratch);
+        let rows = self.search_rows(
+            egraph,
+            &Restrict::Full,
+            DeltaTracking::OpKeyed,
+            scratch,
+            None,
+        );
         self.rows_to_substs(rows)
     }
 
@@ -298,6 +325,7 @@ impl<L: Language> CompiledQuery<L> {
             &restrict,
             DeltaTracking::OpKeyed,
             &mut MatchScratch::new(),
+            None,
         );
         self.rows_to_substs(rows)
     }
@@ -341,7 +369,13 @@ impl<L: Language> CompiledQuery<L> {
         scratch: &mut MatchScratch,
     ) -> Vec<Subst> {
         if self.delta_eligible {
-            let rows = self.search_rows(egraph, &Restrict::Root(epoch_cutoff), tracking, scratch);
+            let rows = self.search_rows(
+                egraph,
+                &Restrict::Root(epoch_cutoff),
+                tracking,
+                scratch,
+                None,
+            );
             return self.rows_to_substs(rows);
         }
         // Semi-naive: round i restricts atom i to its delta, and the join
@@ -373,7 +407,7 @@ impl<L: Language> CompiledQuery<L> {
                 epoch: epoch_cutoff,
                 rel_tick: rel_cutoff,
             };
-            rows.extend(self.search_rows(egraph, &restrict, tracking, scratch));
+            rows.extend(self.search_rows(egraph, &restrict, tracking, scratch, None));
         }
         rows.sort_unstable();
         rows.dedup_by(|a, b| {
@@ -394,6 +428,15 @@ impl<L: Language> CompiledQuery<L> {
             .collect()
     }
 
+    /// The join loop shared by every search mode. `first_roots`, when
+    /// given, overrides the *first evaluated atom's* root enumeration with
+    /// an explicit slice — the parallel path partitions the enumeration it
+    /// computed once into chunks and runs this loop per chunk, so the
+    /// concatenation of the chunk results in chunk order is exactly the
+    /// serial result (each atom maps partials to output runs in order; a
+    /// per-partial concat-map commutes with partitioning the seed list).
+    /// Probe counters are *not* recorded when `first_roots` is given; the
+    /// caller that computed the enumeration already recorded them.
     #[allow(clippy::too_many_lines)]
     fn search_rows<N: Analysis<L>>(
         &self,
@@ -401,6 +444,7 @@ impl<L: Language> CompiledQuery<L> {
         restrict: &Restrict,
         tracking: DeltaTracking,
         scratch: &mut MatchScratch,
+        first_roots: Option<&[Id]>,
     ) -> Vec<Vec<Option<Id>>> {
         debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
         let nvars = self.vars.len();
@@ -415,6 +459,7 @@ impl<L: Language> CompiledQuery<L> {
             Restrict::Atom { index, .. } => Some(*index),
             _ => None,
         };
+        let first_atom = delta_first.unwrap_or(0);
         let order = delta_first
             .into_iter()
             .chain((0..self.atoms.len()).filter(|&j| Some(j) != delta_first));
@@ -464,7 +509,14 @@ impl<L: Language> CompiledQuery<L> {
                                         next.push(m);
                                     }
                                 };
-                            if let Some(cut) = enum_cutoff {
+                            if let Some(roots) = first_roots.filter(|_| i == first_atom) {
+                                // Explicit chunk from the parallel path
+                                // (or the whole enumeration, computed by
+                                // the caller); probes already recorded.
+                                for &root in roots {
+                                    visit(root, &mut step, &mut next, scratch);
+                                }
+                            } else if let Some(cut) = enum_cutoff {
                                 // Delta probe, keyed by the atom's root
                                 // operator: O(changes to that op's rows)
                                 // via the per-op log (or the retained
@@ -566,6 +618,90 @@ impl<L: Language> CompiledQuery<L> {
         }
         scratch.give_list(next);
         partials
+    }
+
+    /// Full or single-root-delta search with the root enumeration
+    /// partitioned across a [`SearchPool`]. Byte-identical to the serial
+    /// search by construction: the enumeration is computed once here —
+    /// exactly as [`CompiledQuery::search_rows`] would, probe counters
+    /// recorded on the *scheduler's* scratch — then split into contiguous
+    /// chunks, each chunk's join evaluated against the immutable `&EGraph`
+    /// snapshot with its own per-worker scratch, and the chunk results
+    /// concatenated in chunk order (see the `first_roots` contract on
+    /// `search_rows`). Enumerations below [`PARALLEL_MIN_ROOTS`] run
+    /// inline on the caller — still through the same override path, so
+    /// the match order never depends on the threshold.
+    ///
+    /// Relation-rooted queries have no root enumeration to partition and
+    /// fall back to the serial join.
+    fn search_parallel<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        restrict: Restrict,
+        tracking: DeltaTracking,
+        scratch: &mut MatchScratch,
+        ctx: &mut ParallelCtx<'_>,
+    ) -> Vec<Subst>
+    where
+        N::Data: Sync,
+    {
+        debug_assert!(matches!(restrict, Restrict::Full | Restrict::Root(_)));
+        let Some(CompiledAtom::Pat { node, .. }) = self.atoms.first() else {
+            let rows = self.search_rows(egraph, &restrict, tracking, scratch, None);
+            return self.rows_to_substs(rows);
+        };
+        // The enumeration the serial path would perform at the first atom,
+        // computed once; for delta probes the probe counters are recorded
+        // here (once), exactly as the serial path records them.
+        let mut owned: Option<Vec<Id>> = None;
+        let roots: &[Id] = match restrict {
+            Restrict::Full => match node.root_key() {
+                Some(key) => egraph.candidates_for(key),
+                None => {
+                    let mut ids: Vec<Id> = egraph.classes().map(|c| c.id).collect();
+                    ids.sort_unstable();
+                    owned.insert(ids)
+                }
+            },
+            Restrict::Root(cut) => {
+                let (roots, universe) = match node.root_key() {
+                    Some(key) => (
+                        match tracking {
+                            DeltaTracking::OpKeyed => egraph.modified_candidates_for(key, cut),
+                            DeltaTracking::PerClass => {
+                                egraph.modified_candidates_per_class(key, cut)
+                            }
+                        },
+                        egraph.candidates_for(key).len(),
+                    ),
+                    None => (egraph.modified_since(cut), egraph.num_classes()),
+                };
+                scratch.record_probe(roots.len(), universe);
+                owned.insert(roots)
+            }
+            Restrict::Atom { .. } => unreachable!("semi-naive rounds stay serial"),
+        };
+        let threads = ctx.pool.threads().min(ctx.scratches.len());
+        if threads < 2 || roots.len() < PARALLEL_MIN_ROOTS {
+            let rows = self.search_rows(egraph, &restrict, tracking, scratch, Some(roots));
+            return self.rows_to_substs(rows);
+        }
+        let chunks: Vec<&[Id]> = roots.chunks(roots.len().div_ceil(threads)).collect();
+        let mut outs: Vec<Vec<Vec<Option<Id>>>> = Vec::new();
+        outs.resize_with(chunks.len(), Vec::new);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+            .iter()
+            .zip(outs.iter_mut())
+            .zip(ctx.scratches.iter_mut())
+            .map(|((&chunk, out), scr)| {
+                Box::new(move || {
+                    *out = self.search_rows(egraph, &restrict, tracking, scr, Some(chunk));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        ctx.pool.scatter(jobs);
+        // Chunk-order concatenation == serial match order (see above).
+        self.rows_to_substs(outs.into_iter().flatten().collect())
     }
 }
 
@@ -749,6 +885,69 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
         let matches =
             self.compiled
                 .search_delta_tracked(egraph, epoch_cutoff, rel_cutoff, tracking, scratch);
+        self.apply_matches(egraph, matches)
+    }
+}
+
+impl<L: Language, N: Analysis<L>> Rewrite<L, N>
+where
+    N::Data: Sync,
+{
+    /// [`Rewrite::run_with`] with an optional parallel-search context:
+    /// the *search* is partitioned across the context's pool (see
+    /// [`ParallelCtx`]), the matches are applied serially in the exact
+    /// order the serial search would produce them. With `None` this is
+    /// `run_with` verbatim.
+    pub fn run_with_ctx(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        scratch: &mut MatchScratch,
+        par: Option<&mut ParallelCtx<'_>>,
+    ) -> usize {
+        let Some(ctx) = par else {
+            return self.run_with(egraph, scratch);
+        };
+        if !egraph.is_clean() {
+            egraph.rebuild();
+        }
+        let matches = self.compiled.search_parallel(
+            egraph,
+            Restrict::Full,
+            DeltaTracking::OpKeyed,
+            scratch,
+            ctx,
+        );
+        self.apply_matches(egraph, matches)
+    }
+
+    /// [`Rewrite::run_delta`] with an optional parallel-search context.
+    /// Only the single-root delta probe of delta-eligible queries is
+    /// partitioned; semi-naive rounds (relation joins, fresh-variable
+    /// atoms) stay serial — their per-round deltas are tiny by
+    /// construction and their row dedup is order-sensitive.
+    pub fn run_delta_ctx(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        epoch_cutoff: u64,
+        rel_cutoff: u64,
+        tracking: DeltaTracking,
+        scratch: &mut MatchScratch,
+        par: Option<&mut ParallelCtx<'_>>,
+    ) -> usize {
+        let ctx = match par {
+            Some(ctx) if self.compiled.delta_eligible => ctx,
+            _ => return self.run_delta(egraph, epoch_cutoff, rel_cutoff, tracking, scratch),
+        };
+        if !egraph.is_clean() {
+            egraph.rebuild();
+        }
+        let matches = self.compiled.search_parallel(
+            egraph,
+            Restrict::Root(epoch_cutoff),
+            tracking,
+            scratch,
+            ctx,
+        );
         self.apply_matches(egraph, matches)
     }
 }

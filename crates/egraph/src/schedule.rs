@@ -34,7 +34,8 @@ use std::time::{Duration, Instant};
 use crate::egraph::{Analysis, DeltaTracking, EGraph};
 use crate::language::Language;
 use crate::pattern::MatchScratch;
-use crate::rewrite::Rewrite;
+use crate::pool::SearchPool;
+use crate::rewrite::{ParallelCtx, Rewrite};
 
 /// Statistics from a saturation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -255,6 +256,13 @@ pub struct Runner {
     /// way the naive matcher is; identical match sets, broader probes —
     /// the difference shows in [`RunReport::delta_probed_rows`]).
     pub use_per_class_deltas: bool,
+    /// Threads for parallel rule *search* (see the crate docs' parallel
+    /// section): each run owns a [`SearchPool`] of this many threads and
+    /// partitions large root enumerations across it; match application
+    /// stays serial and deterministically ordered, so reports, graphs and
+    /// extraction are byte-identical to the serial run. `1` (the default)
+    /// never touches the pool; the naive matcher ignores this knob.
+    pub search_threads: usize,
     /// Deterministic fault plan for chaos testing (see [`crate::fault`]);
     /// shared so one plan's one-shot counters span every run it observes.
     #[cfg(feature = "fault-injection")]
@@ -270,9 +278,27 @@ impl Default for Runner {
             match_budget: None,
             use_naive_matcher: false,
             use_per_class_deltas: false,
+            search_threads: 1,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
+    }
+}
+
+/// One saturation run's parallel-search state: the worker pool plus one
+/// scratch arena per pool thread (chunk *i* of every partitioned search
+/// uses scratch *i*; the scheduler's own scratch keeps the probe
+/// counters).
+struct ParallelSearch {
+    pool: SearchPool,
+    scratches: Vec<MatchScratch>,
+}
+
+impl ParallelSearch {
+    fn new(threads: usize) -> Self {
+        let pool = SearchPool::new(threads);
+        let scratches = (0..pool.threads()).map(|_| MatchScratch::new()).collect();
+        ParallelSearch { pool, scratches }
     }
 }
 
@@ -333,6 +359,19 @@ impl Runner {
         self
     }
 
+    /// Sets the parallel-search thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_search_threads(mut self, threads: usize) -> Self {
+        self.search_threads = threads.max(1);
+        self
+    }
+
+    /// The parallel-search state for one run, when the knobs call for it.
+    fn parallel_search(&self) -> Option<ParallelSearch> {
+        (self.search_threads > 1 && !self.use_naive_matcher)
+            .then(|| ParallelSearch::new(self.search_threads))
+    }
+
     /// The change-tracking granularity this runner's delta probes read.
     #[must_use]
     pub fn delta_tracking(&self) -> DeltaTracking {
@@ -361,15 +400,20 @@ impl Runner {
     /// One pass over `rules` with delta bookkeeping, then a rebuild.
     /// Returns the matches applied; search-mode counters accumulate into
     /// `report`.
+    #[allow(clippy::too_many_arguments)]
     fn run_iter<L: Language, N: Analysis<L>>(
         &self,
         egraph: &mut EGraph<L, N>,
         rules: &[Rewrite<L, N>],
         states: &mut [RuleState],
         scratch: &mut MatchScratch,
+        par: &mut Option<ParallelSearch>,
         clock: &mut BudgetClock,
         report: &mut RunReport,
-    ) -> usize {
+    ) -> usize
+    where
+        N::Data: Sync,
+    {
         debug_assert_eq!(rules.len(), states.len());
         let mut applied = 0;
         for (rule, state) in rules.iter().zip(states.iter_mut()) {
@@ -417,18 +461,23 @@ impl Runner {
             // unions and tuple inserts are re-probed on its next run.
             let searched_at = egraph.bump_epoch();
             let rel_tick_at = egraph.relations.tick();
+            let mut ctx = par.as_mut().map(|p| ParallelCtx {
+                pool: &p.pool,
+                scratches: &mut p.scratches[..],
+            });
             let n = if delta_ok {
                 report.delta_searches += 1;
-                rule.run_delta(
+                rule.run_delta_ctx(
                     egraph,
                     epoch_cutoff,
                     rel_cutoff,
                     self.delta_tracking(),
                     scratch,
+                    ctx.as_mut(),
                 )
             } else {
                 report.full_searches += 1;
-                rule.run_with(egraph, scratch)
+                rule.run_with_ctx(egraph, scratch, ctx.as_mut())
             };
             applied += n;
             clock.note_applied(n);
@@ -450,7 +499,10 @@ impl Runner {
         &self,
         egraph: &mut EGraph<L, N>,
         rules: &[Rewrite<L, N>],
-    ) -> RunReport {
+    ) -> RunReport
+    where
+        N::Data: Sync,
+    {
         self.run_to_fixpoint_budgeted(egraph, rules, self.budget_from_now())
     }
 
@@ -463,25 +515,41 @@ impl Runner {
         egraph: &mut EGraph<L, N>,
         rules: &[Rewrite<L, N>],
         budget: Budget,
-    ) -> RunReport {
+    ) -> RunReport
+    where
+        N::Data: Sync,
+    {
         let mut states = vec![RuleState::default(); rules.len()];
         let mut scratch = MatchScratch::new();
+        let mut par = self.parallel_search();
         let mut clock = BudgetClock::new(budget.tighten(self.budget_from_now()));
-        let mut report =
-            self.fixpoint_with_states(egraph, rules, &mut states, &mut scratch, &mut clock, true);
+        let mut report = self.fixpoint_with_states(
+            egraph,
+            rules,
+            &mut states,
+            &mut scratch,
+            &mut par,
+            &mut clock,
+            true,
+        );
         clock.stamp(&mut report);
         report
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fixpoint_with_states<L: Language, N: Analysis<L>>(
         &self,
         egraph: &mut EGraph<L, N>,
         rules: &[Rewrite<L, N>],
         states: &mut [RuleState],
         scratch: &mut MatchScratch,
+        par: &mut Option<ParallelSearch>,
         clock: &mut BudgetClock,
         _inject_faults: bool,
-    ) -> RunReport {
+    ) -> RunReport
+    where
+        N::Data: Sync,
+    {
         let start = Instant::now();
         let mut report = RunReport::default();
         for _ in 0..self.max_iterations {
@@ -495,7 +563,7 @@ impl Runner {
             }
             report.iterations += 1;
             let relations_before = egraph.relations.version();
-            let applied = self.run_iter(egraph, rules, states, scratch, clock, &mut report);
+            let applied = self.run_iter(egraph, rules, states, scratch, par, clock, &mut report);
             let relations_changed = egraph.relations.version() != relations_before;
             report.applied += applied;
             if applied == 0 && !relations_changed && !clock.exhausted() {
@@ -553,7 +621,10 @@ impl Runner {
         main_rules: &[Rewrite<L, N>],
         supporting_rules: &[Rewrite<L, N>],
         outer_iters: usize,
-    ) -> RunReport {
+    ) -> RunReport
+    where
+        N::Data: Sync,
+    {
         self.run_phased_budgeted(
             egraph,
             main_rules,
@@ -575,18 +646,23 @@ impl Runner {
         supporting_rules: &[Rewrite<L, N>],
         outer_iters: usize,
         budget: Budget,
-    ) -> RunReport {
+    ) -> RunReport
+    where
+        N::Data: Sync,
+    {
         let start = Instant::now();
         let mut report = RunReport::default();
         let mut main_states = vec![RuleState::default(); main_rules.len()];
         let mut support_states = vec![RuleState::default(); supporting_rules.len()];
         let mut scratch = MatchScratch::new();
+        let mut par = self.parallel_search();
         let mut clock = BudgetClock::new(budget.tighten(self.budget_from_now()));
         let support = self.fixpoint_with_states(
             egraph,
             supporting_rules,
             &mut support_states,
             &mut scratch,
+            &mut par,
             &mut clock,
             false,
         );
@@ -606,6 +682,7 @@ impl Runner {
                 main_rules,
                 &mut main_states,
                 &mut scratch,
+                &mut par,
                 &mut clock,
                 &mut report,
             );
@@ -618,6 +695,7 @@ impl Runner {
                 supporting_rules,
                 &mut support_states,
                 &mut scratch,
+                &mut par,
                 &mut clock,
                 false,
             );
@@ -815,6 +893,62 @@ mod tests {
         assert_eq!(t.match_budget, Some(10));
         let n = Budget::none().tighten(Budget::none());
         assert!(n.deadline.is_none() && n.match_budget.is_none());
+    }
+
+    /// A left-deep product chain wide enough (> `PARALLEL_MIN_ROOTS`
+    /// Mul-rooted classes) that parallel search actually partitions.
+    fn wide_mul_chain(len: usize) -> (EG, crate::unionfind::Id) {
+        let mut eg = EG::new();
+        let mut acc = eg.add(Math::Sym("s0".into()));
+        for i in 1..len {
+            let s = eg.add(Math::Sym(format!("s{i}")));
+            acc = eg.add(Math::Mul([acc, s]));
+        }
+        (eg, acc)
+    }
+
+    fn mul_rules() -> Vec<Rewrite<Math>> {
+        vec![
+            Rewrite::rewrite(
+                "comm-mul",
+                pmul(pvar("x"), pvar("y")),
+                pmul(pvar("y"), pvar("x")),
+            ),
+            Rewrite::rewrite(
+                "assoc-mul",
+                pmul(pmul(pvar("a"), pvar("b")), pvar("c")),
+                pmul(pvar("a"), pmul(pvar("b"), pvar("c"))),
+            ),
+        ]
+    }
+
+    /// Satellite invariant: parallel search is byte-invisible. Reports
+    /// (every counter, including the delta probed/skipped rows), graph
+    /// sizes and the extracted term must all match the serial run exactly
+    /// — only `elapsed` may differ.
+    #[test]
+    fn parallel_search_is_byte_identical_to_serial() {
+        use crate::extract::{AstSize, WorklistExtractor};
+        for threads in [2, 3] {
+            let (mut eg_serial, root_s) = wide_mul_chain(80);
+            let (mut eg_par, root_p) = wide_mul_chain(80);
+            let runner = Runner::new(3, 1_000_000);
+            let mut serial = runner.run_to_fixpoint(&mut eg_serial, &mul_rules());
+            let mut par = runner
+                .with_search_threads(threads)
+                .run_to_fixpoint(&mut eg_par, &mul_rules());
+            serial.elapsed = Duration::ZERO;
+            par.elapsed = Duration::ZERO;
+            assert_eq!(serial, par, "reports must match at {threads} threads");
+            let best_s =
+                WorklistExtractor::new(&eg_serial, AstSize).extract(eg_serial.find(root_s));
+            let best_p = WorklistExtractor::new(&eg_par, AstSize).extract(eg_par.find(root_p));
+            assert_eq!(
+                best_s.to_sexp(),
+                best_p.to_sexp(),
+                "extraction must match at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@ use hardboiled_repro::apps::gemm_wmma::GemmWmma;
 use hardboiled_repro::apps::harness::max_rel_error;
 use hardboiled_repro::egraph::fault::{Fault, FaultPlan};
 use hardboiled_repro::hardboiled::postprocess::normalize_temps;
-use hardboiled_repro::hardboiled::{Batching, CompileOutcome, Session, TruncationReason};
+use hardboiled_repro::hardboiled::session::{CompileError, IntoProgram, Program};
+use hardboiled_repro::hardboiled::{
+    Batching, CompileOutcome, CompileService, Session, TruncationReason,
+};
 use hardboiled_repro::lang::lower::lower;
 
 static QUIET: Once = Once::new();
@@ -182,4 +185,120 @@ fn every_seeded_fault_leaves_suite_compilation_total() {
             );
         }
     }
+}
+
+#[test]
+fn seeded_fault_in_a_service_worker_is_confined_to_one_request() {
+    quiet_injected_panics();
+    let sources = vec![
+        lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap(),
+        lower(
+            &GemmWmma {
+                m: 32,
+                k: 32,
+                n: 32,
+            }
+            .pipeline(true),
+        )
+        .unwrap(),
+    ];
+    let clean_session = Session::builder().build().unwrap();
+    let clean: Vec<String> = sources
+        .iter()
+        .map(|s| normalize_temps(&clean_session.compile(s).unwrap().program.to_string()))
+        .collect();
+    // A one-shot rule-search panic armed on the service's session: the
+    // first request a worker saturates hits it, degrades down the ladder
+    // to the unoptimized fallback, and every other request — served
+    // concurrently on other workers — stays byte-identical to a clean
+    // session.
+    let plan = FaultPlan::new(Fault::RulePanic { at_search: 0 });
+    let faulty = Session::builder()
+        .fault_plan(Arc::clone(&plan))
+        .build()
+        .unwrap();
+    let service = CompileService::builder()
+        .worker_threads(3)
+        .register("faulty", faulty)
+        .build()
+        .unwrap();
+    let replies = service
+        .compile_batch("faulty", sources.clone())
+        .expect("submissions accepted");
+    assert_eq!(
+        plan.times_fired(),
+        1,
+        "the one-shot plan fired exactly once"
+    );
+    let mut degraded = 0usize;
+    for (i, reply) in replies.iter().enumerate() {
+        let result = reply
+            .as_ref()
+            .expect("the degradation ladder keeps every request Ok");
+        match result.report.outcome {
+            CompileOutcome::FallbackUnoptimized => degraded += 1,
+            CompileOutcome::Saturated => assert_eq!(
+                clean[i],
+                normalize_temps(&result.program.to_string()),
+                "request {i}: an unfaulted request diverged from a clean session"
+            ),
+            other => panic!("request {i}: unexpected outcome {other:?}"),
+        }
+    }
+    assert_eq!(degraded, 1, "exactly the faulted request degraded");
+    // The service keeps serving after the fault: a fresh batch on the
+    // (now spent) plan is clean end to end.
+    let replies = service
+        .compile_batch("faulty", sources.clone())
+        .expect("submissions accepted");
+    for (i, reply) in replies.iter().enumerate() {
+        let result = reply.as_ref().expect("request must compile");
+        assert_eq!(result.report.outcome, CompileOutcome::Saturated);
+        assert_eq!(
+            clean[i],
+            normalize_temps(&result.program.to_string()),
+            "request {i} after the fault diverged from a clean session"
+        );
+    }
+    service.shutdown();
+}
+
+/// A front end that panics in `to_program` — *before* the session's
+/// isolation layers, so only the service's per-request `catch_unwind`
+/// stands between the panic and the worker thread.
+struct ExplodingFrontEnd;
+
+impl IntoProgram for ExplodingFrontEnd {
+    fn to_program(&self) -> Result<Program, CompileError> {
+        panic!("injected fault: front end exploded");
+    }
+}
+
+#[test]
+fn panicking_front_end_surfaces_as_that_requests_error_only() {
+    quiet_injected_panics();
+    let source = lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap();
+    let service = CompileService::builder()
+        .worker_threads(2)
+        .register_target("sim")
+        .build()
+        .unwrap();
+    let bad = service.submit("sim", ExplodingFrontEnd).expect("accepted");
+    let good = service.submit("sim", source.clone()).expect("accepted");
+    match bad.wait() {
+        Err(CompileError::Engine(msg)) => {
+            assert!(msg.contains("injected fault"), "unexpected message: {msg}");
+        }
+        other => panic!("expected the panic as this request's Engine error, got {other:?}"),
+    }
+    assert!(good.wait().is_ok(), "the concurrent request was disturbed");
+    assert!(
+        service
+            .submit("sim", source)
+            .expect("accepted")
+            .wait()
+            .is_ok(),
+        "the worker pool stopped serving after an isolated panic"
+    );
+    service.shutdown();
 }

@@ -1,0 +1,161 @@
+//! Concurrency suite: one shared [`Session`] (and the [`CompileService`]
+//! built on it) hammered from many threads must produce byte-identical
+//! programs to serial compilation — sessions are immutable after build,
+//! the service adds no cross-request state, and intra-compile
+//! parallelism (`compile_threads`) composes with concurrent callers.
+
+use std::sync::Arc;
+use std::thread;
+
+use hardboiled_repro::apps::conv1d::Conv1d;
+use hardboiled_repro::apps::gemm_wmma::GemmWmma;
+use hardboiled_repro::hardboiled::postprocess::normalize_temps;
+use hardboiled_repro::hardboiled::{Batching, CompileService, Session};
+use hardboiled_repro::lang::lower::{lower, Lowered};
+
+/// A small mixed pool (vector conv1d, unrolled conv1d, WMMA GEMM) — big
+/// enough to exercise real saturation, small enough for a test.
+fn sources() -> Vec<Lowered> {
+    vec![
+        lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap(),
+        lower(&Conv1d { n: 512, k: 32 }.pipeline_tc_unrolled()).unwrap(),
+        lower(
+            &GemmWmma {
+                m: 32,
+                k: 32,
+                n: 32,
+            }
+            .pipeline(true),
+        )
+        .unwrap(),
+    ]
+}
+
+fn programs_via(session: &Session, sources: &[Lowered]) -> Vec<String> {
+    sources
+        .iter()
+        .map(|s| {
+            let result = session.compile(s).expect("source must compile");
+            normalize_temps(&result.program.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn shared_session_hammered_from_many_threads_matches_serial() {
+    let sources = sources();
+    let session = Arc::new(
+        Session::builder()
+            .batching(Batching::Batched)
+            .build()
+            .unwrap(),
+    );
+    let serial = programs_via(&session, &sources);
+    thread::scope(|scope| {
+        for t in 0..4 {
+            let session = &session;
+            let sources = &sources;
+            let serial = &serial;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    for (i, source) in sources.iter().enumerate() {
+                        let result = session.compile(source).expect("source must compile");
+                        assert_eq!(
+                            serial[i],
+                            normalize_temps(&result.program.to_string()),
+                            "thread {t} round {round} program {i} diverged from serial"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn intra_compile_parallelism_composes_with_concurrent_callers() {
+    // Every caller thread drives a compile that is *itself* parallel
+    // (parallel rule search + readouts); results must still match the
+    // fully serial session.
+    let sources = sources();
+    let serial_session = Session::builder().build().unwrap();
+    let serial = programs_via(&serial_session, &sources);
+    let parallel = Arc::new(Session::builder().compile_threads(2).build().unwrap());
+    thread::scope(|scope| {
+        for t in 0..3 {
+            let parallel = &parallel;
+            let sources = &sources;
+            let serial = &serial;
+            scope.spawn(move || {
+                for (i, source) in sources.iter().enumerate() {
+                    let result = parallel.compile(source).expect("source must compile");
+                    assert_eq!(
+                        serial[i],
+                        normalize_temps(&result.program.to_string()),
+                        "thread {t} program {i}: parallel compile diverged from serial"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn service_hammered_by_many_submitters_matches_serial() {
+    let sources = sources();
+    let direct = Session::builder().build().unwrap();
+    let serial = programs_via(&direct, &sources);
+    let service = CompileService::builder()
+        .worker_threads(3)
+        .register_target("sim")
+        .build()
+        .unwrap();
+    thread::scope(|scope| {
+        for t in 0..4 {
+            let service = &service;
+            let sources = &sources;
+            let serial = &serial;
+            scope.spawn(move || {
+                // Submit the whole pool, then await — interleaves this
+                // thread's requests with every other submitter's.
+                let tickets: Vec<_> = sources
+                    .iter()
+                    .map(|s| service.submit("sim", s.clone()).expect("accepted"))
+                    .collect();
+                for (i, ticket) in tickets.into_iter().enumerate() {
+                    let result = ticket.wait().expect("request must compile");
+                    assert_eq!(
+                        serial[i],
+                        normalize_temps(&result.program.to_string()),
+                        "submitter {t} request {i} diverged from serial"
+                    );
+                }
+            });
+        }
+    });
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_drains_already_queued_requests() {
+    let sources = sources();
+    let service = CompileService::builder()
+        .worker_threads(1) // one worker => requests genuinely queue
+        .register_target("sim")
+        .build()
+        .unwrap();
+    let tickets: Vec<_> = sources
+        .iter()
+        .chain(sources.iter())
+        .map(|s| service.submit("sim", s.clone()).expect("accepted"))
+        .collect();
+    // Shutdown closes the queue and joins the worker — every ticket that
+    // was accepted must still resolve successfully.
+    service.shutdown();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        assert!(
+            ticket.wait().is_ok(),
+            "queued request {i} was dropped by shutdown instead of drained"
+        );
+    }
+}
