@@ -1,7 +1,7 @@
 //! Compile-service throughput and intra-compile parallelism benchmark,
 //! written to `BENCH_serve.json`.
 //!
-//! Three measurements over the shared workload pool
+//! Five measurements over the shared workload pool
 //! (`hb_bench::workloads`):
 //!
 //! 1. **service throughput** — the full pool submitted to a
@@ -18,6 +18,14 @@
 //! 3. **extract-readout series** — the same suite forced onto per-root
 //!    worklist readouts (the `Sync` extraction strategy), serial vs
 //!    parallel readout partitions.
+//! 4. **cached-burst series** — the pool submitted for several rounds
+//!    through a service sharing one [`ReportCache`]: round 1 cold-fills,
+//!    later rounds are hits; per-round rps/p50/p99 plus the final hit
+//!    rate (deterministic: (rounds−1)/rounds).
+//! 5. **warm-start** — the pool exported as a `SuiteSnapshot`, then one
+//!    new workload warm-started into it vs a cold compile of the
+//!    extended suite: selected programs identical, delta-probed relation
+//!    rows strictly fewer (`probe_reduction` = cold/warm), restore time.
 //!
 //! On a 1-core machine a parallel wall-clock *win* is impossible, so the
 //! win floors only arm when [`cores`] ≥ 2 (the JSON's `metadata` block
@@ -27,20 +35,25 @@
 //!
 //! `--check` runs only the equivalence oracles — parallel ≡ serial for
 //! per-leaf / batched / suite-batched compilation under all three
-//! extraction strategies, and service replies ≡ direct session calls —
-//! with no timing floors and no JSON write. CI runs this on every PR.
+//! extraction strategies, service replies ≡ direct session calls,
+//! cache hits ≡ cold compiles, and warm-started suites ≡ cold suites
+//! (with strictly fewer probed rows) — with no timing floors and no
+//! JSON write. CI runs this on every PR.
 //!
 //! `--compare <path>` reloads a committed `BENCH_serve.json` and exits
 //! nonzero if a tracked ratio regressed >25% (floors demote to warnings,
 //! as in `eqsat_saturation`).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use hardboiled::postprocess::normalize_temps;
-use hardboiled::{Batching, CompileService, ExtractionPolicy, Session};
+use hardboiled::{Batching, CacheOutcome, CompileService, ExtractionPolicy, ReportCache, Session};
+use hb_apps::gemm_wmma::GemmWmma;
 use hb_bench::guard::{compare_against_baseline, timing_floor};
 use hb_bench::workloads::{cores, metadata_json, threads_flag, workloads, Workload};
 use hb_ir::stmt::Stmt;
+use hb_lang::lower::lower;
 
 /// A session over the default `sim` target with the given batching,
 /// forced extraction strategy (None = the target's `Auto` policy) and
@@ -169,6 +182,135 @@ fn assert_service_identity(all: &[Workload]) {
     );
 }
 
+/// The cache oracle: a service sharing one report cache serves hits on
+/// the second round that are identical to the first (cold) round's
+/// replies, and the stats ledger adds up.
+fn assert_cache_identity(all: &[Workload]) {
+    let cache = Arc::new(ReportCache::new(1024));
+    let service = CompileService::builder()
+        .worker_threads(2)
+        .register("default", session(Batching::PerLeaf, None, 1))
+        .shared_cache(Arc::clone(&cache))
+        .build()
+        .expect("valid service");
+    let mut rounds: Vec<Vec<String>> = Vec::new();
+    for round in 0..2 {
+        let sources: Vec<_> = all.iter().map(|w| w.lowered.clone()).collect();
+        let replies = service
+            .compile_batch("default", sources)
+            .expect("submission must be accepted");
+        let mut outs = Vec::with_capacity(replies.len());
+        for (w, reply) in all.iter().zip(&replies) {
+            let reply = reply.as_ref().expect("request must compile");
+            if round > 0 {
+                assert_eq!(
+                    reply.report.cache,
+                    CacheOutcome::Hit,
+                    "{}: repeat request should hit the shared cache",
+                    w.name
+                );
+            }
+            outs.push(normalize_temps(&reply.program.to_string()));
+        }
+        rounds.push(outs);
+    }
+    assert_eq!(
+        rounds[0], rounds[1],
+        "cache hits diverged from cold replies"
+    );
+    let stats = service.cache_stats().expect("service has a shared cache");
+    assert_eq!(stats.hits as usize, all.len());
+    assert_eq!(stats.misses as usize, all.len());
+    service.shutdown();
+    println!(
+        "cache hit ≡ cold             ok ({} workloads, round 2 all hits, identical replies)",
+        all.len()
+    );
+}
+
+/// The extra workload a warm-start adds to the exported pool (the same
+/// shape `saturation_pool` appends for engine measurements).
+fn extra_workload() -> hb_lang::lower::Lowered {
+    lower(
+        &GemmWmma {
+            m: 32,
+            k: 96,
+            n: 64,
+        }
+        .pipeline(true),
+    )
+    .expect("lowering")
+}
+
+struct WarmStats {
+    cold_probed_rows: usize,
+    warm_probed_rows: usize,
+    probe_reduction: f64,
+    restore_ms: f64,
+    snapshot_kib: f64,
+}
+
+/// The warm-start oracle and measurement: export the full pool's
+/// saturated e-graph, then compile pool + one new workload cold and
+/// warm. Asserts identical selections and strictly fewer probed rows;
+/// returns the row counts and restore time.
+fn run_warm_start(all: &[Workload]) -> WarmStats {
+    let session = session(Batching::Batched, None, 1);
+    let known: Vec<(&Stmt, &hardboiled::movement::Placements)> = all
+        .iter()
+        .map(|w| (&w.lowered.stmt, &w.lowered.placements))
+        .collect();
+    let extra = extra_workload();
+    let mut full = known.clone();
+    full.push((&extra.stmt, &extra.placements));
+
+    let (_, snapshot) = session.compile_ir_suite_exporting(&known);
+    let snapshot = snapshot.expect("a saturated batched pool compile exports a snapshot");
+    let cold = session.compile_ir_suite(&full);
+    let (warm, rejection) = session.compile_ir_suite_warm(&full, &snapshot);
+    assert!(
+        rejection.is_none(),
+        "same-policy snapshot must warm-start: {rejection:?}"
+    );
+    for (i, (c, w)) in cold.programs.iter().zip(&warm.programs).enumerate() {
+        assert_eq!(
+            normalize_temps(&c.to_string()),
+            normalize_temps(&w.to_string()),
+            "program {i}: warm selection diverged from cold"
+        );
+    }
+    let cold_probed_rows = cold
+        .report
+        .batch
+        .as_ref()
+        .expect("batched run")
+        .delta_probed_rows;
+    let warm_probed_rows = warm
+        .report
+        .batch
+        .as_ref()
+        .expect("batched run")
+        .delta_probed_rows;
+    assert!(
+        warm_probed_rows < cold_probed_rows,
+        "warm-start must probe strictly fewer rows ({warm_probed_rows} vs {cold_probed_rows})"
+    );
+    let restore_ms = warm
+        .report
+        .snapshot_restore
+        .expect("warm path records restore time")
+        .as_secs_f64()
+        * 1e3;
+    #[allow(clippy::cast_precision_loss)]
+    WarmStats {
+        cold_probed_rows,
+        warm_probed_rows,
+        probe_reduction: cold_probed_rows as f64 / warm_probed_rows.max(1) as f64,
+        restore_ms,
+        snapshot_kib: snapshot.size_bytes() as f64 / 1024.0,
+    }
+}
+
 fn check_mode(all: &[Workload]) {
     assert_parallel_identity(all, Batching::PerLeaf, None, "per-leaf auto");
     assert_parallel_identity(all, Batching::Batched, None, "batched shared-table");
@@ -210,6 +352,14 @@ fn check_mode(all: &[Workload]) {
         all.len()
     );
     assert_service_identity(all);
+    assert_cache_identity(all);
+    let warm = run_warm_start(all);
+    println!(
+        "warm ≡ cold                  ok ({} workloads + 1 new, identical programs, probed rows {} vs {})",
+        all.len(),
+        warm.warm_probed_rows,
+        warm.cold_probed_rows
+    );
     println!("all parallel-equivalence oracles passed");
 }
 
@@ -286,6 +436,62 @@ fn run_service(all: &[Workload], workers: usize, rounds: usize) -> ServeStats {
         p50_ms: percentile(&latencies, 0.50),
         p99_ms: percentile(&latencies, 0.99),
     }
+}
+
+/// Cached-burst series: `rounds` bursts of the full pool through a
+/// service sharing one report cache, measured per round. Round 1 fills
+/// the cache cold; later rounds are pure hits, so the final hit rate is
+/// deterministically (rounds−1)/rounds.
+fn run_cached_service(all: &[Workload], workers: usize, rounds: usize) -> (Vec<ServeStats>, f64) {
+    let cache = Arc::new(ReportCache::new(1024));
+    let service = CompileService::builder()
+        .worker_threads(workers)
+        .register("default", session(Batching::PerLeaf, None, 1))
+        .shared_cache(Arc::clone(&cache))
+        .build()
+        .expect("valid service");
+    let mut series = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let started = Instant::now();
+        let pending: Vec<_> = all
+            .iter()
+            .map(|w| {
+                (
+                    Instant::now(),
+                    service
+                        .submit("default", w.lowered.clone())
+                        .expect("submission must be accepted"),
+                )
+            })
+            .collect();
+        let mut latencies: Vec<f64> = pending
+            .into_iter()
+            .map(|(submitted, ticket)| {
+                let _ = ticket.wait().expect("workload must compile");
+                submitted.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let requests = latencies.len();
+        latencies.sort_by(f64::total_cmp);
+        #[allow(clippy::cast_precision_loss)]
+        let rps = requests as f64 / (wall_ms / 1e3);
+        series.push(ServeStats {
+            workers,
+            requests,
+            wall_ms,
+            rps,
+            p50_ms: percentile(&latencies, 0.50),
+            p99_ms: percentile(&latencies, 0.99),
+        });
+    }
+    let hit_rate = service
+        .cache_stats()
+        .expect("service has a shared cache")
+        .hit_rate()
+        .unwrap_or(0.0);
+    service.shutdown();
+    (series, hit_rate)
 }
 
 struct StageRun {
@@ -447,6 +653,39 @@ fn main() {
         wl_serial.readout_ms, threads, wl_parallel.readout_ms
     );
 
+    // [4] cached-burst series: the same pool re-submitted through a
+    // service sharing one report cache — round 1 cold-fills, the rest hit.
+    let cache_rounds = 3;
+    let (cached_series, hit_rate) = run_cached_service(&all, threads, cache_rounds);
+    println!("\ncached-burst series ({threads} workers, one shared ReportCache, {cache_rounds} rounds of the pool)");
+    for (round, s) in cached_series.iter().enumerate() {
+        println!(
+            "  round {} {:>4} requests in {:>8.2} ms — {:>7.1} req/s, p50 {:>7.2} ms, p99 {:>7.2} ms{}",
+            round + 1,
+            s.requests,
+            s.wall_ms,
+            s.rps,
+            s.p50_ms,
+            s.p99_ms,
+            if round == 0 { "  (cold fill)" } else { "  (hits)" }
+        );
+    }
+    let cache_rps_speedup = cached_series.last().expect("rounds >= 1").rps / cached_series[0].rps;
+    println!(
+        "  hit rate {hit_rate:.3}, hit-round throughput {cache_rps_speedup:.2}x the cold round"
+    );
+
+    // [5] warm-start: pool exported, one new workload delta-saturated.
+    let warm = run_warm_start(&all);
+    println!(
+        "\nwarm-start (pool snapshot + 1 new workload): probed rows {} vs cold {} — {:.2}x fewer, restore {:.3} ms, snapshot {:.1} KiB",
+        warm.warm_probed_rows,
+        warm.cold_probed_rows,
+        warm.probe_reduction,
+        warm.restore_ms,
+        warm.snapshot_kib
+    );
+
     let json = format!(
         r#"{{
   "benchmark": "serve_throughput",
@@ -470,6 +709,22 @@ fn main() {
     "parallel_ms": {wl_parallel_ms:.3},
     "parallel_threads": {threads},
     "readout_speedup": {readout_speedup:.2}
+  }},
+  "cache": {{
+    "description": "the pool re-submitted through a service sharing one ReportCache; round 1 cold-fills, later rounds hit — replies byte-identical either way, hit_rate is deterministic (rounds-1)/rounds",
+    "rounds": [
+{cache_rows}
+    ],
+    "hit_rate": {hit_rate:.3},
+    "hit_rps_speedup": {cache_rps_speedup:.2}
+  }},
+  "warm_start": {{
+    "description": "the pool's saturated e-graph exported as a SuiteSnapshot, then one new workload warm-started into it vs a cold compile of the extended suite; programs identical, only the new workload's delta searched",
+    "cold_probed_rows": {cold_rows},
+    "warm_probed_rows": {warm_rows},
+    "probe_reduction": {probe_reduction:.2},
+    "restore_ms": {restore_ms:.3},
+    "snapshot_kib": {snapshot_kib:.1}
   }}
 }}
 "#,
@@ -496,12 +751,35 @@ fn main() {
             .join(",\n"),
         wl_serial_ms = wl_serial.readout_ms,
         wl_parallel_ms = wl_parallel.readout_ms,
+        cache_rows = cached_series
+            .iter()
+            .enumerate()
+            .map(|(round, s)| {
+                format!(
+                    r#"      {{ "round": {}, "rps": {:.2}, "p50_ms": {:.3}, "p99_ms": {:.3} }}"#,
+                    round + 1,
+                    s.rps,
+                    s.p50_ms,
+                    s.p99_ms
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        cold_rows = warm.cold_probed_rows,
+        warm_rows = warm.warm_probed_rows,
+        probe_reduction = warm.probe_reduction,
+        restore_ms = warm.restore_ms,
+        snapshot_kib = warm.snapshot_kib,
     );
     std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");
 
     if let Some(baseline) = compare_baseline {
         // Tracked ratios only — absolute rps/latency are machine-bound.
+        // The cache/warm keys are deterministic ratios (hit rate is a
+        // round-count identity, probe reduction a row-count ratio), so
+        // they guard the subsystem itself rather than machine speed.
+        // `hit_rps_speedup` stays untracked — wall-clock noise.
         let tracked = [
             ("service", "rps_speedup", rps_speedup),
             (
@@ -510,6 +788,8 @@ fn main() {
                 saturate_speedup_2t,
             ),
             ("extract_readout", "readout_speedup", readout_speedup),
+            ("cache", "hit_rate", hit_rate),
+            ("warm_start", "probe_reduction", warm.probe_reduction),
         ];
         if !compare_against_baseline(&baseline, &tracked) {
             eprintln!("bench-guard: tracked speedup regressed >25% vs the committed baseline");

@@ -9,6 +9,9 @@ use std::hash::{Hash, Hasher};
 
 use hb_egraph::egraph::{Analysis, EGraph};
 use hb_egraph::language::{op_hasher, Language};
+use hb_egraph::snapshot::{
+    SnapshotAnalysis, SnapshotError, SnapshotNode, SnapshotReader, SnapshotWriter,
+};
 use hb_egraph::unionfind::Id;
 use hb_ir::expr::BinOp;
 use hb_ir::types::{Location, ScalarType};
@@ -166,6 +169,259 @@ impl Language for HbLang {
             | HbLang::EvalS(_) => {}
         }
         h.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codec (the e-graph wire format's per-node payload; see
+// `hb_egraph::snapshot` for the framing). Tags are part of snapshot format
+// v1 — append new variants, never renumber.
+// ---------------------------------------------------------------------------
+
+fn scalar_type_tag(st: ScalarType) -> u8 {
+    match st {
+        ScalarType::BF16 => 0,
+        ScalarType::F16 => 1,
+        ScalarType::F32 => 2,
+        ScalarType::I32 => 3,
+        ScalarType::Bool => 4,
+    }
+}
+
+fn scalar_type_from_tag(tag: u8) -> Result<ScalarType, SnapshotError> {
+    Ok(match tag {
+        0 => ScalarType::BF16,
+        1 => ScalarType::F16,
+        2 => ScalarType::F32,
+        3 => ScalarType::I32,
+        4 => ScalarType::Bool,
+        other => return Err(SnapshotError::Corrupt(format!("scalar type tag {other}"))),
+    })
+}
+
+fn location_tag(loc: Location) -> u8 {
+    match loc {
+        Location::Mem => 0,
+        Location::Amx => 1,
+        Location::Wmma => 2,
+    }
+}
+
+fn location_from_tag(tag: u8) -> Result<Location, SnapshotError> {
+    Ok(match tag {
+        0 => Location::Mem,
+        1 => Location::Amx,
+        2 => Location::Wmma,
+        other => return Err(SnapshotError::Corrupt(format!("location tag {other}"))),
+    })
+}
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::Min => 5,
+        BinOp::Max => 6,
+        BinOp::Lt => 7,
+        BinOp::Le => 8,
+        BinOp::Eq => 9,
+        BinOp::And => 10,
+        BinOp::Or => 11,
+    }
+}
+
+fn binop_from_tag(tag: u8) -> Result<BinOp, SnapshotError> {
+    Ok(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::Min,
+        6 => BinOp::Max,
+        7 => BinOp::Lt,
+        8 => BinOp::Le,
+        9 => BinOp::Eq,
+        10 => BinOp::And,
+        11 => BinOp::Or,
+        other => return Err(SnapshotError::Corrupt(format!("binop tag {other}"))),
+    })
+}
+
+fn read_ids<const N: usize>(r: &mut SnapshotReader<'_>) -> Result<[Id; N], SnapshotError> {
+    let mut ids = [Id(0); N];
+    for slot in &mut ids {
+        *slot = r.id()?;
+    }
+    Ok(ids)
+}
+
+impl SnapshotNode for HbLang {
+    fn write_node(&self, w: &mut SnapshotWriter) {
+        match self {
+            HbLang::Num(v) => {
+                w.u8(0);
+                w.i64(*v);
+            }
+            HbLang::Flt(bits, st) => {
+                w.u8(1);
+                w.u64(*bits);
+                w.u8(scalar_type_tag(*st));
+            }
+            HbLang::Str(s) => {
+                w.u8(2);
+                w.str(s);
+            }
+            HbLang::VarE(s) => {
+                w.u8(3);
+                w.str(s);
+            }
+            HbLang::Ty(st, [l]) => {
+                w.u8(4);
+                w.u8(scalar_type_tag(*st));
+                w.id(*l);
+            }
+            HbLang::MultiplyLanes(c) => {
+                w.u8(5);
+                c.iter().for_each(|&id| w.id(id));
+            }
+            HbLang::Cast(c) => {
+                w.u8(6);
+                c.iter().for_each(|&id| w.id(id));
+            }
+            HbLang::Bin(op, c) => {
+                w.u8(7);
+                w.u8(binop_tag(*op));
+                c.iter().for_each(|&id| w.id(id));
+            }
+            HbLang::Select(c) => {
+                w.u8(8);
+                c.iter().for_each(|&id| w.id(id));
+            }
+            HbLang::Ramp(c) => {
+                w.u8(9);
+                c.iter().for_each(|&id| w.id(id));
+            }
+            HbLang::Bcast(c) => {
+                w.u8(10);
+                c.iter().for_each(|&id| w.id(id));
+            }
+            HbLang::Load(c) => {
+                w.u8(11);
+                c.iter().for_each(|&id| w.id(id));
+            }
+            HbLang::Vra(c) => {
+                w.u8(12);
+                c.iter().for_each(|&id| w.id(id));
+            }
+            HbLang::Call(name, args) => {
+                w.u8(13);
+                w.str(name);
+                w.len(args.len());
+                args.iter().for_each(|&id| w.id(id));
+            }
+            HbLang::Loc(from, to, [v]) => {
+                w.u8(14);
+                w.u8(location_tag(*from));
+                w.u8(location_tag(*to));
+                w.id(*v);
+            }
+            HbLang::ExprVar([v]) => {
+                w.u8(15);
+                w.id(*v);
+            }
+            HbLang::StoreS(c) => {
+                w.u8(16);
+                c.iter().for_each(|&id| w.id(id));
+            }
+            HbLang::EvalS([v]) => {
+                w.u8(17);
+                w.id(*v);
+            }
+        }
+    }
+
+    fn read_node(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => HbLang::Num(r.i64()?),
+            1 => {
+                let bits = r.u64()?;
+                HbLang::Flt(bits, scalar_type_from_tag(r.u8()?)?)
+            }
+            2 => HbLang::Str(r.str()?),
+            3 => HbLang::VarE(r.str()?),
+            4 => {
+                let st = scalar_type_from_tag(r.u8()?)?;
+                HbLang::Ty(st, read_ids(r)?)
+            }
+            5 => HbLang::MultiplyLanes(read_ids(r)?),
+            6 => HbLang::Cast(read_ids(r)?),
+            7 => {
+                let op = binop_from_tag(r.u8()?)?;
+                HbLang::Bin(op, read_ids(r)?)
+            }
+            8 => HbLang::Select(read_ids(r)?),
+            9 => HbLang::Ramp(read_ids(r)?),
+            10 => HbLang::Bcast(read_ids(r)?),
+            11 => HbLang::Load(read_ids(r)?),
+            12 => HbLang::Vra(read_ids(r)?),
+            13 => {
+                let name = r.str()?;
+                let n = r.len()?;
+                let args = (0..n).map(|_| r.id()).collect::<Result<Vec<_>, _>>()?;
+                HbLang::Call(name, args)
+            }
+            14 => {
+                let from = location_from_tag(r.u8()?)?;
+                let to = location_from_tag(r.u8()?)?;
+                HbLang::Loc(from, to, read_ids(r)?)
+            }
+            15 => HbLang::ExprVar(read_ids(r)?),
+            16 => HbLang::StoreS(read_ids(r)?),
+            17 => HbLang::EvalS(read_ids(r)?),
+            other => return Err(SnapshotError::Corrupt(format!("HbLang node tag {other}"))),
+        })
+    }
+}
+
+impl SnapshotAnalysis<HbLang> for HbAnalysis {
+    fn write_data(data: &HbData, w: &mut SnapshotWriter) {
+        match data.constant {
+            None => w.u8(0),
+            Some(ConstVal::Int(v)) => {
+                w.u8(1);
+                w.i64(v);
+            }
+            Some(ConstVal::Float(f)) => {
+                w.u8(2);
+                w.u64(f.to_bits());
+            }
+        }
+        match data.lanes {
+            None => w.u8(0),
+            Some(l) => {
+                w.u8(1);
+                w.u32(l);
+            }
+        }
+    }
+
+    fn read_data(r: &mut SnapshotReader<'_>) -> Result<HbData, SnapshotError> {
+        let constant = match r.u8()? {
+            0 => None,
+            1 => Some(ConstVal::Int(r.i64()?)),
+            2 => Some(ConstVal::Float(f64::from_bits(r.u64()?))),
+            other => return Err(SnapshotError::Corrupt(format!("constant tag {other}"))),
+        };
+        let lanes = match r.u8()? {
+            0 => None,
+            1 => Some(r.u32()?),
+            other => return Err(SnapshotError::Corrupt(format!("lanes tag {other}"))),
+        };
+        Ok(HbData { constant, lanes })
     }
 }
 
@@ -395,6 +651,69 @@ mod tests {
         eg.union(v, n);
         eg.rebuild();
         assert_eq!(const_int(&eg, v), Some(3));
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips_every_variant() {
+        let nodes = vec![
+            HbLang::Num(-42),
+            HbLang::Flt(1.5f64.to_bits(), ScalarType::BF16),
+            HbLang::Str("acc".into()),
+            HbLang::VarE("i".into()),
+            HbLang::Ty(ScalarType::I32, [Id(1)]),
+            HbLang::MultiplyLanes([Id(1), Id(2)]),
+            HbLang::Cast([Id(3), Id(4)]),
+            HbLang::Bin(BinOp::Max, [Id(5), Id(6)]),
+            HbLang::Select([Id(1), Id(2), Id(3)]),
+            HbLang::Ramp([Id(4), Id(5), Id(6)]),
+            HbLang::Bcast([Id(7), Id(8)]),
+            HbLang::Load([Id(1), Id(2), Id(3)]),
+            HbLang::Vra([Id(9), Id(10)]),
+            HbLang::Call("tile_matmul".into(), vec![Id(1), Id(2), Id(3), Id(4)]),
+            HbLang::Loc(Location::Mem, Location::Wmma, [Id(11)]),
+            HbLang::ExprVar([Id(12)]),
+            HbLang::StoreS([Id(1), Id(2), Id(3)]),
+            HbLang::EvalS([Id(4)]),
+        ];
+        let mut w = SnapshotWriter::new();
+        for n in &nodes {
+            n.write_node(&mut w);
+        }
+        let data = [
+            HbData::default(),
+            HbData {
+                constant: Some(ConstVal::Int(7)),
+                lanes: Some(16),
+            },
+            HbData {
+                constant: Some(ConstVal::Float(2.5)),
+                lanes: None,
+            },
+        ];
+        for d in &data {
+            HbAnalysis::write_data(d, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        for n in &nodes {
+            assert_eq!(&HbLang::read_node(&mut r).unwrap(), n);
+        }
+        for d in &data {
+            assert_eq!(&HbAnalysis::read_data(&mut r).unwrap(), d);
+        }
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn snapshot_codec_rejects_unknown_tags() {
+        let mut w = SnapshotWriter::new();
+        w.u8(250);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(matches!(
+            HbLang::read_node(&mut r),
+            Err(SnapshotError::Corrupt(_))
+        ));
     }
 
     #[test]

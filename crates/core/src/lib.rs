@@ -59,6 +59,18 @@
 //! extraction readouts) is the orthogonal
 //! [`SessionBuilder::compile_threads`] knob.
 //!
+//! Because compilation is deterministic, repeated work can be memoized:
+//! the [`cache`] subsystem adds a bounded content-addressed
+//! [`ReportCache`] (attach with [`SessionBuilder::report_cache`] or
+//! share one across a service with
+//! [`CompileServiceBuilder::shared_cache`]) and e-graph
+//! [`SuiteSnapshot`]s for warm-starting suite compiles
+//! ([`Session::compile_ir_suite_exporting`] /
+//! [`Session::compile_ir_suite_warm`]) — warm results are byte-identical
+//! to cold ones while searching only the semi-naive delta of the new
+//! leaves. See the [`cache`] module docs for the keying and eviction
+//! scheme.
+//!
 //! ## Extension points
 //!
 //! * **Targets** ([`hb_accel::target::Target`]) bundle a device profile, a
@@ -89,6 +101,7 @@
 //! The pre-`Session` free functions ([`selector::select`] and friends)
 //! remain as deprecated shims with byte-identical outputs.
 
+pub mod cache;
 pub mod cost;
 pub mod decode;
 pub mod encode;
@@ -100,6 +113,9 @@ pub mod selector;
 pub mod service;
 pub mod session;
 
+pub use cache::{
+    canonical_program_hash, CacheOutcome, CacheStats, ReportCache, SuiteSnapshot, WarmRejection,
+};
 pub use cost::{CostModel, DeviceCost, HbCost};
 pub use hb_accel::target::{
     AmxTarget, ExtractionPolicy, RuleProfile, ScalarTarget, SimTarget, Target, WmmaTarget,

@@ -58,6 +58,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crate::cache::{CacheStats, ReportCache};
 use crate::session::{
     panic_message, BuildError, CompileError, CompileResult, IntoProgram, Session, SuiteResult,
 };
@@ -123,6 +124,7 @@ impl<T> Ticket<T> {
 pub struct CompileServiceBuilder {
     workers: Option<usize>,
     entries: Vec<(String, SessionSpec)>,
+    cache: Option<Arc<ReportCache>>,
 }
 
 #[derive(Debug)]
@@ -161,6 +163,20 @@ impl CompileServiceBuilder {
         self
     }
 
+    /// Shares one bounded [`ReportCache`] across every registered session
+    /// (default: no cache). Installed at [`CompileServiceBuilder::build`]
+    /// into each session that does not already carry its own cache, so
+    /// repeated requests for the same programs — from any worker, to any
+    /// target — hit instead of recompiling. Keys include each session's
+    /// policy fingerprint, so entries never cross targets or policies.
+    /// Aggregate counters are available via
+    /// [`CompileService::cache_stats`].
+    #[must_use]
+    pub fn shared_cache(mut self, cache: Arc<ReportCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Builds the service: resolves every registered target to a session
     /// and spawns the worker pool.
     ///
@@ -179,15 +195,18 @@ impl CompileServiceBuilder {
         });
         let mut sessions = HashMap::new();
         for (name, spec) in self.entries {
-            let session = match spec {
+            let mut session = match spec {
                 SessionSpec::Default => Session::builder().target_name(&name).build()?,
                 SessionSpec::Ready(session) => *session,
             };
+            if let Some(cache) = &self.cache {
+                session.install_cache(Arc::clone(cache));
+            }
             if sessions.insert(name.clone(), Arc::new(session)).is_some() {
                 return Err(BuildError::DuplicateTarget(name));
             }
         }
-        Ok(CompileService::spawn(sessions, workers))
+        Ok(CompileService::spawn(sessions, workers, self.cache))
     }
 }
 
@@ -198,6 +217,7 @@ pub struct CompileService {
     sessions: HashMap<String, Arc<Session>>,
     jobs: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    cache: Option<Arc<ReportCache>>,
 }
 
 impl CompileService {
@@ -207,7 +227,11 @@ impl CompileService {
         CompileServiceBuilder::default()
     }
 
-    fn spawn(sessions: HashMap<String, Arc<Session>>, workers: usize) -> Self {
+    fn spawn(
+        sessions: HashMap<String, Arc<Session>>,
+        workers: usize,
+        cache: Option<Arc<ReportCache>>,
+    ) -> Self {
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..workers)
@@ -229,6 +253,7 @@ impl CompileService {
             sessions,
             jobs: Some(tx),
             workers,
+            cache,
         }
     }
 
@@ -236,6 +261,20 @@ impl CompileService {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Aggregated hit/miss/bypass/eviction counters of the shared report
+    /// cache, across every worker and registered session (`None` when the
+    /// service was built without [`CompileServiceBuilder::shared_cache`]).
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The shared report cache, if one was installed.
+    #[must_use]
+    pub fn shared_cache(&self) -> Option<&Arc<ReportCache>> {
+        self.cache.as_ref()
     }
 
     /// Registered target names, sorted.

@@ -67,16 +67,20 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use hb_accel::target::{ExtractionPolicy, SimTarget, Target};
 use hb_egraph::extract::{DagCostExtractor, Extract, SharedTableExtractor, WorklistExtractor};
-use hb_egraph::schedule::{Budget, RunReport, Runner};
+use hb_egraph::pool::SearchPool;
+use hb_egraph::schedule::{Budget, RunReport, Runner, WarmStart};
 use hb_egraph::unionfind::Id;
 use hb_ir::expr::Expr;
 use hb_ir::stmt::Stmt;
 
+use crate::cache::{
+    request_hash, CacheOutcome, CachedCompile, ReportCache, SuiteSnapshot, WarmRejection,
+};
 use crate::cost::{CostModel, DeviceCost, ModelCost};
 use crate::decode::decode_stmt;
 use crate::encode::encode_stmt;
@@ -419,6 +423,15 @@ pub struct CompileReport {
     pub eqsat_time: Duration,
     /// End-to-end compile time (lowering included).
     pub total_time: Duration,
+    /// How the session's report cache treated this compile
+    /// ([`CacheOutcome::Bypass`] when no cache is attached). On a
+    /// [`CacheOutcome::Hit`] the rest of the report — timings included —
+    /// is the stored report of the compile that populated the entry.
+    pub cache: CacheOutcome,
+    /// Wall-clock spent restoring the e-graph snapshot, when this
+    /// compile warm-started via [`Session::compile_ir_suite_warm`]
+    /// (`None` on cold compiles and rejected warm-starts).
+    pub snapshot_restore: Option<Duration>,
     /// Front-end diagnostics carried over from the [`Program`]s.
     pub notes: Vec<String>,
 }
@@ -511,6 +524,7 @@ pub struct SessionBuilder {
     runner: Option<Runner>,
     naive_matcher: bool,
     threads: Option<usize>,
+    cache: Option<Arc<ReportCache>>,
     #[cfg(feature = "fault-injection")]
     fault_plan: Option<std::sync::Arc<hb_egraph::fault::FaultPlan>>,
 }
@@ -531,6 +545,7 @@ impl SessionBuilder {
             runner: None,
             naive_matcher: false,
             threads: None,
+            cache: None,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -674,6 +689,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a report cache (default: none — every compile runs the
+    /// pipeline). Pass the same `Arc` to several sessions (or to
+    /// [`CompileServiceBuilder::shared_cache`]) to share one bounded
+    /// cache across them; keys include each session's policy
+    /// fingerprint, so sessions with different targets or budgets never
+    /// serve each other's entries.
+    ///
+    /// [`CompileServiceBuilder::shared_cache`]: crate::service::CompileServiceBuilder::shared_cache
+    #[must_use]
+    pub fn report_cache(mut self, cache: Arc<ReportCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Validates the configuration and builds the session.
     ///
     /// # Errors
@@ -725,9 +754,26 @@ impl SessionBuilder {
             // an untouched knob leaves a custom runner's choice alone.
             runner.search_threads = threads;
         }
+        if runner.search_threads > 1 && runner.shared_pool.is_none() {
+            // One search pool for the session's lifetime: every shared
+            // saturation run of every compile reuses it instead of
+            // spawning (and joining) a fresh pool per run.
+            let pool = Arc::new(SearchPool::new(runner.search_threads));
+            runner = runner.with_shared_pool(pool);
+        }
         let extraction = self
             .extraction
             .unwrap_or_else(|| target.extraction_policy());
+        let fingerprint = crate::cache::policy_fingerprint(
+            target.name(),
+            batching,
+            extraction,
+            self.outer_iters,
+            self.deadline,
+            self.match_budget,
+            &runner,
+            cost.as_ref(),
+        );
         Ok(Session {
             target,
             cost,
@@ -739,6 +785,8 @@ impl SessionBuilder {
             runner,
             threads,
             rules: OnceLock::new(),
+            cache: self.cache,
+            fingerprint,
         })
     }
 }
@@ -760,6 +808,8 @@ pub struct Session {
     runner: Runner,
     threads: usize,
     rules: OnceLock<RuleSet>,
+    cache: Option<Arc<ReportCache>>,
+    fingerprint: u64,
 }
 
 impl Default for Session {
@@ -801,6 +851,16 @@ impl Session {
     ) -> Session {
         let target = SimTarget::new();
         let cost = DeviceCost::from_profile(target.device());
+        let fingerprint = crate::cache::policy_fingerprint(
+            target.name(),
+            batching,
+            ExtractionPolicy::Auto,
+            outer_iters,
+            None,
+            None,
+            &runner,
+            &cost,
+        );
         Session {
             target: Box::new(target),
             cost: Box::new(cost),
@@ -812,6 +872,8 @@ impl Session {
             runner,
             threads: 1,
             rules: OnceLock::new(),
+            cache: None,
+            fingerprint,
         }
     }
 
@@ -839,6 +901,43 @@ impl Session {
     #[must_use]
     pub fn extraction_policy(&self) -> ExtractionPolicy {
         self.extraction
+    }
+
+    /// The session's policy fingerprint: a stable hash of everything
+    /// besides the programs that can change a compile's output (target,
+    /// batching, extraction, budgets, cost-model probe). Cache keys fold
+    /// it in, and [`SuiteSnapshot`]s carry the exporting session's value
+    /// so warm-starts only run under a compatible policy.
+    #[must_use]
+    pub fn policy_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The attached report cache, if any.
+    #[must_use]
+    pub fn report_cache(&self) -> Option<&Arc<ReportCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Installs a cache post-build if the session has none (how
+    /// [`CompileService`](crate::service::CompileService) shares one
+    /// cache across its registered sessions).
+    pub(crate) fn install_cache(&mut self, cache: Arc<ReportCache>) {
+        self.cache.get_or_insert(cache);
+    }
+
+    /// Whether compiles may consult the cache at all: fault-injected
+    /// sessions always bypass — an injected engine fault would otherwise
+    /// poison the cache for every later (clean) compile of the same key.
+    fn cache_consultable(&self) -> bool {
+        #[cfg(feature = "fault-injection")]
+        {
+            self.runner.fault_plan.is_none()
+        }
+        #[cfg(not(feature = "fault-injection"))]
+        {
+            true
+        }
     }
 
     /// Resolves [`ExtractionPolicy::Auto`] for one compilation shape: the
@@ -1035,6 +1134,8 @@ impl Session {
                     stages: report.stages,
                     eqsat_time: report.eqsat_time,
                     total_time: report.total_time,
+                    cache: report.cache,
+                    snapshot_restore: report.snapshot_restore,
                     notes: program.notes.clone(),
                 };
                 next += count;
@@ -1141,6 +1242,147 @@ impl Session {
         }
     }
 
+    /// [`Session::compile_ir_suite`] that additionally exports the
+    /// saturated suite e-graph as a [`SuiteSnapshot`] for later
+    /// warm-starts. The snapshot is `Some` only when the session runs
+    /// [`Batching::Batched`] (per-leaf mode has no shared graph to
+    /// snapshot) and the run completed its schedule (a budget-truncated
+    /// graph would warm-start future compiles unsaturated). Exporting
+    /// compiles bypass the report cache — the caller wants the graph,
+    /// not a memoized answer.
+    #[must_use]
+    pub fn compile_ir_suite_exporting(
+        &self,
+        programs: &[(&Stmt, &Placements)],
+    ) -> (IrSuiteResult, Option<SuiteSnapshot>) {
+        let mut snapshot = None;
+        let CompiledPrograms {
+            programs: selected,
+            report,
+            ..
+        } = self.compile_programs_with(programs, self.compile_budget(), Some(&mut snapshot));
+        (
+            IrSuiteResult {
+                programs: selected,
+                report,
+            },
+            snapshot,
+        )
+    }
+
+    /// Warm-start suite compile: restores the saturated suite e-graph
+    /// from `snapshot`, hash-conses the request's leaves into it (known
+    /// leaves dedup into already-saturated classes; new leaves become
+    /// the semi-naive delta), runs only the warm phased schedule, and
+    /// extracts — selecting programs **byte-identical** to a cold
+    /// [`Session::compile_ir_suite`] while searching strictly fewer
+    /// relation rows (see `RunReport::delta_probed_rows`).
+    ///
+    /// Warm-start degrades, it never fails: a corrupted, truncated or
+    /// version-mismatched snapshot, or one exported under a different
+    /// policy fingerprint, yields a clean cold compile plus the typed
+    /// [`WarmRejection`] explaining why. On the warm path the report
+    /// carries the restore time in
+    /// [`CompileReport::snapshot_restore`]; either path bypasses the
+    /// report cache.
+    #[must_use]
+    pub fn compile_ir_suite_warm(
+        &self,
+        programs: &[(&Stmt, &Placements)],
+        snapshot: &SuiteSnapshot,
+    ) -> (IrSuiteResult, Option<WarmRejection>) {
+        match self.try_compile_warm(programs, snapshot) {
+            Ok(result) => (result, None),
+            Err(rejection) => {
+                let mut result = self.compile_ir_suite(programs);
+                result
+                    .report
+                    .notes
+                    .push(format!("warm-start rejected, compiled cold: {rejection}"));
+                (result, Some(rejection))
+            }
+        }
+    }
+
+    /// The warm path proper: validate → restore → capture the warm
+    /// epoch → encode → warm saturate → shared extract → splice.
+    fn try_compile_warm(
+        &self,
+        programs: &[(&Stmt, &Placements)],
+        snapshot: &SuiteSnapshot,
+    ) -> Result<IrSuiteResult, WarmRejection> {
+        if snapshot.fingerprint != self.fingerprint {
+            return Err(WarmRejection::PolicyMismatch {
+                expected: self.fingerprint,
+                found: snapshot.fingerprint,
+            });
+        }
+        let restore_started = Instant::now();
+        let mut eg = HbGraph::restore(&snapshot.engine).map_err(WarmRejection::Snapshot)?;
+        let restore = restore_started.elapsed();
+        // Everything in the restored graph predates the warm epoch: the
+        // delta the phased schedule re-searches is exactly what the new
+        // leaves add below.
+        let warm = WarmStart::capture(&mut eg);
+
+        let budget = self.compile_budget();
+        let total_started = Instant::now();
+        let mut report = CompileReport {
+            target: self.target.name().to_string(),
+            snapshot_restore: Some(restore),
+            ..CompileReport::default()
+        };
+        if let Some(cache) = &self.cache {
+            cache.note_bypass();
+        }
+
+        let encode_started = Instant::now();
+        let annotated: Vec<Stmt> = programs
+            .iter()
+            .map(|(stmt, extra)| self.annotate(stmt, extra))
+            .collect();
+        let (leaves, leaf_counts) = collect_suite_leaves(&annotated);
+        report.stages.encode = encode_started.elapsed();
+        if leaves.is_empty() {
+            report.total_time = total_started.elapsed();
+            return Ok(IrSuiteResult {
+                programs: annotated,
+                report,
+            });
+        }
+
+        let rules = self.rules();
+        let encode_started = Instant::now();
+        let roots: Vec<Id> = leaves.iter().map(|s| encode_stmt(&mut eg, s)).collect();
+        eg.rebuild();
+        report.stages.encode += encode_started.elapsed();
+
+        let saturate_started = Instant::now();
+        let run = self.runner.run_phased_warm(
+            &mut eg,
+            &rules.main,
+            &rules.support,
+            self.outer_iters,
+            budget,
+            warm,
+        );
+        report.stages.saturate += saturate_started.elapsed();
+        report.outcome = report.outcome.worst(CompileOutcome::of_run(&run));
+
+        let selected = self.extract_shared(&eg, &roots, &leaves, &mut report);
+        report.batch = Some(run);
+        report.eqsat_time = report.stages.saturate;
+
+        let splice_started = Instant::now();
+        let outs = splice_selected(&annotated, &leaf_counts, &selected);
+        report.stages.splice = splice_started.elapsed();
+        report.total_time = total_started.elapsed();
+        Ok(IrSuiteResult {
+            programs: outs,
+            report,
+        })
+    }
+
     /// Applies the target's placement policy and annotates data movements
     /// (the shared front half of both batching modes).
     fn annotate(&self, stmt: &Stmt, extra_placements: &Placements) -> Stmt {
@@ -1162,6 +1404,20 @@ impl Session {
         programs: &[(&Stmt, &Placements)],
         budget: Budget,
     ) -> CompiledPrograms {
+        self.compile_programs_with(programs, budget, None)
+    }
+
+    /// [`Session::compile_programs`] with an optional snapshot export
+    /// slot. When `export` is `Some`, the compile bypasses the report
+    /// cache (the caller wants the saturated graph, not a memoized
+    /// answer) and a batched run that completed its schedule fills the
+    /// slot with the saturated suite graph.
+    fn compile_programs_with(
+        &self,
+        programs: &[(&Stmt, &Placements)],
+        budget: Budget,
+        export: Option<&mut Option<SuiteSnapshot>>,
+    ) -> CompiledPrograms {
         let total_started = Instant::now();
         let mut report = CompileReport {
             target: self.target.name().to_string(),
@@ -1173,25 +1429,14 @@ impl Session {
             .iter()
             .map(|(stmt, extra)| self.annotate(stmt, extra))
             .collect();
-
-        // Pass 1: collect each program's leaves. `for_each_stmt` visits
-        // leaf statements in the same left-to-right order as the bottom-up
-        // rewrite used for splicing below (leaves have no statement
-        // children), without rebuilding the tree.
-        let mut leaves: Vec<Stmt> = Vec::new();
-        let mut leaf_counts: Vec<usize> = Vec::with_capacity(annotated.len());
-        for tree in &annotated {
-            let before = leaves.len();
-            tree.for_each_stmt(&mut |s| {
-                if is_selection_leaf(s) {
-                    leaves.push(s.clone());
-                }
-            });
-            leaf_counts.push(leaves.len() - before);
-        }
+        let (leaves, leaf_counts) = collect_suite_leaves(&annotated);
         report.stages.encode = encode_started.elapsed();
         if leaves.is_empty() {
-            // Leaf-free programs never touch the rule set (nor build it).
+            // Leaf-free programs never touch the rule set (nor build it)
+            // — and never the cache: there is nothing to memoize.
+            if let Some(cache) = &self.cache {
+                cache.note_bypass();
+            }
             report.total_time = total_started.elapsed();
             return CompiledPrograms {
                 programs: annotated,
@@ -1200,33 +1445,56 @@ impl Session {
             };
         }
 
+        // Layer-1 consult: key on the canonical content of the whole
+        // request plus this session's policy fingerprint. Exporting
+        // compiles and fault-injected sessions bypass (see
+        // `cache_consultable`).
+        let consult = self.cache.is_some() && export.is_none() && self.cache_consultable();
+        let key = consult.then(|| request_hash(programs, self.fingerprint));
+        if let Some(key) = key {
+            let cache = self.cache.as_ref().expect("consulted implies attached");
+            if let Some(mut hit) = cache.lookup(key, programs) {
+                hit.report.cache = CacheOutcome::Hit;
+                return CompiledPrograms {
+                    programs: hit.programs,
+                    report: hit.report,
+                    leaf_counts: hit.leaf_counts,
+                };
+            }
+            report.cache = CacheOutcome::Miss;
+        } else if let Some(cache) = &self.cache {
+            cache.note_bypass();
+        }
+
         let rules = self.rules();
         let selected = match self.batching {
-            Batching::Batched => self.saturate_shared(&leaves, rules, budget, &mut report),
+            Batching::Batched => self.saturate_shared(&leaves, rules, budget, &mut report, export),
             Batching::PerLeaf => self.saturate_per_leaf(&leaves, rules, budget, &mut report),
         };
         report.eqsat_time = report.stages.saturate;
 
-        // Pass 2: splice each program's results back, in traversal order.
         let splice_started = Instant::now();
-        let mut outs = Vec::with_capacity(annotated.len());
-        let mut next = 0usize;
-        for (tree, &count) in annotated.iter().zip(&leaf_counts) {
-            let end = next + count;
-            let out = tree.rewrite_stmts_bottom_up(&mut |s| {
-                if is_selection_leaf(s) {
-                    let replacement = selected[next].clone();
-                    next += 1;
-                    Some(replacement)
-                } else {
-                    None
-                }
-            });
-            debug_assert_eq!(next, end, "leaf traversal order diverged");
-            outs.push(out);
-        }
+        let outs = splice_selected(&annotated, &leaf_counts, &selected);
         report.stages.splice = splice_started.elapsed();
         report.total_time = total_started.elapsed();
+
+        // Only the reference rung is worth memoizing: a truncated or
+        // degraded result must not shadow a later clean compile of the
+        // same request (budgets are in the key, but deadlines race).
+        if let Some(key) = key {
+            if report.outcome == CompileOutcome::Saturated {
+                let cache = self.cache.as_ref().expect("consulted implies attached");
+                cache.store(
+                    key,
+                    programs,
+                    CachedCompile {
+                        programs: outs.clone(),
+                        report: report.clone(),
+                        leaf_counts: leaf_counts.clone(),
+                    },
+                );
+            }
+        }
         CompiledPrograms {
             programs: outs,
             report,
@@ -1243,6 +1511,7 @@ impl Session {
         rules: &RuleSet,
         budget: Budget,
         report: &mut CompileReport,
+        export: Option<&mut Option<SuiteSnapshot>>,
     ) -> Vec<Stmt> {
         let encode_started = Instant::now();
         let mut eg = HbGraph::default();
@@ -1261,6 +1530,35 @@ impl Session {
         report.stages.saturate += saturate_started.elapsed();
         report.outcome = report.outcome.worst(CompileOutcome::of_run(&run));
 
+        // Layer-2 export: only a run that completed its schedule is worth
+        // snapshotting — a budget-truncated graph would warm-start future
+        // compiles from an unsaturated state and could select different
+        // programs than their cold compile would.
+        if let Some(slot) = export {
+            if CompileOutcome::of_run(&run) == CompileOutcome::Saturated {
+                *slot = Some(SuiteSnapshot {
+                    engine: eg.snapshot(),
+                    fingerprint: self.fingerprint,
+                });
+            }
+        }
+
+        let selected = self.extract_shared(&eg, &roots, leaves, report);
+        report.batch = Some(run);
+        selected
+    }
+
+    /// Shared-graph extraction: one settled cost table serves every
+    /// root. Factored out of [`Session::saturate_shared`] so warm-start
+    /// compiles run the identical readout path (byte-identity depends on
+    /// it).
+    fn extract_shared(
+        &self,
+        eg: &HbGraph,
+        roots: &[Id],
+        leaves: &[Stmt],
+        report: &mut CompileReport,
+    ) -> Vec<Stmt> {
         // One cost table serves every root; the resolved strategy (Auto →
         // shared-table here) additionally shares readout work across roots
         // through its term bank. With `compile_threads > 1` and a
@@ -1271,7 +1569,7 @@ impl Session {
         let extract_started = Instant::now();
         let threads = self.threads.min(roots.len());
         let sync_extractor = if threads > 1 {
-            self.build_sync_extractor(&eg, true)
+            self.build_sync_extractor(eg, true)
         } else {
             None
         };
@@ -1299,7 +1597,7 @@ impl Session {
                 (extractor.stats(), readouts)
             }
             None => {
-                let extractor = self.build_extractor(&eg, true);
+                let extractor = self.build_extractor(eg, true);
                 let readouts = roots
                     .iter()
                     .zip(leaves)
@@ -1330,7 +1628,6 @@ impl Session {
         extraction.reused_readouts = stats.reused_readouts;
         report.extraction = Some(extraction);
         report.stages.extract += extract_started.elapsed();
-        report.batch = Some(run);
         selected
     }
 
@@ -1478,6 +1775,49 @@ struct CompiledPrograms {
     programs: Vec<Stmt>,
     report: CompileReport,
     leaf_counts: Vec<usize>,
+}
+
+/// Pass 1 of the pipeline: each annotated program's selection leaves, in
+/// traversal order, plus per-program counts. `for_each_stmt` visits leaf
+/// statements in the same left-to-right order as the bottom-up rewrite
+/// used for splicing (leaves have no statement children), without
+/// rebuilding the tree.
+fn collect_suite_leaves(annotated: &[Stmt]) -> (Vec<Stmt>, Vec<usize>) {
+    let mut leaves: Vec<Stmt> = Vec::new();
+    let mut leaf_counts: Vec<usize> = Vec::with_capacity(annotated.len());
+    for tree in annotated {
+        let before = leaves.len();
+        tree.for_each_stmt(&mut |s| {
+            if is_selection_leaf(s) {
+                leaves.push(s.clone());
+            }
+        });
+        leaf_counts.push(leaves.len() - before);
+    }
+    (leaves, leaf_counts)
+}
+
+/// Pass 2 of the pipeline: splice each program's selected statements
+/// back over its leaves, in the same traversal order pass 1 collected
+/// them.
+fn splice_selected(annotated: &[Stmt], leaf_counts: &[usize], selected: &[Stmt]) -> Vec<Stmt> {
+    let mut outs = Vec::with_capacity(annotated.len());
+    let mut next = 0usize;
+    for (tree, &count) in annotated.iter().zip(leaf_counts) {
+        let end = next + count;
+        let out = tree.rewrite_stmts_bottom_up(&mut |s| {
+            if is_selection_leaf(s) {
+                let replacement = selected[next].clone();
+                next += 1;
+                Some(replacement)
+            } else {
+                None
+            }
+        });
+        debug_assert_eq!(next, end, "leaf traversal order diverged");
+        outs.push(out);
+    }
+    outs
 }
 
 /// Renders a caught panic payload (`&str` and `String` payloads pass

@@ -25,11 +25,15 @@
 //!   ([`EGraph::modified_candidates_per_class`], the
 //!   [`DeltaTracking::PerClass`] A/B baseline).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt::Debug;
 
 use crate::language::{Language, RecExpr};
 use crate::relation::Relations;
+use crate::snapshot::{
+    frame_payload, unframe_payload, SnapshotAnalysis, SnapshotError, SnapshotNode, SnapshotReader,
+    SnapshotWriter,
+};
 use crate::unionfind::{Id, UnionFind};
 
 /// Which change-tracking granularity a delta search reads.
@@ -861,6 +865,374 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             None
         }
         go(self, id, &mut out, &mut on_stack).map(|_| out)
+    }
+}
+
+/// Resolves an operator-key table index read from a snapshot.
+fn key_at(op_keys: &[u64], idx: u64) -> Result<u64, SnapshotError> {
+    usize::try_from(idx)
+        .ok()
+        .and_then(|i| op_keys.get(i).copied())
+        .ok_or_else(|| SnapshotError::Corrupt("operator key index out of range".into()))
+}
+
+impl<L, N> EGraph<L, N>
+where
+    L: SnapshotNode,
+    N: SnapshotAnalysis<L>,
+{
+    /// Serializes the whole graph into the versioned snapshot byte format
+    /// (see [`crate::snapshot`] for the framing and the operator-key
+    /// indirection). The graph must be clean: a snapshot is the state a
+    /// search could run against, and only rebuilt graphs have canonical
+    /// node lists, compacted index rows and propagated epochs.
+    ///
+    /// The bytes are deterministic — hash maps are walked in sorted order
+    /// — so two structurally identical graphs snapshot identically within
+    /// one build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has not been rebuilt since the last union.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        assert!(self.clean, "snapshot requires a rebuilt e-graph");
+        let mut w = SnapshotWriter::new();
+        w.u64(self.work_epoch);
+
+        let parents = self.unionfind.parents();
+        w.len(parents.len());
+        for &p in parents {
+            w.id(p);
+        }
+
+        // Operator-key table: one representative node per distinct key
+        // (minimal by `Ord` for determinism). Every key the graph tracks
+        // appears in some node list — node lists only ever grow — so the
+        // table covers the op rows, index rows and per-op logs below.
+        let mut reps: BTreeMap<u64, &L> = BTreeMap::new();
+        for class in self.classes.values() {
+            for node in &class.nodes {
+                let rep = reps.entry(node.op_key()).or_insert(node);
+                if node < *rep {
+                    *rep = node;
+                }
+            }
+        }
+        w.len(reps.len());
+        for node in reps.values() {
+            node.write_node(&mut w);
+        }
+        let index_of: HashMap<u64, u64> = reps
+            .keys()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u64))
+            .collect();
+        let index_of = |key: u64| -> u64 {
+            *index_of
+                .get(&key)
+                .expect("every tracked op key has a representative node")
+        };
+
+        let mut ids: Vec<Id> = self.classes.keys().copied().collect();
+        ids.sort_unstable();
+        w.len(ids.len());
+        for id in ids {
+            let class = &self.classes[&id];
+            w.id(id);
+            w.len(class.nodes.len());
+            for node in &class.nodes {
+                node.write_node(&mut w);
+            }
+            N::write_data(&class.data, &mut w);
+            w.len(class.parents.len());
+            for (node, pid) in &class.parents {
+                node.write_node(&mut w);
+                w.id(*pid);
+            }
+            w.u64(class.modified);
+            w.len(class.op_epochs.len());
+            for &(key, epoch) in &class.op_epochs {
+                w.u64(index_of(key));
+                w.u64(epoch);
+            }
+        }
+
+        let mut op_rows: Vec<(u64, &Vec<Id>)> = self
+            .classes_by_op
+            .iter()
+            .map(|(&k, row)| (k, row))
+            .collect();
+        op_rows.sort_unstable_by_key(|&(k, _)| k);
+        w.len(op_rows.len());
+        for (key, row) in op_rows {
+            w.u64(index_of(key));
+            w.len(row.len());
+            for &id in row {
+                w.id(id);
+            }
+        }
+
+        w.len(self.modified_log.len());
+        for &(e, id) in &self.modified_log {
+            w.u64(e);
+            w.id(id);
+        }
+
+        let mut op_logs: Vec<(u64, &Vec<(u64, Id)>)> = self
+            .modified_log_by_op
+            .iter()
+            .map(|(&k, log)| (k, log))
+            .collect();
+        op_logs.sort_unstable_by_key(|&(k, _)| k);
+        w.len(op_logs.len());
+        for (key, log) in op_logs {
+            w.u64(index_of(key));
+            w.len(log.len());
+            for &(e, id) in log {
+                w.u64(e);
+                w.id(id);
+            }
+        }
+
+        self.relations.write_snapshot(&mut w);
+        frame_payload(w.into_bytes())
+    }
+
+    /// Rebuilds a graph from bytes written by [`EGraph::snapshot`].
+    ///
+    /// Never panics on untrusted input: framing problems (truncation, bad
+    /// magic, version bump, checksum mismatch) and every structural
+    /// violation (non-root class ids, dangling children, cyclic
+    /// union-find, unsorted delta logs, …) are rejected with a typed
+    /// [`SnapshotError`] so the caller can fall back to a cold build. The
+    /// restored graph is clean and search-ready; its memo is
+    /// reconstructed from the class node lists, which is exact on the
+    /// clean graphs [`EGraph::snapshot`] accepts.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let payload = unframe_payload(bytes)?;
+        let mut r = SnapshotReader::new(payload);
+        let corrupt = |what: &str| SnapshotError::Corrupt(what.into());
+
+        let work_epoch = r.u64()?;
+        if work_epoch == 0 {
+            return Err(corrupt("work epoch must be at least 1"));
+        }
+
+        let n = r.len()?;
+        if u32::try_from(n).is_err() {
+            return Err(corrupt("union-find too large for u32 ids"));
+        }
+        let mut parents = Vec::with_capacity(n);
+        for _ in 0..n {
+            let p = r.id()?;
+            if p.index() >= n {
+                return Err(corrupt("union-find parent out of bounds"));
+            }
+            parents.push(p);
+        }
+        // Reject cycles (other than root self-loops): `find` on a cyclic
+        // forest would spin forever. One linear pass with tri-state marks.
+        {
+            let mut state = vec![0u8; n]; // 0 unvisited, 1 on path, 2 done
+            for start in 0..n {
+                if state[start] != 0 {
+                    continue;
+                }
+                let mut path = Vec::new();
+                let mut cur = start;
+                loop {
+                    match state[cur] {
+                        2 => break,
+                        1 => return Err(corrupt("union-find contains a cycle")),
+                        _ => {}
+                    }
+                    state[cur] = 1;
+                    path.push(cur);
+                    let p = parents[cur].index();
+                    if p == cur {
+                        break;
+                    }
+                    cur = p;
+                }
+                for i in path {
+                    state[i] = 2;
+                }
+            }
+        }
+        let unionfind = UnionFind::from_parents(parents);
+        let n_roots = (0..n)
+            .filter(|&i| unionfind.find(Id::from(i)) == Id::from(i))
+            .count();
+
+        let n_ops = r.len()?;
+        let mut op_keys = Vec::with_capacity(n_ops);
+        let mut seen_keys = HashSet::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            let node = L::read_node(&mut r)?;
+            let key = node.op_key();
+            if !seen_keys.insert(key) {
+                return Err(corrupt("duplicate operator in key table"));
+            }
+            op_keys.push(key);
+        }
+
+        let n_classes = r.len()?;
+        if n_classes != n_roots {
+            return Err(corrupt("class count does not match union-find roots"));
+        }
+        let mut classes: HashMap<Id, EClass<L, N::Data>> = HashMap::with_capacity(n_classes);
+        let mut last_id: Option<Id> = None;
+        for _ in 0..n_classes {
+            let id = r.id()?;
+            if id.index() >= n || unionfind.find(id) != id {
+                return Err(corrupt("class id is not a canonical root"));
+            }
+            if last_id.is_some_and(|prev| id <= prev) {
+                return Err(corrupt("class ids are not strictly ascending"));
+            }
+            last_id = Some(id);
+            let n_nodes = r.len()?;
+            if n_nodes == 0 {
+                return Err(corrupt("class with no nodes"));
+            }
+            let mut nodes = Vec::with_capacity(n_nodes);
+            for _ in 0..n_nodes {
+                let node = L::read_node(&mut r)?;
+                for &c in node.children() {
+                    if c.index() >= n || unionfind.find(c) != c {
+                        return Err(corrupt("node child is not a canonical class"));
+                    }
+                }
+                nodes.push(node);
+            }
+            let data = N::read_data(&mut r)?;
+            let n_parents = r.len()?;
+            let mut class_parents = Vec::with_capacity(n_parents);
+            for _ in 0..n_parents {
+                let node = L::read_node(&mut r)?;
+                let pid = r.id()?;
+                // Parent entries may be stale (non-canonical) by design;
+                // only bounds are checked.
+                if pid.index() >= n || node.children().iter().any(|c| c.index() >= n) {
+                    return Err(corrupt("parent entry out of bounds"));
+                }
+                class_parents.push((node, pid));
+            }
+            let modified = r.u64()?;
+            if modified > work_epoch {
+                return Err(corrupt("class epoch is past the clock"));
+            }
+            let n_rows = r.len()?;
+            let mut op_epochs = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                let key = key_at(&op_keys, r.u64()?)?;
+                let epoch = r.u64()?;
+                if epoch > work_epoch {
+                    return Err(corrupt("op row epoch is past the clock"));
+                }
+                op_epochs.push((key, epoch));
+            }
+            classes.insert(
+                id,
+                EClass {
+                    id,
+                    nodes,
+                    data,
+                    parents: class_parents,
+                    modified,
+                    op_epochs,
+                },
+            );
+        }
+
+        // The memo is derivable state on a clean graph: every canonical
+        // node maps to the class whose node list holds it.
+        let mut memo: HashMap<L, Id> = HashMap::new();
+        for class in classes.values() {
+            for node in &class.nodes {
+                if memo.insert(node.clone(), class.id).is_some() {
+                    return Err(corrupt("one e-node appears in two classes"));
+                }
+            }
+        }
+
+        let n_rows = r.len()?;
+        let mut classes_by_op: HashMap<u64, Vec<Id>> = HashMap::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let key = key_at(&op_keys, r.u64()?)?;
+            let len = r.len()?;
+            let mut row = Vec::with_capacity(len);
+            let mut prev: Option<Id> = None;
+            for _ in 0..len {
+                let id = r.id()?;
+                if !classes.contains_key(&id) {
+                    return Err(corrupt("op index row names a dead class"));
+                }
+                if prev.is_some_and(|p| id <= p) {
+                    return Err(corrupt("op index row is not sorted and deduplicated"));
+                }
+                prev = Some(id);
+                row.push(id);
+            }
+            if classes_by_op.insert(key, row).is_some() {
+                return Err(corrupt("duplicate op index row"));
+            }
+        }
+
+        let read_log = |r: &mut SnapshotReader<'_>| -> Result<Vec<(u64, Id)>, SnapshotError> {
+            let len = r.len()?;
+            let mut log = Vec::with_capacity(len);
+            let mut last = 0u64;
+            for _ in 0..len {
+                let e = r.u64()?;
+                if e < last || e > work_epoch {
+                    return Err(SnapshotError::Corrupt(
+                        "modification log is not sorted within the clock".into(),
+                    ));
+                }
+                last = e;
+                let id = r.id()?;
+                if id.index() >= n {
+                    return Err(SnapshotError::Corrupt("logged id out of bounds".into()));
+                }
+                log.push((e, id));
+            }
+            Ok(log)
+        };
+        let modified_log = read_log(&mut r)?;
+        let n_logs = r.len()?;
+        let mut modified_log_by_op: HashMap<u64, Vec<(u64, Id)>> = HashMap::with_capacity(n_logs);
+        for _ in 0..n_logs {
+            let key = key_at(&op_keys, r.u64()?)?;
+            let log = read_log(&mut r)?;
+            if modified_log_by_op.insert(key, log).is_some() {
+                return Err(corrupt("duplicate per-op modification log"));
+            }
+        }
+
+        let relations = Relations::read_snapshot(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(corrupt("trailing bytes after payload"));
+        }
+
+        Ok(EGraph {
+            unionfind,
+            memo,
+            classes,
+            pending: Vec::new(),
+            analysis_pending: Vec::new(),
+            relations,
+            clean: true,
+            classes_by_op,
+            dirty_ops: HashSet::new(),
+            dirty_classes: Vec::new(),
+            touched: Vec::new(),
+            modified_log,
+            modified_log_by_op,
+            work_epoch,
+            unioned_since_rebuild: false,
+        })
     }
 }
 

@@ -142,6 +142,42 @@
 //! `PARALLEL_MIN_ROOTS` — both through the same code path, so the
 //! threshold can never change observable behavior, only timing.
 //!
+//! A caller that saturates many graphs in sequence can install one pool
+//! on the runner ([`schedule::Runner::shared_pool`]) instead of paying
+//! the worker spawn per run; reuse is behavior-neutral (the per-run
+//! scratches are still private) and pinned by a construction-count
+//! regression test ([`pool::SearchPool::constructions`]).
+//!
+//! ## Snapshots and warm-started saturation
+//!
+//! [`egraph::EGraph::snapshot`] serializes a clean (rebuilt) graph —
+//! union-find, classes with node lists and analysis data, operator index
+//! rows, the `(class, op_key)` epoch rows with their delta logs, and the
+//! relation store with its change logs — into a versioned, checksummed,
+//! dependency-free byte format ([`snapshot`]); [`egraph::EGraph::restore`]
+//! rebuilds the graph from those bytes, rejecting truncated, corrupted or
+//! version-bumped input with a typed [`snapshot::SnapshotError`] (never a
+//! panic, so callers can fall back to a cold build). Design points:
+//!
+//! * **Op-key indirection.** [`language::Language::op_key`] values come
+//!   from the standard hasher — stable within one binary, not across
+//!   builds — so the wire format stores a table of representative
+//!   e-nodes and re-derives the keys at restore time.
+//! * **Derived state is rebuilt, not stored.** The hash-cons memo is
+//!   reconstructed from the class node lists (exact on the clean graphs
+//!   `snapshot` accepts); worklists are empty by construction.
+//! * **Delta state survives.** Epoch rows, modification logs and
+//!   relation change ticks round-trip exactly, so a restored *saturated*
+//!   graph can warm-start: capture [`schedule::WarmStart`] cutoffs, encode
+//!   the new material (hash-consing dedups everything already present),
+//!   and run [`schedule::Runner::run_phased_warm`] — every rule starts
+//!   "as if it had just searched the old graph" and only the semi-naive
+//!   delta for the new leaves is evaluated. Warm results are
+//!   byte-identical to cold ones (same closure, same content-based
+//!   extraction tie-breaks) while `RunReport::delta_probed_rows` shows
+//!   strictly fewer probed rows; both are asserted by the snapshot
+//!   round-trip proptests and the warm-vs-cold oracles downstream.
+//!
 //! ## Robustness design
 //!
 //! Saturation is **bounded** by more than the iteration/node caps: a
@@ -218,6 +254,7 @@ pub mod pool;
 pub mod relation;
 pub mod rewrite;
 pub mod schedule;
+pub mod snapshot;
 pub mod unionfind;
 
 pub use egraph::{Analysis, DeltaTracking, EClass, EGraph};
@@ -232,5 +269,6 @@ pub use pattern::{CompiledPattern, MatchScratch, Pattern, Subst};
 pub use pool::SearchPool;
 pub use relation::Relations;
 pub use rewrite::{Atom, CompiledQuery, ParallelCtx, Query, Rewrite};
-pub use schedule::{Budget, RunReport, Runner};
+pub use schedule::{Budget, RunReport, Runner, WarmStart};
+pub use snapshot::{SnapshotAnalysis, SnapshotError, SnapshotNode, SnapshotReader, SnapshotWriter};
 pub use unionfind::{Id, UnionFind};

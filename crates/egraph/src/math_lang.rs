@@ -5,6 +5,7 @@ use std::hash::{Hash, Hasher};
 
 use crate::language::{op_hasher, Language};
 use crate::pattern::Pattern;
+use crate::snapshot::{SnapshotError, SnapshotNode, SnapshotReader, SnapshotWriter};
 use crate::unionfind::Id;
 
 /// Arithmetic e-nodes.
@@ -72,6 +73,48 @@ impl Language for Math {
             Math::Add(_) | Math::Mul(_) | Math::Div(_) | Math::Shl(_) => {}
         }
         h.finish()
+    }
+}
+
+impl SnapshotNode for Math {
+    fn write_node(&self, w: &mut SnapshotWriter) {
+        match self {
+            Math::Num(v) => {
+                w.u8(0);
+                w.i64(*v);
+            }
+            Math::Sym(s) => {
+                w.u8(1);
+                w.str(s);
+            }
+            Math::Add(c) | Math::Mul(c) | Math::Div(c) | Math::Shl(c) => {
+                w.u8(match self {
+                    Math::Add(_) => 2,
+                    Math::Mul(_) => 3,
+                    Math::Div(_) => 4,
+                    _ => 5,
+                });
+                w.id(c[0]);
+                w.id(c[1]);
+            }
+        }
+    }
+
+    fn read_node(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let tag = r.u8()?;
+        Ok(match tag {
+            0 => Math::Num(r.i64()?),
+            1 => Math::Sym(r.str()?),
+            2 => Math::Add([r.id()?, r.id()?]),
+            3 => Math::Mul([r.id()?, r.id()?]),
+            4 => Math::Div([r.id()?, r.id()?]),
+            5 => Math::Shl([r.id()?, r.id()?]),
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "unknown Math node tag {other}"
+                )))
+            }
+        })
     }
 }
 

@@ -23,9 +23,15 @@
 //! and the session layer's `catch_unwind` isolation keeps working.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Process-wide count of [`SearchPool::new`] calls — the observable the
+/// pool-reuse regression tests pin down (a session compiling N programs
+/// must construct one pool, not N).
+static CONSTRUCTIONS: AtomicUsize = AtomicUsize::new(0);
 
 /// A lifetime-erased job. `scatter` transmutes `'env` closures to
 /// `'static` before queueing them; soundness comes from the completion
@@ -53,6 +59,7 @@ impl SearchPool {
     /// the jobs in order on the caller.
     #[must_use]
     pub fn new(threads: usize) -> Self {
+        CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
         let threads = threads.max(1);
         let (tx, rx) = channel::<(Job, Sender<Receipt>)>();
         let rx = Arc::new(Mutex::new(rx));
@@ -87,6 +94,14 @@ impl SearchPool {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// How many pools this process has ever constructed. Monotone and
+    /// process-wide — tests assert on the *difference* across a region,
+    /// not the absolute value.
+    #[must_use]
+    pub fn constructions() -> usize {
+        CONSTRUCTIONS.load(Ordering::Relaxed)
     }
 
     /// Runs every job to completion, distributing them across the workers

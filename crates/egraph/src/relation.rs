@@ -29,6 +29,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::unionfind::Id;
 
 /// A set of named relations, each a set of id tuples stamped with the tick
@@ -205,6 +206,123 @@ impl Relations {
             compact_change_log(log, table);
             self.max_ticks.insert(name.clone(), self.tick);
         }
+    }
+
+    /// Serializes the whole store into a snapshot payload. Hash maps are
+    /// walked in sorted name order so the bytes are deterministic.
+    pub(crate) fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort_unstable();
+        w.len(names.len());
+        for name in names {
+            w.str(name);
+            let table = &self.tables[name];
+            w.len(table.len());
+            for (tuple, &tick) in table {
+                w.len(tuple.len());
+                for &id in tuple {
+                    w.id(id);
+                }
+                w.u64(tick);
+            }
+        }
+        let mut names: Vec<&String> = self.max_ticks.keys().collect();
+        names.sort_unstable();
+        w.len(names.len());
+        for name in names {
+            w.str(name);
+            w.u64(self.max_ticks[name]);
+        }
+        let mut names: Vec<&String> = self.change_logs.keys().collect();
+        names.sort_unstable();
+        w.len(names.len());
+        for name in names {
+            w.str(name);
+            let log = &self.change_logs[name];
+            w.len(log.len());
+            for (tick, tuple) in log {
+                w.u64(*tick);
+                w.len(tuple.len());
+                for &id in tuple {
+                    w.id(id);
+                }
+            }
+        }
+        w.u64(self.version);
+        w.u64(self.tick);
+    }
+
+    /// Deserializes a store written by [`Relations::write_snapshot`].
+    /// Validates what the delta read paths rely on: change-log ticks
+    /// nondecreasing (`tuples_since` uses `partition_point`) and every
+    /// stamp at or below the restored clock.
+    pub(crate) fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let mut tables: HashMap<String, BTreeMap<Vec<Id>, u64>> = HashMap::new();
+        let n_tables = r.len()?;
+        for _ in 0..n_tables {
+            let name = r.str()?;
+            let mut table = BTreeMap::new();
+            let n_tuples = r.len()?;
+            for _ in 0..n_tuples {
+                let arity = r.len()?;
+                let mut tuple = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    tuple.push(r.id()?);
+                }
+                let tick = r.u64()?;
+                table.insert(tuple, tick);
+            }
+            if tables.insert(name, table).is_some() {
+                return Err(SnapshotError::Corrupt("duplicate relation table".into()));
+            }
+        }
+        let mut max_ticks: HashMap<String, u64> = HashMap::new();
+        let n_max = r.len()?;
+        for _ in 0..n_max {
+            let name = r.str()?;
+            let tick = r.u64()?;
+            max_ticks.insert(name, tick);
+        }
+        let mut change_logs: HashMap<String, Vec<(u64, Vec<Id>)>> = HashMap::new();
+        let n_logs = r.len()?;
+        for _ in 0..n_logs {
+            let name = r.str()?;
+            let n_entries = r.len()?;
+            let mut log = Vec::with_capacity(n_entries);
+            let mut last_tick = 0u64;
+            for _ in 0..n_entries {
+                let tick = r.u64()?;
+                if tick < last_tick {
+                    return Err(SnapshotError::Corrupt(
+                        "relation change log is not sorted by tick".into(),
+                    ));
+                }
+                last_tick = tick;
+                let arity = r.len()?;
+                let mut tuple = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    tuple.push(r.id()?);
+                }
+                log.push((tick, tuple));
+            }
+            change_logs.insert(name, log);
+        }
+        let version = r.u64()?;
+        let tick = r.u64()?;
+        for (name, table) in &tables {
+            if table.values().any(|&stamp| stamp > tick) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "relation {name:?} stamps a tuple past the clock"
+                )));
+            }
+        }
+        Ok(Relations {
+            tables,
+            max_ticks,
+            change_logs,
+            version,
+            tick,
+        })
     }
 }
 

@@ -29,6 +29,7 @@
 //! bypasses all of this and benchmarks the retained naive reference
 //! matcher.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::egraph::{Analysis, DeltaTracking, EGraph};
@@ -233,6 +234,56 @@ struct RuleState {
     ran_before: bool,
 }
 
+/// Delta cutoffs that let a restored, saturated e-graph **warm-start**
+/// saturation: instead of first-run full searches, every rule begins as
+/// if it had just searched the snapshotted graph, so only the semi-naive
+/// delta for material added *after* the restore is evaluated.
+///
+/// Capture with [`WarmStart::capture`] on the restored graph **before**
+/// encoding anything new into it; run with [`Runner::run_phased_warm`].
+/// Sound only when the snapshot was taken from a *saturated* run under
+/// the **same rule set**: warm rules never re-search the quiet region, so
+/// any match missing there would stay missing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmStart {
+    /// Modification-epoch cutoff: classes stamped at or after it are
+    /// re-probed (everything encoded after [`WarmStart::capture`] stamps
+    /// at exactly this epoch or later).
+    pub epoch: u64,
+    /// Relation change-tick cutoff for the semi-naive relation rounds.
+    pub rel_tick: u64,
+    /// Relation version at capture; growth past it sends impure-guard
+    /// rules through the usual full-search safety net.
+    pub rel_version: u64,
+}
+
+impl WarmStart {
+    /// Records warm-start cutoffs on a restored graph, advancing the
+    /// epoch clock first — mirroring the scheduler's own cutoff
+    /// recording — so that everything encoded from now on stamps at or
+    /// after the returned epoch and is therefore visible to every warm
+    /// rule's first delta probe.
+    pub fn capture<L: Language, N: Analysis<L>>(egraph: &mut EGraph<L, N>) -> Self {
+        let epoch = egraph.bump_epoch();
+        WarmStart {
+            epoch,
+            rel_tick: egraph.relations.tick(),
+            rel_version: egraph.relations.version(),
+        }
+    }
+
+    /// The per-rule state a warm run seeds every rule with: "ran before,
+    /// at these cutoffs".
+    fn seed(self) -> RuleState {
+        RuleState {
+            last_epoch: self.epoch,
+            last_rel_tick: self.rel_tick,
+            last_rel_version: self.rel_version,
+            ran_before: true,
+        }
+    }
+}
+
 /// Limits and phase driver for saturation.
 #[derive(Debug, Clone)]
 pub struct Runner {
@@ -263,6 +314,14 @@ pub struct Runner {
     /// extraction are byte-identical to the serial run. `1` (the default)
     /// never touches the pool; the naive matcher ignores this knob.
     pub search_threads: usize,
+    /// A pre-built [`SearchPool`] shared across runs. When set (and its
+    /// thread count matches [`Runner::search_threads`]), every run this
+    /// runner starts scatters onto it instead of spawning a fresh pool —
+    /// a session compiling many programs pays the thread-spawn cost once.
+    /// Ignored (a private pool is built per run) on a thread-count
+    /// mismatch, so a stale handle can degrade performance but never
+    /// change behavior.
+    pub shared_pool: Option<Arc<SearchPool>>,
     /// Deterministic fault plan for chaos testing (see [`crate::fault`]);
     /// shared so one plan's one-shot counters span every run it observes.
     #[cfg(feature = "fault-injection")]
@@ -279,6 +338,7 @@ impl Default for Runner {
             use_naive_matcher: false,
             use_per_class_deltas: false,
             search_threads: 1,
+            shared_pool: None,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -290,13 +350,12 @@ impl Default for Runner {
 /// uses scratch *i*; the scheduler's own scratch keeps the probe
 /// counters).
 struct ParallelSearch {
-    pool: SearchPool,
+    pool: Arc<SearchPool>,
     scratches: Vec<MatchScratch>,
 }
 
 impl ParallelSearch {
-    fn new(threads: usize) -> Self {
-        let pool = SearchPool::new(threads);
+    fn new(pool: Arc<SearchPool>) -> Self {
         let scratches = (0..pool.threads()).map(|_| MatchScratch::new()).collect();
         ParallelSearch { pool, scratches }
     }
@@ -366,10 +425,25 @@ impl Runner {
         self
     }
 
-    /// The parallel-search state for one run, when the knobs call for it.
+    /// Installs a pre-built shared [`SearchPool`] for this runner's runs
+    /// (see [`Runner::shared_pool`]).
+    #[must_use]
+    pub fn with_shared_pool(mut self, pool: Arc<SearchPool>) -> Self {
+        self.shared_pool = Some(pool);
+        self
+    }
+
+    /// The parallel-search state for one run, when the knobs call for it:
+    /// the shared pool when one is installed with a matching thread
+    /// count, a freshly spawned private pool otherwise.
     fn parallel_search(&self) -> Option<ParallelSearch> {
-        (self.search_threads > 1 && !self.use_naive_matcher)
-            .then(|| ParallelSearch::new(self.search_threads))
+        (self.search_threads > 1 && !self.use_naive_matcher).then(|| {
+            let pool = match &self.shared_pool {
+                Some(pool) if pool.threads() == self.search_threads => Arc::clone(pool),
+                _ => Arc::new(SearchPool::new(self.search_threads)),
+            };
+            ParallelSearch::new(pool)
+        })
     }
 
     /// The change-tracking granularity this runner's delta probes read.
@@ -650,10 +724,65 @@ impl Runner {
     where
         N::Data: Sync,
     {
+        self.run_phased_seeded(
+            egraph,
+            main_rules,
+            supporting_rules,
+            outer_iters,
+            budget,
+            RuleState::default(),
+        )
+    }
+
+    /// [`Runner::run_phased_budgeted`] warm-started from a restored,
+    /// saturated snapshot: every rule's delta state is seeded with the
+    /// [`WarmStart`] cutoffs, so the first pass probes only classes and
+    /// relation tuples changed since the capture (the leaves encoded
+    /// after the restore) instead of re-searching the whole graph.
+    ///
+    /// Byte-identity with the cold run rests on the same invariants as
+    /// every other delta path — semi-naive completeness plus
+    /// content-based extraction tie-breaks — and holds only when the
+    /// snapshot came from a **saturated** run of the **same rules**.
+    pub fn run_phased_warm<L: Language, N: Analysis<L>>(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        main_rules: &[Rewrite<L, N>],
+        supporting_rules: &[Rewrite<L, N>],
+        outer_iters: usize,
+        budget: Budget,
+        warm: WarmStart,
+    ) -> RunReport
+    where
+        N::Data: Sync,
+    {
+        self.run_phased_seeded(
+            egraph,
+            main_rules,
+            supporting_rules,
+            outer_iters,
+            budget,
+            warm.seed(),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_phased_seeded<L: Language, N: Analysis<L>>(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        main_rules: &[Rewrite<L, N>],
+        supporting_rules: &[Rewrite<L, N>],
+        outer_iters: usize,
+        budget: Budget,
+        seed: RuleState,
+    ) -> RunReport
+    where
+        N::Data: Sync,
+    {
         let start = Instant::now();
         let mut report = RunReport::default();
-        let mut main_states = vec![RuleState::default(); main_rules.len()];
-        let mut support_states = vec![RuleState::default(); supporting_rules.len()];
+        let mut main_states = vec![seed; main_rules.len()];
+        let mut support_states = vec![seed; supporting_rules.len()];
         let mut scratch = MatchScratch::new();
         let mut par = self.parallel_search();
         let mut clock = BudgetClock::new(budget.tighten(self.budget_from_now()));

@@ -98,6 +98,17 @@ impl UnionFind {
     pub fn same(&self, a: Id, b: Id) -> bool {
         self.find(a) == self.find(b)
     }
+
+    /// The raw parent array, for snapshot serialization.
+    pub(crate) fn parents(&self) -> &[Id] {
+        &self.parents
+    }
+
+    /// Rebuilds a forest from a snapshot's parent array. The caller
+    /// (`EGraph::restore`) has already validated bounds and acyclicity.
+    pub(crate) fn from_parents(parents: Vec<Id>) -> Self {
+        UnionFind { parents }
+    }
 }
 
 #[cfg(test)]

@@ -4,10 +4,12 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use std::sync::Arc;
+
 use hardboiled_repro::accel::device::DeviceProfile;
 use hardboiled_repro::apps::conv1d::Conv1d;
 use hardboiled_repro::apps::harness::max_rel_error;
-use hardboiled_repro::hardboiled::{Batching, Session};
+use hardboiled_repro::hardboiled::{Batching, ReportCache, Session};
 
 fn main() {
     let app = Conv1d { n: 4096, k: 32 };
@@ -19,10 +21,12 @@ fn main() {
     // One session for the whole program: the `sim` target (AMX + WMMA),
     // the cost model derived from its device profile, and the batched mode
     // (every leaf of a program saturates in one shared e-graph). The
-    // compiled rule set is built once and reused across both runs.
+    // compiled rule set is built once and reused across both runs, and a
+    // report cache memoizes repeat compiles outright.
     let session = Session::builder()
         .target_name("sim")
         .batching(Batching::Batched)
+        .report_cache(Arc::new(ReportCache::new(64)))
         .build()
         .expect("valid session");
     println!(
@@ -42,9 +46,10 @@ fn main() {
         println!("== {label} schedule ==");
         if let Some(report) = &r.selection {
             println!(
-                "  HARDBOILED: {} statements saturated, all lowered: {}",
+                "  HARDBOILED: {} statements saturated, all lowered: {}, cache: {:?}",
                 report.num_statements(),
-                report.all_lowered()
+                report.all_lowered(),
+                report.cache
             );
             let s = report.stages;
             println!(
@@ -77,6 +82,16 @@ fn main() {
             device.name,
             t.micros(),
             t.bound()
+        );
+    }
+
+    // Repeats are lookups: compiling the same schedule again is served
+    // from the session's report cache without re-saturating.
+    let again = app.run_with(&session, true);
+    if let Some(report) = &again.selection {
+        println!(
+            "== Tensor Cores schedule, recompiled ==\n  cache: {:?} (same report, no saturation run)",
+            report.cache
         );
     }
 }
