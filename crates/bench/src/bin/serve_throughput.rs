@@ -54,6 +54,7 @@ use hb_bench::guard::{compare_against_baseline, timing_floor};
 use hb_bench::workloads::{cores, metadata_json, threads_flag, workloads, Workload};
 use hb_ir::stmt::Stmt;
 use hb_lang::lower::lower;
+use hb_obs::{MetricsRegistry, NullSink, Tracer};
 
 /// A session over the default `sim` target with the given batching,
 /// forced extraction strategy (None = the target's `Auto` policy) and
@@ -351,6 +352,16 @@ fn check_mode(all: &[Workload]) {
         "suite-batched                ok ({} workloads in one shared graph, threads 2 and 4 ≡ serial)",
         all.len()
     );
+    // Full observability stack installed ⇒ identical programs.
+    let metrics = Arc::new(MetricsRegistry::default());
+    let (instrumented, _) = compile_suite(all, &instrumented_session(&metrics));
+    assert_eq!(
+        reference, instrumented,
+        "suite-batched selection diverged under tracer + metrics + profile sink"
+    );
+    println!(
+        "instrumented ≡ plain         ok (tracer + metrics + null profile sink, identical programs)"
+    );
     assert_service_identity(all);
     assert_cache_identity(all);
     let warm = run_warm_start(all);
@@ -492,6 +503,58 @@ fn run_cached_service(all: &[Workload], workers: usize, rounds: usize) -> (Vec<S
         .unwrap_or(0.0);
     service.shutdown();
     (series, hit_rate)
+}
+
+struct ObsOverhead {
+    plain_ms: f64,
+    instrumented_ms: f64,
+    overhead_pct: f64,
+    summary: String,
+}
+
+/// A fully instrumented session: enabled tracer (every compile records
+/// its span tree), a metrics registry and a no-op `ProfileSink` (the
+/// engine pays the per-rule dispatch but the samples go nowhere).
+fn instrumented_session(metrics: &Arc<MetricsRegistry>) -> Session {
+    Session::builder()
+        .batching(Batching::Batched)
+        .compile_threads(1)
+        .tracer(Tracer::new())
+        .metrics(Arc::clone(metrics))
+        .profile_sink(Arc::new(NullSink))
+        .build()
+        .expect("valid session")
+}
+
+/// A/B of the whole batched suite: a plain session vs one carrying the
+/// full observability stack, best-of-`reps` suite walls each with the
+/// arms interleaved (slow drift hits both equally), programs asserted
+/// byte-identical against `reference`. One compile thread keeps the
+/// measurement free of scheduler noise.
+fn run_obs_overhead(all: &[Workload], reps: usize, reference: &[String]) -> ObsOverhead {
+    let plain = session(Batching::Batched, None, 1);
+    let metrics = Arc::new(MetricsRegistry::default());
+    let instrumented = instrumented_session(&metrics);
+    let _ = compile_suite(all, &plain); // warm-up: first-touch + rule build
+    let _ = compile_suite(all, &instrumented);
+    let mut plain_ms = f64::INFINITY;
+    let mut instrumented_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let (outs, _) = compile_suite(all, &plain);
+        plain_ms = plain_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(reference, &outs[..], "plain-arm suite programs diverged");
+        let started = Instant::now();
+        let (outs, _) = compile_suite(all, &instrumented);
+        instrumented_ms = instrumented_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(reference, &outs[..], "instrumented suite programs diverged");
+    }
+    ObsOverhead {
+        plain_ms,
+        instrumented_ms,
+        overhead_pct: (instrumented_ms / plain_ms - 1.0) * 100.0,
+        summary: metrics.snapshot().summary_line(),
+    }
 }
 
 struct StageRun {
@@ -686,6 +749,25 @@ fn main() {
         warm.snapshot_kib
     );
 
+    // [6] observability: the same batched suite through a session
+    // carrying the full stack — enabled tracer, metrics registry, no-op
+    // ProfileSink — vs the plain session. The bar is the subsystem's
+    // contract: <2% end to end, same as the budget-plumbing bar.
+    let obs = run_obs_overhead(&all, 7, &reference);
+    println!(
+        "\nobservability (tracer + metrics + null profile sink, whole batched suite, 1 thread)\n  \
+         instrumented {:.2} ms vs plain {:.2} ms — {:+.2}% overhead (programs byte-identical, asserted)",
+        obs.instrumented_ms, obs.plain_ms, obs.overhead_pct
+    );
+    println!("  metrics: {}", obs.summary);
+    timing_floor(strict_timing, obs.overhead_pct < 2.0, || {
+        format!(
+            "full observability (tracer + metrics + profile sink) costs {:.2}% \
+             on the batched suite (bar: 2%)",
+            obs.overhead_pct
+        )
+    });
+
     let json = format!(
         r#"{{
   "benchmark": "serve_throughput",
@@ -725,6 +807,12 @@ fn main() {
     "probe_reduction": {probe_reduction:.2},
     "restore_ms": {restore_ms:.3},
     "snapshot_kib": {snapshot_kib:.1}
+  }},
+  "obs_overhead": {{
+    "description": "full observability stack (enabled tracer + metrics registry + no-op ProfileSink) vs a plain session on the whole batched suite, best-of-7 serial suite walls with the arms interleaved, programs byte-identical asserted; bar <2% like the budget plumbing",
+    "plain_ms": {obs_plain:.3},
+    "instrumented_ms": {obs_instr:.3},
+    "overhead_pct": {obs_pct:.2}
   }}
 }}
 "#,
@@ -770,6 +858,9 @@ fn main() {
         probe_reduction = warm.probe_reduction,
         restore_ms = warm.restore_ms,
         snapshot_kib = warm.snapshot_kib,
+        obs_plain = obs.plain_ms,
+        obs_instr = obs.instrumented_ms,
+        obs_pct = obs.overhead_pct,
     );
     std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");

@@ -204,8 +204,15 @@ impl ReportCache {
 
     /// Stores a finished compile, evicting the least-recently-used entry
     /// when at capacity. Re-storing an existing request refreshes its
-    /// value and recency instead of duplicating it.
-    pub(crate) fn store(&self, key: u64, request: &[(&Stmt, &Placements)], value: CachedCompile) {
+    /// value and recency instead of duplicating it. Returns whether an
+    /// entry was evicted, so callers mirroring [`CacheStats`] into a
+    /// metrics registry can count evictions without re-reading stats.
+    pub(crate) fn store(
+        &self,
+        key: u64,
+        request: &[(&Stmt, &Placements)],
+        value: CachedCompile,
+    ) -> bool {
         let mut inner = self.lock();
         inner.clock += 1;
         let clock = inner.clock;
@@ -216,9 +223,10 @@ impl ReportCache {
         }) {
             entry.value = value;
             entry.last_used = clock;
-            return;
+            return false;
         }
-        if inner.len >= self.capacity {
+        let evicted = inner.len >= self.capacity;
+        if evicted {
             evict_lru(&mut inner);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -231,6 +239,7 @@ impl ReportCache {
             last_used: clock,
         });
         inner.len += 1;
+        evicted
     }
 }
 

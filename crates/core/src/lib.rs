@@ -120,6 +120,10 @@ pub use cost::{CostModel, DeviceCost, HbCost};
 pub use hb_accel::target::{
     AmxTarget, ExtractionPolicy, RuleProfile, ScalarTarget, SimTarget, Target, WmmaTarget,
 };
+pub use hb_obs::{
+    CollectingSink, MetricsRegistry, MetricsSnapshot, NullSink, ProfileSink, TestClock, Tracer,
+    TracingSink,
+};
 pub use lang::{HbAnalysis, HbGraph, HbLang};
 pub use movement::Placements;
 pub use postprocess::MaterializeError;

@@ -57,6 +57,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use hb_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 
 use crate::cache::{CacheStats, ReportCache};
 use crate::session::{
@@ -125,6 +128,7 @@ pub struct CompileServiceBuilder {
     workers: Option<usize>,
     entries: Vec<(String, SessionSpec)>,
     cache: Option<Arc<ReportCache>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 #[derive(Debug)]
@@ -177,6 +181,21 @@ impl CompileServiceBuilder {
         self
     }
 
+    /// Shares one [`MetricsRegistry`] across the service and every
+    /// registered session. The service always carries a registry — by
+    /// default a fresh private one — and installs it into each session
+    /// that does not already have its own, so session-level metrics
+    /// (outcome ladder, cache traffic, stage histograms) aggregate next
+    /// to the service-level ones (`service.requests`,
+    /// `service.requests_panicked`, `service.queue_depth`, wait/run
+    /// latency histograms). Pass an external registry here to aggregate
+    /// several services, or to render everything from one place.
+    #[must_use]
+    pub fn shared_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Builds the service: resolves every registered target to a session
     /// and spawns the worker pool.
     ///
@@ -193,6 +212,7 @@ impl CompileServiceBuilder {
         let workers = self.workers.unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         });
+        let metrics = self.metrics.unwrap_or_default();
         let mut sessions = HashMap::new();
         for (name, spec) in self.entries {
             let mut session = match spec {
@@ -202,11 +222,14 @@ impl CompileServiceBuilder {
             if let Some(cache) = &self.cache {
                 session.install_cache(Arc::clone(cache));
             }
+            session.install_metrics(Arc::clone(&metrics));
             if sessions.insert(name.clone(), Arc::new(session)).is_some() {
                 return Err(BuildError::DuplicateTarget(name));
             }
         }
-        Ok(CompileService::spawn(sessions, workers, self.cache))
+        Ok(CompileService::spawn(
+            sessions, workers, self.cache, metrics,
+        ))
     }
 }
 
@@ -218,6 +241,37 @@ pub struct CompileService {
     jobs: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     cache: Option<Arc<ReportCache>>,
+    metrics: Arc<MetricsRegistry>,
+    obs: ServiceObs,
+}
+
+/// Pre-resolved service-level metric handles (same rationale as the
+/// session's: one registry lookup at spawn, lock-free bumps per request).
+#[derive(Clone)]
+struct ServiceObs {
+    requests: Counter,
+    requests_panicked: Counter,
+    queue_depth: Gauge,
+    wait_ns: Histogram,
+    run_ns: Histogram,
+}
+
+impl fmt::Debug for ServiceObs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ServiceObs(..)")
+    }
+}
+
+impl ServiceObs {
+    fn resolve(metrics: &MetricsRegistry) -> ServiceObs {
+        ServiceObs {
+            requests: metrics.counter("service.requests"),
+            requests_panicked: metrics.counter("service.requests_panicked"),
+            queue_depth: metrics.gauge("service.queue_depth"),
+            wait_ns: metrics.histogram("service.wait_ns"),
+            run_ns: metrics.histogram("service.run_ns"),
+        }
+    }
 }
 
 impl CompileService {
@@ -231,7 +285,9 @@ impl CompileService {
         sessions: HashMap<String, Arc<Session>>,
         workers: usize,
         cache: Option<Arc<ReportCache>>,
+        metrics: Arc<MetricsRegistry>,
     ) -> Self {
+        let obs = ServiceObs::resolve(&metrics);
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..workers)
@@ -254,6 +310,8 @@ impl CompileService {
             jobs: Some(tx),
             workers,
             cache,
+            metrics,
+            obs,
         }
     }
 
@@ -275,6 +333,24 @@ impl CompileService {
     #[must_use]
     pub fn shared_cache(&self) -> Option<&Arc<ReportCache>> {
         self.cache.as_ref()
+    }
+
+    /// A point-in-time snapshot of the service's metrics registry —
+    /// request/panic counters, queue depth, wait/run latency histograms,
+    /// plus everything the registered sessions recorded into the shared
+    /// registry. The natural companion to
+    /// [`CompileService::cache_stats`]; render it with
+    /// `MetricsSnapshot::render_text` / `render_json` / `summary_line`.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The service's metrics registry (always present — a private one
+    /// unless [`CompileServiceBuilder::shared_metrics`] supplied it).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Registered target names, sorted.
@@ -307,20 +383,38 @@ impl CompileService {
         F: FnOnce() -> Result<T, CompileError> + Send + 'static,
     {
         let (tx, rx) = channel();
+        let obs = self.obs.clone();
+        let enqueued = Instant::now();
         let job: Job = Box::new(move || {
+            obs.queue_depth.add(-1);
+            obs.wait_ns.observe_duration(enqueued.elapsed());
+            let run_started = Instant::now();
             // Per-request isolation: a panic becomes this request's
-            // `Engine` error; the worker (and queue) keep going.
-            let outcome = catch_unwind(AssertUnwindSafe(work))
-                .unwrap_or_else(|payload| Err(CompileError::Engine(panic_message(&*payload))));
+            // `Engine` error; the worker (and queue) keep going. The
+            // panic counter feeds the chaos suite's truth check: every
+            // request-level fault must show up here, exactly once.
+            let outcome = catch_unwind(AssertUnwindSafe(work)).unwrap_or_else(|payload| {
+                obs.requests_panicked.inc();
+                Err(CompileError::Engine(panic_message(&*payload)))
+            });
+            obs.run_ns.observe_duration(run_started.elapsed());
             // A dropped ticket just means nobody is waiting.
             let _ = tx.send(outcome);
         });
-        self.jobs
-            .as_ref()
-            .ok_or(ServiceError::ShuttingDown)?
-            .send(job)
-            .map_err(|_| ServiceError::ShuttingDown)?;
-        Ok(Ticket { rx })
+        // Pre-increment the gauge: a fast worker decrements as soon as
+        // the job lands, and incrementing after `send` could be observed
+        // as a negative depth.
+        self.obs.queue_depth.add(1);
+        match self.jobs.as_ref() {
+            Some(jobs) if jobs.send(job).is_ok() => {
+                self.obs.requests.inc();
+                Ok(Ticket { rx })
+            }
+            _ => {
+                self.obs.queue_depth.add(-1);
+                Err(ServiceError::ShuttingDown)
+            }
+        }
     }
 
     /// Submits one program for compilation on `target`'s session.
@@ -508,6 +602,34 @@ mod tests {
         // complete normally.
         assert!(good.wait().is_ok());
         assert!(service.submit("sim", tile_leaf(2)).unwrap().wait().is_ok());
+        // The fault is on the record: exactly the one panicking request.
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.counter("service.requests"), Some(3));
+        assert_eq!(snap.counter("service.requests_panicked"), Some(1));
+    }
+
+    #[test]
+    fn metrics_snapshot_counts_requests_and_latencies() {
+        let service = CompileService::builder()
+            .worker_threads(2)
+            .register_target("sim")
+            .build()
+            .unwrap();
+        let replies = service
+            .compile_batch("sim", (0..4).map(tile_leaf).collect::<Vec<_>>())
+            .unwrap();
+        assert!(replies.iter().all(Result::is_ok));
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.counter("service.requests"), Some(4));
+        assert_eq!(snap.counter("service.requests_panicked"), Some(0));
+        // Every request has been picked up and finished.
+        assert_eq!(snap.gauge("service.queue_depth"), Some(0));
+        assert_eq!(snap.histogram("service.wait_ns").map(|h| h.count), Some(4));
+        assert_eq!(snap.histogram("service.run_ns").map(|h| h.count), Some(4));
+        // The sessions share the registry: their outcome ladder landed
+        // next to the service counters.
+        assert_eq!(snap.counter("compile.outcome.saturated"), Some(4));
+        service.shutdown();
     }
 
     #[test]

@@ -77,6 +77,7 @@ use hb_egraph::schedule::{Budget, RunReport, Runner, WarmStart};
 use hb_egraph::unionfind::Id;
 use hb_ir::expr::Expr;
 use hb_ir::stmt::Stmt;
+use hb_obs::{Counter, Histogram, MetricsRegistry, ProfileHandle, ProfileSink, Tracer};
 
 use crate::cache::{
     request_hash, CacheOutcome, CachedCompile, ReportCache, SuiteSnapshot, WarmRejection,
@@ -525,6 +526,9 @@ pub struct SessionBuilder {
     naive_matcher: bool,
     threads: Option<usize>,
     cache: Option<Arc<ReportCache>>,
+    tracer: Option<Tracer>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    profile_sink: Option<Arc<dyn ProfileSink>>,
     #[cfg(feature = "fault-injection")]
     fault_plan: Option<std::sync::Arc<hb_egraph::fault::FaultPlan>>,
 }
@@ -546,6 +550,9 @@ impl SessionBuilder {
             naive_matcher: false,
             threads: None,
             cache: None,
+            tracer: None,
+            metrics: None,
+            profile_sink: None,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -703,6 +710,46 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a [`Tracer`] (default: a disabled tracer). Every compile
+    /// opens a root span and one child span per pipeline stage (`lower`,
+    /// `annotate`, `encode`, `saturate`, `extract`, `splice`); the
+    /// [`StageTimings`] in each report are populated from exactly those
+    /// spans, so the two views can never disagree. A disabled tracer
+    /// records nothing but its span guards still measure durations, so
+    /// reports stay populated at the same cost as the old `Instant`
+    /// pairs.
+    #[must_use]
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attaches a metrics registry (default: none — zero recording
+    /// overhead). The session records the compile-outcome ladder
+    /// (`compile.outcome.*`), cache traffic (`cache.*`), per-stage
+    /// duration histograms (`stage.*_ns`) and the delta matcher's row
+    /// counters (`engine.delta_*_rows`). Pass the same `Arc` to several
+    /// sessions (or let [`CompileServiceBuilder::shared_metrics`] do it)
+    /// to aggregate across them.
+    ///
+    /// [`CompileServiceBuilder::shared_metrics`]: crate::service::CompileServiceBuilder::shared_metrics
+    #[must_use]
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches an engine profiling sink (default: none — every hook
+    /// site in the engine stays a single branch). The sink observes each
+    /// rule search (rule name, rows probed, matches, duration) and each
+    /// rebuild; see `hb_obs::ProfileSink`. Overrides the sink on a
+    /// custom [`SessionBuilder::runner`].
+    #[must_use]
+    pub fn profile_sink(mut self, sink: Arc<dyn ProfileSink>) -> Self {
+        self.profile_sink = Some(sink);
+        self
+    }
+
     /// Validates the configuration and builds the session.
     ///
     /// # Errors
@@ -748,6 +795,9 @@ impl SessionBuilder {
         if let Some(plan) = self.fault_plan {
             runner.fault_plan = Some(plan);
         }
+        if let Some(sink) = self.profile_sink {
+            runner.profile_sink = Some(ProfileHandle::new(sink));
+        }
         let threads = self.threads.unwrap_or(1);
         if self.threads.is_some() {
             // Explicit knob wins over whatever a custom runner carried;
@@ -774,6 +824,7 @@ impl SessionBuilder {
             &runner,
             cost.as_ref(),
         );
+        let obs = self.metrics.as_deref().map(ObsHandles::resolve);
         Ok(Session {
             target,
             cost,
@@ -786,7 +837,103 @@ impl SessionBuilder {
             threads,
             rules: OnceLock::new(),
             cache: self.cache,
+            tracer: self.tracer.unwrap_or_default(),
+            metrics: self.metrics,
+            obs,
             fingerprint,
+        })
+    }
+}
+
+/// Pre-resolved metric handles so the hot path never takes the
+/// registry's name-lookup lock: every counter/histogram the session
+/// records is looked up once at `build()` (or `install_metrics`) time
+/// and bumped through lock-free handles afterwards.
+struct ObsHandles {
+    outcome_saturated: Counter,
+    outcome_deadline: Counter,
+    outcome_node_limit: Counter,
+    outcome_match_budget: Counter,
+    outcome_fallback: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_bypasses: Counter,
+    cache_evictions: Counter,
+    delta_probed_rows: Counter,
+    delta_skipped_rows: Counter,
+    stage_lower: Histogram,
+    stage_encode: Histogram,
+    stage_saturate: Histogram,
+    stage_extract: Histogram,
+    stage_splice: Histogram,
+}
+
+impl ObsHandles {
+    fn resolve(metrics: &MetricsRegistry) -> ObsHandles {
+        ObsHandles {
+            outcome_saturated: metrics.counter("compile.outcome.saturated"),
+            outcome_deadline: metrics.counter("compile.outcome.truncated_deadline"),
+            outcome_node_limit: metrics.counter("compile.outcome.truncated_node_limit"),
+            outcome_match_budget: metrics.counter("compile.outcome.truncated_match_budget"),
+            outcome_fallback: metrics.counter("compile.outcome.fallback"),
+            cache_hits: metrics.counter("cache.hits"),
+            cache_misses: metrics.counter("cache.misses"),
+            cache_bypasses: metrics.counter("cache.bypasses"),
+            cache_evictions: metrics.counter("cache.evictions"),
+            delta_probed_rows: metrics.counter("engine.delta_probed_rows"),
+            delta_skipped_rows: metrics.counter("engine.delta_skipped_rows"),
+            stage_lower: metrics.histogram("stage.lower_ns"),
+            stage_encode: metrics.histogram("stage.encode_ns"),
+            stage_saturate: metrics.histogram("stage.saturate_ns"),
+            stage_extract: metrics.histogram("stage.extract_ns"),
+            stage_splice: metrics.histogram("stage.splice_ns"),
+        }
+    }
+
+    fn record_outcome(&self, outcome: CompileOutcome) {
+        match outcome {
+            CompileOutcome::Saturated => self.outcome_saturated.inc(),
+            CompileOutcome::Truncated {
+                reason: TruncationReason::Deadline,
+            } => self.outcome_deadline.inc(),
+            CompileOutcome::Truncated {
+                reason: TruncationReason::NodeLimit,
+            } => self.outcome_node_limit.inc(),
+            CompileOutcome::Truncated {
+                reason: TruncationReason::MatchBudget,
+            } => self.outcome_match_budget.inc(),
+            CompileOutcome::FallbackUnoptimized => self.outcome_fallback.inc(),
+        }
+    }
+
+    /// Records everything a finished full-pipeline report carries:
+    /// outcome rung, per-stage duration histograms (`lower` is recorded
+    /// separately by the entry points that measure it), and the delta
+    /// matcher's probed/skipped row counters.
+    fn record_report(&self, report: &CompileReport) {
+        self.record_outcome(report.outcome);
+        self.stage_encode.observe_duration(report.stages.encode);
+        self.stage_saturate.observe_duration(report.stages.saturate);
+        self.stage_extract.observe_duration(report.stages.extract);
+        self.stage_splice.observe_duration(report.stages.splice);
+        let (probed, skipped) = delta_rows(report);
+        self.delta_probed_rows.add(probed);
+        self.delta_skipped_rows.add(skipped);
+    }
+}
+
+/// Total delta-matcher row traffic in a report: the batched run's
+/// counters when one shared saturation ran, else the sum over the
+/// per-leaf engine reports.
+fn delta_rows(report: &CompileReport) -> (u64, u64) {
+    if let Some(run) = &report.batch {
+        (run.delta_probed_rows as u64, run.delta_skipped_rows as u64)
+    } else {
+        report.stmts.iter().fold((0, 0), |(p, s), stmt| {
+            (
+                p + stmt.eqsat.delta_probed_rows as u64,
+                s + stmt.eqsat.delta_skipped_rows as u64,
+            )
         })
     }
 }
@@ -809,6 +956,9 @@ pub struct Session {
     threads: usize,
     rules: OnceLock<RuleSet>,
     cache: Option<Arc<ReportCache>>,
+    tracer: Tracer,
+    metrics: Option<Arc<MetricsRegistry>>,
+    obs: Option<ObsHandles>,
     fingerprint: u64,
 }
 
@@ -873,6 +1023,9 @@ impl Session {
             threads: 1,
             rules: OnceLock::new(),
             cache: None,
+            tracer: Tracer::disabled(),
+            metrics: None,
+            obs: None,
             fingerprint,
         }
     }
@@ -924,6 +1077,28 @@ impl Session {
     /// cache across its registered sessions).
     pub(crate) fn install_cache(&mut self, cache: Arc<ReportCache>) {
         self.cache.get_or_insert(cache);
+    }
+
+    /// The session's tracer (disabled unless one was attached).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The attached metrics registry, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    /// Installs a metrics registry post-build if the session has none
+    /// (how [`CompileService`](crate::service::CompileService) shares
+    /// one registry across its registered sessions).
+    pub(crate) fn install_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        if self.metrics.is_none() {
+            self.obs = Some(ObsHandles::resolve(&metrics));
+            self.metrics = Some(metrics);
+        }
     }
 
     /// Whether compiles may consult the cache at all: fault-injected
@@ -1018,13 +1193,17 @@ impl Session {
         &self,
         source: &S,
     ) -> Result<CompileResult, CompileError> {
-        let lower_started = Instant::now();
+        let _root = self.tracer.span("compile");
+        let lower_span = self.tracer.span("lower");
         let program = source.to_program()?;
-        let lower = lower_started.elapsed();
+        let lower = lower_span.finish();
         let mut result =
             self.compile_unit(&program.stmt, &program.placements, self.compile_budget())?;
         result.report.stages.lower = lower;
         result.report.total_time += lower;
+        if let Some(obs) = &self.obs {
+            obs.stage_lower.observe_duration(lower);
+        }
         result.report.notes.extend(program.notes.iter().cloned());
         Ok(result)
     }
@@ -1053,10 +1232,15 @@ impl Session {
             return Err(CompileError::EmptySuite);
         }
         let budget = self.compile_budget();
+        let _root = self.tracer.span("compile_suite");
         let lower_started = Instant::now();
+        let lower_span = self.tracer.span("lower");
         let lowered: Vec<Result<Program, CompileError>> =
             sources.iter().map(IntoProgram::to_program).collect();
-        let lower = lower_started.elapsed();
+        let lower = lower_span.finish();
+        if let Some(obs) = &self.obs {
+            obs.stage_lower.observe_duration(lower);
+        }
 
         // Fast path: every program lowered and the whole-suite compile
         // (one shared e-graph in batched mode) survives.
@@ -1203,6 +1387,12 @@ impl Session {
             "engine fault; spliced the unoptimized program: {cause}"
         ));
         report.total_time = started.elapsed();
+        // The panic aborted `compile_programs` before its own recording
+        // point, so this is the only place this compile's outcome lands
+        // in the registry — exactly once, on the fallback rung.
+        if let Some(obs) = &self.obs {
+            obs.record_outcome(CompileOutcome::FallbackUnoptimized);
+        }
         CompileResult {
             program: annotated,
             report,
@@ -1215,6 +1405,7 @@ impl Session {
     /// `selector::select` shims and the benches measure).
     #[must_use]
     pub fn compile_ir(&self, stmt: &Stmt, extra_placements: &Placements) -> CompileResult {
+        let _root = self.tracer.span("compile");
         let CompiledPrograms {
             mut programs,
             report,
@@ -1317,9 +1508,10 @@ impl Session {
                 found: snapshot.fingerprint,
             });
         }
-        let restore_started = Instant::now();
+        let _root = self.tracer.span("compile_warm");
+        let restore_span = self.tracer.span("restore");
         let mut eg = HbGraph::restore(&snapshot.engine).map_err(WarmRejection::Snapshot)?;
-        let restore = restore_started.elapsed();
+        let restore = restore_span.finish();
         // Everything in the restored graph predates the warm epoch: the
         // delta the phased schedule re-searches is exactly what the new
         // leaves add below.
@@ -1334,17 +1526,24 @@ impl Session {
         };
         if let Some(cache) = &self.cache {
             cache.note_bypass();
+            if let Some(obs) = &self.obs {
+                obs.cache_bypasses.inc();
+            }
         }
 
-        let encode_started = Instant::now();
+        let mut annotate_span = self.tracer.span("annotate");
         let annotated: Vec<Stmt> = programs
             .iter()
             .map(|(stmt, extra)| self.annotate(stmt, extra))
             .collect();
         let (leaves, leaf_counts) = collect_suite_leaves(&annotated);
-        report.stages.encode = encode_started.elapsed();
+        annotate_span.attr("leaves", leaves.len());
+        report.stages.encode = annotate_span.finish();
         if leaves.is_empty() {
             report.total_time = total_started.elapsed();
+            if let Some(obs) = &self.obs {
+                obs.record_outcome(report.outcome);
+            }
             return Ok(IrSuiteResult {
                 programs: annotated,
                 report,
@@ -1352,12 +1551,12 @@ impl Session {
         }
 
         let rules = self.rules();
-        let encode_started = Instant::now();
+        let encode_span = self.tracer.span("encode");
         let roots: Vec<Id> = leaves.iter().map(|s| encode_stmt(&mut eg, s)).collect();
         eg.rebuild();
-        report.stages.encode += encode_started.elapsed();
+        report.stages.encode += encode_span.finish();
 
-        let saturate_started = Instant::now();
+        let mut saturate_span = self.tracer.span("saturate");
         let run = self.runner.run_phased_warm(
             &mut eg,
             &rules.main,
@@ -1366,17 +1565,22 @@ impl Session {
             budget,
             warm,
         );
-        report.stages.saturate += saturate_started.elapsed();
+        saturate_span.attr("iterations", run.iterations);
+        saturate_span.attr("applied", run.applied);
+        report.stages.saturate += saturate_span.finish();
         report.outcome = report.outcome.worst(CompileOutcome::of_run(&run));
 
         let selected = self.extract_shared(&eg, &roots, &leaves, &mut report);
         report.batch = Some(run);
         report.eqsat_time = report.stages.saturate;
 
-        let splice_started = Instant::now();
+        let splice_span = self.tracer.span("splice");
         let outs = splice_selected(&annotated, &leaf_counts, &selected);
-        report.stages.splice = splice_started.elapsed();
+        report.stages.splice = splice_span.finish();
         report.total_time = total_started.elapsed();
+        if let Some(obs) = &self.obs {
+            obs.record_report(&report);
+        }
         Ok(IrSuiteResult {
             programs: outs,
             report,
@@ -1424,20 +1628,27 @@ impl Session {
             ..CompileReport::default()
         };
 
-        let encode_started = Instant::now();
+        let mut annotate_span = self.tracer.span("annotate");
         let annotated: Vec<Stmt> = programs
             .iter()
             .map(|(stmt, extra)| self.annotate(stmt, extra))
             .collect();
         let (leaves, leaf_counts) = collect_suite_leaves(&annotated);
-        report.stages.encode = encode_started.elapsed();
+        annotate_span.attr("leaves", leaves.len());
+        report.stages.encode = annotate_span.finish();
         if leaves.is_empty() {
             // Leaf-free programs never touch the rule set (nor build it)
             // — and never the cache: there is nothing to memoize.
             if let Some(cache) = &self.cache {
                 cache.note_bypass();
+                if let Some(obs) = &self.obs {
+                    obs.cache_bypasses.inc();
+                }
             }
             report.total_time = total_started.elapsed();
+            if let Some(obs) = &self.obs {
+                obs.record_outcome(report.outcome);
+            }
             return CompiledPrograms {
                 programs: annotated,
                 report,
@@ -1455,6 +1666,14 @@ impl Session {
             let cache = self.cache.as_ref().expect("consulted implies attached");
             if let Some(mut hit) = cache.lookup(key, programs) {
                 hit.report.cache = CacheOutcome::Hit;
+                if let Some(obs) = &self.obs {
+                    obs.cache_hits.inc();
+                    // The hit's stage timings describe the compile that
+                    // populated the entry, not this call — count only
+                    // the outcome rung (always the reference rung; only
+                    // saturated compiles are stored).
+                    obs.record_outcome(hit.report.outcome);
+                }
                 return CompiledPrograms {
                     programs: hit.programs,
                     report: hit.report,
@@ -1462,8 +1681,14 @@ impl Session {
                 };
             }
             report.cache = CacheOutcome::Miss;
+            if let Some(obs) = &self.obs {
+                obs.cache_misses.inc();
+            }
         } else if let Some(cache) = &self.cache {
             cache.note_bypass();
+            if let Some(obs) = &self.obs {
+                obs.cache_bypasses.inc();
+            }
         }
 
         let rules = self.rules();
@@ -1473,10 +1698,13 @@ impl Session {
         };
         report.eqsat_time = report.stages.saturate;
 
-        let splice_started = Instant::now();
+        let splice_span = self.tracer.span("splice");
         let outs = splice_selected(&annotated, &leaf_counts, &selected);
-        report.stages.splice = splice_started.elapsed();
+        report.stages.splice = splice_span.finish();
         report.total_time = total_started.elapsed();
+        if let Some(obs) = &self.obs {
+            obs.record_report(&report);
+        }
 
         // Only the reference rung is worth memoizing: a truncated or
         // degraded result must not shadow a later clean compile of the
@@ -1484,7 +1712,7 @@ impl Session {
         if let Some(key) = key {
             if report.outcome == CompileOutcome::Saturated {
                 let cache = self.cache.as_ref().expect("consulted implies attached");
-                cache.store(
+                let evicted = cache.store(
                     key,
                     programs,
                     CachedCompile {
@@ -1493,6 +1721,11 @@ impl Session {
                         leaf_counts: leaf_counts.clone(),
                     },
                 );
+                if evicted {
+                    if let Some(obs) = &self.obs {
+                        obs.cache_evictions.inc();
+                    }
+                }
             }
         }
         CompiledPrograms {
@@ -1513,13 +1746,13 @@ impl Session {
         report: &mut CompileReport,
         export: Option<&mut Option<SuiteSnapshot>>,
     ) -> Vec<Stmt> {
-        let encode_started = Instant::now();
+        let encode_span = self.tracer.span("encode");
         let mut eg = HbGraph::default();
         crate::rules::app_specific::declare_relations(&mut eg);
         let roots: Vec<Id> = leaves.iter().map(|s| encode_stmt(&mut eg, s)).collect();
-        report.stages.encode += encode_started.elapsed();
+        report.stages.encode += encode_span.finish();
 
-        let saturate_started = Instant::now();
+        let mut saturate_span = self.tracer.span("saturate");
         let run = self.runner.run_phased_budgeted(
             &mut eg,
             &rules.main,
@@ -1527,7 +1760,9 @@ impl Session {
             self.outer_iters,
             budget,
         );
-        report.stages.saturate += saturate_started.elapsed();
+        saturate_span.attr("iterations", run.iterations);
+        saturate_span.attr("applied", run.applied);
+        report.stages.saturate += saturate_span.finish();
         report.outcome = report.outcome.worst(CompileOutcome::of_run(&run));
 
         // Layer-2 export: only a run that completed its schedule is worth
@@ -1566,7 +1801,8 @@ impl Session {
         // contiguous chunks across scoped workers and fold back in root
         // order — byte-identical to the serial loop, since each readout
         // depends only on the settled cost table.
-        let extract_started = Instant::now();
+        let mut extract_span = self.tracer.span("extract");
+        extract_span.attr("roots", roots.len());
         let threads = self.threads.min(roots.len());
         let sync_extractor = if threads > 1 {
             self.build_sync_extractor(eg, true)
@@ -1627,7 +1863,7 @@ impl Session {
         extraction.bank_nodes = stats.bank_nodes;
         extraction.reused_readouts = stats.reused_readouts;
         report.extraction = Some(extraction);
-        report.stages.extract += extract_started.elapsed();
+        report.stages.extract += extract_span.finish();
         selected
     }
 
@@ -1717,13 +1953,17 @@ impl Session {
         rules: &RuleSet,
         budget: Budget,
     ) -> LeafOut {
-        let encode_started = Instant::now();
+        // With `compile_threads > 1` these spans open on a scoped worker
+        // thread, where the calling thread's span stack is not visible —
+        // they record as roots there (the span stack is thread-local by
+        // design; see the `hb_obs` crate docs).
+        let encode_span = self.tracer.span("encode");
         let mut eg = HbGraph::default();
         crate::rules::app_specific::declare_relations(&mut eg);
         let root = encode_stmt(&mut eg, stmt);
-        let encode = encode_started.elapsed();
+        let encode = encode_span.finish();
 
-        let saturate_started = Instant::now();
+        let mut saturate_span = self.tracer.span("saturate");
         let run = runner.run_phased_budgeted(
             &mut eg,
             &rules.main,
@@ -1731,13 +1971,15 @@ impl Session {
             self.outer_iters,
             budget,
         );
-        let saturate = saturate_started.elapsed();
+        saturate_span.attr("iterations", run.iterations);
+        saturate_span.attr("applied", run.applied);
+        let saturate = saturate_span.finish();
 
-        let extract_started = Instant::now();
+        let extract_span = self.tracer.span("extract");
         let extractor = self.build_extractor(&eg, false);
         let readout = readout_root(extractor.as_ref(), root, stmt);
         let stats = extractor.stats();
-        let extract = extract_started.elapsed();
+        let extract = extract_span.finish();
         LeafOut {
             readout,
             original: stmt.to_string(),

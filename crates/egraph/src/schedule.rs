@@ -28,9 +28,19 @@
 //! candidates, rules and passes. Setting [`Runner::use_naive_matcher`]
 //! bypasses all of this and benchmarks the retained naive reference
 //! matcher.
+//!
+//! **Profiling:** [`Runner::profile_sink`] opts a run into per-rule
+//! observability — each searched rule reports an
+//! [`hb_obs::RuleSearchSample`] (name, probed rows, matches, duration)
+//! and each end-of-pass congruence rebuild reports its duration. With no
+//! sink installed (the default) every hook site is a single branch: no
+//! clock reads, no probe-counter drains, nothing the saturation loop can
+//! feel.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use hb_obs::{ProfileHandle, RuleSearchSample};
 
 use crate::egraph::{Analysis, DeltaTracking, EGraph};
 use crate::language::Language;
@@ -322,6 +332,11 @@ pub struct Runner {
     /// mismatch, so a stale handle can degrade performance but never
     /// change behavior.
     pub shared_pool: Option<Arc<SearchPool>>,
+    /// Opt-in profiling callbacks at rule-search boundaries (see the
+    /// module docs). `None` (the default) keeps every hook site down to
+    /// one branch. Excluded from cache policy fingerprints like the
+    /// thread knobs: a sink observes a run but never changes it.
+    pub profile_sink: Option<ProfileHandle>,
     /// Deterministic fault plan for chaos testing (see [`crate::fault`]);
     /// shared so one plan's one-shot counters span every run it observes.
     #[cfg(feature = "fault-injection")]
@@ -339,6 +354,7 @@ impl Default for Runner {
             use_per_class_deltas: false,
             search_threads: 1,
             shared_pool: None,
+            profile_sink: None,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -433,6 +449,13 @@ impl Runner {
         self
     }
 
+    /// Installs a profiling sink (see [`Runner::profile_sink`]).
+    #[must_use]
+    pub fn with_profile_sink(mut self, sink: Arc<dyn hb_obs::ProfileSink>) -> Self {
+        self.profile_sink = Some(ProfileHandle::new(sink));
+        self
+    }
+
     /// The parallel-search state for one run, when the knobs call for it:
     /// the shared pool when one is installed with a matching thread
     /// count, a freshly spawned private pool otherwise.
@@ -501,10 +524,22 @@ impl Runner {
             if let Some(plan) = &self.fault_plan {
                 plan.on_search(&rule.name);
             }
+            // The profile hook's "absence is free" contract: no clock
+            // reads and no per-rule counter drains unless a sink is
+            // installed.
+            let search_started = self.profile_sink.as_ref().map(|_| Instant::now());
             if self.use_naive_matcher {
                 let n = rule.run_naive(egraph);
                 applied += n;
                 clock.note_applied(n);
+                if let (Some(sink), Some(started)) = (&self.profile_sink, search_started) {
+                    sink.on_rule_search(&RuleSearchSample {
+                        rule: &rule.name,
+                        probed_rows: 0,
+                        matches: n,
+                        duration: started.elapsed(),
+                    });
+                }
                 continue;
             }
             if !egraph.is_clean() {
@@ -559,11 +594,29 @@ impl Runner {
             state.last_rel_tick = rel_tick_at;
             state.last_rel_version = rel_version;
             state.ran_before = true;
+            if let (Some(sink), Some(started)) = (&self.profile_sink, search_started) {
+                // Draining the scratch's probe counters per rule (instead
+                // of once per pass below) attributes rows to the rule that
+                // probed them; the report totals are identical either way.
+                let (probed, skipped) = scratch.take_probe_counters();
+                report.delta_probed_rows += probed;
+                report.delta_skipped_rows += skipped;
+                sink.on_rule_search(&RuleSearchSample {
+                    rule: &rule.name,
+                    probed_rows: probed,
+                    matches: n,
+                    duration: started.elapsed(),
+                });
+            }
         }
         let (probed, skipped) = scratch.take_probe_counters();
         report.delta_probed_rows += probed;
         report.delta_skipped_rows += skipped;
+        let rebuild_started = self.profile_sink.as_ref().map(|_| Instant::now());
         egraph.rebuild();
+        if let (Some(sink), Some(started)) = (&self.profile_sink, rebuild_started) {
+            sink.on_rebuild(started.elapsed());
+        }
         applied
     }
 

@@ -1,0 +1,98 @@
+//! The pluggable time source behind every [`Tracer`](crate::Tracer).
+//!
+//! Spans never call [`std::time::Instant`] directly: they read a
+//! [`Clock`], so production tracers run on the real monotonic clock
+//! while tests substitute a [`TestClock`] whose readings advance by a
+//! fixed step per call. Under the test clock a span tree's timestamps —
+//! and therefore its rendered form — are byte-stable across runs and
+//! machines, which is what makes golden-tree tests possible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone nanosecond counter. Implementations must be cheap (spans
+/// read the clock twice) and thread-safe (tracers are shared across
+/// compile workers).
+pub trait Clock: Send + Sync + 'static {
+    /// Nanoseconds since an arbitrary per-clock origin. Successive
+    /// readings on any one thread must not decrease.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: [`Instant`]-based, anchored at construction so
+/// readings start near zero.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    #[allow(clippy::cast_possible_truncation)] // ~584 years of uptime
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A deterministic clock for tests: the first reading is `0`, and every
+/// reading advances the next one by `step` nanoseconds. With `step = 1`
+/// each span's start/end stamps are consecutive integers in call order,
+/// so durations and the rendered tree are exactly reproducible.
+#[derive(Debug)]
+pub struct TestClock {
+    next: AtomicU64,
+    step: u64,
+}
+
+impl TestClock {
+    /// A clock advancing `step` nanoseconds per reading.
+    #[must_use]
+    pub fn new(step: u64) -> Self {
+        TestClock {
+            next: AtomicU64::new(0),
+            step,
+        }
+    }
+}
+
+impl Clock for TestClock {
+    fn now_ns(&self) -> u64 {
+        self.next.fetch_add(self.step, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_clock_advances_by_step_per_reading() {
+        let clock = TestClock::new(3);
+        assert_eq!(clock.now_ns(), 0);
+        assert_eq!(clock.now_ns(), 3);
+        assert_eq!(clock.now_ns(), 6);
+    }
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+}

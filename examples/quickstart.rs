@@ -9,7 +9,7 @@ use std::sync::Arc;
 use hardboiled_repro::accel::device::DeviceProfile;
 use hardboiled_repro::apps::conv1d::Conv1d;
 use hardboiled_repro::apps::harness::max_rel_error;
-use hardboiled_repro::hardboiled::{Batching, ReportCache, Session};
+use hardboiled_repro::hardboiled::{Batching, MetricsRegistry, ReportCache, Session};
 
 fn main() {
     let app = Conv1d { n: 4096, k: 32 };
@@ -21,12 +21,16 @@ fn main() {
     // One session for the whole program: the `sim` target (AMX + WMMA),
     // the cost model derived from its device profile, and the batched mode
     // (every leaf of a program saturates in one shared e-graph). The
-    // compiled rule set is built once and reused across both runs, and a
-    // report cache memoizes repeat compiles outright.
+    // compiled rule set is built once and reused across both runs, a
+    // report cache memoizes repeat compiles outright, and a metrics
+    // registry aggregates outcome/cache counters and per-stage latency
+    // histograms across every compile the session runs.
+    let metrics = Arc::new(MetricsRegistry::default());
     let session = Session::builder()
         .target_name("sim")
         .batching(Batching::Batched)
         .report_cache(Arc::new(ReportCache::new(64)))
+        .metrics(Arc::clone(&metrics))
         .build()
         .expect("valid session");
     println!(
@@ -90,8 +94,13 @@ fn main() {
     let again = app.run_with(&session, true);
     if let Some(report) = &again.selection {
         println!(
-            "== Tensor Cores schedule, recompiled ==\n  cache: {:?} (same report, no saturation run)",
+            "== Tensor Cores schedule, recompiled ==\n  cache: {:?} (same report, no saturation run)\n",
             report.cache
         );
     }
+
+    // Everything the session recorded along the way, in Prometheus text
+    // exposition format (also available as JSON or a one-line summary).
+    println!("== session metrics ==");
+    print!("{}", metrics.snapshot().render_text());
 }

@@ -40,3 +40,4 @@ pub use hb_egraph as egraph;
 pub use hb_exec as exec;
 pub use hb_ir as ir;
 pub use hb_lang as lang;
+pub use hb_obs as obs;

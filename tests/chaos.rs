@@ -15,7 +15,7 @@ use hardboiled_repro::egraph::fault::{Fault, FaultPlan};
 use hardboiled_repro::hardboiled::postprocess::normalize_temps;
 use hardboiled_repro::hardboiled::session::{CompileError, IntoProgram, Program};
 use hardboiled_repro::hardboiled::{
-    Batching, CompileOutcome, CompileService, Session, TruncationReason,
+    Batching, CompileOutcome, CompileService, MetricsRegistry, Session, TruncationReason,
 };
 use hardboiled_repro::lang::lower::lower;
 
@@ -101,6 +101,68 @@ fn every_seeded_fault_still_compiles_and_passes_the_oracle() {
             "seed {seed} ({:?}): degraded compile miscompiled",
             plan.fault()
         );
+    }
+}
+
+/// The outcome-ladder counter each fault kind must land on (the metrics
+/// mirror of [`expected_outcome`]).
+fn expected_metric(fault: Fault) -> &'static str {
+    match fault {
+        Fault::RulePanic { .. } => "compile.outcome.fallback",
+        Fault::DeadlineExhaust { .. } => "compile.outcome.truncated_deadline",
+        Fault::NodeExplosion { .. } => "compile.outcome.truncated_node_limit",
+        Fault::MatchFlood { .. } => "compile.outcome.truncated_match_budget",
+    }
+}
+
+#[test]
+fn every_seeded_fault_increments_its_matching_metric() {
+    quiet_injected_panics();
+    let app = Conv1d { n: 512, k: 16 };
+    let ladder = [
+        "compile.outcome.saturated",
+        "compile.outcome.truncated_deadline",
+        "compile.outcome.truncated_node_limit",
+        "compile.outcome.truncated_match_budget",
+        "compile.outcome.fallback",
+    ];
+    for seed in 0..16u64 {
+        let plan = FaultPlan::from_seed(seed);
+        // A fresh registry per seed so each fault's increment is
+        // attributable: exactly one ladder rung may move, and it must be
+        // the rung the injected fault degrades to.
+        let metrics = Arc::new(MetricsRegistry::default());
+        let session = Session::builder()
+            .deadline(Duration::from_secs(120))
+            .match_budget(usize::MAX / 2)
+            .fault_plan(Arc::clone(&plan))
+            .metrics(Arc::clone(&metrics))
+            .build()
+            .unwrap();
+        let _ = app.run_with(&session, true);
+        let expected = if plan.times_fired() == 0 {
+            "compile.outcome.saturated"
+        } else {
+            expected_metric(plan.fault())
+        };
+        let snap = metrics.snapshot();
+        for name in ladder {
+            let count = snap.counter(name).unwrap_or(0);
+            if name == expected {
+                assert!(
+                    count >= 1,
+                    "seed {seed} ({:?}): `{name}` was never incremented",
+                    plan.fault()
+                );
+            } else {
+                assert_eq!(
+                    count,
+                    0,
+                    "seed {seed} ({:?}): `{name}` moved for a fault that lands elsewhere",
+                    plan.fault()
+                );
+            }
+        }
     }
 }
 
@@ -300,5 +362,10 @@ fn panicking_front_end_surfaces_as_that_requests_error_only() {
             .is_ok(),
         "the worker pool stopped serving after an isolated panic"
     );
+    // The service's own ledger is truthful: three accepted requests,
+    // exactly the one front-end panic on the fault counter.
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.counter("service.requests"), Some(3));
+    assert_eq!(snap.counter("service.requests_panicked"), Some(1));
     service.shutdown();
 }

@@ -1,0 +1,208 @@
+//! Cross-layer observability contract: deterministic span trees under a
+//! test clock, `StageTimings` populated from exactly the tracer's spans,
+//! profiling sinks observing the engine through the session API, and one
+//! registry aggregating engine, session and service metrics.
+
+use std::sync::Arc;
+
+use hardboiled_repro::hardboiled::{
+    Batching, CollectingSink, MetricsRegistry, Placements, ReportCache, Session, TestClock, Tracer,
+    TracingSink,
+};
+use hardboiled_repro::ir::builder as b;
+use hardboiled_repro::ir::stmt::Stmt;
+use hardboiled_repro::ir::types::{MemoryType, ScalarType, Type};
+
+/// One accelerator-touching selection leaf (an AMX-tile buffer), distinct
+/// per `i` so repeated compiles can be cache hits or misses at will.
+fn tile_leaf(i: i64) -> Stmt {
+    let idx = b::ramp(b::int(i), b::int(1), 8);
+    let ld = b::load(Type::f32().with_lanes(8), &format!("x{i}"), idx.clone());
+    b::allocate(
+        &format!("acc{i}"),
+        ScalarType::F32,
+        8,
+        MemoryType::AmxTile,
+        b::store(&format!("acc{i}"), idx, b::mul(ld.clone(), ld)),
+    )
+}
+
+/// The golden span tree: under `TestClock` every clock reading advances
+/// by one tick, so the hierarchy *and* the durations are byte-stable.
+/// Only the saturate span's attributes depend on the workload/rule set;
+/// they are read back from the report so the comparison stays exact.
+#[test]
+fn span_tree_is_byte_stable_under_the_test_clock() {
+    let tracer = Tracer::with_clock(TestClock::new(1));
+    let session = Session::builder()
+        .target_name("sim")
+        .batching(Batching::Batched)
+        .tracer(tracer.clone())
+        .build()
+        .unwrap();
+    let leaf = tile_leaf(0);
+    let result = session.compile_ir(&leaf, &Placements::new());
+    let run = result.report.batch.as_ref().expect("batched run report");
+    // Clock readings: compile opens at 0; five children each consume an
+    // open+close tick pair; compile closes at 11.
+    let expected = format!(
+        "compile (11ns)\n  \
+         annotate (1ns) [leaves=1]\n  \
+         encode (1ns)\n  \
+         saturate (1ns) [iterations={} applied={}]\n  \
+         extract (1ns) [roots=1]\n  \
+         splice (1ns)\n",
+        run.iterations, run.applied
+    );
+    assert_eq!(tracer.render_tree(), expected);
+}
+
+/// A disabled tracer records nothing, but its span guards still measure:
+/// the report's stage timings stay populated at the old `Instant` cost.
+#[test]
+fn disabled_tracer_still_populates_stage_timings() {
+    let session = Session::builder()
+        .target_name("sim")
+        .batching(Batching::Batched)
+        .build()
+        .unwrap();
+    let result = session.compile_ir(&tile_leaf(0), &Placements::new());
+    let s = result.report.stages;
+    assert!(s.encode > std::time::Duration::ZERO, "encode unmeasured");
+    assert!(
+        s.saturate > std::time::Duration::ZERO,
+        "saturate unmeasured"
+    );
+    assert!(s.extract > std::time::Duration::ZERO, "extract unmeasured");
+    assert_eq!(result.report.eqsat_time, s.saturate);
+    assert_eq!(
+        session.tracer().finished_count(),
+        0,
+        "disabled tracer recorded"
+    );
+}
+
+/// `StageTimings` are populated from exactly the tracer's spans — the
+/// two views of one compile can never disagree.
+#[test]
+fn stage_timings_equal_span_durations() {
+    let tracer = Tracer::new();
+    let session = Session::builder()
+        .target_name("sim")
+        .batching(Batching::Batched)
+        .tracer(tracer.clone())
+        .build()
+        .unwrap();
+    let result = session.compile_ir(&tile_leaf(0), &Placements::new());
+    let spans = tracer.finished();
+    let sum = |name: &str| {
+        spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(hardboiled_repro::obs::SpanRecord::duration)
+            .sum::<std::time::Duration>()
+    };
+    let stages = result.report.stages;
+    assert_eq!(stages.encode, sum("annotate") + sum("encode"));
+    assert_eq!(stages.saturate, sum("saturate"));
+    assert_eq!(stages.extract, sum("extract"));
+    assert_eq!(stages.splice, sum("splice"));
+}
+
+/// The engine's profiling hooks, driven through the session API: every
+/// rule search surfaces with its rule name, row counts and duration, and
+/// the per-rule row attribution never exceeds the report's totals.
+#[test]
+fn collecting_sink_observes_rule_searches() {
+    let sink = Arc::new(CollectingSink::new());
+    let session = Session::builder()
+        .target_name("sim")
+        .batching(Batching::Batched)
+        .profile_sink(Arc::clone(&sink) as Arc<_>)
+        .build()
+        .unwrap();
+    let result = session.compile_ir(&tile_leaf(0), &Placements::new());
+    let run = result.report.batch.as_ref().expect("batched run report");
+    let samples = sink.samples();
+    assert!(!samples.is_empty(), "no rule searches observed");
+    assert!(samples.iter().all(|s| !s.rule.is_empty()));
+    assert!(!sink.rebuilds().is_empty(), "no rebuilds observed");
+    // Per-rule draining re-attributes rows; it must not invent any.
+    let probed: usize = samples.iter().map(|s| s.probed_rows).sum();
+    assert!(
+        probed <= run.delta_probed_rows,
+        "samples probed {probed} rows, report only {}",
+        run.delta_probed_rows
+    );
+}
+
+/// `TracingSink` bridges the two halves: rule-search samples become
+/// `rule_search` spans nested under the session's own `saturate` span.
+#[test]
+fn tracing_sink_nests_rule_searches_under_saturate() {
+    let tracer = Tracer::new();
+    let session = Session::builder()
+        .target_name("sim")
+        .batching(Batching::Batched)
+        .tracer(tracer.clone())
+        .profile_sink(Arc::new(TracingSink::new(tracer.clone())))
+        .build()
+        .unwrap();
+    let _ = session.compile_ir(&tile_leaf(0), &Placements::new());
+    let spans = tracer.finished();
+    let saturate_ids: Vec<u64> = spans
+        .iter()
+        .filter(|s| s.name == "saturate")
+        .map(|s| s.id)
+        .collect();
+    assert_eq!(saturate_ids.len(), 1);
+    let searches: Vec<_> = spans.iter().filter(|s| s.name == "rule_search").collect();
+    assert!(!searches.is_empty(), "no rule_search spans recorded");
+    assert!(
+        searches.iter().all(|s| s.parent == Some(saturate_ids[0])),
+        "rule_search spans escaped the saturate span"
+    );
+    assert!(searches
+        .iter()
+        .all(|s| s.attrs.iter().any(|(k, _)| *k == "rule")));
+}
+
+/// One registry, three layers: the session's cache counters mirror the
+/// cache's own stats exactly, the outcome ladder counts every compile,
+/// and stage histograms only record compiles that ran the pipeline.
+#[test]
+fn registry_aggregates_session_and_cache_metrics_exactly() {
+    let metrics = Arc::new(MetricsRegistry::default());
+    let cache = Arc::new(ReportCache::new(8));
+    let session = Session::builder()
+        .target_name("sim")
+        .batching(Batching::Batched)
+        .report_cache(Arc::clone(&cache))
+        .metrics(Arc::clone(&metrics))
+        .build()
+        .unwrap();
+    let leaf = tile_leaf(0);
+    let _ = session.compile_ir(&leaf, &Placements::new()); // miss
+    let _ = session.compile_ir(&leaf, &Placements::new()); // hit
+    let snap = metrics.snapshot();
+    let stats = cache.stats();
+    assert_eq!(snap.counter("cache.hits"), Some(stats.hits));
+    assert_eq!(snap.counter("cache.misses"), Some(stats.misses));
+    assert_eq!(snap.counter("cache.bypasses"), Some(stats.bypasses));
+    assert_eq!(snap.counter("cache.evictions"), Some(stats.evictions));
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(snap.counter("compile.outcome.saturated"), Some(2));
+    // The hit never re-ran the pipeline: one histogram entry per stage.
+    for stage in ["stage.saturate_ns", "stage.extract_ns", "stage.splice_ns"] {
+        assert_eq!(
+            snap.histogram(stage).map(|h| h.count),
+            Some(1),
+            "{stage} miscounted"
+        );
+    }
+    // Rendering includes every metric the compile produced.
+    let text = snap.render_text();
+    assert!(text.contains("cache_hits 1"));
+    assert!(text.contains("compile_outcome_saturated 2"));
+}
