@@ -44,17 +44,73 @@
 //! nonzero if a tracked ratio regressed >25% (floors demote to warnings,
 //! as in `eqsat_saturation`).
 
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use hardboiled::postprocess::normalize_temps;
-use hardboiled::{Batching, CacheOutcome, CompileService, ExtractionPolicy, ReportCache, Session};
+use hardboiled::{
+    Batching, CacheOutcome, CompileError, CompileService, ExtractionPolicy, IntoProgram, Program,
+    ReportCache, ServiceError, Session,
+};
 use hb_apps::gemm_wmma::GemmWmma;
 use hb_bench::guard::{compare_against_baseline, timing_floor};
 use hb_bench::workloads::{cores, metadata_json, threads_flag, workloads, Workload};
 use hb_ir::stmt::Stmt;
-use hb_lang::lower::lower;
+use hb_lang::lower::{lower, Lowered};
 use hb_obs::{MetricsRegistry, NullSink, Tracer};
+
+/// A latch the gated front end parks on — lets the backpressure oracle
+/// and measurement hold the service's only worker inside a request
+/// deterministically (no sleeps), then release it on demand.
+#[derive(Clone)]
+struct Gate(Arc<(Mutex<bool>, Condvar)>);
+
+impl Gate {
+    fn new() -> Gate {
+        Gate(Arc::new((Mutex::new(false), Condvar::new())))
+    }
+
+    fn open(&self) {
+        let (flag, cv) = &*self.0;
+        *flag.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let (flag, cv) = &*self.0;
+        let mut open = flag.lock().unwrap();
+        while !*open {
+            open = cv.wait(open).unwrap();
+        }
+    }
+}
+
+/// Parks in `to_program` until its gate opens, then compiles `inner`.
+struct GatedSource {
+    inner: Lowered,
+    gate: Gate,
+}
+
+impl IntoProgram for GatedSource {
+    fn to_program(&self) -> Result<Program, CompileError> {
+        self.gate.wait_open();
+        self.inner.to_program()
+    }
+}
+
+/// Polls until the single worker has picked up the gated request on
+/// `target` (its queue gauge returns to zero), with a hard deadline.
+fn wait_for_pickup(service: &CompileService, target: &str) {
+    let gauge = format!("service.queue_depth.{target}");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.metrics_snapshot().gauge(&gauge) != Some(0) {
+        assert!(
+            Instant::now() < deadline,
+            "worker never picked up the gated request"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
 
 /// A session over the default `sim` target with the given batching,
 /// forced extraction strategy (None = the target's `Auto` policy) and
@@ -229,6 +285,131 @@ fn assert_cache_identity(all: &[Workload]) {
     );
 }
 
+/// The service-level delta-rounds oracle: replies from services whose
+/// sessions saturate with 2 and 4 intra-compile threads are
+/// byte-identical to the serial direct session — parallel semi-naive
+/// delta rounds included, since every multi-iteration saturation runs
+/// them.
+fn assert_service_parallel_identity(all: &[Workload]) {
+    let reference = compile_pool(all, &session(Batching::PerLeaf, None, 1));
+    for threads in [2, 4] {
+        let service = CompileService::builder()
+            .worker_threads(2)
+            .register("default", session(Batching::PerLeaf, None, threads))
+            .build()
+            .expect("valid service");
+        let sources: Vec<_> = all.iter().map(|w| w.lowered.clone()).collect();
+        let replies = service
+            .compile_batch("default", sources)
+            .expect("submission must be accepted");
+        for (w, (expect, reply)) in all.iter().zip(reference.iter().zip(&replies)) {
+            let reply = reply.as_ref().expect("request must compile");
+            assert_eq!(
+                *expect,
+                normalize_temps(&reply.program.to_string()),
+                "{}: service reply with compile_threads={threads} diverged from serial",
+                w.name
+            );
+        }
+        service.shutdown();
+    }
+    println!(
+        "service parallel ≡ serial    ok ({} workloads, sessions at compile_threads 2 and 4)",
+        all.len()
+    );
+}
+
+/// The backpressure/cancellation oracle (deterministic — no timing):
+/// a full per-target queue refuses with `Busy` carrying the exact
+/// depth, a ticket dropped while queued is skipped without compiling,
+/// a ticket dropped in flight aborts with a truthful cancelled
+/// truncation, and the counters account for all of it exactly.
+fn assert_backpressure_and_cancellation(all: &[Workload]) {
+    let source = all[0].lowered.clone();
+    let gate = Gate::new();
+    let metrics = Arc::new(MetricsRegistry::default());
+    let service = CompileService::builder()
+        .worker_threads(1)
+        .queue_capacity(2)
+        .register("default", session(Batching::PerLeaf, None, 1))
+        .shared_metrics(Arc::clone(&metrics))
+        .build()
+        .expect("valid service");
+
+    // Park the worker, fill the queue, overflow it.
+    let parked = service
+        .submit(
+            "default",
+            GatedSource {
+                inner: source.clone(),
+                gate: gate.clone(),
+            },
+        )
+        .expect("accepted");
+    wait_for_pickup(&service, "default");
+    let kept = service.submit("default", source.clone()).expect("slot 1");
+    let victim = service.submit("default", source.clone()).expect("slot 2");
+    assert_eq!(
+        service.submit("default", source.clone()).unwrap_err(),
+        ServiceError::Busy {
+            target: "default".to_string(),
+            depth: 2,
+        },
+        "full queue must refuse with its exact depth"
+    );
+    // One queued cancellation, then drain.
+    drop(victim);
+    gate.open();
+    assert!(parked.wait().is_ok(), "gated request must compile");
+    assert!(kept.wait().is_ok(), "kept request must compile");
+
+    // One in-flight cancellation: park again (fresh gate — the first is
+    // already open), drop the parked ticket, then let the compile proceed
+    // so the budget clock observes the tripped token mid-saturation.
+    let gate2 = Gate::new();
+    let doomed = service
+        .submit(
+            "default",
+            GatedSource {
+                inner: source.clone(),
+                gate: gate2.clone(),
+            },
+        )
+        .expect("accepted");
+    wait_for_pickup(&service, "default");
+    drop(doomed);
+    gate2.open();
+    // The queue is empty and the token is tripped; the request resolves
+    // promptly. A probe after it proves the worker was freed.
+    assert!(
+        service
+            .submit("default", source)
+            .expect("accepted")
+            .wait()
+            .is_ok(),
+        "the worker was not freed after an in-flight cancellation"
+    );
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("service.rejected_busy"), Some(1));
+    assert_eq!(snap.counter("service.cancelled"), Some(2));
+    assert_eq!(
+        snap.histogram("service.cancel_latency_ns").map(|h| h.count),
+        Some(2)
+    );
+    assert_eq!(
+        snap.counter("compile.outcome.truncated_cancelled"),
+        Some(1),
+        "the in-flight cancellation must surface as a cancelled truncation"
+    );
+    assert_eq!(snap.gauge("service.queue_depth"), Some(0));
+    assert_eq!(snap.gauge("service.queue_depth.default"), Some(0));
+    service.shutdown();
+    println!(
+        "backpressure + cancellation  ok (Busy at depth 2, queued skip + in-flight abort, counters exact)"
+    );
+}
+
 /// The extra workload a warm-start adds to the exported pool (the same
 /// shape `saturation_pool` appends for engine measurements).
 fn extra_workload() -> hb_lang::lower::Lowered {
@@ -312,6 +493,69 @@ fn run_warm_start(all: &[Workload]) -> WarmStats {
     }
 }
 
+/// The session-level delta-rounds oracle: one snapshot warm-started at
+/// compile_threads 1 / 2 / 4 yields byte-identical programs AND exactly
+/// equal delta-probed row counts — the semi-naive rounds are partitioned
+/// across threads, never re-enumerated or reordered.
+fn assert_warm_delta_rounds_identity(all: &[Workload]) {
+    let serial = session(Batching::Batched, None, 1);
+    let known: Vec<(&Stmt, &hardboiled::movement::Placements)> = all
+        .iter()
+        .map(|w| (&w.lowered.stmt, &w.lowered.placements))
+        .collect();
+    let extra = extra_workload();
+    let mut full = known.clone();
+    full.push((&extra.stmt, &extra.placements));
+    let (_, snapshot) = serial.compile_ir_suite_exporting(&known);
+    let snapshot = snapshot.expect("a saturated batched pool compile exports a snapshot");
+    let (reference, rejection) = serial.compile_ir_suite_warm(&full, &snapshot);
+    assert!(
+        rejection.is_none(),
+        "serial warm-start rejected: {rejection:?}"
+    );
+    let reference_programs: Vec<String> = reference
+        .programs
+        .iter()
+        .map(|p| normalize_temps(&p.to_string()))
+        .collect();
+    let reference_rows = reference
+        .report
+        .batch
+        .as_ref()
+        .expect("batched run")
+        .delta_probed_rows;
+    for threads in [2, 4] {
+        let parallel = session(Batching::Batched, None, threads);
+        let (warm, rejection) = parallel.compile_ir_suite_warm(&full, &snapshot);
+        assert!(
+            rejection.is_none(),
+            "warm-start at compile_threads={threads} rejected: {rejection:?}"
+        );
+        let programs: Vec<String> = warm
+            .programs
+            .iter()
+            .map(|p| normalize_temps(&p.to_string()))
+            .collect();
+        assert_eq!(
+            reference_programs, programs,
+            "warm delta rounds diverged at compile_threads={threads}"
+        );
+        assert_eq!(
+            reference_rows,
+            warm.report
+                .batch
+                .as_ref()
+                .expect("batched run")
+                .delta_probed_rows,
+            "delta probe counters diverged at compile_threads={threads}"
+        );
+    }
+    println!(
+        "warm delta rounds ≡ serial   ok ({} workloads + 1 new, threads 2 and 4, probed rows exact)",
+        all.len()
+    );
+}
+
 fn check_mode(all: &[Workload]) {
     assert_parallel_identity(all, Batching::PerLeaf, None, "per-leaf auto");
     assert_parallel_identity(all, Batching::Batched, None, "batched shared-table");
@@ -363,7 +607,10 @@ fn check_mode(all: &[Workload]) {
         "instrumented ≡ plain         ok (tracer + metrics + null profile sink, identical programs)"
     );
     assert_service_identity(all);
+    assert_service_parallel_identity(all);
+    assert_backpressure_and_cancellation(all);
     assert_cache_identity(all);
+    assert_warm_delta_rounds_identity(all);
     let warm = run_warm_start(all);
     println!(
         "warm ≡ cold                  ok ({} workloads + 1 new, identical programs, probed rows {} vs {})",
@@ -503,6 +750,110 @@ fn run_cached_service(all: &[Workload], workers: usize, rounds: usize) -> (Vec<S
         .unwrap_or(0.0);
     service.shutdown();
     (series, hit_rate)
+}
+
+struct BackpressureStats {
+    capacity: usize,
+    burst: usize,
+    accepted: usize,
+    rejected_busy: usize,
+    busy_reject_ratio: f64,
+    cancelled: usize,
+    cancel_effective_ratio: f64,
+    cancel_latency_mean_ms: f64,
+    reject_burst_ms: f64,
+    drain_ms: f64,
+}
+
+/// Backpressure/cancellation measurement: with the single worker parked,
+/// a burst of `burst` submissions against a capacity-`capacity` queue
+/// accepts exactly `capacity` and rejects the rest without blocking
+/// (`reject_burst_ms` is the whole burst's wall — rejections must be
+/// cheap). Half the accepted tickets are then dropped; the drain
+/// confirms every cancellation took effect (skip counters exact) and
+/// times the queue flush. The ratios are deterministic by construction —
+/// that is what makes them guardable.
+fn run_backpressure(all: &[Workload]) -> BackpressureStats {
+    let capacity = 8;
+    let burst = 64;
+    let gate = Gate::new();
+    let metrics = Arc::new(MetricsRegistry::default());
+    let service = CompileService::builder()
+        .worker_threads(1)
+        .queue_capacity(capacity)
+        .register("default", session(Batching::PerLeaf, None, 1))
+        .shared_metrics(Arc::clone(&metrics))
+        .build()
+        .expect("valid service");
+    let parked = service
+        .submit(
+            "default",
+            GatedSource {
+                inner: all[0].lowered.clone(),
+                gate: gate.clone(),
+            },
+        )
+        .expect("accepted");
+    wait_for_pickup(&service, "default");
+
+    let started = Instant::now();
+    let mut accepted = Vec::new();
+    let mut rejected_busy = 0usize;
+    for i in 0..burst {
+        match service.submit("default", all[i % all.len()].lowered.clone()) {
+            Ok(ticket) => accepted.push(ticket),
+            Err(ServiceError::Busy { .. }) => rejected_busy += 1,
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+    }
+    let reject_burst_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(accepted.len(), capacity, "accepts must stop at capacity");
+
+    // Cancel every other accepted request (keeping the last, so waiting
+    // it out proves every skip before it was processed).
+    let mut kept = Vec::new();
+    for (i, ticket) in accepted.drain(..).enumerate() {
+        if i % 2 == 0 && i + 1 < capacity {
+            drop(ticket);
+        } else {
+            kept.push(ticket);
+        }
+    }
+    let cancelled = capacity - kept.len();
+
+    let started = Instant::now();
+    gate.open();
+    let _ = parked.wait().expect("gated request must compile");
+    for ticket in kept {
+        let _ = ticket.wait().expect("kept request must compile");
+    }
+    let drain_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let snap = metrics.snapshot();
+    let effective = snap.counter("service.cancelled").unwrap_or(0);
+    let latency = snap.histogram("service.cancel_latency_ns");
+    #[allow(clippy::cast_precision_loss)]
+    let cancel_latency_mean_ms = latency.map_or(0.0, |h| {
+        if h.count == 0 {
+            0.0
+        } else {
+            (h.sum as f64 / h.count as f64) / 1e6
+        }
+    });
+    service.shutdown();
+    #[allow(clippy::cast_precision_loss)]
+    BackpressureStats {
+        capacity,
+        burst,
+        accepted: capacity,
+        rejected_busy,
+        busy_reject_ratio: rejected_busy as f64 / burst as f64,
+        cancelled,
+        cancel_effective_ratio: effective as f64 / cancelled as f64,
+        cancel_latency_mean_ms,
+        reject_burst_ms,
+        drain_ms,
+    }
 }
 
 struct ObsOverhead {
@@ -749,7 +1100,27 @@ fn main() {
         warm.snapshot_kib
     );
 
-    // [6] observability: the same batched suite through a session
+    // [6] backpressure/cancellation: bounded-queue refusal and dropped-
+    // ticket cancellation under a parked worker — deterministic ratios,
+    // measured burst/drain walls.
+    let bp = run_backpressure(&all);
+    println!(
+        "\nbackpressure ({} slots, {}-request burst against a parked worker)\n  \
+         accepted {} / rejected {} (ratio {:.3}) in {:.2} ms; {} tickets dropped, {} effective cancellations (ratio {:.2}), mean cancel latency {:.3} ms, drain {:.2} ms",
+        bp.capacity,
+        bp.burst,
+        bp.accepted,
+        bp.rejected_busy,
+        bp.busy_reject_ratio,
+        bp.reject_burst_ms,
+        bp.cancelled,
+        bp.cancelled,
+        bp.cancel_effective_ratio,
+        bp.cancel_latency_mean_ms,
+        bp.drain_ms
+    );
+
+    // [7] observability: the same batched suite through a session
     // carrying the full stack — enabled tracer, metrics registry, no-op
     // ProfileSink — vs the plain session. The bar is the subsystem's
     // contract: <2% end to end, same as the budget-plumbing bar.
@@ -808,6 +1179,19 @@ fn main() {
     "restore_ms": {restore_ms:.3},
     "snapshot_kib": {snapshot_kib:.1}
   }},
+  "backpressure": {{
+    "description": "per-target bounded queue under a parked worker: a burst against a full queue rejects immediately with Busy (ratio is deterministic (burst-capacity)/burst), then half the accepted tickets are dropped and the drain confirms every cancellation took effect (cancel_effective_ratio is deterministically 1); the walls time the reject burst and the queue flush",
+    "queue_capacity": {bp_capacity},
+    "burst": {bp_burst},
+    "accepted": {bp_accepted},
+    "rejected_busy": {bp_rejected},
+    "busy_reject_ratio": {bp_reject_ratio:.3},
+    "reject_burst_ms": {bp_reject_ms:.3},
+    "cancelled": {bp_cancelled},
+    "cancel_effective_ratio": {bp_cancel_ratio:.2},
+    "cancel_latency_mean_ms": {bp_cancel_latency:.3},
+    "drain_ms": {bp_drain_ms:.3}
+  }},
   "obs_overhead": {{
     "description": "full observability stack (enabled tracer + metrics registry + no-op ProfileSink) vs a plain session on the whole batched suite, best-of-7 serial suite walls with the arms interleaved, programs byte-identical asserted; bar <2% like the budget plumbing",
     "plain_ms": {obs_plain:.3},
@@ -858,6 +1242,16 @@ fn main() {
         probe_reduction = warm.probe_reduction,
         restore_ms = warm.restore_ms,
         snapshot_kib = warm.snapshot_kib,
+        bp_capacity = bp.capacity,
+        bp_burst = bp.burst,
+        bp_accepted = bp.accepted,
+        bp_rejected = bp.rejected_busy,
+        bp_reject_ratio = bp.busy_reject_ratio,
+        bp_reject_ms = bp.reject_burst_ms,
+        bp_cancelled = bp.cancelled,
+        bp_cancel_ratio = bp.cancel_effective_ratio,
+        bp_cancel_latency = bp.cancel_latency_mean_ms,
+        bp_drain_ms = bp.drain_ms,
         obs_plain = obs.plain_ms,
         obs_instr = obs.instrumented_ms,
         obs_pct = obs.overhead_pct,
@@ -881,6 +1275,12 @@ fn main() {
             ("extract_readout", "readout_speedup", readout_speedup),
             ("cache", "hit_rate", hit_rate),
             ("warm_start", "probe_reduction", warm.probe_reduction),
+            ("backpressure", "busy_reject_ratio", bp.busy_reject_ratio),
+            (
+                "backpressure",
+                "cancel_effective_ratio",
+                bp.cancel_effective_ratio,
+            ),
         ];
         if !compare_against_baseline(&baseline, &tracked) {
             eprintln!("bench-guard: tracked speedup regressed >25% vs the committed baseline");

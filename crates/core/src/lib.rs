@@ -120,6 +120,7 @@ pub use cost::{CostModel, DeviceCost, HbCost};
 pub use hb_accel::target::{
     AmxTarget, ExtractionPolicy, RuleProfile, ScalarTarget, SimTarget, Target, WmmaTarget,
 };
+pub use hb_egraph::schedule::CancelToken;
 pub use hb_obs::{
     CollectingSink, MetricsRegistry, MetricsSnapshot, NullSink, ProfileSink, TestClock, Tracer,
     TracingSink,
@@ -128,7 +129,9 @@ pub use lang::{HbAnalysis, HbGraph, HbLang};
 pub use movement::Placements;
 pub use postprocess::MaterializeError;
 pub use selector::{SelectionReport, SelectorConfig};
-pub use service::{CompileService, CompileServiceBuilder, ServiceError, Ticket};
+pub use service::{
+    CompileService, CompileServiceBuilder, ServiceError, Ticket, DEFAULT_QUEUE_CAPACITY,
+};
 pub use session::{
     Batching, BuildError, CompileError, CompileOutcome, CompileReport, CompileResult,
     ExtractionReport, IntoProgram, IrSuiteResult, Program, Session, SessionBuilder, StageTimings,

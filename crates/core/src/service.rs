@@ -4,8 +4,8 @@
 //! thread-safety notes in [`crate::session`]), so one long-lived session
 //! per target can serve every request concurrently. The service owns that
 //! mapping — one session per *registered target name* — plus a fixed pool
-//! of worker threads (`std::thread` + `mpsc` channels; no dependencies)
-//! that requests fan out across:
+//! of worker threads (`std::thread` + mutex/condvar queues; no
+//! dependencies) that requests fan out across:
 //!
 //! ```
 //! use hardboiled::CompileService;
@@ -23,6 +23,44 @@
 //! service.shutdown();
 //! ```
 //!
+//! ## Request lifecycle
+//!
+//! **Queueing.** Every registered target owns its own bounded FIFO queue
+//! ([`CompileServiceBuilder::queue_capacity`] slots, default 256). Workers
+//! drain the queues with a round-robin cursor over the sorted target
+//! names, so a deep queue on one target cannot starve the others: each
+//! pass over the queues takes at most one request per target.
+//!
+//! **Backpressure.** [`CompileService::submit`] on a full queue refuses
+//! *immediately* with [`ServiceError::Busy`] — it never blocks and never
+//! grows the queue, and only the full target is affected (neighboring
+//! targets keep accepting at full depth). [`CompileService::submit_wait`]
+//! is the blocking variant: it waits up to a deadline for a slot to free
+//! up, then gives up with the same `Busy`. Rejections are counted in
+//! `service.rejected_busy`; per-target depths are live in the
+//! `service.queue_depth.<target>` gauges (plus the global
+//! `service.queue_depth` sum).
+//!
+//! **Cancellation.** Dropping a [`Ticket`] cancels its request by
+//! tripping the request's [`CancelToken`]:
+//!
+//! * *still queued* — the worker that eventually reaches the request
+//!   skips it without running the compile;
+//! * *in flight* — the token is threaded into the session's [`Budget`]
+//!   (see [`Session::compile_cancellable`]), so saturation aborts at the
+//!   next rule-search boundary and the worker frees up mid-saturation
+//!   with a truthful `Truncated`/cancelled report (never a falsely
+//!   "saturated" one);
+//! * *already completed* — the cancel is a no-op: no counters move.
+//!
+//! Every cancellation that actually *takes effect* (skip or abort)
+//! increments `service.cancelled` and records the cancel-to-observed
+//! latency in `service.cancel_latency_ns`. [`Ticket::wait`] disarms
+//! cancel-on-drop, so waiting for a result never counts as a
+//! cancellation.
+//!
+//! [`Budget`]: hb_egraph::schedule::Budget
+//!
 //! ## Request isolation
 //!
 //! Each request runs under its own `catch_unwind`, on top of the
@@ -38,27 +76,29 @@
 //! ## Determinism
 //!
 //! Requests are independent and sessions are immutable, so results are
-//! byte-identical regardless of worker count or completion order; only
-//! the *reply* order of [`CompileService::compile_batch`] is defined
-//! (input order). The concurrency tests assert this against serial
-//! compilation.
+//! byte-identical regardless of worker count, queue capacity or
+//! completion order; only the *reply* order of
+//! [`CompileService::compile_batch`] is defined (input order). The
+//! concurrency tests assert this against serial compilation.
 //!
 //! ## Shutdown = drain
 //!
-//! [`CompileService::shutdown`] (and `Drop`) closes the job queue and
-//! joins the workers. An `mpsc` receiver drains already-queued messages
-//! after its sender closes, so every accepted request still completes and
-//! its [`Ticket`] resolves; only *new* submissions are refused
-//! ([`ServiceError::ShuttingDown`]).
+//! [`CompileService::shutdown`] (and `Drop`) closes the queues and joins
+//! the workers. Workers keep draining until every queue is empty, so
+//! every accepted request still completes and its [`Ticket`] resolves
+//! (cancelled ones are skipped as usual); only *new* submissions are
+//! refused ([`ServiceError::ShuttingDown`]), and blocked
+//! [`CompileService::submit_wait`] callers wake up with the same error.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use hb_egraph::schedule::CancelToken;
 use hb_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 
 use crate::cache::{CacheStats, ReportCache};
@@ -70,6 +110,10 @@ use crate::session::{
 /// reply on its own channel (so one queue can carry any reply type).
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Default per-target queue capacity
+/// ([`CompileServiceBuilder::queue_capacity`]).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
+
 /// Errors from submitting work to a [`CompileService`].
 ///
 /// Service errors are about *routing* a request; errors from the compile
@@ -78,7 +122,17 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub enum ServiceError {
     /// The target name was never registered on the builder.
     UnknownTarget(String),
-    /// The job queue is closed (the service is draining).
+    /// The target's bounded queue is full — backpressure, not failure.
+    /// `depth` is the queue depth observed at rejection time. Other
+    /// targets' queues are unaffected; retry later or use
+    /// [`CompileService::submit_wait`].
+    Busy {
+        /// The target whose queue was full.
+        target: String,
+        /// Queue depth at rejection time (== the configured capacity).
+        depth: usize,
+    },
+    /// The job queues are closed (the service is draining).
     ShuttingDown,
 }
 
@@ -87,6 +141,12 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownTarget(name) => {
                 write!(f, "no session registered for target {name:?}")
+            }
+            ServiceError::Busy { target, depth } => {
+                write!(
+                    f,
+                    "target {target:?} queue is full ({depth} queued requests)"
+                )
             }
             ServiceError::ShuttingDown => write!(f, "compile service is shutting down"),
         }
@@ -97,10 +157,17 @@ impl std::error::Error for ServiceError {}
 
 /// A pending request's handle. [`Ticket::wait`] blocks until the worker
 /// that picked the request up finishes it.
-#[must_use = "a ticket resolves to the request's result; dropping it discards the compile"]
+///
+/// Dropping a ticket without waiting *cancels* the request: if it is
+/// still queued the worker skips it, and if it is already running the
+/// compile is aborted at the next rule-search boundary (see the module
+/// docs' lifecycle section). Dropping after completion is a no-op.
+#[must_use = "a ticket resolves to the request's result; dropping it cancels the compile"]
 #[derive(Debug)]
 pub struct Ticket<T = CompileResult> {
     rx: Receiver<Result<T, CompileError>>,
+    /// `Some` while cancel-on-drop is armed; [`Ticket::wait`] disarms.
+    cancel: Option<CancelToken>,
 }
 
 impl<T> Ticket<T> {
@@ -110,7 +177,10 @@ impl<T> Ticket<T> {
     ///
     /// Whatever the compile itself produced — including
     /// [`CompileError::Engine`] when the request panicked in a worker.
-    pub fn wait(self) -> Result<T, CompileError> {
+    pub fn wait(mut self) -> Result<T, CompileError> {
+        // Disarm cancel-on-drop: waiting out the result is the opposite
+        // of abandoning the request.
+        self.cancel = None;
         // Unreachable in practice: workers always send exactly one reply
         // (panics are caught inside the job), and shutdown drains the
         // queue. Degrade to an error rather than panicking the caller.
@@ -122,10 +192,19 @@ impl<T> Ticket<T> {
     }
 }
 
+impl<T> Drop for Ticket<T> {
+    fn drop(&mut self) {
+        if let Some(cancel) = self.cancel.take() {
+            cancel.cancel();
+        }
+    }
+}
+
 /// Builder for [`CompileService`]. See the module docs for the model.
 #[derive(Debug, Default)]
 pub struct CompileServiceBuilder {
     workers: Option<usize>,
+    queue_capacity: Option<usize>,
     entries: Vec<(String, SessionSpec)>,
     cache: Option<Arc<ReportCache>>,
     metrics: Option<Arc<MetricsRegistry>>,
@@ -146,6 +225,16 @@ impl CompileServiceBuilder {
     #[must_use]
     pub fn worker_threads(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Per-target queue capacity (default
+    /// [`DEFAULT_QUEUE_CAPACITY`]). A [`CompileService::submit`] to a
+    /// target whose queue already holds this many requests returns
+    /// [`ServiceError::Busy`] instead of growing the queue.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
         self
     }
 
@@ -202,6 +291,7 @@ impl CompileServiceBuilder {
     /// # Errors
     ///
     /// [`BuildError::InvalidWorkers`] for a zero-sized pool,
+    /// [`BuildError::InvalidQueueCapacity`] for zero-capacity queues,
     /// [`BuildError::DuplicateTarget`] when one name is registered twice,
     /// and any [`BuildError`] from building a `register_target` default
     /// session (e.g. [`BuildError::UnknownTarget`]).
@@ -209,9 +299,13 @@ impl CompileServiceBuilder {
         if self.workers == Some(0) {
             return Err(BuildError::InvalidWorkers);
         }
+        if self.queue_capacity == Some(0) {
+            return Err(BuildError::InvalidQueueCapacity);
+        }
         let workers = self.workers.unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         });
+        let capacity = self.queue_capacity.unwrap_or(DEFAULT_QUEUE_CAPACITY);
         let metrics = self.metrics.unwrap_or_default();
         let mut sessions = HashMap::new();
         for (name, spec) in self.entries {
@@ -228,8 +322,60 @@ impl CompileServiceBuilder {
             }
         }
         Ok(CompileService::spawn(
-            sessions, workers, self.cache, metrics,
+            sessions, workers, capacity, self.cache, metrics,
         ))
+    }
+}
+
+/// One request sitting in a target's queue.
+struct QueuedJob {
+    job: Job,
+    /// The ticket's cancel handle: tripped means "skip me".
+    cancel: CancelToken,
+}
+
+/// The shared dispatch state: per-target bounded queues plus the
+/// round-robin cursor workers use to drain them fairly.
+struct DispatchState {
+    /// `false` once shutdown starts: submissions are refused, workers
+    /// exit when the queues run dry.
+    open: bool,
+    /// One FIFO per registered target, indexed in sorted-name order.
+    queues: Vec<VecDeque<QueuedJob>>,
+    /// Next queue a worker looks at — advanced past each pop so every
+    /// pass takes at most one request per target.
+    cursor: usize,
+}
+
+/// The queues + the two rendezvous points: `work_cv` wakes workers when
+/// a request lands, `space_cv` wakes blocked [`CompileService::submit_wait`]
+/// callers when a slot frees up.
+struct Dispatcher {
+    state: Mutex<DispatchState>,
+    work_cv: Condvar,
+    space_cv: Condvar,
+    capacity: usize,
+}
+
+impl fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Dispatcher(..)")
+    }
+}
+
+impl Dispatcher {
+    /// Pops the next request, round-robin across targets. Caller holds
+    /// the state lock.
+    fn pop_fair(st: &mut DispatchState) -> Option<(QueuedJob, usize)> {
+        let n = st.queues.len();
+        for k in 0..n {
+            let idx = (st.cursor + k) % n;
+            if let Some(job) = st.queues[idx].pop_front() {
+                st.cursor = (idx + 1) % n;
+                return Some((job, idx));
+            }
+        }
+        None
     }
 }
 
@@ -237,8 +383,12 @@ impl CompileServiceBuilder {
 /// [`Session`] per registered target. See the module docs.
 #[derive(Debug)]
 pub struct CompileService {
-    sessions: HashMap<String, Arc<Session>>,
-    jobs: Option<Sender<Job>>,
+    /// Sorted target names; `queues[i]` / `queue_depth_by_target[i]`
+    /// belong to `names[i]`.
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    sessions: Vec<Arc<Session>>,
+    dispatcher: Arc<Dispatcher>,
     workers: Vec<JoinHandle<()>>,
     cache: Option<Arc<ReportCache>>,
     metrics: Arc<MetricsRegistry>,
@@ -251,9 +401,15 @@ pub struct CompileService {
 struct ServiceObs {
     requests: Counter,
     requests_panicked: Counter,
+    rejected_busy: Counter,
+    cancelled: Counter,
     queue_depth: Gauge,
+    /// Per-target depth gauges (`service.queue_depth.<target>`), aligned
+    /// with the sorted target order.
+    queue_depth_by_target: Vec<Gauge>,
     wait_ns: Histogram,
     run_ns: Histogram,
+    cancel_latency_ns: Histogram,
 }
 
 impl fmt::Debug for ServiceObs {
@@ -263,13 +419,20 @@ impl fmt::Debug for ServiceObs {
 }
 
 impl ServiceObs {
-    fn resolve(metrics: &MetricsRegistry) -> ServiceObs {
+    fn resolve(metrics: &MetricsRegistry, names: &[String]) -> ServiceObs {
         ServiceObs {
             requests: metrics.counter("service.requests"),
             requests_panicked: metrics.counter("service.requests_panicked"),
+            rejected_busy: metrics.counter("service.rejected_busy"),
+            cancelled: metrics.counter("service.cancelled"),
             queue_depth: metrics.gauge("service.queue_depth"),
+            queue_depth_by_target: names
+                .iter()
+                .map(|name| metrics.gauge(&format!("service.queue_depth.{name}")))
+                .collect(),
             wait_ns: metrics.histogram("service.wait_ns"),
             run_ns: metrics.histogram("service.run_ns"),
+            cancel_latency_ns: metrics.histogram("service.cancel_latency_ns"),
         }
     }
 }
@@ -282,32 +445,46 @@ impl CompileService {
     }
 
     fn spawn(
-        sessions: HashMap<String, Arc<Session>>,
+        by_name: HashMap<String, Arc<Session>>,
         workers: usize,
+        capacity: usize,
         cache: Option<Arc<ReportCache>>,
         metrics: Arc<MetricsRegistry>,
     ) -> Self {
-        let obs = ServiceObs::resolve(&metrics);
-        let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
+        let mut names: Vec<String> = by_name.keys().cloned().collect();
+        names.sort_unstable();
+        let index: HashMap<String, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.clone(), i))
+            .collect();
+        let sessions: Vec<Arc<Session>> = names
+            .iter()
+            .map(|name| Arc::clone(&by_name[name]))
+            .collect();
+        let obs = ServiceObs::resolve(&metrics, &names);
+        let dispatcher = Arc::new(Dispatcher {
+            state: Mutex::new(DispatchState {
+                open: true,
+                queues: names.iter().map(|_| VecDeque::new()).collect(),
+                cursor: 0,
+            }),
+            work_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            capacity,
+        });
         let workers = (0..workers)
             .map(|_| {
-                let rx = Arc::clone(&rx);
-                // Same shared-receiver idiom as the engine's `SearchPool`:
-                // hold the lock only across `recv`, run the job unlocked.
-                std::thread::spawn(move || loop {
-                    let job = match rx.lock() {
-                        Ok(guard) => guard.recv(),
-                        Err(_) => break,
-                    };
-                    let Ok(job) = job else { break };
-                    job();
-                })
+                let dispatcher = Arc::clone(&dispatcher);
+                let obs = obs.clone();
+                std::thread::spawn(move || Self::worker_loop(&dispatcher, &obs))
             })
             .collect();
         CompileService {
+            names,
+            index,
             sessions,
-            jobs: Some(tx),
+            dispatcher,
             workers,
             cache,
             metrics,
@@ -315,10 +492,55 @@ impl CompileService {
         }
     }
 
+    /// One worker: pop fairly, skip cancelled requests, run the rest.
+    /// Exits when shutdown has been signalled *and* every queue is dry,
+    /// so accepted requests always resolve.
+    fn worker_loop(dispatcher: &Dispatcher, obs: &ServiceObs) {
+        loop {
+            let (queued, _idx) = {
+                let mut st = dispatcher.state.lock().unwrap();
+                loop {
+                    if let Some((queued, idx)) = Dispatcher::pop_fair(&mut st) {
+                        // Depth gauges track *queued* requests, so they
+                        // move under the lock, in step with the queues.
+                        obs.queue_depth.add(-1);
+                        obs.queue_depth_by_target[idx].add(-1);
+                        break (queued, idx);
+                    }
+                    if !st.open {
+                        return;
+                    }
+                    st = dispatcher.work_cv.wait(st).unwrap();
+                }
+            };
+            // A slot freed up on that target: wake blocked submit_wait
+            // callers (they re-check their own target's depth).
+            dispatcher.space_cv.notify_all();
+            if queued.cancel.is_cancelled() {
+                // Cancelled while queued: skip without compiling. The
+                // reply channel is gone (only a dropped ticket cancels),
+                // so there is nobody to answer.
+                obs.cancelled.inc();
+                if let Some(at) = queued.cancel.cancelled_at() {
+                    obs.cancel_latency_ns.observe_duration(at.elapsed());
+                }
+                continue;
+            }
+            (queued.job)();
+        }
+    }
+
     /// Worker pool size.
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Per-target queue capacity (the bound behind
+    /// [`ServiceError::Busy`]).
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.dispatcher.capacity
     }
 
     /// Aggregated hit/miss/bypass/eviction counters of the shared report
@@ -336,10 +558,10 @@ impl CompileService {
     }
 
     /// A point-in-time snapshot of the service's metrics registry —
-    /// request/panic counters, queue depth, wait/run latency histograms,
-    /// plus everything the registered sessions recorded into the shared
-    /// registry. The natural companion to
-    /// [`CompileService::cache_stats`]; render it with
+    /// request/panic/busy/cancel counters, global and per-target queue
+    /// depths, wait/run/cancel latency histograms, plus everything the
+    /// registered sessions recorded into the shared registry. The natural
+    /// companion to [`CompileService::cache_stats`]; render it with
     /// `MetricsSnapshot::render_text` / `render_json` / `summary_line`.
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
@@ -356,9 +578,7 @@ impl CompileService {
     /// Registered target names, sorted.
     #[must_use]
     pub fn targets(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.sessions.keys().map(String::as_str).collect();
-        names.sort_unstable();
-        names
+        self.names.iter().map(String::as_str).collect()
     }
 
     /// The session serving `target` — the same instance every request to
@@ -366,69 +586,148 @@ impl CompileService {
     /// comparable to direct [`Session::compile`] calls.
     #[must_use]
     pub fn session(&self, target: &str) -> Option<&Session> {
-        self.sessions.get(target).map(Arc::as_ref)
+        self.index.get(target).map(|&i| self.sessions[i].as_ref())
     }
 
-    fn resolve(&self, target: &str) -> Result<Arc<Session>, ServiceError> {
-        self.sessions
+    fn resolve(&self, target: &str) -> Result<(usize, Arc<Session>), ServiceError> {
+        self.index
             .get(target)
-            .cloned()
+            .map(|&i| (i, Arc::clone(&self.sessions[i])))
             .ok_or_else(|| ServiceError::UnknownTarget(target.to_string()))
     }
 
-    /// Queues `work` and returns the ticket its reply will arrive on.
-    fn dispatch<T, F>(&self, work: F) -> Result<Ticket<T>, ServiceError>
+    /// Queues `work` on target queue `idx` and returns the ticket its
+    /// reply will arrive on. `deadline`: `None` rejects a full queue
+    /// immediately; `Some` blocks for a slot until that instant.
+    fn dispatch<T, F>(
+        &self,
+        idx: usize,
+        deadline: Option<Instant>,
+        work: F,
+    ) -> Result<Ticket<T>, ServiceError>
     where
         T: Send + 'static,
-        F: FnOnce() -> Result<T, CompileError> + Send + 'static,
+        F: FnOnce(CancelToken) -> Result<T, CompileError> + Send + 'static,
     {
+        let cancel = CancelToken::new();
         let (tx, rx) = channel();
         let obs = self.obs.clone();
+        let job_cancel = cancel.clone();
         let enqueued = Instant::now();
         let job: Job = Box::new(move || {
-            obs.queue_depth.add(-1);
             obs.wait_ns.observe_duration(enqueued.elapsed());
             let run_started = Instant::now();
             // Per-request isolation: a panic becomes this request's
             // `Engine` error; the worker (and queue) keep going. The
             // panic counter feeds the chaos suite's truth check: every
             // request-level fault must show up here, exactly once.
-            let outcome = catch_unwind(AssertUnwindSafe(work)).unwrap_or_else(|payload| {
-                obs.requests_panicked.inc();
-                Err(CompileError::Engine(panic_message(&*payload)))
-            });
+            let run_cancel = job_cancel.clone();
+            let outcome = catch_unwind(AssertUnwindSafe(move || work(run_cancel))).unwrap_or_else(
+                |payload| {
+                    obs.requests_panicked.inc();
+                    Err(CompileError::Engine(panic_message(&*payload)))
+                },
+            );
+            // Observed *before* `run_ns`, so once the run histogram shows
+            // this request, a later ticket drop can no longer be
+            // miscounted as an effective cancellation.
+            if job_cancel.is_cancelled() {
+                obs.cancelled.inc();
+                if let Some(at) = job_cancel.cancelled_at() {
+                    obs.cancel_latency_ns.observe_duration(at.elapsed());
+                }
+            }
             obs.run_ns.observe_duration(run_started.elapsed());
             // A dropped ticket just means nobody is waiting.
             let _ = tx.send(outcome);
         });
-        // Pre-increment the gauge: a fast worker decrements as soon as
-        // the job lands, and incrementing after `send` could be observed
-        // as a negative depth.
-        self.obs.queue_depth.add(1);
-        match self.jobs.as_ref() {
-            Some(jobs) if jobs.send(job).is_ok() => {
-                self.obs.requests.inc();
-                Ok(Ticket { rx })
+
+        let mut st = self.dispatcher.state.lock().unwrap();
+        loop {
+            if !st.open {
+                return Err(ServiceError::ShuttingDown);
             }
-            _ => {
-                self.obs.queue_depth.add(-1);
-                Err(ServiceError::ShuttingDown)
+            let depth = st.queues[idx].len();
+            if depth < self.dispatcher.capacity {
+                break;
+            }
+            // Full queue: reject now, or wait for space until the
+            // deadline. Either way, only THIS target's callers block —
+            // the lock is held just long enough to check/park.
+            let now = Instant::now();
+            let remaining = deadline.and_then(|d| d.checked_duration_since(now));
+            match remaining {
+                None => {
+                    self.obs.rejected_busy.inc();
+                    return Err(ServiceError::Busy {
+                        target: self.names[idx].clone(),
+                        depth,
+                    });
+                }
+                Some(timeout) => {
+                    st = self
+                        .dispatcher
+                        .space_cv
+                        .wait_timeout(st, timeout)
+                        .unwrap()
+                        .0;
+                }
             }
         }
+        st.queues[idx].push_back(QueuedJob {
+            job,
+            cancel: cancel.clone(),
+        });
+        self.obs.queue_depth.add(1);
+        self.obs.queue_depth_by_target[idx].add(1);
+        self.obs.requests.inc();
+        drop(st);
+        self.dispatcher.work_cv.notify_one();
+        Ok(Ticket {
+            rx,
+            cancel: Some(cancel),
+        })
     }
 
-    /// Submits one program for compilation on `target`'s session.
+    /// Submits one program for compilation on `target`'s session. Never
+    /// blocks: a full queue is [`ServiceError::Busy`].
     ///
     /// # Errors
     ///
-    /// [`ServiceError::UnknownTarget`] / [`ServiceError::ShuttingDown`];
-    /// compile failures come back through the [`Ticket`].
+    /// [`ServiceError::UnknownTarget`] / [`ServiceError::Busy`] /
+    /// [`ServiceError::ShuttingDown`]; compile failures come back through
+    /// the [`Ticket`].
     pub fn submit<S>(&self, target: &str, source: S) -> Result<Ticket, ServiceError>
     where
         S: IntoProgram + Send + 'static,
     {
-        let session = self.resolve(target)?;
-        self.dispatch(move || session.compile(&source))
+        let (idx, session) = self.resolve(target)?;
+        self.dispatch(idx, None, move |cancel| {
+            session.compile_cancellable(&source, cancel)
+        })
+    }
+
+    /// [`CompileService::submit`], but on a full queue blocks up to
+    /// `timeout` for a slot to free before giving up with
+    /// [`ServiceError::Busy`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompileService::submit`], with `Busy` meaning the queue
+    /// stayed full for the whole timeout.
+    pub fn submit_wait<S>(
+        &self,
+        target: &str,
+        source: S,
+        timeout: Duration,
+    ) -> Result<Ticket, ServiceError>
+    where
+        S: IntoProgram + Send + 'static,
+    {
+        let (idx, session) = self.resolve(target)?;
+        self.dispatch(idx, Some(Instant::now() + timeout), move |cancel| {
+            session.compile_cancellable(&source, cancel)
+        })
     }
 
     /// Submits a whole suite as one request ([`Session::compile_suite`]
@@ -446,8 +745,10 @@ impl CompileService {
     where
         S: IntoProgram + Send + 'static,
     {
-        let session = self.resolve(target)?;
-        self.dispatch(move || session.compile_suite(&sources))
+        let (idx, session) = self.resolve(target)?;
+        self.dispatch(idx, None, move |cancel| {
+            session.compile_suite_cancellable(&sources, cancel)
+        })
     }
 
     /// Batch API: submits every source as its *own* request (so each gets
@@ -482,8 +783,14 @@ impl CompileService {
     }
 
     fn drain(&mut self) {
-        // Closing the channel lets workers finish the queue, then stop.
-        self.jobs.take();
+        {
+            let mut st = self.dispatcher.state.lock().unwrap();
+            st.open = false;
+        }
+        // Everyone re-checks `open`: workers finish the queues then stop,
+        // blocked submit_wait callers give up with ShuttingDown.
+        self.dispatcher.work_cv.notify_all();
+        self.dispatcher.space_cv.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -527,6 +834,7 @@ mod tests {
             .unwrap();
         assert_eq!(service.workers(), 2);
         assert_eq!(service.targets(), vec!["sim"]);
+        assert_eq!(service.queue_capacity(), DEFAULT_QUEUE_CAPACITY);
 
         let direct = Session::builder().target_name("sim").build().unwrap();
         let stmt = tile_leaf(0);
@@ -622,8 +930,12 @@ mod tests {
         let snap = service.metrics_snapshot();
         assert_eq!(snap.counter("service.requests"), Some(4));
         assert_eq!(snap.counter("service.requests_panicked"), Some(0));
-        // Every request has been picked up and finished.
+        assert_eq!(snap.counter("service.rejected_busy"), Some(0));
+        assert_eq!(snap.counter("service.cancelled"), Some(0));
+        // Every request has been picked up and finished — globally and on
+        // the target's own gauge.
         assert_eq!(snap.gauge("service.queue_depth"), Some(0));
+        assert_eq!(snap.gauge("service.queue_depth.sim"), Some(0));
         assert_eq!(snap.histogram("service.wait_ns").map(|h| h.count), Some(4));
         assert_eq!(snap.histogram("service.run_ns").map(|h| h.count), Some(4));
         // The sessions share the registry: their outcome ladder landed
@@ -650,6 +962,13 @@ mod tests {
                 .build()
                 .unwrap_err(),
             BuildError::InvalidWorkers
+        );
+        assert_eq!(
+            CompileService::builder()
+                .queue_capacity(0)
+                .build()
+                .unwrap_err(),
+            BuildError::InvalidQueueCapacity
         );
         assert_eq!(
             CompileService::builder()

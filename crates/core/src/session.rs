@@ -73,7 +73,7 @@ use std::time::{Duration, Instant};
 use hb_accel::target::{ExtractionPolicy, SimTarget, Target};
 use hb_egraph::extract::{DagCostExtractor, Extract, SharedTableExtractor, WorklistExtractor};
 use hb_egraph::pool::SearchPool;
-use hb_egraph::schedule::{Budget, RunReport, Runner, WarmStart};
+use hb_egraph::schedule::{Budget, CancelToken, RunReport, Runner, WarmStart};
 use hb_egraph::unionfind::Id;
 use hb_ir::expr::Expr;
 use hb_ir::stmt::Stmt;
@@ -178,6 +178,9 @@ pub enum BuildError {
     /// [`crate::service::CompileServiceBuilder::worker_threads`] must be
     /// at least 1.
     InvalidWorkers,
+    /// [`crate::service::CompileServiceBuilder::queue_capacity`] must be
+    /// at least 1.
+    InvalidQueueCapacity,
     /// The same target name was registered twice on a
     /// [`crate::service::CompileServiceBuilder`].
     DuplicateTarget(String),
@@ -199,6 +202,7 @@ impl fmt::Display for BuildError {
             BuildError::InvalidMatchBudget => write!(f, "match_budget must be at least 1"),
             BuildError::InvalidThreads => write!(f, "compile_threads must be at least 1"),
             BuildError::InvalidWorkers => write!(f, "worker_threads must be at least 1"),
+            BuildError::InvalidQueueCapacity => write!(f, "queue_capacity must be at least 1"),
             BuildError::DuplicateTarget(name) => {
                 write!(f, "target {name:?} registered more than once")
             }
@@ -250,6 +254,9 @@ pub enum Batching {
 /// Which budget cut saturation short (see [`CompileOutcome::Truncated`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TruncationReason {
+    /// The request's [`CancelToken`] was tripped (e.g. a service caller
+    /// dropped its ticket mid-saturation).
+    Cancelled,
     /// The session deadline (or the runner's time budget) passed.
     Deadline,
     /// The e-graph node limit was hit.
@@ -272,8 +279,8 @@ pub enum CompileOutcome {
     /// A budget stopped saturation early; extraction ran on the valid
     /// best-so-far e-graph.
     Truncated {
-        /// Which budget fired (deadline wins over node limit over match
-        /// budget when several fired).
+        /// Which budget fired (cancellation wins over deadline over node
+        /// limit over match budget when several fired).
         reason: TruncationReason,
     },
     /// Saturation, extraction or splicing failed outright (a panicking
@@ -310,7 +317,9 @@ impl CompileOutcome {
 
     /// The outcome a saturation run's report testifies to.
     fn of_run(run: &RunReport) -> CompileOutcome {
-        let reason = if run.deadline_hit {
+        let reason = if run.cancelled {
+            TruncationReason::Cancelled
+        } else if run.deadline_hit {
             TruncationReason::Deadline
         } else if run.node_limit_hit {
             TruncationReason::NodeLimit
@@ -851,6 +860,7 @@ impl SessionBuilder {
 /// and bumped through lock-free handles afterwards.
 struct ObsHandles {
     outcome_saturated: Counter,
+    outcome_cancelled: Counter,
     outcome_deadline: Counter,
     outcome_node_limit: Counter,
     outcome_match_budget: Counter,
@@ -872,6 +882,7 @@ impl ObsHandles {
     fn resolve(metrics: &MetricsRegistry) -> ObsHandles {
         ObsHandles {
             outcome_saturated: metrics.counter("compile.outcome.saturated"),
+            outcome_cancelled: metrics.counter("compile.outcome.truncated_cancelled"),
             outcome_deadline: metrics.counter("compile.outcome.truncated_deadline"),
             outcome_node_limit: metrics.counter("compile.outcome.truncated_node_limit"),
             outcome_match_budget: metrics.counter("compile.outcome.truncated_match_budget"),
@@ -893,6 +904,9 @@ impl ObsHandles {
     fn record_outcome(&self, outcome: CompileOutcome) {
         match outcome {
             CompileOutcome::Saturated => self.outcome_saturated.inc(),
+            CompileOutcome::Truncated {
+                reason: TruncationReason::Cancelled,
+            } => self.outcome_cancelled.inc(),
             CompileOutcome::Truncated {
                 reason: TruncationReason::Deadline,
             } => self.outcome_deadline.inc(),
@@ -1172,9 +1186,17 @@ impl Session {
     /// plus the match cap. The runner's own budgets tighten it further
     /// inside the engine.
     fn compile_budget(&self) -> Budget {
+        self.request_budget(None)
+    }
+
+    /// [`Session::compile_budget`] with an optional per-request
+    /// [`CancelToken`] attached — the hook the compile service's
+    /// dropped-ticket cancellation rides on.
+    fn request_budget(&self, cancel: Option<CancelToken>) -> Budget {
         Budget {
             deadline: self.deadline.map(|d| Instant::now() + d),
             match_budget: self.match_budget,
+            cancel,
         }
     }
 
@@ -1193,12 +1215,42 @@ impl Session {
         &self,
         source: &S,
     ) -> Result<CompileResult, CompileError> {
+        self.compile_with_cancel(source, None)
+    }
+
+    /// [`Session::compile`] with a per-request [`CancelToken`]: tripping
+    /// the token aborts saturation at the next rule-search boundary and
+    /// the compile returns its best-so-far result with
+    /// [`CompileOutcome::Truncated`] (`reason:
+    /// [`TruncationReason::Cancelled`]`). A token tripped before
+    /// saturation starts still runs the (cheap) encode and extraction
+    /// stages, so the result is always a correct program.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Session::compile`].
+    pub fn compile_cancellable<S: IntoProgram + ?Sized>(
+        &self,
+        source: &S,
+        cancel: CancelToken,
+    ) -> Result<CompileResult, CompileError> {
+        self.compile_with_cancel(source, Some(cancel))
+    }
+
+    fn compile_with_cancel<S: IntoProgram + ?Sized>(
+        &self,
+        source: &S,
+        cancel: Option<CancelToken>,
+    ) -> Result<CompileResult, CompileError> {
         let _root = self.tracer.span("compile");
         let lower_span = self.tracer.span("lower");
         let program = source.to_program()?;
         let lower = lower_span.finish();
-        let mut result =
-            self.compile_unit(&program.stmt, &program.placements, self.compile_budget())?;
+        let mut result = self.compile_unit(
+            &program.stmt,
+            &program.placements,
+            self.request_budget(cancel),
+        )?;
         result.report.stages.lower = lower;
         result.report.total_time += lower;
         if let Some(obs) = &self.obs {
@@ -1228,10 +1280,33 @@ impl Session {
         &self,
         sources: &[S],
     ) -> Result<SuiteResult, CompileError> {
+        self.compile_suite_with_cancel(sources, None)
+    }
+
+    /// [`Session::compile_suite`] with a per-request [`CancelToken`] —
+    /// one token covers the whole suite (tripping it truncates every
+    /// still-running saturation; see [`Session::compile_cancellable`]).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Session::compile_suite`].
+    pub fn compile_suite_cancellable<S: IntoProgram>(
+        &self,
+        sources: &[S],
+        cancel: CancelToken,
+    ) -> Result<SuiteResult, CompileError> {
+        self.compile_suite_with_cancel(sources, Some(cancel))
+    }
+
+    fn compile_suite_with_cancel<S: IntoProgram>(
+        &self,
+        sources: &[S],
+        cancel: Option<CancelToken>,
+    ) -> Result<SuiteResult, CompileError> {
         if sources.is_empty() {
             return Err(CompileError::EmptySuite);
         }
-        let budget = self.compile_budget();
+        let budget = self.request_budget(cancel);
         let _root = self.tracer.span("compile_suite");
         let lower_started = Instant::now();
         let lower_span = self.tracer.span("lower");
@@ -1248,7 +1323,9 @@ impl Session {
             let programs: Vec<&Program> = lowered.iter().filter_map(|r| r.as_ref().ok()).collect();
             let refs: Vec<(&Stmt, &Placements)> =
                 programs.iter().map(|p| (&p.stmt, &p.placements)).collect();
-            let shared = catch_unwind(AssertUnwindSafe(|| self.compile_programs(&refs, budget)));
+            let shared = catch_unwind(AssertUnwindSafe(|| {
+                self.compile_programs(&refs, budget.clone())
+            }));
             if let Ok(compiled) = shared {
                 return Ok(self.split_suite(compiled, &programs, lower));
             }
@@ -1270,7 +1347,7 @@ impl Session {
         let mut results = Vec::with_capacity(lowered.len());
         for lowered_program in lowered {
             results.push(lowered_program.and_then(|program| {
-                let unit = self.compile_unit(&program.stmt, &program.placements, budget);
+                let unit = self.compile_unit(&program.stmt, &program.placements, budget.clone());
                 if let Ok(u) = &unit {
                     report.outcome = report.outcome.worst(u.report.outcome);
                     report.stmts.extend(u.report.stmts.iter().cloned());
@@ -1891,6 +1968,7 @@ impl Session {
             // pool per leaf would oversubscribe the cores).
             let runner = self.runner.clone().with_search_threads(1);
             let chunk = leaves.len().div_ceil(threads);
+            let budget = &budget;
             std::thread::scope(|s| {
                 let handles: Vec<_> = leaves
                     .chunks(chunk)
@@ -1898,7 +1976,7 @@ impl Session {
                         let runner = &runner;
                         s.spawn(move || {
                             c.iter()
-                                .map(|stmt| self.compile_leaf(runner, stmt, rules, budget))
+                                .map(|stmt| self.compile_leaf(runner, stmt, rules, budget.clone()))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -1911,7 +1989,7 @@ impl Session {
         } else {
             leaves
                 .iter()
-                .map(|stmt| self.compile_leaf(&self.runner, stmt, rules, budget))
+                .map(|stmt| self.compile_leaf(&self.runner, stmt, rules, budget.clone()))
                 .collect()
         };
 

@@ -137,10 +137,24 @@
 //!   run; `RunReport`s compare equal field-for-field (asserted in
 //!   [`schedule`]'s tests).
 //!
-//! Semi-naive relation rounds stay serial (per-round deltas are tiny and
-//! the row dedup is order-sensitive), as do enumerations below
-//! `PARALLEL_MIN_ROOTS` — both through the same code path, so the
-//! threshold can never change observable behavior, only timing.
+//! Semi-naive delta rounds partition the same way: each pattern-atom
+//! round's delta enumeration is computed once, serially (probe counters
+//! recorded there), then chunked across the pool, and the round results
+//! accumulate in atom order before the deterministic sort + dedup shared
+//! with the serial path — so the merged delta match set is byte-identical
+//! to serial at any thread count. Only relation-atom rounds (no root
+//! enumeration to partition; their deltas are log tails) and enumerations
+//! below `PARALLEL_MIN_ROOTS` run inline — both through the same code
+//! path, so the threshold can never change observable behavior, only
+//! timing.
+//!
+//! Runs are also **cancellable**: a [`schedule::CancelToken`] attached to
+//! the run's [`schedule::Budget`] is polled (one atomic load) at every
+//! rule-search boundary — the same safe stopping points the deadline
+//! uses — so an external holder aborts a run mid-saturation with the
+//! graph left rebuilt and valid and `RunReport::cancelled` recording the
+//! stop truthfully. The `hardboiled` compile service hangs its
+//! dropped-ticket cancellation off exactly this hook.
 //!
 //! A caller that saturates many graphs in sequence can install one pool
 //! on the runner ([`schedule::Runner::shared_pool`]) instead of paying
@@ -269,6 +283,6 @@ pub use pattern::{CompiledPattern, MatchScratch, Pattern, Subst};
 pub use pool::SearchPool;
 pub use relation::Relations;
 pub use rewrite::{Atom, CompiledQuery, ParallelCtx, Query, Rewrite};
-pub use schedule::{Budget, RunReport, Runner, WarmStart};
+pub use schedule::{Budget, CancelToken, RunReport, Runner, WarmStart};
 pub use snapshot::{SnapshotAnalysis, SnapshotError, SnapshotNode, SnapshotReader, SnapshotWriter};
 pub use unionfind::{Id, UnionFind};

@@ -378,14 +378,6 @@ impl<L: Language> CompiledQuery<L> {
             );
             return self.rows_to_substs(rows);
         }
-        // Semi-naive: round i restricts atom i to its delta, and the join
-        // *starts* from that delta (the restricted atom is evaluated
-        // first), so a round costs work proportional to its delta — not a
-        // full re-join. A match is found by round i iff atom i's
-        // contribution is new, so the union over rounds covers every new
-        // match; duplicates (matches with several new atoms) are
-        // deduplicated below. Rounds whose delta is provably empty are
-        // skipped outright, which is what makes quiescent passes free.
         let classes_dirty = egraph.any_modified_since(epoch_cutoff);
         let rels_dirty = egraph.relations.tick() > rel_cutoff;
         if !classes_dirty && !rels_dirty {
@@ -409,6 +401,115 @@ impl<L: Language> CompiledQuery<L> {
             };
             rows.extend(self.search_rows(egraph, &restrict, tracking, scratch, None));
         }
+        self.dedup_round_rows(&mut rows, scratch);
+        self.rows_to_substs(rows)
+    }
+
+    /// [`CompiledQuery::search_delta_tracked`] with a parallel-search
+    /// context: the single-root probe of delta-eligible queries *and* each
+    /// semi-naive round's delta enumeration are partitioned across the
+    /// pool. Byte-identical to the serial search — see
+    /// `CompiledQuery::search_delta_rounds` (private) for why.
+    #[must_use]
+    pub fn search_delta_tracked_ctx<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        epoch_cutoff: u64,
+        rel_cutoff: u64,
+        tracking: DeltaTracking,
+        scratch: &mut MatchScratch,
+        ctx: &mut ParallelCtx<'_>,
+    ) -> Vec<Subst>
+    where
+        N::Data: Sync,
+    {
+        if self.delta_eligible {
+            return self.search_parallel(
+                egraph,
+                Restrict::Root(epoch_cutoff),
+                tracking,
+                scratch,
+                ctx,
+            );
+        }
+        self.search_delta_rounds(egraph, epoch_cutoff, rel_cutoff, tracking, scratch, ctx)
+    }
+
+    /// Semi-naive evaluation: round `i` restricts atom `i` to its delta,
+    /// and the join *starts* from that delta (the restricted atom is
+    /// evaluated first), so a round costs work proportional to its delta —
+    /// not a full re-join. A match is found by round `i` iff atom `i`'s
+    /// contribution is new, so the union over rounds covers every new
+    /// match; duplicates (matches with several new atoms) are deduplicated
+    /// below. Rounds whose delta is provably empty are skipped outright,
+    /// which is what makes quiescent passes free.
+    ///
+    /// With a [`ParallelCtx`], each pattern-atom round's delta enumeration
+    /// is computed once here (probe counters recorded on the scheduler's
+    /// scratch, exactly as the serial round records them) and partitioned
+    /// across the pool. This is byte-identical to the serial evaluation:
+    /// chunk-order concatenation reproduces the serial row order within
+    /// each round (the `first_roots` contract on `search_rows`), rounds
+    /// accumulate in the same atom order, and the final deterministic
+    /// `(round, enumeration, binding)`-ordered sort + dedup is shared with
+    /// the serial path — so the merged delta match set cannot depend on
+    /// the thread count. Relation-atom rounds have no root enumeration to
+    /// partition and always run serially; their deltas are log tails and
+    /// tiny by construction.
+    fn search_delta_rounds<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        epoch_cutoff: u64,
+        rel_cutoff: u64,
+        tracking: DeltaTracking,
+        scratch: &mut MatchScratch,
+        ctx: &mut ParallelCtx<'_>,
+    ) -> Vec<Subst>
+    where
+        N::Data: Sync,
+    {
+        let classes_dirty = egraph.any_modified_since(epoch_cutoff);
+        let rels_dirty = egraph.relations.tick() > rel_cutoff;
+        if !classes_dirty && !rels_dirty {
+            return Vec::new();
+        }
+        let mut rows: Vec<Vec<Option<Id>>> = Vec::new();
+        for (index, atom) in self.atoms.iter().enumerate() {
+            let restrict = Restrict::Atom {
+                index,
+                epoch: epoch_cutoff,
+                rel_tick: rel_cutoff,
+            };
+            match atom {
+                CompiledAtom::Pat { node, .. } => {
+                    if !classes_dirty {
+                        continue;
+                    }
+                    let roots = delta_roots(egraph, node, epoch_cutoff, tracking, scratch);
+                    rows.extend(
+                        self.rows_partitioned(egraph, restrict, tracking, scratch, ctx, &roots),
+                    );
+                }
+                CompiledAtom::Rel { name, .. } => {
+                    if !(rels_dirty && egraph.relations.changed_since(name, rel_cutoff)) {
+                        continue;
+                    }
+                    rows.extend(self.search_rows(egraph, &restrict, tracking, scratch, None));
+                }
+            }
+        }
+        self.dedup_round_rows(&mut rows, scratch);
+        self.rows_to_substs(rows)
+    }
+
+    /// The deterministic merge shared by the serial and parallel round
+    /// evaluations: a total-order sort over the accumulated round rows
+    /// followed by adjacent dedup (matches found by several rounds appear
+    /// once). Because both paths feed rows in the same round order with
+    /// the same per-round row order, sorting makes the merged result a
+    /// pure function of the match *set* — byte-identical at any thread
+    /// count.
+    fn dedup_round_rows(&self, rows: &mut Vec<Vec<Option<Id>>>, scratch: &mut MatchScratch) {
         rows.sort_unstable();
         rows.dedup_by(|a, b| {
             if a == b {
@@ -419,7 +520,6 @@ impl<L: Language> CompiledQuery<L> {
                 false
             }
         });
-        self.rows_to_substs(rows)
     }
 
     fn rows_to_substs(&self, rows: Vec<Vec<Option<Id>>>) -> Vec<Subst> {
@@ -624,16 +724,13 @@ impl<L: Language> CompiledQuery<L> {
     /// partitioned across a [`SearchPool`]. Byte-identical to the serial
     /// search by construction: the enumeration is computed once here —
     /// exactly as [`CompiledQuery::search_rows`] would, probe counters
-    /// recorded on the *scheduler's* scratch — then split into contiguous
-    /// chunks, each chunk's join evaluated against the immutable `&EGraph`
-    /// snapshot with its own per-worker scratch, and the chunk results
-    /// concatenated in chunk order (see the `first_roots` contract on
-    /// `search_rows`). Enumerations below [`PARALLEL_MIN_ROOTS`] run
-    /// inline on the caller — still through the same override path, so
-    /// the match order never depends on the threshold.
+    /// recorded on the *scheduler's* scratch — then partitioned by
+    /// [`CompiledQuery::rows_partitioned`].
     ///
     /// Relation-rooted queries have no root enumeration to partition and
-    /// fall back to the serial join.
+    /// fall back to the serial join. Semi-naive rounds go through
+    /// [`CompiledQuery::search_delta_tracked_ctx`] instead, which computes
+    /// each round's delta enumeration before partitioning it the same way.
     fn search_parallel<N: Analysis<L>>(
         &self,
         egraph: &EGraph<L, N>,
@@ -663,28 +760,39 @@ impl<L: Language> CompiledQuery<L> {
                     owned.insert(ids)
                 }
             },
-            Restrict::Root(cut) => {
-                let (roots, universe) = match node.root_key() {
-                    Some(key) => (
-                        match tracking {
-                            DeltaTracking::OpKeyed => egraph.modified_candidates_for(key, cut),
-                            DeltaTracking::PerClass => {
-                                egraph.modified_candidates_per_class(key, cut)
-                            }
-                        },
-                        egraph.candidates_for(key).len(),
-                    ),
-                    None => (egraph.modified_since(cut), egraph.num_classes()),
-                };
-                scratch.record_probe(roots.len(), universe);
-                owned.insert(roots)
-            }
-            Restrict::Atom { .. } => unreachable!("semi-naive rounds stay serial"),
+            Restrict::Root(cut) => owned.insert(delta_roots(egraph, node, cut, tracking, scratch)),
+            Restrict::Atom { .. } => unreachable!("rounds go through search_delta_tracked_ctx"),
         };
+        let rows = self.rows_partitioned(egraph, restrict, tracking, scratch, ctx, roots);
+        self.rows_to_substs(rows)
+    }
+
+    /// Runs the shared join loop over an explicitly computed first-atom
+    /// root enumeration, partitioned across the context's pool: the slice
+    /// is split into contiguous chunks, each chunk's join evaluated
+    /// against the immutable `&EGraph` snapshot with its own per-worker
+    /// scratch, and the chunk results concatenated in chunk order — which
+    /// is exactly the serial result (see the `first_roots` contract on
+    /// [`CompiledQuery::search_rows`]). Enumerations below
+    /// [`PARALLEL_MIN_ROOTS`] run inline on the caller — still through
+    /// the same override path, so the match order never depends on the
+    /// threshold. Probe counters are never recorded here; the caller that
+    /// computed the enumeration already recorded them.
+    fn rows_partitioned<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        restrict: Restrict,
+        tracking: DeltaTracking,
+        scratch: &mut MatchScratch,
+        ctx: &mut ParallelCtx<'_>,
+        roots: &[Id],
+    ) -> Vec<Vec<Option<Id>>>
+    where
+        N::Data: Sync,
+    {
         let threads = ctx.pool.threads().min(ctx.scratches.len());
         if threads < 2 || roots.len() < PARALLEL_MIN_ROOTS {
-            let rows = self.search_rows(egraph, &restrict, tracking, scratch, Some(roots));
-            return self.rows_to_substs(rows);
+            return self.search_rows(egraph, &restrict, tracking, scratch, Some(roots));
         }
         let chunks: Vec<&[Id]> = roots.chunks(roots.len().div_ceil(threads)).collect();
         let mut outs: Vec<Vec<Vec<Option<Id>>>> = Vec::new();
@@ -701,8 +809,33 @@ impl<L: Language> CompiledQuery<L> {
             .collect();
         ctx.pool.scatter(jobs);
         // Chunk-order concatenation == serial match order (see above).
-        self.rows_to_substs(outs.into_iter().flatten().collect())
+        outs.into_iter().flatten().collect()
     }
+}
+
+/// The delta enumeration the serial path performs for an unbound pattern
+/// root: classes whose root-operator rows were stamped at or after `cut`,
+/// with the probe counters recorded on `scratch` — once, exactly as the
+/// serial enumeration records them.
+fn delta_roots<L: Language, N: Analysis<L>>(
+    egraph: &EGraph<L, N>,
+    node: &CompiledNode<L>,
+    cut: u64,
+    tracking: DeltaTracking,
+    scratch: &mut MatchScratch,
+) -> Vec<Id> {
+    let (roots, universe) = match node.root_key() {
+        Some(key) => (
+            match tracking {
+                DeltaTracking::OpKeyed => egraph.modified_candidates_for(key, cut),
+                DeltaTracking::PerClass => egraph.modified_candidates_per_class(key, cut),
+            },
+            egraph.candidates_for(key).len(),
+        ),
+        None => (egraph.modified_since(cut), egraph.num_classes()),
+    };
+    scratch.record_probe(roots.len(), universe);
+    roots
 }
 
 /// Guard predicate evaluated on each match before application.
@@ -920,11 +1053,12 @@ where
         self.apply_matches(egraph, matches)
     }
 
-    /// [`Rewrite::run_delta`] with an optional parallel-search context.
-    /// Only the single-root delta probe of delta-eligible queries is
-    /// partitioned; semi-naive rounds (relation joins, fresh-variable
-    /// atoms) stay serial — their per-round deltas are tiny by
-    /// construction and their row dedup is order-sensitive.
+    /// [`Rewrite::run_delta`] with an optional parallel-search context:
+    /// the single-root delta probe of delta-eligible queries *and* the
+    /// pattern-atom rounds of semi-naive evaluation (relation joins,
+    /// fresh-variable atoms) are partitioned across the pool — the merged
+    /// delta match set is byte-identical to serial at any thread count
+    /// (see [`CompiledQuery::search_delta_tracked_ctx`]).
     pub fn run_delta_ctx(
         &self,
         egraph: &mut EGraph<L, N>,
@@ -934,16 +1068,16 @@ where
         scratch: &mut MatchScratch,
         par: Option<&mut ParallelCtx<'_>>,
     ) -> usize {
-        let ctx = match par {
-            Some(ctx) if self.compiled.delta_eligible => ctx,
-            _ => return self.run_delta(egraph, epoch_cutoff, rel_cutoff, tracking, scratch),
+        let Some(ctx) = par else {
+            return self.run_delta(egraph, epoch_cutoff, rel_cutoff, tracking, scratch);
         };
         if !egraph.is_clean() {
             egraph.rebuild();
         }
-        let matches = self.compiled.search_parallel(
+        let matches = self.compiled.search_delta_tracked_ctx(
             egraph,
-            Restrict::Root(epoch_cutoff),
+            epoch_cutoff,
+            rel_cutoff,
             tracking,
             scratch,
             ctx,
@@ -1128,6 +1262,90 @@ mod tests {
             assert_eq!(naive.len(), compiled.len());
             for m in &naive {
                 assert!(compiled.contains(m), "compiled missed {m:?}");
+            }
+        }
+    }
+
+    /// Tentpole oracle: semi-naive delta rounds partitioned across a pool
+    /// produce the *byte-identical* match set — same substitutions, same
+    /// order, same probe counters — as the serial rounds, at any thread
+    /// count, for both non-eligible query shapes (relation atoms and
+    /// fresh-variable pattern atoms) with deltas wide enough
+    /// (> `PARALLEL_MIN_ROOTS`) to actually partition.
+    #[test]
+    fn parallel_delta_rounds_are_byte_identical_to_serial() {
+        use crate::pool::SearchPool;
+        let mut eg = EG::new();
+        let a = eg.add(Math::Sym("a".into()));
+        // A first generation of products, searched once to set the cutoffs.
+        for i in 0..20 {
+            let s = eg.add(Math::Sym(format!("old{i}")));
+            let m = eg.add(Math::Mul([a, s]));
+            if i % 2 == 0 {
+                eg.relations.insert("good", vec![s]);
+            }
+            let _ = m;
+        }
+        eg.rebuild();
+        let epoch_cutoff = eg.bump_epoch();
+        let rel_cutoff = eg.relations.tick();
+        // A delta far wider than PARALLEL_MIN_ROOTS: new products and new
+        // relation tuples, so every round of both queries is non-empty.
+        for i in 0..200 {
+            let s = eg.add(Math::Sym(format!("new{i}")));
+            let _ = eg.add(Math::Mul([a, s]));
+            if i % 3 == 0 {
+                eg.relations.insert("good", vec![s]);
+            }
+        }
+        eg.rebuild();
+
+        let queries: Vec<CompiledQuery<Math>> = vec![
+            Query::single("e", pmul(pvar("x"), pvar("y")))
+                .with_relation("good", &["y"])
+                .compile(),
+            Query::single("e", pmul(pvar("x"), pvar("y")))
+                .also("f", pmul(pvar("p"), pvar("q")))
+                .compile(),
+        ];
+        for q in &queries {
+            assert!(!q.delta_eligible());
+            let mut serial_scratch = MatchScratch::new();
+            let serial = q.search_delta_tracked(
+                &eg,
+                epoch_cutoff,
+                rel_cutoff,
+                DeltaTracking::OpKeyed,
+                &mut serial_scratch,
+            );
+            assert!(!serial.is_empty(), "the delta must actually match");
+            let serial_probes = serial_scratch.take_probe_counters();
+            for threads in [2, 4] {
+                let pool = SearchPool::new(threads);
+                let mut scratches: Vec<MatchScratch> =
+                    (0..pool.threads()).map(|_| MatchScratch::new()).collect();
+                let mut ctx = ParallelCtx {
+                    pool: &pool,
+                    scratches: &mut scratches,
+                };
+                let mut scratch = MatchScratch::new();
+                let par = q.search_delta_tracked_ctx(
+                    &eg,
+                    epoch_cutoff,
+                    rel_cutoff,
+                    DeltaTracking::OpKeyed,
+                    &mut scratch,
+                    &mut ctx,
+                );
+                assert_eq!(
+                    serial, par,
+                    "match set must be identical at {threads} threads"
+                );
+                assert_eq!(
+                    serial_probes,
+                    scratch.take_probe_counters(),
+                    "probe counters must be identical at {threads} threads"
+                );
             }
         }
     }

@@ -37,7 +37,8 @@
 //! clock reads, no probe-counter drains, nothing the saturation loop can
 //! feel.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hb_obs::{ProfileHandle, RuleSearchSample};
@@ -67,6 +68,8 @@ pub struct RunReport {
     pub deadline_hit: bool,
     /// Whether the run stopped because the match budget was spent.
     pub match_budget_hit: bool,
+    /// Whether the run stopped because its [`CancelToken`] was tripped.
+    pub cancelled: bool,
     /// Rule searches that ran as delta probes (single-root or semi-naive).
     pub delta_searches: usize,
     /// Rule searches that ran in full (first runs and impure-guard
@@ -97,7 +100,7 @@ impl RunReport {
     /// the best-so-far graph is always sound.
     #[must_use]
     pub fn truncated(&self) -> bool {
-        self.node_limit_hit || self.deadline_hit || self.match_budget_hit
+        self.node_limit_hit || self.deadline_hit || self.match_budget_hit || self.cancelled
     }
 
     /// Folds a sub-run (e.g. a supporting-rule fixpoint) into this report:
@@ -113,12 +116,66 @@ impl RunReport {
     }
 }
 
+/// A shared, thread-safe cancellation flag. Cloning hands out another
+/// handle to the same flag; any holder may call [`CancelToken::cancel`]
+/// (idempotent) and every saturation run carrying the token in its
+/// [`Budget`] stops at the next rule-search boundary — the same safe
+/// stopping points the deadline uses, so the e-graph is always left
+/// rebuilt and valid and extraction proceeds on the best-so-far graph.
+/// The first `cancel` call's timestamp is recorded so observers can
+/// measure cancellation latency (request → worker freed).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    at: Mutex<Option<Instant>>,
+}
+
+impl CancelToken {
+    /// A fresh, un-tripped token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; the first call's timestamp is
+    /// kept. The timestamp is published before the flag flips, so a run
+    /// that observes [`CancelToken::is_cancelled`] can always read a
+    /// `Some` from [`CancelToken::cancelled_at`].
+    pub fn cancel(&self) {
+        {
+            let mut at = self.inner.at.lock().unwrap();
+            if at.is_none() {
+                *at = Some(Instant::now());
+            }
+        }
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested. A single atomic load —
+    /// cheap enough to poll on every rule-search tick.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// When cancellation was first requested, if it has been.
+    #[must_use]
+    pub fn cancelled_at(&self) -> Option<Instant> {
+        *self.inner.at.lock().unwrap()
+    }
+}
+
 /// Saturation budgets beyond the iteration/node caps: an absolute
-/// wall-clock deadline and a cap on total applied matches. Hitting either
-/// stops the run between rule searches — after the pass's rebuild — so
-/// the e-graph is always left valid and extraction proceeds on the
-/// best-so-far graph.
-#[derive(Debug, Clone, Copy, Default)]
+/// wall-clock deadline, a cap on total applied matches, and an optional
+/// cooperative [`CancelToken`]. Hitting any of them stops the run between
+/// rule searches — after the pass's rebuild — so the e-graph is always
+/// left valid and extraction proceeds on the best-so-far graph.
+#[derive(Debug, Clone, Default)]
 pub struct Budget {
     /// Absolute deadline. An `Instant` rather than a `Duration` so one
     /// budget can span several runs (e.g. every per-leaf run of one
@@ -126,6 +183,10 @@ pub struct Budget {
     pub deadline: Option<Instant>,
     /// Maximum total matches applied across the run.
     pub match_budget: Option<usize>,
+    /// Cooperative cancellation: polled (one atomic load) at every
+    /// rule-search boundary, so an external holder — e.g. a service
+    /// caller dropping its ticket — aborts the run mid-saturation.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -136,7 +197,8 @@ impl Budget {
     }
 
     /// Component-wise minimum of two budgets: the earlier deadline, the
-    /// smaller match cap.
+    /// smaller match cap. A cancel token from either side is kept
+    /// (`self`'s wins when both carry one).
     #[must_use]
     pub fn tighten(self, other: Budget) -> Budget {
         fn min_opt<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
@@ -149,7 +211,15 @@ impl Budget {
         Budget {
             deadline: min_opt(self.deadline, other.deadline),
             match_budget: min_opt(self.match_budget, other.match_budget),
+            cancel: self.cancel.or(other.cancel),
         }
+    }
+
+    /// Attaches a [`CancelToken`] (replacing any already present).
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Budget {
+        self.cancel = Some(token);
+        self
     }
 }
 
@@ -169,6 +239,7 @@ struct BudgetClock {
     applied: usize,
     deadline_hit: bool,
     match_budget_hit: bool,
+    cancelled: bool,
 }
 
 impl BudgetClock {
@@ -179,6 +250,7 @@ impl BudgetClock {
             applied: 0,
             deadline_hit: false,
             match_budget_hit: false,
+            cancelled: false,
         }
     }
 
@@ -193,7 +265,11 @@ impl BudgetClock {
     }
 
     /// Amortized pre-search check; returns whether the run must stop.
+    /// The cancel token is polled on *every* tick — one atomic load is
+    /// cheaper than a clock read, and responsiveness is the whole point
+    /// of cancellation — while the deadline keeps its amortized stride.
     fn tick(&mut self) -> bool {
+        self.poll_cancel();
         if self.exhausted() {
             return true;
         }
@@ -207,23 +283,33 @@ impl BudgetClock {
         self.exhausted()
     }
 
-    /// Unamortized deadline check (free when no deadline is set); run
-    /// once per scheduler iteration to bound overshoot.
+    /// Unamortized deadline + cancellation check (free when neither is
+    /// set); run once per scheduler iteration to bound overshoot.
     fn check_now(&mut self) {
         if let Some(deadline) = self.budget.deadline {
             if Instant::now() >= deadline {
                 self.deadline_hit = true;
             }
         }
+        self.poll_cancel();
+    }
+
+    fn poll_cancel(&mut self) {
+        if !self.cancelled {
+            if let Some(token) = &self.budget.cancel {
+                self.cancelled = token.is_cancelled();
+            }
+        }
     }
 
     fn exhausted(&self) -> bool {
-        self.deadline_hit || self.match_budget_hit
+        self.deadline_hit || self.match_budget_hit || self.cancelled
     }
 
     fn stamp(&self, report: &mut RunReport) {
         report.deadline_hit |= self.deadline_hit;
         report.match_budget_hit |= self.match_budget_hit;
+        report.cancelled |= self.cancelled;
     }
 }
 
@@ -417,6 +503,7 @@ impl Runner {
         Budget {
             deadline: self.time_budget.map(|d| Instant::now() + d),
             match_budget: self.match_budget,
+            cancel: None,
         }
     }
 
@@ -1011,7 +1098,7 @@ mod tests {
         let _ = eg.add(Math::Num(0));
         let budget = Budget {
             deadline: Some(Instant::now() - Duration::from_millis(1)),
-            match_budget: None,
+            ..Budget::none()
         };
         let runner = Runner::new(1000, usize::MAX);
         let report = runner.run_to_fixpoint_budgeted(&mut eg, &[successor_rule()], budget);
@@ -1050,7 +1137,7 @@ mod tests {
         let _ = eg.add(Math::Num(0));
         let budget = Budget {
             deadline: Some(Instant::now()),
-            match_budget: None,
+            ..Budget::none()
         };
         let runner = Runner::new(1000, usize::MAX);
         let report = runner.run_phased_budgeted(&mut eg, &[successor_rule()], &[], 1000, budget);
@@ -1064,17 +1151,70 @@ mod tests {
         let late = early + Duration::from_secs(60);
         let a = Budget {
             deadline: Some(late),
-            match_budget: None,
+            ..Budget::none()
         };
         let b = Budget {
             deadline: Some(early),
             match_budget: Some(10),
+            ..Budget::none()
         };
         let t = a.tighten(b);
         assert_eq!(t.deadline, Some(early));
         assert_eq!(t.match_budget, Some(10));
         let n = Budget::none().tighten(Budget::none());
         assert!(n.deadline.is_none() && n.match_budget.is_none());
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_iteration() {
+        let mut eg = EG::new();
+        let _ = eg.add(Math::Num(0));
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::none().with_cancel(token.clone());
+        let runner = Runner::new(1000, usize::MAX);
+        let report = runner.run_to_fixpoint_budgeted(&mut eg, &[successor_rule()], budget);
+        assert!(report.cancelled);
+        assert!(report.truncated());
+        assert_eq!(report.iterations, 0);
+        assert!(
+            !report.saturated,
+            "a cancelled run must not claim saturation"
+        );
+        assert!(token.cancelled_at().is_some());
+    }
+
+    #[test]
+    fn cancel_from_another_thread_stops_unbounded_run() {
+        let mut eg = EG::new();
+        let _ = eg.add(Math::Num(0));
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            remote.cancel();
+        });
+        // Unbounded iterations and no deadline: this run terminates if and
+        // only if the token aborts it.
+        let budget = Budget::none().with_cancel(token);
+        let runner = Runner::new(usize::MAX, usize::MAX);
+        let report = runner.run_to_fixpoint_budgeted(&mut eg, &[successor_rule()], budget);
+        canceller.join().unwrap();
+        assert!(report.cancelled);
+        assert!(!report.deadline_hit && !report.match_budget_hit);
+        assert!(!report.saturated);
+        // The cancelled graph is rebuilt and consistent.
+        assert_eq!(report.nodes, eg.num_nodes());
+    }
+
+    #[test]
+    fn untripped_token_does_not_change_saturation() {
+        let (mut eg, a, d) = fig1_graph();
+        let budget = Budget::none().with_cancel(CancelToken::new());
+        let report = Runner::default().run_to_fixpoint_budgeted(&mut eg, &fig1_rules(), budget);
+        assert!(report.saturated);
+        assert!(!report.truncated());
+        assert_eq!(eg.find(d), eg.find(a));
     }
 
     /// A left-deep product chain wide enough (> `PARALLEL_MIN_ROOTS`
@@ -1129,6 +1269,51 @@ mod tests {
                 best_s.to_sexp(),
                 best_p.to_sexp(),
                 "extraction must match at {threads} threads"
+            );
+        }
+    }
+
+    /// Tentpole oracle at the scheduler level: a rule whose query is *not*
+    /// delta-eligible (fresh-variable second atom) runs its delta as
+    /// semi-naive rounds — now partitioned across the pool — and the full
+    /// run (every report counter, the derived relation contents) stays
+    /// byte-identical to serial at 2 and 4 threads.
+    #[test]
+    fn parallel_delta_rounds_are_byte_identical_at_runner_level() {
+        fn rules() -> Vec<Rewrite<Math>> {
+            let mut rules = mul_rules();
+            rules.push(Rewrite::<Math>::rule(
+                "pair-products",
+                Query::single("e", pmul(pvar("x"), pvar("y")))
+                    .also("f", pmul(pvar("p"), pvar("q"))),
+                Box::new(|eg, s| {
+                    let e = crate::rewrite::bound(s, "e");
+                    let f = crate::rewrite::bound(s, "f");
+                    eg.relations.insert("paired", vec![e, f])
+                }),
+            ));
+            rules
+        }
+        let (mut eg_serial, _) = wide_mul_chain(80);
+        let runner = Runner::new(2, 1_000_000);
+        let mut serial = runner.run_to_fixpoint(&mut eg_serial, &rules());
+        serial.elapsed = Duration::ZERO;
+        assert!(
+            eg_serial.relations.len("paired") > 0,
+            "the non-eligible rule must actually fire"
+        );
+        for threads in [2, 4] {
+            let (mut eg_par, _) = wide_mul_chain(80);
+            let mut par = runner
+                .clone()
+                .with_search_threads(threads)
+                .run_to_fixpoint(&mut eg_par, &rules());
+            par.elapsed = Duration::ZERO;
+            assert_eq!(serial, par, "reports must match at {threads} threads");
+            assert_eq!(
+                eg_serial.relations.len("paired"),
+                eg_par.relations.len("paired"),
+                "derived relations must match at {threads} threads"
             );
         }
     }

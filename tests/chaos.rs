@@ -369,3 +369,267 @@ fn panicking_front_end_surfaces_as_that_requests_error_only() {
     assert_eq!(snap.counter("service.requests_panicked"), Some(1));
     service.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// Cancellation under chaos (ISSUE 10): dropped tickets and seeded
+// faults interleaved on one pool; backpressure under a panic storm.
+// ---------------------------------------------------------------------
+
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use hardboiled_repro::hardboiled::{CompileOutcome as Outcome, ServiceError};
+use hardboiled_repro::lang::lower::Lowered;
+
+/// A latch a gated front end blocks on: parks the pool's only worker
+/// inside a request deterministically, no sleeps.
+#[derive(Clone)]
+struct Gate(Arc<(Mutex<bool>, Condvar)>);
+
+impl Gate {
+    fn new() -> Gate {
+        Gate(Arc::new((Mutex::new(false), Condvar::new())))
+    }
+
+    fn open(&self) {
+        let (flag, cv) = &*self.0;
+        *flag.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let (flag, cv) = &*self.0;
+        let mut open = flag.lock().unwrap();
+        while !*open {
+            open = cv.wait(open).unwrap();
+        }
+    }
+}
+
+/// Parks in `to_program` until the gate opens, then compiles `inner`.
+struct GatedSource {
+    inner: Lowered,
+    gate: Gate,
+}
+
+impl IntoProgram for GatedSource {
+    fn to_program(&self) -> Result<Program, CompileError> {
+        self.gate.wait_open();
+        self.inner.to_program()
+    }
+}
+
+/// Parks until the gate opens, then panics like a seeded front-end
+/// fault.
+struct GatedExplodingFrontEnd {
+    gate: Gate,
+}
+
+impl IntoProgram for GatedExplodingFrontEnd {
+    fn to_program(&self) -> Result<Program, CompileError> {
+        self.gate.wait_open();
+        panic!("injected fault: gated front end exploded");
+    }
+}
+
+fn snapshot_counter(service: &CompileService, name: &str) -> u64 {
+    service.metrics_snapshot().counter(name).unwrap_or(0)
+}
+
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Chaos-seeded cancellation race: a seeded rule panic, a dropped
+/// ticket and a clean request interleave on a one-worker pool. The
+/// fault degrades its own request, the cancelled request is skipped
+/// without ever reaching the (spent) plan, and the survivor is
+/// byte-identical to a clean session — with every counter exact.
+#[test]
+fn cancellation_interleaved_with_seeded_fault_keeps_ledger_exact() {
+    quiet_injected_panics();
+    let source = lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap();
+    let clean_session = Session::builder().build().unwrap();
+    let clean = normalize_temps(&clean_session.compile(&source).unwrap().program.to_string());
+
+    let plan = FaultPlan::new(Fault::RulePanic { at_search: 0 });
+    let faulty = Session::builder()
+        .fault_plan(Arc::clone(&plan))
+        .build()
+        .unwrap();
+    let gate = Gate::new();
+    let service = CompileService::builder()
+        .worker_threads(1)
+        .register("faulty", faulty)
+        .build()
+        .unwrap();
+
+    // Park the worker inside the request that will hit the seeded fault.
+    let faulted = service
+        .submit(
+            "faulty",
+            GatedSource {
+                inner: source.clone(),
+                gate: gate.clone(),
+            },
+        )
+        .expect("accepted");
+    wait_until("the worker to pick up the gated request", || {
+        service
+            .metrics_snapshot()
+            .gauge("service.queue_depth.faulty")
+            == Some(0)
+    });
+    // Queue a victim and cancel it, then queue the survivor.
+    let victim = service.submit("faulty", source.clone()).expect("accepted");
+    drop(victim);
+    let survivor = service.submit("faulty", source.clone()).expect("accepted");
+
+    gate.open();
+    let faulted = faulted.wait().expect("the fault degrades, not errors");
+    assert_eq!(faulted.report.outcome, Outcome::FallbackUnoptimized);
+    let survivor = survivor.wait().expect("request must compile");
+    assert_eq!(survivor.report.outcome, Outcome::Saturated);
+    assert_eq!(
+        clean,
+        normalize_temps(&survivor.program.to_string()),
+        "the survivor diverged from a clean session"
+    );
+
+    // The ledger: one seeded fault (the skipped victim never advanced
+    // the plan), one effective cancellation, no worker-level panics.
+    assert_eq!(plan.times_fired(), 1);
+    assert_eq!(snapshot_counter(&service, "service.requests"), 3);
+    assert_eq!(snapshot_counter(&service, "service.cancelled"), 1);
+    assert_eq!(snapshot_counter(&service, "service.requests_panicked"), 0);
+    service.shutdown();
+}
+
+/// Cancel mid-fault: the dropped ticket belongs to the request whose
+/// front end panics. The panic stays confined, the cancellation is
+/// counted, and the pool keeps serving.
+#[test]
+fn cancelled_ticket_on_a_panicking_request_stays_confined() {
+    quiet_injected_panics();
+    let source = lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap();
+    let gate = Gate::new();
+    let service = CompileService::builder()
+        .worker_threads(1)
+        .register_target("sim")
+        .build()
+        .unwrap();
+
+    let doomed = service
+        .submit("sim", GatedExplodingFrontEnd { gate: gate.clone() })
+        .expect("accepted");
+    wait_until("the worker to pick up the gated request", || {
+        service.metrics_snapshot().gauge("service.queue_depth.sim") == Some(0)
+    });
+    drop(doomed); // cancel the in-flight request…
+    gate.open(); // …which then panics in its front end
+    wait_until("the doomed request to finish", || {
+        service
+            .metrics_snapshot()
+            .histogram("service.run_ns")
+            .map_or(0, |h| h.count)
+            == 1
+    });
+
+    // Both faces of the request are on the record: the panic was caught
+    // (worker survived) and the cancellation observed.
+    assert_eq!(snapshot_counter(&service, "service.requests_panicked"), 1);
+    assert_eq!(snapshot_counter(&service, "service.cancelled"), 1);
+    assert!(
+        service
+            .submit("sim", source)
+            .expect("accepted")
+            .wait()
+            .is_ok(),
+        "the pool stopped serving after a cancelled panicking request"
+    );
+    service.shutdown();
+}
+
+/// Busy under a seeded panic storm: with the worker parked, a queue full
+/// of front-end panics must still backpressure exactly at capacity,
+/// resolve every accepted request to its own confined error, and leave
+/// the pool serving clean requests afterwards.
+#[test]
+fn backpressure_holds_under_a_panic_storm() {
+    quiet_injected_panics();
+    let source = lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap();
+    let clean_session = Session::builder().build().unwrap();
+    let clean = normalize_temps(&clean_session.compile(&source).unwrap().program.to_string());
+
+    let gate = Gate::new();
+    let service = CompileService::builder()
+        .worker_threads(1)
+        .queue_capacity(2)
+        .register_target("sim")
+        .build()
+        .unwrap();
+
+    let parked = service
+        .submit(
+            "sim",
+            GatedSource {
+                inner: source.clone(),
+                gate: gate.clone(),
+            },
+        )
+        .expect("accepted");
+    wait_until("the worker to pick up the gated request", || {
+        service.metrics_snapshot().gauge("service.queue_depth.sim") == Some(0)
+    });
+
+    // The storm: every queued request is a seeded front-end panic.
+    let storm: Vec<_> = (0..2)
+        .map(|i| {
+            service
+                .submit("sim", ExplodingFrontEnd)
+                .unwrap_or_else(|e| panic!("storm request {i} refused: {e}"))
+        })
+        .collect();
+    assert_eq!(
+        service.submit("sim", ExplodingFrontEnd).unwrap_err(),
+        ServiceError::Busy {
+            target: "sim".to_string(),
+            depth: 2,
+        },
+        "the storm must hit backpressure exactly at capacity"
+    );
+    assert_eq!(snapshot_counter(&service, "service.rejected_busy"), 1);
+
+    gate.open();
+    assert!(parked.wait().is_ok());
+    for (i, ticket) in storm.into_iter().enumerate() {
+        match ticket.wait() {
+            Err(CompileError::Engine(msg)) => {
+                assert!(msg.contains("injected fault"), "storm request {i}: {msg}");
+            }
+            other => panic!("storm request {i}: expected a confined panic, got {other:?}"),
+        }
+    }
+    assert_eq!(snapshot_counter(&service, "service.requests_panicked"), 2);
+
+    // After the storm: clean request, clean result, empty queues.
+    let after = service
+        .submit("sim", source.clone())
+        .expect("accepted")
+        .wait()
+        .expect("request must compile");
+    assert_eq!(
+        clean,
+        normalize_temps(&after.program.to_string()),
+        "the pool was poisoned by the storm"
+    );
+    assert_eq!(
+        service.metrics_snapshot().gauge("service.queue_depth"),
+        Some(0)
+    );
+    service.shutdown();
+}

@@ -206,3 +206,54 @@ fn registry_aggregates_session_and_cache_metrics_exactly() {
     assert!(text.contains("cache_hits 1"));
     assert!(text.contains("compile_outcome_saturated 2"));
 }
+
+/// Service lifecycle metrics land in the shared registry: the global and
+/// per-target queue-depth gauges, the busy/cancel counters and the
+/// cancellation latency histogram all resolve — and per-target gauges
+/// stay separate per registered target.
+#[test]
+fn service_lifecycle_metrics_share_the_registry() {
+    use hardboiled_repro::hardboiled::CompileService;
+
+    let metrics = Arc::new(MetricsRegistry::default());
+    let service = CompileService::builder()
+        .worker_threads(1)
+        .register_target("sim")
+        .register_target("scalar")
+        .shared_metrics(Arc::clone(&metrics))
+        .build()
+        .unwrap();
+
+    // One completed request per target.
+    let sim = service.submit("sim", tile_leaf(0)).unwrap();
+    let scalar = service.submit("scalar", tile_leaf(1)).unwrap();
+    assert!(sim.wait().is_ok());
+    assert!(scalar.wait().is_ok());
+    // One cancellation: dropped while the single worker drains the rest.
+    let victim = service.submit("sim", tile_leaf(2)).unwrap();
+    drop(victim);
+    // A probe after the victim guarantees the skip has been processed by
+    // the time its reply arrives (single worker, FIFO per target).
+    assert!(service.submit("sim", tile_leaf(3)).unwrap().wait().is_ok());
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("service.requests"), Some(4));
+    assert_eq!(snap.counter("service.rejected_busy"), Some(0));
+    assert_eq!(snap.counter("service.cancelled"), Some(1));
+    assert_eq!(
+        snap.histogram("service.cancel_latency_ns").map(|h| h.count),
+        Some(1)
+    );
+    // Per-target gauges exist independently and are all drained.
+    assert_eq!(snap.gauge("service.queue_depth"), Some(0));
+    assert_eq!(snap.gauge("service.queue_depth.sim"), Some(0));
+    assert_eq!(snap.gauge("service.queue_depth.scalar"), Some(0));
+    // The session-level ledger sits next to the service counters: the
+    // cancelled request never compiled.
+    assert_eq!(snap.counter("compile.outcome.saturated"), Some(3));
+    // Rendering carries the new names.
+    let text = snap.render_text();
+    assert!(text.contains("service_cancelled 1"), "{text}");
+    assert!(text.contains("service_queue_depth_sim 0"), "{text}");
+    service.shutdown();
+}

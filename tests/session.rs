@@ -423,3 +423,83 @@ fn suite_compilation_matches_per_program_compilation() {
         2
     );
 }
+
+// ---------------------------------------------------------------------------
+// Per-request cancellation (`compile_cancellable`).
+
+#[test]
+fn cancelled_compile_reports_truncated_cancelled_and_stays_valid() {
+    use hardboiled_repro::hardboiled::{CancelToken, CompileOutcome, TruncationReason};
+
+    let source = lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap();
+    let session = Session::builder().build().unwrap();
+
+    // A pre-tripped token: saturation stops at its first budget poll and
+    // the outcome says so — truthfully cancelled, never "saturated".
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = session
+        .compile_cancellable(&source, token)
+        .expect("cancellation degrades, it does not error");
+    assert_eq!(
+        cancelled.report.outcome,
+        CompileOutcome::Truncated {
+            reason: TruncationReason::Cancelled
+        }
+    );
+
+    // An untripped token changes nothing: byte-identical to plain
+    // `compile`, still saturated.
+    let clean = session.compile(&source).unwrap();
+    let with_token = session
+        .compile_cancellable(&source, CancelToken::new())
+        .unwrap();
+    assert_eq!(clean.report.outcome, CompileOutcome::Saturated);
+    assert_eq!(with_token.report.outcome, CompileOutcome::Saturated);
+    assert_eq!(
+        normalize_temps(&clean.program.to_string()),
+        normalize_temps(&with_token.program.to_string())
+    );
+
+    // The cancelled compile still emitted a complete, well-formed
+    // program for every statement of the source.
+    assert_eq!(
+        cancelled.program.to_string().is_empty(),
+        clean.program.to_string().is_empty()
+    );
+}
+
+#[test]
+fn suite_cancellation_covers_every_program() {
+    use hardboiled_repro::hardboiled::{CancelToken, CompileOutcome, TruncationReason};
+
+    let sources = vec![
+        lower(&Conv1d { n: 512, k: 16 }.pipeline(true)).unwrap(),
+        lower(
+            &GemmWmma {
+                m: 32,
+                k: 32,
+                n: 32,
+            }
+            .pipeline(true),
+        )
+        .unwrap(),
+    ];
+    let session = Session::builder().build().unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    let suite = session
+        .compile_suite_cancellable(&sources, token)
+        .expect("cancellation degrades, it does not error");
+    assert_eq!(suite.results.len(), sources.len());
+    for (i, result) in suite.results.iter().enumerate() {
+        let result = result.as_ref().expect("every slot still resolves");
+        assert_eq!(
+            result.report.outcome,
+            CompileOutcome::Truncated {
+                reason: TruncationReason::Cancelled
+            },
+            "program {i} must report the shared token"
+        );
+    }
+}
